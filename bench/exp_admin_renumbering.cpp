@@ -1,0 +1,79 @@
+// Administrative renumbering (paper §8, future work).
+//
+// The paper observed exactly one instance of en-masse reassignment from
+// one prefix to another and named the systematic analysis as future work.
+// This experiment plants a mid-year administrative renumbering in one
+// DHCP ISP (retire one block, light up a fresh one; DHCP servers NAK
+// every lease on the old block at its next renewal) and shows that the
+// detector recovers the event — the AS, the retired prefix, the
+// destination, and the date — while flagging nothing anywhere else.
+
+#include "exp_common.hpp"
+
+int main() {
+    using namespace dynaddr;
+    bench::print_header("Admin renumbering",
+                        "En-masse prefix migration (paper future work)");
+
+    auto config = isp::presets::paper_scenario();
+    // Plant the event: LGI retires its first block in favour of a fresh
+    // one on 2015-07-15. Give the fresh block an announced aggregate.
+    const net::TimePoint when = net::TimePoint::from_date(2015, 7, 15);
+    for (auto& isp : config.isps) {
+        if (isp.asn != 6830) continue;
+        isp.pool_prefixes.push_back(net::IPv4Prefix::parse_or_throw("95.80.0.0/22"));
+        isp.announced_prefixes.push_back(
+            net::IPv4Prefix::parse_or_throw("95.80.0.0/16"));
+        isp::AdminRenumbering event;
+        event.when = when;
+        event.retire_pool_index = 0;  // 62.163.0.0/22
+        event.enable_pool_index = isp.pool_prefixes.size() - 1;
+        isp.admin_events.push_back(event);
+    }
+
+    auto experiment = bench::run_experiment(std::move(config));
+    const auto& events = experiment.results.admin_events;
+
+    std::cout << "Planted: AS6830 retires 62.163.0.0/16 for 95.80.0.0/16 on "
+              << when.to_string().substr(0, 10) << "\n\n";
+    std::cout << "Detected administrative renumberings:\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& event : events) {
+        const auto info = experiment.scenario.registry.find(event.asn);
+        rows.push_back({info ? info->name : "AS" + std::to_string(event.asn),
+                        event.retired_prefix.to_string(),
+                        event.destination_prefix.to_string(),
+                        event.first_departure.to_string().substr(0, 10) + " .. " +
+                            event.last_departure.to_string().substr(0, 10),
+                        std::to_string(event.probes_moved)});
+    }
+    if (rows.empty())
+        std::cout << "  (none)\n";
+    else
+        std::cout << chart::render_table(
+            {"AS", "Retired prefix", "Destination", "Departures", "Probes"},
+            rows);
+
+    bool planted_found = false;
+    for (const auto& event : events)
+        // A probe that rode out an outage across the event date shows a
+        // last-seen slightly before it, so allow a few days of slack.
+        planted_found = planted_found ||
+                        (event.asn == 6830 &&
+                         event.retired_prefix ==
+                             net::IPv4Prefix::parse_or_throw("62.163.0.0/16") &&
+                         event.first_departure >= when - net::Duration::days(4) &&
+                         event.last_departure <= when + net::Duration::days(4));
+    std::cout << "\nPlanted event recovered: " << (planted_found ? "YES" : "NO")
+              << "; false positives: "
+              << int(events.size()) - int(planted_found) << "\n";
+
+    bench::print_paper_note(
+        "\"we found only one instance of administrative renumbering — "
+        "reassignment of addresses en masse from one prefix to another\"; "
+        "quantifying how much address churn administrative renumbering "
+        "explains is listed as future work. This module implements that "
+        "detector and validates it against planted ground truth.");
+    bench::print_footer(experiment);
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Change-cause attribution — the paper's title, answered per change.
+//
+// Every address change of every analyzable probe is classified as
+// administrative, network-outage, power-outage, periodic, or unknown,
+// using the detectors the earlier experiments validated individually.
+// This is the synthesis the paper's conclusion sketches: per ISP, how
+// much churn does each mechanism explain?
+
+#include "exp_common.hpp"
+
+#include "core/change_attribution.hpp"
+
+int main() {
+    using namespace dynaddr;
+    bench::print_header("Change attribution",
+                        "Why did each dynamic address change?");
+
+    // The outage scenario carries k-root + uptime data so outage causes
+    // are attributable; plant an administrative renumbering in LGI so all
+    // five categories appear.
+    auto config = isp::presets::outage_scenario();
+    for (auto& isp : config.isps) {
+        if (isp.asn != 6830) continue;
+        isp.pool_prefixes.push_back(net::IPv4Prefix::parse_or_throw("95.80.0.0/22"));
+        isp.announced_prefixes.push_back(
+            net::IPv4Prefix::parse_or_throw("95.80.0.0/16"));
+        isp::AdminRenumbering event;
+        event.when = net::TimePoint::from_date(2015, 7, 15);
+        event.retire_pool_index = 0;
+        event.enable_pool_index = isp.pool_prefixes.size() - 1;
+        isp.admin_events.push_back(event);
+    }
+    auto experiment = bench::run_experiment(std::move(config));
+
+    const auto attribution = core::attribute_changes(
+        experiment.results, experiment.scenario.prefix_table,
+        experiment.scenario.registry);
+    std::cout << core::render_change_attribution(attribution) << "\n";
+
+    std::cout <<
+        "Reading the table:\n"
+        "  - Periodic dominates the session-timeout ISPs (Orange, DTAG,\n"
+        "    Telefonica, ...): the ISP itself is the renumbering agent.\n"
+        "  - Outage columns dominate the no-timeout PPP ISPs (Telecom\n"
+        "    Italia, Wind, BT's majority): the subscriber's environment is.\n"
+        "  - LGI shows the planted administrative burst plus outage-driven\n"
+        "    churn; sticky DHCP leaves almost nothing periodic.\n"
+        "  - Unknown collects what the datasets cannot see: reconnects\n"
+        "    between ping samples and the stable ISPs' week-scale lease\n"
+        "    management — which is why the paper warns that address\n"
+        "    tenure is not the same thing as lease duration.\n";
+
+    bench::print_paper_note(
+        "the paper attributes changes qualitatively (periodic ISPs in "
+        "Table 5, outage-driven ISPs in Table 6, one administrative event "
+        "observed) and calls the quantitative churn attribution future "
+        "work; this experiment performs it per change.");
+    bench::print_footer(experiment);
+    return 0;
+}

@@ -1,0 +1,47 @@
+// Daily active-address churn (paper §8, citing Richter et al., IMC 2016).
+//
+// "Recent research reports that there is continuous churn in the IPv4
+// address space: the set of addresses observed at a large CDN on one day
+// differs from the set of addresses observed on the next day by 8% on
+// average." This experiment computes the same day-over-day delta from
+// the probe fleet's vantage point, per AS, and shows how each
+// renumbering regime maps onto a churn level.
+
+#include "exp_common.hpp"
+
+#include "core/daily_churn.hpp"
+
+int main() {
+    using namespace dynaddr;
+    bench::print_header("Daily churn", "Day-over-day active-address delta");
+
+    auto experiment = bench::run_experiment(isp::presets::paper_scenario());
+    const auto churn = core::analyze_daily_churn(
+        experiment.results.filter.analyzable, experiment.results.mapping,
+        experiment.scenario.registry, experiment.results.window);
+
+    // Keep the table readable: All + the 15 biggest ASes.
+    core::DailyChurnAnalysis trimmed;
+    trimmed.all = churn.all;
+    for (std::size_t i = 0; i < churn.by_as.size() && i < 15; ++i)
+        trimmed.by_as.push_back(churn.by_as[i]);
+    std::cout << core::render_daily_churn(trimmed) << "\n";
+
+    std::cout <<
+        "Daily-periodic ISPs (DTAG, Telefonica, A1, ...) sit near 50%: a\n"
+        "day's active set holds the outgoing and the incoming address and\n"
+        "one of them leaves. Weekly ISPs sit near 1/7 ~ 14%; sticky-DHCP\n"
+        "ISPs churn single digits. A population's aggregate churn is the\n"
+        "probe-weighted mix of its regimes.\n";
+
+    bench::print_paper_note(
+        "Richter et al. measure 8% mean daily churn at a CDN's global "
+        "vantage; our fleet-weighted aggregate is far higher because the "
+        "RIPE Atlas world (and the paper's) is deliberately biased toward "
+        "the periodically-renumbering European ISPs under study. The "
+        "per-regime levels — ~50% daily / ~14% weekly / single-digit "
+        "stable — are the decomposition the paper's §8 proposes to "
+        "attribute that churn.");
+    bench::print_footer(experiment);
+    return 0;
+}

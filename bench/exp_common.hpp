@@ -1,0 +1,88 @@
+#pragma once
+
+// Shared harness for the experiment binaries under bench/. Each binary
+// regenerates one table or figure of "Reasons Dynamic Addresses Change"
+// (IMC 2016): it simulates the preset world, runs the analysis pipeline
+// over the emitted datasets, and prints the measured artifact next to the
+// values the paper reports. Absolute numbers differ (our substrate is a
+// calibrated simulator, the paper's was the real RIPE Atlas fleet); the
+// shape is what must match.
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "isp/presets.hpp"
+#include "netcore/ascii_chart.hpp"
+
+namespace dynaddr::bench {
+
+/// A scenario run plus its analysis, with wall-clock accounting.
+struct Experiment {
+    isp::ScenarioConfig config;
+    isp::ScenarioResult scenario;
+    core::AnalysisResults results;
+    std::int64_t sim_ms = 0;
+    std::int64_t analysis_ms = 0;
+};
+
+inline Experiment run_experiment(isp::ScenarioConfig config,
+                                 core::PipelineConfig pipeline_config = {}) {
+    Experiment experiment;
+    experiment.config = std::move(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    experiment.scenario = isp::run_scenario(experiment.config);
+    const auto t1 = std::chrono::steady_clock::now();
+    core::AnalysisPipeline pipeline(pipeline_config);
+    experiment.results = pipeline.run(
+        experiment.scenario.bundle, experiment.scenario.prefix_table,
+        experiment.scenario.registry, experiment.config.window);
+    const auto t2 = std::chrono::steady_clock::now();
+    experiment.sim_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count();
+    experiment.analysis_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(t2 - t1).count();
+    return experiment;
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+    std::cout << std::string(78, '=') << "\n"
+              << id << " — " << title << "\n"
+              << std::string(78, '=') << "\n";
+}
+
+inline void print_footer(const Experiment& experiment) {
+    std::cout << "\n[" << experiment.scenario.bundle.connection_log.size()
+              << " connection-log rows, "
+              << experiment.scenario.bundle.kroot_pings.size()
+              << " k-root records; simulated in " << experiment.sim_ms
+              << " ms, analyzed in " << experiment.analysis_ms << " ms]\n";
+}
+
+inline void print_paper_note(const std::string& note) {
+    std::cout << "\nPaper reports: " << note << "\n";
+}
+
+/// TTF CDF of one analysis grouping as a chart series, x in hours.
+inline chart::Series ttf_series(const std::string& label,
+                                const core::TotalTimeFraction& ttf) {
+    chart::Series series;
+    series.label = label + " (" + core::fmt(ttf.total_hours() / 8760.0, 1) + "y)";
+    series.points = ttf.cdf().points();
+    return series;
+}
+
+/// Standard log-x chart options for duration CDFs (Figures 1-3).
+inline chart::ChartOptions duration_chart_options() {
+    chart::ChartOptions options;
+    options.log_x = true;
+    options.width = 68;
+    options.height = 18;
+    options.x_label = "IP address-duration, hours (log scale)";
+    options.y_label = "Fraction of total address-duration (CDF)";
+    return options;
+}
+
+}  // namespace dynaddr::bench

@@ -1,0 +1,66 @@
+// Figures 4 and 5 — are periodic address changes synchronized?
+//
+// For every tenure of exactly the AS's period d, bucket the UTC hour at
+// which it ended. Orange's weekly changes run on free-running per-session
+// clocks and spread across the day; DTAG's daily changes cluster in the
+// night hours because most CPEs carry the configurable privacy-reconnect
+// feature.
+
+#include "exp_common.hpp"
+
+namespace {
+
+std::array<int, 24> histogram_for_as(const dynaddr::core::AnalysisResults& results,
+                                     std::uint32_t asn, double d_hours) {
+    std::vector<dynaddr::core::ProbeChanges> subset;
+    for (const auto& changes : results.changes) {
+        auto probe_as = results.mapping.as_of(changes.probe);
+        if (probe_as && *probe_as == asn) subset.push_back(changes);
+    }
+    return dynaddr::core::sync_histogram(subset, d_hours);
+}
+
+void print_histogram(const char* title, const std::array<int, 24>& histogram) {
+    std::cout << title << "\n";
+    std::vector<std::pair<std::string, double>> bars;
+    for (int h = 0; h < 24; ++h)
+        bars.emplace_back((h < 10 ? "0" : "") + std::to_string(h) + ":00",
+                          histogram[std::size_t(h)]);
+    std::cout << dynaddr::chart::render_bar_chart(bars, 48) << "\n";
+}
+
+}  // namespace
+
+int main() {
+    using namespace dynaddr;
+    bench::print_header("Figures 4-5", "Hour of day of periodic address changes");
+
+    auto experiment = bench::run_experiment(isp::presets::paper_scenario());
+    const auto& results = experiment.results;
+
+    const auto orange = histogram_for_as(results, 3215, 168.0);
+    const auto dtag = histogram_for_as(results, 3320, 24.0);
+    print_histogram("Figure 4 — Orange, weekly changes per end hour (GMT):",
+                    orange);
+    print_histogram("Figure 5 — DTAG, daily changes per end hour (GMT):", dtag);
+
+    auto night_share = [](const std::array<int, 24>& histogram) {
+        int night = 0, total = 0;
+        for (int h = 0; h < 24; ++h) {
+            total += histogram[std::size_t(h)];
+            if (h <= 6) night += histogram[std::size_t(h)];
+        }
+        return total == 0 ? 0.0 : double(night) / total;
+    };
+    std::cout << "Share of changes ending in hours 0-6: Orange "
+              << core::fmt(100.0 * night_share(orange), 1) << "%, DTAG "
+              << core::fmt(100.0 * night_share(dtag), 1) << "%\n";
+
+    bench::print_paper_note(
+        "Orange's periodic changes are spread roughly evenly over the day "
+        "(free-running clocks); almost three quarters of DTAG's land "
+        "between hours 0 and 6 (CPE privacy-reconnect), the rest elsewhere "
+        "because not every CPE has the feature.");
+    bench::print_footer(experiment);
+    return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 6 — probes rebooting per day, with firmware-release spikes.
+//
+// Releases mark every probe pending-install; each installs at its next
+// natural connection break (daily for periodic ISPs) or at a forced nudge
+// within ~2.5 days, so releases appear as multi-day spikes over the
+// baseline reboot noise. The detector recovers the release days and the
+// pipeline discards each probe's first post-release reboot so installs do
+// not masquerade as power outages.
+
+#include "exp_common.hpp"
+
+int main() {
+    using namespace dynaddr;
+    bench::print_header("Figure 6", "Reboots per day and firmware spikes");
+
+    auto experiment = bench::run_experiment(isp::presets::outage_scenario());
+    const auto& results = experiment.results;
+
+    std::cout << core::render_firmware_series(results.firmware, results.window)
+              << "\n";
+
+    std::cout << "Scheduled release days (ground truth):\n";
+    for (const auto& release : experiment.config.firmware_releases)
+        std::cout << "  " << release.to_string().substr(0, 10) << "\n";
+
+    int matched = 0;
+    for (const auto& inferred : results.firmware.release_days)
+        for (const auto& truth : experiment.config.firmware_releases)
+            if (inferred >= truth - net::Duration::days(1) &&
+                inferred <= truth + net::Duration::days(2))
+                ++matched;
+    std::cout << "Inferred releases matching ground truth (+-1/+2 days): "
+              << matched << "/" << results.firmware.release_days.size() << "\n";
+
+    bench::print_paper_note(
+        "five spike periods in 2015 with >2x the median reboots for >=2 "
+        "consecutive days; inferred days Jan 25, Mar 23, Apr 14, Jul 6, "
+        "Oct 5 — three matching documented RIPE updates exactly.");
+    bench::print_footer(experiment);
+    return 0;
+}

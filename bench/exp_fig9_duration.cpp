@@ -1,0 +1,54 @@
+// Figure 9 — renumbering likelihood vs outage duration, LGI vs Orange.
+//
+// LGI behaves like textbook DHCP: almost no renumbering for sub-hour
+// outages, a rising fraction as outages outlive the lease, and a majority
+// renumbered beyond a day. Orange renumbers even on the shortest outages
+// (PPPoE: any reconnect draws a fresh address).
+
+#include "exp_common.hpp"
+
+namespace {
+
+void print_bins(const char* title, const dynaddr::core::DurationBinAnalysis& bins) {
+    std::cout << title << "\n";
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t b = 0; b < bins.total.bin_count(); ++b) {
+        rows.push_back({bins.total.bin_label(b),
+                        dynaddr::core::fmt(bins.total.bin_weight(b), 0),
+                        dynaddr::core::fmt(bins.renumbered.bin_weight(b), 0),
+                        dynaddr::core::fmt(bins.percent_renumbered(b), 1) + "%"});
+    }
+    std::cout << dynaddr::chart::render_table(
+        {"Outage duration", "Outages", "Renumbered", "%"}, rows);
+    std::vector<std::tuple<std::string, double, double>> fractions;
+    for (std::size_t b = 0; b < bins.total.bin_count(); ++b)
+        if (bins.total.bin_weight(b) > 0)
+            fractions.emplace_back(bins.total.bin_label(b),
+                                   bins.renumbered.bin_weight(b),
+                                   bins.total.bin_weight(b));
+    std::cout << dynaddr::chart::render_fraction_chart(fractions, 40) << "\n";
+}
+
+}  // namespace
+
+int main() {
+    using namespace dynaddr;
+    bench::print_header("Figure 9", "Renumbering likelihood vs outage duration");
+
+    auto experiment = bench::run_experiment(isp::presets::outage_scenario());
+    const auto& results = experiment.results;
+
+    const auto lgi = core::duration_bins_for_as(results, 6830);
+    const auto orange = core::duration_bins_for_as(results, 3215);
+    print_bins("LGI (AS6830) — network + power outages:", lgi);
+    print_bins("Orange (AS3215) — network + power outages:", orange);
+
+    bench::print_paper_note(
+        "LGI: <3% of sub-hour outages renumber; >25% at 12 h; the majority "
+        "of multi-day outages do — consistent with a few-hour DHCP lease "
+        "plus pool churn. Orange: 91% of sub-5-minute outages renumber, "
+        ">75% up to 3 h, ~50% for 3 h-3 d (CPEs that do not renumber every "
+        "time), and nearly all beyond 3 days.");
+    bench::print_footer(experiment);
+    return 0;
+}

@@ -1,0 +1,34 @@
+// Table 2 — probe filtering census.
+//
+// The paper starts from 10,977 probes and discards those whose address
+// alternation does not indicate dynamic reassignment. Our world is built
+// at roughly 1:10 of the paper's special populations plus the full CPE
+// fleet, so absolute counts differ; what must match is that every planted
+// behaviour lands in its intended bin and that the analyzable remainder
+// splits into single-AS and multi-AS groups.
+
+#include "exp_common.hpp"
+
+int main() {
+    using namespace dynaddr;
+    bench::print_header("Table 2", "Probe filtering census");
+
+    auto experiment = bench::run_experiment(isp::presets::paper_scenario());
+    const auto& results = experiment.results;
+
+    std::cout << core::render_table2(results.filter) << "\n";
+    std::cout << "Analyzable (geography):  "
+              << results.filter.count(core::ProbeCategory::Analyzable) << "\n";
+    std::cout << "  Multiple ASes:         " << results.mapping.multi_as.size()
+              << "\n";
+    std::cout << "Analyzable (AS-level):   " << results.mapping.single_as.size()
+              << "\n";
+
+    bench::print_paper_note(
+        "10,977 total; 3,073 never changed; 3,728 dual stack; 237 IPv6; 174 "
+        "tagged; 511 alternating-multihomed; 216 testing-address-only; 3,038 "
+        "analyzable (geography); 766 multi-AS; 2,272 analyzable (AS-level). "
+        "Our populations are ~1:10 for specials and ~1:3 for CPE probes.");
+    bench::print_footer(experiment);
+    return 0;
+}

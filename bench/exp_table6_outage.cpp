@@ -1,0 +1,38 @@
+// Table 6 — conditional probability of renumbering upon outages.
+//
+// Network outages come from all-pings-lost k-root runs with growing LTS;
+// power outages from uptime-counter resets coincident with missing pings
+// (v3 probes only, firmware reboots filtered). For probes with >= 3
+// outages of both kinds, the table shows what share renumber on more than
+// 80% (and on all) of their outages.
+
+#include "exp_common.hpp"
+
+int main() {
+    using namespace dynaddr;
+    bench::print_header("Table 6", "Address changes upon network/power outages");
+
+    auto experiment = bench::run_experiment(isp::presets::outage_scenario());
+    const auto& results = experiment.results;
+
+    std::cout << core::render_table6(results.cond_prob) << "\n";
+
+    std::size_t nw = 0, pw = 0;
+    for (const auto& [probe, list] : results.network_outages) nw += list.size();
+    for (const auto& [probe, list] : results.power_outages) pw += list.size();
+    std::cout << "Detected outages: " << nw << " network, " << pw << " power\n";
+    std::cout << "Firmware releases inferred (and their reboots filtered): "
+              << results.firmware.release_days.size() << "\n";
+
+    bench::print_paper_note(
+        "All row: N=1113, 29.1% / 16.9% / 28.3% / 14.6%. Orange N=84: 79% / "
+        "54% / 77% / 50%; Telecom Italia 71%/50%; BT 64%/55%; Proximus "
+        "70%/45%; DTAG 58%/47%; Vodafone 83%/75%; Wind 67%/42%; SFR 38%/25%; "
+        "ISKON 100%/50%; Rostelecom 71%/29%. PPP ISPs renumber on nearly "
+        "every outage; sticky-DHCP ISPs (LGI, Verizon) almost never — our "
+        "simulated PPP fleet is cleaner than the real one, so its "
+        "percentages sit higher, but the PPP-vs-DHCP split and the AS "
+        "ordering match.");
+    bench::print_footer(experiment);
+    return 0;
+}

@@ -1,0 +1,206 @@
+// Google-benchmark microbenchmarks for the performance-critical pieces:
+// longest-prefix match, log parsing, change extraction, TTF computation,
+// the event engine, pool allocation, and the end-to-end pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "dhcp/wire.hpp"
+#include "netcore/ipv6.hpp"
+#include "isp/presets.hpp"
+
+namespace {
+
+using namespace dynaddr;
+
+// -- radix trie LPM ----------------------------------------------------------
+
+bgp::RadixTrie build_trie(int routes) {
+    rng::Stream rng(1);
+    bgp::RadixTrie trie;
+    for (int i = 0; i < routes; ++i) {
+        const net::IPv4Address base{std::uint32_t(rng.next_u64())};
+        trie.insert(net::IPv4Prefix{base, int(rng.uniform_int(8, 24))},
+                    std::uint32_t(i));
+    }
+    return trie;
+}
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+    const auto trie = build_trie(int(state.range(0)));
+    rng::Stream rng(2);
+    std::vector<net::IPv4Address> addresses;
+    for (int i = 0; i < 4096; ++i)
+        addresses.emplace_back(std::uint32_t(rng.next_u64()));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trie.longest_match(addresses[i & 4095]));
+        ++i;
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// -- connection-log CSV parse -------------------------------------------------
+
+void BM_ConnectionLogParse(benchmark::State& state) {
+    // Build a realistic CSV once.
+    std::vector<atlas::ConnectionLogEntry> entries;
+    rng::Stream rng(3);
+    net::TimePoint t = net::TimePoint::from_date(2015, 1, 1);
+    for (int i = 0; i < 10000; ++i) {
+        atlas::ConnectionLogEntry e;
+        e.probe = atlas::ProbeId(i % 100);
+        e.start = t;
+        e.end = t + net::Duration::hours(23);
+        e.address = atlas::PeerAddress::ipv4(
+            net::IPv4Address{std::uint32_t(rng.next_u64())});
+        entries.push_back(e);
+        t += net::Duration::minutes(7);
+    }
+    std::stringstream buffer;
+    atlas::write_connection_log_csv(buffer, entries);
+    const std::string csv = buffer.str();
+    for (auto _ : state) {
+        std::istringstream in(csv);
+        benchmark::DoNotOptimize(atlas::read_connection_log_csv(in));
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 10000);
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(csv.size()));
+}
+BENCHMARK(BM_ConnectionLogParse);
+
+// -- change extraction + TTF --------------------------------------------------
+
+core::ProbeLog synthetic_log(int entries) {
+    core::ProbeLog log;
+    log.probe = 1;
+    rng::Stream rng(4);
+    net::TimePoint t = net::TimePoint::from_date(2015, 1, 1);
+    for (int i = 0; i < entries; ++i) {
+        atlas::ConnectionLogEntry e;
+        e.probe = 1;
+        e.start = t;
+        e.end = t + net::Duration::hours(23);
+        e.address = atlas::PeerAddress::ipv4(
+            net::IPv4Address{std::uint32_t(rng.uniform_int(1, 1 << 20))});
+        log.entries.push_back(e);
+        t += net::Duration::hours(24);
+    }
+    return log;
+}
+
+void BM_ExtractChanges(benchmark::State& state) {
+    const auto log = synthetic_log(365);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::extract_changes(log));
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 365);
+}
+BENCHMARK(BM_ExtractChanges);
+
+void BM_TotalTimeFraction(benchmark::State& state) {
+    const auto changes = core::extract_changes(synthetic_log(365));
+    for (auto _ : state) {
+        core::TotalTimeFraction ttf;
+        ttf.add_all(changes.spans);
+        benchmark::DoNotOptimize(ttf.fraction_at(24.0));
+    }
+}
+BENCHMARK(BM_TotalTimeFraction);
+
+// -- event engine --------------------------------------------------------------
+
+void BM_EventEngine(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Simulation sim(net::TimePoint{0});
+        rng::Stream rng(5);
+        // Self-rescheduling workload of `range` concurrent timers.
+        std::int64_t fired = 0;
+        std::function<void(net::TimePoint)> tick = [&](net::TimePoint) {
+            ++fired;
+            if (fired < state.range(0) * 16)
+                sim.after(net::Duration{rng.uniform_int(1, 1000)}, tick);
+        };
+        for (int i = 0; i < state.range(0); ++i)
+            sim.after(net::Duration{rng.uniform_int(1, 1000)}, tick);
+        sim.run_all();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            state.range(0) * 16);
+}
+BENCHMARK(BM_EventEngine)->Arg(100)->Arg(1000);
+
+// -- pool allocation -------------------------------------------------------------
+
+void BM_PoolChurn(benchmark::State& state) {
+    pool::AddressPool pool(
+        pool::PoolConfig{{net::IPv4Prefix::parse_or_throw("10.0.0.0/18")},
+                         pool::AllocationStrategy::RandomSpread, 0.0, 0.0},
+        rng::Stream(6));
+    pool::ClientId client = 1;
+    for (auto _ : state) {
+        const auto addr = pool.allocate(client, net::TimePoint{0});
+        benchmark::DoNotOptimize(addr);
+        pool.release(client);
+        ++client;
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_PoolChurn);
+
+// -- IPv6 text codec -----------------------------------------------------------
+
+void BM_Ipv6ParseFormat(benchmark::State& state) {
+    rng::Stream rng(7);
+    std::vector<std::string> texts;
+    for (int i = 0; i < 1024; ++i)
+        texts.push_back(
+            net::IPv6Address{rng.next_u64(), rng.next_u64()}.to_string());
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::IPv6Address::parse(texts[i & 1023]));
+        ++i;
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_Ipv6ParseFormat);
+
+// -- DHCP wire codec -------------------------------------------------------------
+
+void BM_DhcpWireRoundTrip(benchmark::State& state) {
+    dhcp::WireMessage message;
+    message.type = dhcp::MessageType::Request;
+    message.xid = 0x12345678;
+    message.requested_address = net::IPv4Address(10, 0, 0, 5);
+    message.lease_seconds = 14400;
+    message.server_id = net::IPv4Address(10, 0, 0, 1);
+    message.client_id = {1, 2, 3, 4, 5, 6, 7};
+    for (auto _ : state) {
+        const auto bytes = dhcp::encode(message);
+        benchmark::DoNotOptimize(dhcp::decode(bytes));
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_DhcpWireRoundTrip);
+
+// -- end-to-end -------------------------------------------------------------------
+
+void BM_QuickScenarioEndToEnd(benchmark::State& state) {
+    const auto config = isp::presets::quick_scenario();
+    for (auto _ : state) {
+        auto scenario = isp::run_scenario(config);
+        core::AnalysisPipeline pipeline;
+        auto results = pipeline.run(scenario.bundle, scenario.prefix_table,
+                                    scenario.registry, config.window);
+        benchmark::DoNotOptimize(results.changes.size());
+    }
+}
+BENCHMARK(BM_QuickScenarioEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Blacklist TTL advisor — the paper's motivating application.
+//
+// IP blacklists assume an address keeps pointing at the same host. This
+// example runs the full-year world and answers, per ISP: how long does a
+// dynamic address actually stick to one subscriber, can the subscriber
+// shed it on demand (reboot-to-evade), and how wide would you have to
+// block to keep covering them after a change?
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "isp/presets.hpp"
+#include "netcore/ascii_chart.hpp"
+
+int main() {
+    using namespace dynaddr;
+    std::cout << "Simulating a year of the paper's ISP world...\n";
+    const auto config = isp::presets::paper_scenario();
+    const auto scenario = isp::run_scenario(config);
+    core::AnalysisPipeline pipeline;
+    const auto results = pipeline.run(scenario.bundle, scenario.prefix_table,
+                                      scenario.registry, config.window);
+
+    // Per-AS tenure quantiles from the interior spans.
+    std::map<std::uint32_t, stats::Cdf> tenure;
+    for (const auto& changes : results.changes) {
+        auto asn = results.mapping.as_of(changes.probe);
+        if (!asn) continue;
+        for (const auto& span : changes.spans)
+            tenure[*asn].add(span.duration().to_hours());
+    }
+
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& row : results.prefix_changes.as_rows) {
+        auto cdf = tenure.find(row.asn);
+        if (cdf == tenure.end() || cdf->second.sample_count() < 50) continue;
+        const double median_h = cdf->second.quantile(0.5);
+        const double p90_h = cdf->second.quantile(0.9);
+        // Reboot-to-evade: is this AS in the "renumbers on any reconnect"
+        // club? Approximate with its cross-prefix change count being
+        // driven by PPP (period or outage renumbering).
+        const bool evadable = median_h <= 40.0;
+        rows.push_back(
+            {row.as_name, std::to_string(cdf->second.sample_count()),
+             core::fmt(median_h, 1) + "h", core::fmt(p90_h, 1) + "h",
+             evadable ? "yes" : "unlikely",
+             core::fmt(row.pct_bgp(), 0) + "%",
+             core::fmt(row.pct_8(), 0) + "%"});
+    }
+    std::cout << "\nHow long does a blacklisted dynamic address stay valid?\n";
+    std::cout << chart::render_table({"AS", "tenures", "median", "p90",
+                                      "reboot-evade?", "escapes BGP pfx",
+                                      "escapes /8"},
+                                     rows);
+
+    std::cout <<
+        "\nReading the table:\n"
+        "  - median/p90: how long an address keeps identifying one "
+        "subscriber.\n"
+        "  - reboot-evade: in daily/weekly-periodic PPP ISPs a malicious "
+        "user\n    sheds a blacklisted address by power-cycling the CPE "
+        "(paper section 5.4).\n"
+        "  - escape columns: after a change, that share of new addresses "
+        "lies\n    outside the old BGP prefix / enclosing /8 — even "
+        "/8-wide blocking\n    fails for a third of changes (paper Table "
+        "7).\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: simulate a small world of ISPs for two months, run the full
+// analysis pipeline over the emitted datasets, and print what the paper's
+// methodology recovers about each ISP's renumbering behaviour.
+//
+// Build & run:   cmake --build build && ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "isp/presets.hpp"
+
+int main() {
+    using namespace dynaddr;
+
+    // 1. Simulate: four ISPs (weekly-periodic Orange, daily-periodic DTAG,
+    //    DHCP-sticky LGI, very stable Verizon) plus the probe populations
+    //    the filtering pipeline must discard.
+    std::cout << "Simulating two months of 2015...\n";
+    const isp::ScenarioConfig config = isp::presets::quick_scenario();
+    const isp::ScenarioResult scenario = isp::run_scenario(config);
+    std::cout << "  " << scenario.sim_events << " simulation events, "
+              << scenario.bundle.connection_log.size() << " connection-log rows, "
+              << scenario.bundle.kroot_pings.size() << " k-root records, "
+              << scenario.bundle.uptime_records.size() << " uptime records\n\n";
+
+    // 2. Analyze: the pipeline sees only the datasets — never the
+    //    simulator's ground truth.
+    core::AnalysisPipeline pipeline;
+    const core::AnalysisResults results = pipeline.run(
+        scenario.bundle, scenario.prefix_table, scenario.registry, config.window);
+
+    std::cout << core::render_summary(results) << "\n";
+    std::cout << "Probe filtering (Table 2 pipeline):\n"
+              << core::render_table2(results.filter) << "\n";
+    std::cout << "Periodic renumbering (Table 5 machinery):\n"
+              << core::render_table5(results.periodicity) << "\n";
+    std::cout << "Prefix changes (Table 7 machinery):\n"
+              << core::render_table7(results.prefix_changes) << "\n";
+    std::cout << "Outage renumbering (Table 6 machinery):\n"
+              << core::render_table6(results.cond_prob) << "\n";
+
+    // 3. Read one concrete answer off the results: how long does an
+    //    address live in each ISP?
+    std::cout << "Detected periodic probes per configured ISP:\n";
+    for (const auto& row : results.periodicity.as_rows)
+        std::cout << "  " << row.as_name << ": period " << row.d_hours
+                  << " h, " << row.periodic_probes << "/"
+                  << row.probes_with_change << " probes periodic\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "atlas/controller.hpp"
+
+#include <utility>
+
+#include "atlas/probe.hpp"
+#include "netcore/error.hpp"
+
+namespace dynaddr::atlas {
+
+Controller::Controller(sim::Simulation& sim, rng::Stream rng)
+    : sim_(&sim), rng_(rng) {}
+
+void Controller::register_probe(Probe& probe) { probes_.push_back(&probe); }
+
+void Controller::schedule_firmware_release(net::TimePoint release) {
+    releases_.push_back(release);
+    sim_->at(release, [this](net::TimePoint when) { release_firmware(when); });
+}
+
+void Controller::set_force_window(net::Duration min, net::Duration max) {
+    if (max < min) throw Error("force window max < min");
+    force_min_ = min;
+    force_max_ = max;
+}
+
+void Controller::record_connection(const ConnectionLogEntry& entry) {
+    connection_log_.push_back(entry);
+}
+
+void Controller::record_uptime(const UptimeRecord& record) {
+    uptime_records_.push_back(record);
+}
+
+void Controller::drain_into(DatasetBundle& bundle) {
+    bundle.connection_log.insert(bundle.connection_log.end(),
+                                 connection_log_.begin(), connection_log_.end());
+    bundle.uptime_records.insert(bundle.uptime_records.end(),
+                                 uptime_records_.begin(), uptime_records_.end());
+    connection_log_.clear();
+    uptime_records_.clear();
+}
+
+void Controller::release_firmware(net::TimePoint) {
+    for (Probe* probe : probes_) {
+        probe->firmware_released();
+        const net::Duration nudge{
+            rng_.uniform_int(force_min_.count(), force_max_.count())};
+        sim_->after(nudge, [probe](net::TimePoint) {
+            probe->force_firmware_install();
+        });
+    }
+}
+
+}  // namespace dynaddr::atlas

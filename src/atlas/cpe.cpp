@@ -1,0 +1,171 @@
+#include "atlas/cpe.hpp"
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::atlas {
+
+Cpe::Cpe(CpeConfig config, pool::ClientId subscriber, sim::Simulation& sim,
+         rng::Stream rng, Probe& probe, Timeline& timeline,
+         dhcp::Server* dhcp_server, ppp::RadiusServer* radius)
+    : config_(config),
+      subscriber_(subscriber),
+      sim_(&sim),
+      rng_(rng),
+      probe_(&probe),
+      timeline_(&timeline),
+      dhcp_server_(dhcp_server),
+      radius_(radius) {
+    const bool want_dhcp = config_.wan == CpeConfig::Wan::Dhcp;
+    if (want_dhcp != (dhcp_server != nullptr) || want_dhcp == (radius != nullptr))
+        throw Error("CPE backend does not match configured WAN protocol");
+    reconnect_minute_offset_ = net::Duration{rng_.uniform_int(0, 3599)};
+    build_client();
+}
+
+void Cpe::start() {
+    if (powered_) return;
+    powered_ = true;
+    booted_ = true;  // initial install: assume CPE already running
+    probe_->power_on(RebootCause::InitialPowerOn);
+    if (config_.wan == CpeConfig::Wan::Dhcp)
+        dhcp_client_->power_on();
+    else
+        ppp_session_->power_on();
+    if (config_.daily_reconnect_hour) schedule_daily_reconnect();
+}
+
+void Cpe::power_fail() {
+    if (!powered_) return;
+    powered_ = false;
+    booted_ = false;
+    if (boot_event_) {
+        sim_->cancel(*boot_event_);
+        boot_event_.reset();
+    }
+    if (config_.probe_usb_powered) probe_->power_off();
+    // Power cut is abrupt: no DHCPRELEASE; the PPP session dies and the
+    // BRAS sees lost carrier.
+    if (config_.wan == CpeConfig::Wan::Dhcp)
+        dhcp_client_->power_off(/*graceful=*/false);
+    else
+        ppp_session_->power_off();
+}
+
+void Cpe::power_restore() {
+    if (powered_) return;
+    powered_ = true;
+    if (config_.probe_usb_powered) probe_->power_on(RebootCause::PowerCycle);
+    const net::Duration boot{
+        rng_.uniform_int(config_.boot_min.count(), config_.boot_max.count())};
+    boot_event_ = sim_->after(boot, [this](net::TimePoint) {
+        boot_event_.reset();
+        booted_ = true;
+        if (config_.wan == CpeConfig::Wan::Dhcp)
+            dhcp_client_->power_on();
+        else
+            ppp_session_->power_on();
+    });
+}
+
+void Cpe::net_fail() {
+    if (!net_up_) return;
+    net_up_ = false;
+    timeline_->net_down_begin(sim_->now());
+    probe_->wan_update(std::nullopt);
+    if (config_.wan == CpeConfig::Wan::Dhcp)
+        dhcp_client_->link_lost();
+    else
+        ppp_session_->link_lost();
+}
+
+void Cpe::net_restore() {
+    if (net_up_) return;
+    net_up_ = true;
+    timeline_->net_down_end(sim_->now());
+    if (config_.wan == CpeConfig::Wan::Dhcp) {
+        dhcp_client_->link_restored();
+        // A DHCP lease can ride out a short outage: connectivity on the
+        // held address resumes immediately.
+        if (address_) probe_->wan_update(PeerAddress::ipv4(*address_));
+    } else {
+        ppp_session_->link_restored();
+    }
+}
+
+void Cpe::switch_backend(dhcp::Server* dhcp_server, ppp::RadiusServer* radius,
+                         CpeConfig::Wan wan) {
+    // Orderly teardown of the old WAN attachment.
+    if (config_.wan == CpeConfig::Wan::Dhcp)
+        dhcp_client_->power_off(/*graceful=*/true);
+    else
+        ppp_session_->power_off();
+    address_.reset();
+    timeline_->clear_address(sim_->now());
+    probe_->wan_update(std::nullopt);
+
+    config_.wan = wan;
+    dhcp_server_ = dhcp_server;
+    radius_ = radius;
+    const bool want_dhcp = wan == CpeConfig::Wan::Dhcp;
+    if (want_dhcp != (dhcp_server != nullptr) || want_dhcp == (radius != nullptr))
+        throw Error("CPE backend does not match configured WAN protocol");
+    build_client();
+    if (powered_ && booted_) {
+        if (want_dhcp)
+            dhcp_client_->power_on();
+        else
+            ppp_session_->power_on();
+    }
+}
+
+std::optional<net::IPv4Address> Cpe::wan_address() const { return address_; }
+
+void Cpe::build_client() {
+    dhcp_client_.reset();
+    ppp_session_.reset();
+    auto reachable = [this] { return this->reachable(); };
+    if (config_.wan == CpeConfig::Wan::Dhcp) {
+        dhcp_client_ = std::make_unique<dhcp::Client>(
+            config_.dhcp, subscriber_, *dhcp_server_, *sim_, reachable);
+        dhcp_client_->set_on_acquired(
+            [this](net::IPv4Address a) { on_acquired(a); });
+        dhcp_client_->set_on_lost([this](dhcp::LossReason) { on_lost(); });
+    } else {
+        ppp_session_ = std::make_unique<ppp::Session>(
+            config_.ppp, subscriber_, *radius_, *sim_, rng_.child("ppp"),
+            reachable);
+        ppp_session_->set_on_acquired(
+            [this](net::IPv4Address a) { on_acquired(a); });
+        ppp_session_->set_on_lost([this](ppp::StopReason) { on_lost(); });
+    }
+}
+
+void Cpe::on_acquired(net::IPv4Address address) {
+    address_ = address;
+    timeline_->set_address(sim_->now(), PeerAddress::ipv4(address));
+    if (net_up_) probe_->wan_update(PeerAddress::ipv4(address));
+}
+
+void Cpe::on_lost() {
+    address_.reset();
+    timeline_->clear_address(sim_->now());
+    probe_->wan_update(std::nullopt);
+}
+
+void Cpe::schedule_daily_reconnect() {
+    // Next occurrence of the configured hour (plus this CPE's fixed
+    // minute offset), strictly in the future.
+    const int hour = *config_.daily_reconnect_hour;
+    const std::int64_t day_start =
+        sim_->now().unix_seconds() - sim_->now().unix_seconds() % 86400;
+    net::TimePoint next{day_start + hour * 3600 + reconnect_minute_offset_.count()};
+    while (next <= sim_->now()) next += net::Duration::days(1);
+    reconnect_event_ = sim_->at(next, [this](net::TimePoint) {
+        reconnect_event_.reset();
+        if (config_.wan == CpeConfig::Wan::Ppp && powered_ && booted_)
+            ppp_session_->reconnect_now();
+        schedule_daily_reconnect();
+    });
+}
+
+}  // namespace dynaddr::atlas

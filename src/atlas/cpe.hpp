@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "atlas/probe.hpp"
+#include "atlas/timeline.hpp"
+#include "dhcp/client.hpp"
+#include "ppp/session.hpp"
+
+namespace dynaddr::atlas {
+
+/// CPE behaviour parameters.
+struct CpeConfig {
+    enum class Wan { Dhcp, Ppp };
+    Wan wan = Wan::Dhcp;
+    /// The probe draws USB power from the CPE and power-cycles with it
+    /// (the typical install the paper relies on for fate sharing). When
+    /// false the probe has its own supply and survives CPE power cuts —
+    /// the paper's false-negative scenario.
+    bool probe_usb_powered = true;
+    /// PPP privacy feature: disconnect/reconnect daily at this UTC hour
+    /// (minute offset drawn once per CPE), so the address change lands in
+    /// a fixed night window (paper Figure 5).
+    std::optional<int> daily_reconnect_hour;
+    /// CPE boot time after power returns, before WAN dialing starts.
+    net::Duration boot_min = net::Duration::seconds(30);
+    net::Duration boot_max = net::Duration::seconds(120);
+    dhcp::ClientConfig dhcp;
+    ppp::SessionConfig ppp;
+};
+
+/// A customer-premises router with one WAN interface (DHCP or PPPoE) and
+/// a RIPE Atlas probe behind it.
+///
+/// The CPE owns the WAN client, forwards usable-connectivity changes to
+/// the probe, applies injected power/network outages, and writes ground
+/// truth (address epochs, network-down intervals) to the Timeline.
+class Cpe {
+public:
+    /// Exactly one of `dhcp_server` / `radius` must be non-null, matching
+    /// `config.wan`. All references must outlive the CPE.
+    Cpe(CpeConfig config, pool::ClientId subscriber, sim::Simulation& sim,
+        rng::Stream rng, Probe& probe, Timeline& timeline,
+        dhcp::Server* dhcp_server, ppp::RadiusServer* radius);
+
+    Cpe(const Cpe&) = delete;
+    Cpe& operator=(const Cpe&) = delete;
+
+    /// Initial installation: powers CPE and probe on at the current time.
+    void start();
+
+    // -- injected outages ---------------------------------------------------
+    void power_fail();
+    void power_restore();
+    void net_fail();
+    void net_restore();
+
+    /// Moves the subscriber to a different ISP backend (cross-AS movers in
+    /// the paper's Table 2). Drops the current WAN session and redials
+    /// against the new server.
+    void switch_backend(dhcp::Server* dhcp_server, ppp::RadiusServer* radius,
+                        CpeConfig::Wan wan);
+
+    [[nodiscard]] std::optional<net::IPv4Address> wan_address() const;
+    [[nodiscard]] bool powered() const { return powered_; }
+    [[nodiscard]] bool network_up() const { return net_up_; }
+
+private:
+    void build_client();
+    void on_acquired(net::IPv4Address address);
+    void on_lost();
+    void schedule_daily_reconnect();
+    [[nodiscard]] bool reachable() const { return powered_ && booted_ && net_up_; }
+
+    CpeConfig config_;
+    pool::ClientId subscriber_;
+    sim::Simulation* sim_;
+    rng::Stream rng_;
+    Probe* probe_;
+    Timeline* timeline_;
+    dhcp::Server* dhcp_server_;
+    ppp::RadiusServer* radius_;
+
+    std::unique_ptr<dhcp::Client> dhcp_client_;
+    std::unique_ptr<ppp::Session> ppp_session_;
+
+    bool powered_ = false;
+    bool booted_ = false;
+    bool net_up_ = true;
+    std::optional<net::IPv4Address> address_;
+    std::optional<sim::EventId> boot_event_;
+    std::optional<sim::EventId> reconnect_event_;
+    net::Duration reconnect_minute_offset_{0};
+};
+
+}  // namespace dynaddr::atlas

@@ -1,0 +1,214 @@
+#include "atlas/probe.hpp"
+
+#include <algorithm>
+
+#include "atlas/controller.hpp"
+#include "netcore/error.hpp"
+
+namespace dynaddr::atlas {
+
+Probe::Probe(ProbeConfig config, sim::Simulation& sim, rng::Stream rng,
+             Controller& controller, Timeline& timeline)
+    : config_(config),
+      sim_(&sim),
+      rng_(rng),
+      controller_(&controller),
+      timeline_(&timeline) {
+    if (timeline.probe() != config.id) throw Error("timeline/probe id mismatch");
+    // The probe is down until first powered on.
+    timeline_->probe_down_begin(sim_->now());
+}
+
+void Probe::power_on(RebootCause cause) {
+    if (state_ != State::Off) return;
+    begin_boot(cause, /*installing_firmware=*/false);
+}
+
+void Probe::power_off() {
+    if (state_ == State::Off) return;
+    if (connection_) {
+        const net::TimePoint break_at = impaired_since_.value_or(sim_->now());
+        close_connection(break_at - draw(net::Duration{0}, config_.end_jitter_max));
+    }
+    clear_impairment();
+    if (connect_event_) {
+        sim_->cancel(*connect_event_);
+        connect_event_.reset();
+    }
+    if (boot_event_) {
+        sim_->cancel(*boot_event_);
+        boot_event_.reset();
+    }
+    if (frag_event_) {
+        sim_->cancel(*frag_event_);
+        frag_event_.reset();
+    }
+    state_ = State::Off;
+    timeline_->probe_down_begin(sim_->now());
+}
+
+void Probe::wan_update(std::optional<PeerAddress> address) {
+    wan_ = address;
+    if (state_ != State::Running) return;
+
+    if (connection_) {
+        if (address && *address == connection_->address) {
+            // Connectivity restored on the same address before TCP gave
+            // up: the connection survives; no log entry.
+            clear_impairment();
+        } else {
+            // Address changed or connectivity lost: the connection is
+            // logically dead; TCP will notice after retransmission
+            // exhaustion.
+            begin_impairment();
+        }
+        return;
+    }
+    if (address) schedule_connect_attempt();
+}
+
+void Probe::firmware_released() { pending_firmware_ = true; }
+
+void Probe::force_firmware_install() {
+    if (!pending_firmware_ || state_ != State::Running) return;
+    if (connection_) {
+        // Closing the connection triggers the pending install itself.
+        clear_impairment();
+        close_connection(sim_->now() -
+                         draw(net::Duration{0}, config_.end_jitter_max));
+        return;
+    }
+    reboot(RebootCause::Firmware);
+}
+
+void Probe::flush_open_connection(net::TimePoint end) {
+    if (!connection_) return;
+    ConnectionLogEntry entry;
+    entry.probe = config_.id;
+    entry.start = connection_->start;
+    entry.end = std::max(connection_->start, impaired_since_.value_or(end));
+    entry.address = connection_->address;
+    controller_->record_connection(entry);
+}
+
+void Probe::begin_boot(RebootCause cause, bool installing_firmware) {
+    state_ = State::Booting;
+    timeline_->record_boot(sim_->now(), cause);
+    last_boot_ = sim_->now();
+    net::Duration boot_time = draw(config_.boot_min, config_.boot_max);
+    if (installing_firmware)
+        boot_time += draw(config_.firmware_install_min, config_.firmware_install_max);
+    boot_event_ = sim_->after(boot_time, [this](net::TimePoint) {
+        boot_event_.reset();
+        finish_boot();
+    });
+}
+
+void Probe::finish_boot() {
+    state_ = State::Running;
+    timeline_->probe_down_end(sim_->now());
+    if (wan_) schedule_connect_attempt();
+}
+
+void Probe::reboot(RebootCause cause) {
+    if (state_ == State::Off) return;
+    if (connection_)
+        close_connection(sim_->now() - draw(net::Duration{0}, config_.end_jitter_max));
+    clear_impairment();
+    if (connect_event_) {
+        sim_->cancel(*connect_event_);
+        connect_event_.reset();
+    }
+    if (boot_event_) {
+        sim_->cancel(*boot_event_);
+        boot_event_.reset();
+    }
+    if (frag_event_) {
+        sim_->cancel(*frag_event_);
+        frag_event_.reset();
+    }
+    const bool installing = cause == RebootCause::Firmware;
+    if (installing) pending_firmware_ = false;
+    timeline_->probe_down_begin(sim_->now());
+    begin_boot(cause, installing);
+}
+
+void Probe::close_connection(net::TimePoint last_data) {
+    if (!connection_) return;
+    ConnectionLogEntry entry;
+    entry.probe = config_.id;
+    entry.start = connection_->start;
+    entry.end = std::max(connection_->start, last_data);
+    entry.address = connection_->address;
+    controller_->record_connection(entry);
+    connection_.reset();
+    // A dropped connection is the trigger for installing pending firmware
+    // (paper §5.2: "when a probe's TCP connection to the central
+    // controller breaks, the probe will reboot and install").
+    if (pending_firmware_ && state_ == State::Running) {
+        clear_impairment();
+        reboot(RebootCause::Firmware);
+    }
+}
+
+void Probe::begin_impairment() {
+    if (impaired_since_) return;
+    impaired_since_ = sim_->now();
+    give_up_event_ = sim_->after(draw(config_.tcp_timeout_min, config_.tcp_timeout_max),
+                                 [this](net::TimePoint) {
+                                     give_up_event_.reset();
+                                     on_tcp_give_up();
+                                 });
+}
+
+void Probe::clear_impairment() {
+    impaired_since_.reset();
+    if (give_up_event_) {
+        sim_->cancel(*give_up_event_);
+        give_up_event_.reset();
+    }
+}
+
+void Probe::on_tcp_give_up() {
+    if (!connection_ || !impaired_since_) return;
+    const net::TimePoint last_data =
+        *impaired_since_ - draw(net::Duration{0}, config_.end_jitter_max);
+    impaired_since_.reset();
+    close_connection(last_data);  // may reboot for firmware
+    if (state_ == State::Running && wan_) schedule_connect_attempt();
+}
+
+void Probe::schedule_connect_attempt() {
+    if (connect_event_ || connection_) return;
+    connect_event_ = sim_->after(draw(net::Duration{0}, config_.reconnect_jitter_max),
+                                 [this](net::TimePoint) {
+                                     connect_event_.reset();
+                                     try_connect();
+                                 });
+}
+
+void Probe::try_connect() {
+    if (state_ != State::Running || connection_ || !wan_) return;
+    connection_ = Connection{sim_->now(), *wan_};
+    controller_->record_uptime(
+        {config_.id, sim_->now(),
+         std::uint64_t((sim_->now() - last_boot_).count())});
+    if (config_.version != ProbeVersion::V3 &&
+        rng_.bernoulli(config_.frag_reboot_probability)) {
+        // Old hardware: the fresh TCP connection fragments memory and the
+        // probe falls over shortly after.
+        frag_event_ = sim_->after(
+            draw(net::Duration::seconds(10), net::Duration::seconds(120)),
+            [this](net::TimePoint) {
+                frag_event_.reset();
+                reboot(RebootCause::MemoryFragmentation);
+            });
+    }
+}
+
+net::Duration Probe::draw(net::Duration lo, net::Duration hi) {
+    if (hi <= lo) return lo;
+    return net::Duration{rng_.uniform_int(lo.count(), hi.count())};
+}
+
+}  // namespace dynaddr::atlas

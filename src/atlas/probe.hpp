@@ -1,0 +1,122 @@
+#pragma once
+
+#include <optional>
+
+#include "atlas/datasets.hpp"
+#include "atlas/timeline.hpp"
+#include "netcore/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace dynaddr::atlas {
+
+class Controller;
+
+/// Delay and behaviour parameters of the probe device model.
+struct ProbeConfig {
+    ProbeId id = 0;
+    ProbeVersion version = ProbeVersion::V3;
+    /// Probability that establishing a new TCP connection reboots a v1/v2
+    /// probe (the memory-fragmentation bug the paper cites). Ignored on v3.
+    double frag_reboot_probability = 0.25;
+    /// Boot duration bounds (power-on to measurements running).
+    net::Duration boot_min = net::Duration::seconds(60);
+    net::Duration boot_max = net::Duration::seconds(180);
+    /// TCP retransmission-exhaustion bounds: how long a broken connection
+    /// lingers before the probe gives up and reconnects (RFC 1122
+    /// §4.2.3.5; the paper observes 15-25 minutes).
+    net::Duration tcp_timeout_min = net::Duration::seconds(900);
+    net::Duration tcp_timeout_max = net::Duration::seconds(1500);
+    /// The logged end of a connection is the last receipt of data, up to
+    /// one reporting interval (~3 min) before the break.
+    net::Duration end_jitter_max = net::Duration::seconds(180);
+    /// Delay between the WAN becoming usable and the new connection.
+    net::Duration reconnect_jitter_max = net::Duration::seconds(120);
+    /// Extra downtime when a reboot installs a firmware update.
+    net::Duration firmware_install_min = net::Duration::seconds(120);
+    net::Duration firmware_install_max = net::Duration::seconds(300);
+};
+
+/// The RIPE Atlas probe device.
+///
+/// Runs behind a CPE, holds one SSH-over-TCP connection to the central
+/// controller, reports its uptime counter on every new connection, and
+/// reboots for the reasons the paper catalogues (power fate-sharing,
+/// firmware installs, v1/v2 memory fragmentation). Connection-log and
+/// uptime records are pushed to the Controller; ground truth goes to the
+/// Timeline.
+class Probe {
+public:
+    /// All references must outlive the probe.
+    Probe(ProbeConfig config, sim::Simulation& sim, rng::Stream rng,
+          Controller& controller, Timeline& timeline);
+
+    Probe(const Probe&) = delete;
+    Probe& operator=(const Probe&) = delete;
+
+    /// Power applied (USB from the CPE, or mains at first install).
+    void power_on(RebootCause cause);
+
+    /// Power removed. Breaks any connection and marks the probe down.
+    void power_off();
+
+    /// The CPE's usable WAN address changed: an address when connectivity
+    /// exists end-to-end, nullopt when the link/session/power is down.
+    void wan_update(std::optional<PeerAddress> address);
+
+    /// Controller released a firmware image: install at the next
+    /// connection break (paper §5.2).
+    void firmware_released();
+
+    /// Controller-side nudge for probes that never broke a connection:
+    /// install now.
+    void force_firmware_install();
+
+    /// End of the observation window: records the live connection (if any)
+    /// with `end` as its last-data time, the way a log scrape sees a
+    /// still-open connection. Probe state is left untouched.
+    void flush_open_connection(net::TimePoint end);
+
+    [[nodiscard]] bool connected() const { return connection_.has_value(); }
+    [[nodiscard]] bool running() const { return state_ == State::Running; }
+    [[nodiscard]] ProbeId id() const { return config_.id; }
+    [[nodiscard]] const ProbeConfig& config() const { return config_; }
+
+private:
+    enum class State { Off, Booting, Running };
+
+    struct Connection {
+        net::TimePoint start;
+        PeerAddress address;
+    };
+
+    void begin_boot(RebootCause cause, bool installing_firmware);
+    void finish_boot();
+    void reboot(RebootCause cause);
+    /// Closes the live connection, logging its end at `last_data`.
+    void close_connection(net::TimePoint last_data);
+    void begin_impairment();
+    void clear_impairment();
+    void on_tcp_give_up();
+    void schedule_connect_attempt();
+    void try_connect();
+    [[nodiscard]] net::Duration draw(net::Duration lo, net::Duration hi);
+
+    ProbeConfig config_;
+    sim::Simulation* sim_;
+    rng::Stream rng_;
+    Controller* controller_;
+    Timeline* timeline_;
+
+    State state_ = State::Off;
+    std::optional<PeerAddress> wan_;
+    std::optional<Connection> connection_;
+    std::optional<net::TimePoint> impaired_since_;
+    std::optional<sim::EventId> give_up_event_;
+    std::optional<sim::EventId> connect_event_;
+    std::optional<sim::EventId> boot_event_;
+    std::optional<sim::EventId> frag_event_;
+    net::TimePoint last_boot_{};
+    bool pending_firmware_ = false;
+};
+
+}  // namespace dynaddr::atlas

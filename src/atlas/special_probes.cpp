@@ -1,0 +1,117 @@
+#include "atlas/special_probes.hpp"
+
+#include <algorithm>
+
+#include "netcore/error.hpp"
+#include "netcore/rng.hpp"
+
+namespace dynaddr::atlas {
+
+namespace {
+
+/// Draws the next connection length, at least 10 minutes.
+net::Duration draw_session(const SpecialProbeSpec& spec, rng::Stream& rng) {
+    const double seconds = rng.exponential(double(spec.mean_session.count()));
+    return net::Duration{std::max<std::int64_t>(600, std::int64_t(seconds))};
+}
+
+/// Typical inter-connection gap: TCP retransmission exhaustion.
+net::Duration draw_gap(rng::Stream& rng) {
+    return net::Duration{rng.uniform_int(900, 1500)};
+}
+
+}  // namespace
+
+std::vector<ConnectionLogEntry> generate_special_probe_log(
+    const SpecialProbeSpec& spec, net::TimeInterval window, rng::Stream rng) {
+    if (window.empty()) throw Error("empty generation window");
+    std::vector<ConnectionLogEntry> log;
+
+    const PeerAddress fixed = PeerAddress::ipv4(spec.base_address);
+    // A second, slowly-changing address for multihomed/dual-stack probes:
+    // derived from the base with a rotating low byte.
+    auto rotating_v4 = [&](int generation) {
+        return PeerAddress::ipv4(
+            net::IPv4Address{spec.base_address.value() + 0x10000u +
+                             std::uint32_t(generation)});
+    };
+    // The probe's delegated /64 and its IPv6 address at time t: a stable
+    // EUI-64-style interface id, or a daily-rotating temporary one when
+    // privacy extensions are on (RFC 4941 default temporary preferred
+    // lifetime is one day).
+    const std::uint64_t v6_net =
+        0x20010db800000000ULL | (std::uint64_t(spec.id) << 16);
+    auto v6_at = [&](net::TimePoint t) {
+        std::uint64_t iid = 0x020000fffe000000ULL | spec.id;
+        if (spec.v6_privacy_extensions) {
+            const int day = int((t - window.begin).count() / 86400);
+            std::uint64_t state =
+                (std::uint64_t(spec.id) << 32) ^ std::uint64_t(day) ^
+                0x6a09e667f3bcc908ULL;
+            iid = rng::splitmix64(state);
+        }
+        return PeerAddress::ipv6(net::IPv6Address{v6_net, iid});
+    };
+
+    net::TimePoint t = window.begin;
+    int connection_index = 0;
+    int generation = 0;
+    bool first = true;
+    const bool rotating_v6 =
+        spec.v6_privacy_extensions &&
+        (spec.behaviour == SpecialBehaviour::DualStack ||
+         spec.behaviour == SpecialBehaviour::Ipv6Only);
+    while (t < window.end) {
+        const net::Duration session = draw_session(spec, rng);
+        net::TimePoint end = t + session;
+        if (end > window.end) end = window.end;
+        if (rotating_v6) {
+            // A temporary address dies at the next local-day boundary
+            // (RFC 4941 daily regeneration), taking its connection along.
+            const std::int64_t day_end =
+                window.begin.unix_seconds() +
+                ((t - window.begin).count() / 86400 + 1) * 86400;
+            end = std::min(end, net::TimePoint{day_end});
+        }
+
+        PeerAddress address = fixed;
+        switch (spec.behaviour) {
+            case SpecialBehaviour::NeverChanged:
+                address = fixed;
+                break;
+            case SpecialBehaviour::DualStack:
+                // Alternate families with occasional repeats; v4 rotates
+                // roughly daily underneath.
+                generation = int((t - window.begin).count() / 86400);
+                address = rng.bernoulli(0.5) ? rotating_v4(generation)
+                                             : v6_at(t);
+                break;
+            case SpecialBehaviour::Ipv6Only:
+                address = v6_at(t);
+                break;
+            case SpecialBehaviour::MultihomedAlternating:
+                // Strict alternation: fixed, rotating, fixed, rotating...
+                generation = int((t - window.begin).count() / (7 * 86400));
+                address = connection_index % 2 == 0 ? fixed : rotating_v4(generation);
+                break;
+            case SpecialBehaviour::TestingAddressThenStable:
+                if (first) {
+                    // Short burn-in connection from the RIPE testing
+                    // address before the probe ships.
+                    end = t + net::Duration::hours(2);
+                    address = PeerAddress::ipv4(testing_address());
+                } else {
+                    address = fixed;
+                }
+                break;
+        }
+
+        log.push_back({spec.id, t, end, address});
+        ++connection_index;
+        first = false;
+        t = end + draw_gap(rng);
+    }
+    return log;
+}
+
+}  // namespace dynaddr::atlas

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "atlas/datasets.hpp"
+#include "netcore/rng.hpp"
+
+namespace dynaddr::atlas {
+
+/// Connection-log behaviours that the paper's Table 2 filtering pipeline
+/// must recognize and discard (or specially handle). These probes do not
+/// need the full CPE/outage machinery — their logs are generated directly
+/// with the observable signature of each behaviour.
+enum class SpecialBehaviour {
+    /// One IPv4 address all year; occasional reconnects, never a change.
+    NeverChanged,
+    /// Alternates IPv4/IPv6 connections; the v4 address changes under the
+    /// covers but consecutive-v4 runs are rare, as the paper observes.
+    DualStack,
+    /// Connects exclusively over IPv6.
+    Ipv6Only,
+    /// Two upstreams: one fixed address and one that changes over time,
+    /// strictly alternating between connections — the behavioural
+    /// multihomed signature the paper derived from tagged probes.
+    MultihomedAlternating,
+    /// First connection from the RIPE NCC testing address 193.0.0.78,
+    /// then one stable address (no further change all year).
+    TestingAddressThenStable,
+};
+
+/// Generation parameters for one special probe.
+struct SpecialProbeSpec {
+    ProbeId id = 0;
+    SpecialBehaviour behaviour = SpecialBehaviour::NeverChanged;
+    /// Base IPv4 address this probe's synthetic addresses derive from.
+    net::IPv4Address base_address;
+    /// Mean time between reconnections (exponential).
+    net::Duration mean_session = net::Duration::hours(36);
+    /// RFC 4941 privacy extensions for the probe's IPv6 side: the
+    /// temporary interface identifier rotates daily. When false the probe
+    /// keeps one stable (EUI-64-style) identifier. Plonka & Berger (cited
+    /// by the paper) found ~90 % of client IPv6 addresses ephemeral, so
+    /// generators default to on.
+    bool v6_privacy_extensions = true;
+};
+
+/// Generates a year (or any window) of connection-log entries exhibiting
+/// the requested behaviour. Entries are in time order with the paper's
+/// typical ~20-minute inter-connection gaps.
+std::vector<ConnectionLogEntry> generate_special_probe_log(
+    const SpecialProbeSpec& spec, net::TimeInterval window, rng::Stream rng);
+
+}  // namespace dynaddr::atlas

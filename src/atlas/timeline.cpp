@@ -1,0 +1,121 @@
+#include "atlas/timeline.hpp"
+
+#include <algorithm>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::atlas {
+
+void Timeline::set_address(net::TimePoint t, PeerAddress address) {
+    if (finalized_) throw Error("timeline is finalized");
+    if (open_epoch_address_ && *open_epoch_address_ == address) return;
+    clear_address(t);
+    open_epoch_start_ = t;
+    open_epoch_address_ = address;
+}
+
+void Timeline::clear_address(net::TimePoint t) {
+    if (finalized_) throw Error("timeline is finalized");
+    if (!open_epoch_start_) return;
+    if (t > *open_epoch_start_)
+        epochs_.push_back({{*open_epoch_start_, t}, *open_epoch_address_});
+    open_epoch_start_.reset();
+    open_epoch_address_.reset();
+}
+
+void Timeline::probe_down_begin(net::TimePoint t) {
+    if (finalized_) throw Error("timeline is finalized");
+    if (!open_probe_down_) open_probe_down_ = t;
+}
+
+void Timeline::probe_down_end(net::TimePoint t) {
+    if (finalized_) throw Error("timeline is finalized");
+    if (!open_probe_down_) return;
+    if (t > *open_probe_down_) probe_down_.push_back({*open_probe_down_, t});
+    open_probe_down_.reset();
+}
+
+void Timeline::net_down_begin(net::TimePoint t) {
+    if (finalized_) throw Error("timeline is finalized");
+    if (!open_net_down_) open_net_down_ = t;
+}
+
+void Timeline::net_down_end(net::TimePoint t) {
+    if (finalized_) throw Error("timeline is finalized");
+    if (!open_net_down_) return;
+    if (t > *open_net_down_) net_down_.push_back({*open_net_down_, t});
+    open_net_down_.reset();
+}
+
+void Timeline::record_boot(net::TimePoint t, RebootCause cause) {
+    if (finalized_) throw Error("timeline is finalized");
+    boots_.push_back({t, cause});
+}
+
+void Timeline::finalize(net::TimePoint end) {
+    if (finalized_) return;
+    clear_address(end);
+    probe_down_end(end);
+    net_down_end(end);
+    finalized_ = true;
+}
+
+bool Timeline::in_any(const std::vector<net::TimeInterval>& intervals,
+                      net::TimePoint t) {
+    // Intervals are appended in time order and never overlap.
+    auto it = std::upper_bound(
+        intervals.begin(), intervals.end(), t,
+        [](net::TimePoint v, const net::TimeInterval& ivl) { return v < ivl.begin; });
+    if (it == intervals.begin()) return false;
+    return std::prev(it)->contains(t);
+}
+
+bool Timeline::probe_up(net::TimePoint t) const { return !in_any(probe_down_, t); }
+
+bool Timeline::net_up(net::TimePoint t) const { return !in_any(net_down_, t); }
+
+std::optional<PeerAddress> Timeline::address_at(net::TimePoint t) const {
+    auto it = std::upper_bound(
+        epochs_.begin(), epochs_.end(), t,
+        [](net::TimePoint v, const AddressEpoch& e) { return v < e.when.begin; });
+    if (it == epochs_.begin()) return std::nullopt;
+    const auto& epoch = *std::prev(it);
+    if (!epoch.when.contains(t)) return std::nullopt;
+    return epoch.address;
+}
+
+bool Timeline::communicable(net::TimePoint t) const {
+    return probe_up(t) && net_up(t) && address_at(t).has_value();
+}
+
+std::vector<net::TimePoint> Timeline::event_times() const {
+    std::vector<net::TimePoint> times;
+    for (const auto& e : epochs_) {
+        times.push_back(e.when.begin);
+        times.push_back(e.when.end);
+    }
+    for (const auto& ivl : probe_down_) {
+        times.push_back(ivl.begin);
+        times.push_back(ivl.end);
+    }
+    for (const auto& ivl : net_down_) {
+        times.push_back(ivl.begin);
+        times.push_back(ivl.end);
+    }
+    for (const auto& boot : boots_) times.push_back(boot.at);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    return times;
+}
+
+std::vector<Timeline::AddressChange> Timeline::address_changes() const {
+    std::vector<AddressChange> changes;
+    for (std::size_t i = 1; i < epochs_.size(); ++i) {
+        if (epochs_[i].address == epochs_[i - 1].address) continue;
+        changes.push_back(
+            {epochs_[i].when.begin, epochs_[i - 1].address, epochs_[i].address});
+    }
+    return changes;
+}
+
+}  // namespace dynaddr::atlas

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "atlas/datasets.hpp"
+#include "netcore/time.hpp"
+
+namespace dynaddr::atlas {
+
+/// Why a probe (re)booted. Ground truth only — the analysis layer never
+/// sees this; tests use it to check inferences.
+enum class RebootCause {
+    InitialPowerOn,
+    PowerCycle,           ///< CPE/probe lost and regained power
+    Firmware,             ///< reboot-to-install after a dropped connection
+    MemoryFragmentation,  ///< v1/v2 reboot triggered by a new TCP connection
+};
+
+/// One interval during which the CPE held a WAN address.
+struct AddressEpoch {
+    net::TimeInterval when;
+    PeerAddress address;
+};
+
+/// A probe boot (ground truth).
+struct BootEvent {
+    net::TimePoint at;  ///< instant power returned / reboot began
+    RebootCause cause = RebootCause::InitialPowerOn;
+};
+
+/// Ground-truth record of everything that happened to one probe and its
+/// CPE during a simulation. The CPE and Probe models append to it as the
+/// simulation runs; dataset emitters and validation tests read it after
+/// `finalize()`.
+///
+/// Builder methods must be called in non-decreasing time order; intervals
+/// must be opened before they are closed. finalize() closes any interval
+/// still open at the end of the simulated window.
+class Timeline {
+public:
+    explicit Timeline(ProbeId probe) : probe_(probe) {}
+
+    [[nodiscard]] ProbeId probe() const { return probe_; }
+
+    // -- builders ---------------------------------------------------------
+
+    /// CPE acquired (or changed to) `address` at `t`; closes any open epoch.
+    void set_address(net::TimePoint t, PeerAddress address);
+
+    /// CPE lost its WAN address at `t`.
+    void clear_address(net::TimePoint t);
+
+    /// Probe stopped running (power cut or reboot start).
+    void probe_down_begin(net::TimePoint t);
+
+    /// Probe finished booting and is running again.
+    void probe_down_end(net::TimePoint t);
+
+    /// Access network failed / recovered at the CPE.
+    void net_down_begin(net::TimePoint t);
+    void net_down_end(net::TimePoint t);
+
+    /// Probe began booting at `t` for `cause`.
+    void record_boot(net::TimePoint t, RebootCause cause);
+
+    /// Closes open intervals at the end of the observation window and
+    /// freezes the timeline for queries.
+    void finalize(net::TimePoint end);
+
+    // -- queries (valid after finalize) ------------------------------------
+
+    [[nodiscard]] bool probe_up(net::TimePoint t) const;
+    [[nodiscard]] bool net_up(net::TimePoint t) const;
+    [[nodiscard]] std::optional<PeerAddress> address_at(net::TimePoint t) const;
+
+    /// Probe can reach the Internet: running, network up, address held.
+    [[nodiscard]] bool communicable(net::TimePoint t) const;
+
+    /// Every instant where state changed — used by the k-root emitter to
+    /// place dense sampling windows. Sorted ascending, deduplicated.
+    [[nodiscard]] std::vector<net::TimePoint> event_times() const;
+
+    /// Ground-truth address changes: transitions between consecutive
+    /// epochs with different addresses (regardless of the gap between
+    /// them). Pairs of (time of new epoch, old address, new address).
+    struct AddressChange {
+        net::TimePoint at;
+        PeerAddress from;
+        PeerAddress to;
+    };
+    [[nodiscard]] std::vector<AddressChange> address_changes() const;
+
+    [[nodiscard]] const std::vector<AddressEpoch>& epochs() const { return epochs_; }
+    [[nodiscard]] const std::vector<net::TimeInterval>& probe_down_intervals() const {
+        return probe_down_;
+    }
+    [[nodiscard]] const std::vector<net::TimeInterval>& net_down_intervals() const {
+        return net_down_;
+    }
+    [[nodiscard]] const std::vector<BootEvent>& boots() const { return boots_; }
+    [[nodiscard]] bool finalized() const { return finalized_; }
+
+private:
+    static bool in_any(const std::vector<net::TimeInterval>& intervals,
+                       net::TimePoint t);
+
+    ProbeId probe_;
+    std::vector<AddressEpoch> epochs_;
+    std::vector<net::TimeInterval> probe_down_;
+    std::vector<net::TimeInterval> net_down_;
+    std::vector<BootEvent> boots_;
+    std::optional<net::TimePoint> open_epoch_start_;
+    std::optional<PeerAddress> open_epoch_address_;
+    std::optional<net::TimePoint> open_probe_down_;
+    std::optional<net::TimePoint> open_net_down_;
+    bool finalized_ = false;
+};
+
+}  // namespace dynaddr::atlas

@@ -1,0 +1,63 @@
+#include "bgp/as_registry.hpp"
+
+#include <algorithm>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::bgp {
+
+const char* continent_code(Continent c) {
+    switch (c) {
+        case Continent::Europe: return "EU";
+        case Continent::NorthAmerica: return "NA";
+        case Continent::Asia: return "AS";
+        case Continent::Africa: return "AF";
+        case Continent::SouthAmerica: return "SA";
+        case Continent::Oceania: return "OC";
+    }
+    return "??";
+}
+
+const char* continent_name(Continent c) {
+    switch (c) {
+        case Continent::Europe: return "Europe";
+        case Continent::NorthAmerica: return "North America";
+        case Continent::Asia: return "Asia";
+        case Continent::Africa: return "Africa";
+        case Continent::SouthAmerica: return "South America";
+        case Continent::Oceania: return "Oceania";
+    }
+    return "Unknown";
+}
+
+void AsRegistry::add(AsInfo info) {
+    if (info.asn == 0) throw Error("ASN 0 is reserved");
+    by_asn_[info.asn] = std::move(info);
+}
+
+std::optional<AsInfo> AsRegistry::find(std::uint32_t asn) const {
+    auto it = by_asn_.find(asn);
+    if (it == by_asn_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<AsInfo> AsRegistry::find_by_name(const std::string& name) const {
+    std::optional<AsInfo> found;
+    for (const auto& [asn, info] : by_asn_) {
+        if (info.name != name) continue;
+        if (found) return std::nullopt;  // ambiguous
+        found = info;
+    }
+    return found;
+}
+
+std::vector<AsInfo> AsRegistry::all() const {
+    std::vector<AsInfo> out;
+    out.reserve(by_asn_.size());
+    for (const auto& [asn, info] : by_asn_) out.push_back(info);
+    std::sort(out.begin(), out.end(),
+              [](const AsInfo& a, const AsInfo& b) { return a.asn < b.asn; });
+    return out;
+}
+
+}  // namespace dynaddr::bgp

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dynaddr::bgp {
+
+/// Continents as used by the paper's Figure 1 legend.
+enum class Continent { Europe, NorthAmerica, Asia, Africa, SouthAmerica, Oceania };
+
+/// Two-letter code used in the paper's legend ("EU", "NA", ...).
+[[nodiscard]] const char* continent_code(Continent c);
+
+/// Full continent name ("Europe", ...).
+[[nodiscard]] const char* continent_name(Continent c);
+
+/// Metadata for one autonomous system.
+struct AsInfo {
+    std::uint32_t asn = 0;
+    std::string name;          ///< e.g. "DTAG"
+    std::string country_code;  ///< ISO-3166 alpha-2, e.g. "DE"
+    Continent continent = Continent::Europe;
+};
+
+/// A registry of autonomous systems: the simulator registers the ASes it
+/// creates and analysis code resolves ASN -> metadata for grouping by AS,
+/// country and continent.
+class AsRegistry {
+public:
+    /// Registers (or replaces) an AS. Throws Error on asn == 0.
+    void add(AsInfo info);
+
+    /// Looks up by ASN.
+    [[nodiscard]] std::optional<AsInfo> find(std::uint32_t asn) const;
+
+    /// Looks up by name (exact match); nullopt when absent or ambiguous.
+    [[nodiscard]] std::optional<AsInfo> find_by_name(const std::string& name) const;
+
+    /// All registered ASes, ascending by ASN.
+    [[nodiscard]] std::vector<AsInfo> all() const;
+
+    [[nodiscard]] std::size_t size() const { return by_asn_.size(); }
+
+private:
+    std::unordered_map<std::uint32_t, AsInfo> by_asn_;
+};
+
+}  // namespace dynaddr::bgp

@@ -1,0 +1,129 @@
+#include "bgp/prefix_table.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::bgp {
+
+MonthKey month_key_of(net::TimePoint t) {
+    const net::CivilTime civil = t.to_civil();
+    return month_key(civil.year, civil.month);
+}
+
+MonthKey month_key(int year, int month) {
+    if (month < 1 || month > 12) throw Error("bad month " + std::to_string(month));
+    return MonthKey{year} * 12 + (month - 1);
+}
+
+void PrefixTable::announce(MonthKey month, net::IPv4Prefix prefix,
+                           std::uint32_t asn) {
+    snapshots_[month].insert(prefix, asn);
+}
+
+void PrefixTable::announce_range(MonthKey first, MonthKey last,
+                                 net::IPv4Prefix prefix, std::uint32_t asn) {
+    if (first > last) throw Error("announce_range: first > last");
+    for (MonthKey m = first; m <= last; ++m) announce(m, prefix, asn);
+}
+
+std::optional<std::uint32_t> PrefixTable::origin_as(net::IPv4Address addr,
+                                                    net::TimePoint t) const {
+    auto match = routed_prefix(addr, t);
+    if (!match) return std::nullopt;
+    return match->value;
+}
+
+std::optional<RadixTrie::Match> PrefixTable::routed_prefix(net::IPv4Address addr,
+                                                           net::TimePoint t) const {
+    const RadixTrie* trie = snapshot_for(month_key_of(t));
+    if (trie == nullptr) return std::nullopt;
+    return trie->longest_match_entry(addr);
+}
+
+std::size_t PrefixTable::load_pfx2as(std::istream& in, MonthKey month) {
+    std::size_t loaded = 0;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty() || line.front() == '#') continue;
+        const auto fail = [&](const char* what) {
+            throw ParseError("pfx2as line " + std::to_string(line_number) +
+                             ": " + what + ": '" + line + "'");
+        };
+        const auto tab1 = line.find('\t');
+        const auto tab2 = tab1 == std::string::npos ? std::string::npos
+                                                    : line.find('\t', tab1 + 1);
+        if (tab2 == std::string::npos) fail("expected three tab-separated fields");
+        const auto base = net::IPv4Address::parse(line.substr(0, tab1));
+        if (!base) fail("bad prefix address");
+        int length = 0;
+        {
+            const auto field = line.substr(tab1 + 1, tab2 - tab1 - 1);
+            auto [ptr, ec] =
+                std::from_chars(field.data(), field.data() + field.size(), length);
+            if (ec != std::errc{} || ptr != field.data() + field.size() ||
+                length < 0 || length > 32)
+                fail("bad prefix length");
+        }
+        // AS field: plain, "A_B" (AS path ambiguity) or "A,B" (MOAS);
+        // take the first.
+        std::uint32_t asn = 0;
+        {
+            const auto field = line.substr(tab2 + 1);
+            auto end = field.find_first_of("_,");
+            const auto first = field.substr(0, end);
+            auto [ptr, ec] =
+                std::from_chars(first.data(), first.data() + first.size(), asn);
+            if (ec != std::errc{} || ptr != first.data() + first.size() || asn == 0)
+                fail("bad origin AS");
+        }
+        announce(month, net::IPv4Prefix{*base, length}, asn);
+        ++loaded;
+    }
+    return loaded;
+}
+
+std::size_t PrefixTable::dump_pfx2as(std::ostream& out, MonthKey month) const {
+    auto it = snapshots_.find(month);
+    if (it == snapshots_.end()) return 0;
+    std::vector<std::pair<net::IPv4Prefix, std::uint32_t>> routes;
+    it->second.for_each([&](net::IPv4Prefix prefix, std::uint32_t asn) {
+        routes.emplace_back(prefix, asn);
+    });
+    std::sort(routes.begin(), routes.end());
+    for (const auto& [prefix, asn] : routes)
+        out << prefix.base().to_string() << '\t' << prefix.length() << '\t'
+            << asn << '\n';
+    return routes.size();
+}
+
+std::vector<MonthKey> PrefixTable::snapshot_months() const {
+    std::vector<MonthKey> months;
+    months.reserve(snapshots_.size());
+    for (const auto& [month, trie] : snapshots_) months.push_back(month);
+    return months;
+}
+
+std::size_t PrefixTable::route_count() const {
+    std::size_t total = 0;
+    for (const auto& [month, trie] : snapshots_) total += trie.size();
+    return total;
+}
+
+const RadixTrie* PrefixTable::snapshot_for(MonthKey month) const {
+    if (snapshots_.empty()) return nullptr;
+    auto it = snapshots_.upper_bound(month);
+    if (it == snapshots_.begin()) return &it->second;  // before first snapshot
+    return &std::prev(it)->second;
+}
+
+}  // namespace dynaddr::bgp

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/radix_trie.hpp"
+#include "netcore/time.hpp"
+
+namespace dynaddr::bgp {
+
+/// Month index used to key prefix-table snapshots: year*12 + (month-1).
+using MonthKey = std::int64_t;
+
+/// MonthKey for the month containing `t` (UTC).
+[[nodiscard]] MonthKey month_key_of(net::TimePoint t);
+
+/// MonthKey for a civil year/month.
+[[nodiscard]] MonthKey month_key(int year, int month);
+
+/// An IP-to-AS mapping with monthly snapshots, mirroring how the paper
+/// uses CAIDA's pfx2as: "we found the month in which a new IP address was
+/// assigned to a probe and used CAIDA's IP-to-AS dataset for that month".
+///
+/// Lookups resolve against the snapshot for the queried month; when that
+/// month has no snapshot, the nearest earlier snapshot is used (a fresh
+/// table inherits the previous month's routes), falling back to the
+/// nearest later one for queries preceding the first snapshot.
+class PrefixTable {
+public:
+    /// Announces `prefix` with origin `asn` in the snapshot for `month`.
+    void announce(MonthKey month, net::IPv4Prefix prefix, std::uint32_t asn);
+
+    /// Announces in every month of [first, last] inclusive.
+    void announce_range(MonthKey first, MonthKey last, net::IPv4Prefix prefix,
+                        std::uint32_t asn);
+
+    /// Origin AS for `addr` at time `t` (longest-prefix match).
+    [[nodiscard]] std::optional<std::uint32_t> origin_as(net::IPv4Address addr,
+                                                         net::TimePoint t) const;
+
+    /// The routed (most specific announced) prefix covering `addr` at `t`,
+    /// plus its origin — what Table 7 compares across address changes.
+    [[nodiscard]] std::optional<RadixTrie::Match> routed_prefix(
+        net::IPv4Address addr, net::TimePoint t) const;
+
+    /// Loads one month's snapshot from a CAIDA pfx2as file: one route per
+    /// line, `prefix<TAB>length<TAB>asn`, `#` comments and blank lines
+    /// skipped. Multi-origin entries like "3356_3549" or "174,3356" take
+    /// the first AS, as common practice does. Returns routes loaded;
+    /// throws ParseError on malformed lines.
+    std::size_t load_pfx2as(std::istream& in, MonthKey month);
+
+    /// Writes one month's snapshot in CAIDA pfx2as format (sorted by
+    /// prefix). No-op for a month with no snapshot of its own; returns
+    /// routes written.
+    std::size_t dump_pfx2as(std::ostream& out, MonthKey month) const;
+
+    /// The months that have their own snapshots, ascending.
+    [[nodiscard]] std::vector<MonthKey> snapshot_months() const;
+
+    /// Number of snapshots present.
+    [[nodiscard]] std::size_t snapshot_count() const { return snapshots_.size(); }
+
+    /// Total announced routes across snapshots.
+    [[nodiscard]] std::size_t route_count() const;
+
+private:
+    [[nodiscard]] const RadixTrie* snapshot_for(MonthKey month) const;
+
+    std::map<MonthKey, RadixTrie> snapshots_;
+};
+
+}  // namespace dynaddr::bgp

@@ -1,0 +1,68 @@
+#include "bgp/radix_trie.hpp"
+
+namespace dynaddr::bgp {
+
+namespace {
+
+// Bit `depth` of an address, counting from the most significant (depth 0).
+constexpr int bit_at(std::uint32_t value, int depth) {
+    return int((value >> (31 - depth)) & 1u);
+}
+
+}  // namespace
+
+RadixTrie::RadixTrie() { nodes_.emplace_back(); }
+
+void RadixTrie::insert(net::IPv4Prefix prefix, std::uint32_t value) {
+    std::int32_t index = 0;
+    const std::uint32_t bits = prefix.base().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+        const int b = bit_at(bits, depth);
+        std::int32_t next = nodes_[std::size_t(index)].child[b];
+        if (next < 0) {
+            next = std::int32_t(nodes_.size());
+            nodes_.emplace_back();
+            nodes_[std::size_t(index)].child[b] = next;
+        }
+        index = next;
+    }
+    Node& node = nodes_[std::size_t(index)];
+    if (!node.has_value) ++entries_;
+    node.has_value = true;
+    node.value = value;
+}
+
+std::optional<std::uint32_t> RadixTrie::exact(net::IPv4Prefix prefix) const {
+    std::int32_t index = 0;
+    const std::uint32_t bits = prefix.base().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+        index = nodes_[std::size_t(index)].child[bit_at(bits, depth)];
+        if (index < 0) return std::nullopt;
+    }
+    const Node& node = nodes_[std::size_t(index)];
+    return node.has_value ? std::optional(node.value) : std::nullopt;
+}
+
+std::optional<std::uint32_t> RadixTrie::longest_match(net::IPv4Address addr) const {
+    auto entry = longest_match_entry(addr);
+    if (!entry) return std::nullopt;
+    return entry->value;
+}
+
+std::optional<RadixTrie::Match> RadixTrie::longest_match_entry(
+    net::IPv4Address addr) const {
+    std::optional<Match> best;
+    std::int32_t index = 0;
+    const std::uint32_t bits = addr.value();
+    for (int depth = 0; depth <= 32; ++depth) {
+        const Node& node = nodes_[std::size_t(index)];
+        if (node.has_value)
+            best = Match{net::IPv4Prefix{addr, depth}, node.value};
+        if (depth == 32) break;
+        index = node.child[bit_at(bits, depth)];
+        if (index < 0) break;
+    }
+    return best;
+}
+
+}  // namespace dynaddr::bgp

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+
+namespace dynaddr::bgp {
+
+/// A binary radix trie mapping IPv4 prefixes to 32-bit values (origin
+/// ASNs here), supporting exact insert/lookup and longest-prefix match.
+///
+/// Nodes live contiguously in a vector; child links are indices, so the
+/// structure is cache-friendly, trivially copyable/movable, and needs no
+/// manual memory management. Inserting the same prefix twice overwrites
+/// the stored value (last-writer-wins, matching pfx2as snapshot
+/// semantics).
+class RadixTrie {
+public:
+    RadixTrie();
+
+    /// Inserts or replaces the value for `prefix`.
+    void insert(net::IPv4Prefix prefix, std::uint32_t value);
+
+    /// Exact-match lookup for a prefix.
+    [[nodiscard]] std::optional<std::uint32_t> exact(net::IPv4Prefix prefix) const;
+
+    /// Longest-prefix match: the value on the most specific inserted
+    /// prefix containing `addr`, or nullopt when nothing covers it.
+    [[nodiscard]] std::optional<std::uint32_t> longest_match(net::IPv4Address addr) const;
+
+    /// The most specific inserted prefix containing `addr` together with
+    /// its value (the paper needs the prefix itself for Table 7).
+    struct Match {
+        net::IPv4Prefix prefix;
+        std::uint32_t value;
+    };
+    [[nodiscard]] std::optional<Match> longest_match_entry(net::IPv4Address addr) const;
+
+    /// Number of stored prefixes.
+    [[nodiscard]] std::size_t size() const { return entries_; }
+
+    /// Visits all (prefix, value) pairs in no particular order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for_each_impl(0, 0u, 0, fn);
+    }
+
+private:
+    struct Node {
+        std::int32_t child[2] = {-1, -1};
+        std::uint32_t value = 0;
+        bool has_value = false;
+    };
+
+    template <typename Fn>
+    void for_each_impl(std::int32_t index, std::uint32_t bits, int depth,
+                       Fn&& fn) const {
+        const Node& node = nodes_[std::size_t(index)];
+        if (node.has_value)
+            fn(net::IPv4Prefix{net::IPv4Address{bits}, depth}, node.value);
+        for (int b = 0; b < 2; ++b) {
+            if (node.child[b] < 0) continue;
+            const std::uint32_t child_bits =
+                depth < 32 ? bits | (std::uint32_t(b) << (31 - depth)) : bits;
+            for_each_impl(node.child[b], child_bits, depth + 1, fn);
+        }
+    }
+
+    std::vector<Node> nodes_;
+    std::size_t entries_ = 0;
+};
+
+}  // namespace dynaddr::bgp

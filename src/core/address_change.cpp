@@ -1,0 +1,50 @@
+#include "core/address_change.hpp"
+
+#include <cmath>
+
+namespace dynaddr::core {
+
+ProbeChanges extract_changes(const ProbeLog& log) {
+    ProbeChanges result;
+    result.probe = log.probe;
+
+    // Build address runs: consecutive entries with the same IPv4 address.
+    struct Run {
+        net::IPv4Address address;
+        net::TimePoint first_start;
+        net::TimePoint last_end;
+    };
+    std::vector<Run> runs;
+    for (const auto& entry : log.entries) {
+        if (!entry.address.is_v4()) continue;
+        if (!runs.empty() && runs.back().address == entry.address.v4) {
+            runs.back().last_end = entry.end;
+        } else {
+            runs.push_back({entry.address.v4, entry.start, entry.end});
+        }
+    }
+
+    for (std::size_t i = 1; i < runs.size(); ++i)
+        result.changes.push_back({log.probe, runs[i - 1].last_end,
+                                  runs[i].first_start, runs[i - 1].address,
+                                  runs[i].address});
+
+    // Interior runs only: the first run's start and the last run's end are
+    // censored (we never saw those addresses assigned or withdrawn).
+    for (std::size_t i = 1; i + 1 < runs.size(); ++i) {
+        AddressSpan span{log.probe, runs[i].address, runs[i].first_start,
+                         runs[i].last_end};
+        result.total_address_time += span.duration();
+        result.spans.push_back(span);
+    }
+    return result;
+}
+
+double quantize_hours(net::Duration duration) {
+    const double hours = duration.to_hours();
+    if (hours >= 1.0) return std::round(hours);
+    // Nearest 5 minutes = 1/12 hour.
+    return std::round(hours * 12.0) / 12.0;
+}
+
+}  // namespace dynaddr::core

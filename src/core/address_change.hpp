@@ -1,0 +1,57 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/conlog.hpp"
+#include "netcore/ipv4.hpp"
+#include "netcore/time.hpp"
+
+namespace dynaddr::core {
+
+/// One detected address change: consecutive connections used different
+/// IPv4 addresses (paper §3.1). The change happened somewhere inside
+/// (last_seen, first_seen).
+struct AddressChangeEvent {
+    atlas::ProbeId probe = 0;
+    net::TimePoint last_seen;   ///< end of the last connection from `from`
+    net::TimePoint first_seen;  ///< start of the first connection from `to`
+    net::IPv4Address from;
+    net::IPv4Address to;
+};
+
+/// A fully-observed address tenure: the probe was first seen using the
+/// address at `begin` and last seen at `end`, with known changes on both
+/// sides. The paper excludes the first and last (censored) tenures, and so
+/// does extract_changes.
+struct AddressSpan {
+    atlas::ProbeId probe = 0;
+    net::IPv4Address address;
+    net::TimePoint begin;  ///< start of the first connection in the run
+    net::TimePoint end;    ///< end of the last connection in the run
+
+    [[nodiscard]] net::Duration duration() const { return end - begin; }
+};
+
+/// Changes and interior spans extracted from one probe's log.
+struct ProbeChanges {
+    atlas::ProbeId probe = 0;
+    std::vector<AddressChangeEvent> changes;
+    std::vector<AddressSpan> spans;  ///< interior (uncensored) tenures only
+    /// Σ(D): total observed address time across interior spans, seconds.
+    net::Duration total_address_time{0};
+};
+
+/// Walks one probe's connection log, merging consecutive same-address
+/// connections into runs, and reports every change plus the interior
+/// spans. Non-IPv4 entries must have been filtered out already.
+ProbeChanges extract_changes(const ProbeLog& log);
+
+/// Quantizes a span duration for mode detection, in hours. Durations of
+/// an hour or more snap to the nearest hour (the paper's modes are at
+/// hour multiples and raw durations run ~25 min short of the period
+/// because of the reconnect gap); sub-hour durations snap to the nearest
+/// 5 minutes so short tenures keep resolution.
+[[nodiscard]] double quantize_hours(net::Duration duration);
+
+}  // namespace dynaddr::core

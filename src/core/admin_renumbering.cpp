@@ -1,0 +1,143 @@
+#include "core/admin_renumbering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace dynaddr::core {
+
+namespace {
+
+/// One probe's stay on one routed prefix, possibly spanning several
+/// consecutive addresses inside it.
+struct Departure {
+    atlas::ProbeId probe = 0;
+    net::TimePoint at;                    ///< last seen on the prefix
+    net::IPv4Prefix destination;          ///< routed prefix it moved to
+    bool has_destination = false;
+};
+
+struct PrefixUse {
+    std::vector<Departure> final_departures;  ///< one per probe (its last exit)
+    bool still_used_at_end = false;
+};
+
+}  // namespace
+
+std::vector<AdminRenumberingEvent> detect_admin_renumbering(
+    std::span<const ProbeChanges> probes, const AsMapping& mapping,
+    const bgp::PrefixTable& table, net::TimePoint observation_end,
+    const AdminRenumberingConfig& config) {
+    // (asn, routed prefix) -> usage summary.
+    std::map<std::pair<std::uint32_t, net::IPv4Prefix>, PrefixUse> usage;
+
+    for (const auto& probe : probes) {
+        auto asn = mapping.as_of(probe.probe);
+        if (!asn || probe.changes.empty()) continue;
+
+        // The probe's address sequence with a resolve-time and an end-time
+        // per address. The first tenure's start and the last tenure's end
+        // are censored; ends are what departures need.
+        struct Usage {
+            net::IPv4Prefix prefix;
+            bool routed = false;
+            net::TimePoint end;
+        };
+        std::vector<Usage> usages;
+        auto resolve = [&](net::IPv4Address addr, net::TimePoint at) {
+            Usage u;
+            if (auto match = table.routed_prefix(addr, at)) {
+                u.prefix = match->prefix;
+                u.routed = true;
+            }
+            return u;
+        };
+        {
+            Usage first = resolve(probe.changes.front().from,
+                                  probe.changes.front().last_seen);
+            first.end = probe.changes.front().last_seen;
+            usages.push_back(first);
+        }
+        for (std::size_t i = 0; i < probe.changes.size(); ++i) {
+            Usage u = resolve(probe.changes[i].to, probe.changes[i].first_seen);
+            u.end = i + 1 < probe.changes.size() ? probe.changes[i + 1].last_seen
+                                                 : observation_end;
+            usages.push_back(u);
+        }
+        // Merge consecutive stays inside the same routed prefix.
+        std::vector<Usage> merged;
+        for (const auto& u : usages) {
+            if (!merged.empty() && merged.back().routed == u.routed &&
+                merged.back().prefix == u.prefix)
+                merged.back().end = u.end;
+            else
+                merged.push_back(u);
+        }
+
+        // Record each prefix's *final* exit by this probe; the last stay
+        // pins its prefix as still-in-use.
+        std::map<net::IPv4Prefix, Departure> last_exit;
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+            if (!merged[i].routed) continue;
+            const auto key = std::pair{*asn, merged[i].prefix};
+            if (i + 1 == merged.size()) {
+                usage[key].still_used_at_end = true;
+                last_exit.erase(merged[i].prefix);
+                continue;
+            }
+            Departure departure;
+            departure.probe = probe.probe;
+            departure.at = merged[i].end;
+            if (merged[i + 1].routed) {
+                departure.destination = merged[i + 1].prefix;
+                departure.has_destination = true;
+            }
+            last_exit[merged[i].prefix] = departure;
+        }
+        for (const auto& [prefix, departure] : last_exit)
+            usage[{*asn, prefix}].final_departures.push_back(departure);
+    }
+
+    std::vector<AdminRenumberingEvent> events;
+    for (const auto& [key, use] : usage) {
+        if (use.still_used_at_end) continue;  // someone is still on it
+        if (int(use.final_departures.size()) < config.min_probes) continue;
+        net::TimePoint last{std::numeric_limits<std::int64_t>::min()};
+        for (const auto& d : use.final_departures) last = std::max(last, d.at);
+        // The prefix must stay quiet through the end of the observation.
+        if (observation_end - last < config.quiet_after) continue;
+        // En-masse: the burst ending at the last exit must hold enough
+        // distinct probes.
+        std::vector<const Departure*> burst;
+        for (const auto& d : use.final_departures)
+            if (d.at >= last - config.departure_window) burst.push_back(&d);
+        if (int(burst.size()) < config.min_probes) continue;
+
+        AdminRenumberingEvent event;
+        event.asn = key.first;
+        event.retired_prefix = key.second;
+        event.last_departure = last;
+        event.first_departure = last;
+        std::map<net::IPv4Prefix, int> destinations;
+        for (const Departure* d : burst) {
+            event.first_departure = std::min(event.first_departure, d->at);
+            if (d->has_destination) ++destinations[d->destination];
+        }
+        event.probes_moved = int(burst.size());
+        int best = 0;
+        for (const auto& [prefix, count] : destinations)
+            if (count > best) {
+                best = count;
+                event.destination_prefix = prefix;
+            }
+        events.push_back(event);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const AdminRenumberingEvent& a, const AdminRenumberingEvent& b) {
+                  if (a.asn != b.asn) return a.asn < b.asn;
+                  return a.first_departure < b.first_departure;
+              });
+    return events;
+}
+
+}  // namespace dynaddr::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgp/prefix_table.hpp"
+#include "core/address_change.hpp"
+#include "core/as_mapping.hpp"
+
+namespace dynaddr::core {
+
+/// A detected administrative renumbering: many subscribers of one AS left
+/// a routed prefix within a short window and the prefix never carried any
+/// of them again. The paper observed a single such instance and names the
+/// systematic analysis as future work (§8); this module implements it.
+struct AdminRenumberingEvent {
+    std::uint32_t asn = 0;
+    net::IPv4Prefix retired_prefix;  ///< the block everyone left
+    net::TimePoint first_departure;  ///< earliest final exit in the burst
+    net::TimePoint last_departure;   ///< latest final exit in the burst
+    int probes_moved = 0;            ///< distinct probes in the burst
+    /// Most common routed destination prefix of the departures (length 0
+    /// when destinations were unrouted).
+    net::IPv4Prefix destination_prefix;
+};
+
+/// Detection thresholds.
+struct AdminRenumberingConfig {
+    /// A burst needs at least this many distinct probes making their
+    /// final departure from the prefix...
+    int min_probes = 3;
+    /// ...within this window...
+    net::Duration departure_window = net::Duration::days(3);
+    /// ...and the prefix must stay unused for at least this long after
+    /// the burst (distinguishes a retirement from routine pool rotation,
+    /// where the prefix is re-drawn within hours).
+    net::Duration quiet_after = net::Duration::days(14);
+};
+
+/// Scans the address changes of single-AS probes for en-masse departures.
+/// `observation_end` bounds the "stays unused" test (a prefix retired
+/// just before the window ends cannot be confirmed quiet and is not
+/// reported). Routed prefixes are resolved via the monthly table at each
+/// side's own time, as everywhere else in the pipeline.
+std::vector<AdminRenumberingEvent> detect_admin_renumbering(
+    std::span<const ProbeChanges> probes, const AsMapping& mapping,
+    const bgp::PrefixTable& table, net::TimePoint observation_end,
+    const AdminRenumberingConfig& config = {});
+
+}  // namespace dynaddr::core

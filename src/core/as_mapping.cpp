@@ -1,0 +1,27 @@
+#include "core/as_mapping.hpp"
+
+#include <unordered_set>
+
+namespace dynaddr::core {
+
+AsMapping map_probes_to_as(std::span<const ProbeLog> logs,
+                           const bgp::PrefixTable& table) {
+    AsMapping mapping;
+    for (const auto& log : logs) {
+        std::unordered_set<std::uint32_t> ases;
+        for (const auto& entry : log.entries) {
+            if (!entry.address.is_v4()) continue;
+            if (auto asn = table.origin_as(entry.address.v4, entry.start))
+                ases.insert(*asn);
+        }
+        if (ases.empty())
+            mapping.unmapped.insert(log.probe);
+        else if (ases.size() == 1)
+            mapping.single_as.emplace(log.probe, *ases.begin());
+        else
+            mapping.multi_as.insert(log.probe);
+    }
+    return mapping;
+}
+
+}  // namespace dynaddr::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+
+#include "bgp/prefix_table.hpp"
+#include "core/conlog.hpp"
+
+namespace dynaddr::core {
+
+/// Result of mapping every probe's addresses to origin ASes with the
+/// monthly IP-to-AS table (paper §3.3): a probe with addresses from more
+/// than one AS is a "multiple ASes" probe — its cross-AS changes are
+/// discarded for geographic analysis and the whole probe is dropped from
+/// AS-level analysis.
+struct AsMapping {
+    /// Probes whose every mapped address belongs to one AS.
+    std::map<atlas::ProbeId, std::uint32_t> single_as;
+    /// Probes with addresses in two or more ASes.
+    std::set<atlas::ProbeId> multi_as;
+    /// Probes none of whose addresses were in the table.
+    std::set<atlas::ProbeId> unmapped;
+
+    /// The AS of a single-AS probe, nullopt otherwise.
+    [[nodiscard]] std::optional<std::uint32_t> as_of(atlas::ProbeId probe) const {
+        auto it = single_as.find(probe);
+        if (it == single_as.end()) return std::nullopt;
+        return it->second;
+    }
+};
+
+/// Maps each probe using the origin AS of each connection's address at the
+/// month of that connection's start.
+AsMapping map_probes_to_as(std::span<const ProbeLog> logs,
+                           const bgp::PrefixTable& table);
+
+}  // namespace dynaddr::core

@@ -1,0 +1,178 @@
+#include "core/change_attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "netcore/ascii_chart.hpp"
+#include "core/report.hpp"
+
+namespace dynaddr::core {
+
+namespace {
+
+bool overlaps_outage(const std::vector<DetectedOutage>& outages,
+                     const net::TimeInterval& gap, net::Duration slack) {
+    for (const auto& outage : outages)
+        if (outage.begin < gap.end + slack && gap.begin - slack < outage.end)
+            return true;
+    return false;
+}
+
+/// Does the tenure length (hours) match d or a multiple of d within tol?
+bool matches_period(double hours, double d, double tolerance) {
+    if (d <= 0.0) return false;
+    const double k = std::max(1.0, std::round(hours / d));
+    return std::abs(hours - k * d) <= tolerance * d;
+}
+
+void count(ChangeAttributionRow& row, ChangeCause cause) {
+    ++row.total;
+    switch (cause) {
+        case ChangeCause::Administrative: ++row.administrative; break;
+        case ChangeCause::NetworkOutage: ++row.network; break;
+        case ChangeCause::PowerOutage: ++row.power; break;
+        case ChangeCause::Periodic: ++row.periodic; break;
+        case ChangeCause::Unknown: ++row.unknown; break;
+    }
+}
+
+}  // namespace
+
+const char* change_cause_name(ChangeCause cause) {
+    switch (cause) {
+        case ChangeCause::Administrative: return "administrative";
+        case ChangeCause::NetworkOutage: return "network outage";
+        case ChangeCause::PowerOutage: return "power outage";
+        case ChangeCause::Periodic: return "periodic";
+        case ChangeCause::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+ChangeAttribution attribute_changes(const AnalysisResults& results,
+                                    const bgp::PrefixTable& table,
+                                    const bgp::AsRegistry& registry,
+                                    const ChangeAttributionConfig& config) {
+    // Per-probe period lookup.
+    std::unordered_map<atlas::ProbeId, double> period_of;
+    for (const auto& probe : results.periodicity.probes)
+        if (probe.period_hours) period_of[probe.probe] = *probe.period_hours;
+
+    // Admin events grouped by AS.
+    std::map<std::uint32_t, std::vector<const AdminRenumberingEvent*>> admin_by_as;
+    for (const auto& event : results.admin_events)
+        admin_by_as[event.asn].push_back(&event);
+
+    static const std::vector<DetectedOutage> kNoOutages;
+    auto outages_of = [&](const auto& outage_map,
+                          atlas::ProbeId probe) -> const std::vector<DetectedOutage>& {
+        auto it = outage_map.find(probe);
+        return it == outage_map.end() ? kNoOutages : it->second;
+    };
+
+    ChangeAttribution attribution;
+    attribution.all.as_name = "All";
+    std::map<std::uint32_t, ChangeAttributionRow> rows;
+
+    for (const auto& probe : results.changes) {
+        const auto asn = results.mapping.as_of(probe.probe);
+        ChangeAttributionRow* row = nullptr;
+        if (asn) {
+            auto [it, inserted] = rows.try_emplace(*asn);
+            row = &it->second;
+            if (inserted) {
+                row->asn = *asn;
+                if (auto info = registry.find(*asn))
+                    row->as_name = info->name;
+                else
+                    row->as_name = "AS" + std::to_string(*asn);
+            }
+        }
+
+        const auto& network = outages_of(results.network_outages, probe.probe);
+        const auto& power = outages_of(results.power_outages, probe.probe);
+        const auto period_it = period_of.find(probe.probe);
+
+        for (std::size_t k = 0; k < probe.changes.size(); ++k) {
+            const auto& change = probe.changes[k];
+            ChangeCause cause = ChangeCause::Unknown;
+
+            // 1. Administrative: leaving a retired prefix inside the burst.
+            if (asn) {
+                if (auto admin_it = admin_by_as.find(*asn);
+                    admin_it != admin_by_as.end()) {
+                    const auto from_routed =
+                        table.routed_prefix(change.from, change.last_seen);
+                    for (const auto* event : admin_it->second) {
+                        if (from_routed &&
+                            from_routed->prefix == event->retired_prefix &&
+                            change.last_seen >=
+                                event->first_departure - config.admin_slack &&
+                            change.last_seen <=
+                                event->last_departure + config.admin_slack) {
+                            cause = ChangeCause::Administrative;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // 2./3. Outage-associated (network has priority, as in §3.6).
+            const net::TimeInterval gap{change.last_seen, change.first_seen};
+            if (cause == ChangeCause::Unknown &&
+                overlaps_outage(network, gap, config.outage_slack))
+                cause = ChangeCause::NetworkOutage;
+            if (cause == ChangeCause::Unknown &&
+                overlaps_outage(power, gap, config.outage_slack))
+                cause = ChangeCause::PowerOutage;
+
+            // 4. Periodic: the tenure ending here matches the probe's
+            // period (or a harmonic — a skipped cycle still ends on the
+            // schedule).
+            if (cause == ChangeCause::Unknown && k >= 1 &&
+                period_it != period_of.end()) {
+                const double hours = quantize_hours(
+                    change.last_seen - probe.changes[k - 1].first_seen);
+                if (matches_period(hours, period_it->second,
+                                   config.period_tolerance))
+                    cause = ChangeCause::Periodic;
+            }
+
+            count(attribution.all, cause);
+            if (row != nullptr) count(*row, cause);
+        }
+    }
+
+    for (auto& [asn, row] : rows) attribution.by_as.push_back(std::move(row));
+    std::sort(attribution.by_as.begin(), attribution.by_as.end(),
+              [](const ChangeAttributionRow& a, const ChangeAttributionRow& b) {
+                  if (a.total != b.total) return a.total > b.total;
+                  return a.asn < b.asn;
+              });
+    return attribution;
+}
+
+std::string render_change_attribution(const ChangeAttribution& attribution) {
+    std::vector<std::vector<std::string>> rows;
+    auto fields = [](const ChangeAttributionRow& row) {
+        auto pct = [&](int part) { return fmt(row.pct(part), 1) + "%"; };
+        return std::vector<std::string>{
+            row.as_name,
+            row.asn == 0 ? "-" : std::to_string(row.asn),
+            std::to_string(row.total),
+            pct(row.periodic),
+            pct(row.network),
+            pct(row.power),
+            pct(row.administrative),
+            pct(row.unknown)};
+    };
+    rows.push_back(fields(attribution.all));
+    for (const auto& row : attribution.by_as) rows.push_back(fields(row));
+    return chart::render_table({"AS", "ASN", "Changes", "Periodic", "Network",
+                                "Power", "Admin", "Unknown"},
+                               rows);
+}
+
+}  // namespace dynaddr::core

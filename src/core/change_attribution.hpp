@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace dynaddr::core {
+
+/// Why one address change happened — the paper's title, answered per
+/// change. Categories follow §2.3: periodic (ISP session limit),
+/// outage-caused (network/power at the CPE), administrative (en-masse
+/// prefix migration), or unknown (reboot/reconnect events invisible to
+/// the datasets, e.g. a cable re-plug between ping samples).
+enum class ChangeCause { Administrative, NetworkOutage, PowerOutage, Periodic, Unknown };
+
+[[nodiscard]] const char* change_cause_name(ChangeCause cause);
+
+/// Attribution tallies for one AS (or the whole population).
+struct ChangeAttributionRow {
+    std::uint32_t asn = 0;  ///< 0 for the "All" row
+    std::string as_name;
+    int total = 0;
+    int administrative = 0;
+    int network = 0;
+    int power = 0;
+    int periodic = 0;
+    int unknown = 0;
+
+    [[nodiscard]] double pct(int part) const {
+        return total == 0 ? 0.0 : 100.0 * part / total;
+    }
+};
+
+struct ChangeAttribution {
+    ChangeAttributionRow all;
+    std::vector<ChangeAttributionRow> by_as;  ///< descending by total
+};
+
+/// Attribution thresholds.
+struct ChangeAttributionConfig {
+    /// Gap-outage overlap slack (same role as in attribute_gaps).
+    net::Duration outage_slack = net::Duration::seconds(300);
+    /// Slack around an administrative event's departure burst.
+    net::Duration admin_slack = net::Duration::days(2);
+    /// Tolerance when matching a tenure against the probe's period.
+    double period_tolerance = 0.05;
+};
+
+/// Classifies every address change of every analyzable probe, using the
+/// already-computed pipeline results. Priority: administrative, then
+/// network outage, then power outage, then periodic (the tenure ending at
+/// the change matches the probe's period or a harmonic of it), else
+/// unknown. Outage categories are only distinguishable when the bundle
+/// carried k-root/uptime data; without it those changes fall to periodic
+/// or unknown.
+ChangeAttribution attribute_changes(const AnalysisResults& results,
+                                    const bgp::PrefixTable& table,
+                                    const bgp::AsRegistry& registry,
+                                    const ChangeAttributionConfig& config = {});
+
+/// Text rendering in the house table style.
+std::string render_change_attribution(const ChangeAttribution& attribution);
+
+}  // namespace dynaddr::core

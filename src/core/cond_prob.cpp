@@ -1,0 +1,117 @@
+#include "core/cond_prob.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dynaddr::core {
+
+ProbeCondProb tally_probe(atlas::ProbeId probe,
+                          std::span<const OutageOutcome> network,
+                          std::span<const OutageOutcome> power) {
+    ProbeCondProb tally;
+    tally.probe = probe;
+    for (const auto& outcome : network) {
+        ++tally.network_outages;
+        if (outcome.address_change) ++tally.network_changes;
+    }
+    for (const auto& outcome : power) {
+        ++tally.power_outages;
+        if (outcome.address_change) ++tally.power_changes;
+    }
+    return tally;
+}
+
+namespace {
+
+Table6Row build_row(std::span<const ProbeCondProb* const> probes,
+                    const CondProbConfig& config) {
+    Table6Row row;
+    row.n = int(probes.size());
+    int nw_over = 0, nw_one = 0, pw_over = 0, pw_one = 0;
+    for (const ProbeCondProb* probe : probes) {
+        const double nw = *probe->p_ac_nw(config.min_outages);
+        const double pw = *probe->p_ac_pw(config.min_outages);
+        if (nw > config.high_probability) ++nw_over;
+        if (nw == 1.0) ++nw_one;
+        if (pw > config.high_probability) ++pw_over;
+        if (pw == 1.0) ++pw_one;
+    }
+    auto pct = [&](int k) {
+        return row.n == 0 ? 0.0 : 100.0 * double(k) / double(row.n);
+    };
+    row.pct_nw_over = pct(nw_over);
+    row.pct_nw_one = pct(nw_one);
+    row.pct_pw_over = pct(pw_over);
+    row.pct_pw_one = pct(pw_one);
+    return row;
+}
+
+}  // namespace
+
+CondProbAnalysis analyze_cond_prob(std::span<const ProbeCondProb> probes,
+                                   const AsMapping& mapping,
+                                   const bgp::AsRegistry& registry,
+                                   const CondProbConfig& config) {
+    CondProbAnalysis analysis;
+    analysis.probes.assign(probes.begin(), probes.end());
+
+    // Probes qualifying for Table 6: enough outages of both kinds.
+    std::vector<const ProbeCondProb*> qualified;
+    for (const auto& probe : analysis.probes)
+        if (probe.p_ac_nw(config.min_outages) && probe.p_ac_pw(config.min_outages))
+            qualified.push_back(&probe);
+
+    analysis.all = build_row(qualified, config);
+    analysis.all.as_name = "All";
+
+    std::map<std::uint32_t, std::vector<const ProbeCondProb*>> by_as;
+    for (const ProbeCondProb* probe : qualified)
+        if (auto asn = mapping.as_of(probe->probe)) by_as[*asn].push_back(probe);
+
+    for (const auto& [asn, members] : by_as) {
+        if (int(members.size()) < config.min_probes_per_as) continue;
+        Table6Row row = build_row(members, config);
+        row.asn = asn;
+        if (auto info = registry.find(asn)) {
+            row.as_name = info->name;
+            row.country = info->country_code;
+        } else {
+            row.as_name = "AS" + std::to_string(asn);
+        }
+        analysis.as_rows.push_back(row);
+    }
+    std::sort(analysis.as_rows.begin(), analysis.as_rows.end(),
+              [](const Table6Row& a, const Table6Row& b) {
+                  if (a.n != b.n) return a.n > b.n;
+                  return a.asn < b.asn;
+              });
+    return analysis;
+}
+
+stats::Cdf cond_prob_cdf(std::span<const ProbeCondProb> probes,
+                         const AsMapping& mapping, std::uint32_t asn,
+                         DetectedOutage::Kind kind, int min_outages) {
+    stats::Cdf cdf;
+    for (const auto& probe : probes) {
+        auto probe_as = mapping.as_of(probe.probe);
+        if (!probe_as || *probe_as != asn) continue;
+        const auto p = kind == DetectedOutage::Kind::Network
+                           ? probe.p_ac_nw(min_outages)
+                           : probe.p_ac_pw(min_outages);
+        if (p) cdf.add(*p);
+    }
+    return cdf;
+}
+
+void DurationBinAnalysis::add(const OutageOutcome& outcome) {
+    const double seconds = double(outcome.outage.duration().count());
+    total.add(seconds);
+    if (outcome.address_change) renumbered.add(seconds);
+}
+
+double DurationBinAnalysis::percent_renumbered(std::size_t bin) const {
+    const double all = total.bin_weight(bin);
+    return all <= 0.0 ? 0.0 : 100.0 * renumbered.bin_weight(bin) / all;
+}
+
+}  // namespace dynaddr::core

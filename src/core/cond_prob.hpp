@@ -1,0 +1,94 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/as_registry.hpp"
+#include "core/as_mapping.hpp"
+#include "core/outages.hpp"
+#include "netcore/histogram.hpp"
+
+namespace dynaddr::core {
+
+/// Thresholds for the conditional-probability analysis (paper §5.3).
+struct CondProbConfig {
+    /// Minimum outages of a kind before a probe's probability is usable.
+    int min_outages = 3;
+    /// Table 6 requires at least this many qualifying probes per AS.
+    int min_probes_per_as = 5;
+    /// Table 6 selects probes with P(ac|nw) above this.
+    double high_probability = 0.8;
+};
+
+/// Per-probe outage/renumbering tallies.
+struct ProbeCondProb {
+    atlas::ProbeId probe = 0;
+    int network_outages = 0;
+    int network_changes = 0;
+    int power_outages = 0;
+    int power_changes = 0;
+
+    /// P(ac|nw): fraction of network outages with an address change;
+    /// nullopt below `min_outages`.
+    [[nodiscard]] std::optional<double> p_ac_nw(int min_outages) const {
+        if (network_outages < min_outages) return std::nullopt;
+        return double(network_changes) / double(network_outages);
+    }
+    [[nodiscard]] std::optional<double> p_ac_pw(int min_outages) const {
+        if (power_outages < min_outages) return std::nullopt;
+        return double(power_changes) / double(power_outages);
+    }
+};
+
+/// Tallies one probe's outage outcomes.
+ProbeCondProb tally_probe(atlas::ProbeId probe,
+                          std::span<const OutageOutcome> network,
+                          std::span<const OutageOutcome> power);
+
+/// One row of the paper's Table 6.
+struct Table6Row {
+    std::uint32_t asn = 0;  ///< 0 for the "All" row
+    std::string as_name;
+    std::string country;
+    int n = 0;  ///< probes with >= min network AND >= min power outages
+    double pct_nw_over = 0.0;  ///< % of N with P(ac|nw) > 0.8
+    double pct_nw_one = 0.0;   ///< % with P(ac|nw) == 1
+    double pct_pw_over = 0.0;
+    double pct_pw_one = 0.0;
+};
+
+/// Full conditional-probability analysis.
+struct CondProbAnalysis {
+    std::vector<ProbeCondProb> probes;
+    Table6Row all;
+    std::vector<Table6Row> as_rows;  ///< qualifying ASes, descending N
+};
+
+/// Builds Table 6 from per-probe tallies. Qualifying rows need
+/// `min_probes_per_as` probes that cleared the outage minimum for both
+/// kinds (the paper's N definition).
+CondProbAnalysis analyze_cond_prob(std::span<const ProbeCondProb> probes,
+                                   const AsMapping& mapping,
+                                   const bgp::AsRegistry& registry,
+                                   const CondProbConfig& config = {});
+
+/// Figure 7/8: CDF over probes of P(ac|outage) for one AS and one outage
+/// kind. Probes below the outage minimum are skipped.
+stats::Cdf cond_prob_cdf(std::span<const ProbeCondProb> probes,
+                         const AsMapping& mapping, std::uint32_t asn,
+                         DetectedOutage::Kind kind, int min_outages = 3);
+
+/// Figure 9: per duration bin, total outages and renumbered outages.
+struct DurationBinAnalysis {
+    stats::BinnedHistogram total = stats::BinnedHistogram::outage_duration_bins();
+    stats::BinnedHistogram renumbered =
+        stats::BinnedHistogram::outage_duration_bins();
+
+    void add(const OutageOutcome& outcome);
+    /// % renumbered in bin, 0 when empty.
+    [[nodiscard]] double percent_renumbered(std::size_t bin) const;
+};
+
+}  // namespace dynaddr::core

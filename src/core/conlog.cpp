@@ -1,0 +1,29 @@
+#include "core/conlog.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dynaddr::core {
+
+std::vector<ProbeLog> group_by_probe(
+    std::span<const atlas::ConnectionLogEntry> entries) {
+    std::unordered_map<atlas::ProbeId, std::size_t> index;
+    std::vector<ProbeLog> logs;
+    for (const auto& entry : entries) {
+        auto [it, inserted] = index.try_emplace(entry.probe, logs.size());
+        if (inserted) logs.push_back(ProbeLog{entry.probe, {}});
+        logs[it->second].entries.push_back(entry);
+    }
+    for (auto& log : logs)
+        std::sort(log.entries.begin(), log.entries.end(),
+                  [](const atlas::ConnectionLogEntry& a,
+                     const atlas::ConnectionLogEntry& b) {
+                      if (a.start != b.start) return a.start < b.start;
+                      return a.end < b.end;
+                  });
+    std::sort(logs.begin(), logs.end(),
+              [](const ProbeLog& a, const ProbeLog& b) { return a.probe < b.probe; });
+    return logs;
+}
+
+}  // namespace dynaddr::core

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "atlas/datasets.hpp"
+
+namespace dynaddr::core {
+
+/// One probe's connection history, sorted by connection start.
+struct ProbeLog {
+    atlas::ProbeId probe = 0;
+    std::vector<atlas::ConnectionLogEntry> entries;
+};
+
+/// Groups a connection log by probe and sorts each probe's entries by
+/// start time. Input order is irrelevant.
+std::vector<ProbeLog> group_by_probe(
+    std::span<const atlas::ConnectionLogEntry> entries);
+
+}  // namespace dynaddr::core

@@ -1,0 +1,110 @@
+#include "core/daily_churn.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "netcore/ascii_chart.hpp"
+#include "core/report.hpp"
+
+namespace dynaddr::core {
+
+namespace {
+
+/// Active IPv4 addresses per day index for one scope.
+using DaySets = std::map<int, std::unordered_set<std::uint32_t>>;
+
+void mark_active(DaySets& days, const atlas::ConnectionLogEntry& entry,
+                 net::TimeInterval window) {
+    const std::int64_t base = window.begin.unix_seconds();
+    const std::int64_t first =
+        std::max<std::int64_t>(0, (entry.start.unix_seconds() - base) / 86400);
+    const std::int64_t last = std::min(
+        (window.length().count() - 1) / 86400,
+        (entry.end.unix_seconds() - base) / 86400);
+    for (std::int64_t day = first; day <= last; ++day)
+        days[int(day)].insert(entry.address.v4.value());
+}
+
+DailyChurnRow summarize(const DaySets& days) {
+    DailyChurnRow row;
+    double delta_sum = 0.0;
+    double active_sum = 0.0;
+    int active_days = 0;
+    for (auto it = days.begin(); it != days.end(); ++it) {
+        active_sum += double(it->second.size());
+        ++active_days;
+        auto next = std::next(it);
+        if (next == days.end() || next->first != it->first + 1) continue;
+        if (it->second.empty()) continue;
+        int gone = 0;
+        for (const auto addr : it->second)
+            if (!next->second.contains(addr)) ++gone;
+        const double delta = double(gone) / double(it->second.size());
+        delta_sum += delta;
+        row.max_delta = std::max(row.max_delta, delta);
+        ++row.days;
+    }
+    row.mean_delta = row.days > 0 ? delta_sum / row.days : 0.0;
+    row.mean_active = active_days > 0 ? active_sum / active_days : 0.0;
+    return row;
+}
+
+}  // namespace
+
+DailyChurnAnalysis analyze_daily_churn(std::span<const ProbeLog> logs,
+                                       const AsMapping& mapping,
+                                       const bgp::AsRegistry& registry,
+                                       net::TimeInterval window) {
+    DaySets all_days;
+    std::map<std::uint32_t, DaySets> as_days;
+    for (const auto& log : logs) {
+        const auto asn = mapping.as_of(log.probe);
+        for (const auto& entry : log.entries) {
+            if (!entry.address.is_v4()) continue;
+            if (entry.end < window.begin || entry.start >= window.end) continue;
+            mark_active(all_days, entry, window);
+            if (asn) mark_active(as_days[*asn], entry, window);
+        }
+    }
+
+    DailyChurnAnalysis analysis;
+    analysis.all = summarize(all_days);
+    analysis.all.as_name = "All";
+    for (const auto& [asn, days] : as_days) {
+        DailyChurnRow row = summarize(days);
+        row.asn = asn;
+        if (auto info = registry.find(asn))
+            row.as_name = info->name;
+        else
+            row.as_name = "AS" + std::to_string(asn);
+        analysis.by_as.push_back(std::move(row));
+    }
+    std::sort(analysis.by_as.begin(), analysis.by_as.end(),
+              [](const DailyChurnRow& a, const DailyChurnRow& b) {
+                  if (a.mean_active != b.mean_active)
+                      return a.mean_active > b.mean_active;
+                  return a.asn < b.asn;
+              });
+    return analysis;
+}
+
+std::string render_daily_churn(const DailyChurnAnalysis& analysis) {
+    std::vector<std::vector<std::string>> rows;
+    auto fields = [](const DailyChurnRow& row) {
+        return std::vector<std::string>{
+            row.as_name,
+            row.asn == 0 ? "-" : std::to_string(row.asn),
+            std::to_string(row.days),
+            fmt(row.mean_active, 1),
+            fmt(100.0 * row.mean_delta, 1) + "%",
+            fmt(100.0 * row.max_delta, 1) + "%"};
+    };
+    rows.push_back(fields(analysis.all));
+    for (const auto& row : analysis.by_as) rows.push_back(fields(row));
+    return chart::render_table({"AS", "ASN", "Day pairs", "Mean active",
+                                "Mean daily churn", "Max"},
+                               rows);
+}
+
+}  // namespace dynaddr::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/as_registry.hpp"
+#include "core/as_mapping.hpp"
+#include "core/conlog.hpp"
+
+namespace dynaddr::core {
+
+/// Day-over-day active-address churn, the metric of Richter et al.
+/// (IMC 2016) that the paper's §8 cites: "the set of addresses observed
+/// at a large CDN on one day differs from the set of addresses observed
+/// on the next day by 8% on average". Here the vantage point is the
+/// probe fleet: an address is active on a day when any of its
+/// connections overlaps that day.
+struct DailyChurnRow {
+    std::uint32_t asn = 0;  ///< 0 for the "All" row
+    std::string as_name;
+    int days = 0;              ///< day pairs measured
+    double mean_delta = 0.0;   ///< mean |S_d \ S_{d+1}| / |S_d|
+    double max_delta = 0.0;
+    double mean_active = 0.0;  ///< mean |S_d|
+};
+
+struct DailyChurnAnalysis {
+    DailyChurnRow all;
+    std::vector<DailyChurnRow> by_as;  ///< descending by mean_active
+};
+
+/// Computes per-AS and overall daily churn over `window` from analyzable
+/// probe logs (single-AS probes feed their AS's row; every probe feeds
+/// the All row). Days with an empty active set are skipped.
+DailyChurnAnalysis analyze_daily_churn(std::span<const ProbeLog> logs,
+                                       const AsMapping& mapping,
+                                       const bgp::AsRegistry& registry,
+                                       net::TimeInterval window);
+
+/// Text rendering in the house table style.
+std::string render_daily_churn(const DailyChurnAnalysis& analysis);
+
+}  // namespace dynaddr::core

@@ -1,0 +1,121 @@
+#include "core/filtering.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dynaddr::core {
+
+namespace {
+
+bool has_multihomed_tag(const atlas::ProbeMetadata& meta,
+                        const FilterConfig& config) {
+    for (const auto& tag : meta.tags)
+        for (const auto& wanted : config.multihomed_tags)
+            if (tag == wanted) return true;
+    return false;
+}
+
+/// Removes a leading connection from the RIPE testing address, mirroring
+/// the paper's cleanup. Returns true when an entry was removed.
+bool strip_testing_entry(ProbeLog& log) {
+    if (log.entries.empty()) return false;
+    const auto& first = log.entries.front();
+    if (first.address.is_v4() && first.address.v4 == atlas::testing_address()) {
+        log.entries.erase(log.entries.begin());
+        return true;
+    }
+    return false;
+}
+
+/// Number of distinct IPv4 addresses across entries.
+std::size_t distinct_v4(const ProbeLog& log) {
+    std::unordered_set<std::uint32_t> seen;
+    for (const auto& e : log.entries)
+        if (e.address.is_v4()) seen.insert(e.address.v4.value());
+    return seen.size();
+}
+
+}  // namespace
+
+const char* category_name(ProbeCategory category) {
+    switch (category) {
+        case ProbeCategory::Analyzable: return "Analyzable";
+        case ProbeCategory::NeverChanged: return "Never changed";
+        case ProbeCategory::DualStack: return "Dual stack";
+        case ProbeCategory::Ipv6Only: return "IPv6";
+        case ProbeCategory::TaggedMultihomed:
+            return "Multihomed / Core / Datacenter (tags)";
+        case ProbeCategory::AlternatingMultihomed:
+            return "Multihomed (alternating addresses)";
+        case ProbeCategory::TestingAddressOnly:
+            return "Only address change from 193.0.0.78";
+    }
+    return "?";
+}
+
+bool is_alternating_multihomed(const ProbeLog& log, int min_returns) {
+    // Count, per address, how many times the probe *returns* to it: a
+    // connection from A after at least one connection from a different
+    // address. ISP dynamics essentially never hand the same address back
+    // repeatedly with other addresses in between; a second upstream does.
+    std::unordered_map<std::uint32_t, int> returns;
+    std::unordered_set<std::uint32_t> seen;
+    std::uint32_t previous = 0;
+    bool have_previous = false;
+    for (const auto& entry : log.entries) {
+        if (!entry.address.is_v4()) continue;
+        const std::uint32_t addr = entry.address.v4.value();
+        if (have_previous && addr != previous && seen.contains(addr)) {
+            if (++returns[addr] >= min_returns) return true;
+        }
+        seen.insert(addr);
+        previous = addr;
+        have_previous = true;
+    }
+    return false;
+}
+
+FilterReport filter_probes(std::span<const ProbeLog> logs,
+                           std::span<const atlas::ProbeMetadata> metadata,
+                           const FilterConfig& config) {
+    std::unordered_map<atlas::ProbeId, const atlas::ProbeMetadata*> meta_by_id;
+    for (const auto& meta : metadata) meta_by_id[meta.probe] = &meta;
+
+    FilterReport report;
+    auto classify = [&](const ProbeLog& log) -> ProbeCategory {
+        bool any_v4 = false, any_v6 = false;
+        for (const auto& e : log.entries) {
+            any_v4 = any_v4 || e.address.is_v4();
+            any_v6 = any_v6 || !e.address.is_v4();
+        }
+        if (any_v6 && !any_v4) return ProbeCategory::Ipv6Only;
+        if (any_v6 && any_v4) return ProbeCategory::DualStack;
+        if (auto it = meta_by_id.find(log.probe);
+            it != meta_by_id.end() && has_multihomed_tag(*it->second, config))
+            return ProbeCategory::TaggedMultihomed;
+        if (is_alternating_multihomed(log, config.min_returns_for_multihomed))
+            return ProbeCategory::AlternatingMultihomed;
+
+        ProbeLog cleaned = log;
+        const bool had_testing = strip_testing_entry(cleaned);
+        const std::size_t addresses = distinct_v4(cleaned);
+        if (addresses <= 1) {
+            if (had_testing) return ProbeCategory::TestingAddressOnly;
+            return ProbeCategory::NeverChanged;
+        }
+        report.analyzable.push_back(std::move(cleaned));
+        return ProbeCategory::Analyzable;
+    };
+
+    for (const auto& log : logs) {
+        const ProbeCategory category = classify(log);
+        report.category[log.probe] = category;
+        ++report.counts[category];
+    }
+    std::sort(report.analyzable.begin(), report.analyzable.end(),
+              [](const ProbeLog& a, const ProbeLog& b) { return a.probe < b.probe; });
+    return report;
+}
+
+}  // namespace dynaddr::core

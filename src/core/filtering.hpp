@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/conlog.hpp"
+
+namespace dynaddr::core {
+
+/// Why a probe was excluded from analysis (paper Table 2), or Analyzable.
+enum class ProbeCategory {
+    Analyzable,
+    NeverChanged,          ///< one IPv4 address for the whole window
+    DualStack,             ///< mixes IPv4 and IPv6 connections
+    Ipv6Only,              ///< connects solely over IPv6
+    TaggedMultihomed,      ///< carries a multihomed/datacentre/core tag
+    AlternatingMultihomed, ///< behavioural signature: returns to a fixed address
+    TestingAddressOnly,    ///< only change was from the RIPE testing address
+};
+
+/// Human-readable name for a category.
+[[nodiscard]] const char* category_name(ProbeCategory category);
+
+/// Filtering knobs; defaults follow the paper.
+struct FilterConfig {
+    /// Tags that mark a probe multihomed/datacenter (paper §3.2).
+    std::vector<std::string> multihomed_tags = {"multihomed", "datacentre", "core"};
+    /// A probe is behaviourally multihomed when it *returns* to some
+    /// previously used address (after using a different one) at least this
+    /// many times — the alternating-addresses signature.
+    int min_returns_for_multihomed = 3;
+};
+
+/// Outcome of the Table 2 pipeline.
+struct FilterReport {
+    /// Category of every input probe.
+    std::map<atlas::ProbeId, ProbeCategory> category;
+    /// Count per category.
+    std::map<ProbeCategory, int> counts;
+    /// Cleaned logs of analyzable probes: testing-address entries removed,
+    /// sorted by probe id.
+    std::vector<ProbeLog> analyzable;
+
+    [[nodiscard]] int count(ProbeCategory c) const {
+        auto it = counts.find(c);
+        return it == counts.end() ? 0 : it->second;
+    }
+    [[nodiscard]] int total() const {
+        int sum = 0;
+        for (const auto& [c, n] : counts) sum += n;
+        return sum;
+    }
+};
+
+/// Runs the paper's probe-filtering pipeline (§3.2-3.3) over per-probe
+/// logs plus the probe-archive metadata (for tags). Classification order:
+/// IPv6-only, dual-stack, tagged, behaviourally-alternating, testing-
+/// address-only, never-changed; survivors are analyzable. The categories
+/// partition the input.
+FilterReport filter_probes(std::span<const ProbeLog> logs,
+                           std::span<const atlas::ProbeMetadata> metadata,
+                           const FilterConfig& config = {});
+
+/// True when the log shows the alternating-addresses multihomed
+/// behaviour (exposed for targeted testing).
+bool is_alternating_multihomed(const ProbeLog& log, int min_returns);
+
+}  // namespace dynaddr::core

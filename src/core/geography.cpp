@@ -1,0 +1,97 @@
+#include "core/geography.hpp"
+
+#include <unordered_map>
+
+namespace dynaddr::core {
+
+std::optional<bgp::Continent> continent_of_country(const std::string& code) {
+    using bgp::Continent;
+    static const std::unordered_map<std::string, Continent> table = {
+        // Europe
+        {"DE", Continent::Europe},  {"FR", Continent::Europe},
+        {"GB", Continent::Europe},  {"UK", Continent::Europe},
+        {"NL", Continent::Europe},  {"BE", Continent::Europe},
+        {"AT", Continent::Europe},  {"CH", Continent::Europe},
+        {"IT", Continent::Europe},  {"ES", Continent::Europe},
+        {"PT", Continent::Europe},  {"PL", Continent::Europe},
+        {"CZ", Continent::Europe},  {"SK", Continent::Europe},
+        {"HU", Continent::Europe},  {"HR", Continent::Europe},
+        {"SI", Continent::Europe},  {"RS", Continent::Europe},
+        {"RO", Continent::Europe},  {"BG", Continent::Europe},
+        {"GR", Continent::Europe},  {"SE", Continent::Europe},
+        {"NO", Continent::Europe},  {"FI", Continent::Europe},
+        {"DK", Continent::Europe},  {"IE", Continent::Europe},
+        {"IS", Continent::Europe},  {"EE", Continent::Europe},
+        {"LV", Continent::Europe},  {"LT", Continent::Europe},
+        {"RU", Continent::Europe},  {"UA", Continent::Europe},
+        {"BY", Continent::Europe},  {"MD", Continent::Europe},
+        {"LU", Continent::Europe},  {"MT", Continent::Europe},
+        {"CY", Continent::Europe},  {"AL", Continent::Europe},
+        {"BA", Continent::Europe},  {"MK", Continent::Europe},
+        {"ME", Continent::Europe},
+        // North America
+        {"US", Continent::NorthAmerica}, {"CA", Continent::NorthAmerica},
+        {"MX", Continent::NorthAmerica}, {"CR", Continent::NorthAmerica},
+        {"PA", Continent::NorthAmerica}, {"GT", Continent::NorthAmerica},
+        {"CU", Continent::NorthAmerica}, {"DO", Continent::NorthAmerica},
+        // Asia
+        {"CN", Continent::Asia}, {"JP", Continent::Asia},
+        {"KR", Continent::Asia}, {"IN", Continent::Asia},
+        {"KZ", Continent::Asia}, {"SG", Continent::Asia},
+        {"HK", Continent::Asia}, {"TW", Continent::Asia},
+        {"TH", Continent::Asia}, {"MY", Continent::Asia},
+        {"ID", Continent::Asia}, {"PH", Continent::Asia},
+        {"VN", Continent::Asia}, {"IL", Continent::Asia},
+        {"TR", Continent::Asia}, {"AE", Continent::Asia},
+        {"SA", Continent::Asia}, {"IR", Continent::Asia},
+        {"PK", Continent::Asia}, {"BD", Continent::Asia},
+        {"LK", Continent::Asia}, {"NP", Continent::Asia},
+        {"GE", Continent::Asia}, {"AM", Continent::Asia},
+        {"AZ", Continent::Asia}, {"UZ", Continent::Asia},
+        // Africa
+        {"ZA", Continent::Africa}, {"EG", Continent::Africa},
+        {"NG", Continent::Africa}, {"KE", Continent::Africa},
+        {"MU", Continent::Africa}, {"SN", Continent::Africa},
+        {"MA", Continent::Africa}, {"TN", Continent::Africa},
+        {"DZ", Continent::Africa}, {"GH", Continent::Africa},
+        {"TZ", Continent::Africa}, {"UG", Continent::Africa},
+        {"ZM", Continent::Africa}, {"ZW", Continent::Africa},
+        {"AO", Continent::Africa}, {"CM", Continent::Africa},
+        // South America
+        {"BR", Continent::SouthAmerica}, {"AR", Continent::SouthAmerica},
+        {"CL", Continent::SouthAmerica}, {"UY", Continent::SouthAmerica},
+        {"CO", Continent::SouthAmerica}, {"PE", Continent::SouthAmerica},
+        {"VE", Continent::SouthAmerica}, {"EC", Continent::SouthAmerica},
+        {"BO", Continent::SouthAmerica}, {"PY", Continent::SouthAmerica},
+        // Oceania
+        {"AU", Continent::Oceania}, {"NZ", Continent::Oceania},
+        {"FJ", Continent::Oceania}, {"PG", Continent::Oceania},
+    };
+    auto it = table.find(code);
+    if (it == table.end()) return std::nullopt;
+    return it->second;
+}
+
+GeographyAnalysis analyze_geography(
+    std::span<const ProbeChanges> probes,
+    std::span<const atlas::ProbeMetadata> metadata) {
+    std::unordered_map<atlas::ProbeId, const atlas::ProbeMetadata*> meta_by_id;
+    for (const auto& meta : metadata) meta_by_id[meta.probe] = &meta;
+
+    GeographyAnalysis analysis;
+    for (const auto& probe : probes) {
+        auto it = meta_by_id.find(probe.probe);
+        const std::string country =
+            it == meta_by_id.end() ? std::string{} : it->second->country_code;
+        const auto continent = continent_of_country(country);
+        if (!continent) {
+            ++analysis.unlocated_probes;
+            continue;
+        }
+        analysis.by_continent[*continent].add_all(probe.spans);
+        analysis.by_country[country].add_all(probe.spans);
+    }
+    return analysis;
+}
+
+}  // namespace dynaddr::core

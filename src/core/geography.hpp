@@ -1,0 +1,34 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "bgp/as_registry.hpp"
+#include "core/address_change.hpp"
+#include "core/total_time_fraction.hpp"
+
+namespace dynaddr::core {
+
+/// Continent of an ISO 3166-1 alpha-2 country code; nullopt when unknown.
+/// Covers the countries appearing in RIPE Atlas deployments; extendable.
+std::optional<bgp::Continent> continent_of_country(const std::string& code);
+
+/// Figure 1: total-time-fraction distributions aggregated by continent.
+/// Probes are located via the probe-archive country (the paper uses the
+/// RIPE probe database the same way).
+struct GeographyAnalysis {
+    /// One TTF per continent that has at least one span.
+    std::map<bgp::Continent, TotalTimeFraction> by_continent;
+    /// Per-country aggregation (used for Figure 3-style country views).
+    std::map<std::string, TotalTimeFraction> by_country;
+    /// Probes whose country was missing or unknown.
+    int unlocated_probes = 0;
+};
+
+GeographyAnalysis analyze_geography(
+    std::span<const ProbeChanges> probes,
+    std::span<const atlas::ProbeMetadata> metadata);
+
+}  // namespace dynaddr::core

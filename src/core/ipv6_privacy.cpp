@@ -1,0 +1,70 @@
+#include "core/ipv6_privacy.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dynaddr::core {
+
+Ipv6PrivacyAnalysis analyze_ipv6_privacy(std::span<const ProbeLog> logs,
+                                         const Ipv6PrivacyConfig& config) {
+    Ipv6PrivacyAnalysis analysis;
+    for (const auto& log : logs) {
+        struct Sighting {
+            net::TimePoint first;
+            net::TimePoint last;
+        };
+        std::map<net::IPv6Address, Sighting> sightings;
+        for (const auto& entry : log.entries) {
+            if (entry.address.is_v4()) continue;
+            auto [it, inserted] =
+                sightings.try_emplace(entry.address.v6,
+                                      Sighting{entry.start, entry.end});
+            if (!inserted) {
+                it->second.first = std::min(it->second.first, entry.start);
+                it->second.last = std::max(it->second.last, entry.end);
+            }
+        }
+        if (sightings.empty()) continue;
+
+        Ipv6ProbeView view;
+        view.probe = log.probe;
+        view.addresses = int(sightings.size());
+        // Group by /64 and collect first-sighting times for the rotation
+        // estimate.
+        std::map<net::IPv6Address, std::vector<net::TimePoint>> by_prefix;
+        for (const auto& [address, sighting] : sightings) {
+            if (sighting.last - sighting.first <= config.ephemeral_lifetime)
+                ++view.ephemeral;
+            by_prefix[address.prefix64()].push_back(sighting.first);
+        }
+        std::size_t busiest = 0;
+        std::vector<net::TimePoint>* busiest_firsts = nullptr;
+        for (auto& [prefix, firsts] : by_prefix) {
+            if (firsts.size() >= std::size_t(config.min_iids_for_rotation))
+                view.rotating = true;
+            if (firsts.size() > busiest) {
+                busiest = firsts.size();
+                busiest_firsts = &firsts;
+            }
+        }
+        if (busiest_firsts != nullptr && busiest_firsts->size() >= 2) {
+            std::sort(busiest_firsts->begin(), busiest_firsts->end());
+            std::vector<double> gaps;
+            for (std::size_t i = 1; i < busiest_firsts->size(); ++i)
+                gaps.push_back(
+                    ((*busiest_firsts)[i] - (*busiest_firsts)[i - 1]).to_hours());
+            std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2,
+                             gaps.end());
+            view.rotation_hours = gaps[gaps.size() / 2];
+            analysis.rotation_cdf.add(view.rotation_hours);
+        }
+
+        analysis.total_addresses += view.addresses;
+        analysis.ephemeral_addresses += view.ephemeral;
+        if (view.rotating) ++analysis.rotating_probes;
+        analysis.probes.push_back(std::move(view));
+    }
+    return analysis;
+}
+
+}  // namespace dynaddr::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/conlog.hpp"
+#include "netcore/histogram.hpp"
+
+namespace dynaddr::core {
+
+/// IPv6 temporary-address analysis (the paper's §8 future work, following
+/// Plonka & Berger's ephemeral/stable classification and the RFC 4941
+/// recommendation — cited in the paper — that privacy addresses rotate
+/// daily).
+///
+/// Works over the probes the IPv4 pipeline *discards* (dual-stack and
+/// IPv6-only): for each probe, its IPv6 addresses are grouped by /64; an
+/// address is ephemeral when the span between its first and last sighting
+/// stays under a threshold, and a probe "rotates" when it used several
+/// interface identifiers inside one /64.
+struct Ipv6PrivacyConfig {
+    /// Maximum observed lifetime for an address to count as ephemeral
+    /// (RFC 4941 default preferred lifetime is 1 day; allow slack for the
+    /// overlap window during regeneration).
+    net::Duration ephemeral_lifetime = net::Duration::hours(36);
+    /// Minimum distinct interface ids inside one /64 before the probe
+    /// counts as rotating.
+    int min_iids_for_rotation = 3;
+};
+
+struct Ipv6ProbeView {
+    atlas::ProbeId probe = 0;
+    int addresses = 0;       ///< distinct IPv6 addresses seen
+    int ephemeral = 0;       ///< of those, short-lived ones
+    bool rotating = false;   ///< several IIDs inside one /64
+    /// Median hours between first sightings of successive addresses in
+    /// the busiest /64 (0 when fewer than two addresses) — the rotation
+    /// period estimate.
+    double rotation_hours = 0.0;
+};
+
+struct Ipv6PrivacyAnalysis {
+    std::vector<Ipv6ProbeView> probes;  ///< probes with >= 1 IPv6 connection
+    int total_addresses = 0;
+    int ephemeral_addresses = 0;
+    int rotating_probes = 0;
+    /// Distribution of per-probe rotation period estimates, hours.
+    stats::Cdf rotation_cdf;
+
+    [[nodiscard]] double ephemeral_fraction() const {
+        return total_addresses == 0
+                   ? 0.0
+                   : double(ephemeral_addresses) / total_addresses;
+    }
+};
+
+/// Runs over *unfiltered* per-probe logs (the v4 pipeline's discards are
+/// exactly the input here).
+Ipv6PrivacyAnalysis analyze_ipv6_privacy(std::span<const ProbeLog> logs,
+                                         const Ipv6PrivacyConfig& config = {});
+
+}  // namespace dynaddr::core

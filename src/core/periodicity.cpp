@@ -1,0 +1,150 @@
+#include "core/periodicity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dynaddr::core {
+
+namespace {
+
+/// Percentage helper, 0 when the denominator is 0.
+double pct(int numerator, int denominator) {
+    return denominator == 0 ? 0.0 : 100.0 * double(numerator) / double(denominator);
+}
+
+/// Builds one Table 5 row from a set of probes periodic at `d`.
+Table5Row build_row(double d, int probes_with_change,
+                    std::span<const ProbePeriodicity* const> periodic,
+                    double tolerance) {
+    Table5Row row;
+    row.d_hours = d;
+    row.probes_with_change = probes_with_change;
+    row.periodic_probes = int(periodic.size());
+    int over_half = 0, over_34 = 0, max_le = 0, harmonic = 0;
+    const double cap = d * (1.0 + tolerance);
+    for (const ProbePeriodicity* probe : periodic) {
+        const double f = probe->ttf.fraction_at(d);
+        if (f > 0.5) ++over_half;
+        if (f > 0.75) ++over_34;
+        if (probe->max_span_hours <= cap) ++max_le;
+        if (spans_harmonic_of(probe->span_hours, d, tolerance)) ++harmonic;
+    }
+    row.pct_over_half = pct(over_half, row.periodic_probes);
+    row.pct_over_three_quarters = pct(over_34, row.periodic_probes);
+    row.pct_max_le_d = pct(max_le, row.periodic_probes);
+    row.pct_harmonic = pct(harmonic, row.periodic_probes);
+    return row;
+}
+
+}  // namespace
+
+ProbePeriodicity classify_probe(const ProbeChanges& changes,
+                                const PeriodicityConfig& config) {
+    ProbePeriodicity result;
+    result.probe = changes.probe;
+    result.change_count = int(changes.changes.size());
+    for (const auto& span : changes.spans) {
+        const double hours = quantize_hours(span.duration());
+        result.span_hours.push_back(hours);
+        result.max_span_hours = std::max(result.max_span_hours, hours);
+    }
+    result.ttf.add_all(changes.spans);
+    // Largest-mass duration that repeats often enough to be a schedule.
+    for (const auto& mode : result.ttf.modes(config.probe_threshold)) {
+        const auto repeats = std::count(result.span_hours.begin(),
+                                        result.span_hours.end(), mode.x);
+        if (repeats < config.min_spans_at_period) continue;
+        result.period_hours = mode.x;
+        result.fraction = mode.y;
+        break;
+    }
+    return result;
+}
+
+bool spans_harmonic_of(std::span<const double> span_hours, double d_hours,
+                       double tolerance) {
+    if (d_hours <= 0.0) return false;
+    for (double span : span_hours) {
+        if (span <= d_hours * (1.0 + tolerance)) continue;
+        const double k = std::round(span / d_hours);
+        if (k < 1.0 || std::abs(span - k * d_hours) > tolerance * d_hours)
+            return false;
+    }
+    return true;
+}
+
+PeriodicityAnalysis analyze_periodicity(std::span<const ProbeChanges> probes,
+                                        const AsMapping& mapping,
+                                        const bgp::AsRegistry& registry,
+                                        const PeriodicityConfig& config) {
+    PeriodicityAnalysis analysis;
+    analysis.probes.reserve(probes.size());
+    for (const auto& changes : probes)
+        analysis.probes.push_back(classify_probe(changes, config));
+
+    // ---- "All" rows at the two headline periods -------------------------
+    int total_changed = 0;
+    for (const auto& probe : analysis.probes)
+        if (probe.change_count >= 1) ++total_changed;
+    for (double d : {24.0, 168.0}) {
+        std::vector<const ProbePeriodicity*> periodic;
+        for (const auto& probe : analysis.probes)
+            if (probe.ttf.fraction_at(d) > config.probe_threshold)
+                periodic.push_back(&probe);
+        Table5Row row = build_row(d, total_changed, periodic, config.tolerance);
+        row.as_name = "All";
+        analysis.all_rows.push_back(row);
+    }
+
+    // ---- per-(AS, d) rows -------------------------------------------------
+    // Group single-AS probes by AS; count changed probes per AS; bucket
+    // periodic probes by their period.
+    std::map<std::uint32_t, std::vector<const ProbePeriodicity*>> by_as;
+    for (const auto& probe : analysis.probes) {
+        auto asn = mapping.as_of(probe.probe);
+        if (!asn) continue;
+        by_as[*asn].push_back(&probe);
+    }
+    for (const auto& [asn, members] : by_as) {
+        int changed = 0;
+        std::map<double, std::vector<const ProbePeriodicity*>> by_period;
+        for (const ProbePeriodicity* probe : members) {
+            if (probe->change_count >= 1) ++changed;
+            if (probe->period_hours)
+                by_period[*probe->period_hours].push_back(probe);
+        }
+        if (changed < config.min_changed_probes) continue;
+        for (const auto& [d, periodic] : by_period) {
+            if (int(periodic.size()) < config.min_periodic_probes) continue;
+            Table5Row row = build_row(d, changed, periodic, config.tolerance);
+            row.asn = asn;
+            if (auto info = registry.find(asn)) {
+                row.as_name = info->name;
+                row.country = info->country_code;
+            } else {
+                row.as_name = "AS" + std::to_string(asn);
+            }
+            analysis.as_rows.push_back(row);
+        }
+    }
+    std::sort(analysis.as_rows.begin(), analysis.as_rows.end(),
+              [](const Table5Row& a, const Table5Row& b) {
+                  if (a.periodic_probes != b.periodic_probes)
+                      return a.periodic_probes > b.periodic_probes;
+                  return a.asn < b.asn;
+              });
+    return analysis;
+}
+
+std::array<int, 24> sync_histogram(std::span<const ProbeChanges> probes,
+                                   double d_hours) {
+    std::array<int, 24> histogram{};
+    for (const auto& changes : probes)
+        for (const auto& span : changes.spans)
+            if (quantize_hours(span.duration()) == d_hours)
+                ++histogram[std::size_t(span.end.hour_of_day())];
+    return histogram;
+}
+
+}  // namespace dynaddr::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/as_registry.hpp"
+#include "core/address_change.hpp"
+#include "core/as_mapping.hpp"
+#include "core/total_time_fraction.hpp"
+
+namespace dynaddr::core {
+
+/// Thresholds for periodic classification; defaults follow the paper §4.4.
+struct PeriodicityConfig {
+    /// A probe is periodic at duration d when f_d exceeds this.
+    double probe_threshold = 0.25;
+    /// An AS qualifies for Table 5 with at least this many probes that had
+    /// an address change...
+    int min_changed_probes = 5;
+    /// ...of which at least this many are periodic at the same d.
+    int min_periodic_probes = 3;
+    /// Relative tolerance when testing MAX <= d and harmonic multiples
+    /// (the paper uses d + 5%).
+    double tolerance = 0.05;
+    /// A probe must have at least this many tenures of duration d before
+    /// d counts as its period. The paper's fraction threshold alone lets a
+    /// stable probe with a handful of months-long tenures look "periodic"
+    /// at its longest one; real periodicity repeats. (Methodological
+    /// strengthening over the paper; set to 1 to reproduce its rule
+    /// exactly.)
+    int min_spans_at_period = 3;
+};
+
+/// Per-probe periodicity classification.
+struct ProbePeriodicity {
+    atlas::ProbeId probe = 0;
+    int change_count = 0;
+    /// Duration (quantized hours) carrying the largest total time
+    /// fraction, when that fraction clears the threshold.
+    std::optional<double> period_hours;
+    /// f at period_hours (0 when not periodic).
+    double fraction = 0.0;
+    TotalTimeFraction ttf;
+    /// Largest quantized span, hours.
+    double max_span_hours = 0.0;
+    /// All quantized spans, hours (for harmonic tests and histograms).
+    std::vector<double> span_hours;
+};
+
+/// Classifies one probe. Always returns the TTF; period_hours is set only
+/// when some duration's fraction exceeds the threshold.
+ProbePeriodicity classify_probe(const ProbeChanges& changes,
+                                const PeriodicityConfig& config = {});
+
+/// True when every span is <= d(1+tol) or within d·tol of a multiple of d
+/// — the paper's "Harmonic" column.
+bool spans_harmonic_of(std::span<const double> span_hours, double d_hours,
+                       double tolerance);
+
+/// One row of the paper's Table 5.
+struct Table5Row {
+    std::uint32_t asn = 0;       ///< 0 for the "All" rows
+    std::string as_name;         ///< "All" for the aggregate rows
+    std::string country;
+    double d_hours = 0.0;
+    int probes_with_change = 0;  ///< N
+    int periodic_probes = 0;     ///< f_d > 0.25
+    double pct_over_half = 0.0;       ///< % of periodic with f_d > 0.5
+    double pct_over_three_quarters = 0.0;  ///< % with f_d > 0.75
+    double pct_max_le_d = 0.0;        ///< % whose MAX span <= d (+tol)
+    double pct_harmonic = 0.0;        ///< % whose spans are all multiples of d
+};
+
+/// Full periodicity analysis output.
+struct PeriodicityAnalysis {
+    std::vector<ProbePeriodicity> probes;   ///< every analyzable probe
+    std::vector<Table5Row> all_rows;        ///< "All" rows (d = 24 h, 168 h)
+    std::vector<Table5Row> as_rows;         ///< qualifying (AS, d) rows,
+                                            ///< sorted by periodic count desc
+};
+
+/// Runs the paper's §4.3-4.4 analysis: classify each probe, then build
+/// Table 5. AS grouping uses single-AS probes only (the paper's
+/// conservative AS-level choice); registry fills in names/countries.
+PeriodicityAnalysis analyze_periodicity(std::span<const ProbeChanges> probes,
+                                        const AsMapping& mapping,
+                                        const bgp::AsRegistry& registry,
+                                        const PeriodicityConfig& config = {});
+
+/// Figure 4/5: for every span of (quantized) duration d_hours belonging to
+/// the given probes, the UTC hour of day at which the span ended.
+std::array<int, 24> sync_histogram(std::span<const ProbeChanges> probes,
+                                   double d_hours);
+
+}  // namespace dynaddr::core

@@ -1,0 +1,150 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::core {
+
+const ProbeChanges* AnalysisResults::changes_of(atlas::ProbeId probe) const {
+    auto it = std::lower_bound(changes.begin(), changes.end(), probe,
+                               [](const ProbeChanges& c, atlas::ProbeId id) {
+                                   return c.probe < id;
+                               });
+    if (it == changes.end() || it->probe != probe) return nullptr;
+    return &*it;
+}
+
+DurationBinAnalysis duration_bins_for_as(
+    const AnalysisResults& results, std::uint32_t asn,
+    std::optional<DetectedOutage::Kind> kind) {
+    DurationBinAnalysis bins;
+    auto feed = [&](const std::map<atlas::ProbeId, std::vector<OutageOutcome>>&
+                        outcomes) {
+        for (const auto& [probe, list] : outcomes) {
+            auto probe_as = results.mapping.as_of(probe);
+            if (!probe_as || *probe_as != asn) continue;
+            for (const auto& outcome : list) bins.add(outcome);
+        }
+    };
+    if (!kind || *kind == DetectedOutage::Kind::Network)
+        feed(results.network_outcomes);
+    if (!kind || *kind == DetectedOutage::Kind::Power)
+        feed(results.power_outcomes);
+    return bins;
+}
+
+AnalysisResults AnalysisPipeline::run(
+    const atlas::DatasetBundle& bundle, const bgp::PrefixTable& table,
+    const bgp::AsRegistry& registry,
+    std::optional<net::TimeInterval> window) const {
+    AnalysisResults results;
+
+    // -- observation window ---------------------------------------------------
+    if (window) {
+        results.window = *window;
+    } else {
+        net::TimePoint lo{std::int64_t{1} << 60}, hi{-(std::int64_t{1} << 60)};
+        for (const auto& e : bundle.connection_log) {
+            lo = std::min(lo, e.start);
+            hi = std::max(hi, e.end);
+        }
+        if (bundle.connection_log.empty()) throw Error("empty connection log");
+        results.window = {lo, hi + net::Duration::seconds(1)};
+    }
+
+    // -- §3: filtering and change extraction ----------------------------------
+    const auto logs = group_by_probe(bundle.connection_log);
+    results.filter = filter_probes(logs, bundle.probes, config_.filter);
+    results.ipv6_privacy = analyze_ipv6_privacy(logs, config_.ipv6);
+    results.mapping = map_probes_to_as(results.filter.analyzable, table);
+
+    results.changes.reserve(results.filter.analyzable.size());
+    for (const auto& log : results.filter.analyzable)
+        results.changes.push_back(extract_changes(log));
+
+    // -- §4: periodicity; geography --------------------------------------------
+    results.periodicity = analyze_periodicity(results.changes, results.mapping,
+                                              registry, config_.periodicity);
+    results.geography = analyze_geography(results.changes, bundle.probes);
+
+    // -- §6: prefixes -----------------------------------------------------------
+    results.prefix_changes = analyze_prefix_changes(
+        results.changes, results.mapping, table, registry);
+
+    // -- §8 future work: administrative renumbering ------------------------------
+    results.admin_events = detect_admin_renumbering(
+        results.changes, results.mapping, table, results.window.end,
+        config_.admin);
+
+    // -- §5: outages (needs k-root + uptime data) -------------------------------
+    if (bundle.kroot_pings.empty() && bundle.uptime_records.empty())
+        return results;
+
+    std::unordered_map<atlas::ProbeId, atlas::ProbeVersion> version;
+    for (const auto& meta : bundle.probes) version[meta.probe] = meta.version;
+
+    const auto kroot = split_kroot_by_probe(bundle.kroot_pings);
+    const auto uptime = split_uptime_by_probe(bundle.uptime_records);
+
+    // Reboots across the whole population feed the firmware-spike filter.
+    std::vector<RebootInference> all_reboots;
+    for (const auto& [probe, records] : uptime) {
+        auto reboots = detect_reboots(records);
+        all_reboots.insert(all_reboots.end(), reboots.begin(), reboots.end());
+    }
+    results.firmware =
+        detect_firmware_spikes(all_reboots, results.window, config_.outage);
+    const auto filtered_reboots = filter_firmware_reboots(
+        all_reboots, results.firmware.release_days, config_.outage);
+    std::map<atlas::ProbeId, std::vector<RebootInference>> reboots_by_probe;
+    for (const auto& reboot : filtered_reboots)
+        reboots_by_probe[reboot.probe].push_back(reboot);
+
+    std::vector<ProbeCondProb> tallies;
+    for (const auto& log : results.filter.analyzable) {
+        const atlas::ProbeId probe = log.probe;
+        const auto kroot_it = kroot.find(probe);
+        if (kroot_it == kroot.end()) continue;
+
+        // Network outages: every probe version.
+        auto network = detect_network_outages(kroot_it->second, config_.outage);
+
+        // Power outages: v3 only — v1/v2 reboot on new TCP connections and
+        // would fake power cuts (paper §5.1).
+        std::vector<DetectedOutage> power;
+        const auto version_it = version.find(probe);
+        const bool v3 = version_it == version.end() ||
+                        version_it->second == atlas::ProbeVersion::V3;
+        if (v3) {
+            if (auto rb = reboots_by_probe.find(probe);
+                rb != reboots_by_probe.end()) {
+                power = detect_power_outages(rb->second, kroot_it->second,
+                                             config_.outage);
+                // A "power outage" whose window is explained by a detected
+                // network outage is the network event seen twice; keep the
+                // network attribution (paper §3.6 priority).
+                std::erase_if(power, [&](const DetectedOutage& p) {
+                    for (const auto& n : network)
+                        if (n.begin < p.end && p.begin < n.end) return true;
+                    return false;
+                });
+            }
+        }
+
+        auto network_outcomes = outage_outcomes(log, network);
+        auto power_outcomes = outage_outcomes(log, power);
+        tallies.push_back(tally_probe(probe, network_outcomes, power_outcomes));
+
+        results.network_outages.emplace(probe, std::move(network));
+        results.power_outages.emplace(probe, std::move(power));
+        results.network_outcomes.emplace(probe, std::move(network_outcomes));
+        results.power_outcomes.emplace(probe, std::move(power_outcomes));
+    }
+    results.cond_prob = analyze_cond_prob(tallies, results.mapping, registry,
+                                          config_.cond_prob);
+    return results;
+}
+
+}  // namespace dynaddr::core

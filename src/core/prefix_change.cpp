@@ -1,0 +1,63 @@
+#include "core/prefix_change.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dynaddr::core {
+
+PrefixChangeAnalysis analyze_prefix_changes(
+    std::span<const ProbeChanges> probes, const AsMapping& mapping,
+    const bgp::PrefixTable& table, const bgp::AsRegistry& registry,
+    int min_rows_changes) {
+    PrefixChangeAnalysis analysis;
+    analysis.all.as_name = "All";
+    std::map<std::uint32_t, Table7Row> rows;
+
+    for (const auto& probe : probes) {
+        auto asn = mapping.as_of(probe.probe);
+        if (!asn) continue;  // multi-AS probes dropped per the paper
+        Table7Row* row = nullptr;
+        {
+            auto [it, inserted] = rows.try_emplace(*asn);
+            row = &it->second;
+            if (inserted) {
+                row->asn = *asn;
+                if (auto info = registry.find(*asn)) {
+                    row->as_name = info->name;
+                    row->country = info->country_code;
+                } else {
+                    row->as_name = "AS" + std::to_string(*asn);
+                }
+            }
+        }
+        for (const auto& change : probe.changes) {
+            const auto from_routed = table.routed_prefix(change.from, change.last_seen);
+            const auto to_routed = table.routed_prefix(change.to, change.first_seen);
+            const bool diff_bgp = from_routed && to_routed &&
+                                  from_routed->prefix != to_routed->prefix;
+            const bool diff_16 = net::IPv4Prefix::slash16_of(change.from) !=
+                                 net::IPv4Prefix::slash16_of(change.to);
+            const bool diff_8 = net::IPv4Prefix::slash8_of(change.from) !=
+                                net::IPv4Prefix::slash8_of(change.to);
+            for (Table7Row* target : {row, &analysis.all}) {
+                ++target->total_changes;
+                if (diff_bgp) ++target->diff_bgp;
+                if (diff_16) ++target->diff_16;
+                if (diff_8) ++target->diff_8;
+            }
+        }
+    }
+
+    for (auto& [asn, row] : rows)
+        if (row.total_changes >= min_rows_changes)
+            analysis.as_rows.push_back(std::move(row));
+    std::sort(analysis.as_rows.begin(), analysis.as_rows.end(),
+              [](const Table7Row& a, const Table7Row& b) {
+                  if (a.total_changes != b.total_changes)
+                      return a.total_changes > b.total_changes;
+                  return a.asn < b.asn;
+              });
+    return analysis;
+}
+
+}  // namespace dynaddr::core

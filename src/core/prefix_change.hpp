@@ -1,0 +1,52 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/as_registry.hpp"
+#include "bgp/prefix_table.hpp"
+#include "core/address_change.hpp"
+#include "core/as_mapping.hpp"
+
+namespace dynaddr::core {
+
+/// One row of the paper's Table 7: of an AS's address changes, how many
+/// crossed the routed BGP prefix, the enclosing /16, and the enclosing /8.
+struct Table7Row {
+    std::uint32_t asn = 0;  ///< 0 for the "All" row
+    std::string as_name;
+    std::string country;
+    int total_changes = 0;
+    int diff_bgp = 0;
+    int diff_16 = 0;
+    int diff_8 = 0;
+
+    [[nodiscard]] double pct_bgp() const {
+        return total_changes == 0 ? 0.0 : 100.0 * diff_bgp / total_changes;
+    }
+    [[nodiscard]] double pct_16() const {
+        return total_changes == 0 ? 0.0 : 100.0 * diff_16 / total_changes;
+    }
+    [[nodiscard]] double pct_8() const {
+        return total_changes == 0 ? 0.0 : 100.0 * diff_8 / total_changes;
+    }
+};
+
+/// Prefix-change analysis output.
+struct PrefixChangeAnalysis {
+    Table7Row all;
+    std::vector<Table7Row> as_rows;  ///< per single-AS group, descending N
+};
+
+/// Classifies every within-AS address change of single-AS probes by
+/// whether it crossed the routed prefix / enclosing /16 / enclosing /8.
+/// The routed prefix of each side is resolved at that side's month, as
+/// the paper does with the monthly pfx2as snapshots. Changes where either
+/// side has no routed prefix are counted only in the /16 and /8 columns.
+PrefixChangeAnalysis analyze_prefix_changes(
+    std::span<const ProbeChanges> probes, const AsMapping& mapping,
+    const bgp::PrefixTable& table, const bgp::AsRegistry& registry,
+    int min_rows_changes = 1);
+
+}  // namespace dynaddr::core

@@ -1,0 +1,150 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+#include "netcore/ascii_chart.hpp"
+
+namespace dynaddr::core {
+
+std::string fmt(double value, int decimals) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+    return buffer;
+}
+
+std::string render_table2(const FilterReport& report) {
+    std::vector<std::vector<std::string>> rows;
+    auto add = [&](ProbeCategory category) {
+        rows.push_back({category_name(category),
+                        std::to_string(report.count(category))});
+    };
+    rows.push_back({"Total probes", std::to_string(report.total())});
+    add(ProbeCategory::NeverChanged);
+    add(ProbeCategory::DualStack);
+    add(ProbeCategory::Ipv6Only);
+    add(ProbeCategory::TaggedMultihomed);
+    add(ProbeCategory::AlternatingMultihomed);
+    add(ProbeCategory::TestingAddressOnly);
+    add(ProbeCategory::Analyzable);
+    return chart::render_table({"Category", "Probes"}, rows);
+}
+
+namespace {
+
+std::vector<std::string> table5_fields(const Table5Row& row) {
+    return {row.as_name,
+            row.asn == 0 ? "-" : std::to_string(row.asn),
+            row.country.empty() ? "-" : row.country,
+            fmt(row.d_hours, 0),
+            std::to_string(row.probes_with_change),
+            std::to_string(row.periodic_probes),
+            fmt(row.pct_over_half, 0) + "%",
+            fmt(row.pct_over_three_quarters, 0) + "%",
+            fmt(row.pct_max_le_d, 0) + "%",
+            fmt(row.pct_harmonic, 0) + "%"};
+}
+
+}  // namespace
+
+std::string render_table5(const PeriodicityAnalysis& analysis) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& row : analysis.all_rows) rows.push_back(table5_fields(row));
+    for (const auto& row : analysis.as_rows) rows.push_back(table5_fields(row));
+    return chart::render_table({"AS", "ASN", "Country", "d(h)", "N", "f>0.25",
+                                "f>0.5", "f>0.75", "MAX<=d", "Harmonic"},
+                               rows);
+}
+
+std::string render_table6(const CondProbAnalysis& analysis) {
+    std::vector<std::vector<std::string>> rows;
+    auto fields = [](const Table6Row& row) {
+        return std::vector<std::string>{
+            row.as_name,
+            row.asn == 0 ? "-" : std::to_string(row.asn),
+            row.country.empty() ? "-" : row.country,
+            std::to_string(row.n),
+            fmt(row.pct_nw_over, 1) + "%",
+            fmt(row.pct_nw_one, 1) + "%",
+            fmt(row.pct_pw_over, 1) + "%",
+            fmt(row.pct_pw_one, 1) + "%"};
+    };
+    rows.push_back(fields(analysis.all));
+    for (const auto& row : analysis.as_rows) rows.push_back(fields(row));
+    return chart::render_table({"AS", "ASN", "Country", "N", "P(ac|nw)>0.8",
+                                "P(ac|nw)=1", "P(ac|pw)>0.8", "P(ac|pw)=1"},
+                               rows);
+}
+
+std::string render_table7(const PrefixChangeAnalysis& analysis) {
+    std::vector<std::vector<std::string>> rows;
+    auto fields = [](const Table7Row& row) {
+        return std::vector<std::string>{
+            row.as_name,
+            row.asn == 0 ? "-" : std::to_string(row.asn),
+            row.country.empty() ? "-" : row.country,
+            std::to_string(row.total_changes),
+            std::to_string(row.diff_bgp) + " (" + fmt(row.pct_bgp(), 0) + "%)",
+            std::to_string(row.diff_16) + " (" + fmt(row.pct_16(), 0) + "%)",
+            std::to_string(row.diff_8) + " (" + fmt(row.pct_8(), 0) + "%)"};
+    };
+    rows.push_back(fields(analysis.all));
+    for (const auto& row : analysis.as_rows) rows.push_back(fields(row));
+    return chart::render_table(
+        {"AS", "ASN", "Country", "Changes", "Diff BGP", "Diff /16", "Diff /8"},
+        rows);
+}
+
+std::string render_firmware_series(const FirmwareAnalysis& analysis,
+                                   net::TimeInterval window) {
+    std::string out = "Unique probes rebooting per day (median " +
+                      fmt(analysis.median_per_day, 1) + "):\n";
+    // Weekly aggregation keeps the series printable; spikes still pop.
+    std::vector<std::pair<std::string, double>> bars;
+    int week_total = 0, week_start = 0;
+    for (const auto& [day, count] : analysis.probes_rebooted_per_day) {
+        if (day / 7 != week_start) {
+            bars.emplace_back(
+                (window.begin + net::Duration::days(week_start * 7)).to_string()
+                    .substr(0, 10),
+                week_total);
+            week_total = 0;
+            week_start = day / 7;
+        }
+        week_total += count;
+    }
+    if (week_total > 0)
+        bars.emplace_back(
+            (window.begin + net::Duration::days(week_start * 7)).to_string()
+                .substr(0, 10),
+            week_total);
+    out += chart::render_bar_chart(bars, 50);
+    out += "Inferred firmware release days:\n";
+    for (const auto& day : analysis.release_days)
+        out += "  " + day.to_string().substr(0, 10) + "\n";
+    return out;
+}
+
+std::string render_summary(const AnalysisResults& results) {
+    std::size_t changes = 0, spans = 0, nw = 0, pw = 0;
+    for (const auto& probe : results.changes) {
+        changes += probe.changes.size();
+        spans += probe.spans.size();
+    }
+    for (const auto& [probe, list] : results.network_outages) nw += list.size();
+    for (const auto& [probe, list] : results.power_outages) pw += list.size();
+    std::string out;
+    out += "window: " + results.window.begin.to_string() + " .. " +
+           results.window.end.to_string() + "\n";
+    out += "probes: " + std::to_string(results.filter.total()) + " total, " +
+           std::to_string(results.filter.count(ProbeCategory::Analyzable)) +
+           " analyzable (" + std::to_string(results.mapping.single_as.size()) +
+           " single-AS, " + std::to_string(results.mapping.multi_as.size()) +
+           " multi-AS)\n";
+    out += "address changes: " + std::to_string(changes) + ", interior spans: " +
+           std::to_string(spans) + "\n";
+    out += "detected outages: " + std::to_string(nw) + " network, " +
+           std::to_string(pw) + " power\n";
+    return out;
+}
+
+}  // namespace dynaddr::core

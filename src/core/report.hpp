@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace dynaddr::core {
+
+/// Text renderings of the paper's tables from pipeline results. Each
+/// returns a ready-to-print block (monospace), formatted like the paper.
+std::string render_table2(const FilterReport& report);
+std::string render_table5(const PeriodicityAnalysis& analysis);
+std::string render_table6(const CondProbAnalysis& analysis);
+std::string render_table7(const PrefixChangeAnalysis& analysis);
+
+/// Figure 6 rendering: reboot counts per day with inferred release days.
+std::string render_firmware_series(const FirmwareAnalysis& analysis,
+                                   net::TimeInterval window);
+
+/// One-paragraph run summary (probe counts, changes, spans, outages).
+std::string render_summary(const AnalysisResults& results);
+
+/// Formats a double with the given decimals (shared by benches).
+std::string fmt(double value, int decimals = 1);
+
+}  // namespace dynaddr::core

@@ -1,0 +1,23 @@
+#include "core/total_time_fraction.hpp"
+
+namespace dynaddr::core {
+
+void TotalTimeFraction::add(const AddressSpan& span) {
+    const double hours = quantize_hours(span.duration());
+    if (hours <= 0.0) return;  // sub-2.5-minute tenures carry no weight
+    cdf_.add(hours, hours);
+}
+
+void TotalTimeFraction::add_all(std::span<const AddressSpan> spans) {
+    for (const auto& span : spans) add(span);
+}
+
+double TotalTimeFraction::fraction_at(double hours) const {
+    return cdf_.fraction_at(hours);
+}
+
+double TotalTimeFraction::fraction_at_or_below(double hours) const {
+    return cdf_.fraction_at_or_below(hours);
+}
+
+}  // namespace dynaddr::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+
+#include "core/address_change.hpp"
+#include "netcore/histogram.hpp"
+
+namespace dynaddr::core {
+
+/// The paper's §4.1 metric. For a duration d and a set of interior spans
+/// D, the total time fraction is f_d = d·n(d)/Σ(D): the fraction of all
+/// observed address time spent in tenures of (quantized) length d. Modes
+/// of this distribution expose periodic renumbering far more clearly than
+/// a plain duration CDF, because long periodic tenures dominate the time
+/// axis even when short outage-induced tenures dominate the event count.
+///
+/// Implementation: a weighted CDF over quantized duration (hours) where
+/// each span contributes weight = its own quantized duration.
+class TotalTimeFraction {
+public:
+    /// Adds one interior span.
+    void add(const AddressSpan& span);
+
+    /// Adds all spans of a probe.
+    void add_all(std::span<const AddressSpan> spans);
+
+    /// f_d at the quantized duration `hours` (exact-match mode mass).
+    [[nodiscard]] double fraction_at(double hours) const;
+
+    /// Cumulative fraction of total address time in durations <= hours.
+    [[nodiscard]] double fraction_at_or_below(double hours) const;
+
+    /// Σ(D) in hours (quantized).
+    [[nodiscard]] double total_hours() const { return cdf_.total_weight(); }
+
+    /// Number of spans added.
+    [[nodiscard]] std::size_t span_count() const { return cdf_.sample_count(); }
+
+    /// Durations carrying at least `min_fraction` of total time, largest
+    /// mass first — candidate periodic durations.
+    [[nodiscard]] std::vector<stats::CdfPoint> modes(double min_fraction) const {
+        return cdf_.modes(min_fraction);
+    }
+
+    /// The full CDF (x = duration in hours, y = cumulative time fraction)
+    /// as plotted in the paper's Figures 1-3.
+    [[nodiscard]] const stats::Cdf& cdf() const { return cdf_; }
+
+private:
+    stats::Cdf cdf_;
+};
+
+}  // namespace dynaddr::core

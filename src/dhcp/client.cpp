@@ -1,0 +1,184 @@
+#include "dhcp/client.hpp"
+
+#include <algorithm>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::dhcp {
+
+Client::Client(ClientConfig config, pool::ClientId id, Server& server,
+               sim::Simulation& sim, std::function<bool()> reachable)
+    : config_(config),
+      id_(id),
+      server_(&server),
+      sim_(&sim),
+      reachable_(std::move(reachable)) {
+    if (config_.t1_fraction <= 0.0 || config_.t1_fraction >= 1.0 ||
+        config_.t2_fraction <= config_.t1_fraction || config_.t2_fraction >= 1.0)
+        throw Error("bad DHCP timer fractions");
+}
+
+void Client::power_on() {
+    if (state_ != ClientState::Off) return;
+    state_ = ClientState::Init;
+    if (!config_.remember_lease_across_reboot) remembered_.reset();
+    try_acquire();
+}
+
+void Client::power_off(bool graceful) {
+    cancel_timer();
+    const bool had_address = address_.has_value();
+    if (graceful && had_address && reachable_()) {
+        server_->handle_release(id_);
+        remembered_.reset();
+    } else if (had_address) {
+        // Abrupt power cut: the lease lives on server-side; remember it for
+        // INIT-REBOOT on restart when configured to.
+        remembered_ = address_;
+    }
+    if (had_address) {
+        address_.reset();
+        if (on_lost_)
+            on_lost_(graceful ? LossReason::ClientRelease : LossReason::ClientReboot);
+    }
+    state_ = ClientState::Off;
+}
+
+void Client::link_restored() {
+    if (state_ == ClientState::Init) try_acquire();
+    // In Renewing/Rebinding the pending retry timer will succeed now; no
+    // action needed. A real client does not get link-state callbacks into
+    // its DHCP state machine either.
+}
+
+void Client::link_lost() {
+    // Nothing: renew attempts will fail and back off per RFC timers.
+}
+
+void Client::enter_init() {
+    state_ = ClientState::Init;
+    address_.reset();
+    try_acquire();
+}
+
+void Client::try_acquire() {
+    if (state_ != ClientState::Init) return;
+    cancel_timer();
+    if (!reachable_()) return;  // dormant until link_restored()
+
+    // INIT-REBOOT: ask for the remembered address directly.
+    if (remembered_) {
+        const RequestResult result = server_->handle_request(id_, *remembered_);
+        remembered_.reset();
+        if (result.ack) {
+            become_bound(result);
+            return;
+        }
+        // NAK: fall through to full INIT.
+    }
+
+    auto offer = server_->handle_discover(id_);
+    if (offer) {
+        const RequestResult result = server_->handle_request(id_, offer->address);
+        if (result.ack) {
+            become_bound(result);
+            return;
+        }
+    }
+    // Pool exhausted or raced away; retry later.
+    schedule_timer(sim_->now() + config_.init_retry);
+}
+
+void Client::become_bound(const RequestResult& result) {
+    const bool changed = !address_ || *address_ != result.address;
+    address_ = result.address;
+    lease_granted_ = result.lease_granted;
+    lease_expiry_ = result.lease_expiry;
+    const auto lease_len = double((lease_expiry_ - lease_granted_).count());
+    t1_ = lease_granted_ +
+          net::Duration{std::int64_t(lease_len * config_.t1_fraction)};
+    t2_ = lease_granted_ +
+          net::Duration{std::int64_t(lease_len * config_.t2_fraction)};
+    state_ = ClientState::Bound;
+    schedule_timer(t1_);
+    if (changed && on_acquired_) on_acquired_(result.address);
+}
+
+void Client::lose_address(LossReason reason) {
+    const bool had = address_.has_value();
+    address_.reset();
+    remembered_.reset();
+    if (had && on_lost_) on_lost_(reason);
+    enter_init();
+}
+
+void Client::attempt_renew() {
+    if (!address_) return;
+    if (reachable_()) {
+        const RequestResult result = server_->handle_renew(id_, *address_);
+        if (result.ack) {
+            become_bound(result);
+            return;
+        }
+        // DHCPNAK: administrative refusal; restart immediately.
+        lose_address(LossReason::ServerNak);
+        return;
+    }
+    // Unreachable: back off. RFC 2131 §4.4.5 — wait half the remaining
+    // time to T2 (or to expiry when rebinding), floored at min_retry.
+    const net::TimePoint now = sim_->now();
+    const net::TimePoint deadline =
+        state_ == ClientState::Renewing ? t2_ : lease_expiry_;
+    net::Duration wait{std::max((deadline - now).count() / 2,
+                                config_.min_retry.count())};
+    net::TimePoint next = now + wait;
+    if (next >= lease_expiry_) next = lease_expiry_;
+    else if (state_ == ClientState::Renewing && next > t2_) next = t2_;
+    schedule_timer(next);
+}
+
+void Client::schedule_timer(net::TimePoint when) {
+    cancel_timer();
+    timer_ = sim_->at(std::max(when, sim_->now()),
+                      [this](net::TimePoint) { on_timer(); });
+}
+
+void Client::cancel_timer() {
+    if (timer_) {
+        sim_->cancel(*timer_);
+        timer_.reset();
+    }
+}
+
+void Client::on_timer() {
+    timer_.reset();
+    const net::TimePoint now = sim_->now();
+    switch (state_) {
+        case ClientState::Off:
+            break;
+        case ClientState::Init:
+            try_acquire();
+            break;
+        case ClientState::Bound:
+            state_ = ClientState::Renewing;
+            attempt_renew();
+            break;
+        case ClientState::Renewing:
+            if (now >= lease_expiry_) {
+                lose_address(LossReason::LeaseExpired);
+            } else {
+                if (now >= t2_) state_ = ClientState::Rebinding;
+                attempt_renew();
+            }
+            break;
+        case ClientState::Rebinding:
+            if (now >= lease_expiry_) {
+                lose_address(LossReason::LeaseExpired);
+            } else {
+                attempt_renew();
+            }
+            break;
+    }
+}
+
+}  // namespace dynaddr::dhcp

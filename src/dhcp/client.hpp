@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "dhcp/messages.hpp"
+#include "dhcp/server.hpp"
+#include "sim/simulation.hpp"
+
+namespace dynaddr::dhcp {
+
+/// DHCP client states (RFC 2131 §4.4 figure 5, minus SELECTING /
+/// REQUESTING transients — transport is a reliable direct call, so OFFER
+/// and ACK arrive "instantly" and those states collapse).
+enum class ClientState {
+    Off,        ///< powered down or not started
+    Init,       ///< no address; waiting for link or retrying acquisition
+    Bound,      ///< address held, renewal timer pending at T1
+    Renewing,   ///< unicast renew attempts, T1..T2
+    Rebinding,  ///< broadcast renew attempts, T2..expiry
+};
+
+/// Client configuration.
+struct ClientConfig {
+    /// Fraction of the lease at which renewal starts (RFC default 0.5).
+    double t1_fraction = 0.5;
+    /// Fraction of the lease at which rebinding starts (RFC default 0.875).
+    double t2_fraction = 0.875;
+    /// Minimum seconds between retransmitted renew attempts (RFC: 60).
+    net::Duration min_retry = net::Duration::seconds(60);
+    /// Retry interval for failed initial acquisition while the link is up.
+    net::Duration init_retry = net::Duration::seconds(300);
+    /// Whether the lease survives a CPE power-cycle (NVRAM) and the client
+    /// re-requests it via INIT-REBOOT. When false a reboot forgets the
+    /// address — the client behaves like the PPP devices the paper
+    /// describes as renumbering on any reboot.
+    bool remember_lease_across_reboot = true;
+};
+
+/// A DHCP client driving one WAN interface of a CPE.
+///
+/// The owning CPE wires in `reachable` (is the access network currently
+/// passing traffic?) and receives `on_acquired` / `on_lost` callbacks.
+/// All timers run on the shared Simulation.
+class Client {
+public:
+    using AcquiredCallback = std::function<void(net::IPv4Address)>;
+    using LostCallback = std::function<void(LossReason)>;
+
+    Client(ClientConfig config, pool::ClientId id, Server& server,
+           sim::Simulation& sim, std::function<bool()> reachable);
+
+    /// Powers the client on. Re-requests a remembered lease (INIT-REBOOT)
+    /// when configured to, otherwise starts from INIT.
+    void power_on();
+
+    /// Powers the client off. `graceful` sends DHCPRELEASE (an orderly
+    /// shutdown); a power cut does not.
+    void power_off(bool graceful);
+
+    /// The access link came back; a dormant client retries immediately.
+    void link_restored();
+
+    /// The access link went down. Timers keep running — the client will
+    /// discover unreachability when a renew attempt fails, exactly like a
+    /// real client.
+    void link_lost();
+
+    [[nodiscard]] ClientState state() const { return state_; }
+    [[nodiscard]] std::optional<net::IPv4Address> address() const { return address_; }
+
+    void set_on_acquired(AcquiredCallback cb) { on_acquired_ = std::move(cb); }
+    void set_on_lost(LostCallback cb) { on_lost_ = std::move(cb); }
+
+private:
+    void enter_init();
+    void try_acquire();
+    void become_bound(const RequestResult& result);
+    void lose_address(LossReason reason);
+    void attempt_renew();
+    void schedule_timer(net::TimePoint when);
+    void cancel_timer();
+    void on_timer();
+
+    ClientConfig config_;
+    pool::ClientId id_;
+    Server* server_;
+    sim::Simulation* sim_;
+    std::function<bool()> reachable_;
+    AcquiredCallback on_acquired_;
+    LostCallback on_lost_;
+
+    ClientState state_ = ClientState::Off;
+    std::optional<net::IPv4Address> address_;
+    std::optional<net::IPv4Address> remembered_;
+    net::TimePoint lease_granted_{};
+    net::TimePoint lease_expiry_{};
+    net::TimePoint t1_{};
+    net::TimePoint t2_{};
+    std::optional<sim::EventId> timer_;
+};
+
+}  // namespace dynaddr::dhcp

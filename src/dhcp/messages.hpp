@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/time.hpp"
+#include "pool/address_pool.hpp"
+
+namespace dynaddr::dhcp {
+
+/// DHCP message kinds we model (RFC 2131 §3). BOOTP framing, relays and
+/// broadcast are out of scope: the simulator connects client and server
+/// directly, but the protocol state machine follows the RFC.
+enum class MessageType {
+    Discover,
+    Offer,
+    Request,
+    Ack,
+    Nak,
+    Release,
+};
+
+/// Server's answer to a DISCOVER.
+struct Offer {
+    net::IPv4Address address;
+    net::Duration lease_duration;
+};
+
+/// Server's answer to a REQUEST (initial, INIT-REBOOT, RENEWING or
+/// REBINDING). `ack == false` is a DHCPNAK: the client must restart from
+/// INIT.
+struct RequestResult {
+    bool ack = false;
+    net::IPv4Address address;       ///< valid when ack
+    net::TimePoint lease_granted;   ///< valid when ack
+    net::TimePoint lease_expiry;    ///< valid when ack
+};
+
+/// Why a client lost its address; surfaced to the CPE for logging.
+enum class LossReason {
+    LeaseExpired,   ///< no renewal possible before expiry (outage)
+    ServerNak,      ///< server refused renewal (administrative)
+    ClientRelease,  ///< client sent RELEASE (shutdown)
+    ClientReboot,   ///< client forgot its lease across a reboot
+};
+
+}  // namespace dynaddr::dhcp

@@ -1,0 +1,149 @@
+#include "dhcp/server.hpp"
+
+#include "netcore/rng.hpp"
+
+namespace dynaddr::dhcp {
+
+Server::Server(ServerConfig config, pool::AddressPool& pool, sim::Simulation& sim)
+    : config_(config), pool_(&pool), sim_(&sim) {}
+
+net::Duration Server::jittered_max_age(pool::ClientId client,
+                                       net::TimePoint hold_started) const {
+    const net::Duration max_age = *config_.max_address_age;
+    if (config_.max_age_jitter <= 0.0) return max_age;
+    // Deterministic per-tenure factor in [1-j, 1+j].
+    std::uint64_t state = (std::uint64_t(client) << 32) ^
+                          std::uint64_t(hold_started.unix_seconds());
+    const double unit = double(rng::splitmix64(state) >> 11) * 0x1.0p-53;
+    const double factor = 1.0 + config_.max_age_jitter * (2.0 * unit - 1.0);
+    return net::Duration{std::int64_t(double(max_age.count()) * factor)};
+}
+
+std::optional<Offer> Server::handle_discover(pool::ClientId client) {
+    expire_leases();
+    // If the client already holds a lease (it may have rebooted and
+    // forgotten), offer the same address per §4.3.1 — unless the block
+    // was administratively retired.
+    if (auto lease = leases_.find(client)) {
+        if (!pool_->is_retired(lease->address))
+            return Offer{lease->address, config_.lease_duration};
+        evict(client);
+    }
+    std::optional<net::TimePoint> absent;
+    if (auto it = absent_since_.find(client); it != absent_since_.end())
+        absent = it->second;
+    auto addr = pool_->allocate(client, sim_->now(), std::nullopt, absent);
+    if (!addr) return std::nullopt;
+    // The OFFER reserves the address; a client that never REQUESTs keeps it
+    // reserved until the lease would expire — we simplify by granting at
+    // REQUEST time and releasing the reservation if the REQUEST never
+    // comes. The pool already holds it for this client either way.
+    return Offer{*addr, config_.lease_duration};
+}
+
+RequestResult Server::handle_request(pool::ClientId client,
+                                     net::IPv4Address requested) {
+    expire_leases();
+    if (pool_->is_retired(requested)) {
+        // Administrative renumbering: never re-grant a retired block.
+        if (auto held = pool_->address_of(client); held && *held == requested)
+            evict(client);
+        return RequestResult{};
+    }
+    // Existing lease on the same address: treat as re-request, refresh.
+    if (auto lease = leases_.find(client); lease && lease->address == requested)
+        return grant(client, requested);
+    // Address currently allocated to this client in the pool (fresh OFFER
+    // or INIT-REBOOT inside the lease window).
+    if (auto held = pool_->address_of(client); held && *held == requested)
+        return grant(client, requested);
+    // INIT-REBOOT for an address the pool can still give this client.
+    std::optional<net::TimePoint> absent;
+    if (auto it = absent_since_.find(client); it != absent_since_.end())
+        absent = it->second;
+    auto addr = pool_->allocate(client, sim_->now(), requested, absent);
+    if (addr && *addr == requested) return grant(client, requested);
+    // Couldn't honour the request; a real server NAKs and the client
+    // restarts from INIT. If we allocated some other address, return it to
+    // the pool so INIT sees a clean slate.
+    if (addr) {
+        pool_->release(client);
+        absent_since_[client] = sim_->now();
+    }
+    return RequestResult{};
+}
+
+RequestResult Server::handle_renew(pool::ClientId client, net::IPv4Address addr) {
+    expire_leases();
+    auto lease = leases_.find(client);
+    if (!lease || lease->address != addr) return RequestResult{};
+    // Administrative renumbering: the whole block was retired; evict.
+    if (pool_->is_retired(addr)) return evict(client);
+    if (config_.max_address_age) {
+        const auto started_it = hold_started_.find(client);
+        if (started_it != hold_started_.end() &&
+            sim_->now() + config_.lease_duration - started_it->second >
+                jittered_max_age(client, started_it->second)) {
+            // Administrative age cap: refuse to extend past it.
+            return evict(client);
+        }
+    }
+    return grant(client, addr);
+}
+
+RequestResult Server::evict(pool::ClientId client) {
+    // NAK: the client restarts from INIT and the binding is forgotten so
+    // it draws a fresh address.
+    leases_.revoke(client);
+    pool_->release(client);
+    pool_->forget_binding(client);
+    hold_started_.erase(client);
+    absent_since_[client] = sim_->now();
+    return RequestResult{};
+}
+
+void Server::handle_release(pool::ClientId client) {
+    expire_leases();
+    if (leases_.revoke(client)) {
+        pool_->release(client);
+        hold_started_.erase(client);
+        absent_since_[client] = sim_->now();
+    }
+}
+
+std::optional<pool::Lease> Server::lease_of(pool::ClientId client) const {
+    return leases_.find(client);
+}
+
+RequestResult Server::grant(pool::ClientId client, net::IPv4Address addr) {
+    const net::TimePoint now = sim_->now();
+    pool::Lease lease{client, addr, now, now + config_.lease_duration};
+    leases_.grant(lease);
+    hold_started_.try_emplace(client, now);
+    absent_since_.erase(client);
+    schedule_expiry_sweep();
+    return RequestResult{true, addr, lease.granted, lease.expiry};
+}
+
+void Server::expire_leases() {
+    for (const auto& lease : leases_.expire_until(sim_->now())) {
+        pool_->release(lease.client);
+        hold_started_.erase(lease.client);
+        absent_since_[lease.client] = lease.expiry;
+    }
+}
+
+void Server::schedule_expiry_sweep() {
+    // One pending sweep at the earliest expiry keeps pool state current
+    // even when no client interaction happens for a long time.
+    auto next = leases_.next_expiry();
+    if (!next) return;
+    if (sweep_event_) sim_->cancel(*sweep_event_);
+    sweep_event_ = sim_->at(*next, [this](net::TimePoint) {
+        sweep_event_.reset();
+        expire_leases();
+        schedule_expiry_sweep();
+    });
+}
+
+}  // namespace dynaddr::dhcp

@@ -1,0 +1,179 @@
+#include "dhcp/wire.hpp"
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::dhcp {
+
+namespace {
+
+constexpr std::size_t kFixedHeader = 236;  // through the `file` field
+constexpr std::size_t kMinPacket = 300;    // BOOTP minimum
+constexpr std::array<std::uint8_t, 4> kMagicCookie = {99, 130, 83, 99};
+
+enum : std::uint8_t {
+    kOptPad = 0,
+    kOptRequestedAddress = 50,
+    kOptLeaseTime = 51,
+    kOptMessageType = 53,
+    kOptServerId = 54,
+    kOptClientId = 61,
+    kOptEnd = 255,
+};
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+    out.push_back(std::uint8_t(value >> 8));
+    out.push_back(std::uint8_t(value));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+    out.push_back(std::uint8_t(value >> 24));
+    out.push_back(std::uint8_t(value >> 16));
+    out.push_back(std::uint8_t(value >> 8));
+    out.push_back(std::uint8_t(value));
+}
+
+void put_option_u32(std::vector<std::uint8_t>& out, std::uint8_t code,
+                    std::uint32_t value) {
+    out.push_back(code);
+    out.push_back(4);
+    put_u32(out, value);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
+    return std::uint32_t(bytes[at]) << 24 | std::uint32_t(bytes[at + 1]) << 16 |
+           std::uint32_t(bytes[at + 2]) << 8 | std::uint32_t(bytes[at + 3]);
+}
+
+}  // namespace
+
+std::uint8_t message_type_code(MessageType type) {
+    switch (type) {
+        case MessageType::Discover: return 1;
+        case MessageType::Offer: return 2;
+        case MessageType::Request: return 3;
+        case MessageType::Ack: return 5;
+        case MessageType::Nak: return 6;
+        case MessageType::Release: return 7;
+    }
+    return 0;
+}
+
+std::optional<MessageType> message_type_from_code(std::uint8_t code) {
+    switch (code) {
+        case 1: return MessageType::Discover;
+        case 2: return MessageType::Offer;
+        case 3: return MessageType::Request;
+        case 5: return MessageType::Ack;
+        case 6: return MessageType::Nak;
+        case 7: return MessageType::Release;
+        default: return std::nullopt;  // DECLINE/INFORM unsupported
+    }
+}
+
+std::vector<std::uint8_t> encode(const WireMessage& message) {
+    std::vector<std::uint8_t> out;
+    out.reserve(kMinPacket);
+    out.push_back(message.op);
+    out.push_back(message.htype);
+    out.push_back(message.hlen);
+    out.push_back(message.hops);
+    put_u32(out, message.xid);
+    put_u16(out, message.secs);
+    put_u16(out, message.flags);
+    put_u32(out, message.ciaddr.value());
+    put_u32(out, message.yiaddr.value());
+    put_u32(out, message.siaddr.value());
+    put_u32(out, message.giaddr.value());
+    out.insert(out.end(), message.chaddr.begin(), message.chaddr.end());
+    out.resize(kFixedHeader, 0);  // sname (64) + file (128) zeroed
+    out.insert(out.end(), kMagicCookie.begin(), kMagicCookie.end());
+
+    out.push_back(kOptMessageType);
+    out.push_back(1);
+    out.push_back(message_type_code(message.type));
+    if (message.requested_address)
+        put_option_u32(out, kOptRequestedAddress,
+                       message.requested_address->value());
+    if (message.lease_seconds)
+        put_option_u32(out, kOptLeaseTime, *message.lease_seconds);
+    if (message.server_id)
+        put_option_u32(out, kOptServerId, message.server_id->value());
+    if (!message.client_id.empty()) {
+        if (message.client_id.size() > 255)
+            throw Error("client id too long for a DHCP option");
+        out.push_back(kOptClientId);
+        out.push_back(std::uint8_t(message.client_id.size()));
+        out.insert(out.end(), message.client_id.begin(), message.client_id.end());
+    }
+    out.push_back(kOptEnd);
+    if (out.size() < kMinPacket) out.resize(kMinPacket, 0);
+    return out;
+}
+
+WireMessage decode(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() < kFixedHeader + kMagicCookie.size())
+        throw ParseError("DHCP packet too short");
+    WireMessage message;
+    message.op = bytes[0];
+    if (message.op != 1 && message.op != 2)
+        throw ParseError("bad BOOTP op " + std::to_string(message.op));
+    message.htype = bytes[1];
+    message.hlen = bytes[2];
+    message.hops = bytes[3];
+    message.xid = get_u32(bytes, 4);
+    message.secs = std::uint16_t(bytes[8] << 8 | bytes[9]);
+    message.flags = std::uint16_t(bytes[10] << 8 | bytes[11]);
+    message.ciaddr = net::IPv4Address{get_u32(bytes, 12)};
+    message.yiaddr = net::IPv4Address{get_u32(bytes, 16)};
+    message.siaddr = net::IPv4Address{get_u32(bytes, 20)};
+    message.giaddr = net::IPv4Address{get_u32(bytes, 24)};
+    for (std::size_t i = 0; i < 16; ++i) message.chaddr[i] = bytes[28 + i];
+
+    for (std::size_t i = 0; i < kMagicCookie.size(); ++i)
+        if (bytes[kFixedHeader + i] != kMagicCookie[i])
+            throw ParseError("bad DHCP magic cookie");
+
+    bool saw_type = false;
+    std::size_t at = kFixedHeader + kMagicCookie.size();
+    while (at < bytes.size()) {
+        const std::uint8_t code = bytes[at++];
+        if (code == kOptPad) continue;
+        if (code == kOptEnd) break;
+        if (at >= bytes.size()) throw ParseError("option length missing");
+        const std::size_t length = bytes[at++];
+        if (at + length > bytes.size()) throw ParseError("option overruns packet");
+        const auto payload = bytes.subspan(at, length);
+        switch (code) {
+            case kOptMessageType: {
+                if (length != 1) throw ParseError("bad message-type length");
+                auto type = message_type_from_code(payload[0]);
+                if (!type) throw ParseError("unknown DHCP message type");
+                message.type = *type;
+                saw_type = true;
+                break;
+            }
+            case kOptRequestedAddress:
+                if (length != 4) throw ParseError("bad requested-address length");
+                message.requested_address = net::IPv4Address{get_u32(bytes, at)};
+                break;
+            case kOptLeaseTime:
+                if (length != 4) throw ParseError("bad lease-time length");
+                message.lease_seconds = get_u32(bytes, at);
+                break;
+            case kOptServerId:
+                if (length != 4) throw ParseError("bad server-id length");
+                message.server_id = net::IPv4Address{get_u32(bytes, at)};
+                break;
+            case kOptClientId:
+                message.client_id.assign(payload.begin(), payload.end());
+                break;
+            default:
+                break;  // unknown option: skip
+        }
+        at += length;
+    }
+    if (!saw_type) throw ParseError("DHCP packet without message type");
+    return message;
+}
+
+}  // namespace dynaddr::dhcp

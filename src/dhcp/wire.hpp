@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dhcp/messages.hpp"
+#include "netcore/ipv4.hpp"
+
+namespace dynaddr::dhcp {
+
+/// An RFC 2131 DHCP packet: the fixed BOOTP header plus the option
+/// subset this library speaks (message type, requested address, lease
+/// time, server identifier, client identifier). The simulator exchanges
+/// messages as direct calls, but the wire codec makes the library usable
+/// against real packet captures and sockets.
+struct WireMessage {
+    std::uint8_t op = 1;     ///< 1 = BOOTREQUEST, 2 = BOOTREPLY
+    std::uint8_t htype = 1;  ///< Ethernet
+    std::uint8_t hlen = 6;
+    std::uint8_t hops = 0;
+    std::uint32_t xid = 0;
+    std::uint16_t secs = 0;
+    std::uint16_t flags = 0;
+    net::IPv4Address ciaddr;  ///< client's current address (RENEW)
+    net::IPv4Address yiaddr;  ///< "your" address (OFFER/ACK)
+    net::IPv4Address siaddr;
+    net::IPv4Address giaddr;
+    std::array<std::uint8_t, 16> chaddr{};  ///< client hardware address
+
+    MessageType type = MessageType::Discover;          ///< option 53
+    std::optional<net::IPv4Address> requested_address; ///< option 50
+    std::optional<std::uint32_t> lease_seconds;        ///< option 51
+    std::optional<net::IPv4Address> server_id;         ///< option 54
+    std::vector<std::uint8_t> client_id;               ///< option 61 (may be empty)
+
+    friend bool operator==(const WireMessage&, const WireMessage&) = default;
+};
+
+/// Serializes to wire bytes: fixed header, magic cookie, options,
+/// END, zero-padded to the 300-byte BOOTP minimum.
+std::vector<std::uint8_t> encode(const WireMessage& message);
+
+/// Parses wire bytes. Throws ParseError on a short packet, a bad magic
+/// cookie, a missing/invalid message-type option, or an option that runs
+/// past the end. Unknown options are skipped.
+WireMessage decode(std::span<const std::uint8_t> bytes);
+
+/// The numeric value of option 53 for a message type, and back.
+[[nodiscard]] std::uint8_t message_type_code(MessageType type);
+[[nodiscard]] std::optional<MessageType> message_type_from_code(std::uint8_t code);
+
+}  // namespace dynaddr::dhcp

@@ -1,0 +1,73 @@
+#include "isp/outage_model.hpp"
+
+#include <algorithm>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::isp {
+
+namespace {
+
+net::Duration draw_duration(const OutageRates& rates, rng::Stream& rng) {
+    std::int64_t seconds;
+    if (rng.bernoulli(rates.short_fraction)) {
+        seconds = rng.uniform_int(rates.short_min.count(), rates.short_max.count());
+    } else {
+        seconds = std::int64_t(
+            rng.lognormal(rates.long_median_seconds, rates.long_sigma));
+    }
+    seconds = std::clamp<std::int64_t>(seconds, 30, rates.max_duration.count());
+    return net::Duration{seconds};
+}
+
+/// Draws non-overlapping (begin, duration) pairs across the window with
+/// exponential gaps targeting `per_year` arrivals.
+std::vector<net::TimeInterval> draw_schedule(double per_year,
+                                             const OutageRates& rates,
+                                             net::TimeInterval window,
+                                             rng::Stream& rng) {
+    std::vector<net::TimeInterval> schedule;
+    if (per_year <= 0.0) return schedule;
+    const double mean_gap_seconds = 365.0 * 86400.0 / per_year;
+    net::TimePoint t = window.begin;
+    for (;;) {
+        t += net::Duration{std::int64_t(rng.exponential(mean_gap_seconds))};
+        if (t >= window.end) break;
+        const net::Duration duration = draw_duration(rates, rng);
+        net::TimePoint end = t + duration;
+        if (end > window.end) end = window.end;
+        if (end > t) schedule.push_back({t, end});
+        t = end;
+    }
+    return schedule;
+}
+
+}  // namespace
+
+std::vector<PlannedOutage> schedule_outages(sim::Simulation& sim, atlas::Cpe& cpe,
+                                            const OutageRates& rates,
+                                            net::TimeInterval window,
+                                            rng::Stream rng) {
+    if (window.empty()) throw Error("empty outage window");
+    std::vector<PlannedOutage> planned;
+
+    auto power_rng = rng.child("power");
+    for (const auto& ivl : draw_schedule(rates.power_per_year, rates, window, power_rng)) {
+        planned.push_back({PlannedOutage::Kind::Power, ivl});
+        sim.at(ivl.begin, [&cpe](net::TimePoint) { cpe.power_fail(); });
+        sim.at(ivl.end, [&cpe](net::TimePoint) { cpe.power_restore(); });
+    }
+    auto net_rng = rng.child("net");
+    for (const auto& ivl : draw_schedule(rates.net_per_year, rates, window, net_rng)) {
+        planned.push_back({PlannedOutage::Kind::Network, ivl});
+        sim.at(ivl.begin, [&cpe](net::TimePoint) { cpe.net_fail(); });
+        sim.at(ivl.end, [&cpe](net::TimePoint) { cpe.net_restore(); });
+    }
+    std::sort(planned.begin(), planned.end(),
+              [](const PlannedOutage& a, const PlannedOutage& b) {
+                  return a.when.begin < b.when.begin;
+              });
+    return planned;
+}
+
+}  // namespace dynaddr::isp

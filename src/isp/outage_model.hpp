@@ -1,0 +1,43 @@
+#pragma once
+
+#include "atlas/cpe.hpp"
+#include "netcore/rng.hpp"
+#include "netcore/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace dynaddr::isp {
+
+/// Outage process parameters for one CPE.
+///
+/// Arrivals are Poisson; durations come from a two-component mixture:
+/// with probability `short_fraction` a uniform "blip" (CPE reboot, cable
+/// re-plug), otherwise a log-normal tail capped at `max_duration` — this
+/// fills every bin of the paper's Figure 9 histogram, from <5 min to
+/// >1 week.
+struct OutageRates {
+    double power_per_year = 6.0;  ///< mean number of power outages / year
+    double net_per_year = 12.0;   ///< mean number of network outages / year
+    double short_fraction = 0.6;
+    net::Duration short_min = net::Duration::seconds(45);
+    net::Duration short_max = net::Duration::minutes(8);
+    double long_median_seconds = 3600.0;
+    double long_sigma = 1.8;
+    net::Duration max_duration = net::Duration::days(9);
+};
+
+/// One planned outage (ground truth; tests compare against detections).
+struct PlannedOutage {
+    enum class Kind { Power, Network };
+    Kind kind = Kind::Power;
+    net::TimeInterval when;
+};
+
+/// Draws an outage schedule over `window` and registers the fail/restore
+/// events against the CPE. Outages of the same kind never overlap; power
+/// and network outages may. Returns the planned schedule as ground truth.
+std::vector<PlannedOutage> schedule_outages(sim::Simulation& sim, atlas::Cpe& cpe,
+                                            const OutageRates& rates,
+                                            net::TimeInterval window,
+                                            rng::Stream rng);
+
+}  // namespace dynaddr::isp

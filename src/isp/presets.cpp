@@ -1,0 +1,621 @@
+#include "isp/presets.hpp"
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::isp::presets {
+
+namespace {
+
+using bgp::Continent;
+using net::Duration;
+using net::IPv4Prefix;
+
+IspSpec base_isp(std::uint32_t asn, std::string name,
+                 std::vector<std::string> countries, Continent continent,
+                 pool::AllocationStrategy strategy, double churn_per_hour,
+                 double locality_bias) {
+    IspSpec spec;
+    spec.asn = asn;
+    spec.name = std::move(name);
+    spec.countries = std::move(countries);
+    spec.continent = continent;
+    spec.strategy = strategy;
+    spec.churn_per_hour = churn_per_hour;
+    spec.locality_bias = locality_bias;
+    return spec;
+}
+
+/// Adds one announced aggregate plus the pool blocks carved from it.
+void space(IspSpec& spec, const char* aggregate,
+           std::initializer_list<const char*> pools) {
+    spec.announced_prefixes.push_back(IPv4Prefix::parse_or_throw(aggregate));
+    for (const char* p : pools)
+        spec.pool_prefixes.push_back(IPv4Prefix::parse_or_throw(p));
+}
+
+Cohort ppp_cohort(int probes, std::optional<Duration> session_timeout,
+                  double skip, double nightly_fraction = 0.0) {
+    Cohort cohort;
+    cohort.probe_count = probes;
+    cohort.protocol = atlas::CpeConfig::Wan::Ppp;
+    cohort.session_timeout = session_timeout;
+    cohort.skip_renumber_probability = skip;
+    cohort.fraction_nightly_reconnect = nightly_fraction;
+    return cohort;
+}
+
+Cohort dhcp_cohort(int probes, Duration lease,
+                   std::optional<Duration> max_age = std::nullopt,
+                   double max_age_jitter = 0.6) {
+    Cohort cohort;
+    cohort.probe_count = probes;
+    cohort.protocol = atlas::CpeConfig::Wan::Dhcp;
+    cohort.dhcp_lease = lease;
+    cohort.dhcp_max_age = max_age;
+    cohort.dhcp_max_age_jitter = max_age ? max_age_jitter : 0.0;
+    return cohort;
+}
+
+/// Quiet environment: few outages (North American cable profile).
+OutageRates quiet_outages() {
+    OutageRates rates;
+    rates.power_per_year = 3.0;
+    rates.net_per_year = 5.0;
+    return rates;
+}
+
+/// Busy environment used in outage experiments so probes clear the
+/// >= 3 network and >= 3 power outage bar within a year.
+OutageRates busy_outages() {
+    OutageRates rates;
+    rates.power_per_year = 9.0;
+    rates.net_per_year = 16.0;
+    return rates;
+}
+
+void set_outages(IspSpec& spec, const OutageRates& rates) {
+    for (auto& cohort : spec.cohorts) cohort.outages = rates;
+}
+
+}  // namespace
+
+IspSpec orange() {
+    // Table 5: d = 168 h, 111/122 periodic, MAX<=d 98 %. Table 6: the
+    // renumber-on-any-outage archetype. Table 7: 68 % of changes cross BGP
+    // prefixes, 53 % cross /8s. Figure 4: free-running (no night sync).
+    auto spec = base_isp(3215, "Orange", {"FR"}, Continent::Europe,
+                         pool::AllocationStrategy::RandomSpread, 0.01, 0.20);
+    space(spec, "2.1.0.0/16", {"2.1.0.0/22"});
+    space(spec, "2.9.0.0/16", {"2.9.0.0/22"});
+    space(spec, "86.195.0.0/16", {"86.195.0.0/22"});
+    space(spec, "90.3.0.0/16", {"90.3.0.0/22"});
+    space(spec, "92.128.0.0/16", {"92.128.0.0/22"});
+    space(spec, "92.140.0.0/16", {"92.140.0.0/22"});
+    // 111 of 122 probes periodic (Table 5); the rest are DHCP lines that
+    // renumber only when churn claims their address during a long outage.
+    spec.cohorts = {ppp_cohort(111, Duration::hours(168), 0.0004),
+                    dhcp_cohort(11, Duration::hours(24), Duration::hours(800))};
+    // Weekly tenures are often cut short by outages/reconnects (paper:
+    // only 14 % of Orange's periodic probes keep f > 0.75).
+    for (auto& cohort : spec.cohorts) {
+        cohort.outages.power_per_year = 14.0;
+        cohort.outages.net_per_year = 28.0;
+    }
+    return spec;
+}
+
+IspSpec dtag() {
+    // Table 5: d = 24 h, 51/63 periodic, MAX<=d 78 %, harmonics 98 %.
+    // Figure 5: ~3/4 of periodic changes land in hours 0-6 (CPE privacy
+    // reconnect). Table 7: only ~24 % of changes cross prefixes.
+    auto spec = base_isp(3320, "DTAG", {"DE"}, Continent::Europe,
+                         pool::AllocationStrategy::RandomSpread, 0.01, 0.55);
+    space(spec, "87.128.0.0/14", {"87.128.0.0/22", "87.130.0.0/22"});
+    space(spec, "217.224.0.0/14", {"217.224.0.0/22", "217.226.0.0/22"});
+    // 51 of 63 probes periodic (Table 5).
+    spec.cohorts = {ppp_cohort(51, Duration::hours(24), 0.003,
+                               /*nightly_fraction=*/0.75),
+                    dhcp_cohort(12, Duration::hours(24), Duration::hours(800))};
+    return spec;
+}
+
+IspSpec bt() {
+    // Table 5: a 2-week-periodic minority (13/67), weakly persistent.
+    // Table 7: 44 % cross-BGP but 68 % cross-/16 — the /12 aggregate spans
+    // many /16s.
+    auto spec = base_isp(2856, "BT", {"GB"}, Continent::Europe,
+                         pool::AllocationStrategy::RandomSpread, 0.0, 0.20);
+    space(spec, "81.128.0.0/12",
+          {"81.128.0.0/22", "81.133.0.0/22", "81.140.0.0/22"});
+    space(spec, "86.128.0.0/14", {"86.128.0.0/22", "86.130.0.0/22"});
+    spec.cohorts = {ppp_cohort(14, Duration::hours(337), 0.08),
+                    ppp_cohort(53, std::nullopt, 0.0)};
+    // Fortnightly tenures rarely run to term (paper: f>0.5 for only 15 %
+    // of BT's periodic probes).
+    spec.cohorts[0].outages.power_per_year = 12.0;
+    spec.cohorts[0].outages.net_per_year = 22.0;
+    return spec;
+}
+
+IspSpec lgi() {
+    // Liberty Global: DHCP with sticky bindings; renumbering probability
+    // grows with outage duration (Figure 9 left). Modest pool churn gives
+    // ~3 % change for sub-hour outages and a majority for multi-day ones.
+    auto spec = base_isp(6830, "LGI", {"NL", "CH", "AT", "HU", "PL", "IE"},
+                         Continent::Europe, pool::AllocationStrategy::Sticky,
+                         0.08, 0.40);
+    space(spec, "62.163.0.0/16", {"62.163.0.0/22"});
+    space(spec, "80.57.0.0/16", {"80.57.0.0/22"});
+    space(spec, "84.116.0.0/16", {"84.116.0.0/22"});
+    space(spec, "89.98.0.0/16", {"89.98.0.0/22"});
+    spec.cohorts = {dhcp_cohort(90, Duration::hours(4), Duration::hours(700))};
+    return spec;
+}
+
+IspSpec verizon() {
+    // DHCP, extremely stable: address durations of weeks to months, no
+    // periodic modes, low prefix spread (Table 7: 23 % cross-BGP).
+    auto spec = base_isp(701, "Verizon", {"US"}, Continent::NorthAmerica,
+                         pool::AllocationStrategy::Sticky, 0.05, 0.70);
+    space(spec, "71.104.0.0/16", {"71.104.0.0/22"});
+    space(spec, "71.106.0.0/16", {"71.106.0.0/22"});
+    space(spec, "96.224.0.0/16", {"96.224.0.0/22"});
+    spec.cohorts = {dhcp_cohort(48, Duration::hours(24), Duration::hours(1700))};
+    set_outages(spec, quiet_outages());
+    return spec;
+}
+
+std::vector<IspSpec> paper_world() {
+    std::vector<IspSpec> world;
+    world.push_back(orange());
+    world.push_back(dtag());
+    world.push_back(bt());
+    world.push_back(lgi());
+    world.push_back(verizon());
+
+    {  // Telefonica Germany 2 — Table 5: d=24h, 15/17 periodic.
+        auto spec = base_isp(6805, "Telefonica DE 2", {"DE"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.35);
+        space(spec, "91.64.0.0/16", {"91.64.0.0/22"});
+    space(spec, "91.66.0.0/16", {"91.66.0.0/22"});
+        spec.cohorts = {ppp_cohort(15, Duration::hours(24), 0.0036, 0.4),
+                        dhcp_cohort(2, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // Telefonica Germany 1 — d=24h, 14/14 periodic.
+        auto spec = base_isp(13184, "Telefonica DE 1", {"DE"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.35);
+        space(spec, "93.128.0.0/16", {"93.128.0.0/22"});
+    space(spec, "93.130.0.0/16", {"93.130.0.0/22"});
+        spec.cohorts = {ppp_cohort(14, Duration::hours(24), 0.0043, 0.4)};
+        world.push_back(spec);
+    }
+    {  // PJSC Rostelecom — d=24h for a 13/22 majority.
+        auto spec = base_isp(8997, "PJSC Rostelecom", {"RU"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "188.16.0.0/16", {"188.16.0.0/22"});
+    space(spec, "188.18.0.0/16", {"188.18.0.0/22"});
+        spec.cohorts = {ppp_cohort(13, Duration::hours(24), 0.004),
+                        dhcp_cohort(9, Duration::hours(24), Duration::hours(900))};
+        world.push_back(spec);
+    }
+    {  // Proximus — 36 h cohort, a smaller 24 h cohort, and a PPP rest.
+        auto spec = base_isp(5432, "Proximus", {"BE"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.45);
+        space(spec, "91.176.0.0/16", {"91.176.0.0/22"});
+    space(spec, "91.178.0.0/16", {"91.178.0.0/22"});
+        space(spec, "178.116.0.0/16", {"178.116.0.0/22"});
+        spec.cohorts = {ppp_cohort(12, Duration::hours(36), 0.015),
+                        ppp_cohort(4, Duration::hours(24), 0.015),
+                        ppp_cohort(25, std::nullopt, 0.0)};
+        world.push_back(spec);
+    }
+    {  // A1 Telekom Austria — d=24h, 11/12 periodic, strongly persistent.
+        auto spec = base_isp(8447, "A1 Telekom", {"AT"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.40);
+        space(spec, "91.112.0.0/16", {"91.112.0.0/22"});
+    space(spec, "91.114.0.0/16", {"91.114.0.0/22"});
+        spec.cohorts = {ppp_cohort(11, Duration::hours(24), 0.00086),
+                        dhcp_cohort(1, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // Vodafone GmbH — 9/21 periodic at 24h, rest reconnect-renumbering.
+        auto spec = base_isp(3209, "Vodafone GmbH", {"DE"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.35);
+        space(spec, "88.64.0.0/16", {"88.64.0.0/22"});
+    space(spec, "88.66.0.0/16", {"88.66.0.0/22"});
+        spec.cohorts = {ppp_cohort(9, Duration::hours(24), 0.012),
+                        ppp_cohort(12, std::nullopt, 0.0)};
+        world.push_back(spec);
+    }
+    {  // Hrvatski Telekom — d=24h, all periodic.
+        auto spec = base_isp(5391, "Hrvatski", {"HR"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "93.136.0.0/16", {"93.136.0.0/22"});
+        space(spec, "93.137.0.0/16", {"93.137.0.0/22"});
+        spec.cohorts = {ppp_cohort(7, Duration::hours(24), 0.0023)};
+        world.push_back(spec);
+    }
+    {  // ISKON — d=24h.
+        auto spec = base_isp(13046, "ISKON", {"HR"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "89.164.0.0/16", {"89.164.0.0/22"});
+        space(spec, "89.165.0.0/16", {"89.165.0.0/22"});
+        spec.cohorts = {ppp_cohort(6, Duration::hours(24), 0.012)};
+        world.push_back(spec);
+    }
+    {  // ANTEL Uruguay — the 12-hour period (South America's 12 h mode).
+        auto spec = base_isp(6057, "ANTEL", {"UY"}, Continent::SouthAmerica,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "167.56.0.0/16", {"167.56.0.0/22"});
+    space(spec, "167.58.0.0/16", {"167.58.0.0/22"});
+        spec.cohorts = {ppp_cohort(6, Duration::hours(12), 0.0015)};
+        world.push_back(spec);
+    }
+    {  // Global Village Telecom Brazil — d=48h, harmonics rare.
+        auto spec = base_isp(18881, "Global Village Telecom", {"BR"},
+                             Continent::SouthAmerica,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "177.192.0.0/16", {"177.192.0.0/22"});
+    space(spec, "177.194.0.0/16", {"177.194.0.0/22"});
+        spec.cohorts = {ppp_cohort(6, Duration::hours(48), 0.05)};
+        set_outages(spec, busy_outages());
+        world.push_back(spec);
+    }
+    {  // Mauritius Telecom — Africa's 24 h mode.
+        auto spec = base_isp(23889, "Mauritius Telecom", {"MU"}, Continent::Africa,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "105.224.0.0/16", {"105.224.0.0/22"});
+    space(spec, "105.226.0.0/16", {"105.226.0.0/22"});
+        spec.cohorts = {ppp_cohort(5, Duration::hours(24), 0.0044),
+                        dhcp_cohort(1, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // JSC Kazakhtelecom — Asia, 24 h for a third of probes.
+        auto spec = base_isp(9198, "JSC Kazakhtelecom", {"KZ"}, Continent::Asia,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "92.46.0.0/16", {"92.46.0.0/22"});
+        space(spec, "178.88.0.0/16", {"178.88.0.0/22"});
+        spec.cohorts = {ppp_cohort(5, Duration::hours(24), 0.0014),
+                        dhcp_cohort(10, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // Orange Polska — two cohorts: 22 h and 24 h, all persistent.
+        auto spec = base_isp(5617, "Orange Polska", {"PL"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "83.4.0.0/16", {"83.4.0.0/22"});
+    space(spec, "83.6.0.0/16", {"83.6.0.0/22"});
+        spec.cohorts = {ppp_cohort(5, Duration::hours(22), 0.0013),
+                        ppp_cohort(5, Duration::hours(24), 0.0019)};
+        world.push_back(spec);
+    }
+    {  // VIPnet — d=92h minority.
+        auto spec = base_isp(31012, "VIPnet", {"HR"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "93.138.0.0/16", {"93.138.0.0/22"});
+        space(spec, "93.139.0.0/16", {"93.139.0.0/22"});
+        spec.cohorts = {ppp_cohort(4, Duration::hours(92), 0.003),
+                        dhcp_cohort(3, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // Digi Tavkozlesi Hungary — weekly.
+        auto spec = base_isp(20845, "Digi Tavkozlesi", {"HU"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "94.21.0.0/16", {"94.21.0.0/22"});
+        space(spec, "94.22.0.0/16", {"94.22.0.0/22"});
+        spec.cohorts = {ppp_cohort(4, Duration::hours(168), 0.0005)};
+        world.push_back(spec);
+    }
+    {  // Free SAS — periodic minority at 24 h over a stable DHCP base.
+        auto spec = base_isp(12322, "Free SAS", {"FR"}, Continent::Europe,
+                             pool::AllocationStrategy::Sticky, 0.03, 0.50);
+        space(spec, "82.224.0.0/16", {"82.224.0.0/22"});
+    space(spec, "82.226.0.0/16", {"82.226.0.0/22"});
+        spec.cohorts = {ppp_cohort(3, Duration::hours(24), 0.012),
+                        dhcp_cohort(9, Duration::hours(24), Duration::hours(900))};
+        world.push_back(spec);
+    }
+    {  // SONATEL — 24 h minority (paper lists it under Europe).
+        auto spec = base_isp(8346, "SONATEL-AS", {"SN"}, Continent::Africa,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "41.82.0.0/16", {"41.82.0.0/22"});
+        space(spec, "41.83.0.0/16", {"41.83.0.0/22"});
+        spec.cohorts = {ppp_cohort(3, Duration::hours(24), 0.003),
+                        dhcp_cohort(4, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // Net by Net Russia — the odd 47 h period.
+        auto spec = base_isp(12714, "Net by Net", {"RU"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "89.175.0.0/16", {"89.175.0.0/22"});
+        space(spec, "89.176.0.0/16", {"89.176.0.0/22"});
+        spec.cohorts = {ppp_cohort(3, Duration::hours(47), 0.0022),
+                        dhcp_cohort(4, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // Telecom Italia — no period, renumbers on outages, widest prefix
+       // spread in Table 7 (85 % cross-BGP, only 47 % cross-/8).
+        auto spec = base_isp(3269, "Telecom Italia", {"IT"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.05);
+        space(spec, "79.0.0.0/16", {"79.0.0.0/22"});
+        space(spec, "79.16.0.0/16", {"79.16.0.0/22"});
+        space(spec, "79.40.0.0/16", {"79.40.0.0/22"});
+        space(spec, "151.20.0.0/16", {"151.20.0.0/22"});
+        space(spec, "151.42.0.0/16", {"151.42.0.0/22"});
+        space(spec, "151.66.0.0/16", {"151.66.0.0/22"});
+        spec.cohorts = {ppp_cohort(28, std::nullopt, 0.0)};
+        world.push_back(spec);
+    }
+    {  // Wind Telecomunicazioni — PPP, outage renumbering.
+        auto spec = base_isp(1267, "Wind", {"IT"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.25);
+        space(spec, "78.12.0.0/16", {"78.12.0.0/22"});
+    space(spec, "78.14.0.0/16", {"78.14.0.0/22"});
+        spec.cohorts = {ppp_cohort(12, std::nullopt, 0.0)};
+        world.push_back(spec);
+    }
+    {  // SFR — mixed PPP/DHCP population.
+        auto spec = base_isp(15557, "SFR", {"FR"}, Continent::Europe,
+                             pool::AllocationStrategy::Sticky, 0.03, 0.45);
+        space(spec, "77.192.0.0/16", {"77.192.0.0/22"});
+    space(spec, "77.194.0.0/16", {"77.194.0.0/22"});
+        spec.cohorts = {ppp_cohort(6, std::nullopt, 0.0),
+                        dhcp_cohort(10, Duration::hours(24), Duration::hours(800))};
+        world.push_back(spec);
+    }
+    {  // Comcast — NA stability.
+        auto spec = base_isp(7922, "Comcast", {"US"}, Continent::NorthAmerica,
+                             pool::AllocationStrategy::Sticky, 0.05, 0.60);
+        space(spec, "24.60.0.0/16", {"24.60.0.0/22"});
+    space(spec, "24.62.0.0/16", {"24.62.0.0/22"});
+        spec.cohorts = {dhcp_cohort(30, Duration::hours(48), Duration::hours(1400))};
+        set_outages(spec, quiet_outages());
+        world.push_back(spec);
+    }
+    {  // Ziggo — Dutch cable, stable.
+        auto spec = base_isp(9143, "Ziggo", {"NL"}, Continent::Europe,
+                             pool::AllocationStrategy::Sticky, 0.04, 0.60);
+        space(spec, "62.108.0.0/16", {"62.108.0.0/22"});
+        space(spec, "84.24.0.0/16", {"84.24.0.0/22"});
+        spec.cohorts = {dhcp_cohort(18, Duration::hours(48), Duration::hours(1100))};
+        world.push_back(spec);
+    }
+    {  // Virgin Media — stable but hops prefixes when it does renumber.
+        auto spec = base_isp(5089, "Virgin Media", {"GB"}, Continent::Europe,
+                             pool::AllocationStrategy::Sticky, 0.03, 0.05);
+        space(spec, "82.16.0.0/16", {"82.16.0.0/22"});
+        space(spec, "86.20.0.0/16", {"86.20.0.0/22"});
+        space(spec, "94.170.0.0/16", {"94.170.0.0/22"});
+        spec.cohorts = {dhcp_cohort(15, Duration::hours(24), Duration::hours(900))};
+        world.push_back(spec);
+    }
+    {  // Kabel Deutschland — the stable German counter-example (Fig 3).
+        auto spec = base_isp(31334, "Kabel Deutschland", {"DE"}, Continent::Europe,
+                             pool::AllocationStrategy::Sticky, 0.02, 0.70);
+        space(spec, "95.88.0.0/16", {"95.88.0.0/22"});
+    space(spec, "95.90.0.0/16", {"95.90.0.0/22"});
+        spec.cohorts = {dhcp_cohort(20, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // Kabel BW — likewise stable.
+        auto spec = base_isp(29562, "Kabel BW", {"DE"}, Continent::Europe,
+                             pool::AllocationStrategy::Sticky, 0.02, 0.70);
+        space(spec, "188.192.0.0/16", {"188.192.0.0/22"});
+    space(spec, "188.194.0.0/16", {"188.194.0.0/22"});
+        spec.cohorts = {dhcp_cohort(8, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // NetCologne — part of Figure 3's "others" 24 h mode.
+        auto spec = base_isp(8422, "NetCologne", {"DE"}, Continent::Europe,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.35);
+        space(spec, "78.34.0.0/16", {"78.34.0.0/22"});
+        space(spec, "78.35.0.0/16", {"78.35.0.0/22"});
+        spec.cohorts = {ppp_cohort(6, Duration::hours(24), 0.003),
+                        dhcp_cohort(6, Duration::hours(48), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+
+    // ---- continental filler so Figure 1 has all six curves ----------------
+    {  // AT&T — North America, stable.
+        auto spec = base_isp(7018, "AT&T", {"US"}, Continent::NorthAmerica,
+                             pool::AllocationStrategy::Sticky, 0.04, 0.60);
+        space(spec, "99.104.0.0/16", {"99.104.0.0/22"});
+    space(spec, "99.106.0.0/16", {"99.106.0.0/22"});
+        spec.cohorts = {dhcp_cohort(25, Duration::hours(48), Duration::hours(1800))};
+        set_outages(spec, quiet_outages());
+        world.push_back(spec);
+    }
+    {  // Rogers — Canada, stable.
+        auto spec = base_isp(812, "Rogers", {"CA"}, Continent::NorthAmerica,
+                             pool::AllocationStrategy::Sticky, 0.04, 0.60);
+        space(spec, "99.240.0.0/16", {"99.240.0.0/22"});
+    space(spec, "99.242.0.0/16", {"99.242.0.0/22"});
+        spec.cohorts = {dhcp_cohort(12, Duration::hours(48), Duration::hours(1600))};
+        set_outages(spec, quiet_outages());
+        world.push_back(spec);
+    }
+    {  // Telstra — Oceania, no periodic modes.
+        auto spec = base_isp(1221, "Telstra", {"AU"}, Continent::Oceania,
+                             pool::AllocationStrategy::Sticky, 0.05, 0.50);
+        space(spec, "58.160.0.0/16", {"58.160.0.0/22"});
+    space(spec, "58.162.0.0/16", {"58.162.0.0/22"});
+        spec.cohorts = {dhcp_cohort(12, Duration::hours(24), Duration::hours(1200))};
+        world.push_back(spec);
+    }
+    {  // Vocus NZ — Oceania.
+        auto spec = base_isp(9790, "Vocus NZ", {"NZ"}, Continent::Oceania,
+                             pool::AllocationStrategy::Sticky, 0.05, 0.50);
+        space(spec, "101.98.0.0/16", {"101.98.0.0/22"});
+        space(spec, "101.99.0.0/16", {"101.99.0.0/22"});
+        spec.cohorts = {dhcp_cohort(6, Duration::hours(24), Duration::hours(1200))};
+        world.push_back(spec);
+    }
+    {  // Chinanet — Asia: daily periodic minority.
+        auto spec = base_isp(4134, "Chinanet", {"CN"}, Continent::Asia,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "114.80.0.0/16", {"114.80.0.0/22"});
+    space(spec, "114.82.0.0/16", {"114.82.0.0/22"});
+        spec.cohorts = {ppp_cohort(7, Duration::hours(24), 0.003),
+                        dhcp_cohort(8, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // BSNL — Asia: PPP reconnect renumbering, busy outage environment.
+        auto spec = base_isp(9829, "BSNL", {"IN"}, Continent::Asia,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.20);
+        space(spec, "117.192.0.0/16", {"117.192.0.0/22"});
+    space(spec, "117.194.0.0/16", {"117.194.0.0/22"});
+        spec.cohorts = {ppp_cohort(12, std::nullopt, 0.0)};
+        set_outages(spec, busy_outages());
+        world.push_back(spec);
+    }
+    {  // OCN Japan — Asia: stable.
+        auto spec = base_isp(4713, "OCN", {"JP"}, Continent::Asia,
+                             pool::AllocationStrategy::Sticky, 0.05, 0.60);
+        space(spec, "114.144.0.0/16", {"114.144.0.0/22"});
+    space(spec, "114.146.0.0/16", {"114.146.0.0/22"});
+        spec.cohorts = {dhcp_cohort(10, Duration::hours(48), Duration::hours(1500))};
+        set_outages(spec, quiet_outages());
+        world.push_back(spec);
+    }
+    {  // LINKdotNET Egypt — Africa: daily periodic minority.
+        auto spec = base_isp(24863, "LINKdotNET", {"EG"}, Continent::Africa,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "41.32.0.0/16", {"41.32.0.0/22"});
+        space(spec, "41.33.0.0/16", {"41.33.0.0/22"});
+        spec.cohorts = {ppp_cohort(4, Duration::hours(24), 0.004),
+                        dhcp_cohort(4, Duration::hours(24), Duration::hours(1000))};
+        set_outages(spec, busy_outages());
+        world.push_back(spec);
+    }
+    {  // Telkom SA — Africa.
+        auto spec = base_isp(5713, "Telkom SA", {"ZA"}, Continent::Africa,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "41.144.0.0/16", {"41.144.0.0/22"});
+    space(spec, "41.146.0.0/16", {"41.146.0.0/22"});
+        spec.cohorts = {ppp_cohort(8, std::nullopt, 0.0)};
+        set_outages(spec, busy_outages());
+        world.push_back(spec);
+    }
+    {  // Oi/Telemar Brazil — South America: reconnect renumbering.
+        auto spec = base_isp(7738, "Telemar", {"BR"}, Continent::SouthAmerica,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.25);
+        space(spec, "179.208.0.0/16", {"179.208.0.0/22"});
+    space(spec, "179.210.0.0/16", {"179.210.0.0/22"});
+        spec.cohorts = {ppp_cohort(10, std::nullopt, 0.0)};
+        set_outages(spec, busy_outages());
+        world.push_back(spec);
+    }
+    {  // Telefonica Argentina — South America's odd 28 h mode.
+        auto spec = base_isp(22927, "Telefonica AR", {"AR"},
+                             Continent::SouthAmerica,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "190.16.0.0/16", {"190.16.0.0/22"});
+        space(spec, "190.17.0.0/16", {"190.17.0.0/22"});
+        spec.cohorts = {ppp_cohort(5, Duration::hours(28), 0.002),
+                        dhcp_cohort(5, Duration::hours(24), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    {  // Entel Chile — South America's 8-day (192 h) mode.
+        auto spec = base_isp(6471, "Entel Chile", {"CL"}, Continent::SouthAmerica,
+                             pool::AllocationStrategy::RandomSpread, 0.0, 0.30);
+        space(spec, "190.96.0.0/16", {"190.96.0.0/22"});
+        space(spec, "190.97.0.0/16", {"190.97.0.0/22"});
+        spec.cohorts = {ppp_cohort(3, Duration::hours(192), 0.002),
+                        dhcp_cohort(3, Duration::hours(48), Duration::hours(1000))};
+        world.push_back(spec);
+    }
+    return world;
+}
+
+SpecialMix paper_specials() {
+    SpecialMix mix;
+    mix.never_changed = 307;
+    mix.dual_stack = 373;
+    mix.ipv6_only = 24;
+    mix.tagged_alternating = 4;
+    mix.tagged_stable = 13;
+    mix.untagged_alternating = 51;
+    mix.testing_then_stable = 22;
+    return mix;
+}
+
+std::vector<net::TimePoint> firmware_releases_2015() {
+    return {net::TimePoint::from_date(2015, 1, 25),
+            net::TimePoint::from_date(2015, 3, 23),
+            net::TimePoint::from_date(2015, 4, 14),
+            net::TimePoint::from_date(2015, 7, 6),
+            net::TimePoint::from_date(2015, 10, 5)};
+}
+
+ScenarioConfig paper_scenario() {
+    ScenarioConfig config;
+    config.isps = paper_world();
+    config.specials = paper_specials();
+    config.cross_as_movers = 77;
+    config.firmware_releases = firmware_releases_2015();
+    config.kroot = std::nullopt;
+    config.seed = 20151231;
+    return config;
+}
+
+ScenarioConfig outage_scenario() {
+    ScenarioConfig config;
+    const std::vector<std::uint32_t> wanted = {3215, 3320, 2856, 6830, 701,
+                                               3269, 5432, 3209, 1267, 15557,
+                                               13046, 8997, 7922, 9143, 31334,
+                                               12322};
+    for (auto& isp : paper_world()) {
+        bool keep = false;
+        for (auto asn : wanted) keep = keep || isp.asn == asn;
+        if (!keep) continue;
+        set_outages(isp, busy_outages());
+        config.isps.push_back(std::move(isp));
+    }
+    config.firmware_releases = firmware_releases_2015();
+    atlas::KRootSamplingPolicy kroot;
+    kroot.base_cadence = net::Duration::hours(4);
+    kroot.dense_window = net::Duration::minutes(16);
+    config.kroot = kroot;
+    config.seed = 20160101;
+    return config;
+}
+
+ScenarioConfig quick_scenario() {
+    ScenarioConfig config;
+    config.window = {net::TimePoint::from_date(2015, 1, 1),
+                     net::TimePoint::from_date(2015, 3, 1)};
+    auto shrink = [](IspSpec spec, int probes) {
+        spec.cohorts.resize(1);
+        spec.cohorts.front().probe_count = probes;
+        return spec;
+    };
+    config.isps = {shrink(orange(), 8), shrink(dtag(), 8), shrink(lgi(), 8),
+                   shrink(verizon(), 6)};
+    for (auto& isp : config.isps) set_outages(isp, busy_outages());
+    // Two months is short for LGI's gentle churn to produce any change at
+    // all; raise churn and fatten the outage tail so the smoke scenario
+    // exercises DHCP renumbering too.
+    config.isps[2].churn_per_hour = 0.3;
+    for (auto& cohort : config.isps[2].cohorts) {
+        cohort.outages.power_per_year = 14.0;
+        cohort.outages.net_per_year = 22.0;
+        cohort.outages.short_fraction = 0.4;
+        cohort.outages.long_median_seconds = 4.0 * 3600.0;
+    }
+    config.specials.never_changed = 4;
+    config.specials.dual_stack = 4;
+    config.specials.ipv6_only = 2;
+    config.specials.untagged_alternating = 3;
+    config.specials.tagged_stable = 2;
+    config.specials.testing_then_stable = 2;
+    config.cross_as_movers = 2;
+    config.firmware_releases = {net::TimePoint::from_date(2015, 1, 25)};
+    atlas::KRootSamplingPolicy kroot;
+    kroot.base_cadence = net::Duration::seconds(240);
+    kroot.dense_cadence = net::Duration::seconds(240);
+    config.kroot = kroot;
+    config.seed = 7;
+    return config;
+}
+
+}  // namespace dynaddr::isp::presets

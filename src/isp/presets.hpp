@@ -1,0 +1,37 @@
+#pragma once
+
+#include "isp/world.hpp"
+
+namespace dynaddr::isp::presets {
+
+/// The five ISPs of the paper's Figure 2, individually.
+IspSpec orange();    ///< AS3215, FR — weekly periodic, renumber on any outage
+IspSpec dtag();      ///< AS3320, DE — daily periodic, night-synchronized
+IspSpec bt();        ///< AS2856, UK — 2-week periodic minority
+IspSpec lgi();       ///< AS6830, pan-EU — DHCP, outage-proportional renumbering
+IspSpec verizon();   ///< AS701, US — DHCP, very stable
+
+/// Every AS the paper names in Tables 5-7 plus continental filler ISPs so
+/// Figure 1's six curves are populated.
+std::vector<IspSpec> paper_world();
+
+/// Table-2 populations at roughly 1:10 of the paper's probe counts.
+SpecialMix paper_specials();
+
+/// The five firmware-release days the paper identifies in Figure 6.
+std::vector<net::TimePoint> firmware_releases_2015();
+
+/// Full-year scenario over the complete world. k-root emission is off —
+/// periodicity/prefix/geography experiments only need connection logs.
+ScenarioConfig paper_scenario();
+
+/// Year-long scenario over the outage-relevant ASes (Table 6, Figures
+/// 7-9) with k-root emission on and outage rates high enough that probes
+/// clear the paper's >= 3-outages bar.
+ScenarioConfig outage_scenario();
+
+/// Small, fast scenario (a handful of ISPs, ~60 days) for tests, examples
+/// and smoke runs; k-root on at full 240 s cadence.
+ScenarioConfig quick_scenario();
+
+}  // namespace dynaddr::isp::presets

@@ -1,0 +1,367 @@
+#include <deque>
+
+#include "atlas/controller.hpp"
+#include "atlas/probe.hpp"
+#include "dhcp/server.hpp"
+#include "isp/world.hpp"
+#include "netcore/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace dynaddr::isp {
+
+namespace {
+
+/// All heap-pinned simulation objects; deques keep addresses stable.
+struct World {
+    explicit World(net::TimePoint start, rng::Stream rng)
+        : sim(start), controller(sim, rng) {}
+
+    sim::Simulation sim;
+    atlas::Controller controller;
+    std::deque<pool::AddressPool> pools;
+    std::deque<dhcp::Server> dhcp_servers;
+    std::deque<ppp::RadiusServer> radius_servers;
+    std::deque<atlas::Timeline> timelines;
+    std::deque<atlas::Probe> probes;
+    std::deque<atlas::Cpe> cpes;
+};
+
+/// Per-(ISP, cohort) backend servers sharing the ISP's pool.
+struct CohortBackend {
+    dhcp::Server* dhcp = nullptr;
+    ppp::RadiusServer* radius = nullptr;
+};
+
+void validate_isp(const IspSpec& isp) {
+    if (isp.asn == 0) throw Error("ISP '" + isp.name + "' needs an ASN");
+    if (isp.pool_prefixes.empty())
+        throw Error("ISP '" + isp.name + "' needs pool prefixes");
+    if (isp.cohorts.empty()) throw Error("ISP '" + isp.name + "' needs cohorts");
+    for (const auto& event : isp.admin_events) {
+        if (event.retire_pool_index >= isp.pool_prefixes.size() ||
+            event.enable_pool_index >= isp.pool_prefixes.size() ||
+            event.retire_pool_index == event.enable_pool_index)
+            throw Error("bad admin renumbering indices for '" + isp.name + "'");
+    }
+    for (const auto& pool_prefix : isp.pool_prefixes) {
+        int covering = 0;
+        for (const auto& agg : isp.announced_prefixes)
+            if (agg.contains(pool_prefix)) ++covering;
+        if (covering != 1)
+            throw Error("pool prefix " + pool_prefix.to_string() + " of '" +
+                        isp.name + "' must lie inside exactly one announced prefix");
+    }
+}
+
+atlas::ProbeVersion draw_version(const Cohort& cohort, rng::Stream& rng) {
+    if (!rng.bernoulli(cohort.v1v2_fraction)) return atlas::ProbeVersion::V3;
+    return rng.bernoulli(0.5) ? atlas::ProbeVersion::V1 : atlas::ProbeVersion::V2;
+}
+
+atlas::CpeConfig make_cpe_config(const Cohort& cohort, rng::Stream& rng) {
+    atlas::CpeConfig config;
+    config.wan = cohort.protocol;
+    config.ppp.skip_renumber_probability = cohort.skip_renumber_probability;
+    if (cohort.protocol == atlas::CpeConfig::Wan::Ppp &&
+        rng.bernoulli(cohort.fraction_nightly_reconnect)) {
+        config.daily_reconnect_hour =
+            int(rng.uniform_int(cohort.nightly_hour_min, cohort.nightly_hour_max));
+    }
+    return config;
+}
+
+const char* kSpecialCountries[] = {"DE", "FR", "NL", "GB", "US", "IT", "RU",
+                                   "SE", "CZ", "AT", "CH", "BE", "PL", "ES"};
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+    if (config.window.empty()) throw Error("scenario window is empty");
+    for (const auto& isp : config.isps) validate_isp(isp);
+
+    rng::Stream root(config.seed);
+    World world(config.window.begin, root.child("controller"));
+    ScenarioResult result;
+
+    // -- BGP state ----------------------------------------------------------
+    const bgp::MonthKey first_month = bgp::month_key_of(config.window.begin);
+    const bgp::MonthKey last_month =
+        bgp::month_key_of(config.window.end - net::Duration::seconds(1));
+    for (const auto& isp : config.isps) {
+        result.registry.add({isp.asn, isp.name,
+                             isp.countries.empty() ? "" : isp.countries.front(),
+                             isp.continent});
+        for (const auto& announced : isp.announced_prefixes) {
+            // Administrative renumbering moves aggregates in/out of the
+            // routing table: a retired block's aggregate vanishes from the
+            // event's month onward; the new block's appears there.
+            bgp::MonthKey start = first_month;
+            bgp::MonthKey end = last_month;
+            for (const auto& event : isp.admin_events) {
+                const bgp::MonthKey boundary = bgp::month_key_of(event.when);
+                if (announced.contains(isp.pool_prefixes[event.retire_pool_index]))
+                    end = std::min(end, boundary);
+                if (announced.contains(isp.pool_prefixes[event.enable_pool_index]))
+                    start = std::max(start, boundary);
+            }
+            if (start <= end)
+                result.prefix_table.announce_range(start, end, announced, isp.asn);
+        }
+    }
+
+    // -- build ISPs, cohorts, probes ----------------------------------------
+    atlas::ProbeId next_probe = 1000;
+    pool::ClientId next_client = 1;
+    std::vector<std::vector<CohortBackend>> backends(config.isps.size());
+
+    for (std::size_t i = 0; i < config.isps.size(); ++i) {
+        const IspSpec& isp = config.isps[i];
+        auto isp_rng = root.child("isp").child(isp.asn);
+        std::vector<std::size_t> disabled;
+        for (const auto& event : isp.admin_events)
+            disabled.push_back(event.enable_pool_index);
+        world.pools.emplace_back(
+            pool::PoolConfig{isp.pool_prefixes, isp.strategy, isp.churn_per_hour,
+                             isp.locality_bias, std::move(disabled)},
+            isp_rng.child("pool"));
+        pool::AddressPool& pool = world.pools.back();
+        for (const auto& event : isp.admin_events) {
+            const auto retire = event.retire_pool_index;
+            const auto enable = event.enable_pool_index;
+            world.sim.at(event.when, [&pool, retire, enable](net::TimePoint) {
+                pool.enable_prefix(enable);
+                pool.retire_prefix(retire);
+            });
+        }
+
+        for (std::size_t c = 0; c < isp.cohorts.size(); ++c) {
+            const Cohort& cohort = isp.cohorts[c];
+            CohortBackend backend;
+            if (cohort.protocol == atlas::CpeConfig::Wan::Dhcp) {
+                world.dhcp_servers.emplace_back(
+                    dhcp::ServerConfig{cohort.dhcp_lease, cohort.dhcp_max_age,
+                                       cohort.dhcp_max_age_jitter},
+                    pool, world.sim);
+                backend.dhcp = &world.dhcp_servers.back();
+            } else {
+                world.radius_servers.emplace_back(
+                    ppp::RadiusConfig{cohort.session_timeout}, pool, world.sim);
+                backend.radius = &world.radius_servers.back();
+            }
+            backends[i].push_back(backend);
+
+            for (int k = 0; k < cohort.probe_count; ++k) {
+                auto probe_rng = isp_rng.child("probe").child(
+                    std::uint64_t(c) << 32 | std::uint64_t(k));
+                const atlas::ProbeId probe_id = next_probe++;
+                const pool::ClientId client_id = next_client++;
+
+                world.timelines.emplace_back(probe_id);
+                atlas::Timeline& timeline = world.timelines.back();
+
+                atlas::ProbeConfig probe_config;
+                probe_config.id = probe_id;
+                probe_config.version = draw_version(cohort, probe_rng);
+                world.probes.emplace_back(probe_config, world.sim,
+                                          probe_rng.child("dev"), world.controller,
+                                          timeline);
+                atlas::Probe& probe = world.probes.back();
+                world.controller.register_probe(probe);
+
+                world.cpes.emplace_back(make_cpe_config(cohort, probe_rng),
+                                        client_id, world.sim,
+                                        probe_rng.child("cpe"), probe, timeline,
+                                        backend.dhcp, backend.radius);
+                atlas::Cpe& cpe = world.cpes.back();
+
+                ProbeTruth truth;
+                truth.probe = probe_id;
+                truth.asn = isp.asn;
+                truth.cohort = int(c);
+                truth.protocol = cohort.protocol;
+                if (cohort.protocol == atlas::CpeConfig::Wan::Ppp)
+                    truth.configured_period = cohort.session_timeout;
+                truth.outages = schedule_outages(world.sim, cpe, cohort.outages,
+                                                 config.window,
+                                                 probe_rng.child("outage"));
+                result.truths.push_back(std::move(truth));
+
+                // Stagger installs across the first day so free-running
+                // periodic clocks de-synchronize.
+                const net::Duration stagger{probe_rng.uniform_int(0, 86399)};
+                world.sim.at(config.window.begin + stagger,
+                             [&cpe](net::TimePoint) { cpe.start(); });
+
+                // Probe metadata (archive dataset).
+                atlas::ProbeMetadata meta;
+                meta.probe = probe_id;
+                meta.version = probe_config.version;
+                const auto& countries =
+                    isp.countries.empty()
+                        ? std::vector<std::string>{std::string("DE")}
+                        : isp.countries;
+                meta.country_code = countries[std::size_t(probe_rng.uniform_int(
+                    0, std::int64_t(countries.size()) - 1))];
+                result.bundle.probes.push_back(std::move(meta));
+            }
+        }
+    }
+
+    // -- cross-AS movers ------------------------------------------------------
+    if (config.cross_as_movers > 0 && config.isps.size() >= 2) {
+        for (int m = 0; m < config.cross_as_movers; ++m) {
+            const std::size_t from = std::size_t(m) % config.isps.size();
+            const std::size_t to = (from + 1) % config.isps.size();
+            const IspSpec& isp_a = config.isps[from];
+            const IspSpec& isp_b = config.isps[to];
+            const Cohort& cohort_a = isp_a.cohorts.front();
+            const Cohort& cohort_b = isp_b.cohorts.front();
+            auto probe_rng = root.child("mover").child(std::uint64_t(m));
+
+            const atlas::ProbeId probe_id = next_probe++;
+            const pool::ClientId client_id = next_client++;
+            world.timelines.emplace_back(probe_id);
+            atlas::Timeline& timeline = world.timelines.back();
+
+            atlas::ProbeConfig probe_config;
+            probe_config.id = probe_id;
+            world.probes.emplace_back(probe_config, world.sim,
+                                      probe_rng.child("dev"), world.controller,
+                                      timeline);
+            atlas::Probe& probe = world.probes.back();
+            world.controller.register_probe(probe);
+
+            world.cpes.emplace_back(make_cpe_config(cohort_a, probe_rng),
+                                    client_id, world.sim, probe_rng.child("cpe"),
+                                    probe, timeline, backends[from][0].dhcp,
+                                    backends[from][0].radius);
+            atlas::Cpe& cpe = world.cpes.back();
+
+            world.sim.at(config.window.begin, [&cpe](net::TimePoint) { cpe.start(); });
+            // Move house somewhere in the middle third of the window.
+            const std::int64_t span = config.window.length().count();
+            const net::Duration when{span / 3 +
+                                     probe_rng.uniform_int(0, span / 3)};
+            const auto wan_b = cohort_b.protocol;
+            auto* dhcp_b = backends[to][0].dhcp;
+            auto* radius_b = backends[to][0].radius;
+            world.sim.at(config.window.begin + when,
+                         [&cpe, dhcp_b, radius_b, wan_b](net::TimePoint) {
+                             cpe.switch_backend(dhcp_b, radius_b, wan_b);
+                         });
+
+            ProbeTruth truth;
+            truth.probe = probe_id;
+            truth.asn = isp_a.asn;
+            truth.cohort = 0;
+            truth.protocol = cohort_a.protocol;
+            truth.mover = true;
+            truth.mover_second_asn = isp_b.asn;
+            result.truths.push_back(std::move(truth));
+
+            atlas::ProbeMetadata meta;
+            meta.probe = probe_id;
+            meta.version = probe_config.version;
+            meta.country_code = isp_a.countries.empty() ? "DE" : isp_a.countries.front();
+            result.bundle.probes.push_back(std::move(meta));
+        }
+    }
+
+    // -- firmware -------------------------------------------------------------
+    for (net::TimePoint release : config.firmware_releases)
+        world.controller.schedule_firmware_release(release);
+
+    // -- run -------------------------------------------------------------------
+    world.sim.run_until(config.window.end);
+    result.sim_events = world.sim.executed();
+
+    // A log scrape at window end sees still-open connections too.
+    for (auto& probe : world.probes) probe.flush_open_connection(config.window.end);
+
+    for (auto& timeline : world.timelines) timeline.finalize(config.window.end);
+    world.controller.drain_into(result.bundle);
+
+    if (config.kroot) {
+        for (const auto& timeline : world.timelines) {
+            auto records = atlas::emit_kroot_records(
+                timeline, config.window, *config.kroot,
+                root.child("kroot").child(timeline.probe()));
+            result.bundle.kroot_pings.insert(result.bundle.kroot_pings.end(),
+                                             records.begin(), records.end());
+        }
+    }
+
+    // -- special probes ---------------------------------------------------------
+    auto add_specials = [&](int count, atlas::SpecialBehaviour behaviour,
+                            const std::vector<std::string>& tags) {
+        for (int k = 0; k < count; ++k) {
+            auto sp_rng = root.child("special").child(
+                (std::uint64_t(int(behaviour)) << 32) | std::uint64_t(k));
+            atlas::SpecialProbeSpec spec;
+            spec.id = next_probe++;
+            spec.behaviour = behaviour;
+            // Unannounced test range; these probes are filtered before any
+            // AS mapping happens.
+            spec.base_address =
+                net::IPv4Address{std::uint32_t(0xC6120000u) |  // 198.18.0.0
+                                 std::uint32_t(sp_rng.uniform_int(0, 0xFFFF))};
+            // ~90 % of v6-capable hosts run RFC 4941 privacy extensions
+            // (Plonka & Berger's ephemeral fraction, cited by the paper);
+            // dual-stack probes also reconnect often, as the paper notes.
+            spec.v6_privacy_extensions = sp_rng.bernoulli(0.9);
+            if (behaviour == atlas::SpecialBehaviour::DualStack ||
+                behaviour == atlas::SpecialBehaviour::Ipv6Only)
+                spec.mean_session = net::Duration::hours(8);
+            auto log = atlas::generate_special_probe_log(spec, config.window,
+                                                         sp_rng.child("log"));
+            result.bundle.connection_log.insert(result.bundle.connection_log.end(),
+                                                log.begin(), log.end());
+            atlas::ProbeMetadata meta;
+            meta.probe = spec.id;
+            meta.version = atlas::ProbeVersion::V3;
+            meta.country_code = kSpecialCountries[sp_rng.uniform_int(
+                0, std::int64_t(std::size(kSpecialCountries)) - 1)];
+            meta.tags = tags;
+            result.bundle.probes.push_back(std::move(meta));
+
+            ProbeTruth truth;
+            truth.probe = spec.id;
+            truth.special = true;
+            result.truths.push_back(std::move(truth));
+        }
+    };
+    const SpecialMix& mix = config.specials;
+    add_specials(mix.never_changed, atlas::SpecialBehaviour::NeverChanged, {});
+    add_specials(mix.dual_stack, atlas::SpecialBehaviour::DualStack, {});
+    add_specials(mix.ipv6_only, atlas::SpecialBehaviour::Ipv6Only, {});
+    add_specials(mix.tagged_alternating,
+                 atlas::SpecialBehaviour::MultihomedAlternating, {"multihomed"});
+    add_specials(mix.tagged_stable, atlas::SpecialBehaviour::NeverChanged,
+                 {"datacentre"});
+    add_specials(mix.untagged_alternating,
+                 atlas::SpecialBehaviour::MultihomedAlternating, {});
+    add_specials(mix.testing_then_stable,
+                 atlas::SpecialBehaviour::TestingAddressThenStable, {});
+
+    // -- RADIUS ground truth ------------------------------------------------
+    {
+        std::size_t server_index = 0;
+        for (std::size_t i = 0; i < config.isps.size(); ++i) {
+            (void)server_index;
+            for (const auto& backend : backends[i]) {
+                if (backend.radius == nullptr) continue;
+                auto& sink = result.radius_records[config.isps[i].asn];
+                const auto& records = backend.radius->records();
+                sink.insert(sink.end(), records.begin(), records.end());
+            }
+        }
+    }
+
+    // -- ground-truth timelines ----------------------------------------------
+    result.timelines.assign(world.timelines.begin(), world.timelines.end());
+
+    result.bundle.sort();
+    return result;
+}
+
+}  // namespace dynaddr::isp

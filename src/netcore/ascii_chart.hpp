@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "netcore/histogram.hpp"
+
+namespace dynaddr::chart {
+
+/// One named series of an XY chart.
+struct Series {
+    std::string label;
+    std::vector<stats::CdfPoint> points;  ///< x ascending
+};
+
+/// Options for ASCII chart rendering.
+struct ChartOptions {
+    int width = 72;        ///< plot columns (excluding axis labels)
+    int height = 20;       ///< plot rows
+    bool log_x = false;    ///< render the x axis in log10 scale
+    std::string x_label;   ///< caption under the x axis
+    std::string y_label;   ///< caption left of the y axis
+};
+
+/// Renders step-function CDF series as a multi-line ASCII chart. Each
+/// series is drawn with its own glyph and listed in a legend. This is how
+/// the bench harness prints the paper's figures on a terminal.
+std::string render_cdf_chart(const std::vector<Series>& series,
+                             const ChartOptions& options);
+
+/// Renders a labelled horizontal bar chart; one row per (label, value).
+/// `max_value` of 0 autoscales to the largest value.
+std::string render_bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                             int width = 60, double max_value = 0.0);
+
+/// Renders a stacked percentage bar per label: `parts` holds
+/// (label, numerator, denominator); the bar shows numerator/denominator.
+std::string render_fraction_chart(
+    const std::vector<std::tuple<std::string, double, double>>& parts,
+    int width = 50);
+
+/// Formats a table with left-aligned first column and right-aligned
+/// numeric columns, in the style of the paper's tables.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace dynaddr::chart

@@ -1,0 +1,107 @@
+#include "netcore/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::csv {
+
+std::vector<std::string> split_line(std::string_view line) {
+    std::vector<std::string> fields;
+    std::string current;
+    bool in_quotes = false;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current.push_back('"');
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current.push_back(c);
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+        ++i;
+    }
+    if (in_quotes) throw ParseError("unterminated quoted CSV field");
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+void append_field(std::string& out, std::string_view field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string_view::npos;
+    if (!needs_quotes) {
+        out += field;
+        return;
+    }
+    out.push_back('"');
+    for (char c : field) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+}
+
+std::string join_line(const std::vector<std::string>& fields) {
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        append_field(out, fields[i]);
+    }
+    return out;
+}
+
+Writer::Writer(std::ostream& out, std::vector<std::string> header)
+    : out_(&out), columns_(header.size()) {
+    if (header.empty()) throw Error("CSV header must not be empty");
+    *out_ << join_line(header) << '\n';
+}
+
+void Writer::write_row(const std::vector<std::string>& fields) {
+    if (fields.size() != columns_)
+        throw Error("CSV row width " + std::to_string(fields.size()) +
+                    " != header width " + std::to_string(columns_));
+    *out_ << join_line(fields) << '\n';
+    ++rows_;
+}
+
+Reader::Reader(std::istream& in) : in_(&in) {
+    std::string line;
+    if (!std::getline(*in_, line)) throw ParseError("empty CSV stream");
+    header_ = split_line(line);
+}
+
+std::size_t Reader::column(std::string_view name) const {
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        if (header_[i] == name) return i;
+    throw Error("CSV column '" + std::string(name) + "' not found");
+}
+
+std::optional<std::vector<std::string>> Reader::next_row() {
+    std::string line;
+    while (std::getline(*in_, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        auto fields = split_line(line);
+        if (fields.size() != header_.size())
+            throw ParseError("CSV row width " + std::to_string(fields.size()) +
+                             " != header width " + std::to_string(header_.size()));
+        return fields;
+    }
+    return std::nullopt;
+}
+
+}  // namespace dynaddr::csv

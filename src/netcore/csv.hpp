@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynaddr::csv {
+
+/// Splits one CSV line on commas. Fields containing commas or quotes must
+/// be double-quoted; embedded quotes are escaped by doubling ("" -> ").
+/// Throws ParseError on an unterminated quoted field.
+std::vector<std::string> split_line(std::string_view line);
+
+/// Quotes a field if needed and appends it to `out`.
+void append_field(std::string& out, std::string_view field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string join_line(const std::vector<std::string>& fields);
+
+/// Streaming CSV writer with a fixed header. Column counts are enforced:
+/// writing a row of the wrong width throws Error.
+class Writer {
+public:
+    /// Writes the header immediately. The stream must outlive the Writer.
+    Writer(std::ostream& out, std::vector<std::string> header);
+
+    void write_row(const std::vector<std::string>& fields);
+
+    [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+private:
+    std::ostream* out_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+/// Streaming CSV reader that validates the header and yields rows.
+class Reader {
+public:
+    /// Reads and stores the header line. Throws ParseError when the stream
+    /// is empty. The stream must outlive the Reader.
+    explicit Reader(std::istream& in);
+
+    /// The header fields.
+    [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+
+    /// Index of the named column; throws Error when absent.
+    [[nodiscard]] std::size_t column(std::string_view name) const;
+
+    /// Reads the next row; nullopt at end of stream. Rows whose width
+    /// differs from the header raise ParseError. Blank lines are skipped.
+    std::optional<std::vector<std::string>> next_row();
+
+private:
+    std::istream* in_;
+    std::vector<std::string> header_;
+};
+
+}  // namespace dynaddr::csv

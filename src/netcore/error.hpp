@@ -1,0 +1,24 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dynaddr {
+
+/// Base exception for all dynaddr errors. Thrown for programmer errors,
+/// malformed input (e.g. unparseable addresses or log lines), and violated
+/// preconditions. Recoverable "absence of data" is expressed with
+/// std::optional return values instead.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when textual input (an address, a timestamp, a CSV field) cannot
+/// be parsed.
+class ParseError : public Error {
+public:
+    explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+}  // namespace dynaddr

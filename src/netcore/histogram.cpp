@@ -1,0 +1,153 @@
+#include "netcore/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::stats {
+
+void Cdf::add(double value, double weight) {
+    if (weight <= 0.0) return;
+    weight_by_value_[value] += weight;
+    total_weight_ += weight;
+    ++count_;
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+    if (total_weight_ <= 0.0) return 0.0;
+    double below = 0.0;
+    for (const auto& [value, weight] : weight_by_value_) {
+        if (value > x) break;
+        below += weight;
+    }
+    return below / total_weight_;
+}
+
+double Cdf::fraction_at(double x) const {
+    if (total_weight_ <= 0.0) return 0.0;
+    auto it = weight_by_value_.find(x);
+    return it == weight_by_value_.end() ? 0.0 : it->second / total_weight_;
+}
+
+double Cdf::quantile(double q) const {
+    if (weight_by_value_.empty()) throw Error("quantile of empty CDF");
+    if (q < 0.0 || q > 1.0) throw Error("quantile q out of [0,1]");
+    double cumulative = 0.0;
+    for (const auto& [value, weight] : weight_by_value_) {
+        cumulative += weight;
+        if (cumulative / total_weight_ >= q) return value;
+    }
+    return weight_by_value_.rbegin()->first;
+}
+
+std::vector<CdfPoint> Cdf::points() const {
+    std::vector<CdfPoint> out;
+    out.reserve(weight_by_value_.size());
+    double cumulative = 0.0;
+    for (const auto& [value, weight] : weight_by_value_) {
+        cumulative += weight;
+        out.push_back({value, total_weight_ > 0 ? cumulative / total_weight_ : 0.0});
+    }
+    return out;
+}
+
+std::vector<CdfPoint> Cdf::modes(double min_fraction) const {
+    std::vector<CdfPoint> out;
+    if (total_weight_ <= 0.0) return out;
+    for (const auto& [value, weight] : weight_by_value_) {
+        const double fraction = weight / total_weight_;
+        if (fraction >= min_fraction) out.push_back({value, fraction});
+    }
+    // Largest mass first.
+    std::sort(out.begin(), out.end(),
+              [](const CdfPoint& a, const CdfPoint& b) { return a.y > b.y; });
+    return out;
+}
+
+BinnedHistogram::BinnedHistogram(std::vector<double> edges, bool saturate)
+    : edges_(std::move(edges)), saturate_(saturate) {
+    if (edges_.size() < 2) throw Error("histogram needs at least two edges");
+    if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+        std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end())
+        throw Error("histogram edges must be strictly increasing");
+    counts_.assign(edges_.size() - 1, 0.0);
+}
+
+BinnedHistogram BinnedHistogram::outage_duration_bins() {
+    const double m = 60.0, h = 3600.0, d = 86400.0;
+    return BinnedHistogram{{0.0, 5 * m, 10 * m, 20 * m, 30 * m, 60 * m, 3 * h,
+                            6 * h, 12 * h, 24 * h, 3 * d, 7 * d, 365 * d},
+                           /*saturate=*/true};
+}
+
+void BinnedHistogram::add(double value, double weight) {
+    auto bin = bin_of(value);
+    if (bin) counts_[*bin] += weight;
+}
+
+double BinnedHistogram::total_weight() const {
+    double total = 0.0;
+    for (double c : counts_) total += c;
+    return total;
+}
+
+std::optional<std::size_t> BinnedHistogram::bin_of(double value) const {
+    if (value < edges_.front()) {
+        if (!saturate_) return std::nullopt;
+        return 0;
+    }
+    if (value >= edges_.back()) {
+        if (!saturate_) return std::nullopt;
+        return counts_.size() - 1;
+    }
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+    return std::size_t(std::distance(edges_.begin(), it)) - 1;
+}
+
+std::string BinnedHistogram::bin_label(std::size_t bin) const {
+    if (bin >= counts_.size()) throw Error("bin index out of range");
+    auto render = [](double seconds) -> std::string {
+        if (seconds >= 7 * 86400.0 && std::fmod(seconds, 7 * 86400.0) == 0.0)
+            return std::to_string(std::int64_t(seconds / (7 * 86400.0))) + "w";
+        if (seconds >= 86400.0 && std::fmod(seconds, 86400.0) == 0.0)
+            return std::to_string(std::int64_t(seconds / 86400.0)) + "d";
+        if (seconds >= 3600.0 && std::fmod(seconds, 3600.0) == 0.0)
+            return std::to_string(std::int64_t(seconds / 3600.0)) + "h";
+        if (seconds >= 60.0 && std::fmod(seconds, 60.0) == 0.0)
+            return std::to_string(std::int64_t(seconds / 60.0)) + "m";
+        return std::to_string(std::int64_t(seconds)) + "s";
+    };
+    const double lo = edges_[bin];
+    const double hi = edges_[bin + 1];
+    if (bin == 0) return "< " + render(hi);
+    if (bin == counts_.size() - 1) return "> " + render(lo);
+    return render(lo) + "-" + render(hi);
+}
+
+void Summary::add(double value) {
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    // Welford's online update.
+    const double delta = value - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double Summary::mean() const { return count_ > 0 ? mean_ : 0.0; }
+double Summary::min() const { return count_ > 0 ? min_ : 0.0; }
+double Summary::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double Summary::variance() const {
+    return count_ > 1 ? m2_ / double(count_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace dynaddr::stats

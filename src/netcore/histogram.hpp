@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dynaddr::stats {
+
+/// One (x, y) point of an empirical CDF.
+struct CdfPoint {
+    double x = 0.0;
+    double y = 0.0;  ///< cumulative fraction in [0, 1]
+};
+
+/// An empirical weighted CDF over double-valued samples.
+///
+/// This is the workhorse behind the paper's Figures 1-3 and 7-8: each
+/// sample may carry a weight (the paper's total-time-fraction weights
+/// durations by their own length), and the CDF reports the cumulative
+/// weight fraction at or below each distinct sample value.
+class Cdf {
+public:
+    /// Adds a sample with the given weight (default 1). Non-positive
+    /// weights are ignored.
+    void add(double value, double weight = 1.0);
+
+    /// Number of samples accepted.
+    [[nodiscard]] std::size_t sample_count() const { return count_; }
+
+    /// Sum of accepted weights.
+    [[nodiscard]] double total_weight() const { return total_weight_; }
+
+    /// Cumulative weight fraction of samples with value <= x; 0 when empty.
+    [[nodiscard]] double fraction_at_or_below(double x) const;
+
+    /// Weight fraction of samples exactly equal to x (mode mass).
+    [[nodiscard]] double fraction_at(double x) const;
+
+    /// Smallest sample value v such that fraction_at_or_below(v) >= q.
+    /// Throws Error when empty or q outside [0, 1].
+    [[nodiscard]] double quantile(double q) const;
+
+    /// The full step-function as sorted points, one per distinct value.
+    [[nodiscard]] std::vector<CdfPoint> points() const;
+
+    /// Distinct values with at least `min_fraction` of the total weight,
+    /// i.e. the modes the paper reads off vertical CDF segments.
+    [[nodiscard]] std::vector<CdfPoint> modes(double min_fraction) const;
+
+private:
+    std::map<double, double> weight_by_value_;
+    double total_weight_ = 0.0;
+    std::size_t count_ = 0;
+};
+
+/// A histogram over user-supplied bin edges; values below the first edge
+/// or at/above the last are counted in saturating end bins when
+/// `saturate` is set, otherwise dropped.
+class BinnedHistogram {
+public:
+    /// `edges` must be strictly increasing with at least two entries;
+    /// bin i covers [edges[i], edges[i+1]).
+    explicit BinnedHistogram(std::vector<double> edges, bool saturate = true);
+
+    /// Standard log-scale duration bins used by the paper's Figure 9:
+    /// <5m, 5-10m, 10-20m, 20-30m, 30-60m, 1-3h, 3-6h, 6-12h, 12-24h,
+    /// 1-3d, 3d-7d, >1w. Values are in seconds.
+    static BinnedHistogram outage_duration_bins();
+
+    void add(double value, double weight = 1.0);
+
+    [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+    [[nodiscard]] double bin_weight(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] double total_weight() const;
+
+    /// Index of the bin that would receive `value`; nullopt when out of
+    /// range and saturation is off.
+    [[nodiscard]] std::optional<std::size_t> bin_of(double value) const;
+
+    /// Human label for a bin, e.g. "5-10m" for duration bins (seconds) or
+    /// "[a, b)" for generic edges.
+    [[nodiscard]] std::string bin_label(std::size_t bin) const;
+
+private:
+    std::vector<double> edges_;
+    std::vector<double> counts_;
+    bool saturate_;
+};
+
+/// Simple streaming summary statistics.
+class Summary {
+public:
+    void add(double value);
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace dynaddr::stats

@@ -1,0 +1,98 @@
+#include "netcore/ipv4.hpp"
+
+#include <charconv>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::net {
+
+namespace {
+
+// Parses a decimal octet in [0,255] at the front of `text`, advancing it.
+// Rejects empty fields and anything std::from_chars would not accept as a
+// plain non-negative decimal (signs, whitespace, hex).
+std::optional<std::uint8_t> parse_octet(std::string_view& text) {
+    unsigned value = 0;
+    const char* begin = text.data();
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+    // Reject redundant leading zeros ("01") so formatting round-trips.
+    if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+    text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) {
+            if (text.empty() || text.front() != '.') return std::nullopt;
+            text.remove_prefix(1);
+        }
+        auto octet = parse_octet(text);
+        if (!octet) return std::nullopt;
+        value = (value << 8) | *octet;
+    }
+    if (!text.empty()) return std::nullopt;
+    return IPv4Address{value};
+}
+
+IPv4Address IPv4Address::parse_or_throw(std::string_view text) {
+    auto parsed = parse(text);
+    if (!parsed) throw ParseError("bad IPv4 address '" + std::string(text) + "'");
+    return *parsed;
+}
+
+std::string IPv4Address::to_string() const {
+    std::string out;
+    out.reserve(15);
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) out.push_back('.');
+        out += std::to_string(octet(i));
+    }
+    return out;
+}
+
+IPv4Prefix::IPv4Prefix(IPv4Address base, int length) : length_(length) {
+    if (length < 0 || length > 32)
+        throw Error("prefix length out of range: " + std::to_string(length));
+    base_ = IPv4Address{base.value() & mask()};
+}
+
+std::optional<IPv4Prefix> IPv4Prefix::parse(std::string_view text) {
+    auto slash = text.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    auto addr = IPv4Address::parse(text.substr(0, slash));
+    if (!addr) return std::nullopt;
+    std::string_view len_text = text.substr(slash + 1);
+    int length = 0;
+    auto [ptr, ec] =
+        std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+    if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) return std::nullopt;
+    if (length < 0 || length > 32) return std::nullopt;
+    return IPv4Prefix{*addr, length};
+}
+
+IPv4Prefix IPv4Prefix::parse_or_throw(std::string_view text) {
+    auto parsed = parse(text);
+    if (!parsed) throw ParseError("bad IPv4 prefix '" + std::string(text) + "'");
+    return *parsed;
+}
+
+IPv4Prefix IPv4Prefix::slash16_of(IPv4Address addr) { return IPv4Prefix{addr, 16}; }
+
+IPv4Prefix IPv4Prefix::slash8_of(IPv4Address addr) { return IPv4Prefix{addr, 8}; }
+
+IPv4Address IPv4Prefix::at(std::uint64_t i) const {
+    if (i >= size()) throw Error("prefix offset out of range");
+    return IPv4Address{base_.value() + static_cast<std::uint32_t>(i)};
+}
+
+std::string IPv4Prefix::to_string() const {
+    return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace dynaddr::net

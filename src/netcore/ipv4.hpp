@@ -1,0 +1,148 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dynaddr::net {
+
+/// An IPv4 address held as a host-order 32-bit integer value type.
+///
+/// The class is a regular value type: cheap to copy, totally ordered by
+/// numeric value, hashable, and convertible to/from dotted-quad text.
+class IPv4Address {
+public:
+    /// The unspecified address 0.0.0.0.
+    constexpr IPv4Address() = default;
+
+    /// Constructs from a host-order 32-bit value.
+    constexpr explicit IPv4Address(std::uint32_t host_order) : value_(host_order) {}
+
+    /// Constructs from four octets, most significant first: {a,b,c,d} is
+    /// "a.b.c.d".
+    constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                 (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+    /// Parses dotted-quad text ("192.0.2.7"). Returns std::nullopt on any
+    /// deviation: empty fields, values > 255, trailing garbage, leading '+'.
+    static std::optional<IPv4Address> parse(std::string_view text);
+
+    /// Parses dotted-quad text, throwing ParseError on failure.
+    static IPv4Address parse_or_throw(std::string_view text);
+
+    /// Host-order numeric value.
+    [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+    /// The n-th octet, 0 = most significant ("a" in a.b.c.d).
+    [[nodiscard]] constexpr std::uint8_t octet(int n) const {
+        return static_cast<std::uint8_t>(value_ >> (8 * (3 - n)));
+    }
+
+    /// Dotted-quad representation.
+    [[nodiscard]] std::string to_string() const;
+
+    /// True for RFC 1918 private space (10/8, 172.16/12, 192.168/16).
+    [[nodiscard]] constexpr bool is_rfc1918() const {
+        return (value_ >> 24) == 10 || (value_ >> 20) == 0xAC1 ||
+               (value_ >> 16) == 0xC0A8;
+    }
+
+    /// True for 127/8.
+    [[nodiscard]] constexpr bool is_loopback() const { return (value_ >> 24) == 127; }
+
+    /// True for 0.0.0.0.
+    [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+
+    friend constexpr auto operator<=>(IPv4Address, IPv4Address) = default;
+
+private:
+    std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix: a base address plus a length in [0, 32]. The base is
+/// canonicalized (host bits zeroed) on construction.
+class IPv4Prefix {
+public:
+    /// 0.0.0.0/0.
+    constexpr IPv4Prefix() = default;
+
+    /// Builds `base/length`, zeroing host bits. Throws Error if length > 32.
+    IPv4Prefix(IPv4Address base, int length);
+
+    /// Parses "a.b.c.d/len". Returns std::nullopt on malformed input.
+    static std::optional<IPv4Prefix> parse(std::string_view text);
+
+    /// Parses "a.b.c.d/len", throwing ParseError on failure.
+    static IPv4Prefix parse_or_throw(std::string_view text);
+
+    /// The /16 enclosing `addr` (convenience for the paper's Table 7).
+    static IPv4Prefix slash16_of(IPv4Address addr);
+
+    /// The /8 enclosing `addr` (convenience for the paper's Table 7).
+    static IPv4Prefix slash8_of(IPv4Address addr);
+
+    [[nodiscard]] constexpr IPv4Address base() const { return base_; }
+    [[nodiscard]] constexpr int length() const { return length_; }
+
+    /// The network mask as a host-order value (e.g. /24 -> 0xFFFFFF00).
+    [[nodiscard]] constexpr std::uint32_t mask() const {
+        return length_ == 0 ? 0u : ~std::uint32_t{0} << (32 - length_);
+    }
+
+    /// True iff `addr` lies inside this prefix.
+    [[nodiscard]] constexpr bool contains(IPv4Address addr) const {
+        return (addr.value() & mask()) == base_.value();
+    }
+
+    /// True iff `other` is fully contained in this prefix (shorter or equal
+    /// length and matching network bits).
+    [[nodiscard]] constexpr bool contains(const IPv4Prefix& other) const {
+        return length_ <= other.length_ && contains(other.base_);
+    }
+
+    /// Number of addresses spanned (2^(32-length)); 2^32 reported as
+    /// 4294967296 via 64-bit return.
+    [[nodiscard]] constexpr std::uint64_t size() const {
+        return std::uint64_t{1} << (32 - length_);
+    }
+
+    /// First address of the prefix (== base()).
+    [[nodiscard]] constexpr IPv4Address first() const { return base_; }
+
+    /// Last address of the prefix.
+    [[nodiscard]] constexpr IPv4Address last() const {
+        return IPv4Address{base_.value() | ~mask()};
+    }
+
+    /// The address at zero-based offset `i`; throws Error when out of range.
+    [[nodiscard]] IPv4Address at(std::uint64_t i) const;
+
+    /// "a.b.c.d/len".
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr auto operator<=>(const IPv4Prefix&, const IPv4Prefix&) = default;
+
+private:
+    IPv4Address base_{};
+    int length_ = 0;
+};
+
+}  // namespace dynaddr::net
+
+template <>
+struct std::hash<dynaddr::net::IPv4Address> {
+    std::size_t operator()(dynaddr::net::IPv4Address a) const noexcept {
+        return std::hash<std::uint32_t>{}(a.value());
+    }
+};
+
+template <>
+struct std::hash<dynaddr::net::IPv4Prefix> {
+    std::size_t operator()(const dynaddr::net::IPv4Prefix& p) const noexcept {
+        return std::hash<std::uint64_t>{}(
+            (std::uint64_t{p.base().value()} << 6) | std::uint64_t(p.length()));
+    }
+};

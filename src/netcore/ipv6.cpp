@@ -1,0 +1,161 @@
+#include "netcore/ipv6.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::net {
+
+namespace {
+
+/// Parses one hex group (1-4 digits) at the front of `text`, advancing it.
+std::optional<std::uint16_t> parse_group(std::string_view& text) {
+    unsigned value = 0;
+    const char* begin = text.data();
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+    if (ec != std::errc{} || ptr == begin || ptr - begin > 4 || value > 0xFFFF)
+        return std::nullopt;
+    text.remove_prefix(std::size_t(ptr - begin));
+    return std::uint16_t(value);
+}
+
+}  // namespace
+
+std::optional<IPv6Address> IPv6Address::parse(std::string_view text) {
+    if (text.empty()) return std::nullopt;
+    std::array<std::uint16_t, 8> head{};
+    std::array<std::uint16_t, 8> tail{};
+    int head_count = 0, tail_count = 0;
+    bool seen_gap = false;
+
+    // Leading "::".
+    if (text.rfind("::", 0) == 0) {
+        seen_gap = true;
+        text.remove_prefix(2);
+    }
+    while (!text.empty()) {
+        if (text.front() == ':') {
+            // Only valid as the second colon of "::", handled below.
+            if (seen_gap) return std::nullopt;  // second "::"
+            return std::nullopt;                // stray ':'
+        }
+        auto group = parse_group(text);
+        if (!group) return std::nullopt;
+        if (seen_gap) {
+            if (tail_count == 8) return std::nullopt;
+            tail[std::size_t(tail_count++)] = *group;
+        } else {
+            if (head_count == 8) return std::nullopt;
+            head[std::size_t(head_count++)] = *group;
+        }
+        if (text.empty()) break;
+        if (text.front() != ':') return std::nullopt;
+        text.remove_prefix(1);
+        if (!text.empty() && text.front() == ':') {
+            if (seen_gap) return std::nullopt;
+            seen_gap = true;
+            text.remove_prefix(1);
+            if (text.empty()) break;  // trailing "::"
+        } else if (text.empty()) {
+            return std::nullopt;  // trailing single ':'
+        }
+    }
+
+    const int total = head_count + tail_count;
+    if (seen_gap ? total >= 8 : total != 8) return std::nullopt;
+
+    std::array<std::uint16_t, 8> groups{};
+    for (int i = 0; i < head_count; ++i) groups[std::size_t(i)] = head[std::size_t(i)];
+    for (int i = 0; i < tail_count; ++i)
+        groups[std::size_t(8 - tail_count + i)] = tail[std::size_t(i)];
+    std::uint64_t hi = 0, lo = 0;
+    for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[std::size_t(i)];
+    for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[std::size_t(i)];
+    return IPv6Address{hi, lo};
+}
+
+IPv6Address IPv6Address::parse_or_throw(std::string_view text) {
+    auto parsed = parse(text);
+    if (!parsed) throw ParseError("bad IPv6 address '" + std::string(text) + "'");
+    return *parsed;
+}
+
+std::string IPv6Address::to_string() const {
+    // Find the longest run of zero groups (length >= 2) for "::".
+    int best_start = -1, best_len = 0;
+    for (int i = 0; i < 8;) {
+        if (group(i) != 0) {
+            ++i;
+            continue;
+        }
+        int j = i;
+        while (j < 8 && group(j) == 0) ++j;
+        if (j - i > best_len) {
+            best_start = i;
+            best_len = j - i;
+        }
+        i = j;
+    }
+    if (best_len < 2) best_start = -1;
+
+    std::string out;
+    char buffer[8];
+    for (int i = 0; i < 8;) {
+        if (i == best_start) {
+            out += "::";
+            i += best_len;
+            continue;
+        }
+        if (!out.empty() && out.back() != ':') out.push_back(':');
+        std::snprintf(buffer, sizeof buffer, "%x", unsigned(group(i)));
+        out += buffer;
+        ++i;
+    }
+    if (out.empty()) out = "::";
+    return out;
+}
+
+IPv6Prefix::IPv6Prefix(IPv6Address base, int length) : length_(length) {
+    if (length < 0 || length > 128)
+        throw Error("IPv6 prefix length out of range: " + std::to_string(length));
+    std::uint64_t hi = base.hi(), lo = base.lo();
+    if (length <= 64) {
+        lo = 0;
+        if (length == 0)
+            hi = 0;
+        else if (length < 64)
+            hi &= ~std::uint64_t{0} << (64 - length);
+    } else if (length < 128) {
+        lo &= ~std::uint64_t{0} << (128 - length);
+    }
+    base_ = IPv6Address{hi, lo};
+}
+
+std::optional<IPv6Prefix> IPv6Prefix::parse(std::string_view text) {
+    const auto slash = text.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    auto base = IPv6Address::parse(text.substr(0, slash));
+    if (!base) return std::nullopt;
+    const auto len_text = text.substr(slash + 1);
+    int length = 0;
+    auto [ptr, ec] =
+        std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+    if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) return std::nullopt;
+    if (length < 0 || length > 128) return std::nullopt;
+    return IPv6Prefix{*base, length};
+}
+
+IPv6Prefix IPv6Prefix::parse_or_throw(std::string_view text) {
+    auto parsed = parse(text);
+    if (!parsed) throw ParseError("bad IPv6 prefix '" + std::string(text) + "'");
+    return *parsed;
+}
+
+std::string IPv6Prefix::to_string() const {
+    return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace dynaddr::net

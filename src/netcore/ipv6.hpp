@@ -1,0 +1,108 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dynaddr::net {
+
+/// An IPv6 address held as two host-order 64-bit halves.
+///
+/// Regular value type like IPv4Address. Formatting follows RFC 5952
+/// (lowercase hex, longest zero run compressed with "::", ties broken by
+/// the first run, no single-group compression).
+class IPv6Address {
+public:
+    /// The unspecified address ::.
+    constexpr IPv6Address() = default;
+
+    /// Constructs from the high (network) and low (interface) 64 bits.
+    constexpr IPv6Address(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+    /// Parses full or "::"-compressed textual form. Returns std::nullopt
+    /// on malformed input (embedded-IPv4 tails are not supported).
+    static std::optional<IPv6Address> parse(std::string_view text);
+
+    /// Parses, throwing ParseError on failure.
+    static IPv6Address parse_or_throw(std::string_view text);
+
+    [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+    [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+    /// The n-th 16-bit group, 0 = leftmost.
+    [[nodiscard]] constexpr std::uint16_t group(int n) const {
+        const std::uint64_t half = n < 4 ? hi_ : lo_;
+        return std::uint16_t(half >> (16 * (3 - (n & 3))));
+    }
+
+    /// The enclosing /64 as an address with the interface id zeroed.
+    [[nodiscard]] constexpr IPv6Address prefix64() const {
+        return IPv6Address{hi_, 0};
+    }
+
+    /// The 64-bit interface identifier.
+    [[nodiscard]] constexpr std::uint64_t interface_id() const { return lo_; }
+
+    [[nodiscard]] constexpr bool is_unspecified() const {
+        return hi_ == 0 && lo_ == 0;
+    }
+
+    /// RFC 5952 canonical text.
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr auto operator<=>(IPv6Address, IPv6Address) = default;
+
+private:
+    std::uint64_t hi_ = 0;
+    std::uint64_t lo_ = 0;
+};
+
+/// A CIDR prefix over IPv6, base canonicalized (host bits zeroed).
+class IPv6Prefix {
+public:
+    /// ::/0.
+    constexpr IPv6Prefix() = default;
+
+    /// Builds base/length, zeroing host bits. Throws Error if length > 128.
+    IPv6Prefix(IPv6Address base, int length);
+
+    /// Parses "addr/len".
+    static std::optional<IPv6Prefix> parse(std::string_view text);
+    static IPv6Prefix parse_or_throw(std::string_view text);
+
+    [[nodiscard]] constexpr IPv6Address base() const { return base_; }
+    [[nodiscard]] constexpr int length() const { return length_; }
+
+    [[nodiscard]] constexpr bool contains(IPv6Address addr) const {
+        if (length_ == 0) return true;
+        if (length_ <= 64) {
+            const std::uint64_t mask =
+                length_ == 64 ? ~std::uint64_t{0} : ~std::uint64_t{0} << (64 - length_);
+            return (addr.hi() & mask) == base_.hi();
+        }
+        if (addr.hi() != base_.hi()) return false;
+        const int low_bits = length_ - 64;
+        const std::uint64_t mask =
+            low_bits == 64 ? ~std::uint64_t{0} : ~std::uint64_t{0} << (64 - low_bits);
+        return (addr.lo() & mask) == base_.lo();
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr auto operator<=>(const IPv6Prefix&, const IPv6Prefix&) = default;
+
+private:
+    IPv6Address base_{};
+    int length_ = 0;
+};
+
+}  // namespace dynaddr::net
+
+template <>
+struct std::hash<dynaddr::net::IPv6Address> {
+    std::size_t operator()(const dynaddr::net::IPv6Address& a) const noexcept {
+        return std::hash<std::uint64_t>{}(a.hi() * 0x9e3779b97f4a7c15ULL ^ a.lo());
+    }
+};

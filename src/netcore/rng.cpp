@@ -1,0 +1,142 @@
+#include "netcore/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::rng {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over a label, used to key child streams.
+constexpr std::uint64_t fnv1a(std::string_view text) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (char c : text) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Stream::Stream(std::uint64_t seed) {
+    // xoshiro256** must not be seeded all-zero; splitmix64 expansion of the
+    // seed guarantees a valid state for every input.
+    for (auto& word : state_) word = splitmix64(seed);
+}
+
+Stream Stream::child(std::string_view label) const {
+    // Derive deterministically from the parent's state *without* advancing
+    // the parent, so sibling derivation order does not matter.
+    std::uint64_t seed = state_[0] ^ rotl(state_[1], 17) ^ fnv1a(label);
+    return Stream{seed};
+}
+
+Stream Stream::child(std::uint64_t index) const {
+    std::uint64_t seed = state_[0] ^ rotl(state_[1], 17) ^
+                         (index * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+    return Stream{seed};
+}
+
+std::uint64_t Stream::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Stream::next_double() {
+    return double(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Stream::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw Error("uniform_int: lo > hi");
+    const std::uint64_t range = std::uint64_t(hi) - std::uint64_t(lo) + 1;
+    if (range == 0) return std::int64_t(next_u64());  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = range * (UINT64_MAX / range);
+    std::uint64_t draw;
+    do {
+        draw = next_u64();
+    } while (draw >= limit);
+    return lo + std::int64_t(draw % range);
+}
+
+double Stream::uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+}
+
+bool Stream::bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+}
+
+double Stream::exponential(double mean) {
+    if (mean <= 0.0) throw Error("exponential: mean must be positive");
+    double u;
+    do {
+        u = next_double();
+    } while (u == 0.0);
+    return -mean * std::log(u);
+}
+
+double Stream::lognormal(double median, double sigma) {
+    if (median <= 0.0) throw Error("lognormal: median must be positive");
+    if (sigma < 0.0) throw Error("lognormal: sigma must be non-negative");
+    return median * std::exp(sigma * normal(0.0, 1.0));
+}
+
+double Stream::normal(double mean, double stddev) {
+    double u1;
+    do {
+        u1 = next_double();
+    } while (u1 == 0.0);
+    const double u2 = next_double();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Stream::pareto(double lo, double hi, double alpha) {
+    if (lo <= 0.0 || hi <= lo) throw Error("pareto: need 0 < lo < hi");
+    if (alpha <= 0.0) throw Error("pareto: alpha must be positive");
+    const double u = next_double();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    // Inverse CDF of the bounded Pareto: u=0 -> lo, u->1 -> hi.
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::size_t Stream::weighted_index(std::span<const double> weights) {
+    if (weights.empty()) throw Error("weighted_index: empty weights");
+    double total = 0.0;
+    for (double w : weights) total += w > 0.0 ? w : 0.0;
+    if (total <= 0.0) throw Error("weighted_index: weights sum to zero");
+    double draw = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (draw < w) return i;
+        draw -= w;
+    }
+    return weights.size() - 1;  // floating-point slack lands on the last bin
+}
+
+}  // namespace dynaddr::rng

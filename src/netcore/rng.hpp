@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dynaddr::rng {
+
+/// Mixes a 64-bit value with the splitmix64 finalizer. Used for seeding
+/// and for deriving child stream seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// A deterministic xoshiro256** random stream.
+///
+/// Every stochastic decision in the simulator draws from a Stream. Streams
+/// form a tree: `child("purpose")` / `child(index)` derive independent
+/// substreams, so adding probes or reordering draws in one subsystem never
+/// perturbs another — experiments stay bit-reproducible.
+class Stream {
+public:
+    /// Seeds the stream; any seed (including 0) is valid.
+    explicit Stream(std::uint64_t seed);
+
+    /// Derives an independent child stream keyed by a label.
+    [[nodiscard]] Stream child(std::string_view label) const;
+
+    /// Derives an independent child stream keyed by an index.
+    [[nodiscard]] Stream child(std::uint64_t index) const;
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Uniform integer in [lo, hi] inclusive. Throws Error if lo > hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool bernoulli(double p);
+
+    /// Exponential deviate with the given mean (> 0).
+    double exponential(double mean);
+
+    /// Log-normal deviate parameterized by the *median* and sigma of the
+    /// underlying normal. median > 0, sigma >= 0.
+    double lognormal(double median, double sigma);
+
+    /// Standard normal deviate (Box-Muller).
+    double normal(double mean, double stddev);
+
+    /// Bounded Pareto deviate on [lo, hi] with shape alpha > 0.
+    double pareto(double lo, double hi, double alpha);
+
+    /// Picks an index in [0, weights.size()) with probability proportional
+    /// to weights[i]. Throws Error when weights are empty or sum to zero.
+    std::size_t weighted_index(std::span<const double> weights);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            auto j = std::size_t(uniform_int(0, std::int64_t(i) - 1));
+            using std::swap;
+            swap(items[i - 1], items[j]);
+        }
+    }
+
+private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace dynaddr::rng

@@ -1,0 +1,180 @@
+#include "netcore/time.hpp"
+
+#include <array>
+#include <charconv>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::net {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+constexpr bool is_leap(int y) {
+    return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) {
+    constexpr std::array<int, 12> lengths = {31, 28, 31, 30, 31, 30,
+                                             31, 31, 30, 31, 30, 31};
+    return m == 2 && is_leap(y) ? 29 : lengths[std::size_t(m - 1)];
+}
+
+// Days since 1970-01-01 for a civil date. Howard Hinnant's algorithm,
+// valid across the full int range we care about.
+constexpr std::int64_t days_from_civil(int y, int m, int d) {
+    y -= m <= 2;
+    const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(y - era * 400);
+    const unsigned doy =
+        static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return era * 146097 + std::int64_t(doe) - 719468;
+}
+
+// Inverse of days_from_civil.
+constexpr CivilTime civil_from_days(std::int64_t z) {
+    z += 719468;
+    const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+    const unsigned doe = static_cast<unsigned>(z - era * 146097);
+    const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    const std::int64_t y = std::int64_t(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    const unsigned mp = (5 * doy + 2) / 153;
+    const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+    const unsigned m = mp + (mp < 10 ? 3 : -9);
+    CivilTime civil;
+    civil.year = static_cast<int>(y + (m <= 2));
+    civil.month = static_cast<int>(m);
+    civil.day = static_cast<int>(d);
+    return civil;
+}
+
+// Non-negative modulus.
+constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t b) {
+    return ((a % b) + b) % b;
+}
+
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+    return (a - floor_mod(a, b)) / b;
+}
+
+std::string two_digits(int v) {
+    std::string out = std::to_string(v);
+    return v < 10 ? "0" + out : out;
+}
+
+bool parse_int_field(std::string_view text, std::size_t pos, std::size_t len, int& out) {
+    if (pos + len > text.size()) return false;
+    auto field = text.substr(pos, len);
+    auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), out);
+    return ec == std::errc{} && ptr == field.data() + field.size();
+}
+
+}  // namespace
+
+std::string Duration::to_string() const {
+    std::int64_t s = seconds_;
+    std::string out;
+    if (s < 0) {
+        out.push_back('-');
+        s = -s;
+    }
+    const std::int64_t d = s / 86400;
+    const std::int64_t h = (s / 3600) % 24;
+    const std::int64_t m = (s / 60) % 60;
+    const std::int64_t sec = s % 60;
+    bool wrote = false;
+    auto piece = [&](std::int64_t v, char suffix) {
+        if (v == 0) return;
+        if (wrote) out.push_back(' ');
+        out += std::to_string(v);
+        out.push_back(suffix);
+        wrote = true;
+    };
+    piece(d, 'd');
+    piece(h, 'h');
+    piece(m, 'm');
+    piece(sec, 's');
+    if (!wrote) out += "0s";
+    return out;
+}
+
+TimePoint TimePoint::from_civil(const CivilTime& civil) {
+    if (civil.month < 1 || civil.month > 12)
+        throw Error("bad month " + std::to_string(civil.month));
+    if (civil.day < 1 || civil.day > days_in_month(civil.year, civil.month))
+        throw Error("bad day " + std::to_string(civil.day));
+    if (civil.hour < 0 || civil.hour > 23 || civil.minute < 0 || civil.minute > 59 ||
+        civil.second < 0 || civil.second > 59)
+        throw Error("bad time of day");
+    const std::int64_t days = days_from_civil(civil.year, civil.month, civil.day);
+    return TimePoint{days * 86400 + civil.hour * 3600 + civil.minute * 60 +
+                     civil.second};
+}
+
+TimePoint TimePoint::from_date(int year, int month, int day) {
+    return from_civil({year, month, day, 0, 0, 0});
+}
+
+std::optional<TimePoint> TimePoint::parse(std::string_view text) {
+    // "YYYY-MM-DD HH:MM:SS" with 'T' accepted as the separator.
+    if (text.size() != 19) return std::nullopt;
+    if (text[4] != '-' || text[7] != '-' || (text[10] != ' ' && text[10] != 'T') ||
+        text[13] != ':' || text[16] != ':')
+        return std::nullopt;
+    CivilTime civil;
+    if (!parse_int_field(text, 0, 4, civil.year) ||
+        !parse_int_field(text, 5, 2, civil.month) ||
+        !parse_int_field(text, 8, 2, civil.day) ||
+        !parse_int_field(text, 11, 2, civil.hour) ||
+        !parse_int_field(text, 14, 2, civil.minute) ||
+        !parse_int_field(text, 17, 2, civil.second))
+        return std::nullopt;
+    try {
+        return from_civil(civil);
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
+
+CivilTime TimePoint::to_civil() const {
+    const std::int64_t days = floor_div(seconds_, 86400);
+    const std::int64_t in_day = floor_mod(seconds_, 86400);
+    CivilTime civil = civil_from_days(days);
+    civil.hour = static_cast<int>(in_day / 3600);
+    civil.minute = static_cast<int>((in_day / 60) % 60);
+    civil.second = static_cast<int>(in_day % 60);
+    return civil;
+}
+
+int TimePoint::hour_of_day() const {
+    return static_cast<int>(floor_mod(seconds_, 86400) / 3600);
+}
+
+int TimePoint::day_of_year() const {
+    const CivilTime civil = to_civil();
+    const std::int64_t year_start = days_from_civil(civil.year, 1, 1);
+    return static_cast<int>(floor_div(seconds_, 86400) - year_start);
+}
+
+std::string TimePoint::to_string() const {
+    const CivilTime c = to_civil();
+    return std::to_string(c.year) + "-" + two_digits(c.month) + "-" +
+           two_digits(c.day) + " " + two_digits(c.hour) + ":" +
+           two_digits(c.minute) + ":" + two_digits(c.second);
+}
+
+std::string TimePoint::to_log_string() const {
+    const CivilTime c = to_civil();
+    std::string day = std::to_string(c.day);
+    if (day.size() == 1) day = " " + day;
+    return std::string(kMonthNames[std::size_t(c.month - 1)]) + " " + day + " " +
+           two_digits(c.hour) + ":" + two_digits(c.minute) + ":" +
+           two_digits(c.second);
+}
+
+}  // namespace dynaddr::net

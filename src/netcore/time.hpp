@@ -1,0 +1,119 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dynaddr::net {
+
+/// A span of time with one-second resolution, signed.
+///
+/// One-second resolution matches the paper's datasets: connection logs,
+/// k-root ping records and uptime counters all carry whole-second
+/// timestamps.
+class Duration {
+public:
+    constexpr Duration() = default;
+    constexpr explicit Duration(std::int64_t seconds) : seconds_(seconds) {}
+
+    static constexpr Duration seconds(std::int64_t n) { return Duration{n}; }
+    static constexpr Duration minutes(std::int64_t n) { return Duration{n * 60}; }
+    static constexpr Duration hours(std::int64_t n) { return Duration{n * 3600}; }
+    static constexpr Duration days(std::int64_t n) { return Duration{n * 86400}; }
+    static constexpr Duration weeks(std::int64_t n) { return Duration{n * 7 * 86400}; }
+
+    [[nodiscard]] constexpr std::int64_t count() const { return seconds_; }
+    [[nodiscard]] constexpr double to_hours() const { return double(seconds_) / 3600.0; }
+    [[nodiscard]] constexpr double to_days() const { return double(seconds_) / 86400.0; }
+
+    /// Human-readable rendering, e.g. "2d 3h 15m 9s"; "0s" for zero.
+    [[nodiscard]] std::string to_string() const;
+
+    constexpr Duration operator+(Duration o) const { return Duration{seconds_ + o.seconds_}; }
+    constexpr Duration operator-(Duration o) const { return Duration{seconds_ - o.seconds_}; }
+    constexpr Duration operator-() const { return Duration{-seconds_}; }
+    constexpr Duration operator*(std::int64_t k) const { return Duration{seconds_ * k}; }
+    constexpr Duration operator/(std::int64_t k) const { return Duration{seconds_ / k}; }
+    constexpr Duration& operator+=(Duration o) { seconds_ += o.seconds_; return *this; }
+    constexpr Duration& operator-=(Duration o) { seconds_ -= o.seconds_; return *this; }
+    friend constexpr auto operator<=>(Duration, Duration) = default;
+
+private:
+    std::int64_t seconds_ = 0;
+};
+
+/// Broken-down UTC calendar time.
+struct CivilTime {
+    int year = 1970;
+    int month = 1;   ///< 1..12
+    int day = 1;     ///< 1..31
+    int hour = 0;    ///< 0..23
+    int minute = 0;  ///< 0..59
+    int second = 0;  ///< 0..59
+};
+
+/// An absolute instant: seconds since the Unix epoch, UTC, one-second
+/// resolution. Value type, totally ordered.
+class TimePoint {
+public:
+    constexpr TimePoint() = default;
+    constexpr explicit TimePoint(std::int64_t unix_seconds) : seconds_(unix_seconds) {}
+
+    /// Builds a TimePoint from broken-down UTC time. Throws Error for
+    /// out-of-range fields (month 0, hour 24, Feb 30, ...).
+    static TimePoint from_civil(const CivilTime& civil);
+
+    /// Shorthand for from_civil with zero time-of-day.
+    static TimePoint from_date(int year, int month, int day);
+
+    /// Parses "YYYY-MM-DD HH:MM:SS" or "YYYY-MM-DDTHH:MM:SS".
+    static std::optional<TimePoint> parse(std::string_view text);
+
+    [[nodiscard]] constexpr std::int64_t unix_seconds() const { return seconds_; }
+
+    /// Broken-down UTC representation.
+    [[nodiscard]] CivilTime to_civil() const;
+
+    /// Hour of day in UTC, 0..23.
+    [[nodiscard]] int hour_of_day() const;
+
+    /// Zero-based day index since year start (Jan 1 -> 0).
+    [[nodiscard]] int day_of_year() const;
+
+    /// "YYYY-MM-DD HH:MM:SS" (UTC).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Paper-style log rendering, e.g. "Jan  5 02:38:39".
+    [[nodiscard]] std::string to_log_string() const;
+
+    constexpr TimePoint operator+(Duration d) const { return TimePoint{seconds_ + d.count()}; }
+    constexpr TimePoint operator-(Duration d) const { return TimePoint{seconds_ - d.count()}; }
+    constexpr Duration operator-(TimePoint o) const { return Duration{seconds_ - o.seconds_}; }
+    constexpr TimePoint& operator+=(Duration d) { seconds_ += d.count(); return *this; }
+    friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+private:
+    std::int64_t seconds_ = 0;
+};
+
+/// Half-open interval [begin, end). Used for outage windows, address
+/// epochs and connection lifetimes.
+struct TimeInterval {
+    TimePoint begin;
+    TimePoint end;
+
+    [[nodiscard]] constexpr Duration length() const { return end - begin; }
+    [[nodiscard]] constexpr bool empty() const { return end <= begin; }
+    [[nodiscard]] constexpr bool contains(TimePoint t) const {
+        return begin <= t && t < end;
+    }
+    /// True when the two intervals share at least one instant.
+    [[nodiscard]] constexpr bool overlaps(const TimeInterval& o) const {
+        return begin < o.end && o.begin < end;
+    }
+    friend constexpr auto operator<=>(const TimeInterval&, const TimeInterval&) = default;
+};
+
+}  // namespace dynaddr::net

@@ -1,0 +1,225 @@
+#include "pool/address_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::pool {
+
+AddressPool::AddressPool(PoolConfig config, rng::Stream rng)
+    : config_(std::move(config)), rng_(rng) {
+    if (config_.prefixes.empty()) throw Error("address pool needs prefixes");
+    for (std::size_t i = 0; i < config_.prefixes.size(); ++i)
+        for (std::size_t j = i + 1; j < config_.prefixes.size(); ++j)
+            if (config_.prefixes[i].contains(config_.prefixes[j]) ||
+                config_.prefixes[j].contains(config_.prefixes[i]))
+                throw Error("address pool prefixes overlap: " +
+                            config_.prefixes[i].to_string() + " and " +
+                            config_.prefixes[j].to_string());
+    free_by_prefix_.resize(config_.prefixes.size());
+    prefix_enabled_.assign(config_.prefixes.size(), true);
+    for (std::size_t index : config_.initially_disabled) {
+        if (index >= config_.prefixes.size())
+            throw Error("initially_disabled index out of range");
+        prefix_enabled_[index] = false;
+    }
+    for (std::size_t p = 0; p < config_.prefixes.size(); ++p) {
+        if (!prefix_enabled_[p]) continue;
+        const auto& prefix = config_.prefixes[p];
+        auto& bucket = free_by_prefix_[p];
+        bucket.reserve(prefix.size());
+        for (std::uint64_t i = 0; i < prefix.size(); ++i) {
+            free_pos_.emplace(prefix.at(i), std::pair{p, bucket.size()});
+            bucket.push_back(prefix.at(i));
+        }
+        total_free_ += bucket.size();
+    }
+}
+
+void AddressPool::retire_prefix(std::size_t index) {
+    if (index >= config_.prefixes.size()) throw Error("prefix index out of range");
+    if (!prefix_enabled_[index]) return;
+    prefix_enabled_[index] = false;
+    auto& bucket = free_by_prefix_[index];
+    for (const auto addr : bucket) free_pos_.erase(addr);
+    total_free_ -= bucket.size();
+    bucket.clear();
+}
+
+void AddressPool::enable_prefix(std::size_t index) {
+    if (index >= config_.prefixes.size()) throw Error("prefix index out of range");
+    if (prefix_enabled_[index]) return;
+    prefix_enabled_[index] = true;
+    const auto& prefix = config_.prefixes[index];
+    auto& bucket = free_by_prefix_[index];
+    for (std::uint64_t i = 0; i < prefix.size(); ++i) {
+        const auto addr = prefix.at(i);
+        if (holder_by_addr_.contains(addr)) continue;  // survived retirement
+        free_pos_.emplace(addr, std::pair{index, bucket.size()});
+        bucket.push_back(addr);
+        ++total_free_;
+    }
+}
+
+bool AddressPool::is_retired(net::IPv4Address addr) const {
+    const int p = prefix_index_of(addr);
+    return p >= 0 && !prefix_enabled_[std::size_t(p)];
+}
+
+std::optional<net::IPv4Address> AddressPool::allocate(
+    ClientId client, net::TimePoint now, std::optional<net::IPv4Address> hint,
+    std::optional<net::TimePoint> absent_since) {
+    // A client re-requesting while already holding an address keeps it
+    // (lease renewal).
+    if (auto held = address_of(client)) return held;
+
+    std::optional<net::IPv4Address> previous;
+    if (auto it = remembered_binding_.find(client); it != remembered_binding_.end())
+        previous = it->second;
+
+    if (config_.strategy == AllocationStrategy::Sticky) {
+        const net::Duration absent =
+            absent_since ? now - *absent_since : net::Duration{0};
+        // Honour the explicit hint first, then the server-side binding.
+        for (auto candidate : {hint, previous}) {
+            if (!candidate || !is_free(*candidate)) continue;
+            if (prefix_index_of(*candidate) < 0) continue;  // not our space
+            if (!binding_survives(absent)) break;  // someone else took it
+            take(*candidate, client);
+            return candidate;
+        }
+    }
+
+    std::optional<net::IPv4Address> chosen;
+    switch (config_.strategy) {
+        case AllocationStrategy::Sticky:
+            // Binding gone: the server allocates fresh like any pool draw.
+            chosen = pick_random_spread(previous ? previous : hint);
+            break;
+        case AllocationStrategy::Sequential:
+            chosen = pick_sequential();
+            break;
+        case AllocationStrategy::RandomSpread:
+            chosen = pick_random_spread(previous ? previous : hint);
+            break;
+        case AllocationStrategy::PrefixHop:
+            chosen = pick_prefix_hop(previous ? previous : hint);
+            break;
+    }
+    if (!chosen) return std::nullopt;  // pool exhausted
+    take(*chosen, client);
+    return chosen;
+}
+
+void AddressPool::release(ClientId client) {
+    auto it = addr_by_holder_.find(client);
+    if (it == addr_by_holder_.end()) return;
+    const net::IPv4Address addr = it->second;
+    addr_by_holder_.erase(it);
+    holder_by_addr_.erase(addr);
+    remembered_binding_[client] = addr;
+    const int p = prefix_index_of(addr);
+    if (!prefix_enabled_[std::size_t(p)]) return;  // retired: abandon it
+    auto& bucket = free_by_prefix_[std::size_t(p)];
+    free_pos_.emplace(addr, std::pair{std::size_t(p), bucket.size()});
+    bucket.push_back(addr);
+    ++total_free_;
+}
+
+std::optional<net::IPv4Address> AddressPool::address_of(ClientId client) const {
+    auto it = addr_by_holder_.find(client);
+    if (it == addr_by_holder_.end()) return std::nullopt;
+    return it->second;
+}
+
+void AddressPool::forget_binding(ClientId client) {
+    remembered_binding_.erase(client);
+}
+
+double AddressPool::utilization() const {
+    const std::size_t cap = capacity();
+    return cap == 0 ? 0.0 : double(allocated_count()) / double(cap);
+}
+
+bool AddressPool::binding_survives(net::Duration absent) {
+    if (config_.churn_per_hour <= 0.0) return true;
+    if (absent <= net::Duration{0}) return true;
+    const double p_taken =
+        1.0 - std::exp(-config_.churn_per_hour * absent.to_hours());
+    return !rng_.bernoulli(p_taken);
+}
+
+bool AddressPool::is_free(net::IPv4Address addr) const {
+    return free_pos_.contains(addr);
+}
+
+void AddressPool::take(net::IPv4Address addr, ClientId client) {
+    auto pos_it = free_pos_.find(addr);
+    if (pos_it == free_pos_.end()) throw Error("taking non-free address");
+    const auto [p, pos] = pos_it->second;
+    auto& bucket = free_by_prefix_[p];
+    // Swap-remove, fixing up the moved entry's index.
+    bucket[pos] = bucket.back();
+    free_pos_[bucket[pos]] = {p, pos};
+    bucket.pop_back();
+    free_pos_.erase(addr);
+    --total_free_;
+    holder_by_addr_.emplace(addr, client);
+    addr_by_holder_.emplace(client, addr);
+}
+
+std::optional<net::IPv4Address> AddressPool::pick_sequential() {
+    for (const auto& bucket : free_by_prefix_) {
+        if (bucket.empty()) continue;
+        return *std::min_element(bucket.begin(), bucket.end());
+    }
+    return std::nullopt;
+}
+
+std::optional<net::IPv4Address> AddressPool::pick_random() {
+    if (total_free_ == 0) return std::nullopt;
+    std::vector<double> weights(free_by_prefix_.size());
+    for (std::size_t p = 0; p < free_by_prefix_.size(); ++p)
+        weights[p] = double(free_by_prefix_[p].size());
+    return pick_in_prefix(rng_.weighted_index(weights));
+}
+
+std::optional<net::IPv4Address> AddressPool::pick_in_prefix(std::size_t index) {
+    auto& bucket = free_by_prefix_[index];
+    if (bucket.empty()) return std::nullopt;
+    return bucket[std::size_t(rng_.uniform_int(0, std::int64_t(bucket.size()) - 1))];
+}
+
+std::optional<net::IPv4Address> AddressPool::pick_random_spread(
+    std::optional<net::IPv4Address> previous) {
+    if (previous && config_.locality_bias > 0.0 &&
+        rng_.bernoulli(config_.locality_bias)) {
+        const int p = prefix_index_of(*previous);
+        if (p >= 0)
+            if (auto local = pick_in_prefix(std::size_t(p))) return local;
+    }
+    return pick_random();
+}
+
+std::optional<net::IPv4Address> AddressPool::pick_prefix_hop(
+    std::optional<net::IPv4Address> previous) {
+    const int avoid = previous ? prefix_index_of(*previous) : -1;
+    if (avoid < 0 || config_.prefixes.size() < 2) return pick_random();
+    std::vector<double> weights(free_by_prefix_.size());
+    double other_total = 0.0;
+    for (std::size_t p = 0; p < free_by_prefix_.size(); ++p) {
+        weights[p] = p == std::size_t(avoid) ? 0.0 : double(free_by_prefix_[p].size());
+        other_total += weights[p];
+    }
+    if (other_total <= 0.0) return pick_random();  // only the old prefix has space
+    return pick_in_prefix(rng_.weighted_index(weights));
+}
+
+int AddressPool::prefix_index_of(net::IPv4Address addr) const {
+    for (std::size_t i = 0; i < config_.prefixes.size(); ++i)
+        if (config_.prefixes[i].contains(addr)) return int(i);
+    return -1;
+}
+
+}  // namespace dynaddr::pool

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/rng.hpp"
+#include "netcore/time.hpp"
+
+namespace dynaddr::pool {
+
+/// Identifies a subscriber (CPE) within one ISP's pool. In DHCP terms this
+/// stands in for the client identifier / chaddr; in PPP terms the login.
+using ClientId = std::uint64_t;
+
+/// How an ISP's pool picks the next address for a subscriber.
+enum class AllocationStrategy {
+    /// Prefer the subscriber's previous address when it is still free —
+    /// the RFC 2131 §4.3.1 behaviour the paper expects of DHCP ISPs.
+    Sticky,
+    /// Lowest free address first, ignoring history.
+    Sequential,
+    /// Random free address across all pool prefixes, optionally biased
+    /// toward the subscriber's previous prefix (`locality_bias`). Models
+    /// PPP/RADIUS pools where "neither CPE nor Radius servers remember
+    /// addresses" (Maier et al., cited in the paper).
+    RandomSpread,
+    /// Random free address from a *different* routed prefix than the
+    /// subscriber's previous one when possible — the strongest form of the
+    /// cross-prefix behaviour the paper measures in Table 7.
+    PrefixHop,
+};
+
+/// Pool parameters.
+struct PoolConfig {
+    std::vector<net::IPv4Prefix> prefixes;  ///< disjoint address blocks
+    AllocationStrategy strategy = AllocationStrategy::Sticky;
+    /// Background address churn from subscribers this simulation does not
+    /// model individually: while a sticky subscriber is absent, its old
+    /// address is reclaimed by someone else with rate `churn_per_hour`
+    /// (exponential). 0 disables reclaiming.
+    double churn_per_hour = 0.0;
+    /// RandomSpread only: probability that a fresh allocation stays inside
+    /// the same prefix as the subscriber's previous address. Tunes the
+    /// cross-prefix change fractions of the paper's Table 7.
+    double locality_bias = 0.0;
+    /// Indices into `prefixes` that start out disabled (no allocations)
+    /// until enable_prefix() is called — the "new block" side of an
+    /// administrative renumbering.
+    std::vector<std::size_t> initially_disabled;
+};
+
+/// A dynamic address pool for one ISP.
+///
+/// The pool owns the free/allocated bookkeeping; DHCP and PPP servers sit
+/// on top. Free addresses are kept per prefix for O(1) random allocation.
+/// All randomness flows from the Stream handed in at construction, so
+/// allocation is deterministic per seed.
+class AddressPool {
+public:
+    /// Throws Error on an empty or overlapping prefix set.
+    AddressPool(PoolConfig config, rng::Stream rng);
+
+    /// Allocates an address for `client` at time `now`.
+    ///
+    /// `hint` is the address the client asks for (DHCP REQUEST of a prior
+    /// lease). Under Sticky the pool first tries the hint, then the
+    /// remembered binding, subject to the churn model: if the client was
+    /// absent since `absent_since` the old address may have been handed to
+    /// someone else. Returns nullopt only when the pool is exhausted.
+    std::optional<net::IPv4Address> allocate(
+        ClientId client, net::TimePoint now,
+        std::optional<net::IPv4Address> hint = std::nullopt,
+        std::optional<net::TimePoint> absent_since = std::nullopt);
+
+    /// Releases the client's current address back to the free set. The
+    /// binding is remembered for sticky/locality reallocation. No-op when
+    /// the client holds nothing.
+    void release(ClientId client);
+
+    /// Current address of a client, if any.
+    [[nodiscard]] std::optional<net::IPv4Address> address_of(ClientId client) const;
+
+    /// Forgets the remembered binding of a client (models an ISP-side
+    /// database flush / administrative renumbering).
+    void forget_binding(ClientId client);
+
+    /// Administrative renumbering, ISP side: stops allocating from prefix
+    /// `index` and abandons its free addresses. Addresses still held stay
+    /// held (their servers evict lazily via is_retired) and are not
+    /// returned to the pool on release. Throws Error on a bad index.
+    void retire_prefix(std::size_t index);
+
+    /// Brings an initially-disabled (or retired) prefix into service.
+    void enable_prefix(std::size_t index);
+
+    /// True when `addr` belongs to a currently-retired/disabled prefix —
+    /// servers use this to refuse lease renewals after a renumbering.
+    [[nodiscard]] bool is_retired(net::IPv4Address addr) const;
+
+    [[nodiscard]] std::size_t free_count() const { return total_free_; }
+    [[nodiscard]] std::size_t allocated_count() const { return holder_by_addr_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return total_free_ + allocated_count(); }
+    [[nodiscard]] const PoolConfig& config() const { return config_; }
+
+    /// Fraction of the pool currently allocated.
+    [[nodiscard]] double utilization() const;
+
+private:
+    /// True when the sticky binding survives an absence of `absent` given
+    /// the configured churn rate (random draw).
+    bool binding_survives(net::Duration absent);
+
+    [[nodiscard]] bool is_free(net::IPv4Address addr) const;
+    void take(net::IPv4Address addr, ClientId client);
+    std::optional<net::IPv4Address> pick_sequential();
+    std::optional<net::IPv4Address> pick_random();
+    /// Random free address within prefix `index`; nullopt when empty.
+    std::optional<net::IPv4Address> pick_in_prefix(std::size_t index);
+    std::optional<net::IPv4Address> pick_random_spread(
+        std::optional<net::IPv4Address> previous);
+    std::optional<net::IPv4Address> pick_prefix_hop(
+        std::optional<net::IPv4Address> previous);
+
+    /// Index of the configured prefix containing `addr`, or -1.
+    [[nodiscard]] int prefix_index_of(net::IPv4Address addr) const;
+
+    PoolConfig config_;
+    rng::Stream rng_;
+    std::vector<bool> prefix_enabled_;
+    // Free addresses per prefix with O(1) random removal.
+    std::vector<std::vector<net::IPv4Address>> free_by_prefix_;
+    // addr -> (prefix index, position in that prefix's free vector)
+    std::unordered_map<net::IPv4Address, std::pair<std::size_t, std::size_t>> free_pos_;
+    std::size_t total_free_ = 0;
+    std::unordered_map<net::IPv4Address, ClientId> holder_by_addr_;
+    std::unordered_map<ClientId, net::IPv4Address> addr_by_holder_;
+    std::unordered_map<ClientId, net::IPv4Address> remembered_binding_;
+};
+
+}  // namespace dynaddr::pool

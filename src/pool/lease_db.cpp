@@ -1,0 +1,71 @@
+#include "pool/lease_db.hpp"
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::pool {
+
+void LeaseDb::grant(const Lease& lease) {
+    auto addr_it = client_by_addr_.find(lease.address);
+    if (addr_it != client_by_addr_.end() && addr_it->second != lease.client)
+        throw Error("address " + lease.address.to_string() +
+                    " already leased to another client");
+    // Refresh: drop any previous lease state for this client first.
+    if (auto existing = by_client_.find(lease.client); existing != by_client_.end())
+        unindex(existing->second);
+    by_client_[lease.client] = lease;
+    client_by_addr_[lease.address] = lease.client;
+    by_expiry_.emplace(lease.expiry, lease.client);
+}
+
+std::optional<Lease> LeaseDb::revoke(ClientId client) {
+    auto it = by_client_.find(client);
+    if (it == by_client_.end()) return std::nullopt;
+    Lease lease = it->second;
+    unindex(lease);
+    by_client_.erase(it);
+    return lease;
+}
+
+std::optional<Lease> LeaseDb::find(ClientId client) const {
+    auto it = by_client_.find(client);
+    if (it == by_client_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<Lease> LeaseDb::find_by_address(net::IPv4Address addr) const {
+    auto it = client_by_addr_.find(addr);
+    if (it == client_by_addr_.end()) return std::nullopt;
+    return find(it->second);
+}
+
+std::vector<Lease> LeaseDb::expire_until(net::TimePoint now) {
+    std::vector<Lease> expired;
+    while (!by_expiry_.empty() && by_expiry_.begin()->first <= now) {
+        const ClientId client = by_expiry_.begin()->second;
+        auto lease_it = by_client_.find(client);
+        // Index entries for refreshed leases are cleaned by unindex, so a
+        // hit here is always live.
+        expired.push_back(lease_it->second);
+        unindex(lease_it->second);
+        by_client_.erase(lease_it);
+    }
+    return expired;
+}
+
+std::optional<net::TimePoint> LeaseDb::next_expiry() const {
+    if (by_expiry_.empty()) return std::nullopt;
+    return by_expiry_.begin()->first;
+}
+
+void LeaseDb::unindex(const Lease& lease) {
+    client_by_addr_.erase(lease.address);
+    auto [first, last] = by_expiry_.equal_range(lease.expiry);
+    for (auto it = first; it != last; ++it) {
+        if (it->second == lease.client) {
+            by_expiry_.erase(it);
+            break;
+        }
+    }
+}
+
+}  // namespace dynaddr::pool

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/time.hpp"
+#include "pool/address_pool.hpp"
+
+namespace dynaddr::pool {
+
+/// One active lease.
+struct Lease {
+    ClientId client = 0;
+    net::IPv4Address address;
+    net::TimePoint granted;
+    net::TimePoint expiry;
+
+    [[nodiscard]] net::Duration duration() const { return expiry - granted; }
+};
+
+/// Tracks active leases with an expiry index, the server-side state a
+/// DHCP server keeps. At most one lease per client and per address.
+class LeaseDb {
+public:
+    /// Inserts or refreshes the lease for (client, address). Throws Error
+    /// when the address is actively leased to a different client.
+    void grant(const Lease& lease);
+
+    /// Drops the client's lease, if any. Returns the removed lease.
+    std::optional<Lease> revoke(ClientId client);
+
+    /// The client's active lease.
+    [[nodiscard]] std::optional<Lease> find(ClientId client) const;
+
+    /// The lease on an address.
+    [[nodiscard]] std::optional<Lease> find_by_address(net::IPv4Address addr) const;
+
+    /// Removes and returns every lease with expiry <= now, earliest first.
+    std::vector<Lease> expire_until(net::TimePoint now);
+
+    /// Time of the earliest expiry, if any lease is active.
+    [[nodiscard]] std::optional<net::TimePoint> next_expiry() const;
+
+    [[nodiscard]] std::size_t size() const { return by_client_.size(); }
+
+private:
+    void unindex(const Lease& lease);
+
+    std::unordered_map<ClientId, Lease> by_client_;
+    std::unordered_map<net::IPv4Address, ClientId> client_by_addr_;
+    // Expiry index; multiple leases can share an expiry second.
+    std::multimap<net::TimePoint, ClientId> by_expiry_;
+};
+
+}  // namespace dynaddr::pool

@@ -1,0 +1,102 @@
+#include "ppp/pppoe_wire.hpp"
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::ppp {
+
+namespace {
+
+constexpr std::uint8_t kVersionType = 0x11;  // ver 1, type 1
+constexpr std::size_t kHeader = 6;
+
+bool valid_code(std::uint8_t code) {
+    switch (PppoeCode{code}) {
+        case PppoeCode::Padi:
+        case PppoeCode::Pado:
+        case PppoeCode::Padr:
+        case PppoeCode::Pads:
+        case PppoeCode::Padt:
+            return true;
+    }
+    return false;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+    out.push_back(std::uint8_t(value >> 8));
+    out.push_back(std::uint8_t(value));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> bytes, std::size_t at) {
+    return std::uint16_t(bytes[at] << 8 | bytes[at + 1]);
+}
+
+}  // namespace
+
+const PppoeTag* PppoePacket::find_tag(std::uint16_t type) const {
+    for (const auto& tag : tags)
+        if (tag.type == type) return &tag;
+    return nullptr;
+}
+
+void PppoePacket::add_tag(std::uint16_t type, std::string_view text) {
+    PppoeTag tag;
+    tag.type = type;
+    tag.value.assign(text.begin(), text.end());
+    tags.push_back(std::move(tag));
+}
+
+std::vector<std::uint8_t> encode(const PppoePacket& packet) {
+    std::size_t payload = 0;
+    for (const auto& tag : packet.tags) {
+        if (tag.value.size() > 0xFFFF) throw Error("PPPoE tag too long");
+        payload += 4 + tag.value.size();
+    }
+    if (payload > 0xFFFF) throw Error("PPPoE payload too long");
+
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeader + payload);
+    out.push_back(kVersionType);
+    out.push_back(std::uint8_t(packet.code));
+    put_u16(out, packet.session_id);
+    put_u16(out, std::uint16_t(payload));
+    for (const auto& tag : packet.tags) {
+        put_u16(out, tag.type);
+        put_u16(out, std::uint16_t(tag.value.size()));
+        out.insert(out.end(), tag.value.begin(), tag.value.end());
+    }
+    return out;
+}
+
+PppoePacket decode(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() < kHeader) throw ParseError("PPPoE packet too short");
+    if (bytes[0] != kVersionType)
+        throw ParseError("PPPoE version/type is not 1/1");
+    if (!valid_code(bytes[1]))
+        throw ParseError("unknown PPPoE code " + std::to_string(bytes[1]));
+
+    PppoePacket packet;
+    packet.code = PppoeCode{bytes[1]};
+    packet.session_id = get_u16(bytes, 2);
+    const std::size_t payload = get_u16(bytes, 4);
+    if (kHeader + payload > bytes.size())
+        throw ParseError("PPPoE length field overruns the buffer");
+
+    std::size_t at = kHeader;
+    const std::size_t end = kHeader + payload;
+    while (at < end) {
+        if (at + 4 > end) throw ParseError("truncated PPPoE tag header");
+        PppoeTag tag;
+        tag.type = get_u16(bytes, at);
+        const std::size_t length = get_u16(bytes, at + 2);
+        at += 4;
+        if (at + length > end) throw ParseError("PPPoE tag overruns payload");
+        if (tag.type == PppoeTag::kEndOfList) break;
+        tag.value.assign(bytes.begin() + std::ptrdiff_t(at),
+                         bytes.begin() + std::ptrdiff_t(at + length));
+        packet.tags.push_back(std::move(tag));
+        at += length;
+    }
+    return packet;
+}
+
+}  // namespace dynaddr::ppp

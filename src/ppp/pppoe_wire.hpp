@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dynaddr::ppp {
+
+/// PPPoE discovery-stage packet codes (RFC 2516 §5). The discovery
+/// exchange (PADI → PADO → PADR → PADS, torn down by PADT) is how a DSL
+/// CPE finds its access concentrator before LCP/IPCP run — the hop the
+/// paper's PPPoE ISPs (Orange, DTAG, ...) perform on every reconnect.
+enum class PppoeCode : std::uint8_t {
+    Padi = 0x09,  ///< initiation (broadcast)
+    Pado = 0x07,  ///< offer
+    Padr = 0x19,  ///< request
+    Pads = 0x65,  ///< session confirmation (carries the session id)
+    Padt = 0xA7,  ///< termination
+};
+
+/// One PPPoE discovery tag.
+struct PppoeTag {
+    enum : std::uint16_t {
+        kEndOfList = 0x0000,
+        kServiceName = 0x0101,
+        kAcName = 0x0102,
+        kHostUniq = 0x0103,
+        kAcCookie = 0x0104,
+        kGenericError = 0x0203,
+    };
+    std::uint16_t type = kEndOfList;
+    std::vector<std::uint8_t> value;
+
+    friend bool operator==(const PppoeTag&, const PppoeTag&) = default;
+};
+
+/// A PPPoE discovery packet: version/type nibbles (fixed 1/1), code,
+/// session id, and the tag list (the RFC's payload).
+struct PppoePacket {
+    PppoeCode code = PppoeCode::Padi;
+    std::uint16_t session_id = 0;
+    std::vector<PppoeTag> tags;
+
+    /// Convenience: the first tag of a type, if present.
+    [[nodiscard]] const PppoeTag* find_tag(std::uint16_t type) const;
+    /// Convenience: appends a string-valued tag.
+    void add_tag(std::uint16_t type, std::string_view text);
+
+    friend bool operator==(const PppoePacket&, const PppoePacket&) = default;
+};
+
+/// Serializes to the Ethernet payload (6-byte header + tags); the length
+/// field is computed.
+std::vector<std::uint8_t> encode(const PppoePacket& packet);
+
+/// Parses an Ethernet payload. Throws ParseError on a short packet, a
+/// version/type other than 1/1, an unknown code, a length field that
+/// disagrees with the buffer, or a tag overrunning the payload.
+PppoePacket decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace dynaddr::ppp

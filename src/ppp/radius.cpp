@@ -1,0 +1,29 @@
+#include "ppp/radius.hpp"
+
+namespace dynaddr::ppp {
+
+RadiusServer::RadiusServer(RadiusConfig config, pool::AddressPool& pool,
+                           sim::Simulation& sim)
+    : config_(config), pool_(&pool), sim_(&sim) {}
+
+std::optional<RadiusServer::AccessAccept> RadiusServer::authorize(
+    pool::ClientId client) {
+    // A duplicate Access-Request for an open session tears the old one
+    // down first (a real BRAS would reject or kill the stale session).
+    if (open_.contains(client)) account_stop(client, StopReason::AdminReset);
+    auto address = pool_->allocate(client, sim_->now());
+    if (!address) return std::nullopt;
+    open_.emplace(client, OpenSession{*address, sim_->now()});
+    return AccessAccept{*address, config_.session_timeout};
+}
+
+void RadiusServer::account_stop(pool::ClientId client, StopReason reason) {
+    auto it = open_.find(client);
+    if (it == open_.end()) return;
+    records_.push_back(AccountingRecord{client, it->second.address,
+                                        it->second.start, sim_->now(), reason});
+    open_.erase(it);
+    pool_->release(client);
+}
+
+}  // namespace dynaddr::ppp

@@ -1,0 +1,112 @@
+#include "ppp/session.hpp"
+
+namespace dynaddr::ppp {
+
+Session::Session(SessionConfig config, pool::ClientId id, RadiusServer& server,
+                 sim::Simulation& sim, rng::Stream rng,
+                 std::function<bool()> reachable)
+    : config_(config),
+      id_(id),
+      server_(&server),
+      sim_(&sim),
+      rng_(rng),
+      reachable_(std::move(reachable)) {}
+
+void Session::power_on() {
+    if (powered_) return;
+    powered_ = true;
+    dial();
+}
+
+void Session::power_off() {
+    if (!powered_) return;
+    powered_ = false;
+    cancel_timers();
+    if (phase_ == Phase::Open) drop(StopReason::LostCarrier, /*redial=*/false);
+    phase_ = Phase::Dead;
+}
+
+void Session::link_restored() {
+    if (!powered_) return;
+    if (phase_ == Phase::Dead && !redial_event_) dial();
+}
+
+void Session::link_lost() {
+    if (phase_ == Phase::Open) drop(StopReason::LostCarrier, /*redial=*/true);
+}
+
+void Session::reconnect_now() {
+    if (phase_ != Phase::Open) return;
+    drop(StopReason::UserRequest, /*redial=*/true);
+}
+
+void Session::dial() {
+    if (!powered_ || phase_ == Phase::Open) return;
+    if (!reachable_()) {
+        phase_ = Phase::Dead;  // wait for link_restored()
+        return;
+    }
+    // LCP establish -> authenticate (PAP/CHAP) -> IPCP address assignment.
+    phase_ = Phase::Establish;
+    phase_ = Phase::Authenticate;
+    auto accept = server_->authorize(id_);
+    if (!accept) {
+        // Access-Reject / pool exhausted: retry after the redial delay.
+        phase_ = Phase::Dead;
+        redial_event_ = sim_->after(config_.redial_delay, [this](net::TimePoint) {
+            redial_event_.reset();
+            dial();
+        });
+        return;
+    }
+    phase_ = Phase::Network;
+    address_ = accept->address;
+    phase_ = Phase::Open;
+    if (accept->session_timeout) schedule_timeout(*accept->session_timeout);
+    if (on_acquired_) on_acquired_(accept->address);
+}
+
+void Session::drop(StopReason reason, bool redial) {
+    cancel_timers();
+    server_->account_stop(id_, reason);
+    address_.reset();
+    phase_ = Phase::Dead;
+    if (on_lost_) on_lost_(reason);
+    if (redial && powered_) {
+        redial_event_ = sim_->after(config_.redial_delay, [this](net::TimePoint) {
+            redial_event_.reset();
+            dial();
+        });
+    }
+}
+
+void Session::schedule_timeout(net::Duration timeout) {
+    timeout_event_ = sim_->after(timeout, [this](net::TimePoint) {
+        timeout_event_.reset();
+        on_session_timeout();
+    });
+}
+
+void Session::on_session_timeout() {
+    if (phase_ != Phase::Open) return;
+    if (rng_.bernoulli(config_.skip_renumber_probability)) {
+        // Enforcement skipped this cycle; session survives another period.
+        if (auto timeout = server_->config().session_timeout)
+            schedule_timeout(*timeout);
+        return;
+    }
+    drop(StopReason::SessionTimeout, /*redial=*/true);
+}
+
+void Session::cancel_timers() {
+    if (timeout_event_) {
+        sim_->cancel(*timeout_event_);
+        timeout_event_.reset();
+    }
+    if (redial_event_) {
+        sim_->cancel(*redial_event_);
+        redial_event_.reset();
+    }
+}
+
+}  // namespace dynaddr::ppp

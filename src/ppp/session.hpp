@@ -1,0 +1,90 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "netcore/rng.hpp"
+#include "ppp/radius.hpp"
+#include "sim/simulation.hpp"
+
+namespace dynaddr::ppp {
+
+/// PPP phases (RFC 1661 §3.2). Authenticate and Network (IPCP) complete
+/// synchronously here since transport is a reliable direct call, but the
+/// phase progression is preserved and observable in tests.
+enum class Phase { Dead, Establish, Authenticate, Network, Open };
+
+/// Client-side session behaviour knobs.
+struct SessionConfig {
+    /// Probability that an elapsed Session-Timeout is *not* enforced this
+    /// cycle — the session silently continues for another period. This is
+    /// the paper's "Harmonics" mechanism: a skipped renumbering makes the
+    /// address duration a multiple of d.
+    double skip_renumber_probability = 0.0;
+    /// Delay between losing a session and redialing once the link allows
+    /// (CPE auto-reconnect, typically seconds).
+    net::Duration redial_delay = net::Duration::seconds(15);
+};
+
+/// A PPP(oE) client session for one CPE WAN interface.
+///
+/// Key behavioural contrast with dhcp::Client, straight from the paper:
+/// PPP keeps no address state across connections. *Any* loss of carrier
+/// — reboot, cable unplug, network outage of any duration — ends the
+/// session, and the next session draws a fresh address from the pool.
+class Session {
+public:
+    using AcquiredCallback = std::function<void(net::IPv4Address)>;
+    using LostCallback = std::function<void(StopReason)>;
+
+    Session(SessionConfig config, pool::ClientId id, RadiusServer& server,
+            sim::Simulation& sim, rng::Stream rng,
+            std::function<bool()> reachable);
+
+    /// Powers the CPE WAN on and dials.
+    void power_on();
+
+    /// Powers off. PPP has no state to keep: the session drops.
+    void power_off();
+
+    /// Link came back: redial after the configured delay.
+    void link_restored();
+
+    /// Carrier lost: the session terminates immediately (LCP keepalive
+    /// failure is detected server-side too; both ends drop state).
+    void link_lost();
+
+    /// Subscriber-initiated reconnect (the CPE "privacy" feature the
+    /// paper's large European ISP described): terminate and redial now.
+    void reconnect_now();
+
+    [[nodiscard]] Phase phase() const { return phase_; }
+    [[nodiscard]] std::optional<net::IPv4Address> address() const { return address_; }
+
+    void set_on_acquired(AcquiredCallback cb) { on_acquired_ = std::move(cb); }
+    void set_on_lost(LostCallback cb) { on_lost_ = std::move(cb); }
+
+private:
+    void dial();
+    void drop(StopReason reason, bool redial);
+    void schedule_timeout(net::Duration timeout);
+    void on_session_timeout();
+    void cancel_timers();
+
+    SessionConfig config_;
+    pool::ClientId id_;
+    RadiusServer* server_;
+    sim::Simulation* sim_;
+    rng::Stream rng_;
+    std::function<bool()> reachable_;
+    AcquiredCallback on_acquired_;
+    LostCallback on_lost_;
+
+    Phase phase_ = Phase::Dead;
+    bool powered_ = false;
+    std::optional<net::IPv4Address> address_;
+    std::optional<sim::EventId> timeout_event_;
+    std::optional<sim::EventId> redial_event_;
+};
+
+}  // namespace dynaddr::ppp

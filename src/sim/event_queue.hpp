@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "netcore/time.hpp"
+
+namespace dynaddr::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+    std::uint64_t value = 0;
+    friend constexpr auto operator<=>(EventId, EventId) = default;
+};
+
+/// A time-ordered queue of callbacks.
+///
+/// Events at equal times fire in scheduling order (FIFO), which keeps
+/// runs deterministic. Cancellation is O(log n) by id.
+class EventQueue {
+public:
+    using Callback = std::function<void(net::TimePoint)>;
+
+    /// Schedules `callback` at absolute time `when`. Returns an id usable
+    /// with cancel().
+    EventId schedule(net::TimePoint when, Callback callback);
+
+    /// Removes a pending event. Returns false when the event already fired
+    /// or was cancelled.
+    bool cancel(EventId id);
+
+    /// Time of the earliest pending event.
+    [[nodiscard]] std::optional<net::TimePoint> next_time() const;
+
+    [[nodiscard]] bool empty() const { return events_.empty(); }
+    [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+    /// Pops and runs the earliest event; returns false when empty.
+    bool run_next();
+
+private:
+    struct Key {
+        net::TimePoint when;
+        std::uint64_t sequence;
+        friend constexpr auto operator<=>(const Key&, const Key&) = default;
+    };
+    std::map<Key, Callback> events_;
+    std::map<std::uint64_t, Key> key_by_id_;
+    std::uint64_t next_sequence_ = 1;
+};
+
+}  // namespace dynaddr::sim

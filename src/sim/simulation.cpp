@@ -1,0 +1,43 @@
+#include "sim/simulation.hpp"
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::sim {
+
+EventId Simulation::at(net::TimePoint when, EventQueue::Callback callback) {
+    if (when < now_)
+        throw Error("scheduling event in the past: " + when.to_string() +
+                    " < " + now_.to_string());
+    return queue_.schedule(when, std::move(callback));
+}
+
+EventId Simulation::after(net::Duration delay, EventQueue::Callback callback) {
+    if (delay < net::Duration{0}) throw Error("negative event delay");
+    return queue_.schedule(now_ + delay, std::move(callback));
+}
+
+std::uint64_t Simulation::run_until(net::TimePoint end) {
+    std::uint64_t ran = 0;
+    while (auto next = queue_.next_time()) {
+        if (*next > end) break;
+        now_ = *next;
+        queue_.run_next();
+        ++ran;
+        ++executed_;
+    }
+    if (end > now_) now_ = end;
+    return ran;
+}
+
+std::uint64_t Simulation::run_all() {
+    std::uint64_t ran = 0;
+    while (auto next = queue_.next_time()) {
+        now_ = *next;
+        queue_.run_next();
+        ++ran;
+        ++executed_;
+    }
+    return ran;
+}
+
+}  // namespace dynaddr::sim

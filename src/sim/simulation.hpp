@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace dynaddr::sim {
+
+/// A discrete-event simulation: a clock plus an event queue.
+///
+/// Components schedule callbacks relative to `now()`; `run_until` drains
+/// events in time order, advancing the clock to each event's timestamp.
+/// Scheduling in the past throws Error — a simulation must never travel
+/// backwards.
+class Simulation {
+public:
+    /// Starts the clock at `start`.
+    explicit Simulation(net::TimePoint start) : now_(start) {}
+
+    /// Current simulation time.
+    [[nodiscard]] net::TimePoint now() const { return now_; }
+
+    /// Schedules a callback at an absolute time >= now(). Throws Error on
+    /// a past time.
+    EventId at(net::TimePoint when, EventQueue::Callback callback);
+
+    /// Schedules a callback `delay` from now (delay >= 0).
+    EventId after(net::Duration delay, EventQueue::Callback callback);
+
+    /// Cancels a pending event; false when already fired/cancelled.
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    /// Runs events up to and including time `end`, then sets now() = end.
+    /// Events scheduled by callbacks are honoured if they fall within the
+    /// window. Returns the number of events executed.
+    std::uint64_t run_until(net::TimePoint end);
+
+    /// Runs until the queue empties. Returns events executed.
+    std::uint64_t run_all();
+
+    /// Pending event count.
+    [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+    /// Total events executed since construction.
+    [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+private:
+    net::TimePoint now_;
+    EventQueue queue_;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace dynaddr::sim

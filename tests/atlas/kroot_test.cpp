@@ -1,0 +1,190 @@
+#include "atlas/kroot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::atlas {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::TimeInterval;
+using net::TimePoint;
+
+PeerAddress v4(int last_octet) {
+    return PeerAddress::ipv4(IPv4Address(10, 0, 0, std::uint8_t(last_octet)));
+}
+
+/// A probe that is up with an address all day except for one network
+/// outage at [outage_begin, outage_end).
+Timeline outage_timeline(std::int64_t outage_begin, std::int64_t outage_end,
+                         std::int64_t day_end = 86400) {
+    Timeline timeline(1);
+    timeline.set_address(TimePoint{0}, v4(1));
+    timeline.net_down_begin(TimePoint{outage_begin});
+    timeline.net_down_end(TimePoint{outage_end});
+    timeline.finalize(TimePoint{day_end});
+    return timeline;
+}
+
+KRootSamplingPolicy full_cadence() {
+    KRootSamplingPolicy policy;
+    policy.base_cadence = Duration::seconds(240);
+    policy.dense_cadence = Duration::seconds(240);
+    policy.partial_loss_probability = 0.0;
+    return policy;
+}
+
+TEST(KRootEmitter, FullCadenceEmitsEveryFourMinutes) {
+    const auto timeline = outage_timeline(40000, 41000);
+    const auto records = emit_kroot_records(timeline, {TimePoint{0}, TimePoint{86400}},
+                                            full_cadence(), rng::Stream(1));
+    EXPECT_EQ(records.size(), 86400u / 240u);
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_EQ((records[i].timestamp - records[i - 1].timestamp).count(), 240);
+}
+
+TEST(KRootEmitter, OutageShowsAllLossWithGrowingLts) {
+    const auto timeline = outage_timeline(40000, 42400);  // 40 minutes
+    const auto records = emit_kroot_records(timeline, {TimePoint{0}, TimePoint{86400}},
+                                            full_cadence(), rng::Stream(1));
+    std::vector<KRootPingRecord> lost;
+    for (const auto& r : records)
+        if (r.success == 0) lost.push_back(r);
+    ASSERT_GE(lost.size(), 9u);  // ~2400s/240s
+    for (const auto& r : lost) {
+        EXPECT_GE(r.timestamp.unix_seconds(), 40000);
+        EXPECT_LT(r.timestamp.unix_seconds(), 42400);
+        // LTS roughly equals time since outage start.
+        EXPECT_GE(r.lts_seconds, r.timestamp.unix_seconds() - 40000);
+        EXPECT_LE(r.lts_seconds,
+                  r.timestamp.unix_seconds() - 40000 + 240 + 240);
+    }
+    // LTS grows across the run.
+    EXPECT_GT(lost.back().lts_seconds, lost.front().lts_seconds);
+}
+
+TEST(KRootEmitter, HealthyRecordsHaveSmallLts) {
+    const auto timeline = outage_timeline(40000, 41000);
+    const auto records = emit_kroot_records(timeline, {TimePoint{0}, TimePoint{86400}},
+                                            full_cadence(), rng::Stream(1));
+    for (const auto& r : records) {
+        if (r.success == 3) {
+            EXPECT_LT(r.lts_seconds, 240);
+        }
+    }
+}
+
+TEST(KRootEmitter, NoRecordsWhileProbeDown) {
+    Timeline timeline(1);
+    timeline.set_address(TimePoint{0}, v4(1));
+    timeline.probe_down_begin(TimePoint{30000});
+    timeline.probe_down_end(TimePoint{40000});
+    timeline.finalize(TimePoint{86400});
+    const auto records = emit_kroot_records(timeline, {TimePoint{0}, TimePoint{86400}},
+                                            full_cadence(), rng::Stream(1));
+    for (const auto& r : records) {
+        EXPECT_FALSE(r.timestamp.unix_seconds() >= 30000 &&
+                     r.timestamp.unix_seconds() < 40000)
+            << "record emitted while probe was off";
+    }
+}
+
+TEST(KRootEmitter, MissingAddressCountsAsLoss) {
+    Timeline timeline(1);
+    timeline.set_address(TimePoint{0}, v4(1));
+    timeline.clear_address(TimePoint{50000});
+    timeline.set_address(TimePoint{60000}, v4(2));
+    timeline.finalize(TimePoint{86400});
+    const auto records = emit_kroot_records(timeline, {TimePoint{0}, TimePoint{86400}},
+                                            full_cadence(), rng::Stream(1));
+    int lost = 0;
+    for (const auto& r : records)
+        if (r.timestamp.unix_seconds() >= 50000 &&
+            r.timestamp.unix_seconds() < 60000) {
+            EXPECT_EQ(r.success, 0);
+            ++lost;
+        }
+    EXPECT_GE(lost, 40);
+}
+
+TEST(KRootEmitter, ThinnedEmissionIsDenseAroundEvents) {
+    const auto timeline = outage_timeline(43200, 46800);  // 1 h outage at noon
+    KRootSamplingPolicy thinned;
+    thinned.base_cadence = Duration::hours(1);
+    thinned.dense_cadence = Duration::seconds(240);
+    thinned.dense_window = Duration::minutes(20);
+    thinned.partial_loss_probability = 0.0;
+    const auto records = emit_kroot_records(
+        timeline, {TimePoint{0}, TimePoint{86400}}, thinned, rng::Stream(1));
+    // Far fewer records than full cadence...
+    EXPECT_LT(records.size(), 100u);
+    // ...but the first lost record is within one dense step of the outage.
+    const KRootPingRecord* first_lost = nullptr;
+    for (const auto& r : records)
+        if (r.success == 0) {
+            first_lost = &r;
+            break;
+        }
+    ASSERT_NE(first_lost, nullptr);
+    EXPECT_LE(first_lost->timestamp.unix_seconds() - 43200, 240);
+}
+
+TEST(KRootEmitter, ThinnedAndFullAgreeOnOutageBounds) {
+    // The detector-facing signal (first/last all-lost record near the
+    // boundaries) must match between thinned and full emission.
+    const auto timeline = outage_timeline(43200, 50400);  // 2 h outage
+    auto bounds = [&](const KRootSamplingPolicy& policy) {
+        const auto records = emit_kroot_records(
+            timeline, {TimePoint{0}, TimePoint{86400}}, policy, rng::Stream(1));
+        std::int64_t first = -1, last = -1;
+        for (const auto& r : records)
+            if (r.success == 0) {
+                if (first < 0) first = r.timestamp.unix_seconds();
+                last = r.timestamp.unix_seconds();
+            }
+        return std::pair{first, last};
+    };
+    KRootSamplingPolicy thinned;
+    thinned.base_cadence = Duration::hours(2);
+    thinned.dense_cadence = Duration::seconds(240);
+    thinned.dense_window = Duration::minutes(20);
+    thinned.partial_loss_probability = 0.0;
+    const auto [f_full, l_full] = bounds(full_cadence());
+    const auto [f_thin, l_thin] = bounds(thinned);
+    EXPECT_EQ(f_full, f_thin);
+    EXPECT_EQ(l_full, l_thin);
+}
+
+TEST(KRootEmitter, ValidatesPolicy) {
+    const auto timeline = outage_timeline(100, 200);
+    KRootSamplingPolicy bad;
+    bad.base_cadence = Duration::seconds(500);  // not a multiple of 240
+    EXPECT_THROW(emit_kroot_records(timeline, {TimePoint{0}, TimePoint{1000}},
+                                    bad, rng::Stream(1)),
+                 Error);
+    Timeline unfinalized(1);
+    EXPECT_THROW(emit_kroot_records(unfinalized, {TimePoint{0}, TimePoint{1000}},
+                                    full_cadence(), rng::Stream(1)),
+                 Error);
+}
+
+TEST(KRootEmitter, PartialLossNeverDropsAllThree) {
+    const auto timeline = outage_timeline(40000, 41000);
+    KRootSamplingPolicy noisy = full_cadence();
+    noisy.partial_loss_probability = 1.0;  // every healthy record degraded
+    const auto records = emit_kroot_records(timeline, {TimePoint{0}, TimePoint{86400}},
+                                            noisy, rng::Stream(1));
+    for (const auto& r : records) {
+        const bool in_outage = r.timestamp.unix_seconds() >= 40000 &&
+                               r.timestamp.unix_seconds() < 41000;
+        if (!in_outage) {
+            EXPECT_GE(r.success, 1) << "noise must not fake an outage";
+            EXPECT_LE(r.success, 2);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dynaddr::atlas

@@ -1,0 +1,104 @@
+#include "atlas/special_probes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dynaddr::atlas {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::TimeInterval;
+using net::TimePoint;
+
+TimeInterval year() {
+    return {TimePoint::from_date(2015, 1, 1), TimePoint::from_date(2016, 1, 1)};
+}
+
+SpecialProbeSpec spec_for(SpecialBehaviour behaviour) {
+    SpecialProbeSpec spec;
+    spec.id = 9;
+    spec.behaviour = behaviour;
+    spec.base_address = IPv4Address(198, 18, 1, 1);
+    return spec;
+}
+
+TEST(SpecialProbes, NeverChangedUsesOneAddress) {
+    const auto log = generate_special_probe_log(
+        spec_for(SpecialBehaviour::NeverChanged), year(), rng::Stream(1));
+    ASSERT_GE(log.size(), 3u);  // reconnects happen, address doesn't move
+    std::set<std::string> addresses;
+    for (const auto& entry : log) addresses.insert(entry.address.to_string());
+    EXPECT_EQ(addresses.size(), 1u);
+}
+
+TEST(SpecialProbes, EntriesAreOrderedWithGaps) {
+    const auto log = generate_special_probe_log(
+        spec_for(SpecialBehaviour::NeverChanged), year(), rng::Stream(2));
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_LT(log[i].start, log[i].end);
+        if (i > 0) {
+            const auto gap = log[i].start - log[i - 1].end;
+            EXPECT_GE(gap.count(), 900);
+            EXPECT_LE(gap.count(), 1500);
+        }
+    }
+    EXPECT_LE(log.back().end, year().end);
+}
+
+TEST(SpecialProbes, DualStackMixesFamilies) {
+    const auto log = generate_special_probe_log(
+        spec_for(SpecialBehaviour::DualStack), year(), rng::Stream(3));
+    int v4 = 0, v6 = 0;
+    for (const auto& entry : log) (entry.address.is_v4() ? v4 : v6)++;
+    EXPECT_GT(v4, 0);
+    EXPECT_GT(v6, 0);
+}
+
+TEST(SpecialProbes, Ipv6OnlyHasNoV4) {
+    const auto log = generate_special_probe_log(
+        spec_for(SpecialBehaviour::Ipv6Only), year(), rng::Stream(4));
+    for (const auto& entry : log) EXPECT_FALSE(entry.address.is_v4());
+}
+
+TEST(SpecialProbes, MultihomedAlternatesWithFixedAddress) {
+    const auto log = generate_special_probe_log(
+        spec_for(SpecialBehaviour::MultihomedAlternating), year(), rng::Stream(5));
+    ASSERT_GE(log.size(), 6u);
+    const std::string fixed = log[0].address.to_string();
+    // Every even-indexed connection is from the fixed address; odd ones
+    // are from a different (rotating) address.
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        if (i % 2 == 0)
+            EXPECT_EQ(log[i].address.to_string(), fixed);
+        else
+            EXPECT_NE(log[i].address.to_string(), fixed);
+    }
+}
+
+TEST(SpecialProbes, TestingAddressComesFirstThenStable) {
+    const auto log = generate_special_probe_log(
+        spec_for(SpecialBehaviour::TestingAddressThenStable), year(),
+        rng::Stream(6));
+    ASSERT_GE(log.size(), 2u);
+    EXPECT_EQ(log[0].address.to_string(), "193.0.0.78");
+    const std::string stable = log[1].address.to_string();
+    for (std::size_t i = 1; i < log.size(); ++i)
+        EXPECT_EQ(log[i].address.to_string(), stable);
+}
+
+TEST(SpecialProbes, DeterministicPerSeed) {
+    const auto a = generate_special_probe_log(
+        spec_for(SpecialBehaviour::DualStack), year(), rng::Stream(7));
+    const auto b = generate_special_probe_log(
+        spec_for(SpecialBehaviour::DualStack), year(), rng::Stream(7));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].start, b[i].start);
+        EXPECT_EQ(a[i].address, b[i].address);
+    }
+}
+
+}  // namespace
+}  // namespace dynaddr::atlas

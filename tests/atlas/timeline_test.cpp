@@ -1,0 +1,123 @@
+#include "atlas/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::atlas {
+namespace {
+
+using net::IPv4Address;
+using net::TimePoint;
+
+PeerAddress v4(int last_octet) {
+    return PeerAddress::ipv4(IPv4Address(10, 0, 0, std::uint8_t(last_octet)));
+}
+
+TEST(Timeline, RecordsAddressEpochs) {
+    Timeline timeline(1);
+    timeline.set_address(TimePoint{100}, v4(1));
+    timeline.set_address(TimePoint{200}, v4(2));
+    timeline.clear_address(TimePoint{300});
+    timeline.finalize(TimePoint{1000});
+    ASSERT_EQ(timeline.epochs().size(), 2u);
+    EXPECT_EQ(timeline.epochs()[0].when.begin.unix_seconds(), 100);
+    EXPECT_EQ(timeline.epochs()[0].when.end.unix_seconds(), 200);
+    EXPECT_EQ(timeline.epochs()[1].when.end.unix_seconds(), 300);
+    EXPECT_EQ(timeline.address_at(TimePoint{150}), v4(1));
+    EXPECT_EQ(timeline.address_at(TimePoint{250}), v4(2));
+    EXPECT_FALSE(timeline.address_at(TimePoint{350}));
+    EXPECT_FALSE(timeline.address_at(TimePoint{50}));
+}
+
+TEST(Timeline, SettingSameAddressIsIdempotent) {
+    Timeline timeline(1);
+    timeline.set_address(TimePoint{100}, v4(1));
+    timeline.set_address(TimePoint{200}, v4(1));  // no-op
+    timeline.finalize(TimePoint{300});
+    ASSERT_EQ(timeline.epochs().size(), 1u);
+    EXPECT_EQ(timeline.epochs()[0].when.begin.unix_seconds(), 100);
+    EXPECT_EQ(timeline.epochs()[0].when.end.unix_seconds(), 300);
+}
+
+TEST(Timeline, FinalizeClosesOpenIntervals) {
+    Timeline timeline(1);
+    timeline.set_address(TimePoint{10}, v4(1));
+    timeline.net_down_begin(TimePoint{20});
+    timeline.probe_down_begin(TimePoint{30});
+    timeline.finalize(TimePoint{100});
+    EXPECT_EQ(timeline.epochs().size(), 1u);
+    EXPECT_EQ(timeline.net_down_intervals().size(), 1u);
+    EXPECT_EQ(timeline.net_down_intervals()[0].end.unix_seconds(), 100);
+    EXPECT_EQ(timeline.probe_down_intervals().size(), 1u);
+    EXPECT_THROW(timeline.set_address(TimePoint{200}, v4(2)), Error);
+}
+
+TEST(Timeline, UpDownQueries) {
+    Timeline timeline(1);
+    timeline.probe_down_begin(TimePoint{0});
+    timeline.probe_down_end(TimePoint{50});
+    timeline.net_down_begin(TimePoint{100});
+    timeline.net_down_end(TimePoint{150});
+    timeline.set_address(TimePoint{50}, v4(1));
+    timeline.finalize(TimePoint{1000});
+    EXPECT_FALSE(timeline.probe_up(TimePoint{25}));
+    EXPECT_TRUE(timeline.probe_up(TimePoint{60}));
+    EXPECT_TRUE(timeline.net_up(TimePoint{60}));
+    EXPECT_FALSE(timeline.net_up(TimePoint{120}));
+    EXPECT_TRUE(timeline.communicable(TimePoint{60}));
+    EXPECT_FALSE(timeline.communicable(TimePoint{120}));  // net down
+    EXPECT_FALSE(timeline.communicable(TimePoint{25}));   // probe down
+}
+
+TEST(Timeline, AddressChangesSkipSameAddressEpochs) {
+    Timeline timeline(1);
+    timeline.set_address(TimePoint{0}, v4(1));
+    timeline.clear_address(TimePoint{10});
+    timeline.set_address(TimePoint{20}, v4(1));  // same address again
+    timeline.set_address(TimePoint{30}, v4(2));
+    timeline.finalize(TimePoint{100});
+    const auto changes = timeline.address_changes();
+    ASSERT_EQ(changes.size(), 1u);
+    EXPECT_EQ(changes[0].at.unix_seconds(), 30);
+    EXPECT_EQ(changes[0].from, v4(1));
+    EXPECT_EQ(changes[0].to, v4(2));
+}
+
+TEST(Timeline, EventTimesAreSortedUnique) {
+    Timeline timeline(1);
+    timeline.record_boot(TimePoint{0}, RebootCause::InitialPowerOn);
+    timeline.set_address(TimePoint{0}, v4(1));
+    timeline.net_down_begin(TimePoint{50});
+    timeline.net_down_end(TimePoint{60});
+    timeline.finalize(TimePoint{100});
+    const auto events = timeline.event_times();
+    EXPECT_TRUE(std::is_sorted(events.begin(), events.end()));
+    EXPECT_EQ(std::adjacent_find(events.begin(), events.end()), events.end());
+    // 0 (boot + epoch begin dedup), 50, 60, 100.
+    EXPECT_EQ(events.size(), 4u);
+}
+
+TEST(Timeline, BootsRecorded) {
+    Timeline timeline(1);
+    timeline.record_boot(TimePoint{5}, RebootCause::PowerCycle);
+    timeline.record_boot(TimePoint{10}, RebootCause::Firmware);
+    timeline.finalize(TimePoint{20});
+    ASSERT_EQ(timeline.boots().size(), 2u);
+    EXPECT_EQ(timeline.boots()[1].cause, RebootCause::Firmware);
+}
+
+TEST(Timeline, ZeroLengthIntervalsDropped) {
+    Timeline timeline(1);
+    timeline.net_down_begin(TimePoint{10});
+    timeline.net_down_end(TimePoint{10});
+    timeline.set_address(TimePoint{20}, v4(1));
+    timeline.set_address(TimePoint{20}, v4(2));  // zero-length epoch for v4(1)
+    timeline.finalize(TimePoint{30});
+    EXPECT_TRUE(timeline.net_down_intervals().empty());
+    ASSERT_EQ(timeline.epochs().size(), 1u);
+    EXPECT_EQ(timeline.epochs()[0].address, v4(2));
+}
+
+}  // namespace
+}  // namespace dynaddr::atlas

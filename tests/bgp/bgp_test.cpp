@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "bgp/as_registry.hpp"
+#include "bgp/prefix_table.hpp"
+#include "bgp/radix_trie.hpp"
+#include "netcore/error.hpp"
+#include "netcore/rng.hpp"
+
+namespace dynaddr::bgp {
+namespace {
+
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimePoint;
+
+TEST(RadixTrie, ExactInsertAndLookup) {
+    RadixTrie trie;
+    trie.insert(IPv4Prefix::parse_or_throw("10.0.0.0/8"), 100);
+    trie.insert(IPv4Prefix::parse_or_throw("10.1.0.0/16"), 200);
+    EXPECT_EQ(trie.size(), 2u);
+    EXPECT_EQ(trie.exact(IPv4Prefix::parse_or_throw("10.0.0.0/8")), 100u);
+    EXPECT_EQ(trie.exact(IPv4Prefix::parse_or_throw("10.1.0.0/16")), 200u);
+    EXPECT_FALSE(trie.exact(IPv4Prefix::parse_or_throw("10.0.0.0/9")));
+    EXPECT_FALSE(trie.exact(IPv4Prefix::parse_or_throw("11.0.0.0/8")));
+}
+
+TEST(RadixTrie, InsertOverwrites) {
+    RadixTrie trie;
+    const auto prefix = IPv4Prefix::parse_or_throw("192.0.2.0/24");
+    trie.insert(prefix, 1);
+    trie.insert(prefix, 2);
+    EXPECT_EQ(trie.size(), 1u);
+    EXPECT_EQ(trie.exact(prefix), 2u);
+}
+
+TEST(RadixTrie, LongestMatchPicksMostSpecific) {
+    RadixTrie trie;
+    trie.insert(IPv4Prefix::parse_or_throw("10.0.0.0/8"), 8);
+    trie.insert(IPv4Prefix::parse_or_throw("10.1.0.0/16"), 16);
+    trie.insert(IPv4Prefix::parse_or_throw("10.1.2.0/24"), 24);
+    EXPECT_EQ(trie.longest_match(IPv4Address(10, 1, 2, 3)), 24u);
+    EXPECT_EQ(trie.longest_match(IPv4Address(10, 1, 3, 3)), 16u);
+    EXPECT_EQ(trie.longest_match(IPv4Address(10, 2, 0, 1)), 8u);
+    EXPECT_FALSE(trie.longest_match(IPv4Address(11, 0, 0, 1)));
+}
+
+TEST(RadixTrie, LongestMatchEntryReturnsPrefix) {
+    RadixTrie trie;
+    trie.insert(IPv4Prefix::parse_or_throw("81.128.0.0/12"), 2856);
+    auto match = trie.longest_match_entry(IPv4Address(81, 133, 7, 7));
+    ASSERT_TRUE(match);
+    EXPECT_EQ(match->prefix.to_string(), "81.128.0.0/12");
+    EXPECT_EQ(match->value, 2856u);
+}
+
+TEST(RadixTrie, DefaultRouteAndHostRoute) {
+    RadixTrie trie;
+    trie.insert(IPv4Prefix{}, 1);  // 0.0.0.0/0
+    trie.insert(IPv4Prefix::parse_or_throw("1.2.3.4/32"), 2);
+    EXPECT_EQ(trie.longest_match(IPv4Address(9, 9, 9, 9)), 1u);
+    EXPECT_EQ(trie.longest_match(IPv4Address(1, 2, 3, 4)), 2u);
+    EXPECT_EQ(trie.longest_match(IPv4Address(1, 2, 3, 5)), 1u);
+}
+
+TEST(RadixTrie, ForEachVisitsAllEntries) {
+    RadixTrie trie;
+    const std::vector<std::pair<std::string, std::uint32_t>> routes = {
+        {"10.0.0.0/8", 1}, {"10.1.0.0/16", 2}, {"192.168.0.0/16", 3},
+        {"0.0.0.0/0", 4},  {"255.0.0.0/8", 5}};
+    for (const auto& [text, value] : routes)
+        trie.insert(IPv4Prefix::parse_or_throw(text), value);
+    std::map<std::string, std::uint32_t> seen;
+    trie.for_each([&](IPv4Prefix prefix, std::uint32_t value) {
+        seen[prefix.to_string()] = value;
+    });
+    EXPECT_EQ(seen.size(), routes.size());
+    for (const auto& [text, value] : routes) EXPECT_EQ(seen.at(text), value);
+}
+
+// Property: trie LPM agrees with a brute-force linear scan on random data.
+TEST(RadixTrie, MatchesLinearScanReference) {
+    rng::Stream rng(99);
+    RadixTrie trie;
+    std::vector<std::pair<IPv4Prefix, std::uint32_t>> routes;
+    for (int i = 0; i < 300; ++i) {
+        const auto base = IPv4Address{std::uint32_t(rng.next_u64())};
+        const int length = int(rng.uniform_int(4, 28));
+        const IPv4Prefix prefix{base, length};
+        const auto value = std::uint32_t(i + 1);
+        trie.insert(prefix, value);
+        // Mirror overwrite semantics in the reference.
+        bool replaced = false;
+        for (auto& [p, v] : routes)
+            if (p == prefix) {
+                v = value;
+                replaced = true;
+            }
+        if (!replaced) routes.emplace_back(prefix, value);
+    }
+    for (int i = 0; i < 2000; ++i) {
+        const auto addr = IPv4Address{std::uint32_t(rng.next_u64())};
+        std::optional<std::uint32_t> expected;
+        int best_len = -1;
+        for (const auto& [prefix, value] : routes)
+            if (prefix.contains(addr) && prefix.length() > best_len) {
+                best_len = prefix.length();
+                expected = value;
+            }
+        EXPECT_EQ(trie.longest_match(addr), expected) << addr.to_string();
+    }
+}
+
+TEST(AsRegistry, AddFindAll) {
+    AsRegistry registry;
+    registry.add({3320, "DTAG", "DE", Continent::Europe});
+    registry.add({701, "Verizon", "US", Continent::NorthAmerica});
+    EXPECT_THROW(registry.add({0, "bad", "XX", Continent::Europe}), Error);
+    ASSERT_TRUE(registry.find(3320));
+    EXPECT_EQ(registry.find(3320)->name, "DTAG");
+    EXPECT_FALSE(registry.find(9999));
+    ASSERT_TRUE(registry.find_by_name("Verizon"));
+    EXPECT_EQ(registry.find_by_name("Verizon")->asn, 701u);
+    EXPECT_FALSE(registry.find_by_name("nope"));
+    const auto all = registry.all();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].asn, 701u);  // ascending
+}
+
+TEST(AsRegistry, AmbiguousNameReturnsNullopt) {
+    AsRegistry registry;
+    registry.add({1, "Dup", "AA", Continent::Europe});
+    registry.add({2, "Dup", "BB", Continent::Asia});
+    EXPECT_FALSE(registry.find_by_name("Dup"));
+}
+
+TEST(ContinentNames, CodesAndNames) {
+    EXPECT_STREQ(continent_code(Continent::Europe), "EU");
+    EXPECT_STREQ(continent_code(Continent::SouthAmerica), "SA");
+    EXPECT_STREQ(continent_name(Continent::Oceania), "Oceania");
+}
+
+TEST(MonthKey, ComputesFromCivil) {
+    EXPECT_EQ(month_key(2015, 1), 2015 * 12 + 0);
+    EXPECT_EQ(month_key(2015, 12), 2015 * 12 + 11);
+    EXPECT_THROW((void)month_key(2015, 0), Error);
+    EXPECT_THROW((void)month_key(2015, 13), Error);
+    EXPECT_EQ(month_key_of(TimePoint::from_date(2015, 6, 15)), month_key(2015, 6));
+}
+
+TEST(PrefixTable, ResolvesPerMonth) {
+    PrefixTable table;
+    const auto prefix = IPv4Prefix::parse_or_throw("10.0.0.0/8");
+    table.announce(month_key(2015, 1), prefix, 100);
+    table.announce(month_key(2015, 2), prefix, 200);  // moved in February
+    const auto addr = IPv4Address(10, 1, 1, 1);
+    EXPECT_EQ(table.origin_as(addr, TimePoint::from_date(2015, 1, 15)), 100u);
+    EXPECT_EQ(table.origin_as(addr, TimePoint::from_date(2015, 2, 15)), 200u);
+}
+
+TEST(PrefixTable, FallsBackToNearestSnapshot) {
+    PrefixTable table;
+    const auto prefix = IPv4Prefix::parse_or_throw("10.0.0.0/8");
+    table.announce(month_key(2015, 3), prefix, 300);
+    const auto addr = IPv4Address(10, 0, 0, 1);
+    // After the snapshot: inherit March.
+    EXPECT_EQ(table.origin_as(addr, TimePoint::from_date(2015, 9, 1)), 300u);
+    // Before the first snapshot: use the earliest available.
+    EXPECT_EQ(table.origin_as(addr, TimePoint::from_date(2015, 1, 1)), 300u);
+}
+
+TEST(PrefixTable, EmptyTableAndUncoveredAddress) {
+    PrefixTable table;
+    EXPECT_FALSE(table.origin_as(IPv4Address(1, 1, 1, 1),
+                                 TimePoint::from_date(2015, 1, 1)));
+    table.announce(month_key(2015, 1), IPv4Prefix::parse_or_throw("10.0.0.0/8"), 1);
+    EXPECT_FALSE(table.origin_as(IPv4Address(11, 1, 1, 1),
+                                 TimePoint::from_date(2015, 1, 1)));
+}
+
+TEST(PrefixTable, AnnounceRangeCoversAllMonths) {
+    PrefixTable table;
+    const auto prefix = IPv4Prefix::parse_or_throw("10.0.0.0/8");
+    table.announce_range(month_key(2015, 1), month_key(2015, 12), prefix, 42);
+    EXPECT_EQ(table.snapshot_count(), 12u);
+    EXPECT_EQ(table.route_count(), 12u);
+    EXPECT_THROW(
+        table.announce_range(month_key(2015, 2), month_key(2015, 1), prefix, 1),
+        Error);
+}
+
+TEST(PrefixTable, LoadsCaidaPfx2asFormat) {
+    std::stringstream in(
+        "# comment line\n"
+        "1.0.0.0\t24\t13335\n"
+        "\n"
+        "8.8.8.0\t24\t15169\n"
+        "9.0.0.0\t8\t3356_3549\n"
+        "11.0.0.0\t8\t174,3356\n");
+    PrefixTable table;
+    const auto loaded = table.load_pfx2as(in, month_key(2015, 6));
+    EXPECT_EQ(loaded, 4u);
+    const auto t = TimePoint::from_date(2015, 6, 15);
+    EXPECT_EQ(table.origin_as(IPv4Address(1, 0, 0, 99), t), 13335u);
+    EXPECT_EQ(table.origin_as(IPv4Address(8, 8, 8, 8), t), 15169u);
+    EXPECT_EQ(table.origin_as(IPv4Address(9, 1, 2, 3), t), 3356u);  // first of A_B
+    EXPECT_EQ(table.origin_as(IPv4Address(11, 1, 2, 3), t), 174u);  // first of A,B
+    EXPECT_FALSE(table.origin_as(IPv4Address(2, 0, 0, 1), t));
+}
+
+TEST(PrefixTable, RejectsMalformedPfx2as) {
+    PrefixTable table;
+    auto try_load = [&](const char* text) {
+        std::stringstream in(text);
+        table.load_pfx2as(in, month_key(2015, 1));
+    };
+    EXPECT_THROW(try_load("1.0.0.0 24 13335\n"), ParseError);       // spaces
+    EXPECT_THROW(try_load("1.0.0.0\t24\n"), ParseError);            // 2 fields
+    EXPECT_THROW(try_load("nope\t24\t1\n"), ParseError);            // bad addr
+    EXPECT_THROW(try_load("1.0.0.0\t33\t1\n"), ParseError);         // bad len
+    EXPECT_THROW(try_load("1.0.0.0\t24\tzero\n"), ParseError);      // bad asn
+    EXPECT_THROW(try_load("1.0.0.0\t24\t0\n"), ParseError);         // asn 0
+}
+
+TEST(PrefixTable, RoutedPrefixReturnsMostSpecific) {
+    PrefixTable table;
+    table.announce(month_key(2015, 1), IPv4Prefix::parse_or_throw("10.0.0.0/8"), 1);
+    table.announce(month_key(2015, 1), IPv4Prefix::parse_or_throw("10.5.0.0/16"), 1);
+    auto match = table.routed_prefix(IPv4Address(10, 5, 1, 1),
+                                     TimePoint::from_date(2015, 1, 2));
+    ASSERT_TRUE(match);
+    EXPECT_EQ(match->prefix.to_string(), "10.5.0.0/16");
+}
+
+}  // namespace
+}  // namespace dynaddr::bgp

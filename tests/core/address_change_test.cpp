@@ -1,0 +1,164 @@
+#include "core/address_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/conlog.hpp"
+
+namespace dynaddr::core {
+namespace {
+
+using atlas::ConnectionLogEntry;
+using atlas::PeerAddress;
+using net::Duration;
+using net::IPv4Address;
+using net::TimePoint;
+
+ConnectionLogEntry entry(atlas::ProbeId probe, const char* start, const char* end,
+                         const char* address) {
+    ConnectionLogEntry e;
+    e.probe = probe;
+    e.start = *TimePoint::parse(start);
+    e.end = *TimePoint::parse(end);
+    e.address = PeerAddress::ipv4(IPv4Address::parse_or_throw(address));
+    return e;
+}
+
+/// The paper's Table 1: probe 206, first five days of 2015.
+ProbeLog table1_log() {
+    ProbeLog log;
+    log.probe = 206;
+    log.entries = {
+        entry(206, "2014-12-31 03:21:34", "2015-01-01 02:57:37", "91.55.174.103"),
+        entry(206, "2015-01-01 03:22:16", "2015-01-01 17:34:11", "91.55.169.37"),
+        entry(206, "2015-01-01 18:00:54", "2015-01-01 18:42:31", "91.55.132.252"),
+        entry(206, "2015-01-01 19:06:46", "2015-01-02 02:19:16", "91.55.155.115"),
+        entry(206, "2015-01-02 02:41:55", "2015-01-03 02:18:00", "91.55.141.95"),
+        entry(206, "2015-01-03 02:43:14", "2015-01-04 02:16:59", "91.55.165.167"),
+        entry(206, "2015-01-04 02:40:58", "2015-01-05 02:15:45", "91.55.163.252"),
+        entry(206, "2015-01-05 02:38:39", "2015-01-06 02:14:48", "91.55.141.63"),
+    };
+    return log;
+}
+
+TEST(AddressChange, Table1HasSevenChanges) {
+    const auto changes = extract_changes(table1_log());
+    EXPECT_EQ(changes.changes.size(), 7u);
+    // First and last tenures are censored: six interior spans.
+    EXPECT_EQ(changes.spans.size(), 6u);
+}
+
+TEST(AddressChange, Table1DurationsMatchPaper) {
+    const auto changes = extract_changes(table1_log());
+    // Paper's duration column (hours): 14.2, 0.7, 7.2, 23.6, 23.6, 23.6.
+    const double expected[] = {14.2, 0.7, 7.2, 23.6, 23.6, 23.6};
+    ASSERT_EQ(changes.spans.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_NEAR(changes.spans[i].duration().to_hours(), expected[i], 0.05)
+            << "span " << i;
+}
+
+TEST(AddressChange, Table1QuantizesToDailyMode) {
+    const auto changes = extract_changes(table1_log());
+    int at_24 = 0;
+    for (const auto& span : changes.spans)
+        if (quantize_hours(span.duration()) == 24.0) ++at_24;
+    EXPECT_EQ(at_24, 3);
+}
+
+TEST(AddressChange, ChangeEventsCarryEndpoints) {
+    const auto changes = extract_changes(table1_log());
+    const auto& first = changes.changes[0];
+    EXPECT_EQ(first.from, IPv4Address::parse_or_throw("91.55.174.103"));
+    EXPECT_EQ(first.to, IPv4Address::parse_or_throw("91.55.169.37"));
+    EXPECT_EQ(first.last_seen, *TimePoint::parse("2015-01-01 02:57:37"));
+    EXPECT_EQ(first.first_seen, *TimePoint::parse("2015-01-01 03:22:16"));
+}
+
+TEST(AddressChange, ConsecutiveSameAddressEntriesMerge) {
+    ProbeLog log;
+    log.probe = 1;
+    log.entries = {
+        entry(1, "2015-01-01 00:00:00", "2015-01-01 06:00:00", "10.0.0.1"),
+        entry(1, "2015-01-01 06:30:00", "2015-01-01 23:00:00", "10.0.0.2"),
+        entry(1, "2015-01-01 23:30:00", "2015-01-02 12:00:00", "10.0.0.2"),
+        entry(1, "2015-01-02 12:30:00", "2015-01-03 00:00:00", "10.0.0.3"),
+    };
+    const auto changes = extract_changes(log);
+    EXPECT_EQ(changes.changes.size(), 2u);
+    ASSERT_EQ(changes.spans.size(), 1u);
+    // Span runs from the first 10.0.0.2 connection start to the last end.
+    EXPECT_NEAR(changes.spans[0].duration().to_hours(), 29.5, 0.01);
+}
+
+TEST(AddressChange, NoChangesNoSpans) {
+    ProbeLog log;
+    log.probe = 1;
+    log.entries = {
+        entry(1, "2015-01-01 00:00:00", "2015-01-02 00:00:00", "10.0.0.1"),
+        entry(1, "2015-01-02 01:00:00", "2015-01-03 00:00:00", "10.0.0.1"),
+    };
+    const auto changes = extract_changes(log);
+    EXPECT_TRUE(changes.changes.empty());
+    EXPECT_TRUE(changes.spans.empty());
+    EXPECT_EQ(changes.total_address_time.count(), 0);
+}
+
+TEST(AddressChange, TwoChangesYieldOneSpan) {
+    ProbeLog log;
+    log.probe = 1;
+    log.entries = {
+        entry(1, "2015-01-01 00:00:00", "2015-01-01 01:00:00", "10.0.0.1"),
+        entry(1, "2015-01-01 01:30:00", "2015-01-01 13:30:00", "10.0.0.2"),
+        entry(1, "2015-01-01 14:00:00", "2015-01-01 20:00:00", "10.0.0.3"),
+    };
+    const auto changes = extract_changes(log);
+    EXPECT_EQ(changes.changes.size(), 2u);
+    ASSERT_EQ(changes.spans.size(), 1u);
+    EXPECT_EQ(changes.spans[0].address, IPv4Address::parse_or_throw("10.0.0.2"));
+    EXPECT_EQ(changes.total_address_time, Duration::hours(12));
+}
+
+TEST(AddressChange, IgnoresNonV4Entries) {
+    ProbeLog log;
+    log.probe = 1;
+    log.entries = {
+        entry(1, "2015-01-01 00:00:00", "2015-01-01 01:00:00", "10.0.0.1"),
+        entry(1, "2015-01-01 02:00:00", "2015-01-01 03:00:00", "10.0.0.2"),
+    };
+    atlas::ConnectionLogEntry v6;
+    v6.probe = 1;
+    v6.start = *TimePoint::parse("2015-01-01 01:10:00");
+    v6.end = *TimePoint::parse("2015-01-01 01:50:00");
+    v6.address = PeerAddress::ipv6_token(1);
+    log.entries.insert(log.entries.begin() + 1, v6);
+    const auto changes = extract_changes(log);
+    EXPECT_EQ(changes.changes.size(), 1u);
+}
+
+TEST(QuantizeHours, SnapsHoursAndFiveMinutes) {
+    EXPECT_DOUBLE_EQ(quantize_hours(Duration::hours(24)), 24.0);
+    EXPECT_DOUBLE_EQ(quantize_hours(Duration::seconds(84960)), 24.0);  // 23.6 h
+    EXPECT_DOUBLE_EQ(quantize_hours(Duration::seconds(82000)), 23.0);  // 22.8 h
+    EXPECT_DOUBLE_EQ(quantize_hours(Duration::minutes(90)), 2.0);      // 1.5 -> 2
+    EXPECT_DOUBLE_EQ(quantize_hours(Duration::minutes(42)),
+                     40.0 / 60.0);  // sub-hour: nearest 5 min
+    EXPECT_DOUBLE_EQ(quantize_hours(Duration::minutes(1)), 0.0);
+    EXPECT_DOUBLE_EQ(quantize_hours(Duration::hours(168)), 168.0);
+}
+
+TEST(GroupByProbe, SortsAndGroups) {
+    std::vector<ConnectionLogEntry> entries = {
+        entry(2, "2015-01-02 00:00:00", "2015-01-02 01:00:00", "10.0.0.1"),
+        entry(1, "2015-01-03 00:00:00", "2015-01-03 01:00:00", "10.0.0.2"),
+        entry(1, "2015-01-01 00:00:00", "2015-01-01 01:00:00", "10.0.0.3"),
+    };
+    const auto logs = group_by_probe(entries);
+    ASSERT_EQ(logs.size(), 2u);
+    EXPECT_EQ(logs[0].probe, 1u);
+    ASSERT_EQ(logs[0].entries.size(), 2u);
+    EXPECT_LT(logs[0].entries[0].start, logs[0].entries[1].start);
+    EXPECT_EQ(logs[1].probe, 2u);
+}
+
+}  // namespace
+}  // namespace dynaddr::core

@@ -1,0 +1,147 @@
+#include "core/admin_renumbering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynaddr::core {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimePoint;
+
+constexpr std::int64_t kDay = 86400;
+const TimePoint kStart = TimePoint::from_date(2015, 1, 1);
+const TimePoint kEnd = TimePoint::from_date(2016, 1, 1);
+
+bgp::PrefixTable routed_world() {
+    bgp::PrefixTable table;
+    const auto jan = bgp::month_key(2015, 1);
+    const auto dec = bgp::month_key(2015, 12);
+    table.announce_range(jan, dec, IPv4Prefix::parse_or_throw("10.1.0.0/16"), 100);
+    table.announce_range(jan, dec, IPv4Prefix::parse_or_throw("10.2.0.0/16"), 100);
+    table.announce_range(jan, dec, IPv4Prefix::parse_or_throw("10.3.0.0/16"), 100);
+    return table;
+}
+
+/// A probe that lives on `first` until `move_day`, then on `second`.
+ProbeChanges migrating_probe(atlas::ProbeId probe, const char* first,
+                             const char* second, int move_day) {
+    ProbeChanges changes;
+    changes.probe = probe;
+    AddressChangeEvent warmup;  // a change inside `first` before the move
+    warmup.probe = probe;
+    warmup.from = IPv4Address::parse_or_throw(first);
+    warmup.to = IPv4Address{IPv4Address::parse_or_throw(first).value() + 1};
+    warmup.last_seen = kStart + Duration::days(move_day / 2);
+    warmup.first_seen = warmup.last_seen + Duration::minutes(20);
+    changes.changes.push_back(warmup);
+    AddressChangeEvent move;
+    move.probe = probe;
+    move.from = warmup.to;
+    move.to = IPv4Address::parse_or_throw(second);
+    move.last_seen = kStart + Duration::days(move_day);
+    move.first_seen = move.last_seen + Duration::minutes(20);
+    changes.changes.push_back(move);
+    return changes;
+}
+
+TEST(AdminRenumbering, DetectsEnMasseMigration) {
+    const auto table = routed_world();
+    AsMapping mapping;
+    std::vector<ProbeChanges> probes;
+    // Five probes leave 10.1/16 for 10.2/16 within two days of day 100.
+    for (int k = 0; k < 5; ++k) {
+        probes.push_back(migrating_probe(atlas::ProbeId(k + 1), "10.1.0.10",
+                                         "10.2.0.10", 100 + k % 3));
+        mapping.single_as[atlas::ProbeId(k + 1)] = 100;
+    }
+    const auto events =
+        detect_admin_renumbering(probes, mapping, table, kEnd);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].asn, 100u);
+    EXPECT_EQ(events[0].retired_prefix.to_string(), "10.1.0.0/16");
+    EXPECT_EQ(events[0].destination_prefix.to_string(), "10.2.0.0/16");
+    EXPECT_EQ(events[0].probes_moved, 5);
+    EXPECT_GE(events[0].first_departure, kStart + Duration::days(100));
+    EXPECT_LE(events[0].last_departure, kStart + Duration::days(103));
+}
+
+TEST(AdminRenumbering, PrefixStillInUseVetoes) {
+    const auto table = routed_world();
+    AsMapping mapping;
+    std::vector<ProbeChanges> probes;
+    for (int k = 0; k < 5; ++k) {
+        probes.push_back(migrating_probe(atlas::ProbeId(k + 1), "10.1.0.10",
+                                         "10.2.0.10", 100));
+        mapping.single_as[atlas::ProbeId(k + 1)] = 100;
+    }
+    // A sixth probe stays on 10.1/16 through the end of the window.
+    ProbeChanges stayer;
+    stayer.probe = 6;
+    AddressChangeEvent change;
+    change.probe = 6;
+    change.from = IPv4Address::parse_or_throw("10.3.0.9");
+    change.to = IPv4Address::parse_or_throw("10.1.0.99");
+    change.last_seen = kStart + Duration::days(50);
+    change.first_seen = change.last_seen + Duration::minutes(20);
+    stayer.changes.push_back(change);
+    probes.push_back(stayer);
+    mapping.single_as[6] = 100;
+
+    EXPECT_TRUE(detect_admin_renumbering(probes, mapping, table, kEnd).empty());
+}
+
+TEST(AdminRenumbering, StragglersOutsideWindowDoNotCount) {
+    const auto table = routed_world();
+    AsMapping mapping;
+    std::vector<ProbeChanges> probes;
+    // Departures spread over two months: never >= 3 within 3 days.
+    for (int k = 0; k < 5; ++k) {
+        probes.push_back(migrating_probe(atlas::ProbeId(k + 1), "10.1.0.10",
+                                         "10.2.0.10", 60 + 15 * k));
+        mapping.single_as[atlas::ProbeId(k + 1)] = 100;
+    }
+    EXPECT_TRUE(detect_admin_renumbering(probes, mapping, table, kEnd).empty());
+}
+
+TEST(AdminRenumbering, RecentDeparturesAreNotConfirmedQuiet) {
+    const auto table = routed_world();
+    AsMapping mapping;
+    std::vector<ProbeChanges> probes;
+    for (int k = 0; k < 5; ++k) {
+        // Migration 5 days before the observation end: the quiet-after
+        // test (14 days) cannot be satisfied.
+        probes.push_back(migrating_probe(atlas::ProbeId(k + 1), "10.1.0.10",
+                                         "10.2.0.10", 358));
+        mapping.single_as[atlas::ProbeId(k + 1)] = 100;
+    }
+    EXPECT_TRUE(detect_admin_renumbering(probes, mapping, table, kEnd).empty());
+}
+
+TEST(AdminRenumbering, TooFewProbesIgnored) {
+    const auto table = routed_world();
+    AsMapping mapping;
+    std::vector<ProbeChanges> probes;
+    for (int k = 0; k < 2; ++k) {
+        probes.push_back(migrating_probe(atlas::ProbeId(k + 1), "10.1.0.10",
+                                         "10.2.0.10", 100));
+        mapping.single_as[atlas::ProbeId(k + 1)] = 100;
+    }
+    EXPECT_TRUE(detect_admin_renumbering(probes, mapping, table, kEnd).empty());
+}
+
+TEST(AdminRenumbering, MultiAsProbesExcluded) {
+    const auto table = routed_world();
+    AsMapping mapping;
+    std::vector<ProbeChanges> probes;
+    for (int k = 0; k < 5; ++k) {
+        probes.push_back(migrating_probe(atlas::ProbeId(k + 1), "10.1.0.10",
+                                         "10.2.0.10", 100));
+        mapping.multi_as.insert(atlas::ProbeId(k + 1));
+    }
+    EXPECT_TRUE(detect_admin_renumbering(probes, mapping, table, kEnd).empty());
+}
+
+}  // namespace
+}  // namespace dynaddr::core

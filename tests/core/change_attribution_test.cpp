@@ -1,0 +1,162 @@
+#include "core/change_attribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynaddr::core {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimePoint;
+
+const TimePoint kStart = TimePoint::from_date(2015, 1, 1);
+
+/// Builds minimal AnalysisResults with one probe in AS 100 whose changes
+/// are hand-crafted.
+struct Fixture {
+    AnalysisResults results;
+    bgp::PrefixTable table;
+    bgp::AsRegistry registry;
+
+    Fixture() {
+        results.window = {kStart, TimePoint::from_date(2016, 1, 1)};
+        registry.add({100, "TestNet", "DE", bgp::Continent::Europe});
+        table.announce_range(bgp::month_key(2015, 1), bgp::month_key(2015, 12),
+                             IPv4Prefix::parse_or_throw("10.1.0.0/16"), 100);
+        table.announce_range(bgp::month_key(2015, 1), bgp::month_key(2015, 12),
+                             IPv4Prefix::parse_or_throw("10.2.0.0/16"), 100);
+        results.mapping.single_as[1] = 100;
+    }
+
+    /// Appends a change ending a tenure of `tenure_hours` at `at_hours`
+    /// after the window start.
+    void add_change(ProbeChanges& probe, double at_hours, const char* from,
+                    const char* to) {
+        AddressChangeEvent change;
+        change.probe = probe.probe;
+        change.from = IPv4Address::parse_or_throw(from);
+        change.to = IPv4Address::parse_or_throw(to);
+        change.last_seen = kStart + Duration{std::int64_t(at_hours * 3600)};
+        change.first_seen = change.last_seen + Duration::minutes(20);
+        probe.changes.push_back(change);
+    }
+};
+
+TEST(ChangeAttribution, PeriodicChangesMatchProbePeriod) {
+    Fixture fixture;
+    ProbeChanges probe;
+    probe.probe = 1;
+    // Changes every 24 h: tenures of exactly 24 h (minus the 20-minute
+    // gap, absorbed by quantization).
+    for (int day = 1; day <= 8; ++day)
+        fixture.add_change(probe, 24.0 * day, "10.1.0.5", "10.1.0.6");
+    fixture.results.changes.push_back(probe);
+    // Give the probe a 24 h period via the periodicity results.
+    ProbePeriodicity periodicity;
+    periodicity.probe = 1;
+    periodicity.period_hours = 24.0;
+    fixture.results.periodicity.probes.push_back(std::move(periodicity));
+
+    const auto attribution = attribute_changes(fixture.results, fixture.table,
+                                               fixture.registry);
+    EXPECT_EQ(attribution.all.total, 8);
+    // First change has no preceding observed tenure -> unknown; the rest
+    // match the period.
+    EXPECT_EQ(attribution.all.periodic, 7);
+    EXPECT_EQ(attribution.all.unknown, 1);
+    ASSERT_EQ(attribution.by_as.size(), 1u);
+    EXPECT_EQ(attribution.by_as[0].as_name, "TestNet");
+}
+
+TEST(ChangeAttribution, HarmonicTenureIsStillPeriodic) {
+    Fixture fixture;
+    ProbeChanges probe;
+    probe.probe = 1;
+    fixture.add_change(probe, 24.0, "10.1.0.5", "10.1.0.6");
+    fixture.add_change(probe, 72.0, "10.1.0.6", "10.1.0.7");  // 48 h tenure
+    fixture.results.changes.push_back(probe);
+    ProbePeriodicity periodicity;
+    periodicity.probe = 1;
+    periodicity.period_hours = 24.0;
+    fixture.results.periodicity.probes.push_back(std::move(periodicity));
+    const auto attribution = attribute_changes(fixture.results, fixture.table,
+                                               fixture.registry);
+    EXPECT_EQ(attribution.all.periodic, 1);  // the 48 h harmonic
+}
+
+TEST(ChangeAttribution, OutageOverlapBeatsPeriodicity) {
+    Fixture fixture;
+    ProbeChanges probe;
+    probe.probe = 1;
+    fixture.add_change(probe, 24.0, "10.1.0.5", "10.1.0.6");
+    fixture.add_change(probe, 48.0, "10.1.0.6", "10.1.0.7");
+    fixture.results.changes.push_back(probe);
+    ProbePeriodicity periodicity;
+    periodicity.probe = 1;
+    periodicity.period_hours = 24.0;
+    fixture.results.periodicity.probes.push_back(std::move(periodicity));
+    // A network outage overlapping the second change's gap.
+    DetectedOutage outage;
+    outage.kind = DetectedOutage::Kind::Network;
+    outage.probe = 1;
+    outage.begin = kStart + Duration::hours(48) + Duration::minutes(2);
+    outage.end = kStart + Duration::hours(48) + Duration::minutes(10);
+    fixture.results.network_outages[1] = {outage};
+    const auto attribution = attribute_changes(fixture.results, fixture.table,
+                                               fixture.registry);
+    EXPECT_EQ(attribution.all.network, 1);
+    EXPECT_EQ(attribution.all.periodic, 0)
+        << "outage association wins over the periodic label";
+}
+
+TEST(ChangeAttribution, AdministrativeBurstWins) {
+    Fixture fixture;
+    ProbeChanges probe;
+    probe.probe = 1;
+    fixture.add_change(probe, 100.0, "10.1.0.5", "10.2.0.6");
+    fixture.results.changes.push_back(probe);
+    AdminRenumberingEvent event;
+    event.asn = 100;
+    event.retired_prefix = IPv4Prefix::parse_or_throw("10.1.0.0/16");
+    event.first_departure = kStart + Duration::hours(99);
+    event.last_departure = kStart + Duration::hours(101);
+    fixture.results.admin_events.push_back(event);
+    const auto attribution = attribute_changes(fixture.results, fixture.table,
+                                               fixture.registry);
+    EXPECT_EQ(attribution.all.administrative, 1);
+    EXPECT_EQ(attribution.all.unknown, 0);
+}
+
+TEST(ChangeAttribution, NoSignalsMeansUnknown) {
+    Fixture fixture;
+    ProbeChanges probe;
+    probe.probe = 1;
+    fixture.add_change(probe, 37.0, "10.1.0.5", "10.1.0.6");
+    fixture.add_change(probe, 91.0, "10.1.0.6", "10.1.0.7");
+    fixture.results.changes.push_back(probe);
+    const auto attribution = attribute_changes(fixture.results, fixture.table,
+                                               fixture.registry);
+    EXPECT_EQ(attribution.all.unknown, 2);
+    EXPECT_EQ(attribution.all.total, 2);
+}
+
+TEST(ChangeAttribution, RenderContainsEveryColumn) {
+    Fixture fixture;
+    ProbeChanges probe;
+    probe.probe = 1;
+    fixture.add_change(probe, 10.0, "10.1.0.5", "10.1.0.6");
+    fixture.results.changes.push_back(probe);
+    const auto attribution = attribute_changes(fixture.results, fixture.table,
+                                               fixture.registry);
+    const auto text = render_change_attribution(attribution);
+    for (const char* column : {"Periodic", "Network", "Power", "Admin",
+                               "Unknown", "TestNet", "All"})
+        EXPECT_NE(text.find(column), std::string::npos) << column;
+    EXPECT_STREQ(change_cause_name(ChangeCause::Periodic), "periodic");
+    EXPECT_STREQ(change_cause_name(ChangeCause::Administrative),
+                 "administrative");
+}
+
+}  // namespace
+}  // namespace dynaddr::core

@@ -1,0 +1,135 @@
+#include "core/cond_prob.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynaddr::core {
+namespace {
+
+using net::TimePoint;
+
+OutageOutcome outcome(DetectedOutage::Kind kind, bool change,
+                      std::int64_t duration_seconds = 600) {
+    OutageOutcome o;
+    o.outage.kind = kind;
+    o.outage.probe = 1;
+    o.outage.begin = TimePoint{0};
+    o.outage.end = TimePoint{duration_seconds};
+    o.address_change = change;
+    return o;
+}
+
+std::vector<OutageOutcome> outcomes(DetectedOutage::Kind kind, int changes,
+                                    int total) {
+    std::vector<OutageOutcome> list;
+    for (int i = 0; i < total; ++i)
+        list.push_back(outcome(kind, i < changes));
+    return list;
+}
+
+TEST(CondProb, TallyCountsChanges) {
+    const auto tally = tally_probe(1, outcomes(DetectedOutage::Kind::Network, 3, 4),
+                                   outcomes(DetectedOutage::Kind::Power, 1, 3));
+    EXPECT_EQ(tally.network_outages, 4);
+    EXPECT_EQ(tally.network_changes, 3);
+    EXPECT_EQ(tally.power_outages, 3);
+    EXPECT_EQ(tally.power_changes, 1);
+    ASSERT_TRUE(tally.p_ac_nw(3));
+    EXPECT_DOUBLE_EQ(*tally.p_ac_nw(3), 0.75);
+    ASSERT_TRUE(tally.p_ac_pw(3));
+    EXPECT_NEAR(*tally.p_ac_pw(3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CondProb, MinimumOutagesGate) {
+    const auto tally = tally_probe(1, outcomes(DetectedOutage::Kind::Network, 2, 2),
+                                   {});
+    EXPECT_FALSE(tally.p_ac_nw(3));
+    EXPECT_TRUE(tally.p_ac_nw(2));
+    EXPECT_FALSE(tally.p_ac_pw(3));
+}
+
+ProbeCondProb make_tally(atlas::ProbeId probe, int nw_changes, int nw_total,
+                         int pw_changes, int pw_total) {
+    ProbeCondProb tally;
+    tally.probe = probe;
+    tally.network_outages = nw_total;
+    tally.network_changes = nw_changes;
+    tally.power_outages = pw_total;
+    tally.power_changes = pw_changes;
+    return tally;
+}
+
+TEST(CondProb, Table6RowPercentages) {
+    // AS 100: five probes; four with P(ac|nw)=1, one with 0.5; power
+    // weaker.
+    std::vector<ProbeCondProb> probes;
+    for (atlas::ProbeId p = 1; p <= 4; ++p)
+        probes.push_back(make_tally(p, 4, 4, 3, 3));
+    probes.push_back(make_tally(5, 2, 4, 1, 3));
+    AsMapping mapping;
+    for (atlas::ProbeId p = 1; p <= 5; ++p) mapping.single_as[p] = 100;
+    bgp::AsRegistry registry;
+    registry.add({100, "TestNet", "FR", bgp::Continent::Europe});
+    const auto analysis = analyze_cond_prob(probes, mapping, registry);
+    ASSERT_EQ(analysis.as_rows.size(), 1u);
+    const auto& row = analysis.as_rows[0];
+    EXPECT_EQ(row.n, 5);
+    EXPECT_DOUBLE_EQ(row.pct_nw_over, 80.0);
+    EXPECT_DOUBLE_EQ(row.pct_nw_one, 80.0);
+    EXPECT_DOUBLE_EQ(row.pct_pw_one, 80.0);
+    EXPECT_EQ(analysis.all.n, 5);
+}
+
+TEST(CondProb, ProbesBelowOutageMinimumExcludedFromN) {
+    std::vector<ProbeCondProb> probes;
+    probes.push_back(make_tally(1, 4, 4, 3, 3));   // qualifies
+    probes.push_back(make_tally(2, 4, 4, 1, 2));   // too few power outages
+    probes.push_back(make_tally(3, 1, 2, 3, 3));   // too few network outages
+    AsMapping mapping;
+    for (atlas::ProbeId p = 1; p <= 3; ++p) mapping.single_as[p] = 100;
+    bgp::AsRegistry registry;
+    const auto analysis = analyze_cond_prob(probes, mapping, registry);
+    EXPECT_EQ(analysis.all.n, 1);
+    EXPECT_TRUE(analysis.as_rows.empty()) << "below min_probes_per_as";
+}
+
+TEST(CondProb, CdfPerAsAndKind) {
+    std::vector<ProbeCondProb> probes = {
+        make_tally(1, 4, 4, 0, 0),  // P(ac|nw)=1
+        make_tally(2, 2, 4, 0, 0),  // P(ac|nw)=0.5
+        make_tally(3, 0, 4, 0, 0),  // P(ac|nw)=0
+        make_tally(4, 4, 4, 0, 0),  // other AS
+    };
+    AsMapping mapping;
+    mapping.single_as[1] = 100;
+    mapping.single_as[2] = 100;
+    mapping.single_as[3] = 100;
+    mapping.single_as[4] = 200;
+    const auto cdf = cond_prob_cdf(probes, mapping, 100,
+                                   DetectedOutage::Kind::Network);
+    EXPECT_EQ(cdf.sample_count(), 3u);
+    EXPECT_NEAR(cdf.fraction_at_or_below(0.0), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cdf.fraction_at_or_below(0.5), 2.0 / 3.0, 1e-12);
+    // Power CDF is empty (no power outages anywhere).
+    EXPECT_EQ(cond_prob_cdf(probes, mapping, 100, DetectedOutage::Kind::Power)
+                  .sample_count(),
+              0u);
+}
+
+TEST(CondProb, DurationBinsSplitRenumbered) {
+    DurationBinAnalysis bins;
+    bins.add(outcome(DetectedOutage::Kind::Network, true, 120));    // <5m
+    bins.add(outcome(DetectedOutage::Kind::Network, false, 200));   // <5m
+    bins.add(outcome(DetectedOutage::Kind::Network, true, 90000));  // 1-3d
+    const auto first = bins.total.bin_of(120.0);
+    ASSERT_TRUE(first);
+    EXPECT_DOUBLE_EQ(bins.total.bin_weight(*first), 2.0);
+    EXPECT_DOUBLE_EQ(bins.renumbered.bin_weight(*first), 1.0);
+    EXPECT_DOUBLE_EQ(bins.percent_renumbered(*first), 50.0);
+    const auto day_bin = bins.total.bin_of(90000.0);
+    EXPECT_DOUBLE_EQ(bins.percent_renumbered(*day_bin), 100.0);
+    // Empty bin reports 0.
+    EXPECT_DOUBLE_EQ(bins.percent_renumbered(*bins.total.bin_of(3600.0)), 0.0);
+}
+
+}  // namespace
+}  // namespace dynaddr::core

@@ -1,0 +1,113 @@
+#include "core/daily_churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynaddr::core {
+namespace {
+
+using atlas::ConnectionLogEntry;
+using atlas::PeerAddress;
+using net::Duration;
+using net::IPv4Address;
+using net::TimeInterval;
+using net::TimePoint;
+
+const TimePoint kStart = TimePoint::from_date(2015, 1, 1);
+
+TimeInterval days(int n) { return {kStart, kStart + Duration::days(n)}; }
+
+ConnectionLogEntry entry(atlas::ProbeId probe, double start_days,
+                         double end_days, const char* address) {
+    ConnectionLogEntry e;
+    e.probe = probe;
+    e.start = kStart + Duration{std::int64_t(start_days * 86400)};
+    e.end = kStart + Duration{std::int64_t(end_days * 86400)};
+    e.address = PeerAddress::ipv4(IPv4Address::parse_or_throw(address));
+    return e;
+}
+
+TEST(DailyChurn, StableAddressHasZeroChurn) {
+    ProbeLog log;
+    log.probe = 1;
+    log.entries = {entry(1, 0.0, 9.5, "10.0.0.1")};
+    AsMapping mapping;
+    mapping.single_as[1] = 100;
+    bgp::AsRegistry registry;
+    const auto analysis =
+        analyze_daily_churn({{log}}, mapping, registry, days(10));
+    EXPECT_EQ(analysis.all.days, 9);
+    EXPECT_DOUBLE_EQ(analysis.all.mean_delta, 0.0);
+    EXPECT_DOUBLE_EQ(analysis.all.mean_active, 1.0);
+}
+
+TEST(DailyChurn, DailyRenumberingIsFullChurn) {
+    ProbeLog log;
+    log.probe = 1;
+    for (int day = 0; day < 10; ++day) {
+        const std::string address = "10.0.0." + std::to_string(day + 1);
+        log.entries.push_back(
+            entry(1, day + 0.01, day + 0.99, address.c_str()));
+    }
+    AsMapping mapping;
+    mapping.single_as[1] = 100;
+    bgp::AsRegistry registry;
+    const auto analysis =
+        analyze_daily_churn({{log}}, mapping, registry, days(10));
+    EXPECT_EQ(analysis.all.days, 9);
+    EXPECT_DOUBLE_EQ(analysis.all.mean_delta, 1.0);
+}
+
+TEST(DailyChurn, PartialOverlapGivesPartialChurn) {
+    // Two probes in one AS: one stable, one renumbering daily -> half the
+    // active set leaves each day.
+    ProbeLog stable;
+    stable.probe = 1;
+    stable.entries = {entry(1, 0.0, 5.9, "10.0.0.1")};
+    ProbeLog daily;
+    daily.probe = 2;
+    for (int day = 0; day < 6; ++day) {
+        const std::string address = "10.1.0." + std::to_string(day + 1);
+        daily.entries.push_back(entry(2, day + 0.01, day + 0.99, address.c_str()));
+    }
+    AsMapping mapping;
+    mapping.single_as[1] = 100;
+    mapping.single_as[2] = 100;
+    bgp::AsRegistry registry;
+    registry.add({100, "TestNet", "DE", bgp::Continent::Europe});
+    const auto analysis = analyze_daily_churn({{stable, daily}}, mapping,
+                                              registry, days(6));
+    EXPECT_NEAR(analysis.all.mean_delta, 0.5, 1e-9);
+    ASSERT_EQ(analysis.by_as.size(), 1u);
+    EXPECT_EQ(analysis.by_as[0].as_name, "TestNet");
+    EXPECT_NEAR(analysis.by_as[0].mean_active, 2.0, 1e-9);
+}
+
+TEST(DailyChurn, ConnectionSpanningDaysIsActiveOnEach) {
+    ProbeLog log;
+    log.probe = 1;
+    log.entries = {entry(1, 0.5, 2.5, "10.0.0.1")};  // days 0,1,2
+    AsMapping mapping;
+    bgp::AsRegistry registry;
+    const auto analysis = analyze_daily_churn({{log}}, mapping, registry, days(4));
+    // Day 2 -> day 3 transition loses the address; days 0->1 and 1->2 keep it.
+    EXPECT_EQ(analysis.all.days, 2);  // day 3 has an empty set, pair 2->3 skipped? no:
+    // day pairs measured are (0,1) and (1,2); day 3 has no set at all.
+    EXPECT_DOUBLE_EQ(analysis.all.mean_delta, 0.0);
+}
+
+TEST(DailyChurn, RendersTable) {
+    ProbeLog log;
+    log.probe = 1;
+    log.entries = {entry(1, 0.0, 3.0, "10.0.0.1")};
+    AsMapping mapping;
+    mapping.single_as[1] = 42;
+    bgp::AsRegistry registry;
+    const auto analysis = analyze_daily_churn({{log}}, mapping, registry, days(4));
+    const auto text = render_daily_churn(analysis);
+    EXPECT_NE(text.find("Mean daily churn"), std::string::npos);
+    EXPECT_NE(text.find("AS42"), std::string::npos);
+    EXPECT_NE(text.find("All"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynaddr::core

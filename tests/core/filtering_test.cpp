@@ -1,0 +1,170 @@
+#include "core/filtering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynaddr::core {
+namespace {
+
+using atlas::ConnectionLogEntry;
+using atlas::PeerAddress;
+using atlas::ProbeMetadata;
+using atlas::ProbeVersion;
+using net::IPv4Address;
+using net::TimePoint;
+
+ConnectionLogEntry v4_entry(atlas::ProbeId probe, std::int64_t start,
+                            std::int64_t end, const char* address) {
+    return {probe, TimePoint{start}, TimePoint{end},
+            PeerAddress::ipv4(IPv4Address::parse_or_throw(address))};
+}
+
+ConnectionLogEntry v6_entry(atlas::ProbeId probe, std::int64_t start,
+                            std::int64_t end, std::uint64_t token) {
+    return {probe, TimePoint{start}, TimePoint{end}, PeerAddress::ipv6_token(token)};
+}
+
+ProbeLog make_log(atlas::ProbeId probe, std::vector<ConnectionLogEntry> entries) {
+    return {probe, std::move(entries)};
+}
+
+TEST(Filtering, Ipv6OnlyDetected) {
+    const std::vector<ProbeLog> logs = {
+        make_log(1, {v6_entry(1, 0, 100, 7), v6_entry(1, 200, 300, 7)})};
+    const auto report = filter_probes(logs, {});
+    EXPECT_EQ(report.category.at(1), ProbeCategory::Ipv6Only);
+    EXPECT_TRUE(report.analyzable.empty());
+}
+
+TEST(Filtering, DualStackDetected) {
+    const std::vector<ProbeLog> logs = {
+        make_log(1, {v4_entry(1, 0, 100, "10.0.0.1"), v6_entry(1, 200, 300, 7),
+                     v4_entry(1, 400, 500, "10.0.0.2")})};
+    const auto report = filter_probes(logs, {});
+    EXPECT_EQ(report.category.at(1), ProbeCategory::DualStack);
+}
+
+TEST(Filtering, TagTakesPriorityOverBehaviour) {
+    const std::vector<ProbeLog> logs = {
+        make_log(1, {v4_entry(1, 0, 100, "10.0.0.1"),
+                     v4_entry(1, 200, 300, "10.0.0.2")})};
+    const std::vector<ProbeMetadata> metadata = {
+        {1, ProbeVersion::V3, "DE", {"datacentre"}}};
+    const auto report = filter_probes(logs, metadata);
+    EXPECT_EQ(report.category.at(1), ProbeCategory::TaggedMultihomed);
+}
+
+TEST(Filtering, AlternatingMultihomedDetected) {
+    // A fixed, B1, A, B2, A, B3, A: three returns to A.
+    std::vector<ConnectionLogEntry> entries;
+    const char* sequence[] = {"10.0.0.1", "20.0.0.1", "10.0.0.1", "20.0.0.2",
+                              "10.0.0.1", "20.0.0.3", "10.0.0.1"};
+    std::int64_t t = 0;
+    for (const char* addr : sequence) {
+        entries.push_back(v4_entry(1, t, t + 100, addr));
+        t += 200;
+    }
+    const auto report = filter_probes({{make_log(1, entries)}}, {});
+    EXPECT_EQ(report.category.at(1), ProbeCategory::AlternatingMultihomed);
+}
+
+TEST(Filtering, TwoReturnsIsNotMultihomed) {
+    std::vector<ConnectionLogEntry> entries;
+    const char* sequence[] = {"10.0.0.1", "20.0.0.1", "10.0.0.1", "20.0.0.2",
+                              "10.0.0.1"};
+    std::int64_t t = 0;
+    for (const char* addr : sequence) {
+        entries.push_back(v4_entry(1, t, t + 100, addr));
+        t += 200;
+    }
+    const auto report = filter_probes({{make_log(1, entries)}}, {});
+    EXPECT_EQ(report.category.at(1), ProbeCategory::Analyzable);
+}
+
+TEST(Filtering, ConsecutiveSameAddressIsNotAReturn) {
+    // DHCP stickiness: A A A B B A-after-B once — only one return.
+    std::vector<ConnectionLogEntry> entries;
+    const char* sequence[] = {"10.0.0.1", "10.0.0.1", "10.0.0.1",
+                              "20.0.0.1", "20.0.0.1", "10.0.0.1"};
+    std::int64_t t = 0;
+    for (const char* addr : sequence) {
+        entries.push_back(v4_entry(1, t, t + 100, addr));
+        t += 200;
+    }
+    EXPECT_FALSE(is_alternating_multihomed(make_log(1, entries), 3));
+}
+
+TEST(Filtering, NeverChangedDetected) {
+    const std::vector<ProbeLog> logs = {
+        make_log(1, {v4_entry(1, 0, 100, "10.0.0.1"),
+                     v4_entry(1, 200, 300, "10.0.0.1")})};
+    const auto report = filter_probes(logs, {});
+    EXPECT_EQ(report.category.at(1), ProbeCategory::NeverChanged);
+}
+
+TEST(Filtering, TestingAddressOnlyDetected) {
+    const std::vector<ProbeLog> logs = {
+        make_log(1, {v4_entry(1, 0, 100, "193.0.0.78"),
+                     v4_entry(1, 200, 300, "10.0.0.1"),
+                     v4_entry(1, 400, 500, "10.0.0.1")})};
+    const auto report = filter_probes(logs, {});
+    EXPECT_EQ(report.category.at(1), ProbeCategory::TestingAddressOnly);
+}
+
+TEST(Filtering, TestingEntryStrippedFromAnalyzableLog) {
+    const std::vector<ProbeLog> logs = {
+        make_log(1, {v4_entry(1, 0, 100, "193.0.0.78"),
+                     v4_entry(1, 200, 300, "10.0.0.1"),
+                     v4_entry(1, 400, 500, "10.0.0.2")})};
+    const auto report = filter_probes(logs, {});
+    EXPECT_EQ(report.category.at(1), ProbeCategory::Analyzable);
+    ASSERT_EQ(report.analyzable.size(), 1u);
+    ASSERT_EQ(report.analyzable[0].entries.size(), 2u);
+    EXPECT_EQ(report.analyzable[0].entries[0].address.v4,
+              IPv4Address::parse_or_throw("10.0.0.1"));
+}
+
+TEST(Filtering, AnalyzableProbeKept) {
+    const std::vector<ProbeLog> logs = {
+        make_log(5, {v4_entry(5, 0, 100, "10.0.0.1"),
+                     v4_entry(5, 200, 300, "10.0.0.2"),
+                     v4_entry(5, 400, 500, "10.0.0.3")})};
+    const auto report = filter_probes(logs, {});
+    EXPECT_EQ(report.category.at(5), ProbeCategory::Analyzable);
+    ASSERT_EQ(report.analyzable.size(), 1u);
+    EXPECT_EQ(report.analyzable[0].probe, 5u);
+}
+
+TEST(Filtering, CountsPartitionInput) {
+    std::vector<ProbeLog> logs;
+    logs.push_back(make_log(1, {v6_entry(1, 0, 100, 1)}));
+    logs.push_back(make_log(2, {v4_entry(2, 0, 100, "10.0.0.1"),
+                                v6_entry(2, 200, 300, 2)}));
+    logs.push_back(make_log(3, {v4_entry(3, 0, 100, "10.0.0.1")}));
+    logs.push_back(make_log(4, {v4_entry(4, 0, 100, "10.0.0.1"),
+                                v4_entry(4, 200, 300, "10.0.0.2")}));
+    const auto report = filter_probes(logs, {});
+    EXPECT_EQ(report.total(), 4);
+    int sum = 0;
+    for (const auto& [category, count] : report.counts) sum += count;
+    EXPECT_EQ(sum, 4);
+    EXPECT_EQ(report.count(ProbeCategory::Analyzable), 1);
+}
+
+TEST(Filtering, CustomTagList) {
+    FilterConfig config;
+    config.multihomed_tags = {"anchor"};
+    const std::vector<ProbeLog> logs = {
+        make_log(1, {v4_entry(1, 0, 100, "10.0.0.1"),
+                     v4_entry(1, 200, 300, "10.0.0.2")})};
+    const std::vector<ProbeMetadata> metadata = {
+        {1, ProbeVersion::V3, "DE", {"anchor"}}};
+    const auto report = filter_probes(logs, metadata, config);
+    EXPECT_EQ(report.category.at(1), ProbeCategory::TaggedMultihomed);
+    // Default tags no longer match.
+    FilterConfig defaults;
+    const auto report2 = filter_probes(logs, metadata, defaults);
+    EXPECT_EQ(report2.category.at(1), ProbeCategory::Analyzable);
+}
+
+}  // namespace
+}  // namespace dynaddr::core

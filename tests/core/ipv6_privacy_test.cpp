@@ -1,0 +1,125 @@
+#include "core/ipv6_privacy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynaddr::core {
+namespace {
+
+using atlas::ConnectionLogEntry;
+using atlas::PeerAddress;
+using net::Duration;
+using net::IPv6Address;
+using net::TimePoint;
+
+constexpr std::uint64_t kNet = 0x20010db800070000ULL;
+
+ConnectionLogEntry v6_entry(atlas::ProbeId probe, std::int64_t start_hours,
+                            double length_hours, std::uint64_t net,
+                            std::uint64_t iid) {
+    ConnectionLogEntry entry;
+    entry.probe = probe;
+    entry.start = TimePoint{start_hours * 3600};
+    entry.end = entry.start + Duration{std::int64_t(length_hours * 3600)};
+    entry.address = PeerAddress::ipv6(IPv6Address{net, iid});
+    return entry;
+}
+
+TEST(Ipv6Privacy, DailyRotationIsEphemeralAndRotating) {
+    // A privacy-extensions host: a fresh IID each day for 10 days.
+    ProbeLog log;
+    log.probe = 1;
+    for (int day = 0; day < 10; ++day)
+        log.entries.push_back(
+            v6_entry(1, day * 24, 23.0, kNet, 0x1000 + std::uint64_t(day)));
+    const auto analysis = analyze_ipv6_privacy({{log}});
+    ASSERT_EQ(analysis.probes.size(), 1u);
+    const auto& view = analysis.probes[0];
+    EXPECT_EQ(view.addresses, 10);
+    EXPECT_EQ(view.ephemeral, 10);
+    EXPECT_TRUE(view.rotating);
+    EXPECT_NEAR(view.rotation_hours, 24.0, 0.1);
+    EXPECT_DOUBLE_EQ(analysis.ephemeral_fraction(), 1.0);
+    EXPECT_EQ(analysis.rotating_probes, 1);
+}
+
+TEST(Ipv6Privacy, StableHostIsNeitherEphemeralNorRotating) {
+    ProbeLog log;
+    log.probe = 2;
+    // Same EUI-64-style address across three months of reconnects.
+    for (int week = 0; week < 12; ++week)
+        log.entries.push_back(
+            v6_entry(2, week * 168, 100.0, kNet, 0x0200aaffee000001ULL));
+    const auto analysis = analyze_ipv6_privacy({{log}});
+    ASSERT_EQ(analysis.probes.size(), 1u);
+    EXPECT_EQ(analysis.probes[0].addresses, 1);
+    EXPECT_EQ(analysis.probes[0].ephemeral, 0);
+    EXPECT_FALSE(analysis.probes[0].rotating);
+    EXPECT_DOUBLE_EQ(analysis.ephemeral_fraction(), 0.0);
+}
+
+TEST(Ipv6Privacy, MixedPopulationFractions) {
+    std::vector<ProbeLog> logs;
+    // Nine rotating hosts, one stable: Plonka & Berger's ~90 %.
+    for (atlas::ProbeId probe = 1; probe <= 9; ++probe) {
+        ProbeLog log;
+        log.probe = probe;
+        for (int day = 0; day < 5; ++day)
+            log.entries.push_back(v6_entry(
+                probe, day * 24, 23.0, kNet + probe, 0x2000 + std::uint64_t(day)));
+        logs.push_back(std::move(log));
+    }
+    ProbeLog stable;
+    stable.probe = 10;
+    for (int week = 0; week < 10; ++week)
+        stable.entries.push_back(
+            v6_entry(10, week * 168, 120.0, kNet + 10, 0x42));
+    logs.push_back(std::move(stable));
+
+    const auto analysis = analyze_ipv6_privacy(logs);
+    EXPECT_EQ(analysis.total_addresses, 9 * 5 + 1);
+    EXPECT_NEAR(analysis.ephemeral_fraction(), 45.0 / 46.0, 1e-9);
+    EXPECT_EQ(analysis.rotating_probes, 9);
+}
+
+TEST(Ipv6Privacy, V4OnlyProbesAreIgnored) {
+    ProbeLog log;
+    log.probe = 3;
+    ConnectionLogEntry entry;
+    entry.probe = 3;
+    entry.start = TimePoint{0};
+    entry.end = TimePoint{3600};
+    entry.address = PeerAddress::ipv4(net::IPv4Address(10, 0, 0, 1));
+    log.entries.push_back(entry);
+    const auto analysis = analyze_ipv6_privacy({{log}});
+    EXPECT_TRUE(analysis.probes.empty());
+    EXPECT_EQ(analysis.total_addresses, 0);
+}
+
+TEST(Ipv6Privacy, ReusedAddressSightingsMerge) {
+    // The same IID seen in two connections 3 days apart: one address with
+    // a 3-day lifetime -> not ephemeral under the 36 h threshold.
+    ProbeLog log;
+    log.probe = 4;
+    log.entries.push_back(v6_entry(4, 0, 1.0, kNet, 0x7));
+    log.entries.push_back(v6_entry(4, 72, 1.0, kNet, 0x7));
+    const auto analysis = analyze_ipv6_privacy({{log}});
+    ASSERT_EQ(analysis.probes.size(), 1u);
+    EXPECT_EQ(analysis.probes[0].addresses, 1);
+    EXPECT_EQ(analysis.probes[0].ephemeral, 0);
+}
+
+TEST(Ipv6Privacy, RotationThresholdConfigurable) {
+    ProbeLog log;
+    log.probe = 5;
+    log.entries.push_back(v6_entry(5, 0, 1.0, kNet, 1));
+    log.entries.push_back(v6_entry(5, 24, 1.0, kNet, 2));
+    Ipv6PrivacyConfig strict;
+    strict.min_iids_for_rotation = 3;
+    EXPECT_FALSE(analyze_ipv6_privacy({{log}}, strict).probes[0].rotating);
+    Ipv6PrivacyConfig loose;
+    loose.min_iids_for_rotation = 2;
+    EXPECT_TRUE(analyze_ipv6_privacy({{log}}, loose).probes[0].rotating);
+}
+
+}  // namespace
+}  // namespace dynaddr::core

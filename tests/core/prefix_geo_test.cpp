@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "core/geography.hpp"
+#include "core/prefix_change.hpp"
+
+namespace dynaddr::core {
+namespace {
+
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimePoint;
+
+ProbeChanges changes_between(atlas::ProbeId probe,
+                             std::initializer_list<const char*> addresses) {
+    ProbeChanges changes;
+    changes.probe = probe;
+    std::int64_t t = 1420070400;  // 2015-01-01
+    const char* previous = nullptr;
+    for (const char* addr : addresses) {
+        if (previous != nullptr) {
+            AddressChangeEvent event;
+            event.probe = probe;
+            event.from = IPv4Address::parse_or_throw(previous);
+            event.to = IPv4Address::parse_or_throw(addr);
+            event.last_seen = TimePoint{t};
+            event.first_seen = TimePoint{t + 1200};
+            changes.changes.push_back(event);
+        }
+        previous = addr;
+        t += 86400;
+    }
+    return changes;
+}
+
+TEST(PrefixChange, ClassifiesBgp16And8) {
+    bgp::PrefixTable table;
+    const auto jan = bgp::month_key(2015, 1);
+    const auto dec = bgp::month_key(2015, 12);
+    table.announce_range(jan, dec, IPv4Prefix::parse_or_throw("10.1.0.0/16"), 100);
+    table.announce_range(jan, dec, IPv4Prefix::parse_or_throw("10.2.0.0/16"), 100);
+    table.announce_range(jan, dec, IPv4Prefix::parse_or_throw("20.0.0.0/12"), 100);
+    bgp::AsRegistry registry;
+    registry.add({100, "TestNet", "DE", bgp::Continent::Europe});
+    AsMapping mapping;
+    mapping.single_as[1] = 100;
+
+    // Four changes: same-prefix, cross-prefix-same-/8, cross-/8,
+    // within-/12-aggregate-but-cross-/16.
+    const std::vector<ProbeChanges> probes = {changes_between(
+        1, {"10.1.0.1", "10.1.0.2", "10.2.0.1", "20.0.0.1", "20.1.0.1"})};
+    const auto analysis = analyze_prefix_changes(probes, mapping, table, registry);
+
+    ASSERT_EQ(analysis.as_rows.size(), 1u);
+    const auto& row = analysis.as_rows[0];
+    EXPECT_EQ(row.total_changes, 4);
+    // diff BGP: 10.1->10.2 (yes), 10.2->20.0 (yes), 20.0->20.1 (no: same
+    // /12 route), 10.1->10.1 (no).
+    EXPECT_EQ(row.diff_bgp, 2);
+    // diff /16: all except 10.1.0.1 -> 10.1.0.2.
+    EXPECT_EQ(row.diff_16, 3);
+    // diff /8: only 10.2 -> 20.0.
+    EXPECT_EQ(row.diff_8, 1);
+    EXPECT_DOUBLE_EQ(row.pct_bgp(), 50.0);
+    EXPECT_EQ(analysis.all.total_changes, 4);
+}
+
+TEST(PrefixChange, MultiAsProbesDropped) {
+    bgp::PrefixTable table;
+    table.announce_range(bgp::month_key(2015, 1), bgp::month_key(2015, 12),
+                         IPv4Prefix::parse_or_throw("10.0.0.0/8"), 100);
+    bgp::AsRegistry registry;
+    AsMapping mapping;
+    mapping.multi_as.insert(1);
+    const std::vector<ProbeChanges> probes = {
+        changes_between(1, {"10.1.0.1", "10.2.0.1"})};
+    const auto analysis = analyze_prefix_changes(probes, mapping, table, registry);
+    EXPECT_EQ(analysis.all.total_changes, 0);
+    EXPECT_TRUE(analysis.as_rows.empty());
+}
+
+TEST(PrefixChange, UnroutedSidesSkipBgpColumn) {
+    bgp::PrefixTable table;  // empty: nothing routed
+    bgp::AsRegistry registry;
+    AsMapping mapping;
+    mapping.single_as[1] = 100;
+    const std::vector<ProbeChanges> probes = {
+        changes_between(1, {"10.1.0.1", "20.2.0.1"})};
+    const auto analysis = analyze_prefix_changes(probes, mapping, table, registry);
+    ASSERT_EQ(analysis.as_rows.size(), 1u);
+    EXPECT_EQ(analysis.as_rows[0].diff_bgp, 0);
+    EXPECT_EQ(analysis.as_rows[0].diff_16, 1);
+    EXPECT_EQ(analysis.as_rows[0].diff_8, 1);
+}
+
+TEST(Geography, CountryToContinent) {
+    EXPECT_EQ(continent_of_country("DE"), bgp::Continent::Europe);
+    EXPECT_EQ(continent_of_country("US"), bgp::Continent::NorthAmerica);
+    EXPECT_EQ(continent_of_country("JP"), bgp::Continent::Asia);
+    EXPECT_EQ(continent_of_country("MU"), bgp::Continent::Africa);
+    EXPECT_EQ(continent_of_country("UY"), bgp::Continent::SouthAmerica);
+    EXPECT_EQ(continent_of_country("NZ"), bgp::Continent::Oceania);
+    EXPECT_FALSE(continent_of_country("XX"));
+    EXPECT_FALSE(continent_of_country(""));
+}
+
+TEST(Geography, AggregatesSpansByContinent) {
+    std::vector<ProbeChanges> probes(2);
+    probes[0].probe = 1;
+    probes[1].probe = 2;
+    AddressSpan span;
+    span.probe = 1;
+    span.begin = TimePoint{0};
+    span.end = TimePoint{24 * 3600};
+    probes[0].spans.push_back(span);
+    span.probe = 2;
+    span.end = TimePoint{12 * 3600};
+    probes[1].spans.push_back(span);
+
+    const std::vector<atlas::ProbeMetadata> metadata = {
+        {1, atlas::ProbeVersion::V3, "DE", {}},
+        {2, atlas::ProbeVersion::V3, "US", {}},
+    };
+    const auto analysis = analyze_geography(probes, metadata);
+    ASSERT_TRUE(analysis.by_continent.contains(bgp::Continent::Europe));
+    ASSERT_TRUE(analysis.by_continent.contains(bgp::Continent::NorthAmerica));
+    EXPECT_DOUBLE_EQ(
+        analysis.by_continent.at(bgp::Continent::Europe).total_hours(), 24.0);
+    EXPECT_DOUBLE_EQ(
+        analysis.by_continent.at(bgp::Continent::NorthAmerica).total_hours(),
+        12.0);
+    EXPECT_EQ(analysis.unlocated_probes, 0);
+    EXPECT_TRUE(analysis.by_country.contains("DE"));
+}
+
+TEST(Geography, UnknownCountryCounted) {
+    std::vector<ProbeChanges> probes(1);
+    probes[0].probe = 1;
+    const std::vector<atlas::ProbeMetadata> metadata = {
+        {1, atlas::ProbeVersion::V3, "ZZ", {}}};
+    const auto analysis = analyze_geography(probes, metadata);
+    EXPECT_EQ(analysis.unlocated_probes, 1);
+    EXPECT_TRUE(analysis.by_continent.empty());
+}
+
+TEST(AsMappingTest, SingleMultiUnmapped) {
+    bgp::PrefixTable table;
+    table.announce_range(bgp::month_key(2015, 1), bgp::month_key(2015, 12),
+                         IPv4Prefix::parse_or_throw("10.0.0.0/8"), 100);
+    table.announce_range(bgp::month_key(2015, 1), bgp::month_key(2015, 12),
+                         IPv4Prefix::parse_or_throw("20.0.0.0/8"), 200);
+    auto entry = [](atlas::ProbeId probe, const char* addr) {
+        atlas::ConnectionLogEntry e;
+        e.probe = probe;
+        e.start = TimePoint{1420070400};
+        e.end = TimePoint{1420070400 + 3600};
+        e.address =
+            atlas::PeerAddress::ipv4(IPv4Address::parse_or_throw(addr));
+        return e;
+    };
+    std::vector<ProbeLog> logs = {
+        {1, {entry(1, "10.0.0.1"), entry(1, "10.0.0.2")}},
+        {2, {entry(2, "10.0.0.1"), entry(2, "20.0.0.1")}},
+        {3, {entry(3, "99.0.0.1")}},
+    };
+    const auto mapping = map_probes_to_as(logs, table);
+    EXPECT_EQ(mapping.as_of(1), 100u);
+    EXPECT_TRUE(mapping.multi_as.contains(2));
+    EXPECT_TRUE(mapping.unmapped.contains(3));
+    EXPECT_FALSE(mapping.as_of(2));
+}
+
+}  // namespace
+}  // namespace dynaddr::core

@@ -1,0 +1,104 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynaddr::core {
+namespace {
+
+TEST(Report, FmtRoundsToDecimals) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(99.96, 1), "100.0");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Report, Table2RendersAllCategories) {
+    FilterReport report;
+    report.counts[ProbeCategory::Analyzable] = 5;
+    report.counts[ProbeCategory::NeverChanged] = 3;
+    report.counts[ProbeCategory::DualStack] = 2;
+    const auto text = render_table2(report);
+    EXPECT_NE(text.find("Total probes"), std::string::npos);
+    EXPECT_NE(text.find("10"), std::string::npos);  // total
+    EXPECT_NE(text.find("Never changed"), std::string::npos);
+    EXPECT_NE(text.find("193.0.0.78"), std::string::npos);
+}
+
+TEST(Report, Table5RendersRows) {
+    PeriodicityAnalysis analysis;
+    Table5Row row;
+    row.asn = 3320;
+    row.as_name = "DTAG";
+    row.country = "DE";
+    row.d_hours = 24;
+    row.probes_with_change = 63;
+    row.periodic_probes = 51;
+    row.pct_over_half = 96.0;
+    row.pct_max_le_d = 78.0;
+    row.pct_harmonic = 98.0;
+    analysis.as_rows.push_back(row);
+    const auto text = render_table5(analysis);
+    for (const char* piece : {"DTAG", "3320", "DE", "24", "63", "51", "96%",
+                              "78%", "98%", "MAX<=d", "Harmonic"})
+        EXPECT_NE(text.find(piece), std::string::npos) << piece;
+}
+
+TEST(Report, Table6And7Render) {
+    CondProbAnalysis cond;
+    cond.all.as_name = "All";
+    cond.all.n = 10;
+    cond.all.pct_nw_over = 29.1;
+    Table6Row row;
+    row.asn = 3215;
+    row.as_name = "Orange";
+    row.n = 84;
+    row.pct_nw_one = 54.0;
+    cond.as_rows.push_back(row);
+    const auto t6 = render_table6(cond);
+    EXPECT_NE(t6.find("Orange"), std::string::npos);
+    EXPECT_NE(t6.find("P(ac|nw)=1"), std::string::npos);
+    EXPECT_NE(t6.find("54.0%"), std::string::npos);
+
+    PrefixChangeAnalysis prefix;
+    prefix.all.as_name = "All";
+    prefix.all.total_changes = 100;
+    prefix.all.diff_bgp = 49;
+    prefix.all.diff_16 = 48;
+    prefix.all.diff_8 = 34;
+    const auto t7 = render_table7(prefix);
+    EXPECT_NE(t7.find("49 (49%)"), std::string::npos);
+    EXPECT_NE(t7.find("Diff /8"), std::string::npos);
+}
+
+TEST(Report, FirmwareSeriesRendersReleases) {
+    FirmwareAnalysis analysis;
+    analysis.median_per_day = 2.0;
+    for (int day = 0; day < 21; ++day)
+        analysis.probes_rebooted_per_day[day] = day == 10 ? 20 : 2;
+    analysis.release_days.push_back(net::TimePoint::from_date(2015, 4, 14));
+    const auto text = render_firmware_series(
+        analysis, {net::TimePoint::from_date(2015, 1, 1),
+                   net::TimePoint::from_date(2016, 1, 1)});
+    EXPECT_NE(text.find("median 2.0"), std::string::npos);
+    EXPECT_NE(text.find("2015-04-14"), std::string::npos);
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Report, SummaryIsComplete) {
+    AnalysisResults results;
+    results.window = {net::TimePoint::from_date(2015, 1, 1),
+                      net::TimePoint::from_date(2016, 1, 1)};
+    results.filter.counts[ProbeCategory::Analyzable] = 1;
+    ProbeChanges changes;
+    changes.probe = 1;
+    changes.changes.resize(3);
+    changes.spans.resize(2);
+    results.changes.push_back(changes);
+    const auto text = render_summary(results);
+    EXPECT_NE(text.find("2015-01-01"), std::string::npos);
+    EXPECT_NE(text.find("address changes: 3"), std::string::npos);
+    EXPECT_NE(text.find("interior spans: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynaddr::core

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "core/periodicity.hpp"
+#include "core/total_time_fraction.hpp"
+
+namespace dynaddr::core {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::TimePoint;
+
+AddressSpan span_of_hours(atlas::ProbeId probe, double hours,
+                          std::int64_t start = 0) {
+    AddressSpan span;
+    span.probe = probe;
+    span.address = IPv4Address(10, 0, 0, 1);
+    span.begin = TimePoint{start};
+    span.end = TimePoint{start + std::int64_t(hours * 3600)};
+    return span;
+}
+
+TEST(TotalTimeFraction, FormulaMatchesDefinition) {
+    // f_d = d * n(d) / sum(D): three 24 h spans and one 12 h span.
+    TotalTimeFraction ttf;
+    for (int i = 0; i < 3; ++i) ttf.add(span_of_hours(1, 24.0));
+    ttf.add(span_of_hours(1, 12.0));
+    EXPECT_DOUBLE_EQ(ttf.total_hours(), 84.0);
+    EXPECT_DOUBLE_EQ(ttf.fraction_at(24.0), 72.0 / 84.0);
+    EXPECT_DOUBLE_EQ(ttf.fraction_at(12.0), 12.0 / 84.0);
+    EXPECT_DOUBLE_EQ(ttf.fraction_at(48.0), 0.0);
+}
+
+TEST(TotalTimeFraction, QuantizationMergesNearbyDurations) {
+    TotalTimeFraction ttf;
+    ttf.add(span_of_hours(1, 23.6));  // the paper's observed daily tenure
+    ttf.add(span_of_hours(1, 24.0));
+    ttf.add(span_of_hours(1, 24.4));
+    EXPECT_DOUBLE_EQ(ttf.fraction_at(24.0), 1.0);
+}
+
+TEST(TotalTimeFraction, ShortSpansCarryLittleWeight) {
+    // The paper's §4.1 motivation: counting events overweights short
+    // tenures; weighting by time does not.
+    TotalTimeFraction ttf;
+    for (int i = 0; i < 10; ++i) ttf.add(span_of_hours(1, 1.0));
+    ttf.add(span_of_hours(1, 168.0));
+    // 10 of 11 events are 1 h, but < 6 % of the time.
+    EXPECT_LT(ttf.fraction_at(1.0), 0.06);
+    EXPECT_GT(ttf.fraction_at(168.0), 0.94);
+}
+
+TEST(TotalTimeFraction, ZeroDurationSpansIgnored) {
+    TotalTimeFraction ttf;
+    ttf.add(span_of_hours(1, 0.0));
+    EXPECT_EQ(ttf.span_count(), 0u);
+}
+
+ProbeChanges probe_with_spans(atlas::ProbeId probe,
+                              std::initializer_list<double> hours) {
+    ProbeChanges changes;
+    changes.probe = probe;
+    std::int64_t t = 0;
+    for (double h : hours) {
+        changes.spans.push_back(span_of_hours(probe, h, t));
+        t += std::int64_t(h * 3600) + 1200;
+        changes.total_address_time += Duration{std::int64_t(h * 3600)};
+    }
+    // One change per span boundary + 1 (censored ends imply changes).
+    changes.changes.resize(hours.size() + 1);
+    for (auto& c : changes.changes) c.probe = probe;
+    return changes;
+}
+
+TEST(Periodicity, ClassifiesDailyProbe) {
+    const auto changes = probe_with_spans(1, {24, 24, 24, 24, 6, 24});
+    const auto result = classify_probe(changes);
+    ASSERT_TRUE(result.period_hours);
+    EXPECT_DOUBLE_EQ(*result.period_hours, 24.0);
+    EXPECT_GT(result.fraction, 0.9);
+    EXPECT_DOUBLE_EQ(result.max_span_hours, 24.0);
+}
+
+TEST(Periodicity, NonPeriodicProbeHasNoPeriod) {
+    // All durations distinct, none carrying > 25 % of total time.
+    const auto changes = probe_with_spans(1, {10, 20, 30, 40, 50, 45, 35, 25});
+    const auto result = classify_probe(changes);
+    EXPECT_FALSE(result.period_hours);
+}
+
+TEST(Periodicity, ThresholdIsConfigurable) {
+    // 24 h carries 72/168 ~ 43 % of total time; no other duration > 11 %.
+    const auto changes =
+        probe_with_spans(1, {24, 24, 24, 10, 11, 13, 14, 15, 16, 17});
+    PeriodicityConfig strict;
+    strict.probe_threshold = 0.5;
+    EXPECT_FALSE(classify_probe(changes, strict).period_hours);
+    PeriodicityConfig loose;
+    loose.probe_threshold = 0.25;
+    ASSERT_TRUE(classify_probe(changes, loose).period_hours);
+    EXPECT_DOUBLE_EQ(*classify_probe(changes, loose).period_hours, 24.0);
+}
+
+TEST(Periodicity, HarmonicPredicate) {
+    EXPECT_TRUE(spans_harmonic_of({{24, 48, 72, 12, 24}}, 24.0, 0.05));
+    EXPECT_TRUE(spans_harmonic_of({{24, 24.9}}, 24.0, 0.05));  // within d+5%
+    EXPECT_FALSE(spans_harmonic_of({{24, 36}}, 24.0, 0.05));
+    EXPECT_TRUE(spans_harmonic_of({{167, 168, 336}}, 168.0, 0.05));
+    EXPECT_FALSE(spans_harmonic_of({{24}}, 0.0, 0.05));
+    // Everything below d qualifies regardless of alignment.
+    EXPECT_TRUE(spans_harmonic_of({{1, 5, 23}}, 24.0, 0.05));
+}
+
+TEST(Periodicity, Table5RowAggregation) {
+    // Five probes in AS 100: three periodic at 24 h with varying
+    // persistence, one with too few 24 h repeats, one aperiodic.
+    std::vector<ProbeChanges> probes;
+    probes.push_back(probe_with_spans(1, {24, 24, 24, 24}));        // f=1.0
+    probes.push_back(probe_with_spans(2, {24, 24, 24, 12}));        // f~0.86
+    probes.push_back(probe_with_spans(3, {24, 24, 24, 30, 31}));    // f~0.54
+    probes.push_back(probe_with_spans(4, {24, 10, 30, 31}));        // 1 repeat
+    probes.push_back(probe_with_spans(5, {7, 13, 29, 55}));         // aperiodic
+    AsMapping mapping;
+    for (atlas::ProbeId p = 1; p <= 5; ++p) mapping.single_as[p] = 100;
+    bgp::AsRegistry registry;
+    registry.add({100, "TestNet", "DE", bgp::Continent::Europe});
+
+    const auto analysis = analyze_periodicity(probes, mapping, registry);
+    ASSERT_EQ(analysis.as_rows.size(), 1u);
+    const auto& row = analysis.as_rows[0];
+    EXPECT_EQ(row.asn, 100u);
+    EXPECT_EQ(row.as_name, "TestNet");
+    EXPECT_DOUBLE_EQ(row.d_hours, 24.0);
+    EXPECT_EQ(row.probes_with_change, 5);
+    EXPECT_EQ(row.periodic_probes, 3);
+    EXPECT_NEAR(row.pct_over_half, 100.0, 0.1);
+    // Probes 1 and 2 have MAX <= 24; probe 3 has 31 h spans.
+    EXPECT_NEAR(row.pct_max_le_d, 2.0 / 3.0 * 100.0, 0.1);
+    EXPECT_NEAR(row.pct_over_three_quarters, 2.0 / 3.0 * 100.0, 0.1);
+}
+
+TEST(Periodicity, MinSpanRepeatGateRejectsLoneLongTenures) {
+    // A stable probe with three long tenures: the longest carries > 25 %
+    // of total time but appears once — not a schedule.
+    const auto changes = probe_with_spans(1, {1100, 700, 900});
+    EXPECT_FALSE(classify_probe(changes).period_hours);
+    // Reproducing the paper's exact rule (min 1 repeat) classifies it.
+    PeriodicityConfig paper_rule;
+    paper_rule.min_spans_at_period = 1;
+    ASSERT_TRUE(classify_probe(changes, paper_rule).period_hours);
+    EXPECT_DOUBLE_EQ(*classify_probe(changes, paper_rule).period_hours, 1100.0);
+}
+
+TEST(Periodicity, AsBelowProbeMinimumExcluded) {
+    std::vector<ProbeChanges> probes;
+    for (atlas::ProbeId p = 1; p <= 4; ++p)
+        probes.push_back(probe_with_spans(p, {24, 24, 24}));
+    AsMapping mapping;
+    for (atlas::ProbeId p = 1; p <= 4; ++p) mapping.single_as[p] = 100;
+    bgp::AsRegistry registry;
+    const auto analysis = analyze_periodicity(probes, mapping, registry);
+    EXPECT_TRUE(analysis.as_rows.empty()) << "needs >= 5 changed probes";
+    // But the "All" rows still see them.
+    ASSERT_EQ(analysis.all_rows.size(), 2u);
+    EXPECT_EQ(analysis.all_rows[0].periodic_probes, 4);
+}
+
+TEST(Periodicity, TwoPeriodCohortsMakeTwoRows) {
+    // Orange Polska-style: one AS, two period groups (22 h and 24 h).
+    std::vector<ProbeChanges> probes;
+    for (atlas::ProbeId p = 1; p <= 3; ++p)
+        probes.push_back(probe_with_spans(p, {22, 22, 22, 22}));
+    for (atlas::ProbeId p = 4; p <= 6; ++p)
+        probes.push_back(probe_with_spans(p, {24, 24, 24, 24}));
+    AsMapping mapping;
+    for (atlas::ProbeId p = 1; p <= 6; ++p) mapping.single_as[p] = 5617;
+    bgp::AsRegistry registry;
+    const auto analysis = analyze_periodicity(probes, mapping, registry);
+    ASSERT_EQ(analysis.as_rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(std::min(analysis.as_rows[0].d_hours,
+                              analysis.as_rows[1].d_hours), 22.0);
+    EXPECT_DOUBLE_EQ(std::max(analysis.as_rows[0].d_hours,
+                              analysis.as_rows[1].d_hours), 24.0);
+}
+
+TEST(Periodicity, SyncHistogramBucketsSpanEnds) {
+    std::vector<ProbeChanges> probes;
+    ProbeChanges changes;
+    changes.probe = 1;
+    // Span ending at 03:00 UTC with duration 24 h.
+    AddressSpan span;
+    span.probe = 1;
+    span.begin = TimePoint::from_civil({2015, 1, 1, 3, 10, 0});
+    span.end = TimePoint::from_civil({2015, 1, 2, 3, 0, 0});
+    changes.spans.push_back(span);
+    // A 12 h span ending at 15:00 must not appear in the d=24 histogram.
+    AddressSpan other;
+    other.probe = 1;
+    other.begin = TimePoint::from_civil({2015, 1, 3, 3, 0, 0});
+    other.end = TimePoint::from_civil({2015, 1, 3, 15, 0, 0});
+    changes.spans.push_back(other);
+    probes.push_back(changes);
+
+    const auto histogram = sync_histogram(probes, 24.0);
+    EXPECT_EQ(histogram[3], 1);
+    EXPECT_EQ(histogram[15], 0);
+    int total = 0;
+    for (int c : histogram) total += c;
+    EXPECT_EQ(total, 1);
+}
+
+}  // namespace
+}  // namespace dynaddr::core

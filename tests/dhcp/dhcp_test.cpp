@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "dhcp/client.hpp"
+#include "dhcp/server.hpp"
+#include "netcore/error.hpp"
+
+namespace dynaddr::dhcp {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimePoint;
+
+/// Harness wiring a client, server, pool and simulation together with a
+/// controllable link.
+struct Rig {
+    explicit Rig(ServerConfig server_config = {}, ClientConfig client_config = {},
+                 std::uint64_t seed = 1)
+        : sim(TimePoint{0}),
+          pool(pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/24")},
+                                pool::AllocationStrategy::Sticky,
+                                0.0,
+                                0.0,
+                                {}},
+               rng::Stream(seed)),
+          server(server_config, pool, sim),
+          client(client_config, 1, server, sim, [this] { return link_up; }) {
+        client.set_on_acquired([this](IPv4Address a) {
+            acquired.push_back(a);
+            current = a;
+        });
+        client.set_on_lost([this](LossReason reason) {
+            losses.push_back(reason);
+            current.reset();
+        });
+    }
+
+    sim::Simulation sim;
+    pool::AddressPool pool;
+    Server server;
+    Client client;
+    bool link_up = true;
+    std::vector<IPv4Address> acquired;
+    std::vector<LossReason> losses;
+    std::optional<IPv4Address> current;
+};
+
+TEST(DhcpClient, AcquiresOnPowerOn) {
+    Rig rig;
+    rig.client.power_on();
+    ASSERT_EQ(rig.acquired.size(), 1u);
+    EXPECT_EQ(rig.client.state(), ClientState::Bound);
+    EXPECT_TRUE(rig.client.address());
+}
+
+TEST(DhcpClient, RenewalKeepsAddressIndefinitely) {
+    Rig rig(ServerConfig{Duration::hours(2), std::nullopt});
+    rig.client.power_on();
+    rig.sim.run_until(TimePoint{30 * 86400});
+    EXPECT_EQ(rig.acquired.size(), 1u) << "address must never change";
+    EXPECT_TRUE(rig.losses.empty());
+    EXPECT_EQ(rig.client.state(), ClientState::Bound);
+}
+
+TEST(DhcpClient, ShortLinkLossDoesNotChangeAddress) {
+    Rig rig(ServerConfig{Duration::hours(4), std::nullopt});
+    rig.client.power_on();
+    const auto address = *rig.client.address();
+    // Link down for 30 minutes, well inside the lease.
+    rig.sim.run_until(TimePoint{3600});
+    rig.link_up = false;
+    rig.client.link_lost();
+    rig.sim.run_until(TimePoint{3600 + 1800});
+    rig.link_up = true;
+    rig.client.link_restored();
+    rig.sim.run_until(TimePoint{86400});
+    EXPECT_EQ(*rig.client.address(), address);
+    EXPECT_TRUE(rig.losses.empty());
+}
+
+TEST(DhcpClient, LeaseExpiryDuringLongOutageLosesAddress) {
+    Rig rig(ServerConfig{Duration::hours(2), std::nullopt});
+    rig.client.power_on();
+    rig.link_up = false;
+    rig.client.link_lost();
+    // Outage longer than the full lease.
+    rig.sim.run_until(TimePoint{3 * 3600});
+    ASSERT_EQ(rig.losses.size(), 1u);
+    EXPECT_EQ(rig.losses[0], LossReason::LeaseExpired);
+    EXPECT_EQ(rig.client.state(), ClientState::Init);
+    // Sticky pool, no churn: the same address comes back on recovery.
+    rig.link_up = true;
+    rig.client.link_restored();
+    ASSERT_EQ(rig.acquired.size(), 2u);
+    EXPECT_EQ(rig.acquired[0], rig.acquired[1]);
+}
+
+TEST(DhcpClient, RebindsThroughT2BeforeExpiry) {
+    Rig rig(ServerConfig{Duration::hours(4), std::nullopt});
+    rig.client.power_on();
+    rig.link_up = false;
+    rig.client.link_lost();
+    // Past T2 (3.5 h) but before expiry (4 h): client is REBINDING.
+    rig.sim.run_until(TimePoint{3 * 3600 + 2700});
+    EXPECT_EQ(rig.client.state(), ClientState::Rebinding);
+    // Link returns; the next retry renews successfully.
+    rig.link_up = true;
+    rig.sim.run_until(TimePoint{4 * 3600});
+    EXPECT_EQ(rig.client.state(), ClientState::Bound);
+    EXPECT_TRUE(rig.losses.empty());
+}
+
+TEST(DhcpClient, PowerCycleWithInitRebootKeepsAddress) {
+    Rig rig(ServerConfig{Duration::hours(4), std::nullopt});
+    rig.client.power_on();
+    const auto address = *rig.client.address();
+    rig.sim.run_until(TimePoint{600});
+    rig.client.power_off(/*graceful=*/false);
+    ASSERT_EQ(rig.losses.size(), 1u);
+    EXPECT_EQ(rig.losses[0], LossReason::ClientReboot);
+    rig.sim.run_until(TimePoint{700});
+    rig.client.power_on();  // INIT-REBOOT path
+    ASSERT_EQ(rig.acquired.size(), 2u);
+    EXPECT_EQ(rig.acquired[1], address);
+}
+
+TEST(DhcpClient, ForgetfulClientChangesAddressOnReboot) {
+    ClientConfig config;
+    config.remember_lease_across_reboot = false;
+    // The client forgets its lease, but the server-side §4.3.1 binding
+    // still returns the same address on the fresh DISCOVER — the paper's
+    // point about DHCP surviving reboots.
+    Rig rig(ServerConfig{Duration::hours(4), std::nullopt}, config);
+    rig.client.power_on();
+    rig.sim.run_until(TimePoint{600});
+    rig.client.power_off(false);
+    rig.client.power_on();
+    // Server-side §4.3.1 stickiness still yields the same address even
+    // though the client forgot it — the paper's point about DHCP.
+    ASSERT_EQ(rig.acquired.size(), 2u);
+    EXPECT_EQ(rig.acquired[0], rig.acquired[1]);
+}
+
+TEST(DhcpClient, GracefulReleaseFreesAddress) {
+    Rig rig;
+    rig.client.power_on();
+    rig.sim.run_until(TimePoint{600});
+    EXPECT_EQ(rig.server.active_leases(), 1u);
+    rig.client.power_off(/*graceful=*/true);
+    EXPECT_EQ(rig.server.active_leases(), 0u);
+    EXPECT_EQ(rig.pool.allocated_count(), 0u);
+    ASSERT_EQ(rig.losses.size(), 1u);
+    EXPECT_EQ(rig.losses[0], LossReason::ClientRelease);
+}
+
+TEST(DhcpServer, AdministrativeAgeCapForcesRenumbering) {
+    ServerConfig config;
+    config.lease_duration = Duration::hours(2);
+    config.max_address_age = Duration::hours(24);
+    Rig rig(config);
+    rig.client.power_on();
+    rig.sim.run_until(TimePoint{5 * 86400});
+    // Renumbered roughly every day for five days.
+    EXPECT_GE(rig.acquired.size(), 4u);
+    EXPECT_LE(rig.acquired.size(), 7u);
+    for (const auto loss : rig.losses) EXPECT_EQ(loss, LossReason::ServerNak);
+    // Consecutive addresses must differ (binding forgotten on cap).
+    for (std::size_t i = 1; i < rig.acquired.size(); ++i)
+        EXPECT_NE(rig.acquired[i - 1], rig.acquired[i]);
+}
+
+TEST(DhcpServer, LeaseExpiryReturnsAddressToPool) {
+    Rig rig(ServerConfig{Duration::hours(1), std::nullopt});
+    rig.client.power_on();
+    rig.link_up = false;
+    rig.client.link_lost();
+    rig.sim.run_until(TimePoint{2 * 3600});
+    // The sweep event returned the address even with no client activity.
+    EXPECT_EQ(rig.pool.allocated_count(), 0u);
+    EXPECT_EQ(rig.server.active_leases(), 0u);
+}
+
+TEST(DhcpClient, DormantWhenLinkDownAtStart) {
+    Rig rig;
+    rig.link_up = false;
+    rig.client.power_on();
+    EXPECT_EQ(rig.client.state(), ClientState::Init);
+    EXPECT_TRUE(rig.acquired.empty());
+    rig.sim.run_until(TimePoint{3600});
+    EXPECT_TRUE(rig.acquired.empty()) << "no polling while link is down";
+    rig.link_up = true;
+    rig.client.link_restored();
+    EXPECT_EQ(rig.acquired.size(), 1u);
+}
+
+TEST(DhcpServer, AdministrativeRenumberingEvictsAtRenewal) {
+    // One /24 serves the lease; a second block is dark until the swap.
+    sim::Simulation sim(TimePoint{0});
+    pool::PoolConfig pool_config;
+    pool_config.prefixes = {IPv4Prefix::parse_or_throw("10.0.0.0/24"),
+                            IPv4Prefix::parse_or_throw("20.0.0.0/24")};
+    pool_config.strategy = pool::AllocationStrategy::Sticky;
+    pool_config.initially_disabled = {1};
+    pool::AddressPool pool(pool_config, rng::Stream(1));
+    Server server({Duration::hours(2), std::nullopt}, pool, sim);
+    bool link = true;
+    Client client({}, 1, server, sim, [&] { return link; });
+    std::vector<IPv4Address> acquired;
+    std::vector<LossReason> losses;
+    client.set_on_acquired([&](IPv4Address a) { acquired.push_back(a); });
+    client.set_on_lost([&](LossReason r) { losses.push_back(r); });
+
+    client.power_on();
+    ASSERT_EQ(acquired.size(), 1u);
+    EXPECT_EQ(acquired[0].octet(0), 10);
+
+    // Swap blocks at t = 1 day; the client is evicted at its next renewal
+    // and lands in the new block.
+    sim.at(TimePoint{86400}, [&](net::TimePoint) {
+        pool.enable_prefix(1);
+        pool.retire_prefix(0);
+    });
+    sim.run_until(TimePoint{3 * 86400});
+    ASSERT_EQ(acquired.size(), 2u);
+    EXPECT_EQ(acquired[1].octet(0), 20);
+    ASSERT_EQ(losses.size(), 1u);
+    EXPECT_EQ(losses[0], LossReason::ServerNak);
+    // Eviction happened within one lease of the swap.
+    EXPECT_EQ(server.active_leases(), 1u);
+}
+
+TEST(DhcpServer, JitteredAgeCapSpreadsTenures) {
+    // Two clients under the same capped server get different effective
+    // caps; neither exceeds max_age * (1 + jitter).
+    ServerConfig config;
+    config.lease_duration = Duration::hours(2);
+    config.max_address_age = Duration::hours(100);
+    config.max_age_jitter = 0.5;
+    sim::Simulation sim(TimePoint{0});
+    pool::AddressPool pool(
+        pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/20")},
+                         pool::AllocationStrategy::Sticky, 0.0, 0.0, {}},
+        rng::Stream(2));
+    Server server(config, pool, sim);
+    struct Watch {
+        std::unique_ptr<Client> client;
+        std::vector<net::TimePoint> changes;
+    };
+    std::deque<Watch> watches;
+    for (pool::ClientId id = 1; id <= 6; ++id) {
+        Watch& watch = watches.emplace_back();
+        watch.client = std::make_unique<Client>(ClientConfig{}, id, server, sim,
+                                                [] { return true; });
+        auto* changes = &watch.changes;
+        watch.client->set_on_acquired(
+            [changes, &sim](IPv4Address) { changes->push_back(sim.now()); });
+        watch.client->power_on();
+    }
+    sim.run_until(TimePoint{30 * 86400});
+    std::set<std::int64_t> first_tenure_hours;
+    for (const auto& watch : watches) {
+        ASSERT_GE(watch.changes.size(), 2u);
+        const auto tenure = watch.changes[1] - watch.changes[0];
+        EXPECT_GE(tenure.to_hours(), 100.0 * 0.5 - 3.0);
+        EXPECT_LE(tenure.to_hours(), 100.0 * 1.5 + 3.0);
+        first_tenure_hours.insert(tenure.count() / 3600);
+    }
+    EXPECT_GE(first_tenure_hours.size(), 4u) << "caps should spread, not mode";
+}
+
+TEST(DhcpClient, RejectsBadTimerFractions) {
+    sim::Simulation sim(TimePoint{0});
+    pool::AddressPool pool(
+        pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/24")},
+                         pool::AllocationStrategy::Sticky, 0.0, 0.0, {}},
+        rng::Stream(1));
+    Server server({}, pool, sim);
+    ClientConfig bad;
+    bad.t1_fraction = 0.9;
+    bad.t2_fraction = 0.5;
+    EXPECT_THROW(Client(bad, 1, server, sim, [] { return true; }), Error);
+}
+
+}  // namespace
+}  // namespace dynaddr::dhcp

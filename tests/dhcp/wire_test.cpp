@@ -1,0 +1,147 @@
+#include "dhcp/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+#include "netcore/rng.hpp"
+
+namespace dynaddr::dhcp {
+namespace {
+
+using net::IPv4Address;
+
+WireMessage sample_request() {
+    WireMessage message;
+    message.op = 1;
+    message.xid = 0xDEADBEEF;
+    message.secs = 7;
+    message.flags = 0x8000;
+    message.ciaddr = IPv4Address(10, 0, 0, 5);
+    message.chaddr = {0x52, 0x54, 0x00, 0xAB, 0xCD, 0xEF};
+    message.type = MessageType::Request;
+    message.requested_address = IPv4Address(10, 0, 0, 5);
+    message.lease_seconds = 14400;
+    message.server_id = IPv4Address(10, 0, 0, 1);
+    message.client_id = {0x01, 0x52, 0x54, 0x00, 0xAB, 0xCD, 0xEF};
+    return message;
+}
+
+TEST(Wire, EncodeProducesValidFraming) {
+    const auto bytes = encode(sample_request());
+    ASSERT_GE(bytes.size(), 300u);
+    EXPECT_EQ(bytes[0], 1);  // BOOTREQUEST
+    EXPECT_EQ(bytes[1], 1);  // Ethernet
+    EXPECT_EQ(bytes[2], 6);
+    // xid big-endian at offset 4.
+    EXPECT_EQ(bytes[4], 0xDE);
+    EXPECT_EQ(bytes[5], 0xAD);
+    EXPECT_EQ(bytes[6], 0xBE);
+    EXPECT_EQ(bytes[7], 0xEF);
+    // Magic cookie right after the 236-byte header.
+    EXPECT_EQ(bytes[236], 99);
+    EXPECT_EQ(bytes[237], 130);
+    EXPECT_EQ(bytes[238], 83);
+    EXPECT_EQ(bytes[239], 99);
+    // First option is message type 53, length 1, REQUEST (3).
+    EXPECT_EQ(bytes[240], 53);
+    EXPECT_EQ(bytes[241], 1);
+    EXPECT_EQ(bytes[242], 3);
+}
+
+TEST(Wire, RoundTripsAllFields) {
+    const auto original = sample_request();
+    const auto decoded = decode(encode(original));
+    EXPECT_EQ(decoded, original);
+}
+
+TEST(Wire, RoundTripsEveryMessageType) {
+    for (const auto type : {MessageType::Discover, MessageType::Offer,
+                            MessageType::Request, MessageType::Ack,
+                            MessageType::Nak, MessageType::Release}) {
+        WireMessage message;
+        message.op = type == MessageType::Offer || type == MessageType::Ack ||
+                             type == MessageType::Nak
+                         ? 2
+                         : 1;
+        message.type = type;
+        EXPECT_EQ(decode(encode(message)).type, type);
+    }
+}
+
+TEST(Wire, MinimalMessageOmitsAbsentOptions) {
+    WireMessage message;
+    message.type = MessageType::Discover;
+    const auto decoded = decode(encode(message));
+    EXPECT_FALSE(decoded.requested_address);
+    EXPECT_FALSE(decoded.lease_seconds);
+    EXPECT_FALSE(decoded.server_id);
+    EXPECT_TRUE(decoded.client_id.empty());
+}
+
+TEST(Wire, SkipsUnknownOptionsAndPadding) {
+    auto bytes = encode(sample_request());
+    // Find END, replace it with: unknown option (12 "hostname", len 3),
+    // pads, then END.
+    auto end_at = std::find(bytes.begin() + 240, bytes.end(), std::uint8_t(255));
+    ASSERT_NE(end_at, bytes.end());
+    const std::vector<std::uint8_t> extra = {12, 3, 'f', 'o', 'o', 0, 0, 255};
+    std::vector<std::uint8_t> patched(bytes.begin(), end_at);
+    patched.insert(patched.end(), extra.begin(), extra.end());
+    const auto decoded = decode(patched);
+    EXPECT_EQ(decoded, sample_request());
+}
+
+TEST(Wire, RejectsCorruptPackets) {
+    const auto good = encode(sample_request());
+    // Truncated fixed header.
+    EXPECT_THROW(decode(std::span(good).first(100)), ParseError);
+    // Bad op.
+    auto bad_op = good;
+    bad_op[0] = 9;
+    EXPECT_THROW(decode(bad_op), ParseError);
+    // Bad cookie.
+    auto bad_cookie = good;
+    bad_cookie[236] = 0;
+    EXPECT_THROW(decode(bad_cookie), ParseError);
+    // Option overrun: length byte larger than the remaining packet.
+    auto overrun = std::vector<std::uint8_t>(good.begin(), good.begin() + 240);
+    overrun.push_back(53);
+    overrun.push_back(200);  // claims 200 bytes, none follow
+    EXPECT_THROW(decode(overrun), ParseError);
+    // No message type at all.
+    auto no_type = std::vector<std::uint8_t>(good.begin(), good.begin() + 240);
+    no_type.push_back(255);
+    EXPECT_THROW(decode(no_type), ParseError);
+    // Unknown message-type code.
+    auto bad_type = good;
+    bad_type[242] = 13;
+    EXPECT_THROW(decode(bad_type), ParseError);
+}
+
+TEST(Wire, FuzzDecodeNeverCrashes) {
+    // Random mutations of a valid packet must either decode or throw
+    // ParseError — never crash or loop.
+    rng::Stream rng(2024);
+    const auto good = encode(sample_request());
+    for (int round = 0; round < 2000; ++round) {
+        auto mutated = good;
+        const int flips = int(rng.uniform_int(1, 8));
+        for (int f = 0; f < flips; ++f) {
+            const auto at = std::size_t(
+                rng.uniform_int(0, std::int64_t(mutated.size()) - 1));
+            mutated[at] = std::uint8_t(rng.uniform_int(0, 255));
+        }
+        if (rng.bernoulli(0.3))
+            mutated.resize(std::size_t(
+                rng.uniform_int(0, std::int64_t(mutated.size()))));
+        try {
+            const auto decoded = decode(mutated);
+            (void)decoded;
+        } catch (const ParseError&) {
+            // expected for corrupt input
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dynaddr::dhcp

@@ -1,0 +1,246 @@
+// Parameterized property sweeps across the protocol/policy space: the
+// invariants the paper's reasoning rests on must hold for *every* lease
+// duration, session timeout, and pool strategy, not just the preset
+// values.
+
+#include <gtest/gtest.h>
+
+#include "atlas/cpe.hpp"
+#include "atlas/controller.hpp"
+#include "core/pipeline.hpp"
+#include "dhcp/client.hpp"
+#include "atlas/kroot.hpp"
+#include "dhcp/server.hpp"
+#include "isp/presets.hpp"
+#include "netcore/error.hpp"
+#include "ppp/session.hpp"
+
+namespace dynaddr {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimePoint;
+
+// ---------------------------------------------------------------------------
+// Property: a DHCP client that can always reach its server keeps one
+// address forever, for any lease duration (RFC 2131's design goal, the
+// premise of the paper's DHCP-vs-PPP split).
+// ---------------------------------------------------------------------------
+
+class DhcpLeaseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DhcpLeaseSweep, HealthyClientNeverChangesAddress) {
+    const auto lease = Duration::minutes(GetParam());
+    sim::Simulation sim(TimePoint{0});
+    pool::AddressPool pool(
+        pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/24")},
+                         pool::AllocationStrategy::Sticky, 0.5, 0.0},
+        rng::Stream(1));
+    dhcp::Server server({lease, std::nullopt}, pool, sim);
+    dhcp::Client client({}, 1, server, sim, [] { return true; });
+    int acquisitions = 0;
+    client.set_on_acquired([&](IPv4Address) { ++acquisitions; });
+    client.power_on();
+    sim.run_until(TimePoint{60 * 86400});
+    EXPECT_EQ(acquisitions, 1) << "lease " << lease.to_string();
+    EXPECT_EQ(client.state(), dhcp::ClientState::Bound);
+}
+
+TEST_P(DhcpLeaseSweep, OutageShorterThanHalfLeaseIsInvisible) {
+    const auto lease = Duration::minutes(GetParam());
+    sim::Simulation sim(TimePoint{0});
+    pool::AddressPool pool(
+        pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/24")},
+                         pool::AllocationStrategy::Sticky, 10.0, 0.0},
+        rng::Stream(1));
+    dhcp::Server server({lease, std::nullopt}, pool, sim);
+    bool link = true;
+    dhcp::Client client({}, 1, server, sim, [&] { return link; });
+    std::vector<IPv4Address> acquired;
+    client.set_on_acquired([&](IPv4Address a) { acquired.push_back(a); });
+    client.power_on();
+    // Outage of a third of the lease right after a renewal: the lease is
+    // always still valid when the link returns — even with vicious churn
+    // the address cannot move.
+    sim.run_until(TimePoint{lease.count() / 2 + 5});
+    link = false;
+    client.link_lost();
+    sim.run_until(TimePoint{lease.count() / 2 + 5 + lease.count() / 3});
+    link = true;
+    client.link_restored();
+    sim.run_until(TimePoint{10 * lease.count()});
+    ASSERT_GE(acquired.size(), 1u);
+    for (const auto& addr : acquired) EXPECT_EQ(addr, acquired.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(LeaseDurations, DhcpLeaseSweep,
+                         ::testing::Values(30, 60, 120, 240, 720, 1440, 10080),
+                         [](const auto& info) {
+                             return "minutes_" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Property: a PPP session with Session-Timeout d produces accounting
+// sessions of exactly d (absent outages), for any d — this is what makes
+// the total-time-fraction mode land on d.
+// ---------------------------------------------------------------------------
+
+class PppTimeoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PppTimeoutSweep, SessionsLastExactlyTheTimeout) {
+    const auto timeout = Duration::hours(GetParam());
+    sim::Simulation sim(TimePoint{0});
+    pool::AddressPool pool(
+        pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/20")},
+                         pool::AllocationStrategy::RandomSpread, 0.0, 0.0},
+        rng::Stream(2));
+    ppp::RadiusServer server({timeout}, pool, sim);
+    ppp::Session session({}, 1, server, sim, rng::Stream(3), [] { return true; });
+    session.power_on();
+    sim.run_until(TimePoint{0} + timeout * 12 + Duration::hours(1));
+    ASSERT_GE(server.records().size(), 10u);
+    for (const auto& record : server.records()) {
+        EXPECT_EQ(record.reason, ppp::StopReason::SessionTimeout);
+        EXPECT_EQ(record.duration(), timeout);
+    }
+}
+
+TEST_P(PppTimeoutSweep, PipelineRecoversTheConfiguredPeriod) {
+    // End to end on a single-ISP world: configure d, detect d.
+    const auto timeout = Duration::hours(GetParam());
+    isp::ScenarioConfig config;
+    config.window = {TimePoint::from_date(2015, 1, 1),
+                     TimePoint::from_date(2015, 1, 1) + timeout * 40};
+    isp::IspSpec spec;
+    spec.asn = 64501;
+    spec.name = "SweepNet";
+    spec.countries = {"DE"};
+    spec.pool_prefixes = {IPv4Prefix::parse_or_throw("100.96.0.0/22")};
+    spec.announced_prefixes = {IPv4Prefix::parse_or_throw("100.96.0.0/16")};
+    isp::Cohort cohort;
+    cohort.probe_count = 6;
+    cohort.protocol = atlas::CpeConfig::Wan::Ppp;
+    cohort.session_timeout = timeout;
+    cohort.skip_renumber_probability = 0.0;
+    cohort.outages = {};  // default rates
+    spec.cohorts = {cohort};
+    config.isps = {spec};
+    config.seed = 11;
+    const auto scenario = isp::run_scenario(config);
+    core::AnalysisPipeline pipeline;
+    const auto results = pipeline.run(scenario.bundle, scenario.prefix_table,
+                                      scenario.registry, config.window);
+    bool found = false;
+    for (const auto& row : results.periodicity.as_rows)
+        found = found || (row.asn == 64501 && row.d_hours == double(GetParam()));
+    EXPECT_TRUE(found) << "period " << GetParam() << "h not recovered";
+}
+
+INSTANTIATE_TEST_SUITE_P(Timeouts, PppTimeoutSweep,
+                         ::testing::Values(12, 22, 24, 36, 48, 92, 168),
+                         [](const auto& info) {
+                             return "hours_" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Property: pool invariants hold under every allocation strategy.
+// ---------------------------------------------------------------------------
+
+class PoolStrategySweep
+    : public ::testing::TestWithParam<pool::AllocationStrategy> {};
+
+TEST_P(PoolStrategySweep, ChurnPreservesInvariants) {
+    pool::PoolConfig config;
+    config.prefixes = {IPv4Prefix::parse_or_throw("10.0.0.0/26"),
+                       IPv4Prefix::parse_or_throw("10.0.1.0/26"),
+                       IPv4Prefix::parse_or_throw("10.0.2.0/26")};
+    config.strategy = GetParam();
+    config.churn_per_hour = 0.2;
+    config.locality_bias = 0.5;
+    pool::AddressPool pool(config, rng::Stream(5));
+    rng::Stream driver(6);
+    std::map<pool::ClientId, IPv4Address> held;
+    for (int step = 0; step < 3000; ++step) {
+        const auto client = pool::ClientId(driver.uniform_int(1, 100));
+        if (held.contains(client)) {
+            pool.release(client);
+            held.erase(client);
+        } else {
+            const auto addr =
+                pool.allocate(client, TimePoint{step * 60}, std::nullopt,
+                              TimePoint{0});
+            if (addr) {
+                // Never hand out an address someone else holds.
+                for (const auto& [other, other_addr] : held)
+                    ASSERT_NE(*addr, other_addr) << "double assignment";
+                held[client] = *addr;
+            }
+        }
+        ASSERT_EQ(pool.allocated_count(), held.size());
+        ASSERT_EQ(pool.free_count() + pool.allocated_count(), pool.capacity());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PoolStrategySweep,
+    ::testing::Values(pool::AllocationStrategy::Sticky,
+                      pool::AllocationStrategy::Sequential,
+                      pool::AllocationStrategy::RandomSpread,
+                      pool::AllocationStrategy::PrefixHop),
+    [](const auto& info) {
+        switch (info.param) {
+            case pool::AllocationStrategy::Sticky: return "Sticky";
+            case pool::AllocationStrategy::Sequential: return "Sequential";
+            case pool::AllocationStrategy::RandomSpread: return "RandomSpread";
+            case pool::AllocationStrategy::PrefixHop: return "PrefixHop";
+        }
+        return "Unknown";
+    });
+
+// ---------------------------------------------------------------------------
+// Property: the k-root thinning equivalence holds across cadences.
+// ---------------------------------------------------------------------------
+
+class ThinningSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThinningSweep, OutageBoundsMatchFullCadence) {
+    // One 2 h network outage at noon; emit with base cadence = param
+    // minutes and compare detector-facing bounds against full cadence.
+    atlas::Timeline timeline(1);
+    timeline.set_address(TimePoint{0},
+                         atlas::PeerAddress::ipv4(IPv4Address(10, 0, 0, 1)));
+    timeline.net_down_begin(TimePoint{43200});
+    timeline.net_down_end(TimePoint{50400});
+    timeline.finalize(TimePoint{86400});
+
+    auto bounds = [&](Duration base) {
+        atlas::KRootSamplingPolicy policy;
+        policy.base_cadence = base;
+        policy.dense_cadence = Duration::seconds(240);
+        policy.dense_window = Duration::minutes(20);
+        policy.partial_loss_probability = 0.0;
+        const auto records = atlas::emit_kroot_records(
+            timeline, {TimePoint{0}, TimePoint{86400}}, policy, rng::Stream(1));
+        std::pair<std::int64_t, std::int64_t> out{-1, -1};
+        for (const auto& r : records)
+            if (r.success == 0) {
+                if (out.first < 0) out.first = r.timestamp.unix_seconds();
+                out.second = r.timestamp.unix_seconds();
+            }
+        return out;
+    };
+    const auto full = bounds(Duration::seconds(240));
+    const auto thinned = bounds(Duration::minutes(GetParam()));
+    EXPECT_EQ(full, thinned) << "base cadence " << GetParam() << " min";
+}
+
+INSTANTIATE_TEST_SUITE_P(Cadences, ThinningSweep,
+                         ::testing::Values(4, 8, 60, 120, 240, 480),
+                         [](const auto& info) {
+                             return "minutes_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dynaddr

@@ -1,0 +1,63 @@
+#include "netcore/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::chart {
+namespace {
+
+TEST(CdfChart, RendersSeriesAndLegend) {
+    Series s1{"alpha", {{1.0, 0.2}, {2.0, 0.6}, {3.0, 1.0}}};
+    Series s2{"beta", {{1.5, 1.0}}};
+    ChartOptions options;
+    options.x_label = "hours";
+    const std::string out = render_cdf_chart({s1, s2}, options);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("*=alpha"), std::string::npos);
+    EXPECT_NE(out.find("+=beta"), std::string::npos);
+    EXPECT_NE(out.find("hours"), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(CdfChart, HandlesEmptyAndLogScale) {
+    EXPECT_EQ(render_cdf_chart({}, {}), "(no series)\n");
+    Series s{"x", {{1.0, 0.5}, {1000.0, 1.0}}};
+    ChartOptions options;
+    options.log_x = true;
+    const std::string out = render_cdf_chart({s}, options);
+    EXPECT_NE(out.find("1000"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToLargestValue) {
+    const std::string out =
+        render_bar_chart({{"a", 10.0}, {"bb", 5.0}, {"c", 0.0}});
+    // "a" has twice the hashes of "bb".
+    const auto line_a = out.substr(0, out.find('\n'));
+    const auto rest = out.substr(out.find('\n') + 1);
+    const auto line_b = rest.substr(0, rest.find('\n'));
+    const auto hashes = [](const std::string& line) {
+        return std::count(line.begin(), line.end(), '#');
+    };
+    EXPECT_EQ(hashes(line_a), 2 * hashes(line_b));
+    EXPECT_EQ(render_bar_chart({}), "(no data)\n");
+}
+
+TEST(FractionChart, ShowsPercentages) {
+    const std::string out = render_fraction_chart({{"row", 1.0, 4.0}});
+    EXPECT_NE(out.find("25.0%"), std::string::npos);
+    EXPECT_NE(out.find("(1/4)"), std::string::npos);
+}
+
+TEST(Table, AlignsAndValidates) {
+    const std::string out = render_table({"Name", "N"}, {{"alpha", "10"},
+                                                         {"b", "5"}});
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Numeric column right-aligned: " 5" under "10".
+    EXPECT_THROW(render_table({"a"}, {{"1", "2"}}), Error);
+    EXPECT_THROW(render_table({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace dynaddr::chart

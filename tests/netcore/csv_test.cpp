@@ -1,0 +1,88 @@
+#include "netcore/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::csv {
+namespace {
+
+TEST(SplitLine, PlainFields) {
+    EXPECT_EQ(split_line("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split_line(""), (std::vector<std::string>{""}));
+    EXPECT_EQ(split_line("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split_line(","), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitLine, QuotedFields) {
+    EXPECT_EQ(split_line(R"("a,b",c)"), (std::vector<std::string>{"a,b", "c"}));
+    EXPECT_EQ(split_line(R"("say ""hi""")"),
+              (std::vector<std::string>{"say \"hi\""}));
+    EXPECT_THROW(split_line(R"("unterminated)"), ParseError);
+}
+
+TEST(JoinLine, QuotesOnlyWhenNeeded) {
+    EXPECT_EQ(join_line({"a", "b"}), "a,b");
+    EXPECT_EQ(join_line({"a,b", "c"}), R"("a,b",c)");
+    EXPECT_EQ(join_line({"say \"hi\""}), R"("say ""hi""")");
+}
+
+TEST(JoinSplit, RoundTripsArbitraryFields) {
+    const std::vector<std::string> fields = {"plain", "with,comma",
+                                             "with\"quote", "", "a,b\",c\"\""};
+    EXPECT_EQ(split_line(join_line(fields)), fields);
+}
+
+TEST(WriterReader, RoundTrip) {
+    std::stringstream buffer;
+    {
+        Writer writer(buffer, {"id", "name"});
+        writer.write_row({"1", "alpha"});
+        writer.write_row({"2", "beta,comma"});
+        EXPECT_EQ(writer.rows_written(), 2u);
+    }
+    Reader reader(buffer);
+    EXPECT_EQ(reader.header(), (std::vector<std::string>{"id", "name"}));
+    EXPECT_EQ(reader.column("name"), 1u);
+    EXPECT_THROW((void)reader.column("nope"), Error);
+    auto row1 = reader.next_row();
+    ASSERT_TRUE(row1);
+    EXPECT_EQ((*row1)[1], "alpha");
+    auto row2 = reader.next_row();
+    ASSERT_TRUE(row2);
+    EXPECT_EQ((*row2)[1], "beta,comma");
+    EXPECT_FALSE(reader.next_row());
+}
+
+TEST(Writer, EnforcesWidth) {
+    std::stringstream buffer;
+    Writer writer(buffer, {"a", "b"});
+    EXPECT_THROW(writer.write_row({"only-one"}), Error);
+    EXPECT_THROW(Writer(buffer, {}), Error);
+}
+
+TEST(Reader, RejectsEmptyStreamAndBadRows) {
+    std::stringstream empty;
+    EXPECT_THROW(Reader{empty}, ParseError);
+
+    std::stringstream bad("a,b\n1,2,3\n");
+    Reader reader(bad);
+    EXPECT_THROW(reader.next_row(), ParseError);
+}
+
+TEST(Reader, SkipsBlankLinesAndCarriageReturns) {
+    std::stringstream buffer("a,b\r\n\r\n1,2\r\n\n3,4\n");
+    Reader reader(buffer);
+    auto row1 = reader.next_row();
+    ASSERT_TRUE(row1);
+    EXPECT_EQ((*row1)[0], "1");
+    auto row2 = reader.next_row();
+    ASSERT_TRUE(row2);
+    EXPECT_EQ((*row2)[1], "4");
+    EXPECT_FALSE(reader.next_row());
+}
+
+}  // namespace
+}  // namespace dynaddr::csv

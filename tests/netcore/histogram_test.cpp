@@ -1,0 +1,146 @@
+#include "netcore/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::stats {
+namespace {
+
+TEST(Cdf, EmptyBehaviour) {
+    Cdf cdf;
+    EXPECT_EQ(cdf.sample_count(), 0u);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at(1.0), 0.0);
+    EXPECT_THROW((void)cdf.quantile(0.5), Error);
+    EXPECT_TRUE(cdf.points().empty());
+}
+
+TEST(Cdf, UnweightedFractions) {
+    Cdf cdf;
+    for (double v : {1.0, 2.0, 2.0, 3.0}) cdf.add(v);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at(1.5), 0.0);
+}
+
+TEST(Cdf, WeightedFractionsMatchPaperExample) {
+    // The paper's Table 1: six interior durations, in hours:
+    // 14.2, 0.7, 7.2, 23.6, 23.6, 23.6 (we use the quantized 24s below).
+    // "the CPE was assigned 24 hour long addresses for roughly
+    // three-quarters of the total measured time."
+    Cdf cdf;
+    for (double d : {14.0, 1.0, 7.0, 24.0, 24.0, 24.0}) cdf.add(d, d);
+    EXPECT_NEAR(cdf.fraction_at(24.0), 72.0 / 94.0, 1e-12);
+    EXPECT_GT(cdf.fraction_at(24.0), 0.74);
+}
+
+TEST(Cdf, IgnoresNonPositiveWeights) {
+    Cdf cdf;
+    cdf.add(1.0, 0.0);
+    cdf.add(1.0, -2.0);
+    EXPECT_EQ(cdf.sample_count(), 0u);
+    cdf.add(1.0, 1.0);
+    EXPECT_EQ(cdf.sample_count(), 1u);
+}
+
+TEST(Cdf, Quantiles) {
+    Cdf cdf;
+    for (int i = 1; i <= 100; ++i) cdf.add(double(i));
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+    EXPECT_THROW((void)cdf.quantile(1.5), Error);
+}
+
+TEST(Cdf, PointsAreMonotone) {
+    Cdf cdf;
+    for (double v : {5.0, 1.0, 3.0, 3.0, 9.0}) cdf.add(v);
+    const auto points = cdf.points();
+    ASSERT_EQ(points.size(), 4u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LT(points[i - 1].x, points[i].x);
+        EXPECT_LT(points[i - 1].y, points[i].y);
+    }
+    EXPECT_DOUBLE_EQ(points.back().y, 1.0);
+}
+
+TEST(Cdf, ModesSortedByMass) {
+    Cdf cdf;
+    for (int i = 0; i < 6; ++i) cdf.add(24.0, 24.0);
+    for (int i = 0; i < 2; ++i) cdf.add(48.0, 48.0);
+    cdf.add(3.0, 3.0);
+    const auto modes = cdf.modes(0.25);
+    ASSERT_EQ(modes.size(), 2u);
+    EXPECT_DOUBLE_EQ(modes[0].x, 24.0);
+    EXPECT_DOUBLE_EQ(modes[1].x, 48.0);
+    EXPECT_GT(modes[0].y, modes[1].y);
+    EXPECT_TRUE(cdf.modes(0.9).empty());
+}
+
+TEST(BinnedHistogram, ValidatesEdges) {
+    EXPECT_THROW(BinnedHistogram({1.0}), Error);
+    EXPECT_THROW(BinnedHistogram({1.0, 1.0}), Error);
+    EXPECT_THROW(BinnedHistogram({2.0, 1.0}), Error);
+}
+
+TEST(BinnedHistogram, BinsAndSaturation) {
+    BinnedHistogram h({0.0, 10.0, 20.0});
+    h.add(-5.0);   // saturates into bin 0
+    h.add(0.0);    // bin 0
+    h.add(9.999);  // bin 0
+    h.add(10.0);   // bin 1
+    h.add(25.0);   // saturates into bin 1
+    EXPECT_DOUBLE_EQ(h.bin_weight(0), 3.0);
+    EXPECT_DOUBLE_EQ(h.bin_weight(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.total_weight(), 5.0);
+}
+
+TEST(BinnedHistogram, NoSaturationDropsOutliers) {
+    BinnedHistogram h({0.0, 1.0}, /*saturate=*/false);
+    h.add(-1.0);
+    h.add(2.0);
+    EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+    EXPECT_FALSE(h.bin_of(2.0));
+    EXPECT_TRUE(h.bin_of(0.5));
+}
+
+TEST(BinnedHistogram, PaperDurationBins) {
+    auto h = BinnedHistogram::outage_duration_bins();
+    EXPECT_EQ(h.bin_count(), 12u);
+    EXPECT_EQ(h.bin_label(0), "< 5m");
+    EXPECT_EQ(h.bin_label(1), "5m-10m");
+    EXPECT_EQ(h.bin_label(5), "1h-3h");
+    EXPECT_EQ(h.bin_label(9), "1d-3d");
+    EXPECT_EQ(h.bin_label(10), "3d-1w");
+    EXPECT_EQ(h.bin_label(11), "> 1w");
+    EXPECT_EQ(*h.bin_of(4.5 * 60), 0u);
+    EXPECT_EQ(*h.bin_of(7 * 60), 1u);
+    EXPECT_EQ(*h.bin_of(2 * 86400), 9u);
+    EXPECT_EQ(*h.bin_of(30 * 86400.0), 11u);
+    EXPECT_THROW(h.bin_label(12), Error);
+}
+
+TEST(Summary, WelfordMoments) {
+    Summary s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, SingleSampleVarianceIsZero) {
+    Summary s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace dynaddr::stats

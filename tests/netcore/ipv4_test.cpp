@@ -1,0 +1,159 @@
+#include "netcore/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::net {
+namespace {
+
+TEST(IPv4Address, ParsesDottedQuad) {
+    auto addr = IPv4Address::parse("192.0.2.7");
+    ASSERT_TRUE(addr);
+    EXPECT_EQ(addr->value(), 0xC0000207u);
+    EXPECT_EQ(addr->octet(0), 192);
+    EXPECT_EQ(addr->octet(3), 7);
+}
+
+TEST(IPv4Address, FormatsDottedQuad) {
+    EXPECT_EQ(IPv4Address(192, 0, 2, 7).to_string(), "192.0.2.7");
+    EXPECT_EQ(IPv4Address{}.to_string(), "0.0.0.0");
+    EXPECT_EQ(IPv4Address(255, 255, 255, 255).to_string(), "255.255.255.255");
+}
+
+TEST(IPv4Address, RejectsMalformedText) {
+    const char* bad[] = {"",          "1.2.3",      "1.2.3.4.5", "256.1.1.1",
+                         "1.2.3.256", "a.b.c.d",    "1..2.3",    "1.2.3.4 ",
+                         " 1.2.3.4",  "01.2.3.4",   "+1.2.3.4",  "1.2.3.-4",
+                         "1,2,3,4",   "1.2.3.4x"};
+    for (const char* text : bad)
+        EXPECT_FALSE(IPv4Address::parse(text)) << "accepted '" << text << "'";
+}
+
+TEST(IPv4Address, ParseOrThrowThrowsOnBadInput) {
+    EXPECT_THROW(IPv4Address::parse_or_throw("nope"), ParseError);
+    EXPECT_EQ(IPv4Address::parse_or_throw("10.0.0.1"), IPv4Address(10, 0, 0, 1));
+}
+
+TEST(IPv4Address, OrdersNumerically) {
+    EXPECT_LT(IPv4Address(1, 2, 3, 4), IPv4Address(1, 2, 3, 5));
+    EXPECT_LT(IPv4Address(9, 255, 255, 255), IPv4Address(10, 0, 0, 0));
+}
+
+TEST(IPv4Address, ClassifiesRfc1918) {
+    EXPECT_TRUE(IPv4Address(10, 1, 2, 3).is_rfc1918());
+    EXPECT_TRUE(IPv4Address(172, 16, 0, 1).is_rfc1918());
+    EXPECT_TRUE(IPv4Address(172, 31, 255, 255).is_rfc1918());
+    EXPECT_FALSE(IPv4Address(172, 32, 0, 0).is_rfc1918());
+    EXPECT_TRUE(IPv4Address(192, 168, 5, 5).is_rfc1918());
+    EXPECT_FALSE(IPv4Address(192, 169, 0, 0).is_rfc1918());
+    EXPECT_FALSE(IPv4Address(11, 0, 0, 0).is_rfc1918());
+}
+
+TEST(IPv4Address, ClassifiesLoopbackAndUnspecified) {
+    EXPECT_TRUE(IPv4Address(127, 0, 0, 1).is_loopback());
+    EXPECT_FALSE(IPv4Address(128, 0, 0, 1).is_loopback());
+    EXPECT_TRUE(IPv4Address{}.is_unspecified());
+}
+
+// Round-trip property over a deterministic sweep of values.
+class IPv4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IPv4RoundTrip, TextRoundTrips) {
+    const IPv4Address addr{GetParam()};
+    auto parsed = IPv4Address::parse(addr.to_string());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IPv4RoundTrip,
+                         ::testing::Values(0u, 1u, 0x01020304u, 0x7F000001u,
+                                           0xC0A80101u, 0xDEADBEEFu, 0xFFFFFFFFu,
+                                           0x0A0B0C0Du, 0x80000000u, 0x00FFFF00u));
+
+TEST(IPv4Prefix, CanonicalizesHostBits) {
+    IPv4Prefix prefix{IPv4Address(192, 0, 2, 77), 24};
+    EXPECT_EQ(prefix.base(), IPv4Address(192, 0, 2, 0));
+    EXPECT_EQ(prefix.to_string(), "192.0.2.0/24");
+}
+
+TEST(IPv4Prefix, RejectsBadLength) {
+    EXPECT_THROW((IPv4Prefix{IPv4Address{}, 33}), Error);
+    EXPECT_THROW((IPv4Prefix{IPv4Address{}, -1}), Error);
+}
+
+TEST(IPv4Prefix, ParsesAndRejects) {
+    auto p = IPv4Prefix::parse("10.0.0.0/8");
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->length(), 8);
+    EXPECT_FALSE(IPv4Prefix::parse("10.0.0.0"));
+    EXPECT_FALSE(IPv4Prefix::parse("10.0.0.0/33"));
+    EXPECT_FALSE(IPv4Prefix::parse("10.0.0.0/-1"));
+    EXPECT_FALSE(IPv4Prefix::parse("10.0.0.0/8x"));
+    EXPECT_FALSE(IPv4Prefix::parse("/8"));
+}
+
+TEST(IPv4Prefix, ContainsAddresses) {
+    const auto prefix = IPv4Prefix::parse_or_throw("192.0.2.0/24");
+    EXPECT_TRUE(prefix.contains(IPv4Address(192, 0, 2, 0)));
+    EXPECT_TRUE(prefix.contains(IPv4Address(192, 0, 2, 255)));
+    EXPECT_FALSE(prefix.contains(IPv4Address(192, 0, 3, 0)));
+    EXPECT_FALSE(prefix.contains(IPv4Address(192, 0, 1, 255)));
+}
+
+TEST(IPv4Prefix, ContainsPrefixes) {
+    const auto p16 = IPv4Prefix::parse_or_throw("10.1.0.0/16");
+    const auto p24 = IPv4Prefix::parse_or_throw("10.1.2.0/24");
+    EXPECT_TRUE(p16.contains(p24));
+    EXPECT_FALSE(p24.contains(p16));
+    EXPECT_TRUE(p16.contains(p16));
+    EXPECT_FALSE(p16.contains(IPv4Prefix::parse_or_throw("10.2.0.0/24")));
+}
+
+TEST(IPv4Prefix, SizeFirstLastAt) {
+    const auto prefix = IPv4Prefix::parse_or_throw("192.0.2.0/30");
+    EXPECT_EQ(prefix.size(), 4u);
+    EXPECT_EQ(prefix.first(), IPv4Address(192, 0, 2, 0));
+    EXPECT_EQ(prefix.last(), IPv4Address(192, 0, 2, 3));
+    EXPECT_EQ(prefix.at(2), IPv4Address(192, 0, 2, 2));
+    EXPECT_THROW((void)prefix.at(4), Error);
+}
+
+TEST(IPv4Prefix, ZeroLengthCoversEverything) {
+    const IPv4Prefix all{};
+    EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+    EXPECT_TRUE(all.contains(IPv4Address(255, 255, 255, 255)));
+    EXPECT_EQ(all.mask(), 0u);
+}
+
+TEST(IPv4Prefix, EnclosingHelpers) {
+    const IPv4Address addr(91, 55, 174, 103);
+    EXPECT_EQ(IPv4Prefix::slash16_of(addr).to_string(), "91.55.0.0/16");
+    EXPECT_EQ(IPv4Prefix::slash8_of(addr).to_string(), "91.0.0.0/8");
+}
+
+// Property: every address inside a prefix maps back into it; the one past
+// last() does not.
+class PrefixContainment : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrefixContainment, BoundariesAreTight) {
+    const auto prefix = IPv4Prefix::parse_or_throw(GetParam());
+    EXPECT_TRUE(prefix.contains(prefix.first()));
+    EXPECT_TRUE(prefix.contains(prefix.last()));
+    if (prefix.first().value() != 0) {
+        EXPECT_FALSE(
+            prefix.contains(IPv4Address{prefix.first().value() - 1}));
+    }
+    if (prefix.last().value() != 0xFFFFFFFFu) {
+        EXPECT_FALSE(prefix.contains(IPv4Address{prefix.last().value() + 1}));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrefixContainment,
+                         ::testing::Values("10.0.0.0/8", "172.16.0.0/12",
+                                           "192.168.1.0/24", "81.128.0.0/12",
+                                           "87.128.0.0/14", "1.2.3.4/32",
+                                           "128.0.0.0/1", "230.1.44.0/22"));
+
+}  // namespace
+}  // namespace dynaddr::net

@@ -1,0 +1,113 @@
+#include "netcore/ipv6.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::net {
+namespace {
+
+TEST(IPv6Address, ParsesFullForm) {
+    auto addr = IPv6Address::parse("2001:0db8:0000:0000:0000:ff00:0042:8329");
+    ASSERT_TRUE(addr);
+    EXPECT_EQ(addr->hi(), 0x20010db800000000ULL);
+    EXPECT_EQ(addr->lo(), 0x0000ff0000428329ULL);
+}
+
+TEST(IPv6Address, ParsesCompressedForms) {
+    EXPECT_EQ(IPv6Address::parse("::")->hi(), 0u);
+    EXPECT_EQ(IPv6Address::parse("::")->lo(), 0u);
+    EXPECT_EQ(IPv6Address::parse("::1")->lo(), 1u);
+    EXPECT_EQ(IPv6Address::parse("1::")->hi(), 0x0001000000000000ULL);
+    auto mid = IPv6Address::parse("2001:db8::ff00:42:8329");
+    ASSERT_TRUE(mid);
+    EXPECT_EQ(mid->hi(), 0x20010db800000000ULL);
+    EXPECT_EQ(mid->lo(), 0x0000ff0000428329ULL);
+    auto fe80 = IPv6Address::parse("fe80::1");
+    ASSERT_TRUE(fe80);
+    EXPECT_EQ(fe80->hi(), 0xfe80000000000000ULL);
+}
+
+TEST(IPv6Address, RejectsMalformed) {
+    const char* bad[] = {"",
+                         ":",
+                         ":::",
+                         "1:2:3:4:5:6:7",        // 7 groups, no gap
+                         "1:2:3:4:5:6:7:8:9",    // 9 groups
+                         "::1:2:3:4:5:6:7:8",    // gap + 8
+                         "1::2::3",              // two gaps
+                         "12345::",              // group too wide
+                         "g::1",                 // bad hex
+                         "1:2:3:4:5:6:7:",       // trailing colon
+                         "1.2.3.4"};             // v4 text
+    for (const char* text : bad)
+        EXPECT_FALSE(IPv6Address::parse(text)) << "accepted '" << text << "'";
+}
+
+TEST(IPv6Address, Rfc5952Formatting) {
+    EXPECT_EQ(IPv6Address(0, 0).to_string(), "::");
+    EXPECT_EQ(IPv6Address(0, 1).to_string(), "::1");
+    EXPECT_EQ(IPv6Address(0x0001000000000000ULL, 0).to_string(), "1::");
+    EXPECT_EQ(IPv6Address(0x20010db800000000ULL, 1).to_string(), "2001:db8::1");
+    // Longest run wins; first run breaks ties.
+    EXPECT_EQ(
+        IPv6Address::parse("2001:0:0:1:0:0:0:1")->to_string(),
+        "2001:0:0:1::1");
+    // A single zero group is not compressed.
+    EXPECT_EQ(IPv6Address::parse("2001:db8:0:1:1:1:1:1")->to_string(),
+              "2001:db8:0:1:1:1:1:1");
+    // Lowercase hex.
+    EXPECT_EQ(IPv6Address::parse("2001:DB8::FF")->to_string(), "2001:db8::ff");
+}
+
+TEST(IPv6Address, RoundTripsThroughText) {
+    const IPv6Address cases[] = {
+        {0, 0},
+        {0, 1},
+        {0x20010db800010000ULL, 0xdeadbeefcafef00dULL},
+        {0xfe80000000000000ULL, 0x0200aafffeBB0001ULL},
+        {0xffffffffffffffffULL, 0xffffffffffffffffULL},
+        {0x0000000100000000ULL, 0},
+    };
+    for (const auto& addr : cases) {
+        auto parsed = IPv6Address::parse(addr.to_string());
+        ASSERT_TRUE(parsed) << addr.to_string();
+        EXPECT_EQ(*parsed, addr) << addr.to_string();
+    }
+}
+
+TEST(IPv6Address, GroupsAndPrefix64) {
+    const auto addr = IPv6Address::parse_or_throw("2001:db8:aaaa:bbbb:1:2:3:4");
+    EXPECT_EQ(addr.group(0), 0x2001);
+    EXPECT_EQ(addr.group(3), 0xbbbb);
+    EXPECT_EQ(addr.group(7), 0x4);
+    EXPECT_EQ(addr.prefix64().to_string(), "2001:db8:aaaa:bbbb::");
+    EXPECT_EQ(addr.interface_id(), 0x0001000200030004ULL);
+    EXPECT_THROW(IPv6Address::parse_or_throw("nope"), ParseError);
+}
+
+TEST(IPv6Prefix, ContainsAcrossHalves) {
+    const auto p48 = IPv6Prefix::parse_or_throw("2001:db8:aaaa::/48");
+    EXPECT_TRUE(p48.contains(IPv6Address::parse_or_throw("2001:db8:aaaa:1::5")));
+    EXPECT_FALSE(p48.contains(IPv6Address::parse_or_throw("2001:db8:aaab::5")));
+    const auto p64 = IPv6Prefix::parse_or_throw("2001:db8::/64");
+    EXPECT_TRUE(p64.contains(IPv6Address::parse_or_throw("2001:db8::ffff")));
+    EXPECT_FALSE(p64.contains(IPv6Address::parse_or_throw("2001:db8:0:1::1")));
+    const auto p96 = IPv6Prefix::parse_or_throw("2001:db8::1:0:0/96");
+    EXPECT_TRUE(p96.contains(IPv6Address::parse_or_throw("2001:db8::1:dead:beef")));
+    EXPECT_FALSE(p96.contains(IPv6Address::parse_or_throw("2001:db8::2:0:1")));
+    const IPv6Prefix all{};
+    EXPECT_TRUE(all.contains(IPv6Address::parse_or_throw("ffff::")));
+}
+
+TEST(IPv6Prefix, CanonicalizesAndValidates) {
+    const auto prefix = IPv6Prefix(
+        IPv6Address::parse_or_throw("2001:db8:aaaa:bbbb:1:2:3:4"), 48);
+    EXPECT_EQ(prefix.to_string(), "2001:db8:aaaa::/48");
+    EXPECT_THROW(IPv6Prefix(IPv6Address{}, 129), Error);
+    EXPECT_FALSE(IPv6Prefix::parse("2001:db8::/200"));
+    EXPECT_FALSE(IPv6Prefix::parse("2001:db8::"));
+}
+
+}  // namespace
+}  // namespace dynaddr::net

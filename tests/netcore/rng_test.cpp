@@ -1,0 +1,172 @@
+#include "netcore/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::rng {
+namespace {
+
+TEST(Stream, DeterministicPerSeed) {
+    Stream a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next_u64();
+        EXPECT_EQ(va, b.next_u64());
+        (void)c;
+    }
+    Stream d(42), e(43);
+    int differing = 0;
+    for (int i = 0; i < 100; ++i)
+        if (d.next_u64() != e.next_u64()) ++differing;
+    EXPECT_GT(differing, 90);
+}
+
+TEST(Stream, ZeroSeedIsValid) {
+    Stream s(0);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 10; ++i) x |= s.next_u64();
+    EXPECT_NE(x, 0u);
+}
+
+TEST(Stream, ChildStreamsAreIndependentOfDerivationOrder) {
+    Stream parent(7);
+    Stream a1 = parent.child("alpha");
+    Stream b1 = parent.child("beta");
+    // Re-derive in the opposite order: children must be identical.
+    Stream parent2(7);
+    Stream b2 = parent2.child("beta");
+    Stream a2 = parent2.child("alpha");
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(a1.next_u64(), a2.next_u64());
+        EXPECT_EQ(b1.next_u64(), b2.next_u64());
+    }
+}
+
+TEST(Stream, ChildrenDifferByLabelAndIndex) {
+    Stream parent(7);
+    auto a = parent.child("x");
+    auto b = parent.child("y");
+    auto c = parent.child(std::uint64_t{1});
+    auto d = parent.child(std::uint64_t{2});
+    EXPECT_NE(a.next_u64(), b.next_u64());
+    EXPECT_NE(c.next_u64(), d.next_u64());
+}
+
+TEST(Stream, NextDoubleInUnitInterval) {
+    Stream s(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = s.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Stream, UniformIntRespectsBounds) {
+    Stream s(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = s.uniform_int(-3, 4);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 4);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 4;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_EQ(s.uniform_int(9, 9), 9);
+    EXPECT_THROW(s.uniform_int(1, 0), Error);
+}
+
+TEST(Stream, BernoulliEdges) {
+    Stream s(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(s.bernoulli(0.0));
+        EXPECT_TRUE(s.bernoulli(1.0));
+    }
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += s.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Stream, ExponentialMean) {
+    Stream s(4);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += s.exponential(100.0);
+    EXPECT_NEAR(sum / n, 100.0, 3.0);
+    EXPECT_THROW(s.exponential(0.0), Error);
+}
+
+TEST(Stream, LognormalMedian) {
+    Stream s(5);
+    std::vector<double> draws;
+    for (int i = 0; i < 10001; ++i) draws.push_back(s.lognormal(50.0, 1.5));
+    std::nth_element(draws.begin(), draws.begin() + 5000, draws.end());
+    EXPECT_NEAR(draws[5000], 50.0, 5.0);
+    EXPECT_THROW(s.lognormal(0.0, 1.0), Error);
+    EXPECT_THROW(s.lognormal(1.0, -1.0), Error);
+}
+
+TEST(Stream, NormalMoments) {
+    Stream s(6);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = s.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.1);
+}
+
+TEST(Stream, ParetoStaysInBounds) {
+    Stream s(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = s.pareto(10.0, 1000.0, 1.2);
+        EXPECT_GE(v, 10.0);
+        EXPECT_LE(v, 1000.0);
+    }
+    EXPECT_THROW(s.pareto(0.0, 1.0, 1.0), Error);
+    EXPECT_THROW(s.pareto(2.0, 1.0, 1.0), Error);
+    EXPECT_THROW(s.pareto(1.0, 2.0, 0.0), Error);
+}
+
+TEST(Stream, ParetoIsHeavyTailed) {
+    Stream s(8);
+    int below_100 = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        if (s.pareto(10.0, 100000.0, 1.0) < 100.0) ++below_100;
+    // With alpha=1 over [10, 1e5], ~90% of mass is below 100.
+    EXPECT_NEAR(below_100 / double(n), 0.90, 0.03);
+}
+
+TEST(Stream, WeightedIndexFollowsWeights) {
+    Stream s(9);
+    const double weights[] = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 20000; ++i) ++counts[s.weighted_index(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0] / 20000.0, 0.25, 0.02);
+    EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+    EXPECT_THROW(s.weighted_index(std::span<const double>{}), Error);
+    const double zeros[] = {0.0, 0.0};
+    EXPECT_THROW(s.weighted_index(zeros), Error);
+}
+
+TEST(Stream, ShuffleIsAPermutation) {
+    Stream s(10);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = items;
+    s.shuffle(shuffled);
+    auto sorted = shuffled;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, items);
+}
+
+}  // namespace
+}  // namespace dynaddr::rng

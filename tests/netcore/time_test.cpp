@@ -1,0 +1,149 @@
+#include "netcore/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::net {
+namespace {
+
+TEST(Duration, FactoryUnits) {
+    EXPECT_EQ(Duration::seconds(5).count(), 5);
+    EXPECT_EQ(Duration::minutes(2).count(), 120);
+    EXPECT_EQ(Duration::hours(3).count(), 10800);
+    EXPECT_EQ(Duration::days(1).count(), 86400);
+    EXPECT_EQ(Duration::weeks(2).count(), 14 * 86400);
+}
+
+TEST(Duration, Arithmetic) {
+    const Duration d = Duration::hours(1) + Duration::minutes(30);
+    EXPECT_EQ(d.count(), 5400);
+    EXPECT_EQ((d - Duration::minutes(90)).count(), 0);
+    EXPECT_EQ((d * 2).count(), 10800);
+    EXPECT_EQ((d / 2).count(), 2700);
+    EXPECT_DOUBLE_EQ(d.to_hours(), 1.5);
+}
+
+TEST(Duration, ToStringRendersComponents) {
+    EXPECT_EQ(Duration{0}.to_string(), "0s");
+    EXPECT_EQ(Duration::seconds(59).to_string(), "59s");
+    EXPECT_EQ(Duration::seconds(3723).to_string(), "1h 2m 3s");
+    EXPECT_EQ(Duration::days(2).to_string(), "2d");
+    EXPECT_EQ((Duration::days(1) + Duration::hours(1)).to_string(), "1d 1h");
+    EXPECT_EQ(Duration::seconds(-90).to_string(), "-1m 30s");
+}
+
+TEST(TimePoint, EpochIsZero) {
+    const TimePoint epoch = TimePoint::from_date(1970, 1, 1);
+    EXPECT_EQ(epoch.unix_seconds(), 0);
+}
+
+TEST(TimePoint, KnownUnixTimes) {
+    // 2015-01-01 00:00:00 UTC = 1420070400.
+    EXPECT_EQ(TimePoint::from_date(2015, 1, 1).unix_seconds(), 1420070400);
+    // 2016-01-01 00:00:00 UTC = 1451606400 (2015 has 365 days).
+    EXPECT_EQ(TimePoint::from_date(2016, 1, 1).unix_seconds(), 1451606400);
+}
+
+TEST(TimePoint, CivilRoundTrip) {
+    const CivilTime civil{2015, 7, 14, 13, 45, 59};
+    const TimePoint t = TimePoint::from_civil(civil);
+    const CivilTime back = t.to_civil();
+    EXPECT_EQ(back.year, 2015);
+    EXPECT_EQ(back.month, 7);
+    EXPECT_EQ(back.day, 14);
+    EXPECT_EQ(back.hour, 13);
+    EXPECT_EQ(back.minute, 45);
+    EXPECT_EQ(back.second, 59);
+}
+
+TEST(TimePoint, LeapYearHandling) {
+    EXPECT_NO_THROW(TimePoint::from_date(2016, 2, 29));
+    EXPECT_THROW(TimePoint::from_date(2015, 2, 29), Error);
+    EXPECT_THROW(TimePoint::from_date(1900, 2, 29), Error);  // not a leap year
+    EXPECT_NO_THROW(TimePoint::from_date(2000, 2, 29));      // is a leap year
+}
+
+TEST(TimePoint, RejectsBadFields) {
+    EXPECT_THROW(TimePoint::from_date(2015, 0, 1), Error);
+    EXPECT_THROW(TimePoint::from_date(2015, 13, 1), Error);
+    EXPECT_THROW(TimePoint::from_date(2015, 4, 31), Error);
+    EXPECT_THROW(TimePoint::from_civil({2015, 1, 1, 24, 0, 0}), Error);
+    EXPECT_THROW(TimePoint::from_civil({2015, 1, 1, 0, 60, 0}), Error);
+}
+
+TEST(TimePoint, ParsesIsoLikeText) {
+    auto t = TimePoint::parse("2015-03-04 05:06:07");
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->to_string(), "2015-03-04 05:06:07");
+    EXPECT_TRUE(TimePoint::parse("2015-03-04T05:06:07"));
+    EXPECT_FALSE(TimePoint::parse("2015-3-4 05:06:07"));
+    EXPECT_FALSE(TimePoint::parse("2015-03-04 05:06"));
+    EXPECT_FALSE(TimePoint::parse("2015-13-04 05:06:07"));
+    EXPECT_FALSE(TimePoint::parse("garbage-in-here!!"));
+}
+
+TEST(TimePoint, HourOfDayAndDayOfYear) {
+    const TimePoint t = TimePoint::from_civil({2015, 1, 2, 17, 50, 36});
+    EXPECT_EQ(t.hour_of_day(), 17);
+    EXPECT_EQ(t.day_of_year(), 1);  // Jan 2 -> index 1
+    EXPECT_EQ(TimePoint::from_date(2015, 12, 31).day_of_year(), 364);
+    EXPECT_EQ(TimePoint::from_date(2016, 12, 31).day_of_year(), 365);  // leap
+}
+
+TEST(TimePoint, LogStringMatchesPaperStyle) {
+    EXPECT_EQ(TimePoint::from_civil({2015, 1, 5, 2, 38, 39}).to_log_string(),
+              "Jan  5 02:38:39");
+    EXPECT_EQ(TimePoint::from_civil({2015, 12, 31, 23, 59, 0}).to_log_string(),
+              "Dec 31 23:59:00");
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+    const TimePoint t = TimePoint::from_date(2015, 1, 1);
+    EXPECT_EQ((t + Duration::days(31)).to_string(), "2015-02-01 00:00:00");
+    EXPECT_EQ((t + Duration::days(59)).to_string(), "2015-03-01 00:00:00");
+    EXPECT_EQ((t + Duration::days(365)).to_string(), "2016-01-01 00:00:00");
+    EXPECT_EQ(((t + Duration::hours(5)) - t).count(), 5 * 3600);
+}
+
+TEST(TimePoint, PreEpochCivil) {
+    const TimePoint t = TimePoint::from_date(1969, 12, 31);
+    EXPECT_EQ(t.unix_seconds(), -86400);
+    EXPECT_EQ(t.to_civil().day, 31);
+    EXPECT_EQ(t.hour_of_day(), 0);
+}
+
+TEST(TimeInterval, BasicPredicates) {
+    const TimeInterval ivl{TimePoint{100}, TimePoint{200}};
+    EXPECT_EQ(ivl.length().count(), 100);
+    EXPECT_FALSE(ivl.empty());
+    EXPECT_TRUE(ivl.contains(TimePoint{100}));
+    EXPECT_TRUE(ivl.contains(TimePoint{199}));
+    EXPECT_FALSE(ivl.contains(TimePoint{200}));
+    EXPECT_TRUE((TimeInterval{TimePoint{5}, TimePoint{5}}).empty());
+}
+
+TEST(TimeInterval, Overlap) {
+    const TimeInterval a{TimePoint{0}, TimePoint{10}};
+    EXPECT_TRUE(a.overlaps({TimePoint{9}, TimePoint{20}}));
+    EXPECT_FALSE(a.overlaps({TimePoint{10}, TimePoint{20}}));  // half-open
+    EXPECT_TRUE(a.overlaps({TimePoint{-5}, TimePoint{1}}));
+    EXPECT_FALSE(a.overlaps({TimePoint{-5}, TimePoint{0}}));
+}
+
+// Round-trip property across a year's worth of odd instants.
+class CivilRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CivilRoundTrip, UnixCivilUnix) {
+    const TimePoint t{GetParam()};
+    EXPECT_EQ(TimePoint::from_civil(t.to_civil()), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CivilRoundTrip,
+    ::testing::Values(0, 1, -1, 1420070400, 1420070400 + 86399, 1456704000,
+                      951782399 /* 2000-02-28 23:59:59 */,
+                      951782400 /* 2000-02-29 */, 2147483647, -2147483648));
+
+}  // namespace
+}  // namespace dynaddr::net

@@ -1,0 +1,96 @@
+#include "pool/lease_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::pool {
+namespace {
+
+using net::IPv4Address;
+using net::TimePoint;
+
+Lease make_lease(ClientId client, IPv4Address addr, std::int64_t granted,
+                 std::int64_t expiry) {
+    return Lease{client, addr, TimePoint{granted}, TimePoint{expiry}};
+}
+
+TEST(LeaseDb, GrantFindRevoke) {
+    LeaseDb db;
+    db.grant(make_lease(1, IPv4Address(10, 0, 0, 1), 0, 100));
+    EXPECT_EQ(db.size(), 1u);
+    auto lease = db.find(1);
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(lease->address, IPv4Address(10, 0, 0, 1));
+    EXPECT_EQ(lease->duration().count(), 100);
+    auto by_addr = db.find_by_address(IPv4Address(10, 0, 0, 1));
+    ASSERT_TRUE(by_addr);
+    EXPECT_EQ(by_addr->client, 1u);
+    auto revoked = db.revoke(1);
+    ASSERT_TRUE(revoked);
+    EXPECT_EQ(db.size(), 0u);
+    EXPECT_FALSE(db.revoke(1));
+    EXPECT_FALSE(db.find(1));
+    EXPECT_FALSE(db.find_by_address(IPv4Address(10, 0, 0, 1)));
+}
+
+TEST(LeaseDb, RefreshReplacesExpiry) {
+    LeaseDb db;
+    db.grant(make_lease(1, IPv4Address(10, 0, 0, 1), 0, 100));
+    db.grant(make_lease(1, IPv4Address(10, 0, 0, 1), 50, 200));
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_EQ(db.next_expiry()->unix_seconds(), 200);
+    // Nothing expires at the old expiry.
+    EXPECT_TRUE(db.expire_until(TimePoint{150}).empty());
+    EXPECT_EQ(db.expire_until(TimePoint{200}).size(), 1u);
+}
+
+TEST(LeaseDb, RefreshCanMoveClientToNewAddress) {
+    LeaseDb db;
+    db.grant(make_lease(1, IPv4Address(10, 0, 0, 1), 0, 100));
+    db.grant(make_lease(1, IPv4Address(10, 0, 0, 2), 10, 110));
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_FALSE(db.find_by_address(IPv4Address(10, 0, 0, 1)));
+    ASSERT_TRUE(db.find_by_address(IPv4Address(10, 0, 0, 2)));
+}
+
+TEST(LeaseDb, RejectsAddressConflict) {
+    LeaseDb db;
+    db.grant(make_lease(1, IPv4Address(10, 0, 0, 1), 0, 100));
+    EXPECT_THROW(db.grant(make_lease(2, IPv4Address(10, 0, 0, 1), 0, 100)),
+                 Error);
+}
+
+TEST(LeaseDb, ExpireUntilReturnsEarliestFirst) {
+    LeaseDb db;
+    db.grant(make_lease(1, IPv4Address(10, 0, 0, 1), 0, 300));
+    db.grant(make_lease(2, IPv4Address(10, 0, 0, 2), 0, 100));
+    db.grant(make_lease(3, IPv4Address(10, 0, 0, 3), 0, 200));
+    EXPECT_EQ(db.next_expiry()->unix_seconds(), 100);
+    const auto expired = db.expire_until(TimePoint{250});
+    ASSERT_EQ(expired.size(), 2u);
+    EXPECT_EQ(expired[0].client, 2u);
+    EXPECT_EQ(expired[1].client, 3u);
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_EQ(db.next_expiry()->unix_seconds(), 300);
+}
+
+TEST(LeaseDb, SharedExpirySecond) {
+    LeaseDb db;
+    db.grant(make_lease(1, IPv4Address(10, 0, 0, 1), 0, 100));
+    db.grant(make_lease(2, IPv4Address(10, 0, 0, 2), 0, 100));
+    db.revoke(1);  // must remove only client 1's expiry index entry
+    const auto expired = db.expire_until(TimePoint{100});
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0].client, 2u);
+}
+
+TEST(LeaseDb, EmptyDbQueries) {
+    LeaseDb db;
+    EXPECT_FALSE(db.next_expiry());
+    EXPECT_TRUE(db.expire_until(TimePoint{1000}).empty());
+    EXPECT_EQ(db.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dynaddr::pool

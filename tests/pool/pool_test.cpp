@@ -1,0 +1,263 @@
+#include "pool/address_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::pool {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimePoint;
+
+PoolConfig small_pool(AllocationStrategy strategy, double churn = 0.0,
+                      double locality = 0.0) {
+    PoolConfig config;
+    config.prefixes = {IPv4Prefix::parse_or_throw("10.0.0.0/28"),
+                       IPv4Prefix::parse_or_throw("20.0.0.0/28")};
+    config.strategy = strategy;
+    config.churn_per_hour = churn;
+    config.locality_bias = locality;
+    return config;
+}
+
+TEST(AddressPool, RejectsBadConfig) {
+    EXPECT_THROW(AddressPool(PoolConfig{}, rng::Stream(1)), Error);
+    PoolConfig overlapping;
+    overlapping.prefixes = {IPv4Prefix::parse_or_throw("10.0.0.0/8"),
+                            IPv4Prefix::parse_or_throw("10.1.0.0/16")};
+    EXPECT_THROW(AddressPool(overlapping, rng::Stream(1)), Error);
+}
+
+TEST(AddressPool, CapacityAndUtilization) {
+    AddressPool pool(small_pool(AllocationStrategy::Sequential), rng::Stream(1));
+    EXPECT_EQ(pool.capacity(), 32u);
+    EXPECT_EQ(pool.free_count(), 32u);
+    EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
+    pool.allocate(1, TimePoint{0});
+    EXPECT_EQ(pool.allocated_count(), 1u);
+    EXPECT_DOUBLE_EQ(pool.utilization(), 1.0 / 32.0);
+}
+
+TEST(AddressPool, SequentialTakesLowestFree) {
+    AddressPool pool(small_pool(AllocationStrategy::Sequential), rng::Stream(1));
+    EXPECT_EQ(pool.allocate(1, TimePoint{0}), IPv4Address(10, 0, 0, 0));
+    EXPECT_EQ(pool.allocate(2, TimePoint{0}), IPv4Address(10, 0, 0, 1));
+}
+
+TEST(AddressPool, ReallocateWhileHoldingKeepsAddress) {
+    AddressPool pool(small_pool(AllocationStrategy::RandomSpread), rng::Stream(1));
+    const auto first = pool.allocate(1, TimePoint{0});
+    const auto second = pool.allocate(1, TimePoint{100});
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(pool.allocated_count(), 1u);
+}
+
+TEST(AddressPool, StickyReturnsPreviousAddressAfterRelease) {
+    AddressPool pool(small_pool(AllocationStrategy::Sticky), rng::Stream(1));
+    const auto first = pool.allocate(1, TimePoint{0});
+    ASSERT_TRUE(first);
+    pool.release(1);
+    const auto second = pool.allocate(1, TimePoint{3600});
+    EXPECT_EQ(first, second);
+}
+
+TEST(AddressPool, StickyHonoursExplicitHint) {
+    AddressPool pool(small_pool(AllocationStrategy::Sticky), rng::Stream(1));
+    const auto hint = IPv4Address(20, 0, 0, 5);
+    const auto got = pool.allocate(7, TimePoint{0}, hint);
+    EXPECT_EQ(got, hint);
+}
+
+TEST(AddressPool, StickyIgnoresForeignHint) {
+    AddressPool pool(small_pool(AllocationStrategy::Sticky), rng::Stream(1));
+    const auto got = pool.allocate(7, TimePoint{0}, IPv4Address(99, 0, 0, 1));
+    ASSERT_TRUE(got);
+    EXPECT_NE(*got, IPv4Address(99, 0, 0, 1));
+}
+
+TEST(AddressPool, ChurnReclaimsBindingsAfterLongAbsence) {
+    // With 1.0 reclaims/hour, a week-long absence loses the binding
+    // essentially always; zero absence never does.
+    auto config = small_pool(AllocationStrategy::Sticky, /*churn=*/1.0);
+    AddressPool pool(config, rng::Stream(5));
+    const auto first = pool.allocate(1, TimePoint{0});
+    pool.release(1);
+    const auto after_week = pool.allocate(
+        1, TimePoint{7 * 86400}, std::nullopt, TimePoint{0});
+    ASSERT_TRUE(after_week);
+    EXPECT_NE(first, after_week);
+
+    AddressPool pool2(config, rng::Stream(5));
+    const auto a = pool2.allocate(1, TimePoint{0});
+    pool2.release(1);
+    const auto b = pool2.allocate(1, TimePoint{0}, std::nullopt, TimePoint{0});
+    EXPECT_EQ(a, b);
+}
+
+TEST(AddressPool, ChurnRateMatchesExponentialModel) {
+    // P(taken) = 1 - exp(-churn * hours); churn=0.1, absence 10h -> ~0.63.
+    auto config = small_pool(AllocationStrategy::Sticky, /*churn=*/0.1);
+    int lost = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        AddressPool pool(config, rng::Stream(std::uint64_t(i)));
+        const auto first = pool.allocate(1, TimePoint{0});
+        pool.release(1);
+        const auto again =
+            pool.allocate(1, TimePoint{36000}, std::nullopt, TimePoint{0});
+        if (first != again) ++lost;
+    }
+    EXPECT_NEAR(lost / double(trials), 1.0 - std::exp(-1.0), 0.04);
+}
+
+TEST(AddressPool, RandomSpreadCoversBothPrefixes) {
+    AddressPool pool(small_pool(AllocationStrategy::RandomSpread), rng::Stream(3));
+    std::set<int> prefixes_seen;
+    for (ClientId c = 1; c <= 20; ++c) {
+        const auto addr = pool.allocate(c, TimePoint{0});
+        ASSERT_TRUE(addr);
+        prefixes_seen.insert(addr->octet(0));
+    }
+    EXPECT_EQ(prefixes_seen, (std::set<int>{10, 20}));
+}
+
+TEST(AddressPool, LocalityBiasKeepsAllocationsInPrefix) {
+    auto config = small_pool(AllocationStrategy::RandomSpread, 0.0,
+                             /*locality=*/1.0);
+    AddressPool pool(config, rng::Stream(4));
+    const auto first = pool.allocate(1, TimePoint{0});
+    ASSERT_TRUE(first);
+    for (int i = 0; i < 10; ++i) {
+        pool.release(1);
+        const auto next = pool.allocate(1, TimePoint{0});
+        ASSERT_TRUE(next);
+        EXPECT_EQ(next->octet(0), first->octet(0)) << "left home prefix";
+    }
+}
+
+TEST(AddressPool, PrefixHopAvoidsPreviousPrefix) {
+    AddressPool pool(small_pool(AllocationStrategy::PrefixHop), rng::Stream(5));
+    auto previous = pool.allocate(1, TimePoint{0});
+    ASSERT_TRUE(previous);
+    for (int i = 0; i < 10; ++i) {
+        pool.release(1);
+        const auto next = pool.allocate(1, TimePoint{0});
+        ASSERT_TRUE(next);
+        EXPECT_NE(next->octet(0), previous->octet(0));
+        previous = next;
+    }
+}
+
+TEST(AddressPool, ExhaustionReturnsNullopt) {
+    AddressPool pool(small_pool(AllocationStrategy::Sequential), rng::Stream(6));
+    for (ClientId c = 1; c <= 32; ++c)
+        EXPECT_TRUE(pool.allocate(c, TimePoint{0}));
+    EXPECT_FALSE(pool.allocate(33, TimePoint{0}));
+    pool.release(1);
+    EXPECT_TRUE(pool.allocate(33, TimePoint{0}));
+}
+
+TEST(AddressPool, ForgetBindingBreaksStickiness) {
+    // Use a bigger pool so a random re-draw of the same address is
+    // unlikely; sticky would otherwise guarantee it.
+    PoolConfig config;
+    config.prefixes = {IPv4Prefix::parse_or_throw("10.0.0.0/20")};
+    config.strategy = AllocationStrategy::Sticky;
+    AddressPool pool(config, rng::Stream(7));
+    const auto first = pool.allocate(1, TimePoint{0});
+    pool.release(1);
+    pool.forget_binding(1);
+    const auto second = pool.allocate(1, TimePoint{0});
+    EXPECT_NE(first, second);
+}
+
+TEST(AddressPool, FreeCountInvariantUnderChurn) {
+    AddressPool pool(small_pool(AllocationStrategy::RandomSpread), rng::Stream(8));
+    rng::Stream rng(9);
+    std::set<ClientId> holding;
+    for (int step = 0; step < 500; ++step) {
+        const ClientId client = ClientId(rng.uniform_int(1, 40));
+        if (holding.contains(client)) {
+            pool.release(client);
+            holding.erase(client);
+        } else if (pool.allocate(client, TimePoint{step})) {
+            holding.insert(client);
+        }
+        EXPECT_EQ(pool.allocated_count(), holding.size());
+        EXPECT_EQ(pool.free_count() + pool.allocated_count(), pool.capacity());
+    }
+}
+
+TEST(AddressPool, RetireAbandonsFreeAddressesAndBlocksAllocation) {
+    AddressPool pool(small_pool(AllocationStrategy::RandomSpread), rng::Stream(11));
+    const auto held = pool.allocate(1, TimePoint{0});
+    ASSERT_TRUE(held);
+    const int held_prefix = held->octet(0) == 10 ? 0 : 1;
+    pool.retire_prefix(std::size_t(held_prefix));
+    EXPECT_TRUE(pool.is_retired(*held));
+    // Held address stays held; capacity shrinks to the other prefix.
+    EXPECT_EQ(pool.allocated_count(), 1u);
+    EXPECT_EQ(pool.free_count(), 16u);
+    // New allocations land in the surviving prefix only.
+    for (ClientId c = 2; c <= 10; ++c) {
+        const auto addr = pool.allocate(c, TimePoint{0});
+        ASSERT_TRUE(addr);
+        EXPECT_NE(addr->octet(0), held->octet(0));
+    }
+    // Releasing the retired address abandons it.
+    pool.release(1);
+    EXPECT_EQ(pool.free_count(), 16u - 9u);
+    // Sticky cannot hand it back.
+    AddressPool sticky(small_pool(AllocationStrategy::Sticky), rng::Stream(12));
+    const auto a = sticky.allocate(1, TimePoint{0});
+    sticky.retire_prefix(std::size_t(a->octet(0) == 10 ? 0 : 1));
+    sticky.release(1);
+    const auto b = sticky.allocate(1, TimePoint{0});
+    ASSERT_TRUE(b);
+    EXPECT_NE(*a, *b);
+}
+
+TEST(AddressPool, InitiallyDisabledPrefixOpensOnEnable) {
+    auto config = small_pool(AllocationStrategy::RandomSpread);
+    config.initially_disabled = {1};  // 20.0.0.0/28 starts dark
+    AddressPool pool(config, rng::Stream(13));
+    EXPECT_EQ(pool.free_count(), 16u);
+    for (ClientId c = 1; c <= 5; ++c) {
+        const auto addr = pool.allocate(c, TimePoint{0});
+        ASSERT_TRUE(addr);
+        EXPECT_EQ(addr->octet(0), 10);
+    }
+    EXPECT_TRUE(pool.is_retired(IPv4Address(20, 0, 0, 1)));
+    pool.enable_prefix(1);
+    EXPECT_EQ(pool.free_count(), 16u - 5u + 16u);
+    EXPECT_FALSE(pool.is_retired(IPv4Address(20, 0, 0, 1)));
+    // And a full swap: retire 0, everything new comes from 20/28.
+    pool.retire_prefix(0);
+    for (ClientId c = 10; c <= 14; ++c) {
+        const auto addr = pool.allocate(c, TimePoint{0});
+        ASSERT_TRUE(addr);
+        EXPECT_EQ(addr->octet(0), 20);
+    }
+    EXPECT_THROW(pool.retire_prefix(7), Error);
+    EXPECT_THROW(pool.enable_prefix(7), Error);
+}
+
+TEST(AddressPool, NoDoubleAssignment) {
+    AddressPool pool(small_pool(AllocationStrategy::RandomSpread), rng::Stream(10));
+    std::set<std::uint32_t> assigned;
+    for (ClientId c = 1; c <= 32; ++c) {
+        const auto addr = pool.allocate(c, TimePoint{0});
+        ASSERT_TRUE(addr);
+        EXPECT_TRUE(assigned.insert(addr->value()).second)
+            << "address assigned twice: " << addr->to_string();
+    }
+}
+
+}  // namespace
+}  // namespace dynaddr::pool

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppp/radius.hpp"
+#include "ppp/session.hpp"
+
+namespace dynaddr::ppp {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimePoint;
+
+struct Rig {
+    explicit Rig(RadiusConfig radius_config = {}, SessionConfig session_config = {},
+                 std::uint64_t seed = 1)
+        : sim(TimePoint{0}),
+          pool(pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/20")},
+                                pool::AllocationStrategy::RandomSpread,
+                                0.0,
+                                0.0,
+                                {}},
+               rng::Stream(seed)),
+          server(radius_config, pool, sim),
+          session(session_config, 1, server, sim, rng::Stream(seed + 100),
+                  [this] { return link_up; }) {
+        session.set_on_acquired([this](IPv4Address a) { acquired.push_back(a); });
+        session.set_on_lost([this](StopReason r) { stops.push_back(r); });
+    }
+
+    sim::Simulation sim;
+    pool::AddressPool pool;
+    RadiusServer server;
+    Session session;
+    bool link_up = true;
+    std::vector<IPv4Address> acquired;
+    std::vector<StopReason> stops;
+};
+
+TEST(PppSession, DialsOnPowerOn) {
+    Rig rig;
+    rig.session.power_on();
+    EXPECT_EQ(rig.session.phase(), Phase::Open);
+    ASSERT_EQ(rig.acquired.size(), 1u);
+    EXPECT_EQ(rig.server.open_sessions(), 1u);
+}
+
+TEST(PppSession, NoTimeoutMeansStableAddress) {
+    Rig rig;  // no session timeout
+    rig.session.power_on();
+    rig.sim.run_until(TimePoint{30 * 86400});
+    EXPECT_EQ(rig.acquired.size(), 1u);
+    EXPECT_TRUE(rig.stops.empty());
+}
+
+TEST(PppSession, SessionTimeoutRenumbersPeriodically) {
+    RadiusConfig radius;
+    radius.session_timeout = Duration::hours(24);
+    Rig rig(radius);
+    rig.session.power_on();
+    rig.sim.run_until(TimePoint{10 * 86400});
+    // One renumbering per day, +-1 for edge effects.
+    EXPECT_GE(rig.acquired.size(), 9u);
+    EXPECT_LE(rig.acquired.size(), 11u);
+    for (const auto stop : rig.stops) EXPECT_EQ(stop, StopReason::SessionTimeout);
+    // Each session in the accounting log ran ~24 h (redial delay excepted).
+    int full_day_sessions = 0;
+    for (const auto& record : rig.server.records())
+        if (record.duration() == Duration::hours(24)) ++full_day_sessions;
+    EXPECT_GE(full_day_sessions, 8);
+}
+
+TEST(PppSession, SkipProbabilityCreatesHarmonics) {
+    RadiusConfig radius;
+    radius.session_timeout = Duration::hours(24);
+    SessionConfig session;
+    session.skip_renumber_probability = 0.5;
+    Rig rig(radius, session, 42);
+    rig.session.power_on();
+    rig.sim.run_until(TimePoint{60 * 86400});
+    // With skip = 0.5 over 60 days expect roughly 30 renumberings and at
+    // least one session lasting a 48 h multiple.
+    bool saw_multiple = false;
+    for (const auto& record : rig.server.records()) {
+        const auto hours = record.duration().to_hours();
+        if (hours >= 47.9) saw_multiple = true;
+        // Every session ends within a whole-day grid (+ redial slop).
+        if (record.reason == StopReason::SessionTimeout) {
+            EXPECT_NEAR(std::fmod(hours, 24.0), 0.0, 0.02);
+        }
+    }
+    EXPECT_TRUE(saw_multiple);
+}
+
+TEST(PppSession, CarrierLossDropsAndRedials) {
+    Rig rig;
+    rig.session.power_on();
+    const auto first = rig.acquired.at(0);
+    rig.sim.run_until(TimePoint{3600});
+    rig.link_up = false;
+    rig.session.link_lost();
+    EXPECT_EQ(rig.session.phase(), Phase::Dead);
+    ASSERT_EQ(rig.stops.size(), 1u);
+    EXPECT_EQ(rig.stops[0], StopReason::LostCarrier);
+    EXPECT_EQ(rig.server.open_sessions(), 0u);
+    // Even a 1-minute blip produces a fresh dial.
+    rig.sim.run_until(TimePoint{3660});
+    rig.link_up = true;
+    rig.session.link_restored();
+    rig.sim.run_until(TimePoint{3700});
+    ASSERT_EQ(rig.acquired.size(), 2u);
+    // RandomSpread over /20: overwhelmingly a different address.
+    EXPECT_NE(rig.acquired[1], first);
+}
+
+TEST(PppSession, ReconnectNowIsUserRequested) {
+    Rig rig;
+    rig.session.power_on();
+    rig.sim.run_until(TimePoint{100});
+    rig.session.reconnect_now();
+    ASSERT_EQ(rig.stops.size(), 1u);
+    EXPECT_EQ(rig.stops[0], StopReason::UserRequest);
+    rig.sim.run_until(TimePoint{200});
+    EXPECT_EQ(rig.session.phase(), Phase::Open);
+    EXPECT_EQ(rig.acquired.size(), 2u);
+}
+
+TEST(PppSession, PowerOffStopsRedialing) {
+    Rig rig;
+    rig.session.power_on();
+    rig.sim.run_until(TimePoint{100});
+    rig.session.power_off();
+    EXPECT_EQ(rig.session.phase(), Phase::Dead);
+    rig.sim.run_until(TimePoint{7200});
+    EXPECT_EQ(rig.acquired.size(), 1u);
+    EXPECT_EQ(rig.server.open_sessions(), 0u);
+    // Accounting closed with LostCarrier (abrupt cut).
+    ASSERT_EQ(rig.server.records().size(), 1u);
+    EXPECT_EQ(rig.server.records()[0].reason, StopReason::LostCarrier);
+}
+
+TEST(PppSession, DialWaitsForLink) {
+    Rig rig;
+    rig.link_up = false;
+    rig.session.power_on();
+    EXPECT_EQ(rig.session.phase(), Phase::Dead);
+    rig.sim.run_until(TimePoint{3600});
+    EXPECT_TRUE(rig.acquired.empty());
+    rig.link_up = true;
+    rig.session.link_restored();
+    EXPECT_EQ(rig.session.phase(), Phase::Open);
+}
+
+TEST(RadiusServer, AccountingRecordsCarrySessions) {
+    RadiusConfig config;
+    config.session_timeout = Duration::hours(1);
+    Rig rig(config);
+    rig.session.power_on();
+    rig.sim.run_until(TimePoint{5 * 3600});
+    const auto& records = rig.server.records();
+    ASSERT_GE(records.size(), 4u);
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_GE(records[i].start, records[i - 1].stop);
+    for (const auto& record : records) {
+        EXPECT_EQ(record.client, 1u);
+        EXPECT_GT(record.stop, record.start);
+    }
+}
+
+TEST(RadiusServer, DuplicateAuthorizeResetsOldSession) {
+    Rig rig;
+    auto first = rig.server.authorize(7);
+    ASSERT_TRUE(first);
+    auto second = rig.server.authorize(7);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(rig.server.open_sessions(), 1u);
+    ASSERT_EQ(rig.server.records().size(), 1u);
+    EXPECT_EQ(rig.server.records()[0].reason, StopReason::AdminReset);
+}
+
+TEST(RadiusServer, ExhaustedPoolRejects) {
+    sim::Simulation sim(TimePoint{0});
+    pool::AddressPool pool(
+        pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/31")},
+                         pool::AllocationStrategy::RandomSpread, 0.0, 0.0, {}},
+        rng::Stream(1));
+    RadiusServer server({}, pool, sim);
+    EXPECT_TRUE(server.authorize(1));
+    EXPECT_TRUE(server.authorize(2));
+    EXPECT_FALSE(server.authorize(3));
+    server.account_stop(1, StopReason::UserRequest);
+    EXPECT_TRUE(server.authorize(3));
+}
+
+}  // namespace
+}  // namespace dynaddr::ppp

@@ -1,0 +1,139 @@
+#include "ppp/pppoe_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcore/error.hpp"
+#include "netcore/rng.hpp"
+
+namespace dynaddr::ppp {
+namespace {
+
+PppoePacket sample_padr() {
+    PppoePacket packet;
+    packet.code = PppoeCode::Padr;
+    packet.session_id = 0;
+    packet.add_tag(PppoeTag::kServiceName, "internet");
+    packet.add_tag(PppoeTag::kHostUniq, "cpe-42");
+    PppoeTag cookie;
+    cookie.type = PppoeTag::kAcCookie;
+    cookie.value = {0xDE, 0xAD, 0xBE, 0xEF};
+    packet.tags.push_back(cookie);
+    return packet;
+}
+
+TEST(PppoeWire, EncodeProducesValidFraming) {
+    const auto bytes = encode(sample_padr());
+    ASSERT_GE(bytes.size(), 6u);
+    EXPECT_EQ(bytes[0], 0x11);  // ver 1 / type 1
+    EXPECT_EQ(bytes[1], 0x19);  // PADR
+    EXPECT_EQ(bytes[2], 0);     // session id 0 during discovery
+    EXPECT_EQ(bytes[3], 0);
+    const std::size_t payload = std::size_t(bytes[4] << 8 | bytes[5]);
+    EXPECT_EQ(bytes.size(), 6u + payload);
+    // First tag: Service-Name.
+    EXPECT_EQ(bytes[6], 0x01);
+    EXPECT_EQ(bytes[7], 0x01);
+}
+
+TEST(PppoeWire, RoundTripsAllCodes) {
+    for (const auto code : {PppoeCode::Padi, PppoeCode::Pado, PppoeCode::Padr,
+                            PppoeCode::Pads, PppoeCode::Padt}) {
+        PppoePacket packet = sample_padr();
+        packet.code = code;
+        packet.session_id = code == PppoeCode::Pads ? 0x1234 : 0;
+        const auto decoded = decode(encode(packet));
+        EXPECT_EQ(decoded, packet);
+    }
+}
+
+TEST(PppoeWire, DiscoveryExchangeCarriesState) {
+    // PADI -> PADO -> PADR -> PADS, the cookie echoed as the RFC requires.
+    PppoePacket padi;
+    padi.code = PppoeCode::Padi;
+    padi.add_tag(PppoeTag::kServiceName, "");
+    padi.add_tag(PppoeTag::kHostUniq, "probe-206");
+
+    PppoePacket pado = decode(encode(padi));
+    pado.code = PppoeCode::Pado;
+    pado.add_tag(PppoeTag::kAcName, "bras-01.example");
+    PppoeTag cookie;
+    cookie.type = PppoeTag::kAcCookie;
+    cookie.value = {1, 2, 3};
+    pado.tags.push_back(cookie);
+
+    PppoePacket padr = decode(encode(pado));
+    padr.code = PppoeCode::Padr;
+
+    PppoePacket pads = decode(encode(padr));
+    pads.code = PppoeCode::Pads;
+    pads.session_id = 0x0042;
+
+    const auto final = decode(encode(pads));
+    EXPECT_EQ(final.session_id, 0x0042);
+    ASSERT_NE(final.find_tag(PppoeTag::kHostUniq), nullptr);
+    EXPECT_EQ(std::string(final.find_tag(PppoeTag::kHostUniq)->value.begin(),
+                          final.find_tag(PppoeTag::kHostUniq)->value.end()),
+              "probe-206");
+    ASSERT_NE(final.find_tag(PppoeTag::kAcCookie), nullptr);
+    EXPECT_EQ(final.find_tag(PppoeTag::kAcCookie)->value,
+              (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(PppoeWire, EndOfListStopsParsing) {
+    PppoePacket packet;
+    packet.code = PppoeCode::Padi;
+    packet.add_tag(PppoeTag::kServiceName, "svc");
+    auto bytes = encode(packet);
+    // Append End-Of-List then a garbage tag inside the declared payload.
+    const std::vector<std::uint8_t> tail = {0x00, 0x00, 0x00, 0x00,
+                                            0x01, 0x01, 0x00, 0x01, 'x'};
+    bytes.insert(bytes.end(), tail.begin(), tail.end());
+    const std::uint16_t payload = std::uint16_t(bytes.size() - 6);
+    bytes[4] = std::uint8_t(payload >> 8);
+    bytes[5] = std::uint8_t(payload);
+    const auto decoded = decode(bytes);
+    EXPECT_EQ(decoded.tags.size(), 1u) << "tags after End-Of-List ignored";
+}
+
+TEST(PppoeWire, RejectsCorruptPackets) {
+    const auto good = encode(sample_padr());
+    EXPECT_THROW(decode(std::span(good).first(3)), ParseError);
+    auto bad_version = good;
+    bad_version[0] = 0x21;
+    EXPECT_THROW(decode(bad_version), ParseError);
+    auto bad_code = good;
+    bad_code[1] = 0x55;
+    EXPECT_THROW(decode(bad_code), ParseError);
+    // Length field larger than the buffer.
+    auto bad_length = good;
+    bad_length[4] = 0xFF;
+    bad_length[5] = 0xFF;
+    EXPECT_THROW(decode(bad_length), ParseError);
+    // Tag overrunning the payload.
+    auto overrun = good;
+    overrun[9] = 0xFF;  // first tag's length low byte
+    EXPECT_THROW(decode(overrun), ParseError);
+}
+
+TEST(PppoeWire, FuzzDecodeNeverCrashes) {
+    rng::Stream rng(77);
+    const auto good = encode(sample_padr());
+    for (int round = 0; round < 2000; ++round) {
+        auto mutated = good;
+        for (int f = int(rng.uniform_int(1, 6)); f > 0; --f)
+            mutated[std::size_t(rng.uniform_int(
+                0, std::int64_t(mutated.size()) - 1))] =
+                std::uint8_t(rng.uniform_int(0, 255));
+        if (rng.bernoulli(0.3))
+            mutated.resize(std::size_t(
+                rng.uniform_int(0, std::int64_t(mutated.size()))));
+        try {
+            const auto decoded = decode(mutated);
+            (void)decoded;
+        } catch (const ParseError&) {
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dynaddr::ppp

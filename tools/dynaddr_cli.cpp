@@ -1,0 +1,243 @@
+// dynaddr — command-line front end.
+//
+//   dynaddr simulate --preset paper|outage|quick --out DIR [--seed N]
+//       Runs a scenario and writes the dataset bundle plus the supporting
+//       context (pfx2as_YYYY-MM.txt per month, registry.csv) to DIR.
+//
+//   dynaddr analyze --data DIR [--report LIST]
+//       Loads a bundle (simulated or real). IP-to-AS context comes from
+//       pfx2as_YYYY-MM.txt files and registry.csv in DIR when present.
+//       LIST is comma-separated from: summary,table2,table5,table6,table7,
+//       admin,all (default all).
+//
+//   dynaddr demo
+//       simulate quick + analyze, in memory.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/change_attribution.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "isp/presets.hpp"
+#include "netcore/csv.hpp"
+#include "netcore/error.hpp"
+
+namespace {
+
+using namespace dynaddr;
+namespace fs = std::filesystem;
+
+int usage() {
+    std::cerr <<
+        "usage:\n"
+        "  dynaddr simulate --preset paper|outage|quick --out DIR [--seed N]\n"
+        "  dynaddr analyze  --data DIR [--report summary,table2,table5,"
+        "table6,table7,admin,causes,all]\n"
+        "  dynaddr demo\n";
+    return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
+    std::map<std::string, std::string> flags;
+    for (int i = from; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0 || i + 1 >= argc)
+            throw Error("bad argument '" + arg + "'");
+        flags[arg.substr(2)] = argv[++i];
+    }
+    return flags;
+}
+
+isp::ScenarioConfig preset_by_name(const std::string& name) {
+    if (name == "paper") return isp::presets::paper_scenario();
+    if (name == "outage") return isp::presets::outage_scenario();
+    if (name == "quick") return isp::presets::quick_scenario();
+    throw Error("unknown preset '" + name + "'");
+}
+
+std::string month_name(bgp::MonthKey month) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof buffer, "%04d-%02d", int(month / 12),
+                  int(month % 12) + 1);
+    return buffer;
+}
+
+void write_context(const fs::path& dir, const isp::ScenarioResult& scenario) {
+    // Monthly pfx2as files.
+    for (const auto month : scenario.prefix_table.snapshot_months()) {
+        std::ofstream out(dir / ("pfx2as_" + month_name(month) + ".txt"));
+        scenario.prefix_table.dump_pfx2as(out, month);
+    }
+    // AS registry.
+    std::ofstream out(dir / "registry.csv");
+    csv::Writer writer(out, {"asn", "name", "country", "continent"});
+    for (const auto& info : scenario.registry.all())
+        writer.write_row({std::to_string(info.asn), info.name,
+                          info.country_code, bgp::continent_code(info.continent)});
+}
+
+bgp::PrefixTable load_context_table(const fs::path& dir) {
+    bgp::PrefixTable table;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("pfx2as_", 0) != 0 || name.size() < 18) continue;
+        const int year = std::stoi(name.substr(7, 4));
+        const int month = std::stoi(name.substr(12, 2));
+        std::ifstream in(entry.path());
+        table.load_pfx2as(in, bgp::month_key(year, month));
+    }
+    return table;
+}
+
+bgp::AsRegistry load_context_registry(const fs::path& dir) {
+    bgp::AsRegistry registry;
+    const fs::path path = dir / "registry.csv";
+    if (!fs::exists(path)) return registry;
+    std::ifstream in(path);
+    csv::Reader reader(in);
+    const auto c_asn = reader.column("asn");
+    const auto c_name = reader.column("name");
+    const auto c_country = reader.column("country");
+    const auto c_continent = reader.column("continent");
+    while (auto row = reader.next_row()) {
+        bgp::AsInfo info;
+        info.asn = std::uint32_t(std::stoul((*row)[c_asn]));
+        info.name = (*row)[c_name];
+        info.country_code = (*row)[c_country];
+        const std::string& code = (*row)[c_continent];
+        using bgp::Continent;
+        info.continent = code == "NA"   ? Continent::NorthAmerica
+                         : code == "AS" ? Continent::Asia
+                         : code == "AF" ? Continent::Africa
+                         : code == "SA" ? Continent::SouthAmerica
+                         : code == "OC" ? Continent::Oceania
+                                        : Continent::Europe;
+        registry.add(info);
+    }
+    return registry;
+}
+
+bool wants(const std::string& list, const std::string& item) {
+    if (list == "all") return true;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        auto comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        if (list.substr(pos, comma - pos) == item) return true;
+        pos = comma + 1;
+    }
+    return false;
+}
+
+void print_reports(const core::AnalysisResults& results,
+                   const bgp::PrefixTable& table, const bgp::AsRegistry& registry,
+                   const std::string& report_list) {
+    if (wants(report_list, "summary"))
+        std::cout << core::render_summary(results) << "\n";
+    if (wants(report_list, "table2"))
+        std::cout << "Probe filtering (Table 2):\n"
+                  << core::render_table2(results.filter) << "\n";
+    if (wants(report_list, "table5"))
+        std::cout << "Periodic renumbering (Table 5):\n"
+                  << core::render_table5(results.periodicity) << "\n";
+    if (wants(report_list, "table6"))
+        std::cout << "Outage renumbering (Table 6):\n"
+                  << core::render_table6(results.cond_prob) << "\n";
+    if (wants(report_list, "table7"))
+        std::cout << "Prefix changes (Table 7):\n"
+                  << core::render_table7(results.prefix_changes) << "\n";
+    if (wants(report_list, "causes")) {
+        const auto attribution =
+            core::attribute_changes(results, table, registry);
+        std::cout << "Change-cause attribution:\n"
+                  << core::render_change_attribution(attribution) << "\n";
+    }
+    if (wants(report_list, "admin")) {
+        std::cout << "Administrative renumbering events: "
+                  << results.admin_events.size() << "\n";
+        for (const auto& event : results.admin_events)
+            std::cout << "  AS" << event.asn << " retired "
+                      << event.retired_prefix.to_string() << " around "
+                      << event.last_departure.to_string().substr(0, 10) << " ("
+                      << event.probes_moved << " probes -> "
+                      << event.destination_prefix.to_string() << ")\n";
+        std::cout << "\n";
+    }
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+    const auto preset_it = flags.find("preset");
+    const auto out_it = flags.find("out");
+    if (preset_it == flags.end() || out_it == flags.end()) return usage();
+    auto config = preset_by_name(preset_it->second);
+    if (auto seed = flags.find("seed"); seed != flags.end())
+        config.seed = std::stoull(seed->second);
+
+    std::cout << "simulating preset '" << preset_it->second << "' (seed "
+              << config.seed << ")...\n";
+    const auto scenario = isp::run_scenario(config);
+    const fs::path dir(out_it->second);
+    fs::create_directories(dir);
+    atlas::write_bundle(dir.string(), scenario.bundle);
+    write_context(dir, scenario);
+    std::cout << "wrote " << scenario.bundle.connection_log.size()
+              << " connection-log rows, " << scenario.bundle.kroot_pings.size()
+              << " k-root records, " << scenario.bundle.uptime_records.size()
+              << " uptime records, " << scenario.bundle.probes.size()
+              << " probes + IP-to-AS context to " << dir.string() << "\n";
+    return 0;
+}
+
+int cmd_analyze(const std::map<std::string, std::string>& flags) {
+    const auto data_it = flags.find("data");
+    if (data_it == flags.end()) return usage();
+    const fs::path dir(data_it->second);
+    const std::string report_list =
+        flags.contains("report") ? flags.at("report") : std::string("all");
+
+    const auto bundle = atlas::read_bundle(dir.string());
+    const auto table = load_context_table(dir);
+    const auto registry = load_context_registry(dir);
+    if (table.snapshot_count() == 0)
+        std::cerr << "warning: no pfx2as_YYYY-MM.txt files in " << dir.string()
+                  << "; AS-level analyses will be empty\n";
+
+    core::AnalysisPipeline pipeline;
+    const auto results = pipeline.run(bundle, table, registry);
+    print_reports(results, table, registry, report_list);
+    return 0;
+}
+
+int cmd_demo() {
+    const auto config = isp::presets::quick_scenario();
+    std::cout << "simulating quick preset...\n";
+    const auto scenario = isp::run_scenario(config);
+    core::AnalysisPipeline pipeline;
+    const auto results = pipeline.run(scenario.bundle, scenario.prefix_table,
+                                      scenario.registry, config.window);
+    print_reports(results, scenario.prefix_table, scenario.registry, "all");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        if (argc < 2) return usage();
+        const std::string command = argv[1];
+        const auto flags = parse_flags(argc, argv, 2);
+        if (command == "simulate") return cmd_simulate(flags);
+        if (command == "analyze") return cmd_analyze(flags);
+        if (command == "demo") return cmd_demo();
+        return usage();
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}
