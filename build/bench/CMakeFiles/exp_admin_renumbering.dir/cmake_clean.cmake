@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_admin_renumbering.dir/exp_admin_renumbering.cpp.o"
+  "CMakeFiles/exp_admin_renumbering.dir/exp_admin_renumbering.cpp.o.d"
+  "exp_admin_renumbering"
+  "exp_admin_renumbering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_admin_renumbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_change_attribution.dir/exp_change_attribution.cpp.o"
+  "CMakeFiles/exp_change_attribution.dir/exp_change_attribution.cpp.o.d"
+  "exp_change_attribution"
+  "exp_change_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_change_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_churn.dir/exp_churn.cpp.o"
+  "CMakeFiles/exp_churn.dir/exp_churn.cpp.o.d"
+  "exp_churn"
+  "exp_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig1_continents.dir/exp_fig1_continents.cpp.o"
+  "CMakeFiles/exp_fig1_continents.dir/exp_fig1_continents.cpp.o.d"
+  "exp_fig1_continents"
+  "exp_fig1_continents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig1_continents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

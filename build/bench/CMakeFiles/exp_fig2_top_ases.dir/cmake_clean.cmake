@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_top_ases.dir/exp_fig2_top_ases.cpp.o"
+  "CMakeFiles/exp_fig2_top_ases.dir/exp_fig2_top_ases.cpp.o.d"
+  "exp_fig2_top_ases"
+  "exp_fig2_top_ases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_top_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig3_germany.dir/exp_fig3_germany.cpp.o"
+  "CMakeFiles/exp_fig3_germany.dir/exp_fig3_germany.cpp.o.d"
+  "exp_fig3_germany"
+  "exp_fig3_germany.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig3_germany.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_5_sync.dir/exp_fig4_5_sync.cpp.o"
+  "CMakeFiles/exp_fig4_5_sync.dir/exp_fig4_5_sync.cpp.o.d"
+  "exp_fig4_5_sync"
+  "exp_fig4_5_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_5_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

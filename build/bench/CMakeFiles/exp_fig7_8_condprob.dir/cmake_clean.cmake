@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig7_8_condprob.dir/exp_fig7_8_condprob.cpp.o"
+  "CMakeFiles/exp_fig7_8_condprob.dir/exp_fig7_8_condprob.cpp.o.d"
+  "exp_fig7_8_condprob"
+  "exp_fig7_8_condprob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig7_8_condprob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

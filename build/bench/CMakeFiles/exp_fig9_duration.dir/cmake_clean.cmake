@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig9_duration.dir/exp_fig9_duration.cpp.o"
+  "CMakeFiles/exp_fig9_duration.dir/exp_fig9_duration.cpp.o.d"
+  "exp_fig9_duration"
+  "exp_fig9_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig9_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ipv6_privacy.dir/exp_ipv6_privacy.cpp.o"
+  "CMakeFiles/exp_ipv6_privacy.dir/exp_ipv6_privacy.cpp.o.d"
+  "exp_ipv6_privacy"
+  "exp_ipv6_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ipv6_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

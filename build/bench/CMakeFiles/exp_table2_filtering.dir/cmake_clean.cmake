@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table2_filtering.dir/exp_table2_filtering.cpp.o"
+  "CMakeFiles/exp_table2_filtering.dir/exp_table2_filtering.cpp.o.d"
+  "exp_table2_filtering"
+  "exp_table2_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table2_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

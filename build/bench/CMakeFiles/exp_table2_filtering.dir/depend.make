@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table2_filtering.
+# This may be replaced when dependencies are built.

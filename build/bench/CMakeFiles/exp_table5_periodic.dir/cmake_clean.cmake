@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table5_periodic.dir/exp_table5_periodic.cpp.o"
+  "CMakeFiles/exp_table5_periodic.dir/exp_table5_periodic.cpp.o.d"
+  "exp_table5_periodic"
+  "exp_table5_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table5_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

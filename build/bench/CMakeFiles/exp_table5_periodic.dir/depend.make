@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table5_periodic.
+# This may be replaced when dependencies are built.

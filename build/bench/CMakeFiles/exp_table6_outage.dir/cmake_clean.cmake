@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table6_outage.dir/exp_table6_outage.cpp.o"
+  "CMakeFiles/exp_table6_outage.dir/exp_table6_outage.cpp.o.d"
+  "exp_table6_outage"
+  "exp_table6_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table6_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table6_outage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table7_prefix.dir/exp_table7_prefix.cpp.o"
+  "CMakeFiles/exp_table7_prefix.dir/exp_table7_prefix.cpp.o.d"
+  "exp_table7_prefix"
+  "exp_table7_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table7_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blacklist_ttl.dir/blacklist_ttl.cpp.o"
+  "CMakeFiles/blacklist_ttl.dir/blacklist_ttl.cpp.o.d"
+  "blacklist_ttl"
+  "blacklist_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blacklist_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

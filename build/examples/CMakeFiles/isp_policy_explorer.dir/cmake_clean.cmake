@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_policy_explorer.dir/isp_policy_explorer.cpp.o"
+  "CMakeFiles/isp_policy_explorer.dir/isp_policy_explorer.cpp.o.d"
+  "isp_policy_explorer"
+  "isp_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_forensics.dir/outage_forensics.cpp.o"
+  "CMakeFiles/outage_forensics.dir/outage_forensics.cpp.o.d"
+  "outage_forensics"
+  "outage_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

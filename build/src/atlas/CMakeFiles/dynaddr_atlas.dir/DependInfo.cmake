@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atlas/controller.cpp" "src/atlas/CMakeFiles/dynaddr_atlas.dir/controller.cpp.o" "gcc" "src/atlas/CMakeFiles/dynaddr_atlas.dir/controller.cpp.o.d"
+  "/root/repo/src/atlas/cpe.cpp" "src/atlas/CMakeFiles/dynaddr_atlas.dir/cpe.cpp.o" "gcc" "src/atlas/CMakeFiles/dynaddr_atlas.dir/cpe.cpp.o.d"
+  "/root/repo/src/atlas/datasets.cpp" "src/atlas/CMakeFiles/dynaddr_atlas.dir/datasets.cpp.o" "gcc" "src/atlas/CMakeFiles/dynaddr_atlas.dir/datasets.cpp.o.d"
+  "/root/repo/src/atlas/kroot.cpp" "src/atlas/CMakeFiles/dynaddr_atlas.dir/kroot.cpp.o" "gcc" "src/atlas/CMakeFiles/dynaddr_atlas.dir/kroot.cpp.o.d"
+  "/root/repo/src/atlas/probe.cpp" "src/atlas/CMakeFiles/dynaddr_atlas.dir/probe.cpp.o" "gcc" "src/atlas/CMakeFiles/dynaddr_atlas.dir/probe.cpp.o.d"
+  "/root/repo/src/atlas/special_probes.cpp" "src/atlas/CMakeFiles/dynaddr_atlas.dir/special_probes.cpp.o" "gcc" "src/atlas/CMakeFiles/dynaddr_atlas.dir/special_probes.cpp.o.d"
+  "/root/repo/src/atlas/timeline.cpp" "src/atlas/CMakeFiles/dynaddr_atlas.dir/timeline.cpp.o" "gcc" "src/atlas/CMakeFiles/dynaddr_atlas.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/dynaddr_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaddr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dynaddr_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcp/CMakeFiles/dynaddr_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/dynaddr_ppp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr_atlas.dir/controller.cpp.o"
+  "CMakeFiles/dynaddr_atlas.dir/controller.cpp.o.d"
+  "CMakeFiles/dynaddr_atlas.dir/cpe.cpp.o"
+  "CMakeFiles/dynaddr_atlas.dir/cpe.cpp.o.d"
+  "CMakeFiles/dynaddr_atlas.dir/datasets.cpp.o"
+  "CMakeFiles/dynaddr_atlas.dir/datasets.cpp.o.d"
+  "CMakeFiles/dynaddr_atlas.dir/kroot.cpp.o"
+  "CMakeFiles/dynaddr_atlas.dir/kroot.cpp.o.d"
+  "CMakeFiles/dynaddr_atlas.dir/probe.cpp.o"
+  "CMakeFiles/dynaddr_atlas.dir/probe.cpp.o.d"
+  "CMakeFiles/dynaddr_atlas.dir/special_probes.cpp.o"
+  "CMakeFiles/dynaddr_atlas.dir/special_probes.cpp.o.d"
+  "CMakeFiles/dynaddr_atlas.dir/timeline.cpp.o"
+  "CMakeFiles/dynaddr_atlas.dir/timeline.cpp.o.d"
+  "libdynaddr_atlas.a"
+  "libdynaddr_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_registry.cpp" "src/bgp/CMakeFiles/dynaddr_bgp.dir/as_registry.cpp.o" "gcc" "src/bgp/CMakeFiles/dynaddr_bgp.dir/as_registry.cpp.o.d"
+  "/root/repo/src/bgp/prefix_table.cpp" "src/bgp/CMakeFiles/dynaddr_bgp.dir/prefix_table.cpp.o" "gcc" "src/bgp/CMakeFiles/dynaddr_bgp.dir/prefix_table.cpp.o.d"
+  "/root/repo/src/bgp/radix_trie.cpp" "src/bgp/CMakeFiles/dynaddr_bgp.dir/radix_trie.cpp.o" "gcc" "src/bgp/CMakeFiles/dynaddr_bgp.dir/radix_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/dynaddr_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr_bgp.dir/as_registry.cpp.o"
+  "CMakeFiles/dynaddr_bgp.dir/as_registry.cpp.o.d"
+  "CMakeFiles/dynaddr_bgp.dir/prefix_table.cpp.o"
+  "CMakeFiles/dynaddr_bgp.dir/prefix_table.cpp.o.d"
+  "CMakeFiles/dynaddr_bgp.dir/radix_trie.cpp.o"
+  "CMakeFiles/dynaddr_bgp.dir/radix_trie.cpp.o.d"
+  "libdynaddr_bgp.a"
+  "libdynaddr_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

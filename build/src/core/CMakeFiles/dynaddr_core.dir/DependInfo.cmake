@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_change.cpp" "src/core/CMakeFiles/dynaddr_core.dir/address_change.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/address_change.cpp.o.d"
+  "/root/repo/src/core/admin_renumbering.cpp" "src/core/CMakeFiles/dynaddr_core.dir/admin_renumbering.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/admin_renumbering.cpp.o.d"
+  "/root/repo/src/core/as_mapping.cpp" "src/core/CMakeFiles/dynaddr_core.dir/as_mapping.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/as_mapping.cpp.o.d"
+  "/root/repo/src/core/change_attribution.cpp" "src/core/CMakeFiles/dynaddr_core.dir/change_attribution.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/change_attribution.cpp.o.d"
+  "/root/repo/src/core/cond_prob.cpp" "src/core/CMakeFiles/dynaddr_core.dir/cond_prob.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/cond_prob.cpp.o.d"
+  "/root/repo/src/core/conlog.cpp" "src/core/CMakeFiles/dynaddr_core.dir/conlog.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/conlog.cpp.o.d"
+  "/root/repo/src/core/daily_churn.cpp" "src/core/CMakeFiles/dynaddr_core.dir/daily_churn.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/daily_churn.cpp.o.d"
+  "/root/repo/src/core/filtering.cpp" "src/core/CMakeFiles/dynaddr_core.dir/filtering.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/filtering.cpp.o.d"
+  "/root/repo/src/core/geography.cpp" "src/core/CMakeFiles/dynaddr_core.dir/geography.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/geography.cpp.o.d"
+  "/root/repo/src/core/ipv6_privacy.cpp" "src/core/CMakeFiles/dynaddr_core.dir/ipv6_privacy.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/ipv6_privacy.cpp.o.d"
+  "/root/repo/src/core/outages.cpp" "src/core/CMakeFiles/dynaddr_core.dir/outages.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/outages.cpp.o.d"
+  "/root/repo/src/core/periodicity.cpp" "src/core/CMakeFiles/dynaddr_core.dir/periodicity.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/periodicity.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/dynaddr_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/prefix_change.cpp" "src/core/CMakeFiles/dynaddr_core.dir/prefix_change.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/prefix_change.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dynaddr_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/total_time_fraction.cpp" "src/core/CMakeFiles/dynaddr_core.dir/total_time_fraction.cpp.o" "gcc" "src/core/CMakeFiles/dynaddr_core.dir/total_time_fraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/dynaddr_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dynaddr_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/dynaddr_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcp/CMakeFiles/dynaddr_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/dynaddr_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaddr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dynaddr_pool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dhcp/client.cpp" "src/dhcp/CMakeFiles/dynaddr_dhcp.dir/client.cpp.o" "gcc" "src/dhcp/CMakeFiles/dynaddr_dhcp.dir/client.cpp.o.d"
+  "/root/repo/src/dhcp/server.cpp" "src/dhcp/CMakeFiles/dynaddr_dhcp.dir/server.cpp.o" "gcc" "src/dhcp/CMakeFiles/dynaddr_dhcp.dir/server.cpp.o.d"
+  "/root/repo/src/dhcp/wire.cpp" "src/dhcp/CMakeFiles/dynaddr_dhcp.dir/wire.cpp.o" "gcc" "src/dhcp/CMakeFiles/dynaddr_dhcp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/dynaddr_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaddr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dynaddr_pool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

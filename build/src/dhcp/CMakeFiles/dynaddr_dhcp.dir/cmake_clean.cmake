@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr_dhcp.dir/client.cpp.o"
+  "CMakeFiles/dynaddr_dhcp.dir/client.cpp.o.d"
+  "CMakeFiles/dynaddr_dhcp.dir/server.cpp.o"
+  "CMakeFiles/dynaddr_dhcp.dir/server.cpp.o.d"
+  "CMakeFiles/dynaddr_dhcp.dir/wire.cpp.o"
+  "CMakeFiles/dynaddr_dhcp.dir/wire.cpp.o.d"
+  "libdynaddr_dhcp.a"
+  "libdynaddr_dhcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr_dhcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr_isp.dir/outage_model.cpp.o"
+  "CMakeFiles/dynaddr_isp.dir/outage_model.cpp.o.d"
+  "CMakeFiles/dynaddr_isp.dir/presets.cpp.o"
+  "CMakeFiles/dynaddr_isp.dir/presets.cpp.o.d"
+  "CMakeFiles/dynaddr_isp.dir/scenario.cpp.o"
+  "CMakeFiles/dynaddr_isp.dir/scenario.cpp.o.d"
+  "libdynaddr_isp.a"
+  "libdynaddr_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

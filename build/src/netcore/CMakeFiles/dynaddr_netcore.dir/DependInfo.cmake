@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netcore/ascii_chart.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ascii_chart.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/netcore/csv.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/csv.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/csv.cpp.o.d"
+  "/root/repo/src/netcore/histogram.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/histogram.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/histogram.cpp.o.d"
+  "/root/repo/src/netcore/ipv4.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ipv4.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ipv4.cpp.o.d"
+  "/root/repo/src/netcore/ipv6.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ipv6.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ipv6.cpp.o.d"
+  "/root/repo/src/netcore/rng.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/rng.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/rng.cpp.o.d"
+  "/root/repo/src/netcore/time.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/time.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr_netcore.dir/ascii_chart.cpp.o"
+  "CMakeFiles/dynaddr_netcore.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/dynaddr_netcore.dir/csv.cpp.o"
+  "CMakeFiles/dynaddr_netcore.dir/csv.cpp.o.d"
+  "CMakeFiles/dynaddr_netcore.dir/histogram.cpp.o"
+  "CMakeFiles/dynaddr_netcore.dir/histogram.cpp.o.d"
+  "CMakeFiles/dynaddr_netcore.dir/ipv4.cpp.o"
+  "CMakeFiles/dynaddr_netcore.dir/ipv4.cpp.o.d"
+  "CMakeFiles/dynaddr_netcore.dir/ipv6.cpp.o"
+  "CMakeFiles/dynaddr_netcore.dir/ipv6.cpp.o.d"
+  "CMakeFiles/dynaddr_netcore.dir/rng.cpp.o"
+  "CMakeFiles/dynaddr_netcore.dir/rng.cpp.o.d"
+  "CMakeFiles/dynaddr_netcore.dir/time.cpp.o"
+  "CMakeFiles/dynaddr_netcore.dir/time.cpp.o.d"
+  "libdynaddr_netcore.a"
+  "libdynaddr_netcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr_netcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

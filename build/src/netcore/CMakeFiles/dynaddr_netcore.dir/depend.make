@@ -1,0 +1,2 @@
+# Empty dependencies file for dynaddr_netcore.
+# This may be replaced when dependencies are built.

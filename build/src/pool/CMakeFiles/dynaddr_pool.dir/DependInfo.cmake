@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pool/address_pool.cpp" "src/pool/CMakeFiles/dynaddr_pool.dir/address_pool.cpp.o" "gcc" "src/pool/CMakeFiles/dynaddr_pool.dir/address_pool.cpp.o.d"
+  "/root/repo/src/pool/lease_db.cpp" "src/pool/CMakeFiles/dynaddr_pool.dir/lease_db.cpp.o" "gcc" "src/pool/CMakeFiles/dynaddr_pool.dir/lease_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/dynaddr_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr_pool.dir/address_pool.cpp.o"
+  "CMakeFiles/dynaddr_pool.dir/address_pool.cpp.o.d"
+  "CMakeFiles/dynaddr_pool.dir/lease_db.cpp.o"
+  "CMakeFiles/dynaddr_pool.dir/lease_db.cpp.o.d"
+  "libdynaddr_pool.a"
+  "libdynaddr_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppp/pppoe_wire.cpp" "src/ppp/CMakeFiles/dynaddr_ppp.dir/pppoe_wire.cpp.o" "gcc" "src/ppp/CMakeFiles/dynaddr_ppp.dir/pppoe_wire.cpp.o.d"
+  "/root/repo/src/ppp/radius.cpp" "src/ppp/CMakeFiles/dynaddr_ppp.dir/radius.cpp.o" "gcc" "src/ppp/CMakeFiles/dynaddr_ppp.dir/radius.cpp.o.d"
+  "/root/repo/src/ppp/session.cpp" "src/ppp/CMakeFiles/dynaddr_ppp.dir/session.cpp.o" "gcc" "src/ppp/CMakeFiles/dynaddr_ppp.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/dynaddr_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaddr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dynaddr_pool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

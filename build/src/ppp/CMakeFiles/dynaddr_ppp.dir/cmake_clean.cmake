@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr_ppp.dir/pppoe_wire.cpp.o"
+  "CMakeFiles/dynaddr_ppp.dir/pppoe_wire.cpp.o.d"
+  "CMakeFiles/dynaddr_ppp.dir/radius.cpp.o"
+  "CMakeFiles/dynaddr_ppp.dir/radius.cpp.o.d"
+  "CMakeFiles/dynaddr_ppp.dir/session.cpp.o"
+  "CMakeFiles/dynaddr_ppp.dir/session.cpp.o.d"
+  "libdynaddr_ppp.a"
+  "libdynaddr_ppp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr_ppp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dynaddr_ppp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dynaddr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dynaddr_sim.dir/simulation.cpp.o"
+  "CMakeFiles/dynaddr_sim.dir/simulation.cpp.o.d"
+  "libdynaddr_sim.a"
+  "libdynaddr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynaddr_sim.a"
+)

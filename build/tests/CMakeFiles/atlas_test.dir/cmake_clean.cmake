@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_test.dir/atlas/cpe_test.cpp.o"
+  "CMakeFiles/atlas_test.dir/atlas/cpe_test.cpp.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/datasets_test.cpp.o"
+  "CMakeFiles/atlas_test.dir/atlas/datasets_test.cpp.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/kroot_test.cpp.o"
+  "CMakeFiles/atlas_test.dir/atlas/kroot_test.cpp.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/probe_test.cpp.o"
+  "CMakeFiles/atlas_test.dir/atlas/probe_test.cpp.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/special_test.cpp.o"
+  "CMakeFiles/atlas_test.dir/atlas/special_test.cpp.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/timeline_test.cpp.o"
+  "CMakeFiles/atlas_test.dir/atlas/timeline_test.cpp.o.d"
+  "atlas_test"
+  "atlas_test.pdb"
+  "atlas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

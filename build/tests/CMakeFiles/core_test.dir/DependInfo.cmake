@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/address_change_test.cpp" "tests/CMakeFiles/core_test.dir/core/address_change_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/address_change_test.cpp.o.d"
+  "/root/repo/tests/core/admin_renumbering_test.cpp" "tests/CMakeFiles/core_test.dir/core/admin_renumbering_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/admin_renumbering_test.cpp.o.d"
+  "/root/repo/tests/core/change_attribution_test.cpp" "tests/CMakeFiles/core_test.dir/core/change_attribution_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/change_attribution_test.cpp.o.d"
+  "/root/repo/tests/core/cond_prob_test.cpp" "tests/CMakeFiles/core_test.dir/core/cond_prob_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cond_prob_test.cpp.o.d"
+  "/root/repo/tests/core/daily_churn_test.cpp" "tests/CMakeFiles/core_test.dir/core/daily_churn_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/daily_churn_test.cpp.o.d"
+  "/root/repo/tests/core/filtering_test.cpp" "tests/CMakeFiles/core_test.dir/core/filtering_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/filtering_test.cpp.o.d"
+  "/root/repo/tests/core/ipv6_privacy_test.cpp" "tests/CMakeFiles/core_test.dir/core/ipv6_privacy_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ipv6_privacy_test.cpp.o.d"
+  "/root/repo/tests/core/outages_test.cpp" "tests/CMakeFiles/core_test.dir/core/outages_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/outages_test.cpp.o.d"
+  "/root/repo/tests/core/prefix_geo_test.cpp" "tests/CMakeFiles/core_test.dir/core/prefix_geo_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/prefix_geo_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/robustness_test.cpp" "tests/CMakeFiles/core_test.dir/core/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/robustness_test.cpp.o.d"
+  "/root/repo/tests/core/ttf_periodicity_test.cpp" "tests/CMakeFiles/core_test.dir/core/ttf_periodicity_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ttf_periodicity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dynaddr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/dynaddr_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dynaddr_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/dynaddr_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcp/CMakeFiles/dynaddr_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/dynaddr_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaddr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dynaddr_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/dynaddr_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

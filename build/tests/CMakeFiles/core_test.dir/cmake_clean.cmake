@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/address_change_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/address_change_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/admin_renumbering_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/admin_renumbering_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/change_attribution_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/change_attribution_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/cond_prob_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/cond_prob_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/daily_churn_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/daily_churn_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/filtering_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/filtering_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ipv6_privacy_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ipv6_privacy_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/outages_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/outages_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/prefix_geo_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/prefix_geo_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/robustness_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/robustness_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ttf_periodicity_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ttf_periodicity_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

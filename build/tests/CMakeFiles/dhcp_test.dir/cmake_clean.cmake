@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhcp_test.dir/dhcp/dhcp_test.cpp.o"
+  "CMakeFiles/dhcp_test.dir/dhcp/dhcp_test.cpp.o.d"
+  "CMakeFiles/dhcp_test.dir/dhcp/wire_test.cpp.o"
+  "CMakeFiles/dhcp_test.dir/dhcp/wire_test.cpp.o.d"
+  "dhcp_test"
+  "dhcp_test.pdb"
+  "dhcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_test.dir/isp/isp_test.cpp.o"
+  "CMakeFiles/isp_test.dir/isp/isp_test.cpp.o.d"
+  "isp_test"
+  "isp_test.pdb"
+  "isp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

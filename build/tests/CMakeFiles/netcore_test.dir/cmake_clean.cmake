@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcore_test.dir/netcore/chart_test.cpp.o"
+  "CMakeFiles/netcore_test.dir/netcore/chart_test.cpp.o.d"
+  "CMakeFiles/netcore_test.dir/netcore/csv_test.cpp.o"
+  "CMakeFiles/netcore_test.dir/netcore/csv_test.cpp.o.d"
+  "CMakeFiles/netcore_test.dir/netcore/histogram_test.cpp.o"
+  "CMakeFiles/netcore_test.dir/netcore/histogram_test.cpp.o.d"
+  "CMakeFiles/netcore_test.dir/netcore/ipv4_test.cpp.o"
+  "CMakeFiles/netcore_test.dir/netcore/ipv4_test.cpp.o.d"
+  "CMakeFiles/netcore_test.dir/netcore/ipv6_test.cpp.o"
+  "CMakeFiles/netcore_test.dir/netcore/ipv6_test.cpp.o.d"
+  "CMakeFiles/netcore_test.dir/netcore/rng_test.cpp.o"
+  "CMakeFiles/netcore_test.dir/netcore/rng_test.cpp.o.d"
+  "CMakeFiles/netcore_test.dir/netcore/time_test.cpp.o"
+  "CMakeFiles/netcore_test.dir/netcore/time_test.cpp.o.d"
+  "netcore_test"
+  "netcore_test.pdb"
+  "netcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

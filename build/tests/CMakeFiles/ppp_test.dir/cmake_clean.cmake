@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_test.dir/ppp/ppp_test.cpp.o"
+  "CMakeFiles/ppp_test.dir/ppp/ppp_test.cpp.o.d"
+  "CMakeFiles/ppp_test.dir/ppp/pppoe_wire_test.cpp.o"
+  "CMakeFiles/ppp_test.dir/ppp/pppoe_wire_test.cpp.o.d"
+  "ppp_test"
+  "ppp_test.pdb"
+  "ppp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaddr.dir/dynaddr_cli.cpp.o"
+  "CMakeFiles/dynaddr.dir/dynaddr_cli.cpp.o.d"
+  "dynaddr"
+  "dynaddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
