@@ -9,6 +9,7 @@
 #include "core/pipeline.hpp"
 #include "dhcp/wire.hpp"
 #include "netcore/ipv6.hpp"
+#include "netcore/parallel.hpp"
 #include "isp/presets.hpp"
 
 namespace {
@@ -200,6 +201,56 @@ void BM_QuickScenarioEndToEnd(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_QuickScenarioEndToEnd)->Unit(benchmark::kMillisecond);
+
+// -- sharded pipeline: thread-count comparison --------------------------------
+//
+// The per-probe stages (change extraction, reboot detection, the §5 outage
+// loop) shard across core::PipelineConfig::threads; cross-population stages
+// stay sequential. Compare Arg(1) vs Arg(8) for the speedup, and the raw
+// sharded fan-out below for the per-probe-stage-only scaling.
+
+void BM_PipelineThreads(benchmark::State& state) {
+    // One shared scenario: generation dwarfs analysis and isn't measured.
+    static const auto* scenario = [] {
+        auto config = isp::presets::quick_scenario();
+        auto* result = new isp::ScenarioResult(isp::run_scenario(config));
+        return result;
+    }();
+    static const auto window = isp::presets::quick_scenario().window;
+    core::PipelineConfig config;
+    config.threads = std::size_t(state.range(0));
+    core::AnalysisPipeline pipeline(config);
+    for (auto _ : state) {
+        auto results = pipeline.run(scenario->bundle, scenario->prefix_table,
+                                    scenario->registry, window);
+        benchmark::DoNotOptimize(results.changes.size());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_PipelineThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ParallelForShards(benchmark::State& state) {
+    // Pure fan-out over a CPU-bound per-shard function: the per-probe-stage
+    // scaling ceiling for a given thread count.
+    const auto log = synthetic_log(365);
+    par::ThreadPool pool(par::resolve_threads(std::size_t(state.range(0))));
+    constexpr std::size_t kShards = 256;
+    std::vector<std::size_t> slots(kShards);
+    for (auto _ : state) {
+        pool.parallel_for_shards(kShards, [&](std::size_t i) {
+            slots[i] = core::extract_changes(log).changes.size();
+        });
+        benchmark::DoNotOptimize(slots.data());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * kShards);
+}
+BENCHMARK(BM_ParallelForShards)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -220,8 +220,8 @@ bench/CMakeFiles/perf_micro.dir/perf_micro.cpp.o: \
  /root/repo/src/core/ipv6_privacy.hpp /root/repo/src/core/periodicity.hpp \
  /root/repo/src/core/prefix_change.hpp /root/repo/src/dhcp/wire.hpp \
  /root/repo/src/dhcp/messages.hpp /root/repo/src/pool/address_pool.hpp \
- /root/repo/src/netcore/rng.hpp /root/repo/src/isp/presets.hpp \
- /root/repo/src/isp/world.hpp /root/repo/src/atlas/cpe.hpp \
+ /root/repo/src/netcore/rng.hpp /root/repo/src/netcore/parallel.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -235,11 +235,11 @@ bench/CMakeFiles/perf_micro.dir/perf_micro.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/atlas/probe.hpp /root/repo/src/atlas/timeline.hpp \
- /root/repo/src/sim/simulation.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /root/repo/src/dhcp/client.hpp /root/repo/src/dhcp/server.hpp \
- /root/repo/src/pool/lease_db.hpp /root/repo/src/ppp/session.hpp \
- /root/repo/src/ppp/radius.hpp /root/repo/src/atlas/kroot.hpp \
- /root/repo/src/atlas/special_probes.hpp \
+ /root/repo/src/isp/presets.hpp /root/repo/src/isp/world.hpp \
+ /root/repo/src/atlas/cpe.hpp /root/repo/src/atlas/probe.hpp \
+ /root/repo/src/atlas/timeline.hpp /root/repo/src/sim/simulation.hpp \
+ /root/repo/src/sim/event_queue.hpp /root/repo/src/dhcp/client.hpp \
+ /root/repo/src/dhcp/server.hpp /root/repo/src/pool/lease_db.hpp \
+ /root/repo/src/ppp/session.hpp /root/repo/src/ppp/radius.hpp \
+ /root/repo/src/atlas/kroot.hpp /root/repo/src/atlas/special_probes.hpp \
  /root/repo/src/isp/outage_model.hpp

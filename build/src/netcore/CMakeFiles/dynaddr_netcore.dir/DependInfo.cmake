@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/netcore/histogram.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/histogram.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/histogram.cpp.o.d"
   "/root/repo/src/netcore/ipv4.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ipv4.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ipv4.cpp.o.d"
   "/root/repo/src/netcore/ipv6.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ipv6.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/ipv6.cpp.o.d"
+  "/root/repo/src/netcore/parallel.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/parallel.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/parallel.cpp.o.d"
   "/root/repo/src/netcore/rng.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/rng.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/rng.cpp.o.d"
   "/root/repo/src/netcore/time.cpp" "src/netcore/CMakeFiles/dynaddr_netcore.dir/time.cpp.o" "gcc" "src/netcore/CMakeFiles/dynaddr_netcore.dir/time.cpp.o.d"
   )

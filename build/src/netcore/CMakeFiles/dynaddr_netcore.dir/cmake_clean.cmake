@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dynaddr_netcore.dir/ipv4.cpp.o.d"
   "CMakeFiles/dynaddr_netcore.dir/ipv6.cpp.o"
   "CMakeFiles/dynaddr_netcore.dir/ipv6.cpp.o.d"
+  "CMakeFiles/dynaddr_netcore.dir/parallel.cpp.o"
+  "CMakeFiles/dynaddr_netcore.dir/parallel.cpp.o.d"
   "CMakeFiles/dynaddr_netcore.dir/rng.cpp.o"
   "CMakeFiles/dynaddr_netcore.dir/rng.cpp.o.d"
   "CMakeFiles/dynaddr_netcore.dir/time.cpp.o"

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/filtering_test.cpp" "tests/CMakeFiles/core_test.dir/core/filtering_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/filtering_test.cpp.o.d"
   "/root/repo/tests/core/ipv6_privacy_test.cpp" "tests/CMakeFiles/core_test.dir/core/ipv6_privacy_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ipv6_privacy_test.cpp.o.d"
   "/root/repo/tests/core/outages_test.cpp" "tests/CMakeFiles/core_test.dir/core/outages_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/outages_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_correctness_test.cpp" "tests/CMakeFiles/core_test.dir/core/pipeline_correctness_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_correctness_test.cpp.o.d"
   "/root/repo/tests/core/prefix_geo_test.cpp" "tests/CMakeFiles/core_test.dir/core/prefix_geo_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/prefix_geo_test.cpp.o.d"
   "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
   "/root/repo/tests/core/robustness_test.cpp" "tests/CMakeFiles/core_test.dir/core/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/robustness_test.cpp.o.d"

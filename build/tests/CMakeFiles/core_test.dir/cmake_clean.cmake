@@ -15,6 +15,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_test.dir/core/ipv6_privacy_test.cpp.o.d"
   "CMakeFiles/core_test.dir/core/outages_test.cpp.o"
   "CMakeFiles/core_test.dir/core/outages_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_correctness_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pipeline_correctness_test.cpp.o.d"
   "CMakeFiles/core_test.dir/core/prefix_geo_test.cpp.o"
   "CMakeFiles/core_test.dir/core/prefix_geo_test.cpp.o.d"
   "CMakeFiles/core_test.dir/core/report_test.cpp.o"

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/netcore/histogram_test.cpp" "tests/CMakeFiles/netcore_test.dir/netcore/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/netcore_test.dir/netcore/histogram_test.cpp.o.d"
   "/root/repo/tests/netcore/ipv4_test.cpp" "tests/CMakeFiles/netcore_test.dir/netcore/ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/netcore_test.dir/netcore/ipv4_test.cpp.o.d"
   "/root/repo/tests/netcore/ipv6_test.cpp" "tests/CMakeFiles/netcore_test.dir/netcore/ipv6_test.cpp.o" "gcc" "tests/CMakeFiles/netcore_test.dir/netcore/ipv6_test.cpp.o.d"
+  "/root/repo/tests/netcore/parallel_test.cpp" "tests/CMakeFiles/netcore_test.dir/netcore/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/netcore_test.dir/netcore/parallel_test.cpp.o.d"
   "/root/repo/tests/netcore/rng_test.cpp" "tests/CMakeFiles/netcore_test.dir/netcore/rng_test.cpp.o" "gcc" "tests/CMakeFiles/netcore_test.dir/netcore/rng_test.cpp.o.d"
   "/root/repo/tests/netcore/time_test.cpp" "tests/CMakeFiles/netcore_test.dir/netcore/time_test.cpp.o" "gcc" "tests/CMakeFiles/netcore_test.dir/netcore/time_test.cpp.o.d"
   )

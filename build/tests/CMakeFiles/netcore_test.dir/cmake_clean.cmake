@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/netcore_test.dir/netcore/ipv4_test.cpp.o.d"
   "CMakeFiles/netcore_test.dir/netcore/ipv6_test.cpp.o"
   "CMakeFiles/netcore_test.dir/netcore/ipv6_test.cpp.o.d"
+  "CMakeFiles/netcore_test.dir/netcore/parallel_test.cpp.o"
+  "CMakeFiles/netcore_test.dir/netcore/parallel_test.cpp.o.d"
   "CMakeFiles/netcore_test.dir/netcore/rng_test.cpp.o"
   "CMakeFiles/netcore_test.dir/netcore/rng_test.cpp.o.d"
   "CMakeFiles/netcore_test.dir/netcore/time_test.cpp.o"

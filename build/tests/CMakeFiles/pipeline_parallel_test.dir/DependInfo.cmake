@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/pipeline_parallel_test.cpp" "tests/CMakeFiles/pipeline_parallel_test.dir/core/pipeline_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_parallel_test.dir/core/pipeline_parallel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dynaddr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/dynaddr_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dynaddr_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/dynaddr_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcp/CMakeFiles/dynaddr_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/dynaddr_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaddr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dynaddr_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/dynaddr_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

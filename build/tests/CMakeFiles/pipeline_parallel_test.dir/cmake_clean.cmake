@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_parallel_test.dir/core/pipeline_parallel_test.cpp.o"
+  "CMakeFiles/pipeline_parallel_test.dir/core/pipeline_parallel_test.cpp.o.d"
+  "pipeline_parallel_test"
+  "pipeline_parallel_test.pdb"
+  "pipeline_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,7 @@ include("/root/repo/build/tests/ppp_test[1]_include.cmake")
 include("/root/repo/build/tests/atlas_test[1]_include.cmake")
 include("/root/repo/build/tests/isp_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_parallel_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/paper_shape_test[1]_include.cmake")

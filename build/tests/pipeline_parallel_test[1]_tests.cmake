@@ -1,0 +1,3 @@
+add_test([=[PipelineDeterminism.OutputIdenticalForAnyThreadCount]=]  /root/repo/build/tests/pipeline_parallel_test [==[--gtest_filter=PipelineDeterminism.OutputIdenticalForAnyThreadCount]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelineDeterminism.OutputIdenticalForAnyThreadCount]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  pipeline_parallel_test_TESTS PipelineDeterminism.OutputIdenticalForAnyThreadCount)

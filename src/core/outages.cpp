@@ -72,11 +72,20 @@ FirmwareAnalysis detect_firmware_spikes(std::span<const RebootInference> reboots
         counts[std::size_t(day)] = int(probes.size());
         analysis.probes_rebooted_per_day[day] = int(probes.size());
     }
-    // Median over all days (zeros included: quiet days count).
+    // Median over all days (zeros included: quiet days count). Even-sized
+    // windows take the mean of the two middle elements — the upper element
+    // alone would bias the spike threshold upward.
     std::vector<int> sorted = counts;
     std::sort(sorted.begin(), sorted.end());
-    analysis.median_per_day =
-        sorted.empty() ? 0.0 : double(sorted[sorted.size() / 2]);
+    if (sorted.empty()) {
+        analysis.median_per_day = 0.0;
+    } else {
+        const std::size_t mid = sorted.size() / 2;
+        analysis.median_per_day =
+            sorted.size() % 2 != 0
+                ? double(sorted[mid])
+                : (double(sorted[mid - 1]) + double(sorted[mid])) / 2.0;
+    }
 
     const double threshold =
         std::max(1.0, config.spike_factor * analysis.median_per_day);

@@ -24,6 +24,11 @@ struct PipelineConfig {
     CondProbConfig cond_prob;
     AdminRenumberingConfig admin;
     Ipv6PrivacyConfig ipv6;
+    /// Executor count for the per-probe pipeline stages (change
+    /// extraction, reboot detection, the §5 outage loop). 0 = hardware
+    /// concurrency, 1 = single-threaded. Output is bit-identical for any
+    /// value: shards merge in probe order (see netcore/parallel.hpp).
+    std::size_t threads = 0;
 };
 
 /// Everything the pipeline derives from one dataset bundle — the material

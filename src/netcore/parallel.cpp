@@ -1,0 +1,121 @@
+#include "netcore/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynaddr::par {
+
+std::size_t resolve_threads(std::size_t requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : std::size_t(hw);
+}
+
+struct ThreadPool::Impl {
+    std::mutex mutex;
+    std::condition_variable work_ready;
+    std::condition_variable work_done;
+    std::vector<std::thread> workers;
+
+    // Current job; generations serialize parallel_for_shards calls.
+    std::uint64_t generation = 0;
+    bool stop = false;
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t shards = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t active = 0;  ///< workers still draining this generation
+    std::exception_ptr error;
+
+    /// Claims shards off the shared counter until none remain. The
+    /// counter, not the scheduler, defines the work split — results land
+    /// in caller-owned slots, so scheduling order never shows in output.
+    void drain() noexcept {
+        for (;;) {
+            const std::size_t shard =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (shard >= shards) return;
+            try {
+                (*job)(shard);
+            } catch (...) {
+                std::scoped_lock lock(mutex);
+                if (!error) error = std::current_exception();
+            }
+        }
+    }
+
+    void worker_loop() {
+        std::uint64_t seen = 0;
+        std::unique_lock lock(mutex);
+        for (;;) {
+            work_ready.wait(lock, [&] { return stop || generation != seen; });
+            if (stop) return;
+            seen = generation;
+            lock.unlock();
+            drain();
+            lock.lock();
+            if (--active == 0) work_done.notify_all();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+    if (threads < 1) threads = 1;
+    impl_->workers.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::scoped_lock lock(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->work_ready.notify_all();
+    for (auto& worker : impl_->workers) worker.join();
+}
+
+std::size_t ThreadPool::thread_count() const {
+    return impl_->workers.size() + 1;
+}
+
+void ThreadPool::parallel_for_shards(
+    std::size_t shards, const std::function<void(std::size_t)>& fn) {
+    if (shards == 0) return;
+    if (impl_->workers.empty() || shards == 1) {
+        for (std::size_t shard = 0; shard < shards; ++shard) fn(shard);
+        return;
+    }
+    {
+        std::scoped_lock lock(impl_->mutex);
+        impl_->job = &fn;
+        impl_->shards = shards;
+        impl_->next.store(0, std::memory_order_relaxed);
+        impl_->error = nullptr;
+        impl_->active = impl_->workers.size();
+        ++impl_->generation;
+    }
+    impl_->work_ready.notify_all();
+    impl_->drain();  // the calling thread is one of the executors
+    std::unique_lock lock(impl_->mutex);
+    impl_->work_done.wait(lock, [&] { return impl_->active == 0; });
+    impl_->job = nullptr;
+    if (impl_->error) {
+        auto error = impl_->error;
+        impl_->error = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void parallel_for_shards(std::size_t shards, std::size_t threads,
+                         const std::function<void(std::size_t)>& fn) {
+    ThreadPool pool(resolve_threads(threads));
+    pool.parallel_for_shards(shards, fn);
+}
+
+}  // namespace dynaddr::par

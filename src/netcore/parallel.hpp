@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace dynaddr::par {
+
+/// Maps a configured thread count to an actual one: 0 means "use the
+/// hardware" (std::thread::hardware_concurrency, at least 1), any other
+/// value is taken literally. 1 disables worker threads entirely.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
+
+/// A small fixed-size thread pool built for deterministic sharded
+/// fan-out. The only primitive is `parallel_for_shards(n, fn)`: invoke
+/// `fn(shard)` once for every shard in [0, n), distributed over the pool,
+/// and block until all shards finished.
+///
+/// Determinism contract: the pool assigns shard *indices*, never data.
+/// Callers make output order independent of scheduling by writing each
+/// shard's result into a pre-sized slot (`slots[shard] = ...`) and
+/// concatenating slots in shard order after the call returns — the merged
+/// output is then bit-identical to a sequential run for any thread count.
+///
+/// A pool of size 1 spawns no workers; parallel_for_shards degenerates to
+/// a plain loop on the calling thread. With N > 1 the calling thread
+/// participates as one of the N executors, so a pool of size N uses N-1
+/// background threads.
+class ThreadPool {
+public:
+    /// `threads` is the executor count (callers usually pass
+    /// resolve_threads(config)). Values < 1 are clamped to 1.
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t thread_count() const;
+
+    /// Runs fn(0) .. fn(shards-1), each exactly once, blocking until all
+    /// complete. Shards may run on any executor in any order; fn must not
+    /// touch another shard's slot. If one or more shards throw, the
+    /// remaining shards still run and the first captured exception is
+    /// rethrown here.
+    void parallel_for_shards(std::size_t shards,
+                             const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience: builds a transient pool of
+/// resolve_threads(threads) executors and runs the sharded loop.
+void parallel_for_shards(std::size_t shards, std::size_t threads,
+                         const std::function<void(std::size_t)>& fn);
+
+}  // namespace dynaddr::par

@@ -1,0 +1,157 @@
+// Regression tests for pipeline correctness fixes: unknown-version probes
+// and power-outage eligibility, explicit-window/empty-log handling, and the
+// even-count firmware median.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "netcore/error.hpp"
+
+namespace dynaddr::core {
+namespace {
+
+using atlas::ConnectionLogEntry;
+using atlas::DatasetBundle;
+using atlas::PeerAddress;
+using net::Duration;
+using net::IPv4Address;
+using net::TimePoint;
+
+const TimePoint kStart = TimePoint::from_date(2015, 1, 1);
+
+ConnectionLogEntry entry(atlas::ProbeId probe, std::int64_t start_s,
+                         std::int64_t end_s, const char* address) {
+    ConnectionLogEntry e;
+    e.probe = probe;
+    e.start = kStart + Duration{start_s};
+    e.end = kStart + Duration{end_s};
+    e.address = PeerAddress::ipv4(IPv4Address::parse_or_throw(address));
+    return e;
+}
+
+AnalysisResults run(const DatasetBundle& bundle,
+                    std::optional<net::TimeInterval> window = std::nullopt) {
+    bgp::PrefixTable table;
+    table.announce_range(bgp::month_key(2015, 1), bgp::month_key(2015, 12),
+                         net::IPv4Prefix::parse_or_throw("10.0.0.0/8"), 100);
+    bgp::AsRegistry registry;
+    AnalysisPipeline pipeline;
+    return pipeline.run(bundle, table, registry, window);
+}
+
+/// A probe whose reboot coincides with missing k-root pings: a power
+/// outage — if the probe's uptime semantics are trustworthy (v3).
+DatasetBundle power_outage_bundle() {
+    DatasetBundle bundle;
+    // Address change across the 10000..11500 gap.
+    bundle.connection_log = {entry(1, 0, 10000, "10.0.0.1"),
+                             entry(1, 11500, 50000, "10.0.0.2")};
+    // k-root pings every 240 s, a hole around the reboot; all successful so
+    // no network outage competes for the attribution.
+    for (std::int64_t t = 0; t <= 3600; t += 240)
+        bundle.kroot_pings.push_back({1, kStart + Duration{t}, 3, 3, 50});
+    for (std::int64_t t = 5400; t <= 9000; t += 240)
+        bundle.kroot_pings.push_back({1, kStart + Duration{t}, 3, 3, 50});
+    // Uptime reset: reboot inferred at t = 5300, inside the ping hole.
+    bundle.uptime_records = {{1, kStart + Duration{1000}, 900},
+                             {1, kStart + Duration{5400}, 100}};
+    return bundle;
+}
+
+TEST(PowerOutageEligibility, V3ProbeGetsPowerDetection) {
+    auto bundle = power_outage_bundle();
+    bundle.probes = {{1, atlas::ProbeVersion::V3, "DE", {}}};
+    const auto results = run(bundle);
+    ASSERT_TRUE(results.power_outages.contains(1));
+    EXPECT_EQ(results.power_outages.at(1).size(), 1u);
+}
+
+TEST(PowerOutageEligibility, V1ProbeExcluded) {
+    auto bundle = power_outage_bundle();
+    bundle.probes = {{1, atlas::ProbeVersion::V1, "DE", {}}};
+    const auto results = run(bundle);
+    ASSERT_TRUE(results.power_outages.contains(1));
+    EXPECT_TRUE(results.power_outages.at(1).empty());
+}
+
+TEST(PowerOutageEligibility, ProbeMissingFromArchiveExcluded) {
+    // Paper §5.1 only trusts v3 uptime semantics; a probe absent from the
+    // probe archive has unknown version and must not default to v3.
+    auto bundle = power_outage_bundle();
+    ASSERT_TRUE(bundle.probes.empty());
+    const auto results = run(bundle);
+    ASSERT_TRUE(results.power_outages.contains(1));
+    EXPECT_TRUE(results.power_outages.at(1).empty())
+        << "unknown-version probe was given power-outage detection";
+    // Network detection is version-independent and must survive.
+    EXPECT_TRUE(results.network_outages.contains(1));
+}
+
+TEST(PowerOutageEligibility, UnknownVersionKeepsNetworkDetection) {
+    auto bundle = power_outage_bundle();
+    // Turn the ping hole into an all-loss run with growing LTS: a network
+    // outage every version reports.
+    bundle.kroot_pings.clear();
+    for (std::int64_t t = 0; t <= 3600; t += 240)
+        bundle.kroot_pings.push_back({1, kStart + Duration{t}, 3, 3, 50});
+    for (std::int64_t t = 3840; t <= 5160; t += 240)
+        bundle.kroot_pings.push_back({1, kStart + Duration{t}, 3, 0, 400 + t});
+    for (std::int64_t t = 5400; t <= 9000; t += 240)
+        bundle.kroot_pings.push_back({1, kStart + Duration{t}, 3, 3, 50});
+    const auto results = run(bundle);
+    ASSERT_TRUE(results.network_outages.contains(1));
+    EXPECT_EQ(results.network_outages.at(1).size(), 1u);
+    EXPECT_TRUE(results.power_outages.at(1).empty());
+}
+
+TEST(ObservationWindow, EmptyLogWithoutWindowThrows) {
+    DatasetBundle bundle;
+    EXPECT_THROW(run(bundle), Error);
+}
+
+TEST(ObservationWindow, ExplicitWindowWithEmptyLogIsDefined) {
+    // A caller that fixes the window may legitimately pass a bundle with no
+    // connection log (e.g. uptime-only ingestion): the pipeline must keep
+    // the given window — not the 1<<60 scan sentinels — and produce empty
+    // per-probe analyses.
+    DatasetBundle bundle;
+    bundle.uptime_records = {{1, kStart + Duration{1000}, 900},
+                             {1, kStart + Duration{5400}, 100}};
+    const net::TimeInterval window{kStart, kStart + Duration::days(30)};
+    const auto results = run(bundle, window);
+    EXPECT_EQ(results.window.begin, window.begin);
+    EXPECT_EQ(results.window.end, window.end);
+    EXPECT_EQ(results.filter.total(), 0);
+    EXPECT_TRUE(results.changes.empty());
+    EXPECT_TRUE(results.network_outages.empty());
+    // Firmware analysis still runs over the uptime data.
+    EXPECT_EQ(results.firmware.probes_rebooted_per_day.size(), 1u);
+}
+
+TEST(FirmwareMedian, EvenDayCountAveragesMiddlePair) {
+    // Four day-slots (an 84 h window) with 1/2/3/4 unique probes rebooting
+    // per day: the median must be (2+3)/2, not the upper middle element.
+    std::vector<RebootInference> reboots;
+    for (int day = 0; day < 4; ++day)
+        for (int p = 0; p <= day; ++p)
+            reboots.push_back({atlas::ProbeId(p + 1),
+                               kStart + Duration::days(day) + Duration::hours(1)});
+    const auto analysis = detect_firmware_spikes(
+        reboots, {kStart, kStart + Duration::hours(84)});
+    EXPECT_DOUBLE_EQ(analysis.median_per_day, 2.5);
+}
+
+TEST(FirmwareMedian, OddDayCountUsesMiddleElement) {
+    // Three day-slots (a 60 h window) with 1/2/3 probes per day: median 2.
+    std::vector<RebootInference> reboots;
+    for (int day = 0; day < 3; ++day)
+        for (int p = 0; p <= day; ++p)
+            reboots.push_back({atlas::ProbeId(p + 1),
+                               kStart + Duration::days(day) + Duration::hours(1)});
+    const auto analysis = detect_firmware_spikes(
+        reboots, {kStart, kStart + Duration::hours(60)});
+    EXPECT_DOUBLE_EQ(analysis.median_per_day, 2.0);
+}
+
+}  // namespace
+}  // namespace dynaddr::core

@@ -1,0 +1,114 @@
+// Determinism of the sharded AnalysisPipeline: the filter report, changes,
+// outage maps and conditional-probability rows must be identical for any
+// thread count on a paper-preset scenario (the pool's shard/merge contract).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "isp/presets.hpp"
+
+namespace dynaddr::core {
+namespace {
+
+void dump_outage_map(
+    std::ostream& out, const char* tag,
+    const std::map<atlas::ProbeId, std::vector<DetectedOutage>>& outages) {
+    for (const auto& [probe, list] : outages) {
+        out << tag << ' ' << probe;
+        for (const auto& o : list)
+            out << " [" << int(o.kind) << ' ' << o.begin.unix_seconds() << ' '
+                << o.end.unix_seconds() << ']';
+        out << '\n';
+    }
+}
+
+void dump_outcome_map(
+    std::ostream& out, const char* tag,
+    const std::map<atlas::ProbeId, std::vector<OutageOutcome>>& outcomes) {
+    for (const auto& [probe, list] : outcomes) {
+        out << tag << ' ' << probe;
+        for (const auto& o : list)
+            out << " [" << o.outage.begin.unix_seconds() << ' '
+                << o.outage.end.unix_seconds() << ' ' << o.address_change
+                << ']';
+        out << '\n';
+    }
+}
+
+/// Byte-exact rendering of every output the issue's determinism contract
+/// names: filter report, changes, outage/outcome maps, cond-prob rows.
+std::string fingerprint(const AnalysisResults& r) {
+    std::ostringstream out;
+    out << "window " << r.window.begin.unix_seconds() << ' '
+        << r.window.end.unix_seconds() << '\n';
+    for (const auto& [probe, category] : r.filter.category)
+        out << "cat " << probe << ' ' << category_name(category) << '\n';
+    for (const auto& pc : r.changes) {
+        out << "probe " << pc.probe << " total "
+            << pc.total_address_time.count() << '\n';
+        for (const auto& c : pc.changes)
+            out << "  change " << c.last_seen.unix_seconds() << ' '
+                << c.first_seen.unix_seconds() << ' ' << c.from.to_string()
+                << ' ' << c.to.to_string() << '\n';
+        for (const auto& s : pc.spans)
+            out << "  span " << s.address.to_string() << ' '
+                << s.begin.unix_seconds() << ' ' << s.end.unix_seconds()
+                << '\n';
+    }
+    out << "firmware median " << r.firmware.median_per_day << '\n';
+    for (const auto& [day, count] : r.firmware.probes_rebooted_per_day)
+        out << "reboots " << day << ' ' << count << '\n';
+    for (const auto& release : r.firmware.release_days)
+        out << "release " << release.unix_seconds() << '\n';
+    dump_outage_map(out, "nw", r.network_outages);
+    dump_outage_map(out, "pw", r.power_outages);
+    dump_outcome_map(out, "nw-out", r.network_outcomes);
+    dump_outcome_map(out, "pw-out", r.power_outcomes);
+    for (const auto& p : r.cond_prob.probes)
+        out << "cp " << p.probe << ' ' << p.network_outages << ' '
+            << p.network_changes << ' ' << p.power_outages << ' '
+            << p.power_changes << '\n';
+    auto dump_row = [&](const Table6Row& row) {
+        out << "t6 " << row.asn << ' ' << row.as_name << ' ' << row.n << ' '
+            << row.pct_nw_over << ' ' << row.pct_nw_one << ' '
+            << row.pct_pw_over << ' ' << row.pct_pw_one << '\n';
+    };
+    dump_row(r.cond_prob.all);
+    for (const auto& row : r.cond_prob.as_rows) dump_row(row);
+    return out.str();
+}
+
+TEST(PipelineDeterminism, OutputIdenticalForAnyThreadCount) {
+    // The outage preset exercises all three sharded stages (change
+    // extraction, reboot detection, the §5 per-probe loop).
+    const auto config = isp::presets::outage_scenario();
+    const auto scenario = isp::run_scenario(config);
+
+    std::string baseline;
+    for (const std::size_t threads : {1u, 2u, 8u, 0u}) {
+        PipelineConfig pipeline_config;
+        pipeline_config.threads = threads;
+        AnalysisPipeline pipeline(pipeline_config);
+        const auto results =
+            pipeline.run(scenario.bundle, scenario.prefix_table,
+                         scenario.registry, config.window);
+        const auto print = fingerprint(results);
+        if (threads == 1) {
+            // Guard that the scenario is substantive enough to catch merge
+            // bugs: per-probe outage content must actually exist.
+            EXPECT_FALSE(results.changes.empty());
+            EXPECT_FALSE(results.network_outages.empty());
+            EXPECT_GT(results.cond_prob.probes.size(), 0u);
+            baseline = print;
+        } else {
+            EXPECT_EQ(print, baseline) << "threads=" << threads;
+        }
+    }
+    EXPECT_FALSE(baseline.empty());
+}
+
+}  // namespace
+}  // namespace dynaddr::core

@@ -1,0 +1,98 @@
+#include "netcore/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dynaddr::par {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardware) {
+    EXPECT_GE(resolve_threads(0), 1u);
+    EXPECT_EQ(resolve_threads(1), 1u);
+    EXPECT_EQ(resolve_threads(5), 5u);
+}
+
+TEST(ThreadPool, RunsEveryShardExactlyOnce) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.thread_count(), threads);
+        std::vector<std::atomic<int>> hits(100);
+        pool.parallel_for_shards(hits.size(),
+                                 [&](std::size_t shard) { ++hits[shard]; });
+        for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(ThreadPool, MoreThreadsThanShards) {
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallel_for_shards(hits.size(),
+                             [&](std::size_t shard) { ++hits[shard]; });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ZeroShardsIsANoOp) {
+    ThreadPool pool(4);
+    pool.parallel_for_shards(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 50; ++round)
+        pool.parallel_for_shards(10, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, DeterministicMergeViaSlots) {
+    // The contract the pipeline relies on: per-shard slots concatenated in
+    // shard order are identical for any thread count.
+    auto run = [](std::size_t threads) {
+        ThreadPool pool(threads);
+        std::vector<std::vector<int>> slots(64);
+        pool.parallel_for_shards(slots.size(), [&](std::size_t shard) {
+            for (int i = 0; i < int(shard); ++i)
+                slots[shard].push_back(int(shard) * 1000 + i);
+        });
+        std::vector<int> merged;
+        for (const auto& slot : slots)
+            merged.insert(merged.end(), slot.begin(), slot.end());
+        return merged;
+    };
+    const auto sequential = run(1);
+    EXPECT_EQ(run(2), sequential);
+    EXPECT_EQ(run(8), sequential);
+}
+
+TEST(ThreadPool, FirstExceptionRethrownAfterAllShardsRan) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(32);
+    EXPECT_THROW(pool.parallel_for_shards(hits.size(),
+                                          [&](std::size_t shard) {
+                                              ++hits[shard];
+                                              if (shard == 7)
+                                                  throw std::runtime_error("x");
+                                          }),
+                 std::runtime_error);
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+    // The pool survives a throwing job.
+    std::atomic<int> total{0};
+    pool.parallel_for_shards(8, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ParallelForShards, FreeFunction) {
+    std::vector<int> slots(16, 0);
+    parallel_for_shards(slots.size(), 4,
+                        [&](std::size_t shard) { slots[shard] = int(shard); });
+    std::vector<int> expected(16);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(slots, expected);
+}
+
+}  // namespace
+}  // namespace dynaddr::par

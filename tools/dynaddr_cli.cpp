@@ -38,8 +38,10 @@ int usage() {
         "usage:\n"
         "  dynaddr simulate --preset paper|outage|quick --out DIR [--seed N]\n"
         "  dynaddr analyze  --data DIR [--report summary,table2,table5,"
-        "table6,table7,admin,causes,all]\n"
-        "  dynaddr demo\n";
+        "table6,table7,admin,causes,all] [--threads N]\n"
+        "  dynaddr demo [--threads N]\n"
+        "(--threads: pipeline executors; 0 = hardware concurrency (default),"
+        " 1 = single-threaded; results are identical for any value)\n";
     return 2;
 }
 
@@ -121,6 +123,14 @@ bgp::AsRegistry load_context_registry(const fs::path& dir) {
         registry.add(info);
     }
     return registry;
+}
+
+core::PipelineConfig pipeline_config(
+    const std::map<std::string, std::string>& flags) {
+    core::PipelineConfig config;
+    if (auto threads = flags.find("threads"); threads != flags.end())
+        config.threads = std::stoull(threads->second);
+    return config;
 }
 
 bool wants(const std::string& list, const std::string& item) {
@@ -208,17 +218,17 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
         std::cerr << "warning: no pfx2as_YYYY-MM.txt files in " << dir.string()
                   << "; AS-level analyses will be empty\n";
 
-    core::AnalysisPipeline pipeline;
+    core::AnalysisPipeline pipeline(pipeline_config(flags));
     const auto results = pipeline.run(bundle, table, registry);
     print_reports(results, table, registry, report_list);
     return 0;
 }
 
-int cmd_demo() {
+int cmd_demo(const std::map<std::string, std::string>& flags) {
     const auto config = isp::presets::quick_scenario();
     std::cout << "simulating quick preset...\n";
     const auto scenario = isp::run_scenario(config);
-    core::AnalysisPipeline pipeline;
+    core::AnalysisPipeline pipeline(pipeline_config(flags));
     const auto results = pipeline.run(scenario.bundle, scenario.prefix_table,
                                       scenario.registry, config.window);
     print_reports(results, scenario.prefix_table, scenario.registry, "all");
@@ -234,7 +244,7 @@ int main(int argc, char** argv) {
         const auto flags = parse_flags(argc, argv, 2);
         if (command == "simulate") return cmd_simulate(flags);
         if (command == "analyze") return cmd_analyze(flags);
-        if (command == "demo") return cmd_demo();
+        if (command == "demo") return cmd_demo(flags);
         return usage();
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << "\n";

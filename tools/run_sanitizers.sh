@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the tree under ThreadSanitizer and ASan/UBSan and runs the tier-1
+# test suite under each, so the pipeline's sharded concurrency stays honest.
+#
+#   tools/run_sanitizers.sh [thread|address ...]   (default: both)
+#
+# Exits non-zero on the first sanitizer failure. Build trees live in
+# build-tsan/ and build-asan/ next to the regular build/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 2)
+sanitizers=("$@")
+[ ${#sanitizers[@]} -eq 0 ] && sanitizers=(thread address)
+
+for sanitizer in "${sanitizers[@]}"; do
+  case "$sanitizer" in
+    thread)  dir=build-tsan ;;
+    address) dir=build-asan ;;
+    *) echo "unknown sanitizer '$sanitizer' (want thread|address)" >&2; exit 2 ;;
+  esac
+  echo "=== ${sanitizer}-sanitized build in ${dir}/ ==="
+  cmake -B "$dir" -S . -DDYNADDR_SANITIZE="$sanitizer" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  echo "=== ${sanitizer} sanitizer: clean ==="
+done
