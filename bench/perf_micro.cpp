@@ -4,13 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <ctime>
+#include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "core/pipeline.hpp"
 #include "dhcp/wire.hpp"
 #include "netcore/ipv6.hpp"
 #include "netcore/parallel.hpp"
 #include "isp/presets.hpp"
+#include "sim/reference_queue.hpp"
 
 namespace {
 
@@ -135,6 +140,107 @@ void BM_EventEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngine)->Arg(100)->Arg(1000);
 
+// Raw queue comparison: the same self-rescheduling workload driven
+// directly against a queue type, at 1M+ total events. BM_EventEngineWheel
+// runs the timer-wheel engine; BM_EventEngineBaseline runs the original
+// std::map implementation kept in sim/reference_queue.hpp. The wheel must
+// stay >= 5x the baseline at Arg(1000000).
+template <typename Queue>
+std::int64_t event_workload(std::int64_t total_events,
+                            std::int64_t concurrent) {
+    Queue queue;
+    rng::Stream rng(5);
+    std::int64_t fired = 0;
+    std::function<void(net::TimePoint)> tick = [&](net::TimePoint t) {
+        ++fired;
+        if (fired + concurrent <= total_events)
+            queue.schedule(t + net::Duration{rng.uniform_int(1, 1000)}, tick);
+    };
+    for (std::int64_t i = 0; i < concurrent; ++i)
+        queue.schedule(net::TimePoint{rng.uniform_int(1, 1000)}, tick);
+    while (queue.run_next()) {
+    }
+    return fired;
+}
+
+void BM_EventEngineWheel(benchmark::State& state) {
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            event_workload<sim::EventQueue>(state.range(0), 4096));
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EventEngineWheel)
+    ->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventEngineBaseline(benchmark::State& state) {
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            event_workload<sim::ReferenceEventQueue>(state.range(0), 4096));
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EventEngineBaseline)
+    ->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventEngineCancelHeavy(benchmark::State& state) {
+    // Schedule/cancel churn: half of all scheduled timers are cancelled
+    // before they fire (lease renewals superseded by reconnects). Cancel
+    // is an O(1) tombstone; the wheel reclaims slots lazily.
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        rng::Stream rng(11);
+        std::vector<sim::EventId> pending;
+        std::int64_t fired = 0;
+        for (std::int64_t i = 0; i < state.range(0); ++i) {
+            pending.push_back(
+                queue.schedule(net::TimePoint{rng.uniform_int(1, 1 << 20)},
+                               [&fired](net::TimePoint) { ++fired; }));
+            if (pending.size() >= 2 && rng.bernoulli(0.5)) {
+                const auto victim =
+                    std::size_t(rng.uniform_int(0, std::int64_t(pending.size()) - 1));
+                queue.cancel(pending[victim]);
+                pending[victim] = pending.back();
+                pending.pop_back();
+            }
+        }
+        while (queue.run_next()) {
+        }
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EventEngineCancelHeavy)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventEnginePeriodic(benchmark::State& state) {
+    // The k-root ping cadence: one periodic event per probe at 240 s,
+    // re-armed in place for a simulated week. One slot per probe for the
+    // whole run — no per-firing allocation at all.
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        std::int64_t fired = 0;
+        const std::int64_t horizon = 7 * 86400;
+        std::vector<sim::EventId> ids;
+        for (int probe = 0; probe < 400; ++probe)
+            ids.push_back(queue.schedule_every(
+                net::TimePoint{probe % 240}, net::Duration{240},
+                [&](net::TimePoint) { ++fired; }));
+        while (auto next = queue.next_time()) {
+            if (next->unix_seconds() > horizon) break;
+            queue.run_next();
+        }
+        for (const auto id : ids) queue.cancel(id);
+        while (queue.run_next()) {
+        }
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 400 *
+                            (7 * 86400 / 240));
+}
+BENCHMARK(BM_EventEnginePeriodic)->Unit(benchmark::kMillisecond);
+
 // -- pool allocation -------------------------------------------------------------
 
 void BM_PoolChurn(benchmark::State& state) {
@@ -189,6 +295,22 @@ void BM_DhcpWireRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_DhcpWireRoundTrip);
 
 // -- end-to-end -------------------------------------------------------------------
+
+void BM_ScenarioGenerate(benchmark::State& state) {
+    // Pure simulation throughput: world construction + event loop + dataset
+    // emission, no analysis. This is the loop the timer wheel accelerates.
+    const auto config = isp::presets::quick_scenario();
+    std::int64_t rows = 0;
+    for (auto _ : state) {
+        auto scenario = isp::run_scenario(config);
+        rows = std::int64_t(scenario.bundle.connection_log.size() +
+                            scenario.bundle.kroot_pings.size() +
+                            scenario.bundle.uptime_records.size());
+        benchmark::DoNotOptimize(scenario.bundle.connection_log.data());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * rows);
+}
+BENCHMARK(BM_ScenarioGenerate)->Unit(benchmark::kMillisecond);
 
 void BM_QuickScenarioEndToEnd(benchmark::State& state) {
     const auto config = isp::presets::quick_scenario();
@@ -252,6 +374,80 @@ BENCHMARK(BM_ParallelForShards)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Collects every finished run so --bench_report can serialize name,
+// items/sec and bytes/sec after the normal console output.
+class ReportCollector : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) collected_.push_back(run);
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    void write_json(const std::string& path) const {
+        std::ofstream out(path);
+        out << "[\n";
+        for (std::size_t i = 0; i < collected_.size(); ++i) {
+            const Run& run = collected_[i];
+            const auto rate = [&](const char* key) {
+                auto it = run.counters.find(key);
+                return it == run.counters.end() ? 0.0 : double(it->second);
+            };
+            out << "  {\"name\": \"" << run.benchmark_name()
+                << "\", \"real_time\": " << run.GetAdjustedRealTime()
+                << ", \"time_unit\": \""
+                << benchmark::GetTimeUnitString(run.time_unit)
+                << "\", \"items_per_second\": " << std::int64_t(rate("items_per_second"))
+                << ", \"bytes_per_second\": " << std::int64_t(rate("bytes_per_second"))
+                << "}" << (i + 1 < collected_.size() ? "," : "") << "\n";
+        }
+        out << "]\n";
+    }
+
+private:
+    std::vector<Run> collected_;
+};
+
+std::string default_report_path() {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    localtime_r(&now, &tm);
+    char date[16];
+    std::snprintf(date, sizeof date, "%04d-%02d-%02d", tm.tm_year + 1900,
+                  tm.tm_mon + 1, tm.tm_mday);
+    return std::string("BENCH_") + date + ".json";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: identical to BENCHMARK_MAIN plus a --bench_report[=PATH]
+// flag that writes a machine-readable BENCH_<date>.json next to the
+// binary (name, items/sec, bytes/sec per benchmark).
+int main(int argc, char** argv) {
+    std::string report_path;
+    std::vector<char*> args;
+    std::string explicit_path;  // owns the =PATH substring
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--bench_report") {
+            report_path = default_report_path();
+        } else if (arg.rfind("--bench_report=", 0) == 0) {
+            explicit_path = std::string(arg.substr(15));
+            report_path = explicit_path;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int filtered_argc = int(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+        return 1;
+    if (report_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        ReportCollector collector;
+        benchmark::RunSpecifiedBenchmarks(&collector);
+        collector.write_json(report_path);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -154,18 +154,21 @@ void Cpe::on_lost() {
 
 void Cpe::schedule_daily_reconnect() {
     // Next occurrence of the configured hour (plus this CPE's fixed
-    // minute offset), strictly in the future.
+    // minute offset), strictly in the future. One persistent periodic
+    // event replaces a fresh allocation per day; the engine re-arms the
+    // same slot after each firing, so the interleaving matches the old
+    // reschedule-at-end-of-callback exactly. The recurrence survives
+    // power failures — the callback guards on powered_/booted_ instead.
     const int hour = *config_.daily_reconnect_hour;
     const std::int64_t day_start =
         sim_->now().unix_seconds() - sim_->now().unix_seconds() % 86400;
     net::TimePoint next{day_start + hour * 3600 + reconnect_minute_offset_.count()};
     while (next <= sim_->now()) next += net::Duration::days(1);
-    reconnect_event_ = sim_->at(next, [this](net::TimePoint) {
-        reconnect_event_.reset();
-        if (config_.wan == CpeConfig::Wan::Ppp && powered_ && booted_)
-            ppp_session_->reconnect_now();
-        schedule_daily_reconnect();
-    });
+    reconnect_event_ =
+        sim_->every(next, net::Duration::days(1), [this](net::TimePoint) {
+            if (config_.wan == CpeConfig::Wan::Ppp && powered_ && booted_)
+                ppp_session_->reconnect_now();
+        });
 }
 
 }  // namespace dynaddr::atlas

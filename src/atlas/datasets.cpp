@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
 #include "netcore/csv.hpp"
 #include "netcore/error.hpp"
@@ -13,17 +14,17 @@ namespace dynaddr::atlas {
 
 namespace {
 
-std::int64_t parse_i64(const std::string& text) {
+std::int64_t parse_i64(std::string_view text) {
     std::int64_t value = 0;
     auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
     if (ec != std::errc{} || ptr != text.data() + text.size())
-        throw ParseError("bad integer '" + text + "'");
+        throw ParseError("bad integer '" + std::string(text) + "'");
     return value;
 }
 
-net::TimePoint parse_time(const std::string& text) {
+net::TimePoint parse_time(std::string_view text) {
     auto t = net::TimePoint::parse(text);
-    if (!t) throw ParseError("bad timestamp '" + text + "'");
+    if (!t) throw ParseError("bad timestamp '" + std::string(text) + "'");
     return *t;
 }
 
@@ -83,19 +84,21 @@ void write_connection_log_csv(std::ostream& out,
 }
 
 std::vector<ConnectionLogEntry> read_connection_log_csv(std::istream& in) {
-    csv::Reader reader(in);
+    csv::ScanReader reader(in);
     const auto c_probe = reader.column("probe");
     const auto c_start = reader.column("start");
     const auto c_end = reader.column("end");
     const auto c_addr = reader.column("address");
     std::vector<ConnectionLogEntry> entries;
-    while (auto row = reader.next_row()) {
+    while (const auto* row = reader.next_row()) {
         ConnectionLogEntry entry;
         entry.probe = ProbeId(parse_i64((*row)[c_probe]));
         entry.start = parse_time((*row)[c_start]);
         entry.end = parse_time((*row)[c_end]);
         auto addr = PeerAddress::parse((*row)[c_addr]);
-        if (!addr) throw ParseError("bad peer address '" + (*row)[c_addr] + "'");
+        if (!addr)
+            throw ParseError("bad peer address '" + std::string((*row)[c_addr]) +
+                             "'");
         entry.address = *addr;
         entries.push_back(entry);
     }
@@ -111,14 +114,14 @@ void write_kroot_csv(std::ostream& out, const std::vector<KRootPingRecord>& reco
 }
 
 std::vector<KRootPingRecord> read_kroot_csv(std::istream& in) {
-    csv::Reader reader(in);
+    csv::ScanReader reader(in);
     const auto c_probe = reader.column("probe");
     const auto c_ts = reader.column("timestamp");
     const auto c_sent = reader.column("sent");
     const auto c_success = reader.column("success");
     const auto c_lts = reader.column("lts");
     std::vector<KRootPingRecord> records;
-    while (auto row = reader.next_row()) {
+    while (const auto* row = reader.next_row()) {
         KRootPingRecord r;
         r.probe = ProbeId(parse_i64((*row)[c_probe]));
         r.timestamp = parse_time((*row)[c_ts]);
@@ -138,12 +141,12 @@ void write_uptime_csv(std::ostream& out, const std::vector<UptimeRecord>& record
 }
 
 std::vector<UptimeRecord> read_uptime_csv(std::istream& in) {
-    csv::Reader reader(in);
+    csv::ScanReader reader(in);
     const auto c_probe = reader.column("probe");
     const auto c_ts = reader.column("timestamp");
     const auto c_uptime = reader.column("uptime");
     std::vector<UptimeRecord> records;
-    while (auto row = reader.next_row()) {
+    while (const auto* row = reader.next_row()) {
         UptimeRecord r;
         r.probe = ProbeId(parse_i64((*row)[c_probe]));
         r.timestamp = parse_time((*row)[c_ts]);
@@ -167,25 +170,26 @@ void write_probes_csv(std::ostream& out, const std::vector<ProbeMetadata>& probe
 }
 
 std::vector<ProbeMetadata> read_probes_csv(std::istream& in) {
-    csv::Reader reader(in);
+    csv::ScanReader reader(in);
     const auto c_probe = reader.column("probe");
     const auto c_version = reader.column("version");
     const auto c_country = reader.column("country");
     const auto c_tags = reader.column("tags");
     std::vector<ProbeMetadata> probes;
-    while (auto row = reader.next_row()) {
+    while (const auto* row = reader.next_row()) {
         ProbeMetadata p;
         p.probe = ProbeId(parse_i64((*row)[c_probe]));
         const int version = int(parse_i64((*row)[c_version]));
         if (version < 1 || version > 3) throw ParseError("bad probe version");
         p.version = ProbeVersion(version);
-        p.country_code = (*row)[c_country];
-        const std::string& tags = (*row)[c_tags];
+        p.country_code = std::string((*row)[c_country]);
+        const std::string_view tags = (*row)[c_tags];
         std::size_t pos = 0;
         while (pos < tags.size()) {
             auto sep = tags.find(';', pos);
-            if (sep == std::string::npos) sep = tags.size();
-            if (sep > pos) p.tags.push_back(tags.substr(pos, sep - pos));
+            if (sep == std::string_view::npos) sep = tags.size();
+            if (sep > pos)
+                p.tags.push_back(std::string(tags.substr(pos, sep - pos)));
             pos = sep + 1;
         }
         probes.push_back(p);

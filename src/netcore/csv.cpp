@@ -1,6 +1,7 @@
 #include "netcore/csv.hpp"
 
 #include <istream>
+#include <iterator>
 #include <ostream>
 
 #include "netcore/error.hpp"
@@ -76,6 +77,57 @@ void Writer::write_row(const std::vector<std::string>& fields) {
                     " != header width " + std::to_string(columns_));
     *out_ << join_line(fields) << '\n';
     ++rows_;
+}
+
+ScanReader::ScanReader(std::istream& in)
+    : buffer_(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>()) {
+    const std::size_t eol = buffer_.find('\n');
+    std::string_view line(buffer_.data(),
+                          eol == std::string::npos ? buffer_.size() : eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) throw ParseError("empty CSV stream");
+    header_ = split_line(line);
+    pos_ = eol == std::string::npos ? buffer_.size() : eol + 1;
+}
+
+std::size_t ScanReader::column(std::string_view name) const {
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        if (header_[i] == name) return i;
+    throw Error("CSV column '" + std::string(name) + "' not found");
+}
+
+const std::vector<std::string_view>* ScanReader::next_row() {
+    while (pos_ < buffer_.size()) {
+        const std::size_t eol = buffer_.find('\n', pos_);
+        std::string_view line(
+            buffer_.data() + pos_,
+            (eol == std::string::npos ? buffer_.size() : eol) - pos_);
+        pos_ = eol == std::string::npos ? buffer_.size() : eol + 1;
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (line.empty()) continue;
+        fields_.clear();
+        if (line.find('"') != std::string_view::npos) {
+            // Rare quoted row: reuse the full parser and point the views
+            // at its (owned) output.
+            fallback_ = split_line(line);
+            for (const auto& field : fallback_) fields_.emplace_back(field);
+        } else {
+            std::size_t start = 0;
+            for (std::size_t i = 0; i <= line.size(); ++i) {
+                if (i == line.size() || line[i] == ',') {
+                    fields_.emplace_back(line.substr(start, i - start));
+                    start = i + 1;
+                }
+            }
+        }
+        if (fields_.size() != header_.size())
+            throw ParseError("CSV row width " + std::to_string(fields_.size()) +
+                             " != header width " +
+                             std::to_string(header_.size()));
+        return &fields_;
+    }
+    return nullptr;
 }
 
 Reader::Reader(std::istream& in) : in_(&in) {

@@ -37,6 +37,37 @@ private:
     std::size_t rows_ = 0;
 };
 
+/// Zero-copy CSV scanner for hot read paths (the dataset loaders parse
+/// millions of rows). Slurps the whole stream once, then yields each row
+/// as string_views into that buffer — no per-row or per-field allocation
+/// for plain fields. A row containing a quote falls back to full
+/// split_line semantics transparently. Header validation, width
+/// enforcement, blank-line and CRLF handling match Reader exactly.
+class ScanReader {
+public:
+    /// Reads the entire stream and parses the header line. Throws
+    /// ParseError when the stream is empty.
+    explicit ScanReader(std::istream& in);
+
+    /// The header fields.
+    [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+
+    /// Index of the named column; throws Error when absent.
+    [[nodiscard]] std::size_t column(std::string_view name) const;
+
+    /// Next row, or nullptr at end of input. The views stay valid only
+    /// until the following next_row() call. Rows whose width differs from
+    /// the header raise ParseError; blank lines are skipped.
+    const std::vector<std::string_view>* next_row();
+
+private:
+    std::string buffer_;
+    std::size_t pos_ = 0;
+    std::vector<std::string> header_;
+    std::vector<std::string_view> fields_;
+    std::vector<std::string> fallback_;  ///< owns unquoted text of quoted rows
+};
+
 /// Streaming CSV reader that validates the header and yields rows.
 class Reader {
 public:

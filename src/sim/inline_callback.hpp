@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "netcore/time.hpp"
+
+namespace dynaddr::sim {
+
+/// Move-only callable wrapper for `void(net::TimePoint)` with small-buffer
+/// optimisation.
+///
+/// Simulation callbacks are almost always lambdas capturing a `this`
+/// pointer plus at most a handful of words (see atlas::Probe, atlas::Cpe,
+/// dhcp::Client, ppp::Session, isp::schedule_outages). The 48-byte inline
+/// buffer holds all of those without a heap allocation; larger callables
+/// (including a captured std::function) fall back to the heap
+/// transparently. Unlike std::function there is no copyability
+/// requirement, no RTTI and no virtual dispatch — one indirect call
+/// through a static ops table.
+class InlineCallback {
+public:
+    static constexpr std::size_t kInlineSize = 48;
+
+    InlineCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_v<std::decay_t<F>&, net::TimePoint>>>
+    InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+            ops_ = &inline_ops<Fn>;
+        } else {
+            *reinterpret_cast<void**>(storage_) = new Fn(std::forward<F>(fn));
+            ops_ = &heap_ops<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+    InlineCallback& operator=(InlineCallback&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback&) = delete;
+    InlineCallback& operator=(const InlineCallback&) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void operator()(net::TimePoint when) { ops_->invoke(storage_, when); }
+
+    [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+    void reset() {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+private:
+    struct Ops {
+        void (*invoke)(void*, net::TimePoint);
+        void (*move)(void* dst, void* src);  ///< move-construct dst from src
+        void (*destroy)(void*);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inline_ops = {
+        [](void* s, net::TimePoint t) { (*std::launder(reinterpret_cast<Fn*>(s)))(t); },
+        [](void* dst, void* src) {
+            Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heap_ops = {
+        [](void* s, net::TimePoint t) { (*static_cast<Fn*>(*reinterpret_cast<void**>(s)))(t); },
+        [](void* dst, void* src) {
+            *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+        },
+        [](void* s) { delete static_cast<Fn*>(*reinterpret_cast<void**>(s)); },
+    };
+
+    void move_from(InlineCallback& other) noexcept {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->move(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace dynaddr::sim

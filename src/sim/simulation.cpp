@@ -16,6 +16,14 @@ EventId Simulation::after(net::Duration delay, EventQueue::Callback callback) {
     return queue_.schedule(now_ + delay, std::move(callback));
 }
 
+EventId Simulation::every(net::TimePoint first, net::Duration period,
+                          EventQueue::Callback callback) {
+    if (first < now_)
+        throw Error("scheduling periodic event in the past: " +
+                    first.to_string() + " < " + now_.to_string());
+    return queue_.schedule_every(first, period, std::move(callback));
+}
+
 std::uint64_t Simulation::run_until(net::TimePoint end) {
     std::uint64_t ran = 0;
     while (auto next = queue_.next_time()) {

@@ -27,6 +27,15 @@ public:
     /// Schedules a callback `delay` from now (delay >= 0).
     EventId after(net::Duration delay, EventQueue::Callback callback);
 
+    /// Schedules a recurring callback: first firing at `first` (>= now()),
+    /// repeating every `period` (> 0) until cancelled. The event
+    /// reschedules in place inside the engine — one allocation for the
+    /// whole recurrence — which is the cheap way to model fixed cadences
+    /// (k-root ping intervals, nightly reconnects). The id stays valid
+    /// across firings.
+    EventId every(net::TimePoint first, net::Duration period,
+                  EventQueue::Callback callback);
+
     /// Cancels a pending event; false when already fired/cancelled.
     bool cancel(EventId id) { return queue_.cancel(id); }
 

@@ -84,5 +84,58 @@ TEST(Reader, SkipsBlankLinesAndCarriageReturns) {
     EXPECT_FALSE(reader.next_row());
 }
 
+TEST(ScanReader, MatchesReaderSemantics) {
+    // Plain rows, blank lines, CRLF, missing trailing newline.
+    std::stringstream buffer("probe,addr\r\n\r\n101,10.0.0.1\r\n\n102,10.0.0.2");
+    ScanReader reader(buffer);
+    EXPECT_EQ(reader.column("probe"), 0u);
+    EXPECT_EQ(reader.column("addr"), 1u);
+    EXPECT_THROW((void)reader.column("nope"), Error);
+    const auto* row1 = reader.next_row();
+    ASSERT_NE(row1, nullptr);
+    EXPECT_EQ((*row1)[0], "101");
+    EXPECT_EQ((*row1)[1], "10.0.0.1");
+    const auto* row2 = reader.next_row();
+    ASSERT_NE(row2, nullptr);
+    EXPECT_EQ((*row2)[1], "10.0.0.2");
+    EXPECT_EQ(reader.next_row(), nullptr);
+}
+
+TEST(ScanReader, QuotedRowsFallBackToFullParser) {
+    std::stringstream buffer(
+        "a,b\n\"beta,comma\",plain\n\"esc\"\"quote\",2\n");
+    ScanReader reader(buffer);
+    const auto* row1 = reader.next_row();
+    ASSERT_NE(row1, nullptr);
+    EXPECT_EQ((*row1)[0], "beta,comma");
+    EXPECT_EQ((*row1)[1], "plain");
+    const auto* row2 = reader.next_row();
+    ASSERT_NE(row2, nullptr);
+    EXPECT_EQ((*row2)[0], "esc\"quote");
+    EXPECT_EQ(reader.next_row(), nullptr);
+}
+
+TEST(ScanReader, RejectsEmptyStreamAndBadRows) {
+    std::stringstream empty;
+    EXPECT_THROW(ScanReader{empty}, ParseError);
+
+    std::stringstream bad("a,b\n1,2,3\n");
+    ScanReader reader(bad);
+    EXPECT_THROW(reader.next_row(), ParseError);
+}
+
+TEST(ScanReader, EmptyFieldsSurvive) {
+    std::stringstream buffer("a,b,c\n,,\nx,,z\n");
+    ScanReader reader(buffer);
+    const auto* row1 = reader.next_row();
+    ASSERT_NE(row1, nullptr);
+    EXPECT_EQ((*row1)[0], "");
+    EXPECT_EQ((*row1)[2], "");
+    const auto* row2 = reader.next_row();
+    ASSERT_NE(row2, nullptr);
+    EXPECT_EQ((*row2)[1], "");
+    EXPECT_EQ((*row2)[2], "z");
+}
+
 }  // namespace
 }  // namespace dynaddr::csv
