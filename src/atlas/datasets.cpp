@@ -9,6 +9,11 @@
 
 #include "netcore/csv.hpp"
 #include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/trace.hpp"
+
+DYNADDR_LOG_MODULE(datasets);
 
 namespace dynaddr::atlas {
 
@@ -198,6 +203,8 @@ std::vector<ProbeMetadata> read_probes_csv(std::istream& in) {
 }
 
 void write_bundle(const std::string& directory, const DatasetBundle& bundle) {
+    obs::ObsSpan span("datasets.write_bundle", "io",
+                      &obs::latency_histogram("datasets.write_bundle"));
     const std::filesystem::path dir(directory);
     std::filesystem::create_directories(dir);
     {
@@ -219,24 +226,38 @@ void write_bundle(const std::string& directory, const DatasetBundle& bundle) {
 }
 
 DatasetBundle read_bundle(const std::string& directory) {
+    obs::ObsSpan span("datasets.read_bundle", "io",
+                      &obs::latency_histogram("datasets.read_bundle"));
     const std::filesystem::path dir(directory);
     DatasetBundle bundle;
     {
+        obs::ObsSpan part("datasets.read_connection_log", "io");
         auto in = open_in(dir / "connection_log.csv");
         bundle.connection_log = read_connection_log_csv(in);
     }
     {
+        obs::ObsSpan part("datasets.read_kroot", "io");
         auto in = open_in(dir / "kroot.csv");
         bundle.kroot_pings = read_kroot_csv(in);
     }
     {
+        obs::ObsSpan part("datasets.read_uptime", "io");
         auto in = open_in(dir / "uptime.csv");
         bundle.uptime_records = read_uptime_csv(in);
     }
     {
+        obs::ObsSpan part("datasets.read_probes", "io");
         auto in = open_in(dir / "probes.csv");
         bundle.probes = read_probes_csv(in);
     }
+    obs::counter("datasets.rows_read")
+        .inc(bundle.connection_log.size() + bundle.kroot_pings.size() +
+             bundle.uptime_records.size() + bundle.probes.size());
+    DYNADDR_LOG(Info, datasets, "read bundle from ", directory, ": ",
+                bundle.connection_log.size(), " connections, ",
+                bundle.kroot_pings.size(), " kroot pings, ",
+                bundle.uptime_records.size(), " uptime records, ",
+                bundle.probes.size(), " probes");
     return bundle;
 }
 

@@ -5,9 +5,77 @@
 #include <unordered_map>
 
 #include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/trace.hpp"
 #include "netcore/parallel.hpp"
 
+DYNADDR_LOG_MODULE(pipeline);
+
 namespace dynaddr::core {
+
+namespace {
+
+/// Pipeline metrics, registered once at static init so run() pays only
+/// relaxed atomic ops. Stage latency histograms feed both the metrics
+/// export and (via ObsSpan) the trace.
+struct PipelineMetrics {
+    obs::Counter& runs = obs::counter("pipeline.runs");
+    obs::Counter& probes_in = obs::counter("pipeline.probes_in");
+    obs::Counter& probes_analyzable = obs::counter("pipeline.probes_analyzable");
+    obs::Counter& changes_extracted = obs::counter("pipeline.changes_extracted");
+    obs::Counter& outage_probes = obs::counter("pipeline.outage_probes");
+    obs::Counter& reboots_detected = obs::counter("pipeline.reboots_detected");
+    obs::Histogram& filter_latency =
+        obs::latency_histogram("pipeline.stage.filter_probes");
+    obs::Histogram& changes_latency =
+        obs::latency_histogram("pipeline.stage.extract_changes");
+    obs::Histogram& periodicity_latency =
+        obs::latency_histogram("pipeline.stage.periodicity");
+    obs::Histogram& prefix_latency =
+        obs::latency_histogram("pipeline.stage.prefix_changes");
+    obs::Histogram& reboot_latency =
+        obs::latency_histogram("pipeline.stage.detect_reboots");
+    obs::Histogram& outage_latency =
+        obs::latency_histogram("pipeline.stage.outages");
+    obs::Histogram& run_latency = obs::latency_histogram("pipeline.run");
+};
+
+PipelineMetrics& pipeline_metrics() {
+    static PipelineMetrics metrics;
+    return metrics;
+}
+
+/// table2_funnel counter suffix per filter category — the machine-readable
+/// Table 2. Registered as a metrics block so the JSON export groups them.
+const char* funnel_name(ProbeCategory category) {
+    switch (category) {
+        case ProbeCategory::Analyzable: return "table2_funnel.analyzable";
+        case ProbeCategory::NeverChanged: return "table2_funnel.never_changed";
+        case ProbeCategory::DualStack: return "table2_funnel.dual_stack";
+        case ProbeCategory::Ipv6Only: return "table2_funnel.ipv6_only";
+        case ProbeCategory::TaggedMultihomed:
+            return "table2_funnel.tagged_multihomed";
+        case ProbeCategory::AlternatingMultihomed:
+            return "table2_funnel.alternating_multihomed";
+        case ProbeCategory::TestingAddressOnly:
+            return "table2_funnel.testing_address_only";
+    }
+    return "table2_funnel.unknown";
+}
+
+void record_funnel(const FilterReport& report) {
+    static const bool block_registered = [] {
+        obs::metrics_block("table2_funnel");
+        return true;
+    }();
+    (void)block_registered;
+    obs::counter("table2_funnel.total").inc(std::uint64_t(report.total()));
+    for (const auto& [category, count] : report.counts)
+        obs::counter(funnel_name(category)).inc(std::uint64_t(count));
+}
+
+}  // namespace
 
 const ProbeChanges* AnalysisResults::changes_of(atlas::ProbeId probe) const {
     auto it = std::lower_bound(changes.begin(), changes.end(), probe,
@@ -99,6 +167,9 @@ AnalysisResults AnalysisPipeline::run(
     const atlas::DatasetBundle& bundle, const bgp::PrefixTable& table,
     const bgp::AsRegistry& registry,
     std::optional<net::TimeInterval> window) const {
+    PipelineMetrics& metrics = pipeline_metrics();
+    metrics.runs.inc();
+    obs::ObsSpan run_span("pipeline.run", "pipeline", &metrics.run_latency);
     AnalysisResults results;
 
     // -- observation window ---------------------------------------------------
@@ -125,25 +196,55 @@ AnalysisResults AnalysisPipeline::run(
 
     // -- §3: filtering and change extraction ----------------------------------
     const auto logs = group_by_probe(bundle.connection_log);
-    results.filter = filter_probes(logs, bundle.probes, config_.filter);
-    results.ipv6_privacy = analyze_ipv6_privacy(logs, config_.ipv6);
-    results.mapping = map_probes_to_as(results.filter.analyzable, table);
+    {
+        obs::ObsSpan span("pipeline.filter_probes", "pipeline",
+                          &metrics.filter_latency);
+        results.filter = filter_probes(logs, bundle.probes, config_.filter);
+        results.ipv6_privacy = analyze_ipv6_privacy(logs, config_.ipv6);
+        results.mapping = map_probes_to_as(results.filter.analyzable, table);
+    }
+    metrics.probes_in.inc(std::uint64_t(results.filter.total()));
+    metrics.probes_analyzable.inc(
+        std::uint64_t(results.filter.analyzable.size()));
+    record_funnel(results.filter);
+    DYNADDR_LOG(Info, pipeline, "filtered ", results.filter.total(),
+                " probes, ", results.filter.analyzable.size(), " analyzable");
 
     // Parallel stage: change extraction, one shard per analyzable probe.
     const auto& analyzable = results.filter.analyzable;
     results.changes.resize(analyzable.size());
-    pool.parallel_for_shards(analyzable.size(), [&](std::size_t i) {
-        results.changes[i] = extract_changes(analyzable[i]);
-    });
+    {
+        obs::ObsSpan span("pipeline.extract_changes", "pipeline",
+                          &metrics.changes_latency);
+        pool.parallel_for_shards(analyzable.size(), [&](std::size_t i) {
+            obs::ObsSpan shard("pipeline.extract_changes.shard", "shard");
+            results.changes[i] = extract_changes(analyzable[i]);
+        });
+    }
+    {
+        std::size_t n = 0;
+        for (const auto& c : results.changes) n += c.changes.size();
+        metrics.changes_extracted.inc(n);
+        DYNADDR_LOG(Info, pipeline, "extracted ", n, " address changes from ",
+                    analyzable.size(), " probes");
+    }
 
     // -- §4: periodicity; geography — cross-population, sequential barrier -----
-    results.periodicity = analyze_periodicity(results.changes, results.mapping,
-                                              registry, config_.periodicity);
-    results.geography = analyze_geography(results.changes, bundle.probes);
+    {
+        obs::ObsSpan span("pipeline.periodicity", "pipeline",
+                          &metrics.periodicity_latency);
+        results.periodicity = analyze_periodicity(
+            results.changes, results.mapping, registry, config_.periodicity);
+        results.geography = analyze_geography(results.changes, bundle.probes);
+    }
 
     // -- §6: prefixes -----------------------------------------------------------
-    results.prefix_changes = analyze_prefix_changes(
-        results.changes, results.mapping, table, registry);
+    {
+        obs::ObsSpan span("pipeline.prefix_changes", "pipeline",
+                          &metrics.prefix_latency);
+        results.prefix_changes = analyze_prefix_changes(
+            results.changes, results.mapping, table, registry);
+    }
 
     // -- §8 future work: administrative renumbering ------------------------------
     results.admin_events = detect_admin_renumbering(
@@ -166,12 +267,20 @@ AnalysisResults AnalysisPipeline::run(
     uptime_spans.reserve(uptime.size());
     for (const auto& [probe, records] : uptime) uptime_spans.push_back(records);
     std::vector<std::vector<RebootInference>> reboot_slots(uptime_spans.size());
-    pool.parallel_for_shards(uptime_spans.size(), [&](std::size_t i) {
-        reboot_slots[i] = detect_reboots(uptime_spans[i]);
-    });
+    {
+        obs::ObsSpan span("pipeline.detect_reboots", "pipeline",
+                          &metrics.reboot_latency);
+        pool.parallel_for_shards(uptime_spans.size(), [&](std::size_t i) {
+            obs::ObsSpan shard("pipeline.detect_reboots.shard", "shard");
+            reboot_slots[i] = detect_reboots(uptime_spans[i]);
+        });
+    }
     std::vector<RebootInference> all_reboots;
     for (const auto& slot : reboot_slots)
         all_reboots.insert(all_reboots.end(), slot.begin(), slot.end());
+    metrics.reboots_detected.inc(all_reboots.size());
+    DYNADDR_LOG(Debug, pipeline, "detected ", all_reboots.size(),
+                " reboots across ", uptime_spans.size(), " probes");
 
     // Reboots across the whole population feed the firmware-spike filter —
     // a cross-population sequential barrier.
@@ -186,21 +295,26 @@ AnalysisResults AnalysisPipeline::run(
     // Parallel stage: the §5 per-probe outage loop, one shard per
     // analyzable probe.
     std::vector<ProbeOutageAnalysis> outage_slots(analyzable.size());
-    pool.parallel_for_shards(analyzable.size(), [&](std::size_t i) {
-        const ProbeLog& log = analyzable[i];
-        const auto kroot_it = kroot.find(log.probe);
-        if (kroot_it == kroot.end()) return;  // slot stays absent
-        std::optional<atlas::ProbeVersion> probe_version;
-        if (auto it = version.find(log.probe); it != version.end())
-            probe_version = it->second;
-        const std::vector<RebootInference>* reboots = nullptr;
-        if (auto it = reboots_by_probe.find(log.probe);
-            it != reboots_by_probe.end())
-            reboots = &it->second;
-        outage_slots[i] = analyze_probe_outages(log, kroot_it->second,
-                                                probe_version, reboots,
-                                                config_.outage);
-    });
+    {
+        obs::ObsSpan span("pipeline.outages", "pipeline",
+                          &metrics.outage_latency);
+        pool.parallel_for_shards(analyzable.size(), [&](std::size_t i) {
+            const ProbeLog& log = analyzable[i];
+            const auto kroot_it = kroot.find(log.probe);
+            if (kroot_it == kroot.end()) return;  // slot stays absent
+            obs::ObsSpan shard("pipeline.outages.shard", "shard");
+            std::optional<atlas::ProbeVersion> probe_version;
+            if (auto it = version.find(log.probe); it != version.end())
+                probe_version = it->second;
+            const std::vector<RebootInference>* reboots = nullptr;
+            if (auto it = reboots_by_probe.find(log.probe);
+                it != reboots_by_probe.end())
+                reboots = &it->second;
+            outage_slots[i] = analyze_probe_outages(log, kroot_it->second,
+                                                    probe_version, reboots,
+                                                    config_.outage);
+        });
+    }
 
     // Merge in shard order: analyzable is sorted by probe id, so map
     // insertion order and tally order match the sequential run exactly.
@@ -216,6 +330,7 @@ AnalysisResults AnalysisPipeline::run(
                                          std::move(slot.network_outcomes));
         results.power_outcomes.emplace(probe, std::move(slot.power_outcomes));
     }
+    metrics.outage_probes.inc(tallies.size());
     results.cond_prob = analyze_cond_prob(tallies, results.mapping, registry,
                                           config_.cond_prob);
     return results;

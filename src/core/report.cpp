@@ -3,6 +3,9 @@
 #include <cstdio>
 
 #include "netcore/ascii_chart.hpp"
+#include "netcore/obs/log.hpp"
+
+DYNADDR_LOG_MODULE(report);
 
 namespace dynaddr::core {
 
@@ -144,6 +147,8 @@ std::string render_summary(const AnalysisResults& results) {
            std::to_string(spans) + "\n";
     out += "detected outages: " + std::to_string(nw) + " network, " +
            std::to_string(pw) + " power\n";
+    DYNADDR_LOG(Debug, report, "rendered summary: ", changes, " changes, ",
+                nw + pw, " outages, ", out.size(), " bytes");
     return out;
 }
 

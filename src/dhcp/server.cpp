@@ -1,8 +1,34 @@
 #include "dhcp/server.hpp"
 
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
 #include "netcore/rng.hpp"
 
+DYNADDR_LOG_MODULE(dhcp);
+
 namespace dynaddr::dhcp {
+
+namespace {
+
+/// DHCP message counters across every simulated server.
+struct DhcpMetrics {
+    obs::Counter& discover = obs::counter("dhcp.discover");
+    obs::Counter& offer = obs::counter("dhcp.offer");
+    obs::Counter& request = obs::counter("dhcp.request");
+    obs::Counter& renew = obs::counter("dhcp.renew");
+    obs::Counter& ack = obs::counter("dhcp.ack");
+    obs::Counter& nak = obs::counter("dhcp.nak");
+    obs::Counter& released = obs::counter("dhcp.released");
+    obs::Counter& evicted = obs::counter("dhcp.evicted");
+    obs::Counter& expired = obs::counter("dhcp.expired");
+};
+
+DhcpMetrics& dhcp_metrics() {
+    static DhcpMetrics metrics;
+    return metrics;
+}
+
+}  // namespace
 
 Server::Server(ServerConfig config, pool::AddressPool& pool, sim::Simulation& sim)
     : config_(config), pool_(&pool), sim_(&sim) {}
@@ -20,20 +46,29 @@ net::Duration Server::jittered_max_age(pool::ClientId client,
 }
 
 std::optional<Offer> Server::handle_discover(pool::ClientId client) {
+    dhcp_metrics().discover.inc();
     expire_leases();
     // If the client already holds a lease (it may have rebooted and
     // forgotten), offer the same address per §4.3.1 — unless the block
     // was administratively retired.
     if (auto lease = leases_.find(client)) {
-        if (!pool_->is_retired(lease->address))
+        if (!pool_->is_retired(lease->address)) {
+            dhcp_metrics().offer.inc();
             return Offer{lease->address, config_.lease_duration};
+        }
         evict(client);
     }
     std::optional<net::TimePoint> absent;
     if (auto it = absent_since_.find(client); it != absent_since_.end())
         absent = it->second;
     auto addr = pool_->allocate(client, sim_->now(), std::nullopt, absent);
-    if (!addr) return std::nullopt;
+    if (!addr) {
+        DYNADDR_LOG(Warn, dhcp, "no address to offer client ", client);
+        return std::nullopt;
+    }
+    dhcp_metrics().offer.inc();
+    DYNADDR_LOG(Debug, dhcp, "offer ", addr->to_string(), " to client ",
+                client);
     // The OFFER reserves the address; a client that never REQUESTs keeps it
     // reserved until the lease would expire — we simplify by granting at
     // REQUEST time and releasing the reservation if the REQUEST never
@@ -43,6 +78,7 @@ std::optional<Offer> Server::handle_discover(pool::ClientId client) {
 
 RequestResult Server::handle_request(pool::ClientId client,
                                      net::IPv4Address requested) {
+    dhcp_metrics().request.inc();
     expire_leases();
     if (pool_->is_retired(requested)) {
         // Administrative renumbering: never re-grant a retired block.
@@ -70,10 +106,14 @@ RequestResult Server::handle_request(pool::ClientId client,
         pool_->release(client);
         absent_since_[client] = sim_->now();
     }
+    dhcp_metrics().nak.inc();
+    DYNADDR_LOG(Debug, dhcp, "nak client ", client, " requesting ",
+                requested.to_string());
     return RequestResult{};
 }
 
 RequestResult Server::handle_renew(pool::ClientId client, net::IPv4Address addr) {
+    dhcp_metrics().renew.inc();
     expire_leases();
     auto lease = leases_.find(client);
     if (!lease || lease->address != addr) return RequestResult{};
@@ -94,6 +134,8 @@ RequestResult Server::handle_renew(pool::ClientId client, net::IPv4Address addr)
 RequestResult Server::evict(pool::ClientId client) {
     // NAK: the client restarts from INIT and the binding is forgotten so
     // it draws a fresh address.
+    dhcp_metrics().evicted.inc();
+    DYNADDR_LOG(Debug, dhcp, "evict client ", client);
     leases_.revoke(client);
     pool_->release(client);
     pool_->forget_binding(client);
@@ -103,6 +145,7 @@ RequestResult Server::evict(pool::ClientId client) {
 }
 
 void Server::handle_release(pool::ClientId client) {
+    dhcp_metrics().released.inc();
     expire_leases();
     if (leases_.revoke(client)) {
         pool_->release(client);
@@ -122,11 +165,13 @@ RequestResult Server::grant(pool::ClientId client, net::IPv4Address addr) {
     hold_started_.try_emplace(client, now);
     absent_since_.erase(client);
     schedule_expiry_sweep();
+    dhcp_metrics().ack.inc();
     return RequestResult{true, addr, lease.granted, lease.expiry};
 }
 
 void Server::expire_leases() {
     for (const auto& lease : leases_.expire_until(sim_->now())) {
+        dhcp_metrics().expired.inc();
         pool_->release(lease.client);
         hold_started_.erase(lease.client);
         absent_since_[lease.client] = lease.expiry;

@@ -5,7 +5,12 @@
 #include "dhcp/server.hpp"
 #include "isp/world.hpp"
 #include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/trace.hpp"
 #include "sim/simulation.hpp"
+
+DYNADDR_LOG_MODULE(scenario);
 
 namespace dynaddr::isp {
 
@@ -79,9 +84,18 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     if (config.window.empty()) throw Error("scenario window is empty");
     for (const auto& isp : config.isps) validate_isp(isp);
 
+    obs::ObsSpan scenario_span("scenario.run", "scenario",
+                               &obs::latency_histogram("scenario.run"));
+    DYNADDR_LOG(Info, scenario, "scenario start: ", config.isps.size(),
+                " ISPs, window ", config.window.begin.to_string(), " .. ",
+                config.window.end.to_string());
+
     rng::Stream root(config.seed);
     World world(config.window.begin, root.child("controller"));
     ScenarioResult result;
+    // Phase boundaries recorded manually: the build/run/emit phases are
+    // sequential regions of this one function, not nested scopes.
+    const std::uint64_t build_start_us = obs::trace_now_us();
 
     // -- BGP state ----------------------------------------------------------
     const bgp::MonthKey first_month = bgp::month_key_of(config.window.begin);
@@ -272,8 +286,19 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
         world.controller.schedule_firmware_release(release);
 
     // -- run -------------------------------------------------------------------
+    const std::uint64_t run_start_us = obs::trace_now_us();
+    if (obs::trace_enabled())
+        obs::record_complete_event("scenario.build", "scenario",
+                                   build_start_us,
+                                   run_start_us - build_start_us);
     world.sim.run_until(config.window.end);
     result.sim_events = world.sim.executed();
+    const std::uint64_t emit_start_us = obs::trace_now_us();
+    if (obs::trace_enabled())
+        obs::record_complete_event("scenario.sim_run", "scenario",
+                                   run_start_us, emit_start_us - run_start_us);
+    DYNADDR_LOG(Info, scenario, "simulation ran ", result.sim_events,
+                " events");
 
     // A log scrape at window end sees still-open connections too.
     for (auto& probe : world.probes) probe.flush_open_connection(config.window.end);
@@ -361,6 +386,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.timelines.assign(world.timelines.begin(), world.timelines.end());
 
     result.bundle.sort();
+    if (obs::trace_enabled())
+        obs::record_complete_event("scenario.emit", "scenario", emit_start_us,
+                                   obs::trace_now_us() - emit_start_us);
+    obs::counter("scenario.runs").inc();
+    obs::counter("scenario.sim_events").inc(result.sim_events);
     return result;
 }
 

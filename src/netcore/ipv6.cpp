@@ -5,6 +5,9 @@
 #include <cstdio>
 
 #include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+
+DYNADDR_LOG_MODULE(ipv6);
 
 namespace dynaddr::net {
 
@@ -79,7 +82,10 @@ std::optional<IPv6Address> IPv6Address::parse(std::string_view text) {
 
 IPv6Address IPv6Address::parse_or_throw(std::string_view text) {
     auto parsed = parse(text);
-    if (!parsed) throw ParseError("bad IPv6 address '" + std::string(text) + "'");
+    if (!parsed) {
+        DYNADDR_LOG(Debug, ipv6, "rejected IPv6 address '", text, "'");
+        throw ParseError("bad IPv6 address '" + std::string(text) + "'");
+    }
     return *parsed;
 }
 
@@ -150,7 +156,10 @@ std::optional<IPv6Prefix> IPv6Prefix::parse(std::string_view text) {
 
 IPv6Prefix IPv6Prefix::parse_or_throw(std::string_view text) {
     auto parsed = parse(text);
-    if (!parsed) throw ParseError("bad IPv6 prefix '" + std::string(text) + "'");
+    if (!parsed) {
+        DYNADDR_LOG(Debug, ipv6, "rejected IPv6 prefix '", text, "'");
+        throw ParseError("bad IPv6 prefix '" + std::string(text) + "'");
+    }
     return *parsed;
 }
 

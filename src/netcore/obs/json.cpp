@@ -1,0 +1,154 @@
+#include "netcore/obs/json.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace dynaddr::obs {
+
+namespace {
+
+/// Recursive-descent cursor over the input. Each parse_* consumes one
+/// grammar production and returns false on the first violation.
+struct JsonCursor {
+    std::string_view text;
+    std::size_t pos = 0;
+    int depth = 0;
+
+    static constexpr int kMaxDepth = 256;
+
+    bool at_end() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    void skip_ws() {
+        while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                             text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c) {
+        if (at_end() || text[pos] != c) return false;
+        ++pos;
+        return true;
+    }
+
+    bool consume_literal(std::string_view word) {
+        if (text.substr(pos, word.size()) != word) return false;
+        pos += word.size();
+        return true;
+    }
+
+    bool parse_string() {
+        if (!consume('"')) return false;
+        while (!at_end()) {
+            const char c = text[pos++];
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20) return false;
+            if (c == '\\') {
+                if (at_end()) return false;
+                const char esc = text[pos++];
+                if (esc == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (at_end() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(text[pos])))
+                            return false;
+                        ++pos;
+                    }
+                } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                           esc != 'b' && esc != 'f' && esc != 'n' &&
+                           esc != 'r' && esc != 't') {
+                    return false;
+                }
+            }
+        }
+        return false;  // unterminated
+    }
+
+    bool parse_number() {
+        consume('-');
+        if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        if (peek() == '0') {
+            ++pos;
+        } else {
+            while (!at_end() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (!at_end() && peek() == '.') {
+            ++pos;
+            if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (!at_end() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+            ++pos;
+            if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+            if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (!at_end() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        return true;
+    }
+
+    bool parse_value() {
+        if (++depth > kMaxDepth) return false;
+        skip_ws();
+        if (at_end()) return false;
+        bool ok;
+        switch (peek()) {
+            case '{': ok = parse_object(); break;
+            case '[': ok = parse_array(); break;
+            case '"': ok = parse_string(); break;
+            case 't': ok = consume_literal("true"); break;
+            case 'f': ok = consume_literal("false"); break;
+            case 'n': ok = consume_literal("null"); break;
+            default: ok = parse_number(); break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool parse_object() {
+        if (!consume('{')) return false;
+        skip_ws();
+        if (consume('}')) return true;
+        while (true) {
+            skip_ws();
+            if (!parse_string()) return false;
+            skip_ws();
+            if (!consume(':')) return false;
+            if (!parse_value()) return false;
+            skip_ws();
+            if (consume('}')) return true;
+            if (!consume(',')) return false;
+        }
+    }
+
+    bool parse_array() {
+        if (!consume('[')) return false;
+        skip_ws();
+        if (consume(']')) return true;
+        while (true) {
+            if (!parse_value()) return false;
+            skip_ws();
+            if (consume(']')) return true;
+            if (!consume(',')) return false;
+        }
+    }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+    JsonCursor cursor{text};
+    if (!cursor.parse_value()) return false;
+    cursor.skip_ws();
+    return cursor.at_end();
+}
+
+}  // namespace dynaddr::obs

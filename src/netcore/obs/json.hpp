@@ -1,0 +1,16 @@
+#pragma once
+
+// Minimal JSON syntax validator — no parse tree, no dependencies. Used
+// by obs tests and the obs_smoke ctest to assert that the metrics and
+// trace exports are well-formed without pulling in a JSON library.
+
+#include <string_view>
+
+namespace dynaddr::obs {
+
+/// True when `text` is exactly one valid JSON value (RFC 8259 grammar,
+/// surrounding whitespace allowed). Strings are checked for escape
+/// validity; numbers for JSON number syntax.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+}  // namespace dynaddr::obs

@@ -1,0 +1,189 @@
+#include "netcore/obs/log.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::obs {
+
+namespace {
+
+/// Per-thread stack of simulated clocks; the innermost Simulation wins.
+thread_local std::vector<const net::TimePoint*> tls_sim_clocks;
+
+}  // namespace
+
+/// All module state behind one mutex. Registration and level changes are
+/// rare; the hot path touches only LogModule::effective_.
+struct LogRegistry {
+    static LogRegistry& instance() {
+        static LogRegistry registry;
+        return registry;
+    }
+
+    LogModule& get(std::string_view name) {
+        std::lock_guard lock(mutex);
+        if (auto it = by_name.find(std::string(name)); it != by_name.end())
+            return *it->second;
+        // LogModule is non-movable (atomic member) and its ctor private;
+        // LogRegistry is a friend, so construct via new.
+        modules.push_back(
+            std::unique_ptr<LogModule>(new LogModule(std::string(name))));
+        LogModule& module = *modules.back();
+        module.effective_.store(global, std::memory_order_relaxed);
+        by_name.emplace(module.name(), &module);
+        return module;
+    }
+
+    void set_global(LogLevel level) {
+        std::lock_guard lock(mutex);
+        global = int(level);
+        for (auto& module : modules)
+            if (module->override_ < 0)
+                module->effective_.store(global, std::memory_order_relaxed);
+    }
+
+    void set_override(std::string_view name, int override_level) {
+        LogModule& module = get(name);
+        std::lock_guard lock(mutex);
+        module.override_ = override_level;
+        module.effective_.store(override_level >= 0 ? override_level : global,
+                                std::memory_order_relaxed);
+    }
+
+    std::mutex mutex;
+    std::deque<std::unique_ptr<LogModule>> modules;  ///< stable addresses
+    std::unordered_map<std::string, LogModule*> by_name;
+    int global = int(LogLevel::Warn);
+
+    std::mutex sink_mutex;
+    std::ostream* sink = nullptr;  ///< nullptr = stderr
+    std::uint64_t sequence = 0;
+};
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Off: return "off";
+        case LogLevel::Error: return "error";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Info: return "info";
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Trace: return "trace";
+    }
+    return "?";
+}
+
+std::optional<LogLevel> parse_level(std::string_view name) {
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(char(std::tolower(static_cast<unsigned char>(c))));
+    if (lower == "off") return LogLevel::Off;
+    if (lower == "error" || lower == "err") return LogLevel::Error;
+    if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+    if (lower == "info") return LogLevel::Info;
+    if (lower == "debug" || lower == "dbg") return LogLevel::Debug;
+    if (lower == "trace") return LogLevel::Trace;
+    return std::nullopt;
+}
+
+LogModule& LogModule::get(std::string_view name) {
+    return LogRegistry::instance().get(name);
+}
+
+void LogModule::emit(LogLevel level, std::string_view message) const {
+    LogRegistry& registry = LogRegistry::instance();
+    std::string line;
+    line.reserve(message.size() + name_.size() + 48);
+    std::uint64_t seq;
+    {
+        std::lock_guard lock(registry.sink_mutex);
+        seq = ++registry.sequence;
+    }
+    char seq_text[24];
+    std::snprintf(seq_text, sizeof seq_text, "%05llu",
+                  static_cast<unsigned long long>(seq));
+    line += seq_text;
+    line += '|';
+    if (!tls_sim_clocks.empty()) {
+        line += "sim ";
+        line += tls_sim_clocks.back()->to_string();
+        line += '|';
+    }
+    line += name_;
+    line += '|';
+    line += level_name(level);
+    line += '|';
+    line += message;
+    line += '\n';
+    std::lock_guard lock(registry.sink_mutex);
+    if (registry.sink != nullptr) {
+        registry.sink->write(line.data(), std::streamsize(line.size()));
+        registry.sink->flush();
+    } else {
+        std::fwrite(line.data(), 1, line.size(), stderr);
+    }
+}
+
+void set_log_level(LogLevel level) { LogRegistry::instance().set_global(level); }
+
+LogLevel log_level() {
+    LogRegistry& registry = LogRegistry::instance();
+    std::lock_guard lock(registry.mutex);
+    return LogLevel(registry.global);
+}
+
+void set_module_level(std::string_view module, LogLevel level) {
+    LogRegistry::instance().set_override(module, int(level));
+}
+
+void clear_module_level(std::string_view module) {
+    LogRegistry::instance().set_override(module, -1);
+}
+
+void apply_module_spec(std::string_view spec) {
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        auto comma = spec.find(',', pos);
+        if (comma == std::string_view::npos) comma = spec.size();
+        const std::string_view item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty()) continue;
+        const auto colon = item.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            throw Error("bad --log-module item '" + std::string(item) +
+                        "' (want module:level)");
+        const auto level = parse_level(item.substr(colon + 1));
+        if (!level)
+            throw Error("unknown log level '" +
+                        std::string(item.substr(colon + 1)) + "'");
+        set_module_level(item.substr(0, colon), *level);
+    }
+}
+
+void set_log_sink(std::ostream* sink) {
+    LogRegistry& registry = LogRegistry::instance();
+    std::lock_guard lock(registry.sink_mutex);
+    registry.sink = sink;
+}
+
+void push_sim_clock(const net::TimePoint* now) { tls_sim_clocks.push_back(now); }
+
+void pop_sim_clock(const net::TimePoint* now) {
+    // Tolerate non-LIFO destruction: erase the last matching entry.
+    for (auto it = tls_sim_clocks.rbegin(); it != tls_sim_clocks.rend(); ++it) {
+        if (*it == now) {
+            tls_sim_clocks.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+}  // namespace dynaddr::obs

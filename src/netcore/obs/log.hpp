@@ -1,0 +1,133 @@
+#pragma once
+
+// Structured leveled logging, OVS-vlog style: one LogModule per subsystem,
+// a global default level plus per-module runtime overrides, and a macro
+// front end with compile-time elision below DYNADDR_LOG_COMPILE_FLOOR.
+//
+// Usage (file scope, once per .cpp):
+//
+//     DYNADDR_LOG_MODULE(pipeline);
+//     ...
+//     DYNADDR_LOG(Info, pipeline, "filtered ", n, " probes");
+//
+// The disabled path is one relaxed atomic load plus a compare — cheap
+// enough to leave Debug statements in hot loops (BM_LogDisabled tracks
+// it). Statements above the compile floor vanish entirely, arguments
+// unevaluated. Records are written under a mutex to stderr (or a sink set
+// with set_log_sink) and tagged with simulated time whenever the emitting
+// thread is inside a sim::Simulation.
+
+#include <atomic>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "netcore/time.hpp"
+
+namespace dynaddr::obs {
+
+/// Severity levels, most severe first. Off disables a module entirely.
+enum class LogLevel : int { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4, Trace = 5 };
+
+/// "error", "warn", ... for rendering; "?" for out-of-range values.
+[[nodiscard]] const char* level_name(LogLevel level);
+
+/// Case-insensitive parse of a level name ("off", "error", "warn"/"warning",
+/// "info", "debug", "trace"); nullopt when unknown.
+[[nodiscard]] std::optional<LogLevel> parse_level(std::string_view name);
+
+/// One named logging module. Instances live forever in the registry;
+/// references stay valid for the process lifetime.
+class LogModule {
+public:
+    /// Get-or-create the module named `name`. Thread-safe; the same name
+    /// always yields the same instance.
+    static LogModule& get(std::string_view name);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    /// Hot-path check: true when a record at `level` would be emitted.
+    [[nodiscard]] bool enabled(LogLevel level) const {
+        return int(level) <= effective_.load(std::memory_order_relaxed);
+    }
+
+    /// The cold path: streams the arguments and hands the record to the
+    /// sink. Callers go through DYNADDR_LOG, which gates on enabled().
+    template <typename... Args>
+    void write(LogLevel level, const Args&... args) const {
+        std::ostringstream text;
+        (text << ... << args);
+        emit(level, std::move(text).str());
+    }
+
+    /// Emits a preformatted record (timestamp/level/module framing added).
+    void emit(LogLevel level, std::string_view message) const;
+
+private:
+    friend struct LogRegistry;
+    explicit LogModule(std::string name) : name_(std::move(name)) {}
+
+    std::string name_;
+    /// The level this module actually honours: its override when set,
+    /// otherwise the global default. Recomputed by the registry on every
+    /// set_log_level / set_module_level; reads are a single relaxed load.
+    std::atomic<int> effective_{int(LogLevel::Warn)};
+    int override_ = -1;  ///< -1 = follow global; registry-mutex guarded
+};
+
+/// Sets the default level for every module without an override.
+void set_log_level(LogLevel level);
+
+/// Current global default level.
+[[nodiscard]] LogLevel log_level();
+
+/// Per-module runtime override (creates the module when unseen).
+void set_module_level(std::string_view module, LogLevel level);
+
+/// Clears a module's override so it follows the global level again.
+void clear_module_level(std::string_view module);
+
+/// Applies a CLI-style spec: "mod:level" or "mod1:level1,mod2:level2".
+/// Throws Error on a malformed spec or unknown level name.
+void apply_module_spec(std::string_view spec);
+
+/// Redirects records to `sink` (nullptr restores stderr). The sink must
+/// outlive its installation. Intended for tests and file capture.
+void set_log_sink(std::ostream* sink);
+
+/// Registers/unregisters a simulated clock for the calling thread; while
+/// registered, records carry the simulation's current time. Balanced
+/// push/pop pairs nest (sim::Simulation does this in ctor/dtor).
+void push_sim_clock(const net::TimePoint* now);
+void pop_sim_clock(const net::TimePoint* now);
+
+}  // namespace dynaddr::obs
+
+// Statements at levels whose numeric value exceeds the floor compile to
+// nothing (arguments unevaluated). Default floor: Debug — Trace statements
+// are elided from release binaries unless the build overrides the floor.
+#ifndef DYNADDR_LOG_COMPILE_FLOOR
+#define DYNADDR_LOG_COMPILE_FLOOR 4
+#endif
+
+/// File-scope module definition. The reference is resolved once during
+/// static initialization, so DYNADDR_LOG pays no lookup and no init-guard.
+#define DYNADDR_LOG_MODULE(name)                                          \
+    namespace {                                                           \
+    [[maybe_unused]] ::dynaddr::obs::LogModule& dynaddr_log_module_##name = \
+        ::dynaddr::obs::LogModule::get(#name);                            \
+    }
+
+/// DYNADDR_LOG(Level, module, args...) — `module` must have been declared
+/// in this file with DYNADDR_LOG_MODULE(module).
+#define DYNADDR_LOG(level, module, ...)                                   \
+    do {                                                                  \
+        if constexpr (int(::dynaddr::obs::LogLevel::level) <=             \
+                      DYNADDR_LOG_COMPILE_FLOOR) {                        \
+            if (dynaddr_log_module_##module.enabled(                      \
+                    ::dynaddr::obs::LogLevel::level)) [[unlikely]]        \
+                dynaddr_log_module_##module.write(                        \
+                    ::dynaddr::obs::LogLevel::level, __VA_ARGS__);        \
+        }                                                                 \
+    } while (0)

@@ -1,0 +1,118 @@
+#include "netcore/obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+namespace dynaddr::obs {
+
+namespace {
+
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    std::uint64_t start_us;
+    std::uint64_t duration_us;
+    int tid;
+};
+
+struct TraceCollector {
+    static TraceCollector& instance() {
+        static TraceCollector collector;
+        return collector;
+    }
+
+    std::atomic<bool> enabled{false};
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    int next_tid = 0;
+};
+
+/// Small stable per-thread id: trace viewers group events by tid, and
+/// std::thread::id does not render as a number.
+int this_thread_tid() {
+    thread_local int tid = [] {
+        TraceCollector& collector = TraceCollector::instance();
+        std::lock_guard lock(collector.mutex);
+        return collector.next_tid++;
+    }();
+    return tid;
+}
+
+void write_json_escaped(std::ostream& out, std::string_view s) {
+    for (char c : s) {
+        if (c == '"' || c == '\\') out << '\\';
+        out << c;
+    }
+}
+
+}  // namespace
+
+bool trace_enabled() {
+    return TraceCollector::instance().enabled.load(std::memory_order_relaxed);
+}
+
+void enable_trace() {
+    TraceCollector& collector = TraceCollector::instance();
+    std::lock_guard lock(collector.mutex);
+    collector.epoch = std::chrono::steady_clock::now();
+    collector.enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_trace() {
+    TraceCollector::instance().enabled.store(false, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+    TraceCollector& collector = TraceCollector::instance();
+    std::lock_guard lock(collector.mutex);
+    collector.events.clear();
+}
+
+std::size_t trace_event_count() {
+    TraceCollector& collector = TraceCollector::instance();
+    std::lock_guard lock(collector.mutex);
+    return collector.events.size();
+}
+
+std::uint64_t trace_now_us() {
+    TraceCollector& collector = TraceCollector::instance();
+    const auto elapsed = std::chrono::steady_clock::now() - collector.epoch;
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void record_complete_event(std::string_view name, std::string_view category,
+                           std::uint64_t start_us, std::uint64_t duration_us) {
+    const int tid = this_thread_tid();
+    TraceCollector& collector = TraceCollector::instance();
+    std::lock_guard lock(collector.mutex);
+    collector.events.push_back(TraceEvent{std::string(name),
+                                          std::string(category), start_us,
+                                          duration_us, tid});
+}
+
+void write_trace_json(std::ostream& out) {
+    TraceCollector& collector = TraceCollector::instance();
+    std::lock_guard lock(collector.mutex);
+    out << "{\"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent& event : collector.events) {
+        out << (first ? "\n" : ",\n") << "  {\"name\": \"";
+        first = false;
+        write_json_escaped(out, event.name);
+        out << "\", \"cat\": \"";
+        write_json_escaped(out, event.category);
+        out << "\", \"ph\": \"X\", \"ts\": " << event.start_us
+            << ", \"dur\": " << event.duration_us
+            << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+    }
+    out << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace dynaddr::obs

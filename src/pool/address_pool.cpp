@@ -4,8 +4,31 @@
 #include <cmath>
 
 #include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+
+DYNADDR_LOG_MODULE(pool);
 
 namespace dynaddr::pool {
+
+namespace {
+
+/// Process-wide pool metrics; every AddressPool adds deltas so the gauges
+/// read totals across all live pools, and the destructor unwinds them.
+struct PoolMetrics {
+    obs::Counter& allocations = obs::counter("pool.allocations");
+    obs::Counter& releases = obs::counter("pool.releases");
+    obs::Counter& churn = obs::counter("pool.churn");
+    obs::Gauge& occupancy = obs::gauge("pool.occupancy");
+    obs::Gauge& free_addresses = obs::gauge("pool.free");
+};
+
+PoolMetrics& pool_metrics() {
+    static PoolMetrics metrics;
+    return metrics;
+}
+
+}  // namespace
 
 AddressPool::AddressPool(PoolConfig config, rng::Stream rng)
     : config_(std::move(config)), rng_(rng) {
@@ -35,6 +58,25 @@ AddressPool::AddressPool(PoolConfig config, rng::Stream rng)
         }
         total_free_ += bucket.size();
     }
+    sync_gauges();
+    DYNADDR_LOG(Debug, pool, "pool created: ", config_.prefixes.size(),
+                " prefixes, ", total_free_, " free addresses");
+}
+
+AddressPool::~AddressPool() {
+    PoolMetrics& metrics = pool_metrics();
+    metrics.occupancy.add(-std::int64_t(reported_occupancy_));
+    metrics.free_addresses.add(-std::int64_t(reported_free_));
+}
+
+void AddressPool::sync_gauges() {
+    PoolMetrics& metrics = pool_metrics();
+    metrics.occupancy.add(std::int64_t(allocated_count()) -
+                          std::int64_t(reported_occupancy_));
+    metrics.free_addresses.add(std::int64_t(total_free_) -
+                               std::int64_t(reported_free_));
+    reported_occupancy_ = allocated_count();
+    reported_free_ = total_free_;
 }
 
 void AddressPool::retire_prefix(std::size_t index) {
@@ -45,6 +87,9 @@ void AddressPool::retire_prefix(std::size_t index) {
     for (const auto addr : bucket) free_pos_.erase(addr);
     total_free_ -= bucket.size();
     bucket.clear();
+    sync_gauges();
+    DYNADDR_LOG(Info, pool, "retired prefix ",
+                config_.prefixes[index].to_string());
 }
 
 void AddressPool::enable_prefix(std::size_t index) {
@@ -60,6 +105,9 @@ void AddressPool::enable_prefix(std::size_t index) {
         bucket.push_back(addr);
         ++total_free_;
     }
+    sync_gauges();
+    DYNADDR_LOG(Info, pool, "enabled prefix ",
+                config_.prefixes[index].to_string());
 }
 
 bool AddressPool::is_retired(net::IPv4Address addr) const {
@@ -107,8 +155,14 @@ std::optional<net::IPv4Address> AddressPool::allocate(
             chosen = pick_prefix_hop(previous ? previous : hint);
             break;
     }
-    if (!chosen) return std::nullopt;  // pool exhausted
+    if (!chosen) {
+        DYNADDR_LOG(Warn, pool, "pool exhausted for client ", client);
+        return std::nullopt;
+    }
     take(*chosen, client);
+    // A fresh draw while a previous binding exists means the subscriber
+    // came back and got a different address — pool-induced churn.
+    if (previous && *previous != *chosen) pool_metrics().churn.inc();
     return chosen;
 }
 
@@ -119,12 +173,17 @@ void AddressPool::release(ClientId client) {
     addr_by_holder_.erase(it);
     holder_by_addr_.erase(addr);
     remembered_binding_[client] = addr;
+    pool_metrics().releases.inc();
     const int p = prefix_index_of(addr);
-    if (!prefix_enabled_[std::size_t(p)]) return;  // retired: abandon it
+    if (!prefix_enabled_[std::size_t(p)]) {  // retired: abandon it
+        sync_gauges();
+        return;
+    }
     auto& bucket = free_by_prefix_[std::size_t(p)];
     free_pos_.emplace(addr, std::pair{std::size_t(p), bucket.size()});
     bucket.push_back(addr);
     ++total_free_;
+    sync_gauges();
 }
 
 std::optional<net::IPv4Address> AddressPool::address_of(ClientId client) const {
@@ -167,6 +226,8 @@ void AddressPool::take(net::IPv4Address addr, ClientId client) {
     --total_free_;
     holder_by_addr_.emplace(addr, client);
     addr_by_holder_.emplace(client, addr);
+    pool_metrics().allocations.inc();
+    sync_gauges();
 }
 
 std::optional<net::IPv4Address> AddressPool::pick_sequential() {

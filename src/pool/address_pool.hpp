@@ -64,6 +64,10 @@ public:
     /// Throws Error on an empty or overlapping prefix set.
     AddressPool(PoolConfig config, rng::Stream rng);
 
+    /// Unwinds this pool's contribution to the process-wide occupancy
+    /// gauges (many pools share them; see obs metrics).
+    ~AddressPool();
+
     /// Allocates an address for `client` at time `now`.
     ///
     /// `hint` is the address the client asks for (DHCP REQUEST of a prior
@@ -128,6 +132,9 @@ private:
     /// Index of the configured prefix containing `addr`, or -1.
     [[nodiscard]] int prefix_index_of(net::IPv4Address addr) const;
 
+    /// Pushes this pool's occupancy/free deltas into the shared gauges.
+    void sync_gauges();
+
     PoolConfig config_;
     rng::Stream rng_;
     std::vector<bool> prefix_enabled_;
@@ -139,6 +146,9 @@ private:
     std::unordered_map<net::IPv4Address, ClientId> holder_by_addr_;
     std::unordered_map<ClientId, net::IPv4Address> addr_by_holder_;
     std::unordered_map<ClientId, net::IPv4Address> remembered_binding_;
+    // Last values pushed into the shared gauges (unwound by ~AddressPool).
+    std::size_t reported_occupancy_ = 0;
+    std::size_t reported_free_ = 0;
 };
 
 }  // namespace dynaddr::pool

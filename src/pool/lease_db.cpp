@@ -1,8 +1,35 @@
 #include "pool/lease_db.hpp"
 
 #include "netcore/error.hpp"
+#include "netcore/obs/metrics.hpp"
 
 namespace dynaddr::pool {
+
+namespace {
+
+struct LeaseMetrics {
+    obs::Counter& granted = obs::counter("lease.granted");
+    obs::Counter& revoked = obs::counter("lease.revoked");
+    obs::Counter& expired = obs::counter("lease.expired");
+    obs::Gauge& active = obs::gauge("lease.active");
+};
+
+LeaseMetrics& lease_metrics() {
+    static LeaseMetrics metrics;
+    return metrics;
+}
+
+}  // namespace
+
+LeaseDb::~LeaseDb() {
+    lease_metrics().active.add(-std::int64_t(reported_active_));
+}
+
+void LeaseDb::sync_gauge() {
+    lease_metrics().active.add(std::int64_t(size()) -
+                               std::int64_t(reported_active_));
+    reported_active_ = size();
+}
 
 void LeaseDb::grant(const Lease& lease) {
     auto addr_it = client_by_addr_.find(lease.address);
@@ -15,6 +42,8 @@ void LeaseDb::grant(const Lease& lease) {
     by_client_[lease.client] = lease;
     client_by_addr_[lease.address] = lease.client;
     by_expiry_.emplace(lease.expiry, lease.client);
+    lease_metrics().granted.inc();
+    sync_gauge();
 }
 
 std::optional<Lease> LeaseDb::revoke(ClientId client) {
@@ -23,6 +52,8 @@ std::optional<Lease> LeaseDb::revoke(ClientId client) {
     Lease lease = it->second;
     unindex(lease);
     by_client_.erase(it);
+    lease_metrics().revoked.inc();
+    sync_gauge();
     return lease;
 }
 
@@ -48,6 +79,10 @@ std::vector<Lease> LeaseDb::expire_until(net::TimePoint now) {
         expired.push_back(lease_it->second);
         unindex(lease_it->second);
         by_client_.erase(lease_it);
+    }
+    if (!expired.empty()) {
+        lease_metrics().expired.inc(expired.size());
+        sync_gauge();
     }
     return expired;
 }

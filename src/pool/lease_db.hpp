@@ -25,6 +25,13 @@ struct Lease {
 /// DHCP server keeps. At most one lease per client and per address.
 class LeaseDb {
 public:
+    LeaseDb() = default;
+    /// Unwinds this database's contribution to the shared lease.active
+    /// gauge (see obs metrics).
+    ~LeaseDb();
+    LeaseDb(const LeaseDb&) = delete;
+    LeaseDb& operator=(const LeaseDb&) = delete;
+
     /// Inserts or refreshes the lease for (client, address). Throws Error
     /// when the address is actively leased to a different client.
     void grant(const Lease& lease);
@@ -49,10 +56,15 @@ public:
 private:
     void unindex(const Lease& lease);
 
+    /// Pushes this database's active-lease delta into the shared gauge.
+    void sync_gauge();
+
     std::unordered_map<ClientId, Lease> by_client_;
     std::unordered_map<net::IPv4Address, ClientId> client_by_addr_;
     // Expiry index; multiple leases can share an expiry second.
     std::multimap<net::TimePoint, ClientId> by_expiry_;
+    // Last value pushed into the shared gauge (unwound by ~LeaseDb).
+    std::size_t reported_active_ = 0;
 };
 
 }  // namespace dynaddr::pool

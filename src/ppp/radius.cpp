@@ -1,6 +1,26 @@
 #include "ppp/radius.hpp"
 
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+
+DYNADDR_LOG_MODULE(radius);
+
 namespace dynaddr::ppp {
+
+namespace {
+
+struct RadiusMetrics {
+    obs::Counter& accept = obs::counter("radius.access_accept");
+    obs::Counter& reject = obs::counter("radius.access_reject");
+    obs::Counter& account_stop = obs::counter("radius.account_stop");
+};
+
+RadiusMetrics& radius_metrics() {
+    static RadiusMetrics metrics;
+    return metrics;
+}
+
+}  // namespace
 
 RadiusServer::RadiusServer(RadiusConfig config, pool::AddressPool& pool,
                            sim::Simulation& sim)
@@ -12,8 +32,16 @@ std::optional<RadiusServer::AccessAccept> RadiusServer::authorize(
     // down first (a real BRAS would reject or kill the stale session).
     if (open_.contains(client)) account_stop(client, StopReason::AdminReset);
     auto address = pool_->allocate(client, sim_->now());
-    if (!address) return std::nullopt;
+    if (!address) {
+        radius_metrics().reject.inc();
+        DYNADDR_LOG(Debug, radius, "access-reject client ", client,
+                    " (pool exhausted)");
+        return std::nullopt;
+    }
     open_.emplace(client, OpenSession{*address, sim_->now()});
+    radius_metrics().accept.inc();
+    DYNADDR_LOG(Debug, radius, "access-accept client ", client, " -> ",
+                address->to_string());
     return AccessAccept{*address, config_.session_timeout};
 }
 
@@ -24,6 +52,7 @@ void RadiusServer::account_stop(pool::ClientId client, StopReason reason) {
                                         it->second.start, sim_->now(), reason});
     open_.erase(it);
     pool_->release(client);
+    radius_metrics().account_stop.inc();
 }
 
 }  // namespace dynaddr::ppp

@@ -1,6 +1,38 @@
 #include "ppp/session.hpp"
 
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+
+DYNADDR_LOG_MODULE(ppp);
+
 namespace dynaddr::ppp {
+
+namespace {
+
+struct SessionMetrics {
+    obs::Counter& dials = obs::counter("ppp.dials");
+    obs::Counter& opened = obs::counter("ppp.opened");
+    obs::Counter& dropped = obs::counter("ppp.dropped");
+    obs::Counter& timeouts = obs::counter("ppp.session_timeouts");
+    obs::Counter& skipped_renumber = obs::counter("ppp.renumber_skipped");
+};
+
+SessionMetrics& session_metrics() {
+    static SessionMetrics metrics;
+    return metrics;
+}
+
+const char* stop_reason_name(StopReason reason) {
+    switch (reason) {
+        case StopReason::SessionTimeout: return "session-timeout";
+        case StopReason::LostCarrier: return "lost-carrier";
+        case StopReason::UserRequest: return "user-request";
+        case StopReason::AdminReset: return "admin-reset";
+    }
+    return "?";
+}
+
+}  // namespace
 
 Session::Session(SessionConfig config, pool::ClientId id, RadiusServer& server,
                  sim::Simulation& sim, rng::Stream rng,
@@ -46,6 +78,7 @@ void Session::dial() {
         phase_ = Phase::Dead;  // wait for link_restored()
         return;
     }
+    session_metrics().dials.inc();
     // LCP establish -> authenticate (PAP/CHAP) -> IPCP address assignment.
     phase_ = Phase::Establish;
     phase_ = Phase::Authenticate;
@@ -62,11 +95,17 @@ void Session::dial() {
     phase_ = Phase::Network;
     address_ = accept->address;
     phase_ = Phase::Open;
+    session_metrics().opened.inc();
+    DYNADDR_LOG(Debug, ppp, "session ", id_, " open on ",
+                accept->address.to_string());
     if (accept->session_timeout) schedule_timeout(*accept->session_timeout);
     if (on_acquired_) on_acquired_(accept->address);
 }
 
 void Session::drop(StopReason reason, bool redial) {
+    session_metrics().dropped.inc();
+    DYNADDR_LOG(Debug, ppp, "session ", id_, " dropped: ",
+                stop_reason_name(reason));
     cancel_timers();
     server_->account_stop(id_, reason);
     address_.reset();
@@ -89,8 +128,10 @@ void Session::schedule_timeout(net::Duration timeout) {
 
 void Session::on_session_timeout() {
     if (phase_ != Phase::Open) return;
+    session_metrics().timeouts.inc();
     if (rng_.bernoulli(config_.skip_renumber_probability)) {
         // Enforcement skipped this cycle; session survives another period.
+        session_metrics().skipped_renumber.inc();
         if (auto timeout = server_->config().session_timeout)
             schedule_timeout(*timeout);
         return;

@@ -6,10 +6,26 @@
 #include <utility>
 
 #include "netcore/error.hpp"
+#include "netcore/obs/metrics.hpp"
 
 namespace dynaddr::sim {
 
 namespace {
+
+/// Wheel counters, bound once at static init: the per-event cost is a
+/// couple of relaxed adds — noise next to the wheel's own bucket work.
+struct WheelMetrics {
+    obs::Counter& scheduled = obs::counter("sim.wheel.scheduled");
+    obs::Counter& fired = obs::counter("sim.wheel.fired");
+    obs::Counter& cancelled = obs::counter("sim.wheel.cancelled");
+    obs::Counter& cascaded = obs::counter("sim.wheel.cascaded");
+    obs::Counter& overflow = obs::counter("sim.wheel.overflow");
+};
+
+WheelMetrics& wheel_metrics() {
+    static WheelMetrics metrics;
+    return metrics;
+}
 
 constexpr std::uint64_t kSlotFieldMask = 0xFFFFFFFFull;
 
@@ -57,6 +73,7 @@ EventId EventQueue::schedule_impl(std::int64_t when, std::int64_t period,
     e.cb = std::move(cb);
     place(slot);
     ++size_;
+    wheel_metrics().scheduled.inc();
     return EventId{encode_id(e.gen, slot)};
 }
 
@@ -72,6 +89,7 @@ bool EventQueue::cancel(EventId id) {
     // recurrence.
     e.state = State::Cancelled;
     --size_;
+    wheel_metrics().cancelled.inc();
     return true;
 }
 
@@ -83,6 +101,7 @@ std::optional<net::TimePoint> EventQueue::next_time() {
 
 bool EventQueue::run_next() {
     if (!find_next()) return false;
+    wheel_metrics().fired.inc();
     const std::uint32_t slot = ready_[ready_head_++];
     Event& e = slab_[slot];
     const std::int64_t when = e.when;
@@ -218,18 +237,22 @@ void EventQueue::cascade(int level, std::uint32_t index) {
     bucket_head_[level][index] = kNil;
     bucket_tail_[level][index] = kNil;
     occupied_[level][index >> 6] &= ~(std::uint64_t(1) << (index & 63));
+    std::uint64_t moved = 0;
     while (slot != kNil) {
         const std::uint32_t next = slab_[slot].next;
         if (slab_[slot].state == State::Cancelled) {
             free_slot(slot);
         } else {
             place(slot);
+            ++moved;
         }
         slot = next;
     }
+    wheel_metrics().cascaded.inc(moved);
 }
 
 void EventQueue::heap_push(HeapEntry entry) {
+    wheel_metrics().overflow.inc();
     heap_.push_back(entry);
     std::size_t i = heap_.size() - 1;
     while (i > 0) {

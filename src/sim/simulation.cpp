@@ -1,8 +1,15 @@
 #include "sim/simulation.hpp"
 
 #include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
 
 namespace dynaddr::sim {
+
+Simulation::Simulation(net::TimePoint start) : now_(start) {
+    obs::push_sim_clock(&now_);
+}
+
+Simulation::~Simulation() { obs::pop_sim_clock(&now_); }
 
 EventId Simulation::at(net::TimePoint when, EventQueue::Callback callback) {
     if (when < now_)

@@ -14,8 +14,13 @@ namespace dynaddr::sim {
 /// backwards.
 class Simulation {
 public:
-    /// Starts the clock at `start`.
-    explicit Simulation(net::TimePoint start) : now_(start) {}
+    /// Starts the clock at `start`. The simulation registers its clock
+    /// with the logging layer for its lifetime, so records emitted from
+    /// inside callbacks carry simulated time.
+    explicit Simulation(net::TimePoint start);
+    ~Simulation();
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
 
     /// Current simulation time.
     [[nodiscard]] net::TimePoint now() const { return now_; }

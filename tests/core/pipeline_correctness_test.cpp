@@ -6,6 +6,7 @@
 
 #include "core/pipeline.hpp"
 #include "netcore/error.hpp"
+#include "netcore/obs/metrics.hpp"
 
 namespace dynaddr::core {
 namespace {
@@ -126,6 +127,46 @@ TEST(ObservationWindow, ExplicitWindowWithEmptyLogIsDefined) {
     EXPECT_TRUE(results.network_outages.empty());
     // Firmware analysis still runs over the uptime data.
     EXPECT_EQ(results.firmware.probes_rebooted_per_day.size(), 1u);
+}
+
+TEST(Table2Funnel, MetricsMatchFilterReport) {
+    // The table2_funnel counters exported with --metrics-out must agree
+    // with the FilterReport the pipeline renders as Table 2.
+    auto bundle = power_outage_bundle();
+    bundle.probes = {{1, atlas::ProbeVersion::V3, "DE", {}}};
+    // A second probe that never changes address lands in a different
+    // funnel category than the analyzable probe 1.
+    bundle.connection_log.push_back(entry(2, 0, 40000, "10.0.1.1"));
+    bundle.connection_log.push_back(entry(2, 41000, 50000, "10.0.1.1"));
+
+    const auto before = obs::metrics_snapshot();
+    const auto results = run(bundle);
+    const auto diff = obs::metrics_diff(obs::metrics_snapshot(), before);
+
+    auto funnel = [&](const char* name) -> std::uint64_t {
+        auto it = diff.counters.find(std::string("table2_funnel.") + name);
+        return it == diff.counters.end() ? 0 : it->second;
+    };
+    EXPECT_EQ(funnel("total"), std::uint64_t(results.filter.total()));
+    EXPECT_EQ(funnel("analyzable"),
+              std::uint64_t(results.filter.count(ProbeCategory::Analyzable)));
+    EXPECT_EQ(funnel("never_changed"),
+              std::uint64_t(results.filter.count(ProbeCategory::NeverChanged)));
+    EXPECT_EQ(funnel("dual_stack"),
+              std::uint64_t(results.filter.count(ProbeCategory::DualStack)));
+    EXPECT_EQ(funnel("ipv6_only"),
+              std::uint64_t(results.filter.count(ProbeCategory::Ipv6Only)));
+    EXPECT_EQ(funnel("tagged_multihomed"),
+              std::uint64_t(results.filter.count(ProbeCategory::TaggedMultihomed)));
+    EXPECT_EQ(
+        funnel("alternating_multihomed"),
+        std::uint64_t(results.filter.count(ProbeCategory::AlternatingMultihomed)));
+    EXPECT_EQ(
+        funnel("testing_address_only"),
+        std::uint64_t(results.filter.count(ProbeCategory::TestingAddressOnly)));
+    // The funnel covers the whole population: both probes were counted.
+    EXPECT_EQ(funnel("total"), 2u);
+    EXPECT_GE(funnel("analyzable"), 1u);
 }
 
 TEST(FirmwareMedian, EvenDayCountAveragesMiddlePair) {

@@ -2,6 +2,9 @@
 // engine must preserve the exact event interleaving of the original
 // ordered-map queue: two runs of any preset must serialize to identical
 // CSV bytes, at any thread count, on every dataset in the bundle.
+//
+// Observability must be a pure observer: enabling trace-level logging and
+// span collection must not perturb a single byte of the analysis output.
 
 #include <gtest/gtest.h>
 
@@ -9,8 +12,12 @@
 #include <string>
 
 #include "atlas/datasets.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
 #include "isp/presets.hpp"
 #include "isp/world.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/trace.hpp"
 
 namespace dynaddr {
 namespace {
@@ -39,6 +46,55 @@ TEST(SimulatorDeterminism, OutagePresetIsByteIdenticalAcrossRuns) {
     const auto second = serialize_bundle(isp::run_scenario(config).bundle);
     ASSERT_FALSE(first.empty());
     EXPECT_EQ(first, second);
+}
+
+/// Simulates a preset, analyzes it, and fingerprints every rendered table —
+/// the full user-visible analysis output.
+std::string analysis_fingerprint(const isp::ScenarioConfig& config) {
+    const auto scenario = isp::run_scenario(config);
+    const auto results = core::AnalysisPipeline{}.run(
+        scenario.bundle, scenario.prefix_table, scenario.registry);
+    std::string out = serialize_bundle(scenario.bundle);
+    out += core::render_summary(results);
+    out += core::render_table2(results.filter);
+    out += core::render_table5(results.periodicity);
+    out += core::render_table6(results.cond_prob);
+    out += core::render_table7(results.prefix_changes);
+    return out;
+}
+
+/// Runs the fingerprint with obs fully off, then fully on (trace-level
+/// logging into a throwaway sink + span collection), and restores state.
+void expect_obs_invariant(const isp::ScenarioConfig& config) {
+    const auto baseline = analysis_fingerprint(config);
+    ASSERT_FALSE(baseline.empty());
+
+    const auto old_level = obs::log_level();
+    std::ostringstream log_capture;
+    obs::set_log_sink(&log_capture);
+    obs::set_log_level(obs::LogLevel::Trace);
+    obs::enable_trace();
+    const auto observed = analysis_fingerprint(config);
+    obs::disable_trace();
+    obs::clear_trace();
+    obs::set_log_level(old_level);
+    obs::set_log_sink(nullptr);
+
+    EXPECT_EQ(baseline, observed);
+    // The run really was observed: logging fired.
+    EXPECT_FALSE(log_capture.str().empty());
+}
+
+TEST(ObsDeterminism, QuickPresetAnalysisUnaffectedByObservability) {
+    expect_obs_invariant(isp::presets::quick_scenario());
+}
+
+TEST(ObsDeterminism, OutagePresetAnalysisUnaffectedByObservability) {
+    expect_obs_invariant(isp::presets::outage_scenario());
+}
+
+TEST(ObsDeterminism, PaperPresetAnalysisUnaffectedByObservability) {
+    expect_obs_invariant(isp::presets::paper_scenario());
 }
 
 }  // namespace

@@ -1,0 +1,78 @@
+// End-to-end smoke test for the CLI observability flags: runs the real
+// dynaddr binary on the quick preset with --metrics-out/--trace-out and
+// validates the artifacts. DYNADDR_CLI_PATH is injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "netcore/obs/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+class ObsSmoke : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() / "dynaddr_obs_smoke";
+        fs::create_directories(dir_);
+    }
+    void TearDown() override {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+    fs::path dir_;
+};
+
+TEST_F(ObsSmoke, QuickPresetEmitsValidMetricsAndTrace) {
+    const fs::path metrics = dir_ / "metrics.json";
+    const fs::path trace = dir_ / "trace.json";
+    const std::string command = std::string(DYNADDR_CLI_PATH) +
+                                " --preset quick --metrics-out " + metrics.string() +
+                                " --trace-out " + trace.string() + " > " +
+                                (dir_ / "stdout.txt").string() + " 2> " +
+                                (dir_ / "stderr.txt").string();
+    ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+    const std::string metrics_text = read_file(metrics);
+    ASSERT_FALSE(metrics_text.empty());
+    EXPECT_TRUE(dynaddr::obs::json_valid(metrics_text));
+    // Pipeline stage counters, timer-wheel counters, and the Table 2
+    // funnel block must all be present.
+    EXPECT_NE(metrics_text.find("\"pipeline.probes_in\""), std::string::npos);
+    EXPECT_NE(metrics_text.find("\"sim.wheel.fired\""), std::string::npos);
+    EXPECT_NE(metrics_text.find("\"table2_funnel\": {"), std::string::npos);
+    EXPECT_NE(metrics_text.find("\"analyzable\""), std::string::npos);
+
+    const std::string trace_text = read_file(trace);
+    ASSERT_FALSE(trace_text.empty());
+    EXPECT_TRUE(dynaddr::obs::json_valid(trace_text));
+    EXPECT_NE(trace_text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace_text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(trace_text.find("\"scenario.build\""), std::string::npos);
+}
+
+TEST_F(ObsSmoke, MetricsCsvSuffixSelectsCsv) {
+    const fs::path metrics = dir_ / "metrics.csv";
+    const std::string command = std::string(DYNADDR_CLI_PATH) +
+                                " --preset quick --metrics-out " + metrics.string() +
+                                " > " + (dir_ / "stdout.txt").string() + " 2>&1";
+    ASSERT_EQ(std::system(command.c_str()), 0) << command;
+    const std::string text = read_file(metrics);
+    EXPECT_EQ(text.rfind("kind,name,value\n", 0), 0u) << text.substr(0, 80);
+}
+
+}  // namespace

@@ -27,6 +27,11 @@
 #include "isp/presets.hpp"
 #include "netcore/csv.hpp"
 #include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/trace.hpp"
+
+DYNADDR_LOG_MODULE(cli);
 
 namespace {
 
@@ -39,7 +44,13 @@ int usage() {
         "  dynaddr simulate --preset paper|outage|quick --out DIR [--seed N]\n"
         "  dynaddr analyze  --data DIR [--report summary,table2,table5,"
         "table6,table7,admin,causes,all] [--threads N]\n"
-        "  dynaddr demo [--threads N]\n"
+        "  dynaddr demo [--preset paper|outage|quick] [--threads N]\n"
+        "  dynaddr [--preset ...] (flags only: shorthand for demo)\n"
+        "observability (any command):\n"
+        "  --log-level off|error|warn|info|debug|trace   global log level\n"
+        "  --log-module mod:level[,mod:level...]         per-module override\n"
+        "  --metrics-out FILE   write metrics (JSON; .csv extension -> CSV)\n"
+        "  --trace-out FILE     write Chrome trace_event JSON (Perfetto)\n"
         "(--threads: pipeline executors; 0 = hardware concurrency (default),"
         " 1 = single-threaded; results are identical for any value)\n";
     return 2;
@@ -49,11 +60,51 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
     std::map<std::string, std::string> flags;
     for (int i = from; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0 || i + 1 >= argc)
-            throw Error("bad argument '" + arg + "'");
+        if (arg.rfind("--", 0) != 0) throw Error("bad argument '" + arg + "'");
+        // Both --flag=value and --flag value.
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            continue;
+        }
+        if (i + 1 >= argc) throw Error("flag '" + arg + "' needs a value");
         flags[arg.substr(2)] = argv[++i];
     }
     return flags;
+}
+
+/// Applies the observability flags. Returns after enabling tracing when
+/// requested, so spans from the command body are collected.
+void apply_obs_flags(const std::map<std::string, std::string>& flags) {
+    if (auto it = flags.find("log-level"); it != flags.end()) {
+        const auto level = obs::parse_level(it->second);
+        if (!level) throw Error("unknown log level '" + it->second + "'");
+        obs::set_log_level(*level);
+    }
+    if (auto it = flags.find("log-module"); it != flags.end())
+        obs::apply_module_spec(it->second);
+    if (flags.contains("trace-out")) obs::enable_trace();
+}
+
+/// Writes --metrics-out / --trace-out files after a successful command.
+void write_obs_outputs(const std::map<std::string, std::string>& flags) {
+    if (auto it = flags.find("metrics-out"); it != flags.end()) {
+        std::ofstream out(it->second);
+        if (!out) throw Error("cannot open " + it->second + " for writing");
+        const auto snapshot = obs::metrics_snapshot();
+        if (it->second.size() >= 4 &&
+            it->second.compare(it->second.size() - 4, 4, ".csv") == 0)
+            obs::write_metrics_csv(out, snapshot);
+        else
+            obs::write_metrics_json(out, snapshot);
+        DYNADDR_LOG(Info, cli, "wrote metrics to ", it->second);
+    }
+    if (auto it = flags.find("trace-out"); it != flags.end()) {
+        std::ofstream out(it->second);
+        if (!out) throw Error("cannot open " + it->second + " for writing");
+        obs::write_trace_json(out);
+        DYNADDR_LOG(Info, cli, "wrote ", obs::trace_event_count(),
+                    " trace events to ", it->second);
+    }
 }
 
 isp::ScenarioConfig preset_by_name(const std::string& name) {
@@ -215,8 +266,8 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
     const auto table = load_context_table(dir);
     const auto registry = load_context_registry(dir);
     if (table.snapshot_count() == 0)
-        std::cerr << "warning: no pfx2as_YYYY-MM.txt files in " << dir.string()
-                  << "; AS-level analyses will be empty\n";
+        DYNADDR_LOG(Warn, cli, "no pfx2as_YYYY-MM.txt files in ", dir.string(),
+                    "; AS-level analyses will be empty");
 
     core::AnalysisPipeline pipeline(pipeline_config(flags));
     const auto results = pipeline.run(bundle, table, registry);
@@ -225,8 +276,10 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_demo(const std::map<std::string, std::string>& flags) {
-    const auto config = isp::presets::quick_scenario();
-    std::cout << "simulating quick preset...\n";
+    const std::string preset =
+        flags.contains("preset") ? flags.at("preset") : std::string("quick");
+    const auto config = preset_by_name(preset);
+    std::cout << "simulating " << preset << " preset...\n";
     const auto scenario = isp::run_scenario(config);
     core::AnalysisPipeline pipeline(pipeline_config(flags));
     const auto results = pipeline.run(scenario.bundle, scenario.prefix_table,
@@ -240,12 +293,23 @@ int cmd_demo(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
     try {
         if (argc < 2) return usage();
-        const std::string command = argv[1];
-        const auto flags = parse_flags(argc, argv, 2);
-        if (command == "simulate") return cmd_simulate(flags);
-        if (command == "analyze") return cmd_analyze(flags);
-        if (command == "demo") return cmd_demo(flags);
-        return usage();
+        // Flags-only invocation (e.g. `dynaddr --preset quick`) is
+        // shorthand for the demo command.
+        std::string command = argv[1];
+        int flags_from = 2;
+        if (command.rfind("--", 0) == 0) {
+            command = "demo";
+            flags_from = 1;
+        }
+        const auto flags = parse_flags(argc, argv, flags_from);
+        apply_obs_flags(flags);
+        int status;
+        if (command == "simulate") status = cmd_simulate(flags);
+        else if (command == "analyze") status = cmd_analyze(flags);
+        else if (command == "demo") status = cmd_demo(flags);
+        else return usage();
+        if (status == 0) write_obs_outputs(flags);
+        return status;
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << "\n";
         return 1;
