@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -16,8 +18,10 @@
 #include "core/pipeline.hpp"
 #include "dhcp/wire.hpp"
 #include "netcore/ipv6.hpp"
+#include "netcore/obs/flight_recorder.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
+#include "netcore/obs/timeseries.hpp"
 #include "netcore/parallel.hpp"
 #include "isp/presets.hpp"
 #include "sim/reference_queue.hpp"
@@ -264,15 +268,76 @@ void BM_LogDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_LogDisabled);
 
+void BM_RawAtomicIncrement(benchmark::State& state) {
+    // The floor any counter design pays: one uncontended relaxed
+    // fetch_add (a `lock add` on x86). BM_MetricsCounterHot is measured
+    // against this, not against an absolute nanosecond count.
+    std::atomic<std::uint64_t> raw{0};
+    for (auto _ : state) raw.fetch_add(1, std::memory_order_relaxed);
+    benchmark::DoNotOptimize(raw.load(std::memory_order_relaxed));
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_RawAtomicIncrement);
+
 void BM_MetricsCounterHot(benchmark::State& state) {
     // The metrics hot path: one relaxed fetch_add on a cached reference.
-    // Target <= 5 ns/op.
+    // Target: within 1.5 ns of BM_RawAtomicIncrement on the host — the
+    // registry must add indirection, never a second atomic or a lock.
+    // bench_smoke asserts this via --bench_assert_counter_overhead.
     obs::Counter& counter = obs::counter("bench.hot_counter");
     for (auto _ : state) counter.inc();
     benchmark::DoNotOptimize(counter.value());
     state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
 BENCHMARK(BM_MetricsCounterHot);
+
+void BM_SeriesSampleTick(benchmark::State& state) {
+    // One recorder tick: walk the registry, record deltas for whatever
+    // moved, steady-state ring merges included. This is the per-interval
+    // cost a live run pays, so it only has to be cheap relative to the
+    // cadence (>= 1 s), not to the event loop.
+    auto& recorder = obs::SeriesRecorder::instance();
+    recorder.disable();
+    recorder.configure({1.0, 1024});
+    recorder.enable();
+    obs::Counter& moving = obs::counter("bench.series_moving");
+    double t = 0.0;
+    for (auto _ : state) {
+        moving.inc();
+        recorder.sample(t);
+        t += 1.0;
+    }
+    recorder.disable();
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_SeriesSampleTick);
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+    // The enabled flight-recorder ring write: sim-clock read + bounded
+    // slot fill + one release store — no atomic RMW, no lock, no
+    // allocation. Target: within ~2x of BM_RawAtomicIncrement (the
+    // issue's 2x-BM_LogDisabled aspiration is below the cost of the
+    // clock read alone; see DESIGN.md §6 for the measured breakdown).
+    obs::enable_flight_recorder(256, /*install_handlers=*/false);
+    for (auto _ : state)
+        obs::flight_record(obs::LogLevel::Debug, "bench",
+                           "flight-record hot-path probe");
+    obs::disable_flight_recorder();
+    obs::clear_flight_records();
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
+void BM_FlightCaptureDisabled(benchmark::State& state) {
+    // The cost every log statement pays once the recorder exists but is
+    // off: one relaxed load + branch. Must match BM_LogDisabled — this
+    // is the "zero cost when disabled" guarantee.
+    obs::disable_flight_recorder();
+    for (auto _ : state)
+        obs::flight_capture(obs::LogLevel::Debug, "bench", "never stored");
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_FlightCaptureDisabled);
 
 // -- pool allocation -------------------------------------------------------------
 
@@ -472,6 +537,52 @@ private:
     std::vector<Run> collected_;
 };
 
+/// Hand-timed assertion behind --bench_assert_counter_overhead: the
+/// registry counter must cost within 1.5 ns of a raw uncontended atomic
+/// increment. Relative, so it holds on any host regardless of how slow
+/// `lock add` itself is there. Best-of-N trials squeeze out scheduler
+/// noise on small CI boxes.
+int assert_counter_overhead() {
+    constexpr double kMaxOverheadNs = 1.5;
+    constexpr std::int64_t kOps = 20'000'000;
+    const auto best_ns_per_op = [](auto&& body) {
+        double best = 1e18;
+        for (int trial = 0; trial < 7; ++trial) {
+            const auto start = std::chrono::steady_clock::now();
+            body(kOps);
+            const std::chrono::duration<double, std::nano> elapsed =
+                std::chrono::steady_clock::now() - start;
+            best = std::min(best, elapsed.count() / double(kOps));
+        }
+        return best;
+    };
+
+    std::atomic<std::uint64_t> raw{0};
+    const double raw_ns = best_ns_per_op([&](std::int64_t ops) {
+        for (std::int64_t i = 0; i < ops; ++i)
+            raw.fetch_add(1, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(raw.load(std::memory_order_relaxed));
+
+    dynaddr::obs::Counter& counter = dynaddr::obs::counter("bench.hot_counter");
+    const double counter_ns = best_ns_per_op([&](std::int64_t ops) {
+        for (std::int64_t i = 0; i < ops; ++i) counter.inc();
+    });
+    benchmark::DoNotOptimize(counter.value());
+
+    const double overhead = counter_ns - raw_ns;
+    std::printf("counter overhead: raw atomic %.2f ns/op, registry counter "
+                "%.2f ns/op, overhead %.2f ns (budget %.1f ns)\n",
+                raw_ns, counter_ns, overhead, kMaxOverheadNs);
+    if (overhead > kMaxOverheadNs) {
+        std::fprintf(stderr, "FAIL: registry counter is %.2f ns over a raw "
+                     "atomic increment (budget %.1f ns)\n",
+                     overhead, kMaxOverheadNs);
+        return 1;
+    }
+    return 0;
+}
+
 std::string default_report_path() {
     const std::time_t now = std::time(nullptr);
     std::tm tm{};
@@ -489,6 +600,7 @@ std::string default_report_path() {
 // binary (name, items/sec, bytes/sec per benchmark).
 int main(int argc, char** argv) {
     std::string report_path;
+    bool check_counter_overhead = false;
     std::vector<char*> args;
     std::string explicit_path;  // owns the =PATH substring
     for (int i = 0; i < argc; ++i) {
@@ -498,10 +610,13 @@ int main(int argc, char** argv) {
         } else if (arg.rfind("--bench_report=", 0) == 0) {
             explicit_path = std::string(arg.substr(15));
             report_path = explicit_path;
+        } else if (arg == "--bench_assert_counter_overhead") {
+            check_counter_overhead = true;
         } else {
             args.push_back(argv[i]);
         }
     }
+    if (check_counter_overhead && assert_counter_overhead() != 0) return 1;
     int filtered_argc = int(args.size());
     benchmark::Initialize(&filtered_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))

@@ -1,0 +1,440 @@
+#include "netcore/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/trace.hpp"
+
+namespace dynaddr::obs {
+
+namespace {
+
+constexpr std::size_t kModuleBytes = 16;
+constexpr std::size_t kMessageBytes = 164;
+constexpr std::size_t kMaxRings = 256;
+constexpr std::size_t kCrashSpans = 64;
+
+/// Fixed-size in-ring record. seq is not stored: slot k of a ring whose
+/// write index is n holds record number n - live + offset, reconstructed
+/// at dump time, which keeps the hot path one field shorter.
+struct FlightRecord {
+    std::int64_t sim_time;
+    std::int32_t level;
+    char module[kModuleBytes];
+    char message[kMessageBytes];
+};
+
+struct ThreadRing {
+    ThreadRing(std::size_t capacity, std::uint32_t tid)
+        : records(capacity), mask(capacity - 1), tid(tid) {}
+
+    std::vector<FlightRecord> records;  ///< capacity is a power of two
+    std::size_t mask;
+    std::uint32_t tid;
+    /// Total records ever written. Release store after the slot is
+    /// filled; acquire loads on the copy path see completed records.
+    std::atomic<std::uint64_t> next{0};
+};
+
+struct FlightState {
+    std::atomic<bool> enabled{false};
+    std::atomic<std::size_t> ring_size{256};
+
+    std::mutex mutex;  ///< ring registration and test accessors
+    ThreadRing* rings[kMaxRings] = {};
+    std::atomic<std::size_t> ring_count{0};
+
+    /// Precomputed so the signal handler never concatenates strings.
+    std::mutex path_mutex;
+    std::string dump_dir = ".";
+    char dump_path[512] = "";
+
+    std::atomic<bool> dumped{false};
+    bool handlers_installed = false;
+
+    std::mutex emergency_mutex;
+    std::string emergency_path;
+    std::atomic<bool> metrics_written{false};
+    std::atomic<bool> hooks_registered{false};
+};
+
+/// Leaked on purpose: signal handlers and atexit hooks may run during
+/// static destruction, when a destroyed registry would be worse than a
+/// small one-time leak.
+FlightState& state() {
+    static FlightState* instance = new FlightState;
+    return *instance;
+}
+
+/// Rings are never freed — a thread may exit before the crash whose dump
+/// should include its records.
+ThreadRing* this_thread_ring() {
+    thread_local ThreadRing* ring = nullptr;
+    if (ring == nullptr) [[unlikely]] {
+        FlightState& s = state();
+        std::lock_guard lock(s.mutex);
+        const std::size_t index = s.ring_count.load(std::memory_order_relaxed);
+        if (index >= kMaxRings) return nullptr;
+        const std::size_t capacity =
+            std::bit_ceil(std::max<std::size_t>(s.ring_size.load(), 2));
+        ring = new ThreadRing(capacity, std::uint32_t(index));
+        s.rings[index] = ring;
+        s.ring_count.store(index + 1, std::memory_order_release);
+    }
+    return ring;
+}
+
+void copy_bounded(char* dst, std::size_t cap, std::string_view src) {
+    const std::size_t n = std::min(src.size(), cap - 1);
+    // Inlined 8-byte chunks: libc memcpy's runtime-size dispatch costs
+    // more than the whole copy at these sizes (measured 3-4x on the CI
+    // host), and this sits on the per-record hot path.
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t word;
+        __builtin_memcpy(&word, src.data() + i, 8);
+        __builtin_memcpy(dst + i, &word, 8);
+    }
+    for (; i < n; ++i) dst[i] = src[i];
+    dst[n] = '\0';
+}
+
+// -- async-signal-safe JSON writer ----------------------------------------
+
+/// Buffered fd writer using only write(2): no stdio, no allocation.
+struct SafeWriter {
+    int fd;
+    std::size_t len = 0;
+    char buf[4096];
+
+    void flush() {
+        std::size_t done = 0;
+        while (done < len) {
+            const ssize_t n = ::write(fd, buf + done, len - done);
+            if (n <= 0) break;
+            done += std::size_t(n);
+        }
+        len = 0;
+    }
+
+    void put(char c) {
+        if (len == sizeof buf) flush();
+        buf[len++] = c;
+    }
+
+    void raw(const char* s) {
+        while (*s != '\0') put(*s++);
+    }
+
+    void num(std::int64_t v) {
+        char digits[24];
+        std::size_t n = 0;
+        std::uint64_t u =
+            v < 0 ? ~std::uint64_t(v) + 1 : std::uint64_t(v);
+        do {
+            digits[n++] = char('0' + u % 10);
+            u /= 10;
+        } while (u != 0);
+        if (v < 0) put('-');
+        while (n > 0) put(digits[--n]);
+    }
+
+    void quoted(const char* s) {
+        static const char* hex = "0123456789abcdef";
+        put('"');
+        for (; *s != '\0'; ++s) {
+            const unsigned char c = static_cast<unsigned char>(*s);
+            if (c == '"' || c == '\\') {
+                put('\\');
+                put(char(c));
+            } else if (c < 0x20) {
+                raw("\\u00");
+                put(hex[c >> 4]);
+                put(hex[c & 0xf]);
+            } else {
+                put(char(c));
+            }
+        }
+        put('"');
+    }
+};
+
+struct VisitCtx {
+    SafeWriter* writer;
+    bool first;
+};
+
+void metrics_visitor(void* ctx, const char* name, const char* kind,
+                     std::int64_t value) {
+    auto* v = static_cast<VisitCtx*>(ctx);
+    SafeWriter& w = *v->writer;
+    if (!v->first) w.raw(",\n");
+    v->first = false;
+    w.raw("    {\"name\": ");
+    w.quoted(name);
+    w.raw(", \"kind\": ");
+    w.quoted(kind);
+    w.raw(", \"value\": ");
+    w.num(value);
+    w.put('}');
+}
+
+void trace_visitor(void* ctx, const char* name, const char* category,
+                   std::uint64_t start_us, std::uint64_t duration_us) {
+    auto* v = static_cast<VisitCtx*>(ctx);
+    SafeWriter& w = *v->writer;
+    if (!v->first) w.raw(",\n");
+    v->first = false;
+    w.raw("    {\"name\": ");
+    w.quoted(name);
+    w.raw(", \"cat\": ");
+    w.quoted(category);
+    w.raw(", \"ts_us\": ");
+    w.num(std::int64_t(start_us));
+    w.raw(", \"dur_us\": ");
+    w.num(std::int64_t(duration_us));
+    w.put('}');
+}
+
+void recompute_dump_path_locked(FlightState& s) {
+    std::string path = s.dump_dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += "dynaddr-crash-";
+    path += std::to_string(::getpid());
+    path += ".json";
+    copy_bounded(s.dump_path, sizeof s.dump_path, path);
+}
+
+void flush_emergency_metrics() {
+    FlightState& s = state();
+    std::string path;
+    {
+        std::lock_guard lock(s.emergency_mutex);
+        path = s.emergency_path;
+    }
+    if (path.empty()) return;
+    if (s.metrics_written.exchange(true)) return;
+    try {
+        write_metrics_file(path);
+    } catch (...) {
+        // An emergency hook must never throw out of exit/terminate.
+    }
+}
+
+void dump_once(const char* reason) {
+    FlightState& s = state();
+    if (!s.enabled.load(std::memory_order_relaxed)) return;
+    if (s.dumped.exchange(true)) return;
+    write_crash_dump(s.dump_path, reason);
+}
+
+void crash_signal_handler(int signo) {
+    const char* reason = signo == SIGSEGV  ? "SIGSEGV"
+                         : signo == SIGABRT ? "SIGABRT"
+                         : signo == SIGBUS  ? "SIGBUS"
+                                            : "signal";
+    dump_once(reason);
+    // SA_RESETHAND restored the default disposition before we ran; the
+    // re-raise terminates with the original signal's exit status.
+    ::raise(signo);
+}
+
+[[noreturn]] void terminate_hook() {
+    flush_emergency_metrics();
+    dump_once("std::terminate");
+    // abort() raises SIGABRT; dumped is already set, so the signal
+    // handler (when installed) does not dump a second time.
+    std::abort();
+}
+
+void register_exit_hooks() {
+    FlightState& s = state();
+    if (s.hooks_registered.exchange(true)) return;
+    std::set_terminate(&terminate_hook);
+    std::atexit(&flush_emergency_metrics);
+}
+
+}  // namespace
+
+bool flight_recorder_enabled() {
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void enable_flight_recorder(std::size_t ring_size, bool install_handlers) {
+    FlightState& s = state();
+    s.ring_size.store(std::max<std::size_t>(ring_size, 2));
+    {
+        std::lock_guard lock(s.path_mutex);
+        recompute_dump_path_locked(s);
+    }
+    if (install_handlers) {
+        std::lock_guard lock(s.mutex);
+        if (!s.handlers_installed) {
+            s.handlers_installed = true;
+            struct sigaction action;
+            std::memset(&action, 0, sizeof action);
+            action.sa_handler = &crash_signal_handler;
+            action.sa_flags = SA_RESETHAND;
+            sigemptyset(&action.sa_mask);
+            ::sigaction(SIGSEGV, &action, nullptr);
+            ::sigaction(SIGABRT, &action, nullptr);
+            ::sigaction(SIGBUS, &action, nullptr);
+        }
+        register_exit_hooks();
+    }
+    s.enabled.store(true, std::memory_order_relaxed);
+    set_capture_floor(LogLevel::Trace);
+}
+
+void disable_flight_recorder() {
+    state().enabled.store(false, std::memory_order_relaxed);
+    set_capture_floor(LogLevel::Off);
+}
+
+void flight_record(LogLevel level, std::string_view module,
+                   std::string_view message) {
+    ThreadRing* ring = this_thread_ring();
+    if (ring == nullptr) [[unlikely]] return;
+    const std::uint64_t n = ring->next.load(std::memory_order_relaxed);
+    FlightRecord& record = ring->records[std::size_t(n) & ring->mask];
+    record.sim_time = current_sim_unix_seconds_or_min();
+    record.level = std::int32_t(level);
+    copy_bounded(record.module, kModuleBytes, module);
+    copy_bounded(record.message, kMessageBytes, message);
+    ring->next.store(n + 1, std::memory_order_release);
+}
+
+void set_crash_dump_dir(std::string dir) {
+    FlightState& s = state();
+    std::lock_guard lock(s.path_mutex);
+    s.dump_dir = dir.empty() ? "." : std::move(dir);
+    recompute_dump_path_locked(s);
+}
+
+std::string crash_dump_path() {
+    FlightState& s = state();
+    std::lock_guard lock(s.path_mutex);
+    if (s.dump_path[0] == '\0') recompute_dump_path_locked(s);
+    return s.dump_path;
+}
+
+bool write_crash_dump(const char* path, const char* reason) {
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    FlightState& s = state();
+    SafeWriter w{fd};
+    w.raw("{\n  \"reason\": ");
+    w.quoted(reason);
+    w.raw(",\n  \"pid\": ");
+    w.num(::getpid());
+    w.raw(",\n  \"records\": [\n");
+    bool first = true;
+    const std::size_t ring_count =
+        s.ring_count.load(std::memory_order_acquire);
+    for (std::size_t r = 0; r < ring_count; ++r) {
+        const ThreadRing* ring = s.rings[r];
+        if (ring == nullptr) continue;
+        const std::uint64_t n = ring->next.load(std::memory_order_acquire);
+        const std::uint64_t capacity = ring->records.size();
+        const std::uint64_t from = n > capacity ? n - capacity : 0;
+        for (std::uint64_t k = from; k < n; ++k) {
+            const FlightRecord& record =
+                ring->records[std::size_t(k) & ring->mask];
+            if (!first) w.raw(",\n");
+            first = false;
+            w.raw("    {\"seq\": ");
+            w.num(std::int64_t(k + 1));
+            w.raw(", \"tid\": ");
+            w.num(ring->tid);
+            w.raw(", \"sim_time\": ");
+            if (record.sim_time == INT64_MIN)
+                w.raw("null");
+            else
+                w.num(record.sim_time);
+            w.raw(", \"level\": ");
+            w.quoted(level_name(LogLevel(record.level)));
+            w.raw(", \"module\": ");
+            w.quoted(record.module);
+            w.raw(", \"message\": ");
+            w.quoted(record.message);
+            w.put('}');
+        }
+    }
+    w.raw("\n  ],\n  \"metrics\": [\n");
+    VisitCtx metrics_ctx{&w, true};
+    visit_metrics_for_crash_dump(&metrics_visitor, &metrics_ctx);
+    w.raw("\n  ],\n  \"spans\": [\n");
+    VisitCtx trace_ctx{&w, true};
+    visit_trace_for_crash_dump(kCrashSpans, &trace_visitor, &trace_ctx);
+    w.raw("\n  ]\n}\n");
+    w.flush();
+    ::close(fd);
+    return true;
+}
+
+std::vector<FlightRecordView> flight_records() {
+    FlightState& s = state();
+    std::lock_guard lock(s.mutex);
+    std::vector<FlightRecordView> out;
+    const std::size_t ring_count =
+        s.ring_count.load(std::memory_order_acquire);
+    for (std::size_t r = 0; r < ring_count; ++r) {
+        const ThreadRing* ring = s.rings[r];
+        if (ring == nullptr) continue;
+        const std::uint64_t n = ring->next.load(std::memory_order_acquire);
+        const std::uint64_t capacity = ring->records.size();
+        const std::uint64_t from = n > capacity ? n - capacity : 0;
+        for (std::uint64_t k = from; k < n; ++k) {
+            const FlightRecord& record =
+                ring->records[std::size_t(k) & ring->mask];
+            FlightRecordView view;
+            view.seq = k + 1;
+            view.sim_time = record.sim_time;
+            view.level = LogLevel(record.level);
+            view.tid = ring->tid;
+            view.module = record.module;
+            view.message = record.message;
+            out.push_back(std::move(view));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightRecordView& a, const FlightRecordView& b) {
+                  return a.seq != b.seq ? a.seq < b.seq : a.tid < b.tid;
+              });
+    return out;
+}
+
+void clear_flight_records() {
+    FlightState& s = state();
+    std::lock_guard lock(s.mutex);
+    const std::size_t ring_count =
+        s.ring_count.load(std::memory_order_acquire);
+    for (std::size_t r = 0; r < ring_count; ++r)
+        if (s.rings[r] != nullptr)
+            s.rings[r]->next.store(0, std::memory_order_release);
+}
+
+void set_emergency_metrics_path(std::string path) {
+    FlightState& s = state();
+    {
+        std::lock_guard lock(s.emergency_mutex);
+        s.emergency_path = std::move(path);
+    }
+    s.metrics_written.store(false);
+    register_exit_hooks();
+}
+
+void mark_metrics_written() { state().metrics_written.store(true); }
+
+}  // namespace dynaddr::obs

@@ -1,0 +1,108 @@
+#pragma once
+
+// Crash flight recorder: per-thread lock-free rings retaining the last N
+// log records *regardless of level* — while enabled, the log layer's
+// capture floor is raised to Trace, records between the sink level and
+// Trace are stored in the ring only (a relaxed store, never a sink
+// write), and on a crash the rings are dumped together with a final
+// metrics snapshot and the most recent trace spans to
+// `dynaddr-crash-<pid>.json` before the signal is re-raised.
+//
+// Crash coverage:
+//   - SIGSEGV / SIGABRT / SIGBUS via sigaction handlers that use an
+//     async-signal-safe dump path only: no malloc, no stdio, no locks —
+//     raw open/write with hand-rolled formatting. Registry structures
+//     are walked read-only without their mutexes (the process is dying;
+//     a torn value beats a deadlock).
+//   - std::terminate via a terminate handler that also flushes the
+//     emergency --metrics-out file (see below), then aborts into the
+//     SIGABRT handler path (the dump-once flag prevents double dumps).
+//
+// Emergency metrics flush: independent of the flight recorder, the CLI
+// registers its --metrics-out path here; an atexit hook and the
+// terminate handler write the file if the normal success path didn't, so
+// a run that throws never silently produces an empty/missing file.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netcore/obs/log.hpp"
+
+namespace dynaddr::obs {
+
+/// One captured record (the testing/export view; the in-ring layout is a
+/// fixed-size POD).
+struct FlightRecordView {
+    std::uint64_t seq = 0;     ///< capture order within its thread (1-based)
+    std::int64_t sim_time = 0; ///< unix seconds; INT64_MIN when none
+    LogLevel level = LogLevel::Info;
+    std::uint32_t tid = 0;     ///< small stable per-thread id
+    std::string module;
+    std::string message;       ///< truncated to the ring's record size
+};
+
+/// True while capture is on: one relaxed load (the per-record gate).
+[[nodiscard]] bool flight_recorder_enabled();
+
+/// Turns capture on with rings of `ring_size` records per thread and
+/// raises the log capture floor to Trace. When `install_handlers` is set
+/// (the CLI default), also installs the SIGSEGV/SIGABRT/SIGBUS handlers
+/// and the std::terminate hook. Reconfiguring ring_size applies to rings
+/// created afterwards; existing rings keep their size.
+void enable_flight_recorder(std::size_t ring_size = 256,
+                            bool install_handlers = true);
+
+/// Stops capture and restores the log capture floor. Installed signal
+/// handlers stay installed (they dump empty rings harmlessly).
+void disable_flight_recorder();
+
+/// The capture hot path (BM_FlightRecorderRecord measures exactly this):
+/// a bounded copy of a fixed-size record into the calling thread's ring
+/// plus one release store of the ring index. No locks, no allocation
+/// after the thread's first record. Assumes the recorder is enabled.
+void flight_record(LogLevel level, std::string_view module,
+                   std::string_view message);
+
+/// What LogModule::emit calls for every record that passed its enabled()
+/// gate: captures when the recorder is on, one relaxed load otherwise.
+inline void flight_capture(LogLevel level, std::string_view module,
+                           std::string_view message) {
+    if (flight_recorder_enabled()) flight_record(level, module, message);
+}
+
+/// Where crash dumps go; the file name is always
+/// `dynaddr-crash-<pid>.json`. Default: the current working directory.
+void set_crash_dump_dir(std::string dir);
+
+/// The full path the next crash dump would be written to.
+[[nodiscard]] std::string crash_dump_path();
+
+/// Writes a crash dump (rings + metrics snapshot + last trace spans) to
+/// `path` using the async-signal-safe writer. Returns false when the
+/// file cannot be opened. Exposed so tests can validate the dump JSON
+/// without crashing; the signal handlers call the same code.
+bool write_crash_dump(const char* path, const char* reason);
+
+/// Copies every thread's ring, oldest record first per thread, sorted by
+/// (seq, tid) — exact order within a thread, approximate across threads
+/// (exact global ordering would need an atomic shared by every capture,
+/// which the hot-path budget rules out). Test/export path (takes the
+/// ring registry lock; not signal-safe).
+[[nodiscard]] std::vector<FlightRecordView> flight_records();
+
+/// Drops all captured records (rings stay allocated).
+void clear_flight_records();
+
+// -- emergency metrics flush (satellite of the crash path) ----------------
+
+/// Registers `path` to be written by write_metrics_file() from atexit /
+/// std::terminate if the normal output path never ran. Empty clears.
+void set_emergency_metrics_path(std::string path);
+
+/// Marks the normal --metrics-out write as done, disarming the hooks.
+void mark_metrics_written();
+
+}  // namespace dynaddr::obs

@@ -1,8 +1,10 @@
 #include "netcore/obs/log.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "netcore/error.hpp"
+#include "netcore/obs/flight_recorder.hpp"
 
 namespace dynaddr::obs {
 
@@ -23,9 +26,11 @@ thread_local std::vector<const net::TimePoint*> tls_sim_clocks;
 /// All module state behind one mutex. Registration and level changes are
 /// rare; the hot path touches only LogModule::effective_.
 struct LogRegistry {
+    /// Leaked on purpose: destructors of other static objects may still
+    /// log (and the flight recorder may capture) while the process exits.
     static LogRegistry& instance() {
-        static LogRegistry registry;
-        return registry;
+        static LogRegistry* registry = new LogRegistry;
+        return *registry;
     }
 
     LogModule& get(std::string_view name) {
@@ -37,31 +42,46 @@ struct LogRegistry {
         modules.push_back(
             std::unique_ptr<LogModule>(new LogModule(std::string(name))));
         LogModule& module = *modules.back();
-        module.effective_.store(global, std::memory_order_relaxed);
+        recompute(module);
         by_name.emplace(module.name(), &module);
         return module;
+    }
+
+    /// Derives both published levels from the mutex-guarded state: the
+    /// sink level (override or global) and the enabled() gate (sink level
+    /// raised to the flight-recorder capture floor).
+    void recompute(LogModule& module) const {
+        const int sink =
+            module.override_ >= 0 ? module.override_ : global;
+        module.sink_level_.store(sink, std::memory_order_relaxed);
+        module.effective_.store(std::max(sink, capture_floor),
+                                std::memory_order_relaxed);
     }
 
     void set_global(LogLevel level) {
         std::lock_guard lock(mutex);
         global = int(level);
-        for (auto& module : modules)
-            if (module->override_ < 0)
-                module->effective_.store(global, std::memory_order_relaxed);
+        for (auto& module : modules) recompute(*module);
     }
 
     void set_override(std::string_view name, int override_level) {
         LogModule& module = get(name);
         std::lock_guard lock(mutex);
         module.override_ = override_level;
-        module.effective_.store(override_level >= 0 ? override_level : global,
-                                std::memory_order_relaxed);
+        recompute(module);
+    }
+
+    void set_floor(LogLevel floor) {
+        std::lock_guard lock(mutex);
+        capture_floor = floor == LogLevel::Off ? 0 : int(floor);
+        for (auto& module : modules) recompute(*module);
     }
 
     std::mutex mutex;
     std::deque<std::unique_ptr<LogModule>> modules;  ///< stable addresses
     std::unordered_map<std::string, LogModule*> by_name;
     int global = int(LogLevel::Warn);
+    int capture_floor = 0;  ///< 0 = no flight-recorder capture
 
     std::mutex sink_mutex;
     std::ostream* sink = nullptr;  ///< nullptr = stderr
@@ -99,6 +119,11 @@ LogModule& LogModule::get(std::string_view name) {
 }
 
 void LogModule::emit(LogLevel level, std::string_view message) const {
+    // Flight-recorder capture comes first and is independent of the sink
+    // gate: crash dumps retain records at every level while the recorder
+    // is on. flight_capture is a relaxed-load no-op when it is not.
+    flight_capture(level, name_, message);
+    if (int(level) > sink_level_.load(std::memory_order_relaxed)) return;
     LogRegistry& registry = LogRegistry::instance();
     std::string line;
     line.reserve(message.size() + name_.size() + 48);
@@ -168,6 +193,10 @@ void apply_module_spec(std::string_view spec) {
     }
 }
 
+void set_capture_floor(LogLevel floor) {
+    LogRegistry::instance().set_floor(floor);
+}
+
 void set_log_sink(std::ostream* sink) {
     LogRegistry& registry = LogRegistry::instance();
     std::lock_guard lock(registry.sink_mutex);
@@ -175,6 +204,12 @@ void set_log_sink(std::ostream* sink) {
 }
 
 void push_sim_clock(const net::TimePoint* now) { tls_sim_clocks.push_back(now); }
+
+std::int64_t current_sim_unix_seconds_or_min() {
+    if (tls_sim_clocks.empty())
+        return std::numeric_limits<std::int64_t>::min();
+    return tls_sim_clocks.back()->unix_seconds();
+}
 
 void pop_sim_clock(const net::TimePoint* now) {
     // Tolerate non-LIFO destruction: erase the last matching entry.

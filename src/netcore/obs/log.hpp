@@ -18,6 +18,7 @@
 // thread is inside a sim::Simulation.
 
 #include <atomic>
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -47,7 +48,10 @@ public:
 
     [[nodiscard]] const std::string& name() const { return name_; }
 
-    /// Hot-path check: true when a record at `level` would be emitted.
+    /// Hot-path check: true when a record at `level` would be emitted to
+    /// the sink OR captured by the flight recorder (whose capture floor
+    /// is Trace while enabled — crash dumps retain records regardless of
+    /// the sink level).
     [[nodiscard]] bool enabled(LogLevel level) const {
         return int(level) <= effective_.load(std::memory_order_relaxed);
     }
@@ -69,10 +73,14 @@ private:
     explicit LogModule(std::string name) : name_(std::move(name)) {}
 
     std::string name_;
-    /// The level this module actually honours: its override when set,
-    /// otherwise the global default. Recomputed by the registry on every
-    /// set_log_level / set_module_level; reads are a single relaxed load.
+    /// The gate enabled() reads: max(sink level, flight-recorder capture
+    /// floor). Recomputed by the registry on every set_log_level /
+    /// set_module_level / capture-floor change; reads are one relaxed
+    /// load.
     std::atomic<int> effective_{int(LogLevel::Warn)};
+    /// What the *sink* honours (override when set, else the global
+    /// default) — emit() drops records above this after capture.
+    std::atomic<int> sink_level_{int(LogLevel::Warn)};
     int override_ = -1;  ///< -1 = follow global; registry-mutex guarded
 };
 
@@ -96,11 +104,22 @@ void apply_module_spec(std::string_view spec);
 /// outlive its installation. Intended for tests and file capture.
 void set_log_sink(std::ostream* sink);
 
+/// Raises every module's enabled() gate to at least `floor` without
+/// changing what reaches the sink — records between the sink level and
+/// the floor are captured by the flight recorder only. LogLevel::Off
+/// clears the floor. Installed by enable_flight_recorder().
+void set_capture_floor(LogLevel floor);
+
 /// Registers/unregisters a simulated clock for the calling thread; while
 /// registered, records carry the simulation's current time. Balanced
 /// push/pop pairs nest (sim::Simulation does this in ctor/dtor).
 void push_sim_clock(const net::TimePoint* now);
 void pop_sim_clock(const net::TimePoint* now);
+
+/// The calling thread's innermost simulated time as unix seconds, or
+/// INT64_MIN when no simulation is registered (flight-recorder records
+/// carry this so crash dumps line up with the scenario clock).
+[[nodiscard]] std::int64_t current_sim_unix_seconds_or_min();
 
 }  // namespace dynaddr::obs
 

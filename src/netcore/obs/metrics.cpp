@@ -3,23 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <fstream>
 #include <mutex>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <unordered_map>
 
+#include "netcore/error.hpp"
+
 namespace dynaddr::obs {
 
 namespace {
 
 /// Registry of all metrics. Deques give stable addresses; the maps index
-/// them by name. A Meyers singleton so metrics registered from static
-/// initializers (the common pattern) are safe.
+/// them by name. Constructed on first use and deliberately leaked: crash
+/// dumps, exit hooks, and the stats server thread may all read metrics
+/// during static destruction, when a destroyed registry would be a
+/// use-after-free.
 struct MetricsRegistry {
     static MetricsRegistry& instance() {
-        static MetricsRegistry registry;
-        return registry;
+        static MetricsRegistry* registry = new MetricsRegistry;
+        return *registry;
     }
 
     std::mutex mutex;
@@ -30,6 +35,9 @@ struct MetricsRegistry {
     std::unordered_map<std::string, Gauge*> gauges_by_name;
     std::unordered_map<std::string, Histogram*> histograms_by_name;
     std::set<std::string> blocks;
+    /// Bumped (relaxed) on every registration so index caches can detect
+    /// staleness without taking the mutex.
+    std::atomic<std::uint64_t> generation{0};
 };
 
 /// Numbers must round-trip and stay valid JSON (no inf/nan literals).
@@ -96,6 +104,7 @@ Counter& counter(std::string_view name) {
     registry.counters.emplace_back();
     Counter& metric = registry.counters.back();
     registry.counters_by_name.emplace(std::move(key), &metric);
+    registry.generation.fetch_add(1, std::memory_order_relaxed);
     return metric;
 }
 
@@ -109,6 +118,7 @@ Gauge& gauge(std::string_view name) {
     registry.gauges.emplace_back();
     Gauge& metric = registry.gauges.back();
     registry.gauges_by_name.emplace(std::move(key), &metric);
+    registry.generation.fetch_add(1, std::memory_order_relaxed);
     return metric;
 }
 
@@ -122,6 +132,7 @@ Histogram& histogram(std::string_view name, std::vector<double> bounds) {
     registry.histograms.emplace_back(std::move(bounds));
     Histogram& metric = registry.histograms.back();
     registry.histograms_by_name.emplace(std::move(key), &metric);
+    registry.generation.fetch_add(1, std::memory_order_relaxed);
     return metric;
 }
 
@@ -159,6 +170,40 @@ MetricsSnapshot metrics_snapshot() {
         snapshot.histograms.emplace(name, std::move(sample));
     }
     return snapshot;
+}
+
+MetricsIndex metrics_index() {
+    MetricsRegistry& registry = MetricsRegistry::instance();
+    std::lock_guard lock(registry.mutex);
+    MetricsIndex index;
+    index.counters.reserve(registry.counters_by_name.size());
+    for (const auto& [name, metric] : registry.counters_by_name)
+        index.counters.emplace_back(name, metric);
+    index.gauges.reserve(registry.gauges_by_name.size());
+    for (const auto& [name, metric] : registry.gauges_by_name)
+        index.gauges.emplace_back(name, metric);
+    std::sort(index.counters.begin(), index.counters.end());
+    std::sort(index.gauges.begin(), index.gauges.end());
+    return index;
+}
+
+std::uint64_t metrics_generation() {
+    return MetricsRegistry::instance().generation.load(
+        std::memory_order_relaxed);
+}
+
+void visit_metrics_for_crash_dump(
+    void (*visit)(void* ctx, const char* name, const char* kind,
+                  std::int64_t value),
+    void* ctx) {
+    // Deliberately lock-free: a crashed thread may hold the registry
+    // mutex. Registration is static-init-heavy and rare afterwards, so
+    // walking the maps read-only is a tolerable risk on the way down.
+    MetricsRegistry& registry = MetricsRegistry::instance();
+    for (const auto& [name, metric] : registry.counters_by_name)
+        visit(ctx, name.c_str(), "counter", std::int64_t(metric->value()));
+    for (const auto& [name, metric] : registry.gauges_by_name)
+        visit(ctx, name.c_str(), "gauge", metric->value());
 }
 
 MetricsSnapshot metrics_diff(const MetricsSnapshot& after,
@@ -249,6 +294,16 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
         out << (first ? "" : "\n  ") << "}";
     }
     out << "\n}\n";
+}
+
+void write_metrics_file(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open " + path + " for writing");
+    const auto snapshot = metrics_snapshot();
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+        write_metrics_csv(out, snapshot);
+    else
+        write_metrics_json(out, snapshot);
 }
 
 void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot) {

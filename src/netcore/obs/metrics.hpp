@@ -112,6 +112,34 @@ struct MetricsSnapshot {
 
 [[nodiscard]] MetricsSnapshot metrics_snapshot();
 
+/// Name-sorted stable pointers to every registered counter and gauge.
+/// Metric objects live for the process lifetime, so a cached index stays
+/// valid; re-fetch when metrics_generation() changes. This is the cheap
+/// read path the time-series recorder ticks on — no per-tick map copies.
+struct MetricsIndex {
+    std::vector<std::pair<std::string, const Counter*>> counters;
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+};
+
+[[nodiscard]] MetricsIndex metrics_index();
+
+/// Bumped on every counter/gauge/histogram registration.
+[[nodiscard]] std::uint64_t metrics_generation();
+
+/// Writes a snapshot to `path`, choosing CSV for a ".csv" suffix and JSON
+/// otherwise (the --metrics-out convention). Throws Error when the file
+/// cannot be opened.
+void write_metrics_file(const std::string& path);
+
+/// Crash-path iteration: visits every counter and gauge WITHOUT taking the
+/// registry mutex and without allocating (kind is "counter" or "gauge").
+/// Only safe when registration has quiesced or the process is already
+/// dying — used by the flight recorder's signal-handler dump.
+void visit_metrics_for_crash_dump(
+    void (*visit)(void* ctx, const char* name, const char* kind,
+                  std::int64_t value),
+    void* ctx);
+
 /// after − before, per name: counters and histogram counts subtract
 /// (names only in `after` keep their value); gauges keep `after`'s value.
 [[nodiscard]] MetricsSnapshot metrics_diff(const MetricsSnapshot& after,

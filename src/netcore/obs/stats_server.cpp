@@ -1,0 +1,191 @@
+#include "netcore/obs/stats_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/timeseries.hpp"
+
+DYNADDR_LOG_MODULE(stats_server);
+
+namespace dynaddr::obs {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (our
+/// separator) and anything else exotic become underscores.
+std::string prometheus_name(std::string_view dotted) {
+    std::string name;
+    name.reserve(dotted.size());
+    for (char c : dotted) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9' && !name.empty()) || c == '_' ||
+                        c == ':';
+        name.push_back(ok ? c : '_');
+    }
+    return name;
+}
+
+void write_prometheus_double(std::ostream& out, double value) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+    out << buffer;
+}
+
+}  // namespace
+
+void write_metrics_prometheus(std::ostream& out,
+                              const MetricsSnapshot& snapshot) {
+    for (const auto& [dotted, value] : snapshot.counters) {
+        const auto name = prometheus_name(dotted);
+        out << "# TYPE " << name << " counter\n"
+            << name << ' ' << value << '\n';
+    }
+    for (const auto& [dotted, value] : snapshot.gauges) {
+        const auto name = prometheus_name(dotted);
+        out << "# TYPE " << name << " gauge\n"
+            << name << ' ' << value << '\n';
+    }
+    for (const auto& [dotted, sample] : snapshot.histograms) {
+        const auto name = prometheus_name(dotted);
+        out << "# TYPE " << name << " histogram\n";
+        // Exposition buckets are cumulative; ours are per-bucket.
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+            cumulative += sample.buckets[i];
+            out << name << "_bucket{le=\"";
+            write_prometheus_double(out, sample.bounds[i]);
+            out << "\"} " << cumulative << '\n';
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << sample.count << '\n';
+        out << name << "_sum ";
+        write_prometheus_double(out, sample.sum);
+        out << '\n' << name << "_count " << sample.count << '\n';
+    }
+}
+
+StatsServer::StatsServer(std::uint16_t port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw Error("stats server: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // observe, not expose
+    address.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+               sizeof address) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        ::close(listen_fd_);
+        throw Error("stats server: cannot bind 127.0.0.1:" +
+                    std::to_string(port));
+    }
+    socklen_t length = sizeof address;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
+    port_ = ntohs(address.sin_port);
+
+    thread_ = std::thread([this] { serve(); });
+    DYNADDR_LOG(Info, stats_server, "serving /metrics /series /healthz on "
+                "127.0.0.1:", port_);
+}
+
+StatsServer::~StatsServer() { stop(); }
+
+void StatsServer::stop() {
+    if (stop_.exchange(true)) return;
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void StatsServer::serve() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd poll_entry{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&poll_entry, 1, 100 /* ms */);
+        if (ready <= 0) continue;
+        const int connection = ::accept(listen_fd_, nullptr, nullptr);
+        if (connection < 0) continue;
+        handle(connection);
+        // Count before close: a client that saw EOF must see the count.
+        served_.fetch_add(1, std::memory_order_relaxed);
+        ::close(connection);
+    }
+}
+
+void StatsServer::handle(int connection) {
+    // Read the request head. HTTP/1.0, one request per connection; the
+    // request line is all that matters and comfortably fits one read, but
+    // keep reading until the blank line or the buffer fills.
+    char buffer[4096];
+    std::size_t used = 0;
+    while (used < sizeof buffer - 1) {
+        const auto got =
+            ::recv(connection, buffer + used, sizeof buffer - 1 - used, 0);
+        if (got <= 0) break;
+        used += std::size_t(got);
+        buffer[used] = '\0';
+        if (std::strstr(buffer, "\r\n\r\n") != nullptr ||
+            std::strstr(buffer, "\n\n") != nullptr)
+            break;
+    }
+    buffer[used] = '\0';
+
+    std::string_view request(buffer, used);
+    std::string body;
+    std::string content_type = "text/plain; charset=utf-8";
+    const char* status = "200 OK";
+
+    const bool is_get = request.rfind("GET ", 0) == 0;
+    std::string_view path;
+    if (is_get) {
+        const auto path_start = 4;
+        const auto path_end = request.find(' ', path_start);
+        if (path_end != std::string_view::npos)
+            path = request.substr(path_start, path_end - path_start);
+    }
+
+    if (path == "/metrics") {
+        std::ostringstream out;
+        write_metrics_prometheus(out, metrics_snapshot());
+        body = std::move(out).str();
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (path == "/series") {
+        std::ostringstream out;
+        SeriesRecorder::instance().write_json(out);
+        body = std::move(out).str();
+        content_type = "application/json";
+    } else if (path == "/healthz") {
+        body = "ok\n";
+    } else {
+        status = is_get ? "404 Not Found" : "400 Bad Request";
+        body = "not found\n";
+    }
+
+    std::ostringstream response;
+    response << "HTTP/1.0 " << status << "\r\nContent-Type: " << content_type
+             << "\r\nContent-Length: " << body.size()
+             << "\r\nConnection: close\r\n\r\n" << body;
+    const std::string text = std::move(response).str();
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        const auto wrote =
+            ::send(connection, text.data() + sent, text.size() - sent,
+                   MSG_NOSIGNAL);
+        if (wrote <= 0) break;
+        sent += std::size_t(wrote);
+    }
+}
+
+}  // namespace dynaddr::obs

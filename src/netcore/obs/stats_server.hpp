@@ -1,0 +1,65 @@
+#pragma once
+
+// Embedded live-stats endpoint: a minimal HTTP/1.0 server (own socket
+// code, loopback only, no dependencies) that serves the observability
+// state of a running process:
+//
+//   GET /metrics  — Prometheus text exposition format (version 0.0.4)
+//   GET /series   — the time-series recorder's ring buffer as JSON
+//   GET /healthz  — "ok"
+//
+// The server runs on its own thread and is a pure observer: request
+// handling reads only the metrics registry (relaxed atomics under the
+// registry mutex) and the series recorder's ring (its own mutex); it
+// never touches simulation state, so polling cannot perturb determinism
+// (LiveObsDeterminism proves byte-identical analysis output while being
+// polled). Off unless constructed — the CLI gates it on --stats-port.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <thread>
+
+#include "netcore/obs/metrics.hpp"
+
+namespace dynaddr::obs {
+
+/// Writes a snapshot in Prometheus text exposition format: dotted names
+/// map to underscores, counters/gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+void write_metrics_prometheus(std::ostream& out,
+                              const MetricsSnapshot& snapshot);
+
+class StatsServer {
+public:
+    /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()),
+    /// starts the serving thread. Throws Error when the bind fails.
+    explicit StatsServer(std::uint16_t port);
+    ~StatsServer();
+    StatsServer(const StatsServer&) = delete;
+    StatsServer& operator=(const StatsServer&) = delete;
+
+    /// The actually bound port (useful with port 0).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Stops accepting and joins the serving thread. Idempotent; the
+    /// destructor calls it.
+    void stop();
+
+    /// Requests served so far (any path).
+    [[nodiscard]] std::uint64_t requests_served() const {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void serve();
+    void handle(int connection);
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> served_{0};
+    std::thread thread_;
+};
+
+}  // namespace dynaddr::obs

@@ -20,9 +20,11 @@ struct TraceEvent {
 };
 
 struct TraceCollector {
+    /// Leaked on purpose: the crash dump path may walk events during
+    /// static destruction.
     static TraceCollector& instance() {
-        static TraceCollector collector;
-        return collector;
+        static TraceCollector* collector = new TraceCollector;
+        return *collector;
     }
 
     std::atomic<bool> enabled{false};
@@ -95,6 +97,21 @@ void record_complete_event(std::string_view name, std::string_view category,
     collector.events.push_back(TraceEvent{std::string(name),
                                           std::string(category), start_us,
                                           duration_us, tid});
+}
+
+void visit_trace_for_crash_dump(
+    std::size_t max_events,
+    void (*visit)(void* ctx, const char* name, const char* category,
+                  std::uint64_t start_us, std::uint64_t duration_us),
+    void* ctx) {
+    TraceCollector& collector = TraceCollector::instance();
+    const std::size_t count = collector.events.size();
+    const std::size_t from = count > max_events ? count - max_events : 0;
+    for (std::size_t i = from; i < count; ++i) {
+        const TraceEvent& event = collector.events[i];
+        visit(ctx, event.name.c_str(), event.category.c_str(),
+              event.start_us, event.duration_us);
+    }
 }
 
 void write_trace_json(std::ostream& out) {

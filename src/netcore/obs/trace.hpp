@@ -46,6 +46,16 @@ void record_complete_event(std::string_view name, std::string_view category,
 /// Microseconds since the trace epoch (process start or last enable).
 [[nodiscard]] std::uint64_t trace_now_us();
 
+/// Crash-path iteration: visits the most recent `max_events` collected
+/// events WITHOUT taking the collector mutex and without allocating.
+/// Only for the flight recorder's crash dump, where the process is
+/// already dying and a torn read beats a deadlock.
+void visit_trace_for_crash_dump(
+    std::size_t max_events,
+    void (*visit)(void* ctx, const char* name, const char* category,
+                  std::uint64_t start_us, std::uint64_t duration_us),
+    void* ctx);
+
 /// RAII span: measures its scope and, on destruction, records a trace
 /// event (when tracing is enabled) and observes the duration into the
 /// optional histogram (always).

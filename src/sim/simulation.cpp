@@ -1,15 +1,50 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/timeseries.hpp"
 
 namespace dynaddr::sim {
 
+namespace {
+struct SimMetrics {
+    /// Rate-worthy twin of the end-of-run `scenario.sim_events` total:
+    /// incremented per event so the time-series recorder can chart event
+    /// throughput over simulated time.
+    obs::Counter& executed = obs::counter("sim.events_executed");
+};
+SimMetrics& sim_metrics() {
+    static SimMetrics metrics;
+    return metrics;
+}
+}  // namespace
+
 Simulation::Simulation(net::TimePoint start) : now_(start) {
     obs::push_sim_clock(&now_);
+    // Live observability: while this simulation exists, time-series
+    // samples follow simulated time. The tick is a pure observer (it only
+    // reads metric atomics), so its interleaving cannot perturb the world.
+    auto& recorder = obs::SeriesRecorder::instance();
+    if (recorder.enabled()) {
+        recorder.sim_attached();
+        series_attached_ = true;
+        const auto period = net::Duration::seconds(std::max<std::int64_t>(
+            1, std::llround(recorder.config().interval_seconds)));
+        queue_.schedule_every(start + period, period, [](net::TimePoint t) {
+            obs::SeriesRecorder::instance().sample(
+                double(t.unix_seconds()));
+        });
+    }
 }
 
-Simulation::~Simulation() { obs::pop_sim_clock(&now_); }
+Simulation::~Simulation() {
+    if (series_attached_) obs::SeriesRecorder::instance().sim_detached();
+    obs::pop_sim_clock(&now_);
+}
 
 EventId Simulation::at(net::TimePoint when, EventQueue::Callback callback) {
     if (when < now_)
@@ -39,6 +74,9 @@ std::uint64_t Simulation::run_until(net::TimePoint end) {
         queue_.run_next();
         ++ran;
         ++executed_;
+        // Per-event (not bulk at return) so recorder ticks that fire
+        // mid-run see a moving count — the series is a real rate.
+        sim_metrics().executed.inc();
     }
     if (end > now_) now_ = end;
     return ran;
@@ -51,6 +89,7 @@ std::uint64_t Simulation::run_all() {
         queue_.run_next();
         ++ran;
         ++executed_;
+        sim_metrics().executed.inc();
     }
     return ran;
 }

@@ -16,7 +16,11 @@ class Simulation {
 public:
     /// Starts the clock at `start`. The simulation registers its clock
     /// with the logging layer for its lifetime, so records emitted from
-    /// inside callbacks carry simulated time.
+    /// inside callbacks carry simulated time. When the obs time-series
+    /// recorder is enabled at construction time, the simulation also
+    /// schedules a periodic recorder tick at the configured cadence, so
+    /// series are sampled in *simulated* time; note the tick re-arms
+    /// forever, so prefer run_until over run_all while recording.
     explicit Simulation(net::TimePoint start);
     ~Simulation();
     Simulation(const Simulation&) = delete;
@@ -62,6 +66,7 @@ private:
     net::TimePoint now_;
     EventQueue queue_;
     std::uint64_t executed_ = 0;
+    bool series_attached_ = false;
 };
 
 }  // namespace dynaddr::sim

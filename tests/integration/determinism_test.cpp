@@ -8,15 +8,25 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "atlas/datasets.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "isp/presets.hpp"
 #include "isp/world.hpp"
+#include "netcore/obs/flight_recorder.hpp"
 #include "netcore/obs/log.hpp"
+#include "netcore/obs/stats_server.hpp"
+#include "netcore/obs/timeseries.hpp"
 #include "netcore/obs/trace.hpp"
 
 namespace dynaddr {
@@ -95,6 +105,82 @@ TEST(ObsDeterminism, OutagePresetAnalysisUnaffectedByObservability) {
 
 TEST(ObsDeterminism, PaperPresetAnalysisUnaffectedByObservability) {
     expect_obs_invariant(isp::presets::paper_scenario());
+}
+
+/// One GET against the live stats endpoint; returns the bytes received.
+std::size_t poll_metrics(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return 0;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    std::size_t received = 0;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                  sizeof address) == 0) {
+        const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+        if (::send(fd, request, sizeof request - 1, 0) > 0) {
+            char buffer[4096];
+            for (;;) {
+                const auto got = ::recv(fd, buffer, sizeof buffer, 0);
+                if (got <= 0) break;
+                received += std::size_t(got);
+            }
+        }
+    }
+    ::close(fd);
+    return received;
+}
+
+/// The live layer — time-series recorder ticking in simulated time, the
+/// stats endpoint being polled from another thread, and the flight
+/// recorder capturing every record — must also be a pure observer.
+void expect_live_obs_invariant(const isp::ScenarioConfig& config) {
+    const auto baseline = analysis_fingerprint(config);
+    ASSERT_FALSE(baseline.empty());
+
+    auto& recorder = obs::SeriesRecorder::instance();
+    recorder.disable();
+    recorder.configure({3600.0, 512});
+    recorder.enable();
+    obs::enable_flight_recorder(128, /*install_handlers=*/false);
+    obs::StatsServer server(0);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> polled{0};
+    std::thread poller([&] {
+        while (!stop.load()) {
+            polled.fetch_add(poll_metrics(server.port()));
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    });
+
+    const auto observed = analysis_fingerprint(config);
+
+    stop.store(true);
+    poller.join();
+    server.stop();
+    obs::disable_flight_recorder();
+    recorder.disable();
+
+    EXPECT_EQ(baseline, observed);
+    // The run really was watched: samples were taken in simulated time
+    // and the endpoint answered while the analysis ran.
+    EXPECT_GT(recorder.samples_taken(), 0u);
+    EXPECT_GT(polled.load(), 0u);
+    EXPECT_FALSE(obs::flight_records().empty());
+}
+
+TEST(LiveObsDeterminism, QuickPresetUnaffectedByLiveObservers) {
+    expect_live_obs_invariant(isp::presets::quick_scenario());
+}
+
+TEST(LiveObsDeterminism, OutagePresetUnaffectedByLiveObservers) {
+    expect_live_obs_invariant(isp::presets::outage_scenario());
+}
+
+TEST(LiveObsDeterminism, PaperPresetUnaffectedByLiveObservers) {
+    expect_live_obs_invariant(isp::presets::paper_scenario());
 }
 
 }  // namespace

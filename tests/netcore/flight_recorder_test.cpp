@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netcore/obs/flight_recorder.hpp"
+#include "netcore/obs/json.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/time.hpp"
+#include "sim/simulation.hpp"
+
+DYNADDR_LOG_MODULE(flight_test);
+
+namespace dynaddr::obs {
+namespace {
+
+/// Tests never install signal handlers — a crashing test should crash
+/// the test runner loudly, not write a dump and re-raise.
+void enable_capture(std::size_t ring_size = 64) {
+    clear_flight_records();
+    enable_flight_recorder(ring_size, /*install_handlers=*/false);
+}
+
+std::vector<FlightRecordView> records_mentioning(const std::string& needle) {
+    std::vector<FlightRecordView> out;
+    for (auto& record : flight_records())
+        if (record.message.find(needle) != std::string::npos)
+            out.push_back(std::move(record));
+    return out;
+}
+
+TEST(FlightRecorder, CapturesRecordsBelowTheSinkLevel) {
+    const auto old_level = log_level();
+    std::ostringstream sink;
+    set_log_sink(&sink);
+    set_log_level(LogLevel::Warn);
+    enable_capture();
+
+    DYNADDR_LOG(Debug, flight_test, "below-sink breadcrumb");
+    DYNADDR_LOG(Warn, flight_test, "sink-visible warning");
+
+    disable_flight_recorder();
+    set_log_level(old_level);
+    set_log_sink(nullptr);
+
+    // The sink saw only the warning; the ring saw both.
+    EXPECT_EQ(sink.str().find("below-sink breadcrumb"), std::string::npos);
+    EXPECT_NE(sink.str().find("sink-visible warning"), std::string::npos);
+    ASSERT_EQ(records_mentioning("below-sink breadcrumb").size(), 1u);
+    const auto captured = records_mentioning("below-sink breadcrumb").front();
+    EXPECT_EQ(captured.level, LogLevel::Debug);
+    EXPECT_EQ(captured.module, "flight_test");
+    ASSERT_EQ(records_mentioning("sink-visible warning").size(), 1u);
+}
+
+TEST(FlightRecorder, DisabledCaptureCostsOneLoadAndStoresNothing) {
+    enable_capture();
+    disable_flight_recorder();
+    flight_capture(LogLevel::Info, "flight_test", "after disable");
+    EXPECT_TRUE(records_mentioning("after disable").empty());
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheLastNRecords) {
+    // Ring capacity is fixed per thread at first use, so a fresh thread
+    // gets a fresh ring at the requested size.
+    enable_capture(/*ring_size=*/8);
+    std::thread writer([] {
+        for (int i = 0; i < 20; ++i)
+            flight_record(LogLevel::Info, "flight_test",
+                          "ring-test record " + std::to_string(i));
+    });
+    writer.join();
+    disable_flight_recorder();
+
+    const auto kept = records_mentioning("ring-test record");
+    ASSERT_EQ(kept.size(), 8u);
+    // Oldest 12 were overwritten; seq is the per-thread capture index.
+    EXPECT_NE(kept.front().message.find("record 12"), std::string::npos);
+    EXPECT_NE(kept.back().message.find("record 19"), std::string::npos);
+    EXPECT_EQ(kept.back().seq, 20u);
+    for (std::size_t i = 1; i < kept.size(); ++i)
+        EXPECT_EQ(kept[i].seq, kept[i - 1].seq + 1);
+}
+
+TEST(FlightRecorder, RecordsCarrySimulatedTimeWhenInsideASimulation) {
+    enable_capture();
+    const net::TimePoint start{1'700'000'000};
+    {
+        sim::Simulation sim(start);
+        sim.at(start + net::Duration::hours(2), [](net::TimePoint) {
+            DYNADDR_LOG(Debug, flight_test, "sim-stamped record");
+        });
+        sim.run_all();
+    }
+    flight_capture(LogLevel::Info, "flight_test", "wall record");
+    disable_flight_recorder();
+
+    const auto stamped = records_mentioning("sim-stamped record");
+    ASSERT_EQ(stamped.size(), 1u);
+    EXPECT_EQ(stamped.front().sim_time,
+              (start + net::Duration::hours(2)).unix_seconds());
+    const auto wall = records_mentioning("wall record");
+    ASSERT_EQ(wall.size(), 1u);
+    EXPECT_EQ(wall.front().sim_time, INT64_MIN);
+}
+
+TEST(FlightRecorder, LongMessagesAndModulesAreTruncatedNotCorrupted) {
+    enable_capture();
+    const std::string long_message(4096, 'x');
+    flight_record(LogLevel::Error, "a_module_name_well_past_the_cap",
+                  long_message);
+    disable_flight_recorder();
+
+    const auto kept = records_mentioning("xxxx");
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_LT(kept.front().message.size(), 256u);
+    EXPECT_LT(kept.front().module.size(), 32u);
+    EXPECT_EQ(kept.front().module.find("a_module"), 0u);
+}
+
+TEST(FlightRecorder, WriteCrashDumpProducesValidatedJson) {
+    enable_capture();
+    DYNADDR_LOG(Debug, flight_test, "pre-crash breadcrumb");
+    counter("flight_test.dump_counter").inc(7);
+    const std::string path =
+        testing::TempDir() + "flight_recorder_dump_test.json";
+    ASSERT_TRUE(write_crash_dump(path.c_str(), "unit-test"));
+    disable_flight_recorder();
+
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string dump = content.str();
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(json_valid(dump)) << dump;
+    EXPECT_NE(dump.find("\"reason\": \"unit-test\""), std::string::npos);
+    EXPECT_NE(dump.find("pre-crash breadcrumb"), std::string::npos);
+    EXPECT_NE(dump.find("flight_test.dump_counter"), std::string::npos);
+    EXPECT_NE(dump.find("\"records\""), std::string::npos);
+    EXPECT_NE(dump.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(dump.find("\"spans\""), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpEscapesControlAndQuoteCharacters) {
+    enable_capture();
+    flight_record(LogLevel::Info, "flight_test",
+                  "tricky \"quoted\"\tand\nnewlined");
+    const std::string path =
+        testing::TempDir() + "flight_recorder_escape_test.json";
+    ASSERT_TRUE(write_crash_dump(path.c_str(), "escape \"test\""));
+    disable_flight_recorder();
+
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    std::remove(path.c_str());
+    EXPECT_TRUE(json_valid(content.str())) << content.str();
+}
+
+TEST(FlightRecorder, CrashDumpPathFollowsConfiguredDirectory) {
+    set_crash_dump_dir("/some/dir");
+    EXPECT_EQ(crash_dump_path().rfind("/some/dir/dynaddr-crash-", 0), 0u);
+    set_crash_dump_dir("");
+    EXPECT_EQ(crash_dump_path().rfind("./dynaddr-crash-", 0), 0u);
+}
+
+}  // namespace
+}  // namespace dynaddr::obs

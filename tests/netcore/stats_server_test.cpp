@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "netcore/obs/json.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/stats_server.hpp"
+#include "netcore/obs/timeseries.hpp"
+
+namespace dynaddr::obs {
+namespace {
+
+struct HttpResponse {
+    std::string status_line;
+    std::string body;
+};
+
+/// Minimal HTTP/1.0 client: one GET, read to EOF.
+HttpResponse http_get(std::uint16_t port, const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                        sizeof address),
+              0);
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              ssize_t(request.size()));
+    std::string raw;
+    char buffer[4096];
+    for (;;) {
+        const auto got = ::recv(fd, buffer, sizeof buffer, 0);
+        if (got <= 0) break;
+        raw.append(buffer, std::size_t(got));
+    }
+    ::close(fd);
+    HttpResponse response;
+    const auto line_end = raw.find("\r\n");
+    response.status_line = raw.substr(0, line_end);
+    const auto head_end = raw.find("\r\n\r\n");
+    if (head_end != std::string::npos) response.body = raw.substr(head_end + 4);
+    return response;
+}
+
+TEST(StatsServer, BindsEphemeralPortWhenAskedForZero) {
+    StatsServer server(0);
+    EXPECT_GT(server.port(), 0);
+}
+
+TEST(StatsServer, HealthzAnswersOk) {
+    StatsServer server(0);
+    const auto response = http_get(server.port(), "/healthz");
+    EXPECT_EQ(response.status_line, "HTTP/1.0 200 OK");
+    EXPECT_EQ(response.body, "ok\n");
+    EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(StatsServer, UnknownPathIs404) {
+    StatsServer server(0);
+    EXPECT_EQ(http_get(server.port(), "/nope").status_line,
+              "HTTP/1.0 404 Not Found");
+}
+
+TEST(StatsServer, MetricsEndpointSpeaksPrometheusTextFormat) {
+    counter("stats_test.requests").inc(3);
+    gauge("stats_test.depth").set(-2);
+    latency_histogram("stats_test.latency").observe(0.005);
+
+    StatsServer server(0);
+    const auto response = http_get(server.port(), "/metrics");
+    EXPECT_EQ(response.status_line, "HTTP/1.0 200 OK");
+    const std::string& body = response.body;
+
+    // Dotted names become underscore names with a TYPE line each.
+    EXPECT_NE(body.find("# TYPE stats_test_requests counter\n"
+                        "stats_test_requests 3\n"),
+              std::string::npos);
+    EXPECT_NE(body.find("# TYPE stats_test_depth gauge\n"
+                        "stats_test_depth -2\n"),
+              std::string::npos);
+    EXPECT_NE(body.find("# TYPE stats_test_latency histogram\n"),
+              std::string::npos);
+    EXPECT_NE(body.find("stats_test_latency_bucket{le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("stats_test_latency_count 1"), std::string::npos);
+    EXPECT_NE(body.find("stats_test_latency_sum 0.005"), std::string::npos);
+
+    // Every exposition line is either a comment or `name[{labels}] value`,
+    // and histogram buckets are cumulative (non-decreasing).
+    std::istringstream lines(body);
+    std::string line;
+    std::uint64_t previous_bucket = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        // Label values (`le="0.005"`) may contain dots; the name must not.
+        const std::string name =
+            line.substr(0, std::min(space, line.find('{')));
+        EXPECT_EQ(name.find('.'), std::string::npos) << line;
+        if (name.rfind("stats_test_latency_bucket", 0) == 0) {
+            const auto value = std::stoull(line.substr(space + 1));
+            EXPECT_GE(value, previous_bucket) << line;
+            previous_bucket = value;
+        }
+    }
+}
+
+TEST(StatsServer, SeriesEndpointServesRecorderJson) {
+    auto& recorder = SeriesRecorder::instance();
+    recorder.disable();
+    recorder.configure({1.0, 16});
+    recorder.enable();
+    counter("stats_test.series").inc();
+    recorder.sample(42.0);
+    recorder.disable();
+
+    StatsServer server(0);
+    const auto response = http_get(server.port(), "/series");
+    EXPECT_EQ(response.status_line, "HTTP/1.0 200 OK");
+    EXPECT_TRUE(json_valid(response.body)) << response.body;
+    EXPECT_NE(response.body.find("\"stats_test.series\""), std::string::npos);
+}
+
+TEST(StatsServer, StopIsIdempotentAndJoinsThread) {
+    StatsServer server(0);
+    server.stop();
+    server.stop();  // second stop must be a no-op, destructor a third
+}
+
+}  // namespace
+}  // namespace dynaddr::obs

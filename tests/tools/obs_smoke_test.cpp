@@ -75,4 +75,89 @@ TEST_F(ObsSmoke, MetricsCsvSuffixSelectsCsv) {
     EXPECT_EQ(text.rfind("kind,name,value\n", 0), 0u) << text.substr(0, 80);
 }
 
+TEST_F(ObsSmoke, SeriesOutRecordsSimulatedTimeSeries) {
+    const fs::path series = dir_ / "series.json";
+    const std::string command = std::string(DYNADDR_CLI_PATH) +
+                                " --preset quick --series-out " + series.string() +
+                                " --series-interval 86400 > " +
+                                (dir_ / "stdout.txt").string() + " 2>&1";
+    ASSERT_EQ(std::system(command.c_str()), 0) << command;
+    const std::string text = read_file(series);
+    ASSERT_FALSE(text.empty());
+    EXPECT_TRUE(dynaddr::obs::json_valid(text));
+    EXPECT_NE(text.find("\"interval_seconds\": 86400"), std::string::npos);
+    // Simulated daily cadence: the quick preset starts 2015-01-01, so the
+    // first possible sample lands exactly one day in.
+    EXPECT_NE(text.find("\"t\": 1420156800"), std::string::npos);
+    EXPECT_NE(text.find("\"cumulative\""), std::string::npos)
+        << text.substr(0, 200);
+}
+
+/// Forks the CLI's hidden crash-test command and validates the flight
+/// recorder's post-mortem artifact: dump JSON holding breadcrumb records
+/// at levels the sink never saw plus a final metrics snapshot.
+TEST_F(ObsSmoke, CrashTestLeavesValidDump) {
+    const std::string command = std::string(DYNADDR_CLI_PATH) +
+                                " crash-test --crash-dump-dir " + dir_.string() +
+                                " > " + (dir_ / "stdout.txt").string() + " 2> " +
+                                (dir_ / "stderr.txt").string();
+    // The child dies by SIGSEGV after dumping; any nonzero status is fine
+    // as long as the artifacts are intact.
+    EXPECT_NE(std::system(command.c_str()), 0) << command;
+
+    fs::path dump;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("dynaddr-crash-", 0) == 0) dump = entry.path();
+    }
+    ASSERT_FALSE(dump.empty()) << "no dynaddr-crash-<pid>.json in " << dir_;
+
+    const std::string text = read_file(dump);
+    EXPECT_TRUE(dynaddr::obs::json_valid(text)) << text.substr(0, 400);
+    EXPECT_NE(text.find("\"reason\": \"SIGSEGV\""), std::string::npos);
+    // Breadcrumbs are debug-level: below the default sink level, captured
+    // only by the flight recorder's ring.
+    EXPECT_NE(text.find("crash-test breadcrumb 7"), std::string::npos);
+    EXPECT_NE(text.find("\"level\": \"debug\""), std::string::npos);
+    EXPECT_NE(text.find("cli.crash_test_runs"), std::string::npos);
+    const std::string stderr_text = read_file(dir_ / "stderr.txt");
+    EXPECT_EQ(stderr_text.find("crash-test breadcrumb"), std::string::npos);
+}
+
+/// A run that fails with an ordinary error must still write
+/// --metrics-out (via the exit hook), never leave it silently missing.
+TEST_F(ObsSmoke, FailedRunStillWritesMetricsOut) {
+    const fs::path metrics = dir_ / "failed-metrics.json";
+    const std::string command = std::string(DYNADDR_CLI_PATH) +
+                                " analyze --data " +
+                                (dir_ / "no-such-bundle").string() +
+                                " --metrics-out " + metrics.string() +
+                                " > /dev/null 2>&1";
+    EXPECT_NE(std::system(command.c_str()), 0) << command;
+    const std::string metrics_text = read_file(metrics);
+    ASSERT_FALSE(metrics_text.empty());
+    EXPECT_TRUE(dynaddr::obs::json_valid(metrics_text));
+}
+
+TEST_F(ObsSmoke, TerminateAlsoFlushesEmergencyMetrics) {
+    const fs::path metrics = dir_ / "terminate-metrics.json";
+    const std::string command = std::string(DYNADDR_CLI_PATH) +
+                                " crash-test --mode terminate --crash-dump-dir " +
+                                dir_.string() + " --metrics-out " +
+                                metrics.string() + " > /dev/null 2>&1";
+    EXPECT_NE(std::system(command.c_str()), 0) << command;
+    const std::string metrics_text = read_file(metrics);
+    ASSERT_FALSE(metrics_text.empty());
+    EXPECT_TRUE(dynaddr::obs::json_valid(metrics_text));
+
+    fs::path dump;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("dynaddr-crash-", 0) == 0) dump = entry.path();
+    }
+    ASSERT_FALSE(dump.empty());
+    EXPECT_NE(read_file(dump).find("\"reason\": \"std::terminate\""),
+              std::string::npos);
+}
+
 }  // namespace

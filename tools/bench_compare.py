@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports produced by perf_micro --bench_report.
+
+Prints a per-benchmark delta table (matched by benchmark name). Exits
+non-zero only when a benchmark on the --watch allowlist regresses by more
+than --fail-above percent in real_time; with no allowlist the run is
+purely informational.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [options]
+  bench_compare.py BASELINE.json --run path/to/perf_micro [options]
+
+With --run, the current report is generated on the spot by invoking the
+benchmark binary (optionally restricted via --filter) with a temporary
+--bench_report path.
+
+Options:
+  --fail-above PCT   regression threshold in percent (default: 10)
+  --watch NAME       benchmark name that gates the exit code; repeatable
+  --filter REGEX     --benchmark_filter passed to --run binary
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# real_time is stored in each entry's own time_unit; comparisons are
+# ratios of same-name entries, so units cancel as long as a benchmark
+# keeps its unit between runs (ours do). Normalize anyway for display.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_report(path):
+    with open(path) as handle:
+        entries = json.load(handle)
+    report = {}
+    for entry in entries:
+        nanos = entry["real_time"] * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+        report[entry["name"]] = nanos
+    return report
+
+
+def format_time(nanos):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if nanos >= scale:
+            return "%.3g %s" % (nanos / scale, unit)
+    return "%.3g ns" % nanos
+
+
+def run_fresh_report(binary, bench_filter):
+    handle, path = tempfile.mkstemp(suffix=".json", prefix="bench_compare_")
+    os.close(handle)
+    os.unlink(path)  # the collector merges with an existing file; start clean
+    command = [binary, "--bench_report=" + path]
+    if bench_filter:
+        command.append("--benchmark_filter=" + bench_filter)
+    try:
+        subprocess.run(command, check=True)
+        return load_report(path)
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two perf_micro bench reports")
+    parser.add_argument("baseline")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--run", metavar="BINARY",
+                        help="generate the current report by running BINARY")
+    parser.add_argument("--filter", default=None,
+                        help="--benchmark_filter for --run")
+    parser.add_argument("--fail-above", type=float, default=10.0,
+                        metavar="PCT", help="regression threshold (percent)")
+    parser.add_argument("--watch", action="append", default=[],
+                        metavar="NAME",
+                        help="benchmark whose regression fails the run")
+    args = parser.parse_args()
+    if bool(args.current) == bool(args.run):
+        parser.error("need exactly one of CURRENT.json or --run BINARY")
+
+    baseline = load_report(args.baseline)
+    current = run_fresh_report(args.run, args.filter) if args.run \
+        else load_report(args.current)
+
+    names = [n for n in current if n in baseline]
+    only_base = sorted(set(baseline) - set(current))
+    only_curr = sorted(set(current) - set(baseline))
+
+    width = max((len(n) for n in names), default=20)
+    print("%-*s %12s %12s %9s" % (width, "benchmark", "baseline",
+                                  "current", "delta"))
+    regressions = []
+    for name in names:
+        before, after = baseline[name], current[name]
+        delta = (after - before) / before * 100.0 if before else 0.0
+        gated = not args.watch or name in args.watch
+        flag = ""
+        if delta > args.fail_above:
+            flag = "  REGRESSION" if gated and args.watch else "  (slower)"
+            if gated and args.watch:
+                regressions.append((name, delta))
+        print("%-*s %12s %12s %+8.1f%%%s" %
+              (width, name, format_time(before), format_time(after),
+               delta, flag))
+    for name in only_base:
+        print("%-*s %12s %12s     (not re-run)" %
+              (width, name, format_time(baseline[name]), "-"))
+    for name in only_curr:
+        print("%-*s %12s %12s     (new)" %
+              (width, name, "-", format_time(current[name])))
+
+    missing_watch = [n for n in args.watch
+                     if n not in baseline or n not in current]
+    for name in missing_watch:
+        print("watched benchmark %s missing from %s" %
+              (name, "baseline" if name not in baseline else "current"),
+              file=sys.stderr)
+
+    if regressions or missing_watch:
+        for name, delta in regressions:
+            print("FAIL: %s regressed %.1f%% (> %.1f%%)" %
+                  (name, delta, args.fail_above), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

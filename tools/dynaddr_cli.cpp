@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,8 +28,11 @@
 #include "isp/presets.hpp"
 #include "netcore/csv.hpp"
 #include "netcore/error.hpp"
+#include "netcore/obs/flight_recorder.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
+#include "netcore/obs/stats_server.hpp"
+#include "netcore/obs/timeseries.hpp"
 #include "netcore/obs/trace.hpp"
 
 DYNADDR_LOG_MODULE(cli);
@@ -51,9 +55,21 @@ int usage() {
         "  --log-module mod:level[,mod:level...]         per-module override\n"
         "  --metrics-out FILE   write metrics (JSON; .csv extension -> CSV)\n"
         "  --trace-out FILE     write Chrome trace_event JSON (Perfetto)\n"
+        "  --series-out FILE    record a metrics time series (JSON; .csv -> CSV)\n"
+        "  --series-interval S  series cadence in seconds (default 60;\n"
+        "                       simulated seconds inside a simulation)\n"
+        "  --series-capacity N  series ring capacity in samples (default 8192)\n"
+        "  --stats-port N       serve /metrics /series /healthz on 127.0.0.1:N\n"
+        "  --flight-recorder[=N]  keep last N log records/thread for crash dumps\n"
+        "  --crash-dump-dir DIR   where dynaddr-crash-<pid>.json goes (default .)\n"
         "(--threads: pipeline executors; 0 = hardware concurrency (default),"
         " 1 = single-threaded; results are identical for any value)\n";
     return 2;
+}
+
+/// Flags whose value is optional (`--flag` alone means "on, defaults").
+bool valueless_ok(const std::string& name) {
+    return name == "flight-recorder";
 }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
@@ -66,14 +82,28 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
             flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
             continue;
         }
+        const std::string name = arg.substr(2);
+        // A valueless flag consumes the next argument only when it does
+        // not look like another flag.
+        if (valueless_ok(name) &&
+            (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+            flags[name] = "";
+            continue;
+        }
         if (i + 1 >= argc) throw Error("flag '" + arg + "' needs a value");
-        flags[arg.substr(2)] = argv[++i];
+        flags[name] = argv[++i];
     }
     return flags;
 }
 
+/// The live stats endpoint lives for the whole command; destroyed (and
+/// its thread joined) when main returns.
+std::unique_ptr<obs::StatsServer> stats_server;
+
 /// Applies the observability flags. Returns after enabling tracing when
-/// requested, so spans from the command body are collected.
+/// requested, so spans from the command body are collected. Live
+/// features (series recorder, stats server, flight recorder) must be on
+/// before the command body so simulations constructed inside it see them.
 void apply_obs_flags(const std::map<std::string, std::string>& flags) {
     if (auto it = flags.find("log-level"); it != flags.end()) {
         const auto level = obs::parse_level(it->second);
@@ -83,19 +113,40 @@ void apply_obs_flags(const std::map<std::string, std::string>& flags) {
     if (auto it = flags.find("log-module"); it != flags.end())
         obs::apply_module_spec(it->second);
     if (flags.contains("trace-out")) obs::enable_trace();
+    if (auto it = flags.find("metrics-out"); it != flags.end())
+        obs::set_emergency_metrics_path(it->second);
+    if (flags.contains("series-out") || flags.contains("stats-port")) {
+        obs::SeriesConfig config;
+        if (auto it = flags.find("series-interval"); it != flags.end()) {
+            config.interval_seconds = std::stod(it->second);
+            if (config.interval_seconds <= 0)
+                throw Error("--series-interval must be positive");
+        }
+        if (auto it = flags.find("series-capacity"); it != flags.end())
+            config.capacity = std::stoull(it->second);
+        auto& recorder = obs::SeriesRecorder::instance();
+        recorder.configure(config);
+        recorder.enable();
+        recorder.start_wall_sampler();
+    }
+    if (auto it = flags.find("stats-port"); it != flags.end())
+        stats_server = std::make_unique<obs::StatsServer>(
+            std::uint16_t(std::stoul(it->second)));
+    if (auto it = flags.find("crash-dump-dir"); it != flags.end())
+        obs::set_crash_dump_dir(it->second);
+    if (auto it = flags.find("flight-recorder"); it != flags.end()) {
+        std::size_t ring = 256;
+        if (!it->second.empty()) ring = std::stoull(it->second);
+        obs::enable_flight_recorder(ring);
+    }
 }
 
-/// Writes --metrics-out / --trace-out files after a successful command.
+/// Writes --metrics-out / --trace-out / --series-out files after a
+/// successful command.
 void write_obs_outputs(const std::map<std::string, std::string>& flags) {
     if (auto it = flags.find("metrics-out"); it != flags.end()) {
-        std::ofstream out(it->second);
-        if (!out) throw Error("cannot open " + it->second + " for writing");
-        const auto snapshot = obs::metrics_snapshot();
-        if (it->second.size() >= 4 &&
-            it->second.compare(it->second.size() - 4, 4, ".csv") == 0)
-            obs::write_metrics_csv(out, snapshot);
-        else
-            obs::write_metrics_json(out, snapshot);
+        obs::write_metrics_file(it->second);
+        obs::mark_metrics_written();
         DYNADDR_LOG(Info, cli, "wrote metrics to ", it->second);
     }
     if (auto it = flags.find("trace-out"); it != flags.end()) {
@@ -105,6 +156,23 @@ void write_obs_outputs(const std::map<std::string, std::string>& flags) {
         DYNADDR_LOG(Info, cli, "wrote ", obs::trace_event_count(),
                     " trace events to ", it->second);
     }
+    if (auto it = flags.find("series-out"); it != flags.end()) {
+        auto& recorder = obs::SeriesRecorder::instance();
+        recorder.stop_wall_sampler();
+        // Runs shorter than one interval still get a closing sample; runs
+        // with samples do not get a stray wall-clock timestamp appended.
+        if (recorder.samples_taken() == 0) recorder.sample_now();
+        recorder.write_file(it->second);
+        DYNADDR_LOG(Info, cli, "wrote ", recorder.samples_taken(),
+                    " series samples to ", it->second);
+    }
+}
+
+/// Tears down the live observers on every exit path: a still-serving
+/// stats thread or a joinable sampler thread must not outlive main.
+void shutdown_live_obs() {
+    obs::SeriesRecorder::instance().stop_wall_sampler();
+    stats_server.reset();
 }
 
 isp::ScenarioConfig preset_by_name(const std::string& name) {
@@ -275,6 +343,24 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
     return 0;
 }
 
+/// Hidden subcommand (not in usage): deliberately dies so the flight
+/// recorder's crash path can be exercised end to end from a test. The
+/// mode selects how: segv (default), abort, or terminate.
+int cmd_crash_test(const std::map<std::string, std::string>& flags) {
+    if (!obs::flight_recorder_enabled()) obs::enable_flight_recorder();
+    obs::counter("cli.crash_test_runs").inc();
+    for (int i = 0; i < 8; ++i)
+        DYNADDR_LOG(Debug, cli, "crash-test breadcrumb ", i);
+    DYNADDR_LOG(Info, cli, "crash-test: dying now");
+    const std::string mode =
+        flags.contains("mode") ? flags.at("mode") : std::string("segv");
+    if (mode == "abort") std::abort();
+    if (mode == "terminate") std::terminate();
+    volatile int* null_pointer = nullptr;
+    *null_pointer = 42;
+    return 0;  // unreachable
+}
+
 int cmd_demo(const std::map<std::string, std::string>& flags) {
     const std::string preset =
         flags.contains("preset") ? flags.at("preset") : std::string("quick");
@@ -307,11 +393,14 @@ int main(int argc, char** argv) {
         if (command == "simulate") status = cmd_simulate(flags);
         else if (command == "analyze") status = cmd_analyze(flags);
         else if (command == "demo") status = cmd_demo(flags);
+        else if (command == "crash-test") status = cmd_crash_test(flags);
         else return usage();
         if (status == 0) write_obs_outputs(flags);
+        shutdown_live_obs();
         return status;
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << "\n";
+        shutdown_live_obs();
         return 1;
     }
 }

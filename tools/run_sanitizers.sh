@@ -2,27 +2,53 @@
 # Builds the tree under ThreadSanitizer and ASan/UBSan and runs the tier-1
 # test suite under each, so the pipeline's sharded concurrency stays honest.
 #
-#   tools/run_sanitizers.sh [thread|address ...]   (default: both)
+#   tools/run_sanitizers.sh [thread|address ...] [options]
 #
-# Exits non-zero on the first sanitizer failure. Build trees live in
-# build-tsan/ and build-asan/ next to the regular build/.
+# Options:
+#   --targets a,b,c     build only these CMake targets (default: everything)
+#   --tests-regex RE    run only ctest cases matching RE (default: all)
+#
+# The restricted form backs the `sanitize_smoke` ctest target, which puts
+# just the observability tests (lock-free flight recorder, stats-server
+# thread, series recorder) under TSan on every test run. Exits non-zero on
+# the first sanitizer failure. Build trees live in build-tsan/ and
+# build-asan/ next to the regular build/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
-sanitizers=("$@")
+sanitizers=()
+targets=""
+tests_regex=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --targets)     targets="$2"; shift 2 ;;
+    --tests-regex) tests_regex="$2"; shift 2 ;;
+    thread|address) sanitizers+=("$1"); shift ;;
+    *) echo "unknown argument '$1' (want thread|address|--targets|--tests-regex)" >&2
+       exit 2 ;;
+  esac
+done
 [ ${#sanitizers[@]} -eq 0 ] && sanitizers=(thread address)
 
 for sanitizer in "${sanitizers[@]}"; do
   case "$sanitizer" in
     thread)  dir=build-tsan ;;
     address) dir=build-asan ;;
-    *) echo "unknown sanitizer '$sanitizer' (want thread|address)" >&2; exit 2 ;;
   esac
   echo "=== ${sanitizer}-sanitized build in ${dir}/ ==="
   cmake -B "$dir" -S . -DDYNADDR_SANITIZE="$sanitizer" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-  cmake --build "$dir" -j "$jobs"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  if [ -n "$targets" ]; then
+    # shellcheck disable=SC2086  # comma list intentionally word-split
+    cmake --build "$dir" -j "$jobs" --target ${targets//,/ }
+  else
+    cmake --build "$dir" -j "$jobs"
+  fi
+  if [ -n "$tests_regex" ]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs" -R "$tests_regex"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  fi
   echo "=== ${sanitizer} sanitizer: clean ==="
 done
