@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <sstream>
 #include <string_view>
 
 #include "netcore/csv.hpp"
@@ -12,6 +14,7 @@
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
 #include "netcore/obs/trace.hpp"
+#include "sim/faults.hpp"
 
 DYNADDR_LOG_MODULE(datasets);
 
@@ -43,6 +46,36 @@ std::ifstream open_in(const std::filesystem::path& path) {
     std::ifstream in(path);
     if (!in) throw Error("cannot open " + path.string() + " for reading");
     return in;
+}
+
+/// With CSV faults planned, slurps the stream and mutilates its data rows
+/// (header preserved); the caller then parses leniently. Returns nullopt
+/// when faults are off, keeping the strict streaming path untouched.
+std::optional<std::istringstream> faulted_stream(std::istream& in) {
+    sim::FaultInjector* injector = sim::fault_injector();
+    if (injector == nullptr || !injector->plan().csv.any()) return std::nullopt;
+    std::string text{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+    injector->corrupt_csv(text);
+    return std::istringstream(std::move(text));
+}
+
+/// Iterates `reader`, handing each row to `fn`. Strict mode propagates
+/// ParseError; lenient mode (fault-garbled input) drops the offending row
+/// and keeps going — ScanReader::next_row() advances past a malformed row
+/// before throwing, so resuming is safe.
+template <typename Fn>
+void for_each_row(csv::ScanReader& reader, bool lenient, Fn&& fn) {
+    while (true) {
+        try {
+            const auto* row = reader.next_row();
+            if (row == nullptr) return;
+            fn(*row);
+        } catch (const ParseError&) {
+            if (!lenient) throw;
+            obs::counter("faults.csv.rows_rejected").inc();
+        }
+    }
 }
 
 }  // namespace
@@ -89,24 +122,25 @@ void write_connection_log_csv(std::ostream& out,
 }
 
 std::vector<ConnectionLogEntry> read_connection_log_csv(std::istream& in) {
-    csv::ScanReader reader(in);
+    auto faulted = faulted_stream(in);
+    csv::ScanReader reader(faulted ? *faulted : in);
     const auto c_probe = reader.column("probe");
     const auto c_start = reader.column("start");
     const auto c_end = reader.column("end");
     const auto c_addr = reader.column("address");
     std::vector<ConnectionLogEntry> entries;
-    while (const auto* row = reader.next_row()) {
+    for_each_row(reader, faulted.has_value(), [&](const auto& row) {
         ConnectionLogEntry entry;
-        entry.probe = ProbeId(parse_i64((*row)[c_probe]));
-        entry.start = parse_time((*row)[c_start]);
-        entry.end = parse_time((*row)[c_end]);
-        auto addr = PeerAddress::parse((*row)[c_addr]);
+        entry.probe = ProbeId(parse_i64(row[c_probe]));
+        entry.start = parse_time(row[c_start]);
+        entry.end = parse_time(row[c_end]);
+        auto addr = PeerAddress::parse(row[c_addr]);
         if (!addr)
-            throw ParseError("bad peer address '" + std::string((*row)[c_addr]) +
+            throw ParseError("bad peer address '" + std::string(row[c_addr]) +
                              "'");
         entry.address = *addr;
         entries.push_back(entry);
-    }
+    });
     return entries;
 }
 
@@ -119,22 +153,23 @@ void write_kroot_csv(std::ostream& out, const std::vector<KRootPingRecord>& reco
 }
 
 std::vector<KRootPingRecord> read_kroot_csv(std::istream& in) {
-    csv::ScanReader reader(in);
+    auto faulted = faulted_stream(in);
+    csv::ScanReader reader(faulted ? *faulted : in);
     const auto c_probe = reader.column("probe");
     const auto c_ts = reader.column("timestamp");
     const auto c_sent = reader.column("sent");
     const auto c_success = reader.column("success");
     const auto c_lts = reader.column("lts");
     std::vector<KRootPingRecord> records;
-    while (const auto* row = reader.next_row()) {
+    for_each_row(reader, faulted.has_value(), [&](const auto& row) {
         KRootPingRecord r;
-        r.probe = ProbeId(parse_i64((*row)[c_probe]));
-        r.timestamp = parse_time((*row)[c_ts]);
-        r.sent = int(parse_i64((*row)[c_sent]));
-        r.success = int(parse_i64((*row)[c_success]));
-        r.lts_seconds = parse_i64((*row)[c_lts]);
+        r.probe = ProbeId(parse_i64(row[c_probe]));
+        r.timestamp = parse_time(row[c_ts]);
+        r.sent = int(parse_i64(row[c_sent]));
+        r.success = int(parse_i64(row[c_success]));
+        r.lts_seconds = parse_i64(row[c_lts]);
         records.push_back(r);
-    }
+    });
     return records;
 }
 
@@ -146,18 +181,19 @@ void write_uptime_csv(std::ostream& out, const std::vector<UptimeRecord>& record
 }
 
 std::vector<UptimeRecord> read_uptime_csv(std::istream& in) {
-    csv::ScanReader reader(in);
+    auto faulted = faulted_stream(in);
+    csv::ScanReader reader(faulted ? *faulted : in);
     const auto c_probe = reader.column("probe");
     const auto c_ts = reader.column("timestamp");
     const auto c_uptime = reader.column("uptime");
     std::vector<UptimeRecord> records;
-    while (const auto* row = reader.next_row()) {
+    for_each_row(reader, faulted.has_value(), [&](const auto& row) {
         UptimeRecord r;
-        r.probe = ProbeId(parse_i64((*row)[c_probe]));
-        r.timestamp = parse_time((*row)[c_ts]);
-        r.uptime_seconds = std::uint64_t(parse_i64((*row)[c_uptime]));
+        r.probe = ProbeId(parse_i64(row[c_probe]));
+        r.timestamp = parse_time(row[c_ts]);
+        r.uptime_seconds = std::uint64_t(parse_i64(row[c_uptime]));
         records.push_back(r);
-    }
+    });
     return records;
 }
 
@@ -175,20 +211,21 @@ void write_probes_csv(std::ostream& out, const std::vector<ProbeMetadata>& probe
 }
 
 std::vector<ProbeMetadata> read_probes_csv(std::istream& in) {
-    csv::ScanReader reader(in);
+    auto faulted = faulted_stream(in);
+    csv::ScanReader reader(faulted ? *faulted : in);
     const auto c_probe = reader.column("probe");
     const auto c_version = reader.column("version");
     const auto c_country = reader.column("country");
     const auto c_tags = reader.column("tags");
     std::vector<ProbeMetadata> probes;
-    while (const auto* row = reader.next_row()) {
+    for_each_row(reader, faulted.has_value(), [&](const auto& row) {
         ProbeMetadata p;
-        p.probe = ProbeId(parse_i64((*row)[c_probe]));
-        const int version = int(parse_i64((*row)[c_version]));
+        p.probe = ProbeId(parse_i64(row[c_probe]));
+        const int version = int(parse_i64(row[c_version]));
         if (version < 1 || version > 3) throw ParseError("bad probe version");
         p.version = ProbeVersion(version);
-        p.country_code = std::string((*row)[c_country]);
-        const std::string_view tags = (*row)[c_tags];
+        p.country_code = std::string(row[c_country]);
+        const std::string_view tags = row[c_tags];
         std::size_t pos = 0;
         while (pos < tags.size()) {
             auto sep = tags.find(';', pos);
@@ -198,7 +235,7 @@ std::vector<ProbeMetadata> read_probes_csv(std::istream& in) {
             pos = sep + 1;
         }
         probes.push_back(p);
-    }
+    });
     return probes;
 }
 

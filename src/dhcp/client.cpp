@@ -2,9 +2,44 @@
 
 #include <algorithm>
 
+#include "dhcp/wire.hpp"
 #include "netcore/error.hpp"
+#include "sim/faults.hpp"
 
 namespace dynaddr::dhcp {
+
+namespace {
+
+using Kind = sim::MessageDecision::Kind;
+
+/// Builds the wire form of the exchange's opening message, mutates it via
+/// the installed injector, and reports whether the exchange is lost: a
+/// mutation that breaks parsing — or changes what the client asked — means
+/// the server ignores (or misanswers) it and the client hears nothing.
+/// Runs the real codec both ways, so corruption faults exercise it.
+bool corrupted_exchange_lost(sim::FaultSite site, pool::ClientId id,
+                             net::TimePoint now, MessageType type,
+                             std::optional<net::IPv4Address> requested,
+                             std::optional<net::IPv4Address> ciaddr) {
+    sim::FaultInjector* injector = sim::fault_injector();
+    if (injector == nullptr) return false;
+    WireMessage message;
+    message.xid = std::uint32_t(id) ^ std::uint32_t(now.unix_seconds());
+    message.type = type;
+    message.requested_address = requested;
+    if (ciaddr) message.ciaddr = *ciaddr;
+    for (int i = 0; i < 8; ++i)
+        message.client_id.push_back(std::uint8_t(id >> (8 * i)));
+    auto bytes = encode(message);
+    if (!injector->corrupt_wire(site, id, bytes)) return true;
+    try {
+        return !(decode(bytes) == message);
+    } catch (const ParseError&) {
+        return true;
+    }
+}
+
+}  // namespace
 
 Client::Client(ClientConfig config, pool::ClientId id, Server& server,
                sim::Simulation& sim, std::function<bool()> reachable)
@@ -16,6 +51,7 @@ Client::Client(ClientConfig config, pool::ClientId id, Server& server,
     if (config_.t1_fraction <= 0.0 || config_.t1_fraction >= 1.0 ||
         config_.t2_fraction <= config_.t1_fraction || config_.t2_fraction >= 1.0)
         throw Error("bad DHCP timer fractions");
+    if (config_.request_retries < 1) throw Error("request_retries must be >= 1");
 }
 
 void Client::power_on() {
@@ -29,7 +65,24 @@ void Client::power_off(bool graceful) {
     cancel_timer();
     const bool had_address = address_.has_value();
     if (graceful && had_address && reachable_()) {
-        server_->handle_release(id_);
+        if (server_->online()) {
+            // RELEASE is fire-and-forget: a swallowed one just leaves the
+            // lease to expire server-side. A deferred one arrives late but
+            // arrives — same as delivered, since we're powering off.
+            const auto decision =
+                sim::gate_message(sim::FaultSite::DhcpRelease, id_, sim_->now());
+            const bool lost =
+                decision.kind == Kind::Drop ||
+                (decision.kind == Kind::Corrupt &&
+                 corrupted_exchange_lost(sim::FaultSite::DhcpRelease, id_,
+                                         sim_->now(), MessageType::Release,
+                                         std::nullopt, *address_));
+            if (!lost) {
+                server_->handle_release(id_);
+                if (decision.kind == Kind::Duplicate)
+                    server_->handle_release(id_);  // replayed RELEASE
+            }
+        }
         remembered_.reset();
     } else if (had_address) {
         // Abrupt power cut: the lease lives on server-side; remember it for
@@ -41,14 +94,17 @@ void Client::power_off(bool graceful) {
         if (on_lost_)
             on_lost_(graceful ? LossReason::ClientRelease : LossReason::ClientReboot);
     }
+    pending_request_.reset();
+    request_attempts_ = 0;
+    backoff_ = net::Duration{0};
     state_ = ClientState::Off;
 }
 
 void Client::link_restored() {
     if (state_ == ClientState::Init) try_acquire();
-    // In Renewing/Rebinding the pending retry timer will succeed now; no
-    // action needed. A real client does not get link-state callbacks into
-    // its DHCP state machine either.
+    // In Renewing/Rebinding the pending retry timer will succeed now; in
+    // Requesting the retransmit timer is already pending. A real client
+    // does not get link-state callbacks into its DHCP state machine either.
 }
 
 void Client::link_lost() {
@@ -65,11 +121,34 @@ void Client::try_acquire() {
     if (state_ != ClientState::Init) return;
     cancel_timer();
     if (!reachable_()) return;  // dormant until link_restored()
+    const net::TimePoint now = sim_->now();
+    if (!server_->online()) {
+        // Server down reads as silence: retransmit with backoff.
+        schedule_timer(now + next_backoff());
+        return;
+    }
 
     // INIT-REBOOT: ask for the remembered address directly.
     if (remembered_) {
-        const RequestResult result = server_->handle_request(id_, *remembered_);
+        const net::IPv4Address addr = *remembered_;
+        const auto decision =
+            sim::gate_message(sim::FaultSite::DhcpRequest, id_, now);
+        if (decision.kind == Kind::Defer) {
+            schedule_timer(now + decision.defer);  // retry INIT-REBOOT then
+            return;
+        }
         remembered_.reset();
+        if (decision.kind == Kind::Drop ||
+            (decision.kind == Kind::Corrupt &&
+             corrupted_exchange_lost(sim::FaultSite::DhcpRequest, id_, now,
+                                     MessageType::Request, addr,
+                                     std::nullopt))) {
+            begin_requesting(addr);
+            return;
+        }
+        RequestResult result = server_->handle_request(id_, addr);
+        if (decision.kind == Kind::Duplicate)
+            result = server_->handle_request(id_, addr);  // replayed REQUEST
         if (result.ack) {
             become_bound(result);
             return;
@@ -77,16 +156,118 @@ void Client::try_acquire() {
         // NAK: fall through to full INIT.
     }
 
+    const auto decision =
+        sim::gate_message(sim::FaultSite::DhcpDiscover, id_, now);
+    if (decision.kind == Kind::Defer) {
+        schedule_timer(now + decision.defer);
+        return;
+    }
+    if (decision.kind == Kind::Drop ||
+        (decision.kind == Kind::Corrupt &&
+         corrupted_exchange_lost(sim::FaultSite::DhcpDiscover, id_, now,
+                                 MessageType::Discover, std::nullopt,
+                                 std::nullopt))) {
+        // DISCOVER (or its OFFER) lost: retransmit with backoff.
+        schedule_timer(now + next_backoff());
+        return;
+    }
     auto offer = server_->handle_discover(id_);
+    if (decision.kind == Kind::Duplicate && offer)
+        offer = server_->handle_discover(id_);  // replayed DISCOVER
     if (offer) {
-        const RequestResult result = server_->handle_request(id_, offer->address);
+        // The REQUEST answering this OFFER is its own gated exchange.
+        const auto request =
+            sim::gate_message(sim::FaultSite::DhcpRequest, id_, now);
+        if (request.kind == Kind::Defer) {
+            // Whole acquisition retries later; the pool holds the
+            // allocation, so re-discovery returns the same address.
+            schedule_timer(now + request.defer);
+            return;
+        }
+        if (request.kind == Kind::Drop ||
+            (request.kind == Kind::Corrupt &&
+             corrupted_exchange_lost(sim::FaultSite::DhcpRequest, id_, now,
+                                     MessageType::Request, offer->address,
+                                     std::nullopt))) {
+            begin_requesting(offer->address);
+            return;
+        }
+        RequestResult result = server_->handle_request(id_, offer->address);
+        if (request.kind == Kind::Duplicate)
+            result = server_->handle_request(id_, offer->address);
         if (result.ack) {
             become_bound(result);
             return;
         }
     }
     // Pool exhausted or raced away; retry later.
-    schedule_timer(sim_->now() + config_.init_retry);
+    schedule_timer(now + config_.init_retry);
+}
+
+void Client::begin_requesting(net::IPv4Address addr) {
+    // REQUEST sent, reply swallowed: retransmit with backoff instead of
+    // stalling (RFC 2131 §3.1.5).
+    state_ = ClientState::Requesting;
+    pending_request_ = addr;
+    request_attempts_ = 1;
+    schedule_timer(sim_->now() + next_backoff());
+}
+
+void Client::resend_request() {
+    if (!pending_request_ || !reachable_()) {
+        abandon_request();
+        return;
+    }
+    const net::TimePoint now = sim_->now();
+    if (!server_->online()) {
+        if (++request_attempts_ > config_.request_retries) {
+            abandon_request();
+            return;
+        }
+        schedule_timer(now + next_backoff());
+        return;
+    }
+    const auto decision =
+        sim::gate_message(sim::FaultSite::DhcpRequest, id_, now);
+    if (decision.kind == Kind::Defer) {
+        schedule_timer(now + decision.defer);
+        return;
+    }
+    if (decision.kind == Kind::Drop ||
+        (decision.kind == Kind::Corrupt &&
+         corrupted_exchange_lost(sim::FaultSite::DhcpRequest, id_, now,
+                                 MessageType::Request, *pending_request_,
+                                 std::nullopt))) {
+        if (++request_attempts_ > config_.request_retries) {
+            abandon_request();
+            return;
+        }
+        schedule_timer(now + next_backoff());
+        return;
+    }
+    const net::IPv4Address addr = *pending_request_;
+    RequestResult result = server_->handle_request(id_, addr);
+    if (decision.kind == Kind::Duplicate)
+        result = server_->handle_request(id_, addr);
+    if (result.ack) {
+        become_bound(result);
+        return;
+    }
+    abandon_request();  // NAK: restart from INIT with a fresh DISCOVER
+}
+
+void Client::abandon_request() {
+    pending_request_.reset();
+    request_attempts_ = 0;
+    state_ = ClientState::Init;
+    try_acquire();  // dormant if unreachable, else a fresh DISCOVER
+}
+
+net::Duration Client::next_backoff() {
+    backoff_ = backoff_.count() <= 0
+                   ? config_.retransmit_base
+                   : std::min(backoff_ + backoff_, config_.retransmit_max);
+    return backoff_;
 }
 
 void Client::become_bound(const RequestResult& result) {
@@ -100,6 +281,9 @@ void Client::become_bound(const RequestResult& result) {
     t2_ = lease_granted_ +
           net::Duration{std::int64_t(lease_len * config_.t2_fraction)};
     state_ = ClientState::Bound;
+    pending_request_.reset();
+    request_attempts_ = 0;
+    backoff_ = net::Duration{0};
     schedule_timer(t1_);
     if (changed && on_acquired_) on_acquired_(result.address);
 }
@@ -114,18 +298,40 @@ void Client::lose_address(LossReason reason) {
 
 void Client::attempt_renew() {
     if (!address_) return;
-    if (reachable_()) {
-        const RequestResult result = server_->handle_renew(id_, *address_);
-        if (result.ack) {
-            become_bound(result);
+    if (reachable_() && server_->online()) {
+        const net::TimePoint now = sim_->now();
+        const auto decision =
+            sim::gate_message(sim::FaultSite::DhcpRenew, id_, now);
+        if (decision.kind == Kind::Defer) {
+            // Jittered, not lost: retry when the jitter clears, no backoff.
+            schedule_timer(std::min(now + decision.defer, lease_expiry_));
             return;
         }
-        // DHCPNAK: administrative refusal; restart immediately.
-        lose_address(LossReason::ServerNak);
-        return;
+        if (decision.kind != Kind::Drop &&
+            !(decision.kind == Kind::Corrupt &&
+              corrupted_exchange_lost(sim::FaultSite::DhcpRenew, id_, now,
+                                      MessageType::Request, std::nullopt,
+                                      *address_))) {
+            RequestResult result = server_->handle_renew(id_, *address_);
+            if (decision.kind == Kind::Duplicate)
+                result = server_->handle_renew(id_, *address_);
+            if (result.ack) {
+                become_bound(result);
+                return;
+            }
+            // DHCPNAK: administrative refusal; restart immediately.
+            lose_address(LossReason::ServerNak);
+            return;
+        }
+        // Exchange swallowed by a fault: same as unreachable, back off.
     }
-    // Unreachable: back off. RFC 2131 §4.4.5 — wait half the remaining
-    // time to T2 (or to expiry when rebinding), floored at min_retry.
+    backoff_renew();
+}
+
+void Client::backoff_renew() {
+    // Unreachable (or silenced): back off. RFC 2131 §4.4.5 — wait half the
+    // remaining time to T2 (or to expiry when rebinding), floored at
+    // min_retry.
     const net::TimePoint now = sim_->now();
     const net::TimePoint deadline =
         state_ == ClientState::Renewing ? t2_ : lease_expiry_;
@@ -158,6 +364,9 @@ void Client::on_timer() {
             break;
         case ClientState::Init:
             try_acquire();
+            break;
+        case ClientState::Requesting:
+            resend_request();
             break;
         case ClientState::Bound:
             state_ = ClientState::Renewing;

@@ -9,15 +9,18 @@
 
 namespace dynaddr::dhcp {
 
-/// DHCP client states (RFC 2131 §4.4 figure 5, minus SELECTING /
-/// REQUESTING transients — transport is a reliable direct call, so OFFER
-/// and ACK arrive "instantly" and those states collapse).
+/// DHCP client states (RFC 2131 §4.4 figure 5, minus the SELECTING
+/// transient — transport is a direct call, so an OFFER arrives "instantly"
+/// with the DISCOVER's reply). REQUESTING is real: the fault layer can
+/// swallow a REQUEST's ACK, and the client must retransmit with backoff
+/// rather than stall (RFC 2131 §3.1.5).
 enum class ClientState {
-    Off,        ///< powered down or not started
-    Init,       ///< no address; waiting for link or retrying acquisition
-    Bound,      ///< address held, renewal timer pending at T1
-    Renewing,   ///< unicast renew attempts, T1..T2
-    Rebinding,  ///< broadcast renew attempts, T2..expiry
+    Off,         ///< powered down or not started
+    Init,        ///< no address; waiting for link or retrying acquisition
+    Requesting,  ///< REQUEST sent, no reply yet; retransmit timer pending
+    Bound,       ///< address held, renewal timer pending at T1
+    Renewing,    ///< unicast renew attempts, T1..T2
+    Rebinding,   ///< broadcast renew attempts, T2..expiry
 };
 
 /// Client configuration.
@@ -30,6 +33,16 @@ struct ClientConfig {
     net::Duration min_retry = net::Duration::seconds(60);
     /// Retry interval for failed initial acquisition while the link is up.
     net::Duration init_retry = net::Duration::seconds(300);
+    /// First retransmission delay after an unanswered DISCOVER/REQUEST
+    /// (RFC 2131 §4.1: 4 s), doubling up to `retransmit_max`. Only fault
+    /// injection can leave an exchange unanswered, so these timers are
+    /// inert in fault-free runs.
+    net::Duration retransmit_base = net::Duration::seconds(4);
+    /// Retransmission backoff cap (RFC 2131 §4.1: 64 s).
+    net::Duration retransmit_max = net::Duration::seconds(64);
+    /// Unanswered REQUEST retransmissions before the client abandons the
+    /// transaction and re-enters INIT with a fresh DISCOVER.
+    int request_retries = 4;
     /// Whether the lease survives a CPE power-cycle (NVRAM) and the client
     /// re-requests it via INIT-REBOOT. When false a reboot forgets the
     /// address — the client behaves like the PPP devices the paper
@@ -78,6 +91,11 @@ private:
     void become_bound(const RequestResult& result);
     void lose_address(LossReason reason);
     void attempt_renew();
+    void backoff_renew();
+    void begin_requesting(net::IPv4Address addr);
+    void resend_request();
+    void abandon_request();
+    [[nodiscard]] net::Duration next_backoff();
     void schedule_timer(net::TimePoint when);
     void cancel_timer();
     void on_timer();
@@ -98,6 +116,12 @@ private:
     net::TimePoint t1_{};
     net::TimePoint t2_{};
     std::optional<sim::EventId> timer_;
+    /// Address of the in-flight REQUEST while in Requesting.
+    std::optional<net::IPv4Address> pending_request_;
+    /// Current retransmission interval; zero = next silence starts at
+    /// retransmit_base. Reset on binding and power transitions.
+    net::Duration backoff_{0};
+    int request_attempts_ = 0;
 };
 
 }  // namespace dynaddr::dhcp

@@ -1,5 +1,6 @@
 #include "dhcp/server.hpp"
 
+#include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
 #include "netcore/rng.hpp"
@@ -45,7 +46,38 @@ net::Duration Server::jittered_max_age(pool::ClientId client,
     return net::Duration{std::int64_t(double(max_age.count()) * factor)};
 }
 
+void Server::crash(bool amnesia) {
+    if (!online_) return;
+    online_ = false;
+    // No process, no expiry sweeps.
+    if (sweep_event_) {
+        sim_->cancel(*sweep_event_);
+        sweep_event_.reset();
+    }
+    if (amnesia) {
+        const net::TimePoint now = sim_->now();
+        for (const auto& lease : leases_.all()) {
+            leases_.revoke(lease.client);
+            pool_->release(lease.client);
+            hold_started_.erase(lease.client);
+            absent_since_[lease.client] = now;
+        }
+        DYNADDR_LOG(Warn, dhcp, "server crashed with lease-state amnesia");
+    } else {
+        DYNADDR_LOG(Warn, dhcp, "server crashed (leases intact)");
+    }
+}
+
+void Server::restart() {
+    if (online_) return;
+    online_ = true;
+    expire_leases();
+    schedule_expiry_sweep();
+    DYNADDR_LOG(Info, dhcp, "server restarted");
+}
+
 std::optional<Offer> Server::handle_discover(pool::ClientId client) {
+    if (!online_) throw Error("DHCP exchange with offline server");
     dhcp_metrics().discover.inc();
     expire_leases();
     // If the client already holds a lease (it may have rebooted and
@@ -78,6 +110,7 @@ std::optional<Offer> Server::handle_discover(pool::ClientId client) {
 
 RequestResult Server::handle_request(pool::ClientId client,
                                      net::IPv4Address requested) {
+    if (!online_) throw Error("DHCP exchange with offline server");
     dhcp_metrics().request.inc();
     expire_leases();
     if (pool_->is_retired(requested)) {
@@ -113,6 +146,7 @@ RequestResult Server::handle_request(pool::ClientId client,
 }
 
 RequestResult Server::handle_renew(pool::ClientId client, net::IPv4Address addr) {
+    if (!online_) throw Error("DHCP exchange with offline server");
     dhcp_metrics().renew.inc();
     expire_leases();
     auto lease = leases_.find(client);
@@ -145,6 +179,7 @@ RequestResult Server::evict(pool::ClientId client) {
 }
 
 void Server::handle_release(pool::ClientId client) {
+    if (!online_) throw Error("DHCP exchange with offline server");
     dhcp_metrics().released.inc();
     expire_leases();
     if (leases_.revoke(client)) {

@@ -54,8 +54,27 @@ public:
     /// RELEASE: client gives the address back voluntarily.
     void handle_release(pool::ClientId client);
 
+    /// Whether the server process is up. Exchanges with an offline server
+    /// throw — callers (the client, which models the network) must check
+    /// first and treat downtime as silence. Always true without fault
+    /// injection.
+    [[nodiscard]] bool online() const { return online_; }
+
+    /// Fault injection: the server process dies. With `amnesia` the
+    /// in-memory lease table is lost — addresses return to the pool (whose
+    /// remembered bindings survive, so sticky reallocation tends to re-offer
+    /// the same address), and clients renew into a server that has never
+    /// heard of them.
+    void crash(bool amnesia);
+
+    /// Fault injection: the server comes back and resumes expiry sweeps.
+    void restart();
+
     /// Active lease count.
     [[nodiscard]] std::size_t active_leases() const { return leases_.size(); }
+
+    /// Every active lease (chaos-test invariant checks).
+    [[nodiscard]] std::vector<pool::Lease> leases() const { return leases_.all(); }
 
     /// The lease a client currently holds, if any.
     [[nodiscard]] std::optional<pool::Lease> lease_of(pool::ClientId client) const;
@@ -82,6 +101,7 @@ private:
     /// When a client's lease last expired/released, for the churn model.
     std::unordered_map<pool::ClientId, net::TimePoint> absent_since_;
     std::optional<sim::EventId> sweep_event_;
+    bool online_ = true;
 };
 
 }  // namespace dynaddr::dhcp

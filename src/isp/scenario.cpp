@@ -1,4 +1,5 @@
 #include <deque>
+#include <unordered_map>
 
 #include "atlas/controller.hpp"
 #include "atlas/probe.hpp"
@@ -90,6 +91,15 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                 " ISPs, window ", config.window.begin.to_string(), " .. ",
                 config.window.end.to_string());
 
+    // Fault layer: a CLI-installed process-global injector wins; otherwise
+    // one is scoped to this run when the config carries a plan. With
+    // neither, every gate below stays a null check.
+    std::optional<sim::ScopedFaultInjector> scoped_faults;
+    if (config.faults && sim::fault_injector() == nullptr)
+        scoped_faults.emplace(*config.faults);
+    sim::FaultInjector* faults = sim::fault_injector();
+    if (faults != nullptr) faults->set_window(config.window);
+
     rng::Stream root(config.seed);
     World world(config.window.begin, root.child("controller"));
     ScenarioResult result;
@@ -127,6 +137,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     atlas::ProbeId next_probe = 1000;
     pool::ClientId next_client = 1;
     std::vector<std::vector<CohortBackend>> backends(config.isps.size());
+    // CPEs behind each BRAS/RADIUS pair: a RADIUS crash is a network
+    // outage for exactly these subscribers.
+    std::unordered_map<ppp::RadiusServer*, std::vector<atlas::Cpe*>>
+        cpes_by_radius;
 
     for (std::size_t i = 0; i < config.isps.size(); ++i) {
         const IspSpec& isp = config.isps[i];
@@ -187,6 +201,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                                         probe_rng.child("cpe"), probe, timeline,
                                         backend.dhcp, backend.radius);
                 atlas::Cpe& cpe = world.cpes.back();
+                if (backend.radius != nullptr)
+                    cpes_by_radius[backend.radius].push_back(&cpe);
 
                 ProbeTruth truth;
                 truth.probe = probe_id;
@@ -250,6 +266,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                                     probe, timeline, backends[from][0].dhcp,
                                     backends[from][0].radius);
             atlas::Cpe& cpe = world.cpes.back();
+            if (backends[from][0].radius != nullptr)
+                cpes_by_radius[backends[from][0].radius].push_back(&cpe);
 
             world.sim.at(config.window.begin, [&cpe](net::TimePoint) { cpe.start(); });
             // Move house somewhere in the middle third of the window.
@@ -284,6 +302,96 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     // -- firmware -------------------------------------------------------------
     for (net::TimePoint release : config.firmware_releases)
         world.controller.schedule_firmware_release(release);
+
+    // -- component fault schedules --------------------------------------------
+    // Generated once per component, deterministically; scheduling order
+    // cannot perturb the draws (each schedule has its own stream).
+    if (faults != nullptr) {
+        obs::Counter& dhcp_crashes = obs::counter("faults.dhcp_server.crashes");
+        obs::Counter& radius_crashes =
+            obs::counter("faults.radius_server.crashes");
+        obs::Counter& exhaustions = obs::counter("faults.pool.exhaustions");
+        obs::Counter& power_cycles = obs::counter("faults.cpe.power_cycles");
+
+        std::uint64_t index = 0;
+        for (auto& server : world.dhcp_servers) {
+            // A DHCP server crash is silent for subscribers: held leases
+            // keep working, and clients meet the dead server (as silence)
+            // at their next exchange.
+            for (const auto& event : faults->crash_schedule(
+                     sim::FaultSite::DhcpServer, index, config.window)) {
+                world.sim.at(event.at, [&server, &dhcp_crashes,
+                                        amnesia = event.amnesia](net::TimePoint) {
+                    dhcp_crashes.inc();
+                    server.crash(amnesia);
+                });
+                world.sim.at(event.at + event.downtime,
+                             [&server](net::TimePoint) { server.restart(); });
+            }
+            ++index;
+        }
+        index = 0;
+        for (auto& server : world.radius_servers) {
+            // A BRAS/RADIUS crash takes the access network down for its
+            // subscribers: sessions drop (their Accounting-Stops go
+            // nowhere — the server is dead) and redial on restore.
+            std::vector<atlas::Cpe*> attached;
+            if (auto it = cpes_by_radius.find(&server);
+                it != cpes_by_radius.end())
+                attached = it->second;
+            for (const auto& event : faults->crash_schedule(
+                     sim::FaultSite::RadiusServer, index, config.window)) {
+                world.sim.at(event.at,
+                             [&server, &radius_crashes, attached,
+                              amnesia = event.amnesia](net::TimePoint) {
+                                 radius_crashes.inc();
+                                 server.crash(amnesia);
+                                 for (atlas::Cpe* cpe : attached)
+                                     cpe->net_fail();
+                             });
+                world.sim.at(event.at + event.downtime,
+                             [&server, attached](net::TimePoint) {
+                                 server.restart();
+                                 for (atlas::Cpe* cpe : attached)
+                                     cpe->net_restore();
+                             });
+            }
+            ++index;
+        }
+        index = 0;
+        for (auto& pool : world.pools) {
+            for (const auto& window : faults->exhaustion_schedule(
+                     index, config.window)) {
+                world.sim.at(window.at, [&pool, &exhaustions](net::TimePoint) {
+                    exhaustions.inc();
+                    pool.set_fault_exhausted(true);
+                });
+                world.sim.at(window.at + window.duration, [&pool](net::TimePoint) {
+                    pool.set_fault_exhausted(false);
+                });
+            }
+            ++index;
+        }
+        const auto storms = faults->storm_schedule(config.window);
+        for (std::size_t s = 0; s < storms.size(); ++s) {
+            std::uint64_t cpe_index = 0;
+            for (auto& cpe : world.cpes) {
+                if (auto hit = faults->storm_hit(s, cpe_index)) {
+                    world.sim.at(storms[s] + hit->offset,
+                                 [&cpe, &power_cycles](net::TimePoint) {
+                                     power_cycles.inc();
+                                     cpe.power_fail();
+                                 });
+                    world.sim.at(storms[s] + hit->offset + hit->downtime,
+                                 [&cpe](net::TimePoint) { cpe.power_restore(); });
+                }
+                ++cpe_index;
+            }
+        }
+        if (!storms.empty())
+            DYNADDR_LOG(Info, scenario, "fault layer scheduled ",
+                        storms.size(), " power-cycle storms");
+    }
 
     // -- run -------------------------------------------------------------------
     const std::uint64_t run_start_us = obs::trace_now_us();

@@ -15,6 +15,7 @@
 #include "bgp/prefix_table.hpp"
 #include "isp/outage_model.hpp"
 #include "ppp/radius.hpp"
+#include "sim/faults.hpp"
 
 namespace dynaddr::isp {
 
@@ -111,6 +112,12 @@ struct ScenarioConfig {
     /// runs for experiments that only need connection logs).
     std::optional<atlas::KRootSamplingPolicy> kroot;
     std::uint64_t seed = 2015;
+    /// Deterministic fault plan for this run. Unset (the default) means no
+    /// injector is created and every fault gate is a null check, so
+    /// fingerprints match a fault-free build byte for byte. When the CLI
+    /// has already installed a process-global injector, that one wins and
+    /// this field is ignored.
+    std::optional<sim::FaultPlan> faults;
 };
 
 /// Ground truth about one probe, for validation; never fed to analysis.

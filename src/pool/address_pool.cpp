@@ -122,6 +122,10 @@ std::optional<net::IPv4Address> AddressPool::allocate(
     // (lease renewal).
     if (auto held = address_of(client)) return held;
 
+    // Fault-injected exhaustion: renewals above still succeed, but no
+    // fresh address leaves the pool.
+    if (fault_exhausted_) return std::nullopt;
+
     std::optional<net::IPv4Address> previous;
     if (auto it = remembered_binding_.find(client); it != remembered_binding_.end())
         previous = it->second;

@@ -105,6 +105,11 @@ public:
     /// servers use this to refuse lease renewals after a renumbering.
     [[nodiscard]] bool is_retired(net::IPv4Address addr) const;
 
+    /// Fault injection: while set, allocate() behaves as if every address
+    /// were taken (nullopt). Releases and held addresses are unaffected.
+    void set_fault_exhausted(bool exhausted) { fault_exhausted_ = exhausted; }
+    [[nodiscard]] bool fault_exhausted() const { return fault_exhausted_; }
+
     [[nodiscard]] std::size_t free_count() const { return total_free_; }
     [[nodiscard]] std::size_t allocated_count() const { return holder_by_addr_.size(); }
     [[nodiscard]] std::size_t capacity() const { return total_free_ + allocated_count(); }
@@ -137,6 +142,7 @@ private:
 
     PoolConfig config_;
     rng::Stream rng_;
+    bool fault_exhausted_ = false;
     std::vector<bool> prefix_enabled_;
     // Free addresses per prefix with O(1) random removal.
     std::vector<std::vector<net::IPv4Address>> free_by_prefix_;

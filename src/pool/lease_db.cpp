@@ -1,5 +1,7 @@
 #include "pool/lease_db.hpp"
 
+#include <algorithm>
+
 #include "netcore/error.hpp"
 #include "netcore/obs/metrics.hpp"
 
@@ -90,6 +92,15 @@ std::vector<Lease> LeaseDb::expire_until(net::TimePoint now) {
 std::optional<net::TimePoint> LeaseDb::next_expiry() const {
     if (by_expiry_.empty()) return std::nullopt;
     return by_expiry_.begin()->first;
+}
+
+std::vector<Lease> LeaseDb::all() const {
+    std::vector<Lease> leases;
+    leases.reserve(by_client_.size());
+    for (const auto& [client, lease] : by_client_) leases.push_back(lease);
+    std::sort(leases.begin(), leases.end(),
+              [](const Lease& a, const Lease& b) { return a.client < b.client; });
+    return leases;
 }
 
 void LeaseDb::unindex(const Lease& lease) {

@@ -51,6 +51,9 @@ public:
     /// Time of the earliest expiry, if any lease is active.
     [[nodiscard]] std::optional<net::TimePoint> next_expiry() const;
 
+    /// Every active lease, ordered by client id (deterministic).
+    [[nodiscard]] std::vector<Lease> all() const;
+
     [[nodiscard]] std::size_t size() const { return by_client_.size(); }
 
 private:

@@ -1,5 +1,8 @@
 #include "ppp/radius.hpp"
 
+#include <algorithm>
+
+#include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
 
@@ -26,8 +29,34 @@ RadiusServer::RadiusServer(RadiusConfig config, pool::AddressPool& pool,
                            sim::Simulation& sim)
     : config_(config), pool_(&pool), sim_(&sim) {}
 
+void RadiusServer::crash(bool amnesia) {
+    if (!online_) return;
+    online_ = false;
+    if (amnesia) {
+        // Open sessions vanish without Accounting-Stops: addresses return
+        // to the pool, but the records are lost forever.
+        std::vector<pool::ClientId> clients;
+        clients.reserve(open_.size());
+        for (const auto& [client, session] : open_) clients.push_back(client);
+        std::sort(clients.begin(), clients.end());
+        for (pool::ClientId client : clients) pool_->release(client);
+        open_.clear();
+        DYNADDR_LOG(Warn, radius, "server crashed with session amnesia (",
+                    clients.size(), " sessions lost)");
+    } else {
+        DYNADDR_LOG(Warn, radius, "server crashed (sessions intact)");
+    }
+}
+
+void RadiusServer::restart() {
+    if (online_) return;
+    online_ = true;
+    DYNADDR_LOG(Info, radius, "server restarted");
+}
+
 std::optional<RadiusServer::AccessAccept> RadiusServer::authorize(
     pool::ClientId client) {
+    if (!online_) throw Error("RADIUS exchange with offline server");
     // A duplicate Access-Request for an open session tears the old one
     // down first (a real BRAS would reject or kill the stale session).
     if (open_.contains(client)) account_stop(client, StopReason::AdminReset);
@@ -46,6 +75,7 @@ std::optional<RadiusServer::AccessAccept> RadiusServer::authorize(
 }
 
 void RadiusServer::account_stop(pool::ClientId client, StopReason reason) {
+    if (!online_) throw Error("RADIUS exchange with offline server");
     auto it = open_.find(client);
     if (it == open_.end()) return;
     records_.push_back(AccountingRecord{client, it->second.address,

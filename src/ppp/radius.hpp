@@ -63,6 +63,20 @@ public:
     /// Accounting-Stop: ends the client's session, releasing its address.
     void account_stop(pool::ClientId client, StopReason reason);
 
+    /// Whether the BRAS/RADIUS pair is up. Exchanges with an offline
+    /// server throw — callers treat downtime as silence. Always true
+    /// without fault injection.
+    [[nodiscard]] bool online() const { return online_; }
+
+    /// Fault injection: the server dies. With `amnesia` every open session
+    /// is forgotten *without* an accounting record — the address returns to
+    /// the pool but the stop is lost, the gap the paper flags in real
+    /// RADIUS logs.
+    void crash(bool amnesia);
+
+    /// Fault injection: the server comes back.
+    void restart();
+
     /// All completed sessions, in stop order.
     [[nodiscard]] const std::vector<AccountingRecord>& records() const {
         return records_;
@@ -84,6 +98,7 @@ private:
     sim::Simulation* sim_;
     std::unordered_map<pool::ClientId, OpenSession> open_;
     std::vector<AccountingRecord> records_;
+    bool online_ = true;
 };
 
 }  // namespace dynaddr::ppp

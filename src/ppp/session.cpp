@@ -1,7 +1,12 @@
 #include "ppp/session.hpp"
 
+#include <algorithm>
+
+#include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
+#include "ppp/pppoe_wire.hpp"
+#include "sim/faults.hpp"
 
 DYNADDR_LOG_MODULE(ppp);
 
@@ -20,6 +25,31 @@ struct SessionMetrics {
 SessionMetrics& session_metrics() {
     static SessionMetrics metrics;
     return metrics;
+}
+
+using Kind = sim::MessageDecision::Kind;
+
+/// Round-trips the PADI opening this discovery through fault corruption
+/// and reports whether the access concentrator would still answer: a
+/// mutation that breaks parsing (or mangles the tags) goes unanswered.
+bool corrupted_dial_lost(pool::ClientId id, net::TimePoint now) {
+    sim::FaultInjector* injector = sim::fault_injector();
+    if (injector == nullptr) return false;
+    PppoePacket padi;
+    padi.code = PppoeCode::Padi;
+    padi.add_tag(PppoeTag::kServiceName, "");
+    std::string uniq;
+    const std::uint64_t token = id ^ std::uint64_t(now.unix_seconds());
+    for (int i = 0; i < 8; ++i) uniq.push_back(char(token >> (8 * i)));
+    padi.add_tag(PppoeTag::kHostUniq, uniq);
+    auto bytes = encode(padi);
+    if (!injector->corrupt_wire(sim::FaultSite::RadiusAuthorize, id, bytes))
+        return true;
+    try {
+        return !(decode(bytes) == padi);
+    } catch (const ParseError&) {
+        return true;
+    }
 }
 
 const char* stop_reason_name(StopReason reason) {
@@ -78,18 +108,40 @@ void Session::dial() {
         phase_ = Phase::Dead;  // wait for link_restored()
         return;
     }
+    const net::TimePoint now = sim_->now();
+    if (!server_->online()) {
+        // BRAS down: silence. Redial with exponential backoff, capped.
+        phase_ = Phase::Dead;
+        schedule_redial(next_redial_backoff());
+        return;
+    }
+    const auto decision =
+        sim::gate_message(sim::FaultSite::RadiusAuthorize, id_, now);
+    if (decision.kind == Kind::Defer) {
+        // Jittered, not lost: the whole discovery retries when it clears,
+        // without growing the backoff.
+        phase_ = Phase::Dead;
+        schedule_redial(decision.defer);
+        return;
+    }
+    if (decision.kind == Kind::Drop ||
+        (decision.kind == Kind::Corrupt && corrupted_dial_lost(id_, now))) {
+        phase_ = Phase::Dead;
+        schedule_redial(next_redial_backoff());
+        return;
+    }
+    // Duplicate Access-Requests are absorbed by the BRAS's own stale-
+    // session teardown, so a Duplicate decision delivers once.
     session_metrics().dials.inc();
     // LCP establish -> authenticate (PAP/CHAP) -> IPCP address assignment.
     phase_ = Phase::Establish;
     phase_ = Phase::Authenticate;
     auto accept = server_->authorize(id_);
+    redial_backoff_ = net::Duration{0};  // a definitive reply either way
     if (!accept) {
         // Access-Reject / pool exhausted: retry after the redial delay.
         phase_ = Phase::Dead;
-        redial_event_ = sim_->after(config_.redial_delay, [this](net::TimePoint) {
-            redial_event_.reset();
-            dial();
-        });
+        schedule_redial(config_.redial_delay);
         return;
     }
     phase_ = Phase::Network;
@@ -102,21 +154,44 @@ void Session::dial() {
     if (on_acquired_) on_acquired_(accept->address);
 }
 
+void Session::schedule_redial(net::Duration delay) {
+    if (redial_event_) sim_->cancel(*redial_event_);
+    redial_event_ = sim_->after(delay, [this](net::TimePoint) {
+        redial_event_.reset();
+        dial();
+    });
+}
+
+net::Duration Session::next_redial_backoff() {
+    redial_backoff_ = redial_backoff_.count() <= 0
+                          ? config_.redial_delay
+                          : std::min(redial_backoff_ + redial_backoff_,
+                                     config_.redial_max);
+    return redial_backoff_;
+}
+
 void Session::drop(StopReason reason, bool redial) {
     session_metrics().dropped.inc();
     DYNADDR_LOG(Debug, ppp, "session ", id_, " dropped: ",
                 stop_reason_name(reason));
     cancel_timers();
-    server_->account_stop(id_, reason);
+    if (server_->online()) {
+        // Accounting-Stop is fire-and-forget: a swallowed one leaves a
+        // stale open session for the next Access-Request to tear down (as
+        // AdminReset). Defer ≈ deliver — it arrives, just late.
+        const auto decision = sim::gate_message(
+            sim::FaultSite::RadiusAccounting, id_, sim_->now());
+        if (decision.kind != Kind::Drop &&
+            decision.kind != Kind::Corrupt) {
+            server_->account_stop(id_, reason);
+            if (decision.kind == Kind::Duplicate)
+                server_->account_stop(id_, reason);  // replay is a no-op
+        }
+    }
     address_.reset();
     phase_ = Phase::Dead;
     if (on_lost_) on_lost_(reason);
-    if (redial && powered_) {
-        redial_event_ = sim_->after(config_.redial_delay, [this](net::TimePoint) {
-            redial_event_.reset();
-            dial();
-        });
-    }
+    if (redial && powered_) schedule_redial(config_.redial_delay);
 }
 
 void Session::schedule_timeout(net::Duration timeout) {

@@ -24,6 +24,11 @@ struct SessionConfig {
     /// Delay between losing a session and redialing once the link allows
     /// (CPE auto-reconnect, typically seconds).
     net::Duration redial_delay = net::Duration::seconds(15);
+    /// Cap on the exponential redial backoff used when the BRAS goes
+    /// *silent* (fault injection: lost Access-Request or dead server).
+    /// A definitive Access-Reject keeps the flat `redial_delay`, so this
+    /// knob is inert in fault-free runs.
+    net::Duration redial_max = net::Duration::minutes(16);
 };
 
 /// A PPP(oE) client session for one CPE WAN interface.
@@ -67,9 +72,11 @@ public:
 private:
     void dial();
     void drop(StopReason reason, bool redial);
+    void schedule_redial(net::Duration delay);
     void schedule_timeout(net::Duration timeout);
     void on_session_timeout();
     void cancel_timers();
+    [[nodiscard]] net::Duration next_redial_backoff();
 
     SessionConfig config_;
     pool::ClientId id_;
@@ -85,6 +92,9 @@ private:
     std::optional<net::IPv4Address> address_;
     std::optional<sim::EventId> timeout_event_;
     std::optional<sim::EventId> redial_event_;
+    /// Current silence backoff; zero = next silence starts at redial_delay.
+    /// Reset by any definitive reply (Accept or Reject).
+    net::Duration redial_backoff_{0};
 };
 
 }  // namespace dynaddr::ppp

@@ -1,0 +1,563 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+
+DYNADDR_LOG_MODULE(faults);
+
+namespace dynaddr::sim {
+
+namespace {
+
+constexpr net::TimePoint kNever{std::numeric_limits<std::int64_t>::max()};
+
+/// Injection counters, one set per access link plus the input side.
+struct FaultMetrics {
+    obs::Counter& dhcp_dropped = obs::counter("faults.dhcp.dropped");
+    obs::Counter& dhcp_deferred = obs::counter("faults.dhcp.deferred");
+    obs::Counter& dhcp_corrupted = obs::counter("faults.dhcp.corrupted");
+    obs::Counter& dhcp_duplicated = obs::counter("faults.dhcp.duplicated");
+    obs::Counter& ppp_dropped = obs::counter("faults.ppp.dropped");
+    obs::Counter& ppp_deferred = obs::counter("faults.ppp.deferred");
+    obs::Counter& ppp_corrupted = obs::counter("faults.ppp.corrupted");
+    obs::Counter& ppp_duplicated = obs::counter("faults.ppp.duplicated");
+    obs::Counter& csv_garbled = obs::counter("faults.csv.rows_garbled");
+};
+
+FaultMetrics& fault_metrics() {
+    static FaultMetrics metrics;
+    return metrics;
+}
+
+FaultInjector* g_injector = nullptr;
+
+FaultLink link_for(FaultSite site) {
+    switch (site) {
+        case FaultSite::DhcpDiscover:
+        case FaultSite::DhcpRequest:
+        case FaultSite::DhcpRenew:
+        case FaultSite::DhcpRelease:
+            return FaultLink::Dhcp;
+        case FaultSite::RadiusAuthorize:
+        case FaultSite::RadiusAccounting:
+            return FaultLink::Ppp;
+        default:
+            throw Error("fault site has no message link");
+    }
+}
+
+void count_decision(FaultLink link, MessageDecision::Kind kind) {
+    FaultMetrics& metrics = fault_metrics();
+    const bool dhcp = link == FaultLink::Dhcp;
+    switch (kind) {
+        case MessageDecision::Kind::Drop:
+            (dhcp ? metrics.dhcp_dropped : metrics.ppp_dropped).inc();
+            break;
+        case MessageDecision::Kind::Defer:
+            (dhcp ? metrics.dhcp_deferred : metrics.ppp_deferred).inc();
+            break;
+        case MessageDecision::Kind::Corrupt:
+            (dhcp ? metrics.dhcp_corrupted : metrics.ppp_corrupted).inc();
+            break;
+        case MessageDecision::Kind::Duplicate:
+            (dhcp ? metrics.dhcp_duplicated : metrics.ppp_duplicated).inc();
+            break;
+        case MessageDecision::Kind::Deliver:
+            break;
+    }
+}
+
+double parse_number(const std::string& key, const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) throw Error("trailing junk");
+        return parsed;
+    } catch (const std::exception&) {
+        throw Error("bad fault-plan value '" + value + "' for '" + key + "'");
+    }
+}
+
+void apply_key(FaultPlan& plan, const std::string& key,
+               const std::string& value) {
+    const double v = key == "seed" ? 0.0 : parse_number(key, value);
+    auto message_key = [&](MessageFaults& link,
+                           std::string_view suffix) -> bool {
+        if (suffix == "drop") link.drop = v;
+        else if (suffix == "dup") link.duplicate = v;
+        else if (suffix == "delay") link.delay = v;
+        else if (suffix == "delay-mean") link.delay_mean_s = v;
+        else if (suffix == "corrupt") link.corrupt = v;
+        else if (suffix == "burst-p") link.burst_p = v;
+        else if (suffix == "burst-r") link.burst_r = v;
+        else if (suffix == "burst-drop") link.burst_drop = v;
+        else return false;
+        return true;
+    };
+    auto crash_key = [&](CrashFaults& crash, std::string_view suffix) -> bool {
+        if (suffix == "rate") crash.crashes_per_day = v;
+        else if (suffix == "down-mean") crash.downtime_mean_s = v;
+        else if (suffix == "amnesia") crash.amnesia = v;
+        else return false;
+        return true;
+    };
+
+    if (key == "seed") {
+        try {
+            plan.seed = std::stoull(value);
+        } catch (const std::exception&) {
+            throw Error("bad fault-plan seed '" + value + "'");
+        }
+        return;
+    }
+    if (key == "active") {
+        if (v <= 0.0 || v > 1.0)
+            throw Error("fault-plan 'active' must be in (0, 1]");
+        plan.active_fraction = v;
+        return;
+    }
+    if (key.rfind("dhcp.", 0) == 0 && message_key(plan.dhcp, key.substr(5)))
+        return;
+    if (key.rfind("ppp.", 0) == 0 && message_key(plan.ppp, key.substr(4)))
+        return;
+    if (key.rfind("dhcp-server.", 0) == 0 &&
+        crash_key(plan.dhcp_server, key.substr(12)))
+        return;
+    if (key.rfind("radius-server.", 0) == 0 &&
+        crash_key(plan.radius_server, key.substr(14)))
+        return;
+    if (key == "pool.rate") { plan.exhaustion.windows_per_day = v; return; }
+    if (key == "pool.down-mean") { plan.exhaustion.duration_mean_s = v; return; }
+    if (key == "cpe.rate") { plan.storms.storms_per_day = v; return; }
+    if (key == "cpe.fraction") { plan.storms.cpe_fraction = v; return; }
+    if (key == "cpe.down-mean") { plan.storms.downtime_mean_s = v; return; }
+    if (key == "cpe.spread") { plan.storms.spread_s = v; return; }
+    if (key == "csv.rate") { plan.csv.row_rate = v; return; }
+    throw Error("unknown fault-plan key '" + key + "'");
+}
+
+void apply_profile(FaultPlan& plan, const std::string& name) {
+    auto lossy = [&] { plan.dhcp.drop = 0.15; plan.ppp.drop = 0.15; };
+    auto bursty = [&] {
+        for (MessageFaults* link : {&plan.dhcp, &plan.ppp}) {
+            link->burst_p = 0.05;
+            link->burst_r = 0.3;
+            link->burst_drop = 0.9;
+        }
+    };
+    auto flaky = [&] {
+        for (MessageFaults* link : {&plan.dhcp, &plan.ppp}) {
+            link->delay = 0.2;
+            link->delay_mean_s = 5.0;
+            link->duplicate = 0.05;
+            link->corrupt = 0.05;
+        }
+    };
+    auto crashy = [&] {
+        plan.dhcp_server = {4.0, 1800.0, 0.5};
+        plan.radius_server = {4.0, 600.0, 0.5};
+    };
+    auto storms = [&] { plan.storms = {2.0, 0.3, 180.0, 900.0}; };
+    auto exhaustion = [&] { plan.exhaustion = {2.0, 3600.0}; };
+    auto garbage = [&] { plan.csv.row_rate = 0.02; };
+
+    if (name == "lossy") lossy();
+    else if (name == "bursty") bursty();
+    else if (name == "flaky") flaky();
+    else if (name == "crashy") crashy();
+    else if (name == "storms") storms();
+    else if (name == "exhaustion") exhaustion();
+    else if (name == "garbage") garbage();
+    else if (name == "chaos") {
+        plan.dhcp.drop = plan.ppp.drop = 0.08;
+        bursty();
+        flaky();
+        plan.dhcp_server = {2.0, 900.0, 0.5};
+        plan.radius_server = {2.0, 600.0, 0.5};
+        plan.storms = {1.0, 0.2, 180.0, 900.0};
+        plan.exhaustion = {1.0, 1800.0};
+        garbage();
+    } else {
+        throw Error("unknown fault profile '" + name + "'");
+    }
+}
+
+std::string trimmed(std::string_view text) {
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) return {};
+    const auto last = text.find_last_not_of(" \t\r");
+    return std::string(text.substr(first, last - first + 1));
+}
+
+void append_number(std::string& out, const char* key, double value,
+                   double base) {
+    if (value == base) return;
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%s=%.17g", key, value);
+    if (!out.empty()) out.push_back(',');
+    out += buffer;
+}
+
+void append_message(std::string& out, const char* prefix,
+                    const MessageFaults& link) {
+    const MessageFaults base;
+    auto key = [&](const char* suffix) {
+        return std::string(prefix) + "." + suffix;
+    };
+    append_number(out, key("drop").c_str(), link.drop, base.drop);
+    append_number(out, key("dup").c_str(), link.duplicate, base.duplicate);
+    append_number(out, key("delay").c_str(), link.delay, base.delay);
+    append_number(out, key("delay-mean").c_str(), link.delay_mean_s,
+                  base.delay_mean_s);
+    append_number(out, key("corrupt").c_str(), link.corrupt, base.corrupt);
+    append_number(out, key("burst-p").c_str(), link.burst_p, base.burst_p);
+    append_number(out, key("burst-r").c_str(), link.burst_r, base.burst_r);
+    append_number(out, key("burst-drop").c_str(), link.burst_drop,
+                  base.burst_drop);
+}
+
+void append_crash(std::string& out, const char* prefix,
+                  const CrashFaults& crash) {
+    const CrashFaults base;
+    auto key = [&](const char* suffix) {
+        return std::string(prefix) + "." + suffix;
+    };
+    append_number(out, key("rate").c_str(), crash.crashes_per_day,
+                  base.crashes_per_day);
+    append_number(out, key("down-mean").c_str(), crash.downtime_mean_s,
+                  base.downtime_mean_s);
+    append_number(out, key("amnesia").c_str(), crash.amnesia, base.amnesia);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+    switch (site) {
+        case FaultSite::DhcpDiscover: return "dhcp.discover";
+        case FaultSite::DhcpRequest: return "dhcp.request";
+        case FaultSite::DhcpRenew: return "dhcp.renew";
+        case FaultSite::DhcpRelease: return "dhcp.release";
+        case FaultSite::RadiusAuthorize: return "radius.authorize";
+        case FaultSite::RadiusAccounting: return "radius.accounting";
+        case FaultSite::DhcpServer: return "dhcp.server";
+        case FaultSite::RadiusServer: return "radius.server";
+        case FaultSite::Pool: return "pool";
+        case FaultSite::Cpe: return "cpe";
+        case FaultSite::Csv: return "csv";
+    }
+    return "?";
+}
+
+bool FaultPlan::any() const {
+    return dhcp.any() || ppp.any() || dhcp_server.any() ||
+           radius_server.any() || exhaustion.any() || storms.any() ||
+           csv.any();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+    FaultPlan plan;
+    // Files arrive as multi-line text: strip #-comments, then treat
+    // newlines like commas.
+    std::istringstream lines(spec);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::size_t pos = 0;
+        while (pos <= line.size()) {
+            auto comma = line.find(',', pos);
+            if (comma == std::string::npos) comma = line.size();
+            const std::string token =
+                trimmed(std::string_view(line).substr(pos, comma - pos));
+            pos = comma + 1;
+            if (token.empty()) continue;
+            if (const auto eq = token.find('='); eq != std::string::npos)
+                apply_key(plan, trimmed(token.substr(0, eq)),
+                          trimmed(token.substr(eq + 1)));
+            else
+                apply_profile(plan, token);
+        }
+    }
+    return plan;
+}
+
+std::string FaultPlan::to_string() const {
+    const FaultPlan base;
+    std::string out;
+    if (seed != base.seed) out += "seed=" + std::to_string(seed);
+    append_number(out, "active", active_fraction, base.active_fraction);
+    append_message(out, "dhcp", dhcp);
+    append_message(out, "ppp", ppp);
+    append_crash(out, "dhcp-server", dhcp_server);
+    append_crash(out, "radius-server", radius_server);
+    append_number(out, "pool.rate", exhaustion.windows_per_day, 0.0);
+    append_number(out, "pool.down-mean", exhaustion.duration_mean_s, 3600.0);
+    append_number(out, "cpe.rate", storms.storms_per_day, 0.0);
+    append_number(out, "cpe.fraction", storms.cpe_fraction, 0.25);
+    append_number(out, "cpe.down-mean", storms.downtime_mean_s, 180.0);
+    append_number(out, "cpe.spread", storms.spread_s, 900.0);
+    append_number(out, "csv.rate", csv.row_rate, 0.0);
+    return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan), root_(plan.seed), horizon_(kNever) {}
+
+void FaultInjector::set_window(net::TimeInterval window) {
+    const double length = double(window.length().count());
+    horizon_ = window.begin +
+               net::Duration{std::int64_t(length * plan_.active_fraction)};
+}
+
+FaultInjector::LinkState& FaultInjector::link_state(FaultLink link,
+                                                    std::uint64_t entity) {
+    auto& links = link == FaultLink::Dhcp ? dhcp_links_ : ppp_links_;
+    auto it = links.find(entity);
+    if (it == links.end()) {
+        const char* name = link == FaultLink::Dhcp ? "dhcp-link" : "ppp-link";
+        it = links.emplace(entity,
+                           LinkState{root_.child(name).child(entity), false})
+                 .first;
+    }
+    return it->second;
+}
+
+MessageDecision FaultInjector::on_message(FaultSite site, std::uint64_t entity,
+                                          net::TimePoint now) {
+    const FaultLink link = link_for(site);
+    if (auto forced = forced_.find(site); forced != forced_.end()) {
+        MessageDecision decision{forced->second, net::Duration{0}};
+        if (decision.kind == MessageDecision::Kind::Defer)
+            decision.defer = net::Duration{
+                std::max<std::int64_t>(1, std::int64_t(faults_for(link).delay_mean_s))};
+        count_decision(link, decision.kind);
+        return decision;
+    }
+    if (now >= horizon_) return {};
+    const MessageFaults& faults = faults_for(link);
+    if (!faults.any()) return {};
+
+    LinkState& state = link_state(link, entity);
+    MessageDecision decision;
+    bool dropped = false;
+    if (faults.burst_p > 0) {
+        // Gilbert-Elliott: advance the chain once per message.
+        if (state.burst_bad) {
+            if (state.stream.bernoulli(faults.burst_r)) state.burst_bad = false;
+        } else {
+            if (state.stream.bernoulli(faults.burst_p)) state.burst_bad = true;
+        }
+        if (state.burst_bad && state.stream.bernoulli(faults.burst_drop))
+            dropped = true;
+    }
+    if (!dropped && faults.drop > 0 && state.stream.bernoulli(faults.drop))
+        dropped = true;
+    if (dropped) {
+        decision.kind = MessageDecision::Kind::Drop;
+    } else if (faults.corrupt > 0 && state.stream.bernoulli(faults.corrupt)) {
+        decision.kind = MessageDecision::Kind::Corrupt;
+    } else if (faults.delay > 0 && state.stream.bernoulli(faults.delay)) {
+        decision.kind = MessageDecision::Kind::Defer;
+        decision.defer = net::Duration{std::max<std::int64_t>(
+            1, std::int64_t(state.stream.exponential(faults.delay_mean_s)))};
+    } else if (faults.duplicate > 0 &&
+               state.stream.bernoulli(faults.duplicate)) {
+        decision.kind = MessageDecision::Kind::Duplicate;
+    }
+    if (decision.kind != MessageDecision::Kind::Deliver) {
+        count_decision(link, decision.kind);
+        DYNADDR_LOG(Trace, faults, "message fault at ", fault_site_name(site),
+                    " entity ", entity, ": kind ", int(decision.kind));
+    }
+    return decision;
+}
+
+bool FaultInjector::corrupt_wire(FaultSite site, std::uint64_t entity,
+                                 std::vector<std::uint8_t>& bytes) {
+    LinkState& state = link_state(link_for(site), entity);
+    rng::Stream& stream = state.stream;
+    const auto op = stream.uniform_int(0, 2);
+    if (op == 0 && !bytes.empty()) {
+        // Flip 1..4 bytes.
+        const auto flips = stream.uniform_int(1, 4);
+        for (std::int64_t i = 0; i < flips; ++i) {
+            const auto pos = std::size_t(
+                stream.uniform_int(0, std::int64_t(bytes.size()) - 1));
+            bytes[pos] ^= std::uint8_t(stream.uniform_int(1, 255));
+        }
+    } else if (op == 1 && !bytes.empty()) {
+        // Truncate.
+        bytes.resize(std::size_t(
+            stream.uniform_int(0, std::int64_t(bytes.size()) - 1)));
+    } else {
+        // Extend with trailing garbage.
+        const auto extra = stream.uniform_int(1, 8);
+        for (std::int64_t i = 0; i < extra; ++i)
+            bytes.push_back(std::uint8_t(stream.uniform_int(0, 255)));
+    }
+    return !bytes.empty();
+}
+
+void FaultInjector::corrupt_csv(std::string& text) {
+    if (!plan_.csv.any()) return;
+    rng::Stream stream = root_.child("csv").child(
+        std::uint64_t(text.size()) ^ (std::uint64_t(text.size()) << 17));
+    std::string out;
+    out.reserve(text.size() + 64);
+    std::size_t pos = 0;
+    bool header = true;
+    std::uint64_t garbled = 0;
+    while (pos < text.size()) {
+        auto eol = text.find('\n', pos);
+        if (eol == std::string::npos) eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (!header && !line.empty() &&
+            stream.bernoulli(plan_.csv.row_rate)) {
+            ++garbled;
+            switch (stream.uniform_int(0, 3)) {
+                case 0:  // truncate the row
+                    line.resize(std::size_t(stream.uniform_int(
+                        0, std::int64_t(line.size()) - 1)));
+                    break;
+                case 1: {  // garble a few bytes
+                    const auto hits = stream.uniform_int(1, 6);
+                    for (std::int64_t i = 0; i < hits && !line.empty(); ++i) {
+                        const auto at = std::size_t(stream.uniform_int(
+                            0, std::int64_t(line.size()) - 1));
+                        char byte = char(stream.uniform_int(1, 255));
+                        if (byte == '\n') byte = '?';
+                        line[at] = byte;
+                    }
+                    break;
+                }
+                case 2: {  // eat one delimiter
+                    if (const auto comma = line.find(',');
+                        comma != std::string::npos)
+                        line.erase(comma, 1);
+                    break;
+                }
+                default: {  // splice: split the row mid-field
+                    if (!line.empty())
+                        line.insert(std::size_t(stream.uniform_int(
+                                        0, std::int64_t(line.size()) - 1)),
+                                    1, '\n');
+                    break;
+                }
+            }
+        }
+        header = false;
+        out += line;
+        out.push_back('\n');
+    }
+    fault_metrics().csv_garbled.inc(garbled);
+    if (garbled > 0)
+        DYNADDR_LOG(Debug, faults, "garbled ", garbled, " CSV rows");
+    text = std::move(out);
+}
+
+std::vector<FaultInjector::CrashEvent> FaultInjector::crash_schedule(
+    FaultSite site, std::uint64_t index, net::TimeInterval window) {
+    const CrashFaults& crash = site == FaultSite::DhcpServer
+                                   ? plan_.dhcp_server
+                                   : plan_.radius_server;
+    std::vector<CrashEvent> events;
+    if (!crash.any()) return events;
+    rng::Stream stream =
+        root_.child("sched").child(fault_site_name(site)).child(index);
+    const net::TimePoint stop = std::min(horizon_, window.end);
+    const double mean_gap_s = 86400.0 / crash.crashes_per_day;
+    net::TimePoint t = window.begin;
+    while (events.size() < 10000) {
+        t += net::Duration{std::max<std::int64_t>(
+            1, std::int64_t(stream.exponential(mean_gap_s)))};
+        if (t >= stop) break;
+        const net::Duration down{std::max<std::int64_t>(
+            10, std::int64_t(stream.exponential(crash.downtime_mean_s)))};
+        const bool amnesia = stream.bernoulli(crash.amnesia);
+        events.push_back(CrashEvent{t, down, amnesia});
+        t += down;
+    }
+    return events;
+}
+
+std::vector<FaultInjector::Window> FaultInjector::exhaustion_schedule(
+    std::uint64_t index, net::TimeInterval window) {
+    std::vector<Window> windows;
+    if (!plan_.exhaustion.any()) return windows;
+    rng::Stream stream = root_.child("sched").child("pool").child(index);
+    const net::TimePoint stop = std::min(horizon_, window.end);
+    const double mean_gap_s = 86400.0 / plan_.exhaustion.windows_per_day;
+    net::TimePoint t = window.begin;
+    while (windows.size() < 10000) {
+        t += net::Duration{std::max<std::int64_t>(
+            1, std::int64_t(stream.exponential(mean_gap_s)))};
+        if (t >= stop) break;
+        const net::Duration len{std::max<std::int64_t>(
+            60,
+            std::int64_t(stream.exponential(plan_.exhaustion.duration_mean_s)))};
+        windows.push_back(Window{t, len});
+        t += len;
+    }
+    return windows;
+}
+
+std::vector<net::TimePoint> FaultInjector::storm_schedule(
+    net::TimeInterval window) {
+    std::vector<net::TimePoint> storms;
+    if (!plan_.storms.any()) return storms;
+    rng::Stream stream = root_.child("sched").child("storms");
+    const net::TimePoint stop = std::min(horizon_, window.end);
+    const double mean_gap_s = 86400.0 / plan_.storms.storms_per_day;
+    net::TimePoint t = window.begin;
+    while (storms.size() < 10000) {
+        t += net::Duration{std::max<std::int64_t>(
+            1, std::int64_t(stream.exponential(mean_gap_s)))};
+        if (t >= stop) break;
+        storms.push_back(t);
+    }
+    return storms;
+}
+
+std::optional<FaultInjector::StormHit> FaultInjector::storm_hit(
+    std::uint64_t storm_index, std::uint64_t cpe_index) {
+    rng::Stream stream = root_.child("sched")
+                             .child("storm-hit")
+                             .child(storm_index)
+                             .child(cpe_index);
+    if (!stream.bernoulli(plan_.storms.cpe_fraction)) return std::nullopt;
+    StormHit hit;
+    hit.offset = net::Duration{
+        stream.uniform_int(0, std::max<std::int64_t>(
+                                  0, std::int64_t(plan_.storms.spread_s)))};
+    hit.downtime = net::Duration{std::max<std::int64_t>(
+        5, std::int64_t(stream.exponential(plan_.storms.downtime_mean_s)))};
+    return hit;
+}
+
+void FaultInjector::force_site(FaultSite site,
+                               std::optional<MessageDecision::Kind> kind) {
+    if (kind)
+        forced_[site] = *kind;
+    else
+        forced_.erase(site);
+}
+
+FaultInjector* fault_injector() { return g_injector; }
+
+void install_fault_injector(FaultInjector* injector) {
+    if (injector != nullptr && g_injector != nullptr)
+        throw Error("a fault injector is already installed");
+    g_injector = injector;
+    if (injector != nullptr)
+        DYNADDR_LOG(Info, faults, "fault injector installed: plan '",
+                    injector->plan().to_string(), "'");
+}
+
+}  // namespace dynaddr::sim

@@ -1,0 +1,268 @@
+#pragma once
+
+// Deterministic fault-injection layer.
+//
+// A FaultPlan describes adverse events — message loss, duplication, delay
+// and wire corruption on the access links; server crash/restart with
+// lease-state amnesia; address-pool exhaustion windows; CPE power-cycle
+// storms; garbled dataset rows — and a FaultInjector turns the plan into
+// concrete, bit-reproducible decisions. Protocol code interposes on its
+// exchanges via gate_message(); run_scenario() turns the component models
+// into scheduled simulation events.
+//
+// Determinism rules:
+//   * Every decision draws from a stream keyed by (plan.seed, fault site,
+//     entity). Decisions for one entity form their own sequence, so adding
+//     entities or reordering the global event interleaving never perturbs
+//     another entity's faults.
+//   * With no injector installed (the default) every gate is a null check:
+//     zero draws, zero behaviour change — fingerprints are byte-identical
+//     to a fault-free build.
+//   * Component schedules are generated once, at scenario build time, from
+//     their own streams; injection order cannot affect them.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/rng.hpp"
+#include "netcore/time.hpp"
+
+namespace dynaddr::sim {
+
+/// Where a fault can strike. Message sites gate one request/response
+/// exchange; component sites key schedule generation.
+enum class FaultSite : std::uint8_t {
+    DhcpDiscover,
+    DhcpRequest,
+    DhcpRenew,
+    DhcpRelease,
+    RadiusAuthorize,
+    RadiusAccounting,
+    DhcpServer,    ///< component: DHCP server crash/restart
+    RadiusServer,  ///< component: RADIUS/BRAS crash/restart
+    Pool,          ///< component: pool exhaustion windows
+    Cpe,           ///< component: power-cycle storms
+    Csv,           ///< input: dataset row corruption
+};
+
+[[nodiscard]] const char* fault_site_name(FaultSite site);
+
+/// Which access link a message site belongs to.
+enum class FaultLink : std::uint8_t { Dhcp, Ppp };
+
+/// Per-link message fault model: independent Bernoulli faults plus an
+/// optional Gilbert-Elliott burst-loss overlay (two-state Markov chain;
+/// while in the Bad state messages drop with `burst_drop`).
+struct MessageFaults {
+    double drop = 0.0;          ///< P(message silently lost)
+    double duplicate = 0.0;     ///< P(request processed twice)
+    double delay = 0.0;         ///< P(exchange deferred by jitter)
+    double delay_mean_s = 3.0;  ///< mean of the exponential jitter
+    double corrupt = 0.0;       ///< P(wire bytes mutated in flight)
+    double burst_p = 0.0;       ///< Good -> Bad transition probability
+    double burst_r = 1.0;       ///< Bad -> Good transition probability
+    double burst_drop = 0.9;    ///< drop probability while Bad
+
+    [[nodiscard]] bool any() const {
+        return drop > 0 || duplicate > 0 || delay > 0 || corrupt > 0 ||
+               burst_p > 0;
+    }
+};
+
+/// Component crash/restart model for one server class.
+struct CrashFaults {
+    double crashes_per_day = 0.0;   ///< Poisson arrival rate
+    double downtime_mean_s = 600.0; ///< exponential downtime
+    double amnesia = 0.0;           ///< P(state lost on a given crash)
+
+    [[nodiscard]] bool any() const { return crashes_per_day > 0; }
+};
+
+/// Address-pool exhaustion windows: intervals during which allocation
+/// fails as if every address were taken.
+struct ExhaustionFaults {
+    double windows_per_day = 0.0;
+    double duration_mean_s = 3600.0;
+
+    [[nodiscard]] bool any() const { return windows_per_day > 0; }
+};
+
+/// CPE power-cycle storms: at each storm a random subset of CPEs loses
+/// power, spread over a short front, and comes back after a per-CPE
+/// exponential downtime.
+struct StormFaults {
+    double storms_per_day = 0.0;
+    double cpe_fraction = 0.25;   ///< P(a given CPE joins a given storm)
+    double downtime_mean_s = 180; ///< per-CPE power-off time
+    double spread_s = 900;        ///< storm front width (uniform offsets)
+
+    [[nodiscard]] bool any() const { return storms_per_day > 0; }
+};
+
+/// Dataset input faults: rows truncated/garbled before parsing.
+struct CsvFaults {
+    double row_rate = 0.0;  ///< P(a given data row is mutilated)
+
+    [[nodiscard]] bool any() const { return row_rate > 0; }
+};
+
+/// A full deterministic fault plan.
+struct FaultPlan {
+    std::uint64_t seed = 1;
+    MessageFaults dhcp;  ///< DHCP client <-> server exchanges
+    MessageFaults ppp;   ///< PPP/RADIUS exchanges
+    CrashFaults dhcp_server;
+    CrashFaults radius_server;
+    ExhaustionFaults exhaustion;
+    StormFaults storms;
+    CsvFaults csv;
+    /// Fraction of the scenario window during which faults fire, in
+    /// (0, 1]. Chaos tests use < 1 so post-fault reconvergence can be
+    /// asserted over the tail of the window.
+    double active_fraction = 1.0;
+
+    [[nodiscard]] bool any() const;
+
+    /// Parses a plan spec: comma-separated profile names and/or
+    /// `key=value` overrides, e.g. "lossy,crashy,dhcp.drop=0.3,seed=7".
+    /// Profiles: lossy, bursty, flaky, crashy, storms, exhaustion,
+    /// garbage, chaos. Throws Error on an unknown key or profile.
+    static FaultPlan parse(const std::string& spec);
+
+    /// Canonical spec of every non-default field (round-trips via parse).
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// The action a caller should take for one synchronous exchange.
+struct MessageDecision {
+    enum class Kind {
+        Deliver,    ///< perform the exchange normally
+        Drop,       ///< silence: retransmit with backoff
+        Defer,      ///< exchange held by jitter; retry at `defer`, no backoff
+        Corrupt,    ///< deliver, but round-trip wire bytes through corruption
+        Duplicate,  ///< deliver, then replay the request once
+    };
+    Kind kind = Kind::Deliver;
+    net::Duration defer{0};  ///< valid when kind == Defer
+};
+
+/// Turns a FaultPlan into concrete decisions and schedules. One injector
+/// is installed process-globally (simulations are single-threaded); the
+/// gates below are null checks when none is installed.
+class FaultInjector {
+public:
+    explicit FaultInjector(FaultPlan plan);
+
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+    /// Restricts fault activity to plan.active_fraction of `window`
+    /// (message gates go quiet and schedules stop past the horizon).
+    void set_window(net::TimeInterval window);
+
+    /// End of fault activity; TimePoint::max-like when no window was set.
+    [[nodiscard]] net::TimePoint horizon() const { return horizon_; }
+
+    /// Decision for one message exchange at a site. `entity` is the
+    /// client/subscriber id owning the link.
+    MessageDecision on_message(FaultSite site, std::uint64_t entity,
+                               net::TimePoint now);
+
+    /// Mutates wire bytes in flight (flip/truncate/extend), drawing from
+    /// the same per-(link, entity) stream as on_message. Returns false
+    /// when the buffer was left empty.
+    bool corrupt_wire(FaultSite site, std::uint64_t entity,
+                      std::vector<std::uint8_t>& bytes);
+
+    /// Mutilates data rows of a CSV blob in place (header preserved):
+    /// truncation, byte garbling, delimiter loss, row splicing.
+    void corrupt_csv(std::string& text);
+
+    // -- component schedules (generated once per index; deterministic) ----
+    struct CrashEvent {
+        net::TimePoint at;
+        net::Duration downtime;
+        bool amnesia = false;
+    };
+    /// Crash/restart schedule for server `index` of a class over `window`.
+    /// `site` must be DhcpServer or RadiusServer.
+    std::vector<CrashEvent> crash_schedule(FaultSite site, std::uint64_t index,
+                                           net::TimeInterval window);
+
+    struct Window {
+        net::TimePoint at;
+        net::Duration duration;
+    };
+    /// Exhaustion windows for pool `index` over `window`.
+    std::vector<Window> exhaustion_schedule(std::uint64_t index,
+                                            net::TimeInterval window);
+
+    /// Storm start times over `window`.
+    std::vector<net::TimePoint> storm_schedule(net::TimeInterval window);
+
+    struct StormHit {
+        net::Duration offset;    ///< power-cut delay past the storm start
+        net::Duration downtime;  ///< power-off duration
+    };
+    /// Whether CPE `cpe_index` joins storm `storm_index`, and how.
+    std::optional<StormHit> storm_hit(std::uint64_t storm_index,
+                                      std::uint64_t cpe_index);
+
+    // -- test support -----------------------------------------------------
+    /// Forces every decision at a site (overriding the stream) until
+    /// cleared with nullopt. Deterministic unit tests use this to steer
+    /// one exchange type at a time.
+    void force_site(FaultSite site, std::optional<MessageDecision::Kind> kind);
+
+private:
+    struct LinkState {
+        rng::Stream stream;
+        bool burst_bad = false;
+    };
+    LinkState& link_state(FaultLink link, std::uint64_t entity);
+    [[nodiscard]] const MessageFaults& faults_for(FaultLink link) const {
+        return link == FaultLink::Dhcp ? plan_.dhcp : plan_.ppp;
+    }
+
+    FaultPlan plan_;
+    rng::Stream root_;
+    net::TimePoint horizon_;
+    std::map<std::uint64_t, LinkState> dhcp_links_;
+    std::map<std::uint64_t, LinkState> ppp_links_;
+    std::map<FaultSite, MessageDecision::Kind> forced_;
+};
+
+/// The installed injector, or nullptr (the default: faults off).
+[[nodiscard]] FaultInjector* fault_injector();
+
+/// Installs/uninstalls the process-global injector (nullptr clears).
+void install_fault_injector(FaultInjector* injector);
+
+/// RAII install of an injector built from a plan.
+class ScopedFaultInjector {
+public:
+    explicit ScopedFaultInjector(const FaultPlan& plan) : injector_(plan) {
+        install_fault_injector(&injector_);
+    }
+    ~ScopedFaultInjector() { install_fault_injector(nullptr); }
+    ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+    ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+    [[nodiscard]] FaultInjector& injector() { return injector_; }
+
+private:
+    FaultInjector injector_;
+};
+
+/// Gate for one synchronous exchange: Deliver when no injector is
+/// installed, otherwise the injector's decision.
+inline MessageDecision gate_message(FaultSite site, std::uint64_t entity,
+                                    net::TimePoint now) {
+    FaultInjector* injector = fault_injector();
+    if (injector == nullptr) return {};
+    return injector->on_message(site, entity, now);
+}
+
+}  // namespace dynaddr::sim

@@ -1,0 +1,347 @@
+// Property-style chaos suite for the deterministic fault-injection layer.
+//
+// Each combo of (fault profile, seed) drives small DHCP and PPP worlds
+// through days of injected faults — message loss and corruption, server
+// crashes with amnesia, pool exhaustion, power-cycle storms — while
+// asserting the invariants that must survive any fault sequence:
+//
+//   * no address is ever leased to two clients at once (server side);
+//   * simulated time only moves forward;
+//   * once faults stop (plans use active_fraction < 1), every subscriber
+//     reconverges to Bound / Open with a consistent address;
+//   * the full scenario + analysis pipeline never crashes on chaos input.
+//
+// Faults draw from per-(site, entity) streams, so every run here is
+// bit-reproducible; see the differential tests in determinism_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "atlas/datasets.hpp"
+#include "core/pipeline.hpp"
+#include "dhcp/client.hpp"
+#include "dhcp/server.hpp"
+#include "isp/presets.hpp"
+#include "isp/world.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "ppp/session.hpp"
+#include "sim/faults.hpp"
+
+namespace dynaddr {
+namespace {
+
+using net::Duration;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::TimeInterval;
+using net::TimePoint;
+
+constexpr int kDhcpClients = 8;
+constexpr int kPppClients = 6;
+
+/// Ten simulated days; faults are active over the leading fraction only,
+/// leaving a quiet tail for the reconvergence assertions.
+const TimeInterval kWindow{TimePoint{0}, TimePoint{10 * 86400}};
+
+sim::FaultPlan make_plan(const std::string& profile, std::uint64_t seed) {
+    auto plan = sim::FaultPlan::parse(profile);
+    plan.seed = seed;
+    plan.active_fraction = 0.7;
+    return plan;
+}
+
+/// A small DHCP access network — one server, one sticky pool, several
+/// clients — with the injector's component schedules wired up the same
+/// way run_scenario() wires them: crash/restart pairs, exhaustion
+/// windows, and storms as client power cycles.
+struct DhcpChaosRig {
+    explicit DhcpChaosRig(sim::FaultInjector& injector)
+        : sim(kWindow.begin),
+          pool(pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.0.0.0/24")},
+                                pool::AllocationStrategy::Sticky,
+                                0.0,
+                                0.0,
+                                {}},
+               rng::Stream(99)),
+          server(dhcp::ServerConfig{Duration::hours(2), std::nullopt},
+                 pool, sim) {
+        clients.reserve(kDhcpClients);
+        powered.assign(kDhcpClients, true);
+        for (int i = 0; i < kDhcpClients; ++i)
+            clients.emplace_back(dhcp::ClientConfig{}, pool::ClientId(i + 1),
+                                 server, sim, [] { return true; });
+
+        for (const auto& event : injector.crash_schedule(
+                 sim::FaultSite::DhcpServer, 0, kWindow)) {
+            sim.at(event.at, [this, amnesia = event.amnesia](TimePoint) {
+                server.crash(amnesia);
+            });
+            sim.at(event.at + event.downtime,
+                   [this](TimePoint) { server.restart(); });
+        }
+        for (const auto& window : injector.exhaustion_schedule(0, kWindow)) {
+            sim.at(window.at,
+                   [this](TimePoint) { pool.set_fault_exhausted(true); });
+            sim.at(window.at + window.duration,
+                   [this](TimePoint) { pool.set_fault_exhausted(false); });
+        }
+        const auto storms = injector.storm_schedule(kWindow);
+        for (std::size_t s = 0; s < storms.size(); ++s)
+            for (int c = 0; c < kDhcpClients; ++c)
+                if (auto hit = injector.storm_hit(s, std::uint64_t(c))) {
+                    sim.at(storms[s] + hit->offset, [this, c](TimePoint) {
+                        powered[std::size_t(c)] = false;
+                        clients[std::size_t(c)].power_off(/*graceful=*/false);
+                    });
+                    sim.at(storms[s] + hit->offset + hit->downtime,
+                           [this, c](TimePoint) {
+                               powered[std::size_t(c)] = true;
+                               clients[std::size_t(c)].power_on();
+                           });
+                }
+    }
+
+    /// Server-side single-holder invariant plus clock monotonicity.
+    void check_invariants() {
+        const TimePoint now = sim.now();
+        ASSERT_GE(now, last_check) << "simulation time went backwards";
+        last_check = now;
+        std::set<IPv4Address> leased;
+        for (const auto& lease : server.leases()) {
+            ASSERT_TRUE(leased.insert(lease.address).second)
+                << "address " << lease.address.to_string()
+                << " leased to two clients";
+            ASSERT_GT(lease.expiry, lease.granted);
+        }
+        ASSERT_EQ(pool.free_count() + pool.allocated_count(), pool.capacity());
+        ++checks;
+    }
+
+    sim::Simulation sim;
+    pool::AddressPool pool;
+    dhcp::Server server;
+    std::vector<dhcp::Client> clients;
+    std::vector<bool> powered;
+    TimePoint last_check{kWindow.begin};
+    int checks = 0;
+};
+
+/// A small PPP access network: one RADIUS/BRAS, a random-spread pool,
+/// several always-on sessions. A BRAS crash takes the access network down
+/// (link_lost on every session) exactly as run_scenario() models it.
+struct PppChaosRig {
+    explicit PppChaosRig(sim::FaultInjector& injector)
+        : sim(kWindow.begin),
+          pool(pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.1.0.0/24")},
+                                pool::AllocationStrategy::RandomSpread,
+                                0.0,
+                                0.0,
+                                {}},
+               rng::Stream(7)),
+          server(ppp::RadiusConfig{std::nullopt}, pool, sim) {
+        sessions.reserve(kPppClients);
+        for (int i = 0; i < kPppClients; ++i)
+            sessions.emplace_back(ppp::SessionConfig{}, pool::ClientId(i + 1),
+                                  server, sim, rng::Stream(1000 + i),
+                                  [this] { return net_up; });
+
+        // Periodic privacy reconnects during the fault-active phase keep
+        // the RadiusAuthorize/Accounting gates busy; they stop well before
+        // the window's end so the reconvergence check can't race a redial.
+        for (int i = 0; i < kPppClients; ++i) {
+            const auto quiet = kWindow.begin + Duration::days(7);
+            for (TimePoint t = kWindow.begin + Duration::hours(1 + i);
+                 t < quiet; t = t + Duration::hours(4))
+                sim.at(t, [this, i](TimePoint) {
+                    sessions[std::size_t(i)].reconnect_now();
+                });
+        }
+
+        for (const auto& event : injector.crash_schedule(
+                 sim::FaultSite::RadiusServer, 0, kWindow)) {
+            sim.at(event.at, [this, amnesia = event.amnesia](TimePoint) {
+                server.crash(amnesia);
+                net_up = false;
+                for (auto& session : sessions) session.link_lost();
+            });
+            sim.at(event.at + event.downtime, [this](TimePoint) {
+                server.restart();
+                net_up = true;
+                for (auto& session : sessions) session.link_restored();
+            });
+        }
+        for (const auto& window : injector.exhaustion_schedule(0, kWindow)) {
+            sim.at(window.at,
+                   [this](TimePoint) { pool.set_fault_exhausted(true); });
+            sim.at(window.at + window.duration,
+                   [this](TimePoint) { pool.set_fault_exhausted(false); });
+        }
+    }
+
+    void check_invariants() {
+        const TimePoint now = sim.now();
+        ASSERT_GE(now, last_check) << "simulation time went backwards";
+        last_check = now;
+        // At most one open session per subscriber and per address is
+        // enforced pool-side; sessions can never outnumber subscribers.
+        ASSERT_LE(server.open_sessions(), std::size_t(kPppClients));
+        for (const auto& record : server.records())
+            ASSERT_GE(record.stop, record.start);
+        ++checks;
+    }
+
+    sim::Simulation sim;
+    pool::AddressPool pool;
+    ppp::RadiusServer server;
+    std::vector<ppp::Session> sessions;
+    bool net_up = true;
+    TimePoint last_check{kWindow.begin};
+    int checks = 0;
+};
+
+class ChaosCombo
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(ChaosCombo, DhcpInvariantsHoldAndReconverge) {
+    const auto& [profile, seed] = GetParam();
+    sim::ScopedFaultInjector scope(make_plan(profile, seed));
+    scope.injector().set_window(kWindow);
+
+    DhcpChaosRig rig(scope.injector());
+    rig.sim.every(kWindow.begin + Duration::hours(1), Duration::hours(1),
+                  [&rig](TimePoint) { rig.check_invariants(); });
+    for (auto& client : rig.clients) client.power_on();
+    rig.sim.run_until(kWindow.end);
+
+    EXPECT_GT(rig.checks, 200);
+    // Faults stopped at 70% of the window; by its end every powered
+    // client is Bound again and agrees with the server's lease table.
+    for (std::size_t i = 0; i < rig.clients.size(); ++i) {
+        if (!rig.powered[i]) continue;  // storm downtime outlived the run
+        const auto& client = rig.clients[i];
+        ASSERT_EQ(client.state(), dhcp::ClientState::Bound)
+            << "client " << i << " failed to reconverge under " << profile;
+        ASSERT_TRUE(client.address());
+        const auto lease = rig.server.lease_of(pool::ClientId(i + 1));
+        ASSERT_TRUE(lease);
+        EXPECT_EQ(lease->address, *client.address());
+    }
+}
+
+TEST_P(ChaosCombo, PppInvariantsHoldAndReconverge) {
+    const auto& [profile, seed] = GetParam();
+    sim::ScopedFaultInjector scope(make_plan(profile, seed));
+    scope.injector().set_window(kWindow);
+
+    PppChaosRig rig(scope.injector());
+    rig.sim.every(kWindow.begin + Duration::hours(1), Duration::hours(1),
+                  [&rig](TimePoint) { rig.check_invariants(); });
+    for (auto& session : rig.sessions) session.power_on();
+    rig.sim.run_until(kWindow.end);
+
+    EXPECT_GT(rig.checks, 200);
+    for (std::size_t i = 0; i < rig.sessions.size(); ++i) {
+        ASSERT_EQ(rig.sessions[i].phase(), ppp::Phase::Open)
+            << "session " << i << " failed to reconverge under " << profile;
+        ASSERT_TRUE(rig.sessions[i].address());
+    }
+    EXPECT_EQ(rig.server.open_sessions(), std::size_t(kPppClients));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, ChaosCombo,
+    ::testing::Combine(::testing::Values("lossy", "bursty", "flaky", "crashy",
+                                         "exhaustion", "storms", "chaos"),
+                       ::testing::Values(std::uint64_t(1), std::uint64_t(2),
+                                         std::uint64_t(3))),
+    [](const auto& info) {
+        return std::get<0>(info.param) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// -- regression: the lost-ACK stall --------------------------------------
+// A client whose REQUEST goes unanswered used to sit in Requesting with no
+// timer pending, stalled forever. It must retransmit with backoff and,
+// after request_retries silent attempts, fall back to a fresh DISCOVER.
+
+TEST(DhcpLostAck, RequestingRetransmitsInsteadOfStalling) {
+    sim::ScopedFaultInjector scope(sim::FaultPlan{});
+    scope.injector().force_site(sim::FaultSite::DhcpRequest,
+                                sim::MessageDecision::Kind::Drop);
+
+    sim::Simulation sim(TimePoint{0});
+    pool::AddressPool pool(
+        pool::PoolConfig{{IPv4Prefix::parse_or_throw("10.2.0.0/28")},
+                         pool::AllocationStrategy::Sticky,
+                         0.0,
+                         0.0,
+                         {}},
+        rng::Stream(1));
+    dhcp::Server server(dhcp::ServerConfig{}, pool, sim);
+    dhcp::Client client(dhcp::ClientConfig{}, 1, server, sim,
+                        [] { return true; });
+
+    client.power_on();
+    ASSERT_EQ(client.state(), dhcp::ClientState::Requesting);
+    ASSERT_GT(sim.pending(), 0u) << "no retransmit timer: the lost-ACK stall";
+
+    // Every retransmission is swallowed too: the client must abandon the
+    // transaction and go back to Init/Requesting rather than wedge.
+    sim.run_until(TimePoint{3600});
+    ASSERT_NE(client.state(), dhcp::ClientState::Bound);
+    ASSERT_GT(sim.pending(), 0u);
+
+    // Faults cleared: the next retransmission lands and the client binds.
+    scope.injector().force_site(sim::FaultSite::DhcpRequest, std::nullopt);
+    sim.run_until(TimePoint{2 * 3600});
+    EXPECT_EQ(client.state(), dhcp::ClientState::Bound);
+    EXPECT_TRUE(client.address());
+}
+
+// -- full pipeline under chaos -------------------------------------------
+
+TEST(ChaosScenario, QuickPresetSurvivesChaosAndAnalyzes) {
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+        auto config = isp::presets::quick_scenario();
+        config.faults = sim::FaultPlan::parse("chaos");
+        config.faults->seed = seed;
+        const auto scenario = isp::run_scenario(config);
+        ASSERT_FALSE(scenario.bundle.connection_log.empty());
+        ASSERT_GT(scenario.sim_events, 0u);
+        const auto results = core::AnalysisPipeline{}.run(
+            scenario.bundle, scenario.prefix_table, scenario.registry);
+        ASSERT_FALSE(results.changes.empty());
+    }
+}
+
+TEST(ChaosScenario, FaultCountersTick) {
+    const auto dropped_before = obs::counter("faults.dhcp.dropped").value();
+    auto config = isp::presets::quick_scenario();
+    config.faults = sim::FaultPlan::parse("chaos,seed=21");
+    isp::run_scenario(config);
+    EXPECT_GT(obs::counter("faults.dhcp.dropped").value(), dropped_before);
+}
+
+TEST(ChaosScenario, GarbledCsvRowsAreDroppedNotFatal) {
+    auto config = isp::presets::quick_scenario();
+    config.faults = sim::FaultPlan::parse("garbage,csv.rate=0.05,seed=5");
+    const auto scenario = isp::run_scenario(config);
+    std::ostringstream out;
+    atlas::write_connection_log_csv(out, scenario.bundle.connection_log);
+    std::istringstream in(std::move(out).str());
+    // Reading back through the installed garbage plan mutilates rows; the
+    // lenient reader must drop them and keep the rest.
+    sim::ScopedFaultInjector scope(*config.faults);
+    const auto entries = atlas::read_connection_log_csv(in);
+    ASSERT_FALSE(entries.empty());
+    EXPECT_LT(entries.size(), scenario.bundle.connection_log.size());
+}
+
+}  // namespace
+}  // namespace dynaddr

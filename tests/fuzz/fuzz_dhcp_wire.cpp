@@ -1,0 +1,33 @@
+#include <span>
+#include <stdexcept>
+
+#include "dhcp/wire.hpp"
+#include "netcore/error.hpp"
+#include "fuzz_targets.hpp"
+
+namespace dynaddr::fuzz {
+
+int dhcp_wire_one(const std::uint8_t* data, std::size_t size) {
+    const std::span<const std::uint8_t> bytes(data, size);
+    dhcp::WireMessage message;
+    try {
+        message = dhcp::decode(bytes);
+    } catch (const ParseError&) {
+        return 0;  // rejecting malformed input is the correct outcome
+    }
+    // Anything decode accepts must round-trip losslessly; unknown options
+    // and padding are allowed to disappear, the parsed fields are not.
+    const auto reencoded = dhcp::encode(message);
+    if (!(dhcp::decode(reencoded) == message))
+        throw std::logic_error("DHCP wire round-trip mismatch");
+    return 0;
+}
+
+}  // namespace dynaddr::fuzz
+
+#ifdef DYNADDR_FUZZ_TARGET
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    return dynaddr::fuzz::dhcp_wire_one(data, size);
+}
+#endif

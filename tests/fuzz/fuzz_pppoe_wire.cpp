@@ -1,0 +1,33 @@
+#include <span>
+#include <stdexcept>
+
+#include "netcore/error.hpp"
+#include "ppp/pppoe_wire.hpp"
+#include "fuzz_targets.hpp"
+
+namespace dynaddr::fuzz {
+
+int pppoe_wire_one(const std::uint8_t* data, std::size_t size) {
+    const std::span<const std::uint8_t> bytes(data, size);
+    ppp::PppoePacket packet;
+    try {
+        packet = ppp::decode(bytes);
+    } catch (const ParseError&) {
+        return 0;
+    }
+    // Accepted packets round-trip; the End-Of-List tag and trailing junk
+    // past the length field are allowed to disappear, the tags are not.
+    const auto reencoded = ppp::encode(packet);
+    if (!(ppp::decode(reencoded) == packet))
+        throw std::logic_error("PPPoE wire round-trip mismatch");
+    return 0;
+}
+
+}  // namespace dynaddr::fuzz
+
+#ifdef DYNADDR_FUZZ_TARGET
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    return dynaddr::fuzz::pppoe_wire_one(data, size);
+}
+#endif

@@ -1,0 +1,139 @@
+// Corpus replay + deterministic mutation regression for the fuzz targets.
+//
+// This runs on every ctest invocation with any compiler (no libFuzzer
+// needed): it replays each checked-in corpus file through its harness,
+// then feeds every parser 10 000 deterministically mutated descendants of
+// the corpus seeds. A harness signals a bug by letting an exception other
+// than ParseError escape (crash-equivalents under libFuzzer), which gtest
+// reports here. Inputs that once crashed a parser belong in
+// tests/fuzz/corpus/<target>/ so they are replayed forever.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "fuzz_targets.hpp"
+#include "netcore/rng.hpp"
+
+namespace dynaddr::fuzz {
+namespace {
+
+using Harness = int (*)(const std::uint8_t*, std::size_t);
+
+constexpr int kMutatedInputs = 10000;
+
+std::filesystem::path corpus_dir(const std::string& target) {
+    return std::filesystem::path(DYNADDR_FUZZ_CORPUS_DIR) / target;
+}
+
+std::vector<std::vector<std::uint8_t>> load_corpus(const std::string& target) {
+    std::vector<std::vector<std::uint8_t>> seeds;
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(corpus_dir(target)))
+        if (entry.is_regular_file()) paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());  // deterministic replay order
+    for (const auto& path : paths) {
+        std::ifstream in(path, std::ios::binary);
+        std::vector<std::uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        seeds.push_back(std::move(bytes));
+    }
+    return seeds;
+}
+
+void replay_corpus(const std::string& target, Harness harness) {
+    const auto seeds = load_corpus(target);
+    ASSERT_FALSE(seeds.empty()) << "no corpus files for " << target;
+    for (const auto& seed : seeds)
+        ASSERT_EQ(harness(seed.data(), seed.size()), 0);
+}
+
+/// Applies 1-4 random mutations (bit flip, byte set, truncate, extend,
+/// splice) to a copy of a corpus seed. All draws come from `stream`, so
+/// the whole campaign is reproducible.
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& seed,
+                                 rng::Stream& stream) {
+    std::vector<std::uint8_t> bytes = seed;
+    const int mutations = int(stream.uniform_int(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+        switch (stream.uniform_int(0, 4)) {
+            case 0:  // flip one bit
+                if (!bytes.empty()) {
+                    auto& b = bytes[std::size_t(
+                        stream.uniform_int(0, std::int64_t(bytes.size()) - 1))];
+                    b ^= std::uint8_t(1u << stream.uniform_int(0, 7));
+                }
+                break;
+            case 1:  // overwrite one byte
+                if (!bytes.empty())
+                    bytes[std::size_t(stream.uniform_int(
+                        0, std::int64_t(bytes.size()) - 1))] =
+                        std::uint8_t(stream.uniform_int(0, 255));
+                break;
+            case 2:  // truncate
+                if (!bytes.empty())
+                    bytes.resize(std::size_t(
+                        stream.uniform_int(0, std::int64_t(bytes.size()) - 1)));
+                break;
+            case 3: {  // extend with random bytes
+                const int extra = int(stream.uniform_int(1, 16));
+                for (int i = 0; i < extra; ++i)
+                    bytes.push_back(std::uint8_t(stream.uniform_int(0, 255)));
+                break;
+            }
+            case 4: {  // splice random bytes mid-buffer
+                const std::size_t at = bytes.empty()
+                                           ? 0
+                                           : std::size_t(stream.uniform_int(
+                                                 0, std::int64_t(bytes.size())));
+                const int extra = int(stream.uniform_int(1, 8));
+                std::vector<std::uint8_t> junk;
+                for (int i = 0; i < extra; ++i)
+                    junk.push_back(std::uint8_t(stream.uniform_int(0, 255)));
+                bytes.insert(bytes.begin() + std::ptrdiff_t(at), junk.begin(),
+                             junk.end());
+                break;
+            }
+        }
+    }
+    return bytes;
+}
+
+void mutation_campaign(const std::string& target, Harness harness) {
+    const auto seeds = load_corpus(target);
+    ASSERT_FALSE(seeds.empty());
+    rng::Stream stream(0xF0220EDu);
+    auto campaign = stream.child(target);
+    for (int i = 0; i < kMutatedInputs; ++i) {
+        const auto& seed =
+            seeds[std::size_t(campaign.uniform_int(0, std::int64_t(seeds.size()) - 1))];
+        const auto input = mutate(seed, campaign);
+        ASSERT_EQ(harness(input.data(), input.size()), 0)
+            << target << " mutation #" << i;
+    }
+}
+
+TEST(FuzzRegress, DhcpWireCorpus) { replay_corpus("dhcp_wire", dhcp_wire_one); }
+TEST(FuzzRegress, PppoeWireCorpus) {
+    replay_corpus("pppoe_wire", pppoe_wire_one);
+}
+TEST(FuzzRegress, CsvCorpus) { replay_corpus("csv", csv_one); }
+
+TEST(FuzzRegress, DhcpWireMutations) {
+    mutation_campaign("dhcp_wire", dhcp_wire_one);
+}
+TEST(FuzzRegress, PppoeWireMutations) {
+    mutation_campaign("pppoe_wire", pppoe_wire_one);
+}
+TEST(FuzzRegress, CsvMutations) { mutation_campaign("csv", csv_one); }
+
+}  // namespace
+}  // namespace dynaddr::fuzz

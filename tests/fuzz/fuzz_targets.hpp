@@ -1,0 +1,24 @@
+#pragma once
+
+// Fuzz entry points for the three external-input parsers. Each takes an
+// arbitrary byte buffer and must neither crash nor hang: malformed input
+// raises ParseError (swallowed by the harness), and anything decode
+// accepts must survive an encode/decode round trip unchanged — a
+// violation throws std::logic_error, which gtest (fuzz_regress) reports
+// and libFuzzer treats as a crash.
+//
+// The same functions serve both drivers: fuzz_regress replays the
+// checked-in corpus plus deterministic mutations on every ctest run with
+// any compiler, while -DDYNADDR_FUZZ=ON (Clang only) links each file's
+// LLVMFuzzerTestOneInput against libFuzzer for open-ended exploration.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dynaddr::fuzz {
+
+int dhcp_wire_one(const std::uint8_t* data, std::size_t size);
+int pppoe_wire_one(const std::uint8_t* data, std::size_t size);
+int csv_one(const std::uint8_t* data, std::size_t size);
+
+}  // namespace dynaddr::fuzz

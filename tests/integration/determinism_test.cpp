@@ -28,6 +28,7 @@
 #include "netcore/obs/stats_server.hpp"
 #include "netcore/obs/timeseries.hpp"
 #include "netcore/obs/trace.hpp"
+#include "sim/faults.hpp"
 
 namespace dynaddr {
 namespace {
@@ -93,6 +94,48 @@ void expect_obs_invariant(const isp::ScenarioConfig& config) {
     EXPECT_EQ(baseline, observed);
     // The run really was observed: logging fired.
     EXPECT_FALSE(log_capture.str().empty());
+}
+
+// -- fault-injection determinism -----------------------------------------
+// The fault layer must be (a) invisible when off — an installed injector
+// with an all-zero plan, or no plan at all, changes nothing — and (b)
+// bit-reproducible when on: the same plan and seed give byte-identical
+// output, while a different fault seed gives a different world.
+
+TEST(FaultDeterminism, SameSeedSamePlanIsByteIdentical) {
+    auto config = isp::presets::quick_scenario();
+    config.faults = sim::FaultPlan::parse("chaos,seed=7");
+    const auto first = serialize_bundle(isp::run_scenario(config).bundle);
+    const auto second = serialize_bundle(isp::run_scenario(config).bundle);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(FaultDeterminism, EmptyPlanMatchesNoInjector) {
+    auto config = isp::presets::quick_scenario();
+    const auto bare = serialize_bundle(isp::run_scenario(config).bundle);
+    config.faults = sim::FaultPlan{};  // injector installed, all rates zero
+    const auto gated = serialize_bundle(isp::run_scenario(config).bundle);
+    EXPECT_EQ(bare, gated);
+}
+
+TEST(FaultDeterminism, DifferentFaultSeedsDiverge) {
+    auto config = isp::presets::quick_scenario();
+    config.faults = sim::FaultPlan::parse("chaos,seed=1");
+    const auto first = serialize_bundle(isp::run_scenario(config).bundle);
+    config.faults->seed = 2;
+    const auto second = serialize_bundle(isp::run_scenario(config).bundle);
+    EXPECT_NE(first, second);
+}
+
+TEST(FaultDeterminism, FaultPlanSpecRoundTrips) {
+    const auto plan = sim::FaultPlan::parse(
+        "lossy,crashy,dhcp.drop=0.25,ppp.delay=0.1,seed=42,active=0.5");
+    const auto reparsed = sim::FaultPlan::parse(plan.to_string());
+    EXPECT_EQ(plan.to_string(), reparsed.to_string());
+    EXPECT_EQ(reparsed.seed, 42u);
+    EXPECT_DOUBLE_EQ(reparsed.dhcp.drop, 0.25);
+    EXPECT_DOUBLE_EQ(reparsed.active_fraction, 0.5);
 }
 
 TEST(ObsDeterminism, QuickPresetAnalysisUnaffectedByObservability) {

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Line-coverage report for the src/ tree.
+#
+#   tools/coverage.sh [ctest -R regex]
+#
+# Builds a gcov-instrumented tree in build-cov/ (-DDYNADDR_COVERAGE=ON),
+# runs the test suite (optionally restricted by regex), and prints per-file
+# and total line coverage over src/. Uses gcovr or lcov when available;
+# otherwise falls back to raw `gcov --json-format` plus a small aggregator,
+# which is all the stock toolchain needs. The nested-sanitizer smoke test
+# is excluded — rebuilding TSan trees tells us nothing about coverage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+root=$(pwd)
+build=build-cov
+jobs=$(nproc 2>/dev/null || echo 2)
+tests_regex="${1:-}"
+
+cmake -B "$build" -S . -DDYNADDR_COVERAGE=ON > /dev/null
+cmake --build "$build" -j "$jobs"
+
+find "$build" -name '*.gcda' -delete
+if [ -n "$tests_regex" ]; then
+  ctest --test-dir "$build" -j "$jobs" -E sanitize_smoke -R "$tests_regex" \
+        --output-on-failure
+else
+  ctest --test-dir "$build" -j "$jobs" -E sanitize_smoke --output-on-failure
+fi
+
+if command -v gcovr > /dev/null; then
+  gcovr --root "$root" --filter 'src/' --print-summary
+  exit 0
+fi
+if command -v lcov > /dev/null; then
+  lcov --capture --directory "$build" --output-file "$build/coverage.info" \
+       --include "$root/src/*" > /dev/null
+  lcov --summary "$build/coverage.info"
+  exit 0
+fi
+
+# Raw gcov: emit one JSON blob per object file, then merge. A source line
+# counts as covered when any object saw it execute.
+covdir="$build/coverage"
+rm -rf "$covdir" && mkdir -p "$covdir"
+(
+  cd "$covdir"
+  find .. -name '*.gcda' -print0 |
+    xargs -0 -r gcov --json-format --preserve-paths > /dev/null 2>&1 || true
+)
+python3 - "$root" "$covdir" <<'PY'
+import gzip, json, os, sys
+from collections import defaultdict
+
+root, covdir = sys.argv[1], sys.argv[2]
+# (file, line) -> max execution count across all objects
+counts = defaultdict(int)
+for name in os.listdir(covdir):
+    if not name.endswith('.gcov.json.gz'):
+        continue
+    with gzip.open(os.path.join(covdir, name), 'rt') as fh:
+        blob = json.load(fh)
+    for unit in blob.get('files', []):
+        path = os.path.normpath(os.path.join(root, unit['file']))
+        rel = os.path.relpath(path, root)
+        if not rel.startswith('src' + os.sep):
+            continue
+        for line in unit.get('lines', []):
+            key = (rel, line['line_number'])
+            counts[key] = max(counts[key], line['count'])
+
+per_file = defaultdict(lambda: [0, 0])  # file -> [covered, total]
+for (rel, _line), count in counts.items():
+    per_file[rel][1] += 1
+    if count > 0:
+        per_file[rel][0] += 1
+
+if not per_file:
+    sys.exit('no gcov data found under ' + covdir)
+
+width = max(len(f) for f in per_file)
+covered_total = lines_total = 0
+for rel in sorted(per_file):
+    covered, total = per_file[rel]
+    covered_total += covered
+    lines_total += total
+    print(f'{rel:<{width}}  {covered:>6}/{total:<6}  {100.0 * covered / total:6.1f}%')
+print('-' * (width + 25))
+print(f'{"TOTAL":<{width}}  {covered_total:>6}/{lines_total:<6}  '
+      f'{100.0 * covered_total / lines_total:6.1f}%')
+PY

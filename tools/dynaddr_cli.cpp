@@ -19,6 +19,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "netcore/obs/stats_server.hpp"
 #include "netcore/obs/timeseries.hpp"
 #include "netcore/obs/trace.hpp"
+#include "sim/faults.hpp"
 
 DYNADDR_LOG_MODULE(cli);
 
@@ -62,6 +64,12 @@ int usage() {
         "  --stats-port N       serve /metrics /series /healthz on 127.0.0.1:N\n"
         "  --flight-recorder[=N]  keep last N log records/thread for crash dumps\n"
         "  --crash-dump-dir DIR   where dynaddr-crash-<pid>.json goes (default .)\n"
+        "fault injection (any command; off unless given):\n"
+        "  --fault-plan SPEC|@FILE  comma-joined profiles and key=value\n"
+        "                       overrides, e.g. lossy,crashy,dhcp.drop=0.3\n"
+        "                       (profiles: lossy bursty flaky crashy storms\n"
+        "                       exhaustion garbage chaos)\n"
+        "  --fault-seed N       override the fault plan's rng seed\n"
         "(--threads: pipeline executors; 0 = hardware concurrency (default),"
         " 1 = single-threaded; results are identical for any value)\n";
     return 2;
@@ -99,6 +107,31 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
 /// The live stats endpoint lives for the whole command; destroyed (and
 /// its thread joined) when main returns.
 std::unique_ptr<obs::StatsServer> stats_server;
+
+/// Builds and installs the process-global fault injector from
+/// --fault-plan / --fault-seed. Returns the owning scope (kept alive for
+/// the whole command) or nullptr when neither flag was given — in which
+/// case every fault gate stays a null check and output is byte-identical
+/// to a build without the fault layer.
+std::unique_ptr<sim::ScopedFaultInjector> apply_fault_flags(
+    const std::map<std::string, std::string>& flags) {
+    const auto plan_it = flags.find("fault-plan");
+    const auto seed_it = flags.find("fault-seed");
+    if (plan_it == flags.end() && seed_it == flags.end()) return nullptr;
+    std::string spec = plan_it != flags.end() ? plan_it->second : std::string();
+    if (!spec.empty() && spec.front() == '@') {
+        std::ifstream in(spec.substr(1));
+        if (!in) throw Error("cannot read fault plan file '" + spec.substr(1) + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        spec = text.str();
+    }
+    auto plan = sim::FaultPlan::parse(spec);
+    if (seed_it != flags.end()) plan.seed = std::stoull(seed_it->second);
+    auto scoped = std::make_unique<sim::ScopedFaultInjector>(plan);
+    DYNADDR_LOG(Info, cli, "fault plan active: '", plan.to_string(), "'");
+    return scoped;
+}
 
 /// Applies the observability flags. Returns after enabling tracing when
 /// requested, so spans from the command body are collected. Live
@@ -389,6 +422,7 @@ int main(int argc, char** argv) {
         }
         const auto flags = parse_flags(argc, argv, flags_from);
         apply_obs_flags(flags);
+        const auto fault_scope = apply_fault_flags(flags);
         int status;
         if (command == "simulate") status = cmd_simulate(flags);
         else if (command == "analyze") status = cmd_analyze(flags);
