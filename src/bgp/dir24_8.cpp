@@ -1,0 +1,73 @@
+#include "bgp/dir24_8.hpp"
+
+#include <algorithm>
+
+namespace dynaddr::bgp {
+
+void Dir24_8::build(const RadixTrie& trie) {
+    tbl24_.assign(std::size_t{1} << 24, kEmpty);
+    tbl8_.clear();
+    results_.clear();
+    results_.reserve(trie.size());
+    compile24(trie, 0, 0u, 0, kEmpty);
+}
+
+void Dir24_8::compile24(const RadixTrie& trie, std::int32_t node,
+                        std::uint32_t bits, int depth,
+                        std::uint32_t inherited) {
+    const RadixTrie::Node& n = trie.nodes_[std::size_t(node)];
+    if (n.has_value) {
+        inherited = std::uint32_t(results_.size());
+        results_.push_back({n.value, depth});
+    }
+    if (depth == 24) {
+        const std::size_t slot = bits >> 8;
+        if (n.child[0] < 0 && n.child[1] < 0) {
+            tbl24_[slot] = inherited;
+            return;
+        }
+        // Longer prefixes below: expand into a second-level table.
+        const auto sub = std::uint32_t(tbl8_.size() >> 8);
+        tbl8_.resize(tbl8_.size() + 256, kEmpty);
+        compile8(trie, node, 0u, 24, inherited, std::size_t(sub) << 8);
+        tbl24_[slot] = kSubtableFlag | sub;
+        return;
+    }
+    for (std::uint32_t b = 0; b < 2; ++b) {
+        const std::uint32_t child_bits = bits | (b << (31 - depth));
+        if (n.child[b] >= 0) {
+            compile24(trie, n.child[b], child_bits, depth + 1, inherited);
+        } else {
+            // No subtree: the whole half inherits the match seen so far.
+            const std::size_t first = child_bits >> 8;
+            const std::size_t count = std::size_t{1} << (24 - (depth + 1));
+            std::fill_n(tbl24_.begin() + std::ptrdiff_t(first), count, inherited);
+        }
+    }
+}
+
+void Dir24_8::compile8(const RadixTrie& trie, std::int32_t node,
+                       std::uint32_t low, int depth, std::uint32_t inherited,
+                       std::size_t sub_base) {
+    const RadixTrie::Node& n = trie.nodes_[std::size_t(node)];
+    if (depth > 24 && n.has_value) {
+        inherited = std::uint32_t(results_.size());
+        results_.push_back({n.value, depth});
+    }
+    if (depth == 32) {
+        tbl8_[sub_base + low] = inherited;
+        return;
+    }
+    for (std::uint32_t b = 0; b < 2; ++b) {
+        const std::uint32_t child_low = low | (b << (31 - depth));
+        if (n.child[b] >= 0) {
+            compile8(trie, n.child[b], child_low, depth + 1, inherited, sub_base);
+        } else {
+            const std::size_t count = std::size_t{1} << (32 - (depth + 1));
+            std::fill_n(tbl8_.begin() + std::ptrdiff_t(sub_base + child_low),
+                        count, inherited);
+        }
+    }
+}
+
+}  // namespace dynaddr::bgp

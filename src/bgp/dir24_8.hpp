@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/radix_trie.hpp"
+#include "netcore/ipv4.hpp"
+
+namespace dynaddr::bgp {
+
+/// DIR-24-8 longest-prefix-match table compiled from a RadixTrie.
+///
+/// The classic two-level scheme (Gupta/Lin/McKeown, as in DPDK's LPM and
+/// Click's iproutetable): a 2^24-entry first-level table indexed by the
+/// top 24 address bits resolves every prefix of length <= 24 in one load;
+/// slots covered by a longer prefix point at a 256-entry second-level
+/// table indexed by the low byte. Lookups are one or two dependent loads
+/// regardless of table size — flat at 1M prefixes — while the trie stays
+/// the builder and behavioural oracle.
+///
+/// Compilation is a single DFS over the trie carrying the inherited
+/// (shallower) match downward, so each table slot is written O(1) times:
+/// O(nodes + 2^24) total, rather than the O(sum of prefix ranges) a
+/// naive paint-by-prefix build costs at scale.
+///
+/// The compiled table is immutable; rebuild after the trie changes.
+class Dir24_8 {
+public:
+    /// An empty table: every lookup misses.
+    Dir24_8() = default;
+
+    /// Compiles `trie` (equivalent to build()).
+    explicit Dir24_8(const RadixTrie& trie) { build(trie); }
+
+    /// Recompiles the tables from `trie`, replacing previous contents.
+    void build(const RadixTrie& trie);
+
+    /// Longest-prefix match: the value on the most specific prefix
+    /// containing `addr`, or nullopt when nothing covers it.
+    [[nodiscard]] std::optional<std::uint32_t> longest_match(
+        net::IPv4Address addr) const {
+        const std::uint32_t slot = resolve(addr);
+        if (slot == kEmpty) return std::nullopt;
+        return results_[slot].value;
+    }
+
+    /// The most specific prefix containing `addr` with its value; same
+    /// contract as RadixTrie::longest_match_entry.
+    [[nodiscard]] std::optional<RadixTrie::Match> longest_match_entry(
+        net::IPv4Address addr) const {
+        const std::uint32_t slot = resolve(addr);
+        if (slot == kEmpty) return std::nullopt;
+        const Result& result = results_[slot];
+        return RadixTrie::Match{net::IPv4Prefix{addr, result.length},
+                                result.value};
+    }
+
+    /// Number of prefixes compiled in.
+    [[nodiscard]] std::size_t size() const { return results_.size(); }
+
+    /// Number of 256-entry second-level tables in use.
+    [[nodiscard]] std::size_t subtable_count() const { return tbl8_.size() >> 8; }
+
+private:
+    static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+    static constexpr std::uint32_t kSubtableFlag = 0x80000000u;
+
+    struct Result {
+        std::uint32_t value = 0;
+        int length = 0;
+    };
+
+    /// Result index for `addr`, or kEmpty.
+    [[nodiscard]] std::uint32_t resolve(net::IPv4Address addr) const {
+        if (tbl24_.empty()) return kEmpty;
+        const std::uint32_t bits = addr.value();
+        std::uint32_t entry = tbl24_[bits >> 8];
+        // kEmpty has the subtable bit set: test it first.
+        if (entry == kEmpty || !(entry & kSubtableFlag)) return entry;
+        return tbl8_[((entry & ~kSubtableFlag) << 8) | (bits & 0xFFu)];
+    }
+
+    void compile24(const RadixTrie& trie, std::int32_t node,
+                   std::uint32_t bits, int depth, std::uint32_t inherited);
+    void compile8(const RadixTrie& trie, std::int32_t node, std::uint32_t low,
+                  int depth, std::uint32_t inherited, std::size_t sub_base);
+
+    // First level: result index, or kSubtableFlag | subtable number
+    // (kEmpty when nothing covers the /24).
+    std::vector<std::uint32_t> tbl24_;
+    // Flattened 256-entry second-level tables of result indices.
+    std::vector<std::uint32_t> tbl8_;
+    std::vector<Result> results_;
+};
+
+}  // namespace dynaddr::bgp

@@ -24,7 +24,11 @@ MonthKey month_key(int year, int month) {
 
 void PrefixTable::announce(MonthKey month, net::IPv4Prefix prefix,
                            std::uint32_t asn) {
-    snapshots_[month].insert(prefix, asn);
+    Snapshot& snapshot = snapshots_[month];
+    snapshot.trie.insert(prefix, asn);
+    // The compiled table (if any) no longer matches the trie.
+    snapshot.fast.store(nullptr, std::memory_order_release);
+    snapshot.fast_storage.reset();
 }
 
 void PrefixTable::announce_range(MonthKey first, MonthKey last,
@@ -42,9 +46,30 @@ std::optional<std::uint32_t> PrefixTable::origin_as(net::IPv4Address addr,
 
 std::optional<RadixTrie::Match> PrefixTable::routed_prefix(net::IPv4Address addr,
                                                            net::TimePoint t) const {
-    const RadixTrie* trie = snapshot_for(month_key_of(t));
-    if (trie == nullptr) return std::nullopt;
-    return trie->longest_match_entry(addr);
+    const Snapshot* snapshot = snapshot_for(month_key_of(t));
+    if (snapshot == nullptr) return std::nullopt;
+    if (const Dir24_8* fast = fast_for(*snapshot))
+        return fast->longest_match_entry(addr);
+    return snapshot->trie.longest_match_entry(addr);
+}
+
+const Dir24_8* PrefixTable::fast_for(const Snapshot& snapshot) const {
+    const Dir24_8* fast = snapshot.fast.load(std::memory_order_acquire);
+    if (fast != nullptr) return fast;
+    if (snapshot.trie.size() < fast_lookup_threshold_) return nullptr;
+    std::lock_guard lock(snapshot.build_mutex);
+    fast = snapshot.fast.load(std::memory_order_relaxed);
+    if (fast != nullptr) return fast;  // another thread compiled it
+    snapshot.fast_storage = std::make_unique<Dir24_8>(snapshot.trie);
+    fast = snapshot.fast_storage.get();
+    snapshot.fast.store(fast, std::memory_order_release);
+    return fast;
+}
+
+bool PrefixTable::fast_lookup_compiled(MonthKey month) const {
+    const Snapshot* snapshot = snapshot_for(month);
+    return snapshot != nullptr &&
+           snapshot->fast.load(std::memory_order_acquire) != nullptr;
 }
 
 std::size_t PrefixTable::load_pfx2as(std::istream& in, MonthKey month) {
@@ -96,7 +121,7 @@ std::size_t PrefixTable::dump_pfx2as(std::ostream& out, MonthKey month) const {
     auto it = snapshots_.find(month);
     if (it == snapshots_.end()) return 0;
     std::vector<std::pair<net::IPv4Prefix, std::uint32_t>> routes;
-    it->second.for_each([&](net::IPv4Prefix prefix, std::uint32_t asn) {
+    it->second.trie.for_each([&](net::IPv4Prefix prefix, std::uint32_t asn) {
         routes.emplace_back(prefix, asn);
     });
     std::sort(routes.begin(), routes.end());
@@ -109,17 +134,17 @@ std::size_t PrefixTable::dump_pfx2as(std::ostream& out, MonthKey month) const {
 std::vector<MonthKey> PrefixTable::snapshot_months() const {
     std::vector<MonthKey> months;
     months.reserve(snapshots_.size());
-    for (const auto& [month, trie] : snapshots_) months.push_back(month);
+    for (const auto& [month, snapshot] : snapshots_) months.push_back(month);
     return months;
 }
 
 std::size_t PrefixTable::route_count() const {
     std::size_t total = 0;
-    for (const auto& [month, trie] : snapshots_) total += trie.size();
+    for (const auto& [month, snapshot] : snapshots_) total += snapshot.trie.size();
     return total;
 }
 
-const RadixTrie* PrefixTable::snapshot_for(MonthKey month) const {
+const PrefixTable::Snapshot* PrefixTable::snapshot_for(MonthKey month) const {
     if (snapshots_.empty()) return nullptr;
     auto it = snapshots_.upper_bound(month);
     if (it == snapshots_.begin()) return &it->second;  // before first snapshot

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "bgp/dir24_8.hpp"
 #include "bgp/radix_trie.hpp"
 #include "netcore/time.hpp"
 
@@ -28,6 +32,14 @@ using MonthKey = std::int64_t;
 /// month has no snapshot, the nearest earlier snapshot is used (a fresh
 /// table inherits the previous month's routes), falling back to the
 /// nearest later one for queries preceding the first snapshot.
+///
+/// Each snapshot keeps its RadixTrie as builder and oracle; snapshots at
+/// or above `fast_lookup_threshold` routes lazily compile a flat Dir24_8
+/// table on first lookup so LPM stays O(1) at full-table scale. The
+/// compile is double-checked under a mutex, so concurrent const lookups
+/// (the sharded analysis pipeline) race safely; announce() is a build-time
+/// mutation and must not run concurrently with lookups, exactly as
+/// before.
 class PrefixTable {
 public:
     /// Announces `prefix` with origin `asn` in the snapshot for `month`.
@@ -67,10 +79,37 @@ public:
     /// Total announced routes across snapshots.
     [[nodiscard]] std::size_t route_count() const;
 
-private:
-    [[nodiscard]] const RadixTrie* snapshot_for(MonthKey month) const;
+    /// Route count at which a snapshot compiles a Dir24_8 fast path on
+    /// first lookup. Small simulated tables stay trie-only (a 64 MiB flat
+    /// table per tiny snapshot would be pure waste); full pfx2as imports
+    /// cross the threshold. Settable mainly for tests and benches.
+    void set_fast_lookup_threshold(std::size_t routes) {
+        fast_lookup_threshold_ = routes;
+    }
+    [[nodiscard]] std::size_t fast_lookup_threshold() const {
+        return fast_lookup_threshold_;
+    }
 
-    std::map<MonthKey, RadixTrie> snapshots_;
+    /// True when the snapshot serving month `month` has a compiled
+    /// Dir24_8 (observability for tests).
+    [[nodiscard]] bool fast_lookup_compiled(MonthKey month) const;
+
+private:
+    /// One month's routes: the trie plus a lazily-compiled flat table.
+    struct Snapshot {
+        RadixTrie trie;
+        mutable std::atomic<const Dir24_8*> fast{nullptr};
+        mutable std::unique_ptr<Dir24_8> fast_storage;
+        mutable std::mutex build_mutex;
+    };
+
+    [[nodiscard]] const Snapshot* snapshot_for(MonthKey month) const;
+    /// The snapshot's Dir24_8, compiling it if warranted; nullptr when the
+    /// snapshot stays trie-only.
+    [[nodiscard]] const Dir24_8* fast_for(const Snapshot& snapshot) const;
+
+    std::map<MonthKey, Snapshot> snapshots_;
+    std::size_t fast_lookup_threshold_ = 4096;
 };
 
 }  // namespace dynaddr::bgp

@@ -48,6 +48,10 @@ public:
     }
 
 private:
+    // Dir24_8 compiles its flat lookup tables straight off nodes_ (one DFS
+    // carrying the inherited match instead of per-prefix range painting).
+    friend class Dir24_8;
+
     struct Node {
         std::int32_t child[2] = {-1, -1};
         std::uint32_t value = 0;

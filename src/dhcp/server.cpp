@@ -1,5 +1,7 @@
 #include "dhcp/server.hpp"
 
+#include <algorithm>
+
 #include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
@@ -214,12 +216,23 @@ void Server::expire_leases() {
 }
 
 void Server::schedule_expiry_sweep() {
-    // One pending sweep at the earliest expiry keeps pool state current
-    // even when no client interaction happens for a long time.
+    // One pending sweep at (or quantum-rounded just after) the earliest
+    // expiry keeps pool state current even when no client interaction
+    // happens for a long time. The sweep is batched: grants only touch
+    // the timer when their expiry precedes the pending sweep, instead of
+    // cancelling and rescheduling one event per lease.
     auto next = leases_.next_expiry();
     if (!next) return;
-    if (sweep_event_) sim_->cancel(*sweep_event_);
-    sweep_event_ = sim_->at(*next, [this](net::TimePoint) {
+    const std::int64_t quantum = std::max<std::int64_t>(
+        1, config_.expiry_sweep_quantum.count());
+    const net::TimePoint target{
+        (next->unix_seconds() + quantum - 1) / quantum * quantum};
+    if (sweep_event_) {
+        if (sweep_at_ <= target) return;  // pending sweep is early enough
+        sim_->cancel(*sweep_event_);
+    }
+    sweep_at_ = target;
+    sweep_event_ = sim_->at(target, [this](net::TimePoint) {
         sweep_event_.reset();
         expire_leases();
         schedule_expiry_sweep();

@@ -168,7 +168,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
             if (cohort.protocol == atlas::CpeConfig::Wan::Dhcp) {
                 world.dhcp_servers.emplace_back(
                     dhcp::ServerConfig{cohort.dhcp_lease, cohort.dhcp_max_age,
-                                       cohort.dhcp_max_age_jitter},
+                                       cohort.dhcp_max_age_jitter,
+                                       cohort.dhcp_sweep_quantum},
                     pool, world.sim);
                 backend.dhcp = &world.dhcp_servers.back();
             } else {

@@ -51,45 +51,6 @@ Stream Stream::child(std::uint64_t index) const {
     return Stream{seed};
 }
 
-std::uint64_t Stream::next_u64() {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-double Stream::next_double() {
-    return double(next_u64() >> 11) * 0x1.0p-53;
-}
-
-std::int64_t Stream::uniform_int(std::int64_t lo, std::int64_t hi) {
-    if (lo > hi) throw Error("uniform_int: lo > hi");
-    const std::uint64_t range = std::uint64_t(hi) - std::uint64_t(lo) + 1;
-    if (range == 0) return std::int64_t(next_u64());  // full 64-bit range
-    // Rejection sampling to avoid modulo bias.
-    const std::uint64_t limit = range * (UINT64_MAX / range);
-    std::uint64_t draw;
-    do {
-        draw = next_u64();
-    } while (draw >= limit);
-    return lo + std::int64_t(draw % range);
-}
-
-double Stream::uniform(double lo, double hi) {
-    return lo + (hi - lo) * next_double();
-}
-
-bool Stream::bernoulli(double p) {
-    if (p <= 0.0) return false;
-    if (p >= 1.0) return true;
-    return next_double() < p;
-}
-
 double Stream::exponential(double mean) {
     if (mean <= 0.0) throw Error("exponential: mean must be positive");
     double u;
@@ -123,20 +84,6 @@ double Stream::pareto(double lo, double hi, double alpha) {
     const double ha = std::pow(hi, alpha);
     // Inverse CDF of the bounded Pareto: u=0 -> lo, u->1 -> hi.
     return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
-}
-
-std::size_t Stream::weighted_index(std::span<const double> weights) {
-    if (weights.empty()) throw Error("weighted_index: empty weights");
-    double total = 0.0;
-    for (double w : weights) total += w > 0.0 ? w : 0.0;
-    if (total <= 0.0) throw Error("weighted_index: weights sum to zero");
-    double draw = next_double() * total;
-    for (std::size_t i = 0; i < weights.size(); ++i) {
-        const double w = weights[i] > 0.0 ? weights[i] : 0.0;
-        if (draw < w) return i;
-        draw -= w;
-    }
-    return weights.size() - 1;  // floating-point slack lands on the last bin
 }
 
 }  // namespace dynaddr::rng

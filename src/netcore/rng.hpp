@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "netcore/error.hpp"
+
 namespace dynaddr::rng {
 
 /// Mixes a 64-bit value with the splitmix64 finalizer. Used for seeding
@@ -28,20 +30,71 @@ public:
     /// Derives an independent child stream keyed by an index.
     [[nodiscard]] Stream child(std::uint64_t index) const;
 
+    // The per-draw primitives below are defined inline: the address-pool
+    // data plane draws on every allocation, and an out-of-line call (plus
+    // the lost constant propagation) costs more than the draw itself.
+
     /// Next raw 64-bit value.
-    std::uint64_t next_u64();
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl_(state_[3], 45);
+        return result;
+    }
 
     /// Uniform double in [0, 1).
-    double next_double();
+    double next_double() { return double(next_u64() >> 11) * 0x1.0p-53; }
 
     /// Uniform integer in [lo, hi] inclusive. Throws Error if lo > hi.
-    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        if (lo > hi) throw Error("uniform_int: lo > hi");
+        const std::uint64_t range = std::uint64_t(hi) - std::uint64_t(lo) + 1;
+        if (range == 0) return std::int64_t(next_u64());  // full 64-bit range
+        // Rejection sampling to avoid modulo bias. Tight allocation loops
+        // draw from the same range over and over, so the rejection limit
+        // and a 2^64/range reciprocal are cached per range, replacing the
+        // two hardware divides with one multiply-high plus fixups. The
+        // accepted draw and the returned value are identical to the plain
+        // draw % range formulation.
+        if (range != cached_range_) {
+            const std::uint64_t quot = UINT64_MAX / range;
+            cached_range_ = range;
+            cached_limit_ = range * quot;
+            // floor(2^64 / range); for range == 1 the true value 2^64
+            // does not fit, but the modulo below is a constant 0 there.
+            cached_recip_ = quot + (UINT64_MAX % range + 1 == range ? 1 : 0);
+        }
+        const std::uint64_t limit = cached_limit_;
+        std::uint64_t draw;
+        do {
+            draw = next_u64();
+        } while (draw >= limit);
+        if (range == 1) return lo;
+        // q underestimates draw / range by at most 2; fix up.
+        const std::uint64_t q = std::uint64_t(
+            (unsigned __int128)(draw)*cached_recip_ >> 64);
+        std::uint64_t rem = draw - q * range;
+        if (rem >= range) rem -= range;
+        if (rem >= range) rem -= range;
+        return lo + std::int64_t(rem);
+    }
 
     /// Uniform double in [lo, hi).
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi) {
+        return lo + (hi - lo) * next_double();
+    }
 
     /// Bernoulli trial with success probability p (clamped to [0,1]).
-    bool bernoulli(double p);
+    bool bernoulli(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return next_double() < p;
+    }
 
     /// Exponential deviate with the given mean (> 0).
     double exponential(double mean);
@@ -58,7 +111,31 @@ public:
 
     /// Picks an index in [0, weights.size()) with probability proportional
     /// to weights[i]. Throws Error when weights are empty or sum to zero.
-    std::size_t weighted_index(std::span<const double> weights);
+    std::size_t weighted_index(std::span<const double> weights) {
+        if (weights.empty()) throw Error("weighted_index: empty weights");
+        if (weights.size() == 2) {
+            // Branchless two-bin path: the address pools draw between two
+            // prefixes at line rate, and the 50/50 data-dependent branch
+            // in the generic walk mispredicts half the time. Same
+            // clamping, same summation order, same single draw and same
+            // comparison as the loop below — bit-identical results.
+            const double w0 = weights[0] > 0.0 ? weights[0] : 0.0;
+            const double w1 = weights[1] > 0.0 ? weights[1] : 0.0;
+            const double total = w0 + w1;
+            if (total <= 0.0) throw Error("weighted_index: weights sum to zero");
+            return std::size_t(!(next_double() * total < w0));
+        }
+        double total = 0.0;
+        for (double w : weights) total += w > 0.0 ? w : 0.0;
+        if (total <= 0.0) throw Error("weighted_index: weights sum to zero");
+        double draw = next_double() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+            if (draw < w) return i;
+            draw -= w;
+        }
+        return weights.size() - 1;  // floating-point slack lands on the last bin
+    }
 
     /// Fisher-Yates shuffle.
     template <typename T>
@@ -71,7 +148,16 @@ public:
     }
 
 private:
+    static constexpr std::uint64_t rotl_(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t state_[4];
+    // uniform_int rejection-limit cache; pure derived state, not part of
+    // the stream's identity (draw sequences are unaffected by it).
+    std::uint64_t cached_range_ = 0;
+    std::uint64_t cached_limit_ = 0;
+    std::uint64_t cached_recip_ = 0;
 };
 
 }  // namespace dynaddr::rng

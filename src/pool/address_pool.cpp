@@ -1,6 +1,7 @@
 #include "pool/address_pool.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "netcore/error.hpp"
@@ -28,11 +29,28 @@ PoolMetrics& pool_metrics() {
     return metrics;
 }
 
+inline bool test_bit(const std::vector<std::uint64_t>& words, std::uint32_t bit) {
+    return (words[bit >> 6] >> (bit & 63)) & 1u;
+}
+
+inline void set_bit(std::vector<std::uint64_t>& words, std::uint32_t bit) {
+    words[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+}
+
+inline void clear_bit(std::vector<std::uint64_t>& words, std::uint32_t bit) {
+    words[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
+}
+
 }  // namespace
 
 AddressPool::AddressPool(PoolConfig config, rng::Stream rng)
     : config_(std::move(config)), rng_(rng) {
     if (config_.prefixes.empty()) throw Error("address pool needs prefixes");
+    // Only the sticky hint path (take_slot) and the sequential low-scan
+    // read the slot→bucket-position index; the purely random strategies
+    // skip its two random-access stores per op.
+    maintain_free_pos_ = config_.strategy == AllocationStrategy::Sticky ||
+                         config_.strategy == AllocationStrategy::Sequential;
     for (std::size_t i = 0; i < config_.prefixes.size(); ++i)
         for (std::size_t j = i + 1; j < config_.prefixes.size(); ++j)
             if (config_.prefixes[i].contains(config_.prefixes[j]) ||
@@ -40,7 +58,19 @@ AddressPool::AddressPool(PoolConfig config, rng::Stream rng)
                 throw Error("address pool prefixes overlap: " +
                             config_.prefixes[i].to_string() + " and " +
                             config_.prefixes[j].to_string());
+    slot_base_.reserve(config_.prefixes.size());
+    for (const auto& prefix : config_.prefixes) {
+        slot_base_.push_back(std::uint32_t(slot_count_));
+        slot_count_ += prefix.size();
+    }
+    if (slot_count_ > std::uint64_t{0xFFFFFFFF})
+        throw Error("address pool spans 2^32 or more addresses");
+    const std::size_t words = std::size_t((slot_count_ + 63) / 64);
+    free_words_.assign(words, 0);
+    alloc_words_.assign(words, 0);
+    free_pos_.assign(std::size_t(slot_count_), kNoSlot);
     free_by_prefix_.resize(config_.prefixes.size());
+    weights_scratch_.resize(config_.prefixes.size());
     prefix_enabled_.assign(config_.prefixes.size(), true);
     for (std::size_t index : config_.initially_disabled) {
         if (index >= config_.prefixes.size())
@@ -49,34 +79,62 @@ AddressPool::AddressPool(PoolConfig config, rng::Stream rng)
     }
     for (std::size_t p = 0; p < config_.prefixes.size(); ++p) {
         if (!prefix_enabled_[p]) continue;
-        const auto& prefix = config_.prefixes[p];
+        const std::uint64_t size = config_.prefixes[p].size();
         auto& bucket = free_by_prefix_[p];
-        bucket.reserve(prefix.size());
-        for (std::uint64_t i = 0; i < prefix.size(); ++i) {
-            free_pos_.emplace(prefix.at(i), std::pair{p, bucket.size()});
-            bucket.push_back(prefix.at(i));
+        bucket.reserve(size);
+        for (std::uint64_t i = 0; i < size; ++i) {
+            const auto slot = std::uint32_t(slot_base_[p] + i);
+            set_bit(free_words_, slot);
+            free_pos_[slot] = std::uint32_t(bucket.size());
+            bucket.push_back(slot);
         }
         total_free_ += bucket.size();
     }
-    sync_gauges();
+    binding_bound_ = config_.max_remembered_bindings
+                         ? config_.max_remembered_bindings
+                         : std::max<std::size_t>(65536, 4 * std::size_t(slot_count_));
+    binding_trigger_ = binding_bound_;
+    flush_metrics();
     DYNADDR_LOG(Debug, pool, "pool created: ", config_.prefixes.size(),
                 " prefixes, ", total_free_, " free addresses");
 }
 
 AddressPool::~AddressPool() {
+    flush_metrics();
     PoolMetrics& metrics = pool_metrics();
     metrics.occupancy.add(-std::int64_t(reported_occupancy_));
     metrics.free_addresses.add(-std::int64_t(reported_free_));
 }
 
-void AddressPool::sync_gauges() {
+void AddressPool::note_op() {
+    if (++ops_since_flush_ >= kMetricsFlushOps) flush_metrics();
+}
+
+void AddressPool::flush_metrics() {
+    ops_since_flush_ = 0;
     PoolMetrics& metrics = pool_metrics();
-    metrics.occupancy.add(std::int64_t(allocated_count()) -
-                          std::int64_t(reported_occupancy_));
-    metrics.free_addresses.add(std::int64_t(total_free_) -
-                               std::int64_t(reported_free_));
-    reported_occupancy_ = allocated_count();
-    reported_free_ = total_free_;
+    if (pending_allocations_) {
+        metrics.allocations.inc(pending_allocations_);
+        pending_allocations_ = 0;
+    }
+    if (pending_releases_) {
+        metrics.releases.inc(pending_releases_);
+        pending_releases_ = 0;
+    }
+    if (pending_churn_) {
+        metrics.churn.inc(pending_churn_);
+        pending_churn_ = 0;
+    }
+    if (allocated_count() != reported_occupancy_) {
+        metrics.occupancy.add(std::int64_t(allocated_count()) -
+                              std::int64_t(reported_occupancy_));
+        reported_occupancy_ = allocated_count();
+    }
+    if (total_free_ != reported_free_) {
+        metrics.free_addresses.add(std::int64_t(total_free_) -
+                                   std::int64_t(reported_free_));
+        reported_free_ = total_free_;
+    }
 }
 
 void AddressPool::retire_prefix(std::size_t index) {
@@ -84,10 +142,10 @@ void AddressPool::retire_prefix(std::size_t index) {
     if (!prefix_enabled_[index]) return;
     prefix_enabled_[index] = false;
     auto& bucket = free_by_prefix_[index];
-    for (const auto addr : bucket) free_pos_.erase(addr);
+    for (const auto slot : bucket) clear_bit(free_words_, slot);
     total_free_ -= bucket.size();
     bucket.clear();
-    sync_gauges();
+    flush_metrics();
     DYNADDR_LOG(Info, pool, "retired prefix ",
                 config_.prefixes[index].to_string());
 }
@@ -96,16 +154,17 @@ void AddressPool::enable_prefix(std::size_t index) {
     if (index >= config_.prefixes.size()) throw Error("prefix index out of range");
     if (prefix_enabled_[index]) return;
     prefix_enabled_[index] = true;
-    const auto& prefix = config_.prefixes[index];
+    const std::uint64_t size = config_.prefixes[index].size();
     auto& bucket = free_by_prefix_[index];
-    for (std::uint64_t i = 0; i < prefix.size(); ++i) {
-        const auto addr = prefix.at(i);
-        if (holder_by_addr_.contains(addr)) continue;  // survived retirement
-        free_pos_.emplace(addr, std::pair{index, bucket.size()});
-        bucket.push_back(addr);
+    for (std::uint64_t i = 0; i < size; ++i) {
+        const auto slot = std::uint32_t(slot_base_[index] + i);
+        if (test_bit(alloc_words_, slot)) continue;  // survived retirement
+        set_bit(free_words_, slot);
+        free_pos_[slot] = std::uint32_t(bucket.size());
+        bucket.push_back(slot);
         ++total_free_;
     }
-    sync_gauges();
+    flush_metrics();
     DYNADDR_LOG(Info, pool, "enabled prefix ",
                 config_.prefixes[index].to_string());
 }
@@ -118,86 +177,139 @@ bool AddressPool::is_retired(net::IPv4Address addr) const {
 std::optional<net::IPv4Address> AddressPool::allocate(
     ClientId client, net::TimePoint now, std::optional<net::IPv4Address> hint,
     std::optional<net::TimePoint> absent_since) {
-    // A client re-requesting while already holding an address keeps it
-    // (lease renewal).
-    if (auto held = address_of(client)) return held;
+    last_now_ = now;
+
+    // The remembered binding is kept as a slot; it is never materialized
+    // as an address on this path (the slot→address→prefix round-trip was
+    // measurable at line rate).
+    std::uint32_t rem_slot = kNoSlot;
+    if (const ClientEntry* entry = entry_find(client)) {
+        // A client re-requesting while already holding an address keeps
+        // it (lease renewal).
+        if (entry->cur_slot != kNoSlot) return addr_of_slot(entry->cur_slot);
+        rem_slot = entry->rem_slot;
+    }
 
     // Fault-injected exhaustion: renewals above still succeed, but no
     // fresh address leaves the pool.
     if (fault_exhausted_) return std::nullopt;
 
-    std::optional<net::IPv4Address> previous;
-    if (auto it = remembered_binding_.find(client); it != remembered_binding_.end())
-        previous = it->second;
-
     if (config_.strategy == AllocationStrategy::Sticky) {
         const net::Duration absent =
             absent_since ? now - *absent_since : net::Duration{0};
-        // Honour the explicit hint first, then the server-side binding.
-        for (auto candidate : {hint, previous}) {
-            if (!candidate || !is_free(*candidate)) continue;
-            if (prefix_index_of(*candidate) < 0) continue;  // not our space
-            if (!binding_survives(absent)) break;  // someone else took it
-            take(*candidate, client);
-            return candidate;
+        // Honour the explicit hint first, then the server-side binding. A
+        // candidate must pass membership and enabled-prefix checks before
+        // anything else — a hint into foreign or retired space is declined
+        // without touching the occupancy state. A failed survival draw
+        // (someone else took the address while the client was away) rules
+        // out the remaining candidate too, as the reference pool does.
+        bool binding_lost = false;
+        if (hint) {
+            const int p = prefix_index_of(*hint);
+            if (p >= 0 && prefix_enabled_[std::size_t(p)]) {
+                const auto slot = std::uint32_t(
+                    slot_base_[std::size_t(p)] +
+                    (hint->value() -
+                     config_.prefixes[std::size_t(p)].base().value()));
+                if (test_bit(free_words_, slot)) {
+                    if (binding_survives(absent)) {
+                        take_slot(slot, std::size_t(p), client);
+                        return hint;
+                    }
+                    binding_lost = true;
+                }
+            }
+        }
+        if (!binding_lost && rem_slot != kNoSlot) {
+            const std::size_t p = prefix_of_slot(rem_slot);
+            if (prefix_enabled_[p] && test_bit(free_words_, rem_slot) &&
+                binding_survives(absent)) {
+                take_slot(rem_slot, p, client);
+                return addr_of_slot(rem_slot);
+            }
         }
     }
 
-    std::optional<net::IPv4Address> chosen;
+    // The pickers only need the *prefix* of the previous address (locality
+    // bias, hop avoidance). -1 encodes "previous address outside the
+    // pool's space" — distinct from nullopt, which is "no previous address
+    // at all", because the locality draw happens in the former case too.
+    std::optional<int> prev_prefix;
+    if (rem_slot != kNoSlot)
+        prev_prefix = int(prefix_of_slot(rem_slot));
+    else if (hint)
+        prev_prefix = prefix_index_of(*hint);
+
+    std::optional<Picked> chosen;
     switch (config_.strategy) {
         case AllocationStrategy::Sticky:
             // Binding gone: the server allocates fresh like any pool draw.
-            chosen = pick_random_spread(previous ? previous : hint);
+            chosen = pick_random_spread(prev_prefix);
             break;
         case AllocationStrategy::Sequential:
             chosen = pick_sequential();
             break;
         case AllocationStrategy::RandomSpread:
-            chosen = pick_random_spread(previous ? previous : hint);
+            chosen = pick_random_spread(prev_prefix);
             break;
         case AllocationStrategy::PrefixHop:
-            chosen = pick_prefix_hop(previous ? previous : hint);
+            chosen = pick_prefix_hop(prev_prefix);
             break;
     }
     if (!chosen) {
         DYNADDR_LOG(Warn, pool, "pool exhausted for client ", client);
         return std::nullopt;
     }
-    take(*chosen, client);
+    const std::uint32_t slot = take_picked(*chosen, client);
+    const std::size_t cp = chosen->prefix;
+    const net::IPv4Address chosen_addr{config_.prefixes[cp].base().value() +
+                                       (slot - slot_base_[cp])};
     // A fresh draw while a previous binding exists means the subscriber
     // came back and got a different address — pool-induced churn.
-    if (previous && *previous != *chosen) pool_metrics().churn.inc();
-    return chosen;
+    if (rem_slot != kNoSlot && rem_slot != slot) ++pending_churn_;
+    return chosen_addr;
 }
 
 void AddressPool::release(ClientId client) {
-    auto it = addr_by_holder_.find(client);
-    if (it == addr_by_holder_.end()) return;
-    const net::IPv4Address addr = it->second;
-    addr_by_holder_.erase(it);
-    holder_by_addr_.erase(addr);
-    remembered_binding_[client] = addr;
-    pool_metrics().releases.inc();
-    const int p = prefix_index_of(addr);
-    if (!prefix_enabled_[std::size_t(p)]) {  // retired: abandon it
-        sync_gauges();
+    ClientEntry* entry = entry_find(client);
+    if (!entry || entry->cur_slot == kNoSlot) return;
+    const std::uint32_t slot = entry->cur_slot;
+    entry->cur_slot = kNoSlot;
+    clear_bit(alloc_words_, slot);
+    --total_allocated_;
+    if (entry->rem_slot == kNoSlot) ++binding_count_;
+    entry->rem_slot = slot;
+    entry->rem_stamp = last_now_.unix_seconds();
+    ++pending_releases_;
+    // Every held slot came out of this pool's slot space, so the old
+    // foreign-address case (prefix_index_of == -1 indexed as size_t) is
+    // structurally impossible here.
+    const std::size_t p = prefix_of_slot(slot);
+    if (!prefix_enabled_[p]) {  // retired: abandon it
+        note_op();
+        maybe_prune_bindings();
         return;
     }
-    auto& bucket = free_by_prefix_[std::size_t(p)];
-    free_pos_.emplace(addr, std::pair{std::size_t(p), bucket.size()});
-    bucket.push_back(addr);
+    auto& bucket = free_by_prefix_[p];
+    set_bit(free_words_, slot);
+    if (maintain_free_pos_) free_pos_[slot] = std::uint32_t(bucket.size());
+    bucket.push_back(slot);
     ++total_free_;
-    sync_gauges();
+    note_op();
+    maybe_prune_bindings();
 }
 
 std::optional<net::IPv4Address> AddressPool::address_of(ClientId client) const {
-    auto it = addr_by_holder_.find(client);
-    if (it == addr_by_holder_.end()) return std::nullopt;
-    return it->second;
+    const ClientEntry* entry = entry_find(client);
+    if (!entry || entry->cur_slot == kNoSlot) return std::nullopt;
+    return addr_of_slot(entry->cur_slot);
 }
 
 void AddressPool::forget_binding(ClientId client) {
-    remembered_binding_.erase(client);
+    ClientEntry* entry = entry_find(client);
+    if (!entry || entry->rem_slot == kNoSlot) return;
+    entry->rem_slot = kNoSlot;
+    --binding_count_;
 }
 
 double AddressPool::utilization() const {
@@ -213,78 +325,154 @@ bool AddressPool::binding_survives(net::Duration absent) {
     return !rng_.bernoulli(p_taken);
 }
 
-bool AddressPool::is_free(net::IPv4Address addr) const {
-    return free_pos_.contains(addr);
-}
-
-void AddressPool::take(net::IPv4Address addr, ClientId client) {
-    auto pos_it = free_pos_.find(addr);
-    if (pos_it == free_pos_.end()) throw Error("taking non-free address");
-    const auto [p, pos] = pos_it->second;
-    auto& bucket = free_by_prefix_[p];
-    // Swap-remove, fixing up the moved entry's index.
-    bucket[pos] = bucket.back();
-    free_pos_[bucket[pos]] = {p, pos};
+std::uint32_t AddressPool::take_picked(Picked pick, ClientId client) {
+    auto& bucket = free_by_prefix_[pick.prefix];
+    const std::uint32_t slot = bucket[pick.pos];
+    // Swap-remove, fixing up the moved slot's index.
+    bucket[pick.pos] = bucket.back();
+    if (maintain_free_pos_) free_pos_[bucket[pick.pos]] = pick.pos;
     bucket.pop_back();
-    free_pos_.erase(addr);
+    clear_bit(free_words_, slot);
     --total_free_;
-    holder_by_addr_.emplace(addr, client);
-    addr_by_holder_.emplace(client, addr);
-    pool_metrics().allocations.inc();
-    sync_gauges();
+    set_bit(alloc_words_, slot);
+    ++total_allocated_;
+    entry_ensure(client).cur_slot = slot;
+    ++pending_allocations_;
+    note_op();
+    return slot;
 }
 
-std::optional<net::IPv4Address> AddressPool::pick_sequential() {
-    for (const auto& bucket : free_by_prefix_) {
-        if (bucket.empty()) continue;
-        return *std::min_element(bucket.begin(), bucket.end());
+void AddressPool::take_slot(std::uint32_t slot, std::size_t prefix,
+                            ClientId client) {
+    if (!test_bit(free_words_, slot)) throw Error("taking non-free address");
+    take_picked(Picked{free_pos_[slot], std::uint32_t(prefix)}, client);
+}
+
+std::optional<AddressPool::Picked> AddressPool::pick_sequential() {
+    for (std::size_t p = 0; p < free_by_prefix_.size(); ++p) {
+        if (free_by_prefix_[p].empty()) continue;
+        return Picked{free_pos_[first_free_slot_in(p)], std::uint32_t(p)};
     }
     return std::nullopt;
 }
 
-std::optional<net::IPv4Address> AddressPool::pick_random() {
+std::optional<AddressPool::Picked> AddressPool::pick_random() {
     if (total_free_ == 0) return std::nullopt;
-    std::vector<double> weights(free_by_prefix_.size());
     for (std::size_t p = 0; p < free_by_prefix_.size(); ++p)
-        weights[p] = double(free_by_prefix_[p].size());
-    return pick_in_prefix(rng_.weighted_index(weights));
+        weights_scratch_[p] = double(free_by_prefix_[p].size());
+    return pick_in_prefix(rng_.weighted_index(weights_scratch_));
 }
 
-std::optional<net::IPv4Address> AddressPool::pick_in_prefix(std::size_t index) {
+std::optional<AddressPool::Picked> AddressPool::pick_in_prefix(
+    std::size_t index) {
     auto& bucket = free_by_prefix_[index];
     if (bucket.empty()) return std::nullopt;
-    return bucket[std::size_t(rng_.uniform_int(0, std::int64_t(bucket.size()) - 1))];
+    const auto pos = std::uint32_t(
+        rng_.uniform_int(0, std::int64_t(bucket.size()) - 1));
+    return Picked{pos, std::uint32_t(index)};
 }
 
-std::optional<net::IPv4Address> AddressPool::pick_random_spread(
-    std::optional<net::IPv4Address> previous) {
-    if (previous && config_.locality_bias > 0.0 &&
+std::optional<AddressPool::Picked> AddressPool::pick_random_spread(
+    std::optional<int> prev_prefix) {
+    if (prev_prefix && config_.locality_bias > 0.0 &&
         rng_.bernoulli(config_.locality_bias)) {
-        const int p = prefix_index_of(*previous);
-        if (p >= 0)
-            if (auto local = pick_in_prefix(std::size_t(p))) return local;
+        if (*prev_prefix >= 0)
+            if (auto local = pick_in_prefix(std::size_t(*prev_prefix)))
+                return local;
     }
     return pick_random();
 }
 
-std::optional<net::IPv4Address> AddressPool::pick_prefix_hop(
-    std::optional<net::IPv4Address> previous) {
-    const int avoid = previous ? prefix_index_of(*previous) : -1;
+std::optional<AddressPool::Picked> AddressPool::pick_prefix_hop(
+    std::optional<int> prev_prefix) {
+    const int avoid = prev_prefix.value_or(-1);
     if (avoid < 0 || config_.prefixes.size() < 2) return pick_random();
-    std::vector<double> weights(free_by_prefix_.size());
     double other_total = 0.0;
     for (std::size_t p = 0; p < free_by_prefix_.size(); ++p) {
-        weights[p] = p == std::size_t(avoid) ? 0.0 : double(free_by_prefix_[p].size());
-        other_total += weights[p];
+        weights_scratch_[p] =
+            p == std::size_t(avoid) ? 0.0 : double(free_by_prefix_[p].size());
+        other_total += weights_scratch_[p];
     }
     if (other_total <= 0.0) return pick_random();  // only the old prefix has space
-    return pick_in_prefix(rng_.weighted_index(weights));
+    return pick_in_prefix(rng_.weighted_index(weights_scratch_));
 }
 
 int AddressPool::prefix_index_of(net::IPv4Address addr) const {
     for (std::size_t i = 0; i < config_.prefixes.size(); ++i)
         if (config_.prefixes[i].contains(addr)) return int(i);
     return -1;
+}
+
+std::size_t AddressPool::prefix_of_slot(std::uint32_t slot) const {
+    // slot_base_ is ascending by construction; for the handful of prefixes
+    // a pool holds this compiles to a short branchless scan.
+    const auto it = std::upper_bound(slot_base_.begin(), slot_base_.end(), slot);
+    return std::size_t(it - slot_base_.begin()) - 1;
+}
+
+net::IPv4Address AddressPool::addr_of_slot(std::uint32_t slot) const {
+    const std::size_t p = prefix_of_slot(slot);
+    return net::IPv4Address{config_.prefixes[p].base().value() +
+                            (slot - slot_base_[p])};
+}
+
+std::uint32_t AddressPool::first_free_slot_in(std::size_t p) const {
+    const std::uint32_t begin = slot_base_[p];
+    const auto end = std::uint32_t(begin + config_.prefixes[p].size());
+    const std::uint32_t first = begin >> 6, last = (end - 1) >> 6;
+    for (std::uint32_t w = first; w <= last; ++w) {
+        std::uint64_t word = free_words_[w];
+        if (w == first) word &= ~std::uint64_t{0} << (begin & 63);
+        if (w == last && (end & 63) != 0)
+            word &= (std::uint64_t{1} << (end & 63)) - 1;
+        if (word) return (w << 6) + std::uint32_t(std::countr_zero(word));
+    }
+    throw Error("free bitmap and bucket disagree");  // caller checked non-empty
+}
+
+const AddressPool::ClientEntry* AddressPool::entry_find(ClientId client) const {
+    if (client < kDenseClientCap) {
+        if (client >= clients_dense_.size()) return nullptr;
+        return &clients_dense_[std::size_t(client)];
+    }
+    const auto it = clients_sparse_.find(client);
+    return it == clients_sparse_.end() ? nullptr : &it->second;
+}
+
+AddressPool::ClientEntry* AddressPool::entry_find(ClientId client) {
+    return const_cast<ClientEntry*>(
+        static_cast<const AddressPool*>(this)->entry_find(client));
+}
+
+AddressPool::ClientEntry& AddressPool::entry_ensure(ClientId client) {
+    if (client < kDenseClientCap) {
+        if (client >= clients_dense_.size())
+            clients_dense_.resize(std::size_t(client) + 1);
+        return clients_dense_[std::size_t(client)];
+    }
+    return clients_sparse_[client];
+}
+
+void AddressPool::maybe_prune_bindings() {
+    if (binding_count_ <= binding_trigger_) return;
+    // With churn == 0 the model says bindings survive indefinitely, so
+    // there is no horizon to prune against.
+    if (config_.churn_per_hour <= 0.0) return;
+    // Absence beyond this makes reclamation near-certain (p > 1 - 1e-9);
+    // dropping such a binding is indistinguishable from the churn draw in
+    // all but one case per billion.
+    const double horizon_hours = std::log(1e9) / config_.churn_per_hour;
+    const std::int64_t cutoff =
+        last_now_.unix_seconds() - std::int64_t(horizon_hours * 3600.0) - 1;
+    const auto prune = [&](ClientEntry& entry) {
+        if (entry.rem_slot == kNoSlot || entry.rem_stamp > cutoff) return;
+        entry.rem_slot = kNoSlot;
+        --binding_count_;
+    };
+    for (auto& entry : clients_dense_) prune(entry);
+    for (auto& [client, entry] : clients_sparse_) prune(entry);
+    // Re-arm above the surviving population so sweeps stay amortized.
+    binding_trigger_ = std::max(binding_bound_, binding_count_ + binding_bound_ / 4);
 }
 
 }  // namespace dynaddr::pool

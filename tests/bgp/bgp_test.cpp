@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "bgp/as_registry.hpp"
+#include "bgp/dir24_8.hpp"
 #include "bgp/prefix_table.hpp"
 #include "bgp/radix_trie.hpp"
 #include "netcore/error.hpp"
@@ -232,6 +233,143 @@ TEST(PrefixTable, RoutedPrefixReturnsMostSpecific) {
                                      TimePoint::from_date(2015, 1, 2));
     ASSERT_TRUE(match);
     EXPECT_EQ(match->prefix.to_string(), "10.5.0.0/16");
+}
+
+// -- Dir24_8 ---------------------------------------------------------------
+
+TEST(Dir24_8, EmptyTableMissesEverything) {
+    Dir24_8 table;
+    EXPECT_FALSE(table.longest_match(IPv4Address(1, 2, 3, 4)));
+    EXPECT_EQ(table.size(), 0u);
+    Dir24_8 from_empty_trie{RadixTrie{}};
+    EXPECT_FALSE(from_empty_trie.longest_match(IPv4Address(1, 2, 3, 4)));
+}
+
+TEST(Dir24_8, MatchesHandPickedPrefixes) {
+    RadixTrie trie;
+    trie.insert(IPv4Prefix::parse_or_throw("0.0.0.0/0"), 1);
+    trie.insert(IPv4Prefix::parse_or_throw("10.0.0.0/8"), 2);
+    trie.insert(IPv4Prefix::parse_or_throw("10.1.0.0/16"), 3);
+    trie.insert(IPv4Prefix::parse_or_throw("10.1.2.0/24"), 4);
+    trie.insert(IPv4Prefix::parse_or_throw("10.1.2.128/25"), 5);   // > /24
+    trie.insert(IPv4Prefix::parse_or_throw("10.1.2.200/32"), 6);   // host
+    Dir24_8 table(trie);
+    EXPECT_EQ(table.size(), 6u);
+    EXPECT_GE(table.subtable_count(), 1u);
+    EXPECT_EQ(table.longest_match(IPv4Address(99, 0, 0, 1)), 1u);  // default
+    EXPECT_EQ(table.longest_match(IPv4Address(10, 9, 9, 9)), 2u);
+    EXPECT_EQ(table.longest_match(IPv4Address(10, 1, 9, 9)), 3u);
+    EXPECT_EQ(table.longest_match(IPv4Address(10, 1, 2, 3)), 4u);
+    EXPECT_EQ(table.longest_match(IPv4Address(10, 1, 2, 129)), 5u);
+    EXPECT_EQ(table.longest_match(IPv4Address(10, 1, 2, 200)), 6u);
+    auto entry = table.longest_match_entry(IPv4Address(10, 1, 2, 129));
+    ASSERT_TRUE(entry);
+    EXPECT_EQ(entry->prefix.to_string(), "10.1.2.128/25");
+    EXPECT_EQ(entry->value, 5u);
+}
+
+TEST(Dir24_8, DifferentialAgainstTrieOracle) {
+    // Random prefix sets across every length, then random probes: the
+    // compiled table must agree with the trie on prefix, value and miss.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        rng::Stream rng(seed);
+        RadixTrie trie;
+        for (int i = 0; i < 600; ++i) {
+            const int length = int(rng.uniform_int(1, 32));
+            const auto addr =
+                IPv4Address(std::uint32_t(rng.next_u64() >> 32));
+            trie.insert(IPv4Prefix(addr, length),
+                        std::uint32_t(rng.uniform_int(1, 1 << 20)));
+        }
+        Dir24_8 table(trie);
+        EXPECT_EQ(table.size(), trie.size());
+        for (int i = 0; i < 20000; ++i) {
+            // Half the probes land near inserted space, half anywhere.
+            const auto addr =
+                IPv4Address(std::uint32_t(rng.next_u64() >> 32));
+            const auto expect = trie.longest_match_entry(addr);
+            const auto got = table.longest_match_entry(addr);
+            ASSERT_EQ(expect.has_value(), got.has_value())
+                << "seed " << seed << " addr " << addr.to_string();
+            if (expect) {
+                EXPECT_EQ(expect->prefix.to_string(), got->prefix.to_string())
+                    << "addr " << addr.to_string();
+                EXPECT_EQ(expect->value, got->value)
+                    << "addr " << addr.to_string();
+            }
+        }
+    }
+}
+
+TEST(Dir24_8, RebuildReplacesOldContents) {
+    RadixTrie first;
+    first.insert(IPv4Prefix::parse_or_throw("10.0.0.0/8"), 1);
+    Dir24_8 table(first);
+    RadixTrie second;
+    second.insert(IPv4Prefix::parse_or_throw("20.0.0.0/8"), 2);
+    table.build(second);
+    EXPECT_FALSE(table.longest_match(IPv4Address(10, 0, 0, 1)));
+    EXPECT_EQ(table.longest_match(IPv4Address(20, 0, 0, 1)), 2u);
+}
+
+TEST(PrefixTable, FastLookupCompilesAboveThresholdAndInvalidates) {
+    PrefixTable table;
+    table.set_fast_lookup_threshold(2);
+    const auto month = month_key(2015, 1);
+    table.announce(month, IPv4Prefix::parse_or_throw("10.0.0.0/8"), 1);
+    EXPECT_FALSE(table.fast_lookup_compiled(month));
+    // Below threshold: lookups stay on the trie, nothing is compiled.
+    EXPECT_TRUE(table.routed_prefix(IPv4Address(10, 1, 1, 1),
+                                    TimePoint::from_date(2015, 1, 2)));
+    EXPECT_FALSE(table.fast_lookup_compiled(month));
+    table.announce(month, IPv4Prefix::parse_or_throw("10.5.0.0/16"), 2);
+    table.announce(month, IPv4Prefix::parse_or_throw("20.0.0.0/8"), 3);
+    // Above threshold: the first lookup compiles the Dir24_8 stage.
+    auto match = table.routed_prefix(IPv4Address(10, 5, 1, 1),
+                                     TimePoint::from_date(2015, 1, 2));
+    ASSERT_TRUE(match);
+    EXPECT_EQ(match->prefix.to_string(), "10.5.0.0/16");
+    EXPECT_TRUE(table.fast_lookup_compiled(month));
+    // A new announcement invalidates the compiled table...
+    table.announce(month, IPv4Prefix::parse_or_throw("30.0.0.0/8"), 4);
+    EXPECT_FALSE(table.fast_lookup_compiled(month));
+    // ...and the next lookup recompiles with the new route visible.
+    auto fresh = table.routed_prefix(IPv4Address(30, 0, 0, 1),
+                                     TimePoint::from_date(2015, 1, 2));
+    ASSERT_TRUE(fresh);
+    EXPECT_EQ(fresh->prefix.to_string(), "30.0.0.0/8");
+    EXPECT_TRUE(table.fast_lookup_compiled(month));
+}
+
+TEST(PrefixTable, FastAndTrieAnswersAgree) {
+    // Same announcements, two tables: one forced onto the Dir24_8 path,
+    // one kept on the trie; every probe must agree.
+    PrefixTable fast, slow;
+    fast.set_fast_lookup_threshold(1);
+    slow.set_fast_lookup_threshold(std::size_t(-1));
+    rng::Stream rng(77);
+    const auto month = month_key(2015, 6);
+    for (int i = 0; i < 300; ++i) {
+        const int length = int(rng.uniform_int(8, 28));
+        const auto prefix =
+            IPv4Prefix(IPv4Address(std::uint32_t(rng.next_u64() >> 32)), length);
+        const auto asn = std::uint32_t(rng.uniform_int(1, 70000));
+        fast.announce(month, prefix, asn);
+        slow.announce(month, prefix, asn);
+    }
+    const auto when = TimePoint::from_date(2015, 6, 15);
+    for (int i = 0; i < 5000; ++i) {
+        const auto addr = IPv4Address(std::uint32_t(rng.next_u64() >> 32));
+        const auto a = fast.routed_prefix(addr, when);
+        const auto b = slow.routed_prefix(addr, when);
+        ASSERT_EQ(a.has_value(), b.has_value()) << addr.to_string();
+        if (a) {
+            EXPECT_EQ(a->prefix.to_string(), b->prefix.to_string());
+            EXPECT_EQ(a->value, b->value);
+        }
+    }
+    EXPECT_TRUE(fast.fast_lookup_compiled(month));
+    EXPECT_FALSE(slow.fast_lookup_compiled(month));
 }
 
 }  // namespace

@@ -328,6 +328,30 @@ TEST(ChaosScenario, FaultCountersTick) {
     EXPECT_GT(obs::counter("faults.dhcp.dropped").value(), dropped_before);
 }
 
+// Pools and lease databases share process-wide occupancy gauges; many are
+// created and destroyed per run. After a full chaos scenario every rig
+// object is gone, so the gauges must be exactly back where they started —
+// the batched metrics flush may lag a *live* pool, never a destroyed one.
+TEST(ChaosScenario, PoolGaugesUnwindExactlyAfterChaosRun) {
+    const auto occupancy_before = obs::gauge("pool.occupancy").value();
+    const auto free_before = obs::gauge("pool.free").value();
+    const auto active_before = obs::gauge("lease.active").value();
+    {
+        sim::ScopedFaultInjector scope(make_plan("chaos", 31));
+        scope.injector().set_window(kWindow);
+        DhcpChaosRig rig(scope.injector());
+        for (auto& client : rig.clients) client.power_on();
+        rig.sim.run_until(kWindow.end);
+        // While the rig is alive the pool itself must conserve addresses
+        // regardless of what the shared gauges say mid-batch.
+        ASSERT_EQ(rig.pool.free_count() + rig.pool.allocated_count(),
+                  rig.pool.capacity());
+    }
+    EXPECT_EQ(obs::gauge("pool.occupancy").value(), occupancy_before);
+    EXPECT_EQ(obs::gauge("pool.free").value(), free_before);
+    EXPECT_EQ(obs::gauge("lease.active").value(), active_before);
+}
+
 TEST(ChaosScenario, GarbledCsvRowsAreDroppedNotFatal) {
     auto config = isp::presets::quick_scenario();
     config.faults = sim::FaultPlan::parse("garbage,csv.rate=0.05,seed=5");

@@ -259,5 +259,87 @@ TEST(AddressPool, NoDoubleAssignment) {
     }
 }
 
+// Regression: a DHCP REQUEST hinting at an address inside a retired
+// (renumbered-away) prefix must be declined before the pool touches any
+// free-list state — honouring it would hand out an abandoned address.
+TEST(AddressPool, StickyHintIntoRetiredPrefixIsDeclined) {
+    AddressPool pool(small_pool(AllocationStrategy::Sticky), rng::Stream(21));
+    pool.retire_prefix(1);
+    const auto addr =
+        pool.allocate(1, TimePoint{0}, IPv4Address(20, 0, 0, 5));
+    ASSERT_TRUE(addr);
+    EXPECT_EQ(addr->octet(0), 10);
+    EXPECT_FALSE(pool.is_retired(*addr));
+}
+
+// Regression: a remembered sticky binding into a prefix that was retired
+// after the release must likewise be skipped, not resurrected.
+TEST(AddressPool, StickyRememberedBindingIntoRetiredPrefixIsSkipped) {
+    AddressPool pool(small_pool(AllocationStrategy::Sticky), rng::Stream(22));
+    ClientId in_twenty = 0;
+    // Park clients until one lands in 20/28, then release it.
+    for (ClientId c = 1; c <= 32 && in_twenty == 0; ++c) {
+        const auto addr = pool.allocate(c, TimePoint{0});
+        ASSERT_TRUE(addr);
+        if (addr->octet(0) == 20) in_twenty = c;
+    }
+    ASSERT_NE(in_twenty, 0u);
+    pool.release(in_twenty);
+    pool.retire_prefix(1);
+    const auto again = pool.allocate(in_twenty, TimePoint{3600});
+    ASSERT_TRUE(again);
+    EXPECT_EQ(again->octet(0), 10);
+}
+
+// Regression: releasing a client that never held an address (or releasing
+// twice) must be a no-op, not an out-of-bounds free-list write.
+TEST(AddressPool, ReleaseOfForeignClientIsNoOp) {
+    AddressPool pool(small_pool(AllocationStrategy::RandomSpread), rng::Stream(23));
+    pool.release(12345);  // never allocated
+    EXPECT_EQ(pool.free_count(), 32u);
+    EXPECT_EQ(pool.allocated_count(), 0u);
+    const auto addr = pool.allocate(1, TimePoint{0});
+    ASSERT_TRUE(addr);
+    pool.release(1);
+    pool.release(1);  // double release
+    EXPECT_EQ(pool.free_count(), 32u);
+    EXPECT_EQ(pool.allocated_count(), 0u);
+    // The pool must still function normally afterwards.
+    EXPECT_TRUE(pool.allocate(2, TimePoint{0}));
+}
+
+// Satellite: remembered (client, previous address) bindings must not grow
+// without bound. With a tight explicit cap and a churn rate that makes
+// every binding stale within seconds, old bindings are pruned.
+TEST(AddressPool, RememberedBindingsStayBounded) {
+    auto config = small_pool(AllocationStrategy::Sticky, /*churn=*/1000.0);
+    config.max_remembered_bindings = 8;
+    AddressPool pool(config, rng::Stream(24));
+    for (ClientId c = 1; c <= 4096; ++c) {
+        // Each client appears once, holds briefly, and never returns; time
+        // advances so every binding ages past the survival horizon.
+        const auto now = TimePoint{std::int64_t(c) * 100};
+        const auto addr = pool.allocate(c, now);
+        ASSERT_TRUE(addr);
+        pool.release(c);
+        ASSERT_LE(pool.remembered_binding_count(), 64u)
+            << "bindings not pruned by client " << c;
+    }
+    EXPECT_LE(pool.remembered_binding_count(), 64u);
+}
+
+// With churn disabled, bindings survive forever under the model and the
+// pruning bound must leave them alone regardless of the configured cap.
+TEST(AddressPool, NoChurnMeansNoPruning) {
+    auto config = small_pool(AllocationStrategy::Sticky);
+    config.max_remembered_bindings = 4;
+    AddressPool pool(config, rng::Stream(25));
+    for (ClientId c = 1; c <= 16; ++c) {
+        ASSERT_TRUE(pool.allocate(c, TimePoint{std::int64_t(c) * 1000}));
+        pool.release(c);
+    }
+    EXPECT_EQ(pool.remembered_binding_count(), 16u);
+}
+
 }  // namespace
 }  // namespace dynaddr::pool

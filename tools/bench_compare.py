@@ -27,19 +27,24 @@ import subprocess
 import sys
 import tempfile
 
-# real_time is stored in each entry's own time_unit; comparisons are
+# Times are stored in each entry's own time_unit; comparisons are
 # ratios of same-name entries, so units cancel as long as a benchmark
 # keeps its unit between runs (ours do). Normalize anyway for display.
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_report(path):
+    # Prefer cpu_time when the report carries it: these are single-threaded
+    # microbenches, so CPU time equals real time on an idle box but stays
+    # stable when the CI host co-schedules other work (wall clock can
+    # double under load while cpu_time moves by ~1%). Older reports lack
+    # the field and fall back to real_time.
     with open(path) as handle:
         entries = json.load(handle)
     report = {}
     for entry in entries:
-        nanos = entry["real_time"] * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
-        report[entry["name"]] = nanos
+        time = entry.get("cpu_time") or entry["real_time"]
+        report[entry["name"]] = time * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
     return report
 
 
