@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <iostream>
 
+#include "atlas/binary_bundle.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "isp/presets.hpp"
@@ -26,9 +27,11 @@ int main() {
         std::cout << "Wrote datasets to " << dir << "\n";
     }
 
-    // 2. Load them back through the public CSV readers — from here on the
-    //    code path is identical for real data.
-    const atlas::DatasetBundle bundle = atlas::read_bundle(dir);
+    // 2. Load them back through the public readers — from here on the
+    //    code path is identical for real data. read_bundle_auto accepts
+    //    the CSV directory written above or its DAB2 binary twin
+    //    (`dynaddr convert`) interchangeably.
+    const atlas::DatasetBundle bundle = atlas::read_bundle_auto(dir);
     std::cout << "Loaded " << bundle.connection_log.size()
               << " connection-log rows, " << bundle.kroot_pings.size()
               << " k-root records, " << bundle.uptime_records.size()

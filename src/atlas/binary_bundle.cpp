@@ -1,0 +1,980 @@
+#include "atlas/binary_bundle.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <tuple>
+
+#include "netcore/bytesource.hpp"
+#include "netcore/error.hpp"
+#include "netcore/obs/log.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/trace.hpp"
+#include "netcore/varint.hpp"
+#include "sim/faults.hpp"
+
+DYNADDR_LOG_MODULE(binary_bundle);
+
+namespace dynaddr::atlas {
+
+namespace {
+
+using net::ByteCursor;
+using net::put_varint;
+using net::put_varint_signed;
+
+enum class DatasetKind : std::uint8_t {
+    ConnectionLog = 1,
+    KRoot = 2,
+    Uptime = 3,
+    Probes = 4,
+};
+
+constexpr char kHeaderMagic[4] = {'D', 'A', 'B', '2'};
+constexpr char kTailMagic[4] = {'D', 'A', 'B', 'E'};
+constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 6;
+constexpr std::size_t kTailSize = 12;  // u64 footer offset + magic
+
+const char* dataset_file(DatasetKind kind) {
+    switch (kind) {
+        case DatasetKind::ConnectionLog: return "connection_log.dab";
+        case DatasetKind::KRoot: return "kroot.dab";
+        case DatasetKind::Uptime: return "uptime.dab";
+        case DatasetKind::Probes: return "probes.dab";
+    }
+    return "unknown.dab";
+}
+
+const char* dataset_name(DatasetKind kind) {
+    switch (kind) {
+        case DatasetKind::ConnectionLog: return "connection_log";
+        case DatasetKind::KRoot: return "kroot";
+        case DatasetKind::Uptime: return "uptime";
+        case DatasetKind::Probes: return "probes";
+    }
+    return "unknown";
+}
+
+// -- encoding ----------------------------------------------------------------
+
+/// Deterministic address dictionary: indexes assigned in first-appearance
+/// order, so an encode of the same record sequence is byte-stable.
+class AddressDict {
+public:
+    std::uint64_t index_of(const PeerAddress& address) {
+        const Key key = key_of(address);
+        auto [it, inserted] = index_.try_emplace(key, entries_.size());
+        if (inserted) entries_.push_back(address);
+        return it->second;
+    }
+
+    [[nodiscard]] const std::vector<PeerAddress>& entries() const {
+        return entries_;
+    }
+
+    void encode(std::string& out) const {
+        put_varint(out, entries_.size());
+        for (const auto& address : entries_) {
+            if (address.is_v4()) {
+                out.push_back(char(4));
+                const std::uint32_t value = address.v4.value();
+                for (int shift = 24; shift >= 0; shift -= 8)
+                    out.push_back(char((value >> shift) & 0xFF));
+            } else {
+                out.push_back(char(16));
+                for (const std::uint64_t half :
+                     {address.v6.hi(), address.v6.lo()})
+                    for (int shift = 56; shift >= 0; shift -= 8)
+                        out.push_back(char((half >> shift) & 0xFF));
+            }
+        }
+    }
+
+private:
+    using Key = std::tuple<int, std::uint32_t, std::uint64_t, std::uint64_t>;
+    static Key key_of(const PeerAddress& a) {
+        return a.is_v4() ? Key{4, a.v4.value(), 0, 0}
+                         : Key{16, 0, a.v6.hi(), a.v6.lo()};
+    }
+    std::map<Key, std::uint64_t> index_;
+    std::vector<PeerAddress> entries_;
+};
+
+std::vector<PeerAddress> decode_dict(ByteCursor& cursor) {
+    const std::size_t count = cursor.length(cursor.remaining());
+    std::vector<PeerAddress> dict;
+    dict.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint8_t family = cursor.u8();
+        if (family == 4) {
+            const std::string_view raw = cursor.bytes(4);
+            std::uint32_t value = 0;
+            for (const char byte : raw)
+                value = (value << 8) | std::uint8_t(byte);
+            dict.push_back(PeerAddress::ipv4(net::IPv4Address{value}));
+        } else if (family == 16) {
+            const std::string_view raw = cursor.bytes(16);
+            std::uint64_t hi = 0, lo = 0;
+            for (int i8 = 0; i8 < 8; ++i8) hi = (hi << 8) | std::uint8_t(raw[i8]);
+            for (int i8 = 8; i8 < 16; ++i8) lo = (lo << 8) | std::uint8_t(raw[i8]);
+            dict.push_back(PeerAddress::ipv6(net::IPv6Address{hi, lo}));
+        } else {
+            throw ParseError("binary bundle: bad address family " +
+                             std::to_string(int(family)) + " in dictionary");
+        }
+    }
+    return dict;
+}
+
+/// Shared streaming encoder state for one dataset file: block buffering,
+/// block index, footer/tail emission. The typed wrappers below own the
+/// record buffer and the columnar payload layout.
+struct BlockStream {
+    std::string body;  ///< header + blocks so far
+    struct IndexEntry {
+        ProbeId probe;
+        std::uint64_t offset;
+        std::uint64_t count;
+    };
+    std::vector<IndexEntry> index;
+
+    explicit BlockStream(DatasetKind kind) {
+        body.append(kHeaderMagic, sizeof kHeaderMagic);
+        body.push_back(char(std::uint8_t(kind)));
+        body.push_back(char(kFormatVersion));
+    }
+
+    void add_block(ProbeId probe, std::uint64_t count,
+                   std::string_view payload) {
+        index.push_back({probe, body.size(), count});
+        put_varint(body, probe);
+        put_varint(body, count);
+        body.append(payload);
+    }
+
+    /// Appends footer + tail; the stream is complete afterwards.
+    void finish(const AddressDict* dict) {
+        const std::uint64_t footer_offset = body.size();
+        if (dict != nullptr) {
+            dict->encode(body);
+        } else {
+            put_varint(body, 0);  // empty dictionary
+        }
+        put_varint(body, index.size());
+        std::uint64_t previous = 0;
+        for (const auto& entry : index) {
+            put_varint(body, entry.probe);
+            put_varint(body, entry.offset - previous);
+            previous = entry.offset;
+            put_varint(body, entry.count);
+        }
+        for (int shift = 0; shift < 64; shift += 8)
+            body.push_back(char((footer_offset >> shift) & 0xFF));
+        body.append(kTailMagic, sizeof kTailMagic);
+    }
+};
+
+struct ConnectionEncoder {
+    static constexpr DatasetKind kind = DatasetKind::ConnectionLog;
+    AddressDict dict;
+    static ProbeId probe_of(const ConnectionLogEntry& e) { return e.probe; }
+    void payload(std::string& out, std::span<const ConnectionLogEntry> block) {
+        std::int64_t previous = 0;
+        for (const auto& e : block) {
+            put_varint_signed(out, e.start.unix_seconds() - previous);
+            previous = e.start.unix_seconds();
+        }
+        for (const auto& e : block)
+            put_varint_signed(out,
+                              e.end.unix_seconds() - e.start.unix_seconds());
+        for (const auto& e : block) put_varint(out, dict.index_of(e.address));
+    }
+};
+
+struct KRootEncoder {
+    static constexpr DatasetKind kind = DatasetKind::KRoot;
+    static ProbeId probe_of(const KRootPingRecord& r) { return r.probe; }
+    static void payload(std::string& out,
+                        std::span<const KRootPingRecord> block) {
+        std::int64_t previous = 0;
+        for (const auto& r : block) {
+            put_varint_signed(out, r.timestamp.unix_seconds() - previous);
+            previous = r.timestamp.unix_seconds();
+        }
+        for (const auto& r : block) put_varint_signed(out, r.sent);
+        for (const auto& r : block) put_varint_signed(out, r.success);
+        for (const auto& r : block) put_varint_signed(out, r.lts_seconds);
+    }
+};
+
+struct UptimeEncoder {
+    static constexpr DatasetKind kind = DatasetKind::Uptime;
+    static ProbeId probe_of(const UptimeRecord& r) { return r.probe; }
+    static void payload(std::string& out,
+                        std::span<const UptimeRecord> block) {
+        std::int64_t previous = 0;
+        for (const auto& r : block) {
+            put_varint_signed(out, r.timestamp.unix_seconds() - previous);
+            previous = r.timestamp.unix_seconds();
+        }
+        for (const auto& r : block) put_varint(out, r.uptime_seconds);
+    }
+};
+
+struct ProbesEncoder {
+    static constexpr DatasetKind kind = DatasetKind::Probes;
+    static ProbeId probe_of(const ProbeMetadata& p) { return p.probe; }
+    static void payload(std::string& out,
+                        std::span<const ProbeMetadata> block) {
+        for (const auto& p : block) {
+            out.push_back(char(int(p.version)));
+            put_varint(out, p.country_code.size());
+            out.append(p.country_code);
+            put_varint(out, p.tags.size());
+            for (const auto& tag : p.tags) {
+                put_varint(out, tag.size());
+                out.append(tag);
+            }
+        }
+    }
+};
+
+/// One dataset's streaming encoder: records buffer per probe and flush as
+/// a columnar block when the probe changes or the block fills.
+template <typename Record, typename Encoder>
+struct DatasetEncoder {
+    BlockStream stream{Encoder::kind};
+    Encoder encoder;
+    std::vector<Record> buffer;
+    ProbeId current = 0;
+    std::size_t block_records;
+
+    explicit DatasetEncoder(std::size_t block_records_)
+        : block_records(block_records_ == 0 ? 1 : block_records_) {}
+
+    void add(const Record& record) {
+        const ProbeId probe = Encoder::probe_of(record);
+        if (!buffer.empty() &&
+            (probe != current || buffer.size() >= block_records))
+            flush();
+        current = probe;
+        buffer.push_back(record);
+    }
+
+    void flush() {
+        if (buffer.empty()) return;
+        std::string payload;
+        encoder.payload(payload, buffer);
+        stream.add_block(current, buffer.size(), payload);
+        buffer.clear();
+    }
+
+    std::string finish() {
+        flush();
+        if constexpr (std::is_same_v<Encoder, ConnectionEncoder>) {
+            stream.finish(&encoder.dict);
+        } else {
+            stream.finish(nullptr);
+        }
+        return std::move(stream.body);
+    }
+};
+
+template <typename Record, typename Encoder>
+std::string encode_dataset(std::span<const Record> records,
+                           std::size_t block_records) {
+    DatasetEncoder<Record, Encoder> encoder(block_records);
+    for (const auto& record : records) encoder.add(record);
+    return encoder.finish();
+}
+
+// -- decoding ----------------------------------------------------------------
+
+struct ParsedContainer {
+    std::string_view data;
+    std::vector<PeerAddress> dict;
+    struct Block {
+        ProbeId probe;
+        std::uint64_t count;
+        std::size_t offset;  ///< absolute, at the block's probe varint
+        std::size_t size;    ///< bytes up to the next block / footer
+    };
+    std::vector<Block> blocks;  ///< file order
+};
+
+/// Parses header, tail and footer; blocks stay untouched (decoded on
+/// demand, straight from the mapped bytes).
+ParsedContainer parse_container(std::string_view data, DatasetKind expect) {
+    if (data.size() < kHeaderSize + kTailSize)
+        throw ParseError("binary bundle: file too small (" +
+                         std::to_string(data.size()) + " bytes)");
+    if (data.compare(0, 4, kHeaderMagic, 4) != 0)
+        throw ParseError("binary bundle: bad header magic");
+    if (std::uint8_t(data[4]) != std::uint8_t(expect))
+        throw ParseError("binary bundle: dataset kind mismatch (file says " +
+                         std::to_string(int(std::uint8_t(data[4]))) +
+                         ", expected " + dataset_name(expect) + ")");
+    if (std::uint8_t(data[5]) != kFormatVersion)
+        throw ParseError("binary bundle: unsupported format version " +
+                         std::to_string(int(std::uint8_t(data[5]))));
+    if (data.compare(data.size() - 4, 4, kTailMagic, 4) != 0)
+        throw ParseError("binary bundle: bad tail magic (truncated file?)");
+    std::uint64_t footer_offset = 0;
+    for (int i = 7; i >= 0; --i)
+        footer_offset = (footer_offset << 8) |
+                        std::uint8_t(data[data.size() - kTailSize + i]);
+    if (footer_offset < kHeaderSize || footer_offset > data.size() - kTailSize)
+        throw ParseError("binary bundle: footer offset " +
+                         std::to_string(footer_offset) + " out of range");
+
+    ParsedContainer parsed;
+    parsed.data = data;
+    ByteCursor cursor(data);
+    cursor.seek(std::size_t(footer_offset));
+    if (expect == DatasetKind::ConnectionLog) {
+        parsed.dict = decode_dict(cursor);
+    } else if (cursor.varint() != 0) {
+        throw ParseError("binary bundle: unexpected dictionary in " +
+                         std::string(dataset_name(expect)));
+    }
+    const std::size_t block_count = cursor.length(cursor.remaining());
+    parsed.blocks.reserve(block_count);
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i < block_count; ++i) {
+        ParsedContainer::Block block;
+        block.probe = ProbeId(cursor.varint());
+        offset += cursor.varint();
+        block.offset = std::size_t(offset);
+        block.count = cursor.varint();
+        parsed.blocks.push_back(block);
+    }
+    // Block extents: ascending offsets inside [header, footer).
+    for (std::size_t i = 0; i < parsed.blocks.size(); ++i) {
+        auto& block = parsed.blocks[i];
+        const std::size_t end = i + 1 < parsed.blocks.size()
+                                    ? parsed.blocks[i + 1].offset
+                                    : std::size_t(footer_offset);
+        if (block.offset < kHeaderSize || end > footer_offset ||
+            block.offset >= end)
+            throw ParseError("binary bundle: block " + std::to_string(i) +
+                             " extent [" + std::to_string(block.offset) +
+                             ", " + std::to_string(end) + ") out of range");
+        block.size = end - block.offset;
+        // Every record consumes at least one payload byte per column, so a
+        // count above the byte extent is garbage; rejecting it here caps
+        // the decoders' per-block allocations at the file size.
+        if (block.count > block.size)
+            throw ParseError("binary bundle: block " + std::to_string(i) +
+                             " claims " + std::to_string(block.count) +
+                             " records in " + std::to_string(block.size) +
+                             " bytes");
+    }
+    return parsed;
+}
+
+/// Decodes one block, bounds-checked against the index entry; `emit` is
+/// called once per record.
+template <typename Emit>
+void decode_connection_block(const ParsedContainer& parsed,
+                             const ParsedContainer::Block& block, Emit&& emit) {
+    ByteCursor cursor(parsed.data.substr(block.offset, block.size));
+    const ProbeId probe = ProbeId(cursor.varint());
+    const std::uint64_t count = cursor.varint();
+    if (probe != block.probe || count != block.count)
+        throw ParseError("binary bundle: block header disagrees with index");
+    const std::size_t n = std::size_t(count);
+    std::vector<std::int64_t> starts(n);
+    std::int64_t previous = 0;
+    for (auto& start : starts) {
+        previous += cursor.varint_signed();
+        start = previous;
+    }
+    std::vector<std::int64_t> durations(n);
+    for (auto& duration : durations) duration = cursor.varint_signed();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t dict_index = cursor.varint();
+        if (dict_index >= parsed.dict.size())
+            throw ParseError("binary bundle: address index " +
+                             std::to_string(dict_index) +
+                             " outside dictionary of " +
+                             std::to_string(parsed.dict.size()));
+        ConnectionLogEntry entry;
+        entry.probe = probe;
+        entry.start = net::TimePoint(starts[i]);
+        entry.end = net::TimePoint(starts[i] + durations[i]);
+        entry.address = parsed.dict[std::size_t(dict_index)];
+        emit(entry);
+    }
+}
+
+template <typename Emit>
+void decode_kroot_block(const ParsedContainer& parsed,
+                        const ParsedContainer::Block& block, Emit&& emit) {
+    ByteCursor cursor(parsed.data.substr(block.offset, block.size));
+    const ProbeId probe = ProbeId(cursor.varint());
+    const std::uint64_t count = cursor.varint();
+    if (probe != block.probe || count != block.count)
+        throw ParseError("binary bundle: block header disagrees with index");
+    const std::size_t n = std::size_t(count);
+    std::vector<std::int64_t> timestamps(n);
+    std::int64_t previous = 0;
+    for (auto& ts : timestamps) {
+        previous += cursor.varint_signed();
+        ts = previous;
+    }
+    std::vector<std::int64_t> sent(n), success(n);
+    for (auto& v : sent) v = cursor.varint_signed();
+    for (auto& v : success) v = cursor.varint_signed();
+    for (std::size_t i = 0; i < n; ++i) {
+        KRootPingRecord record;
+        record.probe = probe;
+        record.timestamp = net::TimePoint(timestamps[i]);
+        record.sent = int(sent[i]);
+        record.success = int(success[i]);
+        record.lts_seconds = cursor.varint_signed();
+        emit(record);
+    }
+}
+
+template <typename Emit>
+void decode_uptime_block(const ParsedContainer& parsed,
+                         const ParsedContainer::Block& block, Emit&& emit) {
+    ByteCursor cursor(parsed.data.substr(block.offset, block.size));
+    const ProbeId probe = ProbeId(cursor.varint());
+    const std::uint64_t count = cursor.varint();
+    if (probe != block.probe || count != block.count)
+        throw ParseError("binary bundle: block header disagrees with index");
+    const std::size_t n = std::size_t(count);
+    std::vector<std::int64_t> timestamps(n);
+    std::int64_t previous = 0;
+    for (auto& ts : timestamps) {
+        previous += cursor.varint_signed();
+        ts = previous;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        UptimeRecord record;
+        record.probe = probe;
+        record.timestamp = net::TimePoint(timestamps[i]);
+        record.uptime_seconds = cursor.varint();
+        emit(record);
+    }
+}
+
+template <typename Emit>
+void decode_probes_block(const ParsedContainer& parsed,
+                         const ParsedContainer::Block& block, Emit&& emit) {
+    ByteCursor cursor(parsed.data.substr(block.offset, block.size));
+    const ProbeId probe = ProbeId(cursor.varint());
+    const std::uint64_t count = cursor.varint();
+    if (probe != block.probe || count != block.count)
+        throw ParseError("binary bundle: block header disagrees with index");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ProbeMetadata meta;
+        meta.probe = probe;
+        const int version = int(cursor.u8());
+        if (version < 1 || version > 3)
+            throw ParseError("binary bundle: bad probe version " +
+                             std::to_string(version));
+        meta.version = ProbeVersion(version);
+        meta.country_code =
+            std::string(cursor.bytes(cursor.length(cursor.remaining())));
+        const std::size_t tags = cursor.length(cursor.remaining());
+        meta.tags.reserve(tags);
+        for (std::size_t t = 0; t < tags; ++t)
+            meta.tags.emplace_back(
+                cursor.bytes(cursor.length(cursor.remaining())));
+        emit(meta);
+    }
+}
+
+/// Walks blocks in `order`, decoding each with `decode`; lenient mode
+/// swallows per-block ParseErrors and tallies them.
+template <typename DecodeBlock>
+void for_each_block(const ParsedContainer& parsed,
+                    std::span<const ParsedContainer::Block> order,
+                    bool lenient, BinaryDecodeStats* stats,
+                    DecodeBlock&& decode) {
+    for (const auto& block : order) {
+        try {
+            decode(block);
+        } catch (const ParseError&) {
+            if (!lenient) throw;
+            if (stats != nullptr) {
+                stats->rows_rejected += std::size_t(block.count);
+                ++stats->blocks_rejected;
+            }
+        }
+    }
+}
+
+/// Decodes `block` into a scratch buffer and forwards records to `sink`
+/// only once the whole block has parsed. The column decoders emit record
+/// by record, but the lenient contract is "drop the offending block":
+/// without staging, a ParseError halfway through a block would leave the
+/// already-emitted half in the output (or worse, already pushed into a
+/// streaming handler that cannot un-see it) while the whole block's count
+/// is tallied as rejected.
+template <typename Record, typename DecodeFn, typename Sink>
+void decode_block_staged(const ParsedContainer& parsed,
+                         const ParsedContainer::Block& block,
+                         DecodeFn&& decode_fn, Sink&& sink) {
+    std::vector<Record> staged;
+    staged.reserve(std::size_t(block.count));
+    decode_fn(parsed, block,
+              [&](const Record& record) { staged.push_back(record); });
+    for (Record& record : staged) sink(std::move(record));
+}
+
+template <typename Record, typename DecodeBlock>
+std::vector<Record> decode_dataset(std::string_view data, DatasetKind kind,
+                                   bool lenient, BinaryDecodeStats* stats,
+                                   DecodeBlock&& decode_block) {
+    std::vector<Record> records;
+    ParsedContainer parsed;
+    try {
+        parsed = parse_container(data, kind);
+    } catch (const ParseError&) {
+        // Without a readable footer there is no index to resync on: the
+        // whole file is lost even leniently.
+        if (!lenient) throw;
+        if (stats != nullptr) ++stats->blocks_rejected;
+        return records;
+    }
+    for_each_block(parsed, parsed.blocks, lenient, stats,
+                   [&](const ParsedContainer::Block& block) {
+                       decode_block_staged<Record>(
+                           parsed, block, decode_block,
+                           [&](Record&& record) {
+                               records.push_back(std::move(record));
+                           });
+                   });
+    return records;
+}
+
+// -- file plumbing -----------------------------------------------------------
+
+/// Maps a .dab file; with CSV-style faults planned, copies and garbles
+/// the block region (header, footer and tail stay intact, mirroring the
+/// CSV corrupter's header-preserving contract). Returns the corrupted
+/// copy in `scratch` when faulting, else an empty optional.
+struct LoadedDataset {
+    net::ByteSource source;
+    std::string scratch;
+    bool faulted = false;
+
+    [[nodiscard]] std::string_view view() const {
+        return faulted ? std::string_view(scratch) : source.view();
+    }
+};
+
+LoadedDataset load_dataset(const std::filesystem::path& path,
+                           DatasetKind kind) {
+    LoadedDataset loaded;
+    try {
+        loaded.source = net::ByteSource::map_file(path.string());
+    } catch (const Error& e) {
+        throw Error("cannot open " + path.string() + " for reading (dataset " +
+                    dataset_name(kind) + "): " + e.what());
+    }
+    sim::FaultInjector* injector = sim::fault_injector();
+    if (injector != nullptr && injector->plan().csv.any()) {
+        loaded.scratch = std::string(loaded.source.view());
+        loaded.faulted = true;
+        if (loaded.scratch.size() >= kHeaderSize + kTailSize) {
+            std::uint64_t footer_offset = 0;
+            for (int i = 7; i >= 0; --i)
+                footer_offset =
+                    (footer_offset << 8) |
+                    std::uint8_t(
+                        loaded.scratch[loaded.scratch.size() - kTailSize + i]);
+            const std::size_t end = std::min(std::size_t(footer_offset),
+                                             loaded.scratch.size() - kTailSize);
+            injector->corrupt_binary(loaded.scratch, kHeaderSize, end);
+        }
+    }
+    return loaded;
+}
+
+template <typename Record, typename DecodeBlock>
+std::vector<Record> read_dataset_file(const std::filesystem::path& path,
+                                      DatasetKind kind, bool lenient,
+                                      DecodeBlock&& decode_block) {
+    const LoadedDataset loaded = load_dataset(path, kind);
+    const bool effective_lenient = lenient || loaded.faulted;
+    BinaryDecodeStats stats;
+    std::vector<Record> records;
+    try {
+        records = decode_dataset<Record>(loaded.view(), kind,
+                                         effective_lenient, &stats,
+                                         decode_block);
+    } catch (const ParseError& e) {
+        throw Error("reading dataset " + std::string(dataset_name(kind)) +
+                    " (" + path.string() + "): " + e.what());
+    }
+    if (stats.rows_rejected > 0)
+        obs::counter("faults.binary.rows_rejected").inc(stats.rows_rejected);
+    if (stats.blocks_rejected > 0)
+        obs::counter("faults.binary.blocks_rejected")
+            .inc(stats.blocks_rejected);
+    return records;
+}
+
+void write_file(const std::filesystem::path& path, DatasetKind kind,
+                std::string_view body) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw Error("cannot open " + path.string() + " for writing (dataset " +
+                    dataset_name(kind) + ")");
+    out.write(body.data(), std::streamsize(body.size()));
+    out.flush();
+    if (!out)
+        throw Error("write failed on " + path.string() + " (dataset " +
+                    dataset_name(kind) + ")");
+}
+
+}  // namespace
+
+// -- in-memory codecs --------------------------------------------------------
+
+std::string encode_connection_log_binary(
+    std::span<const ConnectionLogEntry> entries, std::size_t block_records) {
+    return encode_dataset<ConnectionLogEntry, ConnectionEncoder>(
+        entries, block_records);
+}
+
+std::string encode_kroot_binary(std::span<const KRootPingRecord> records,
+                                std::size_t block_records) {
+    return encode_dataset<KRootPingRecord, KRootEncoder>(records,
+                                                         block_records);
+}
+
+std::string encode_uptime_binary(std::span<const UptimeRecord> records,
+                                 std::size_t block_records) {
+    return encode_dataset<UptimeRecord, UptimeEncoder>(records, block_records);
+}
+
+std::string encode_probes_binary(std::span<const ProbeMetadata> probes,
+                                 std::size_t block_records) {
+    return encode_dataset<ProbeMetadata, ProbesEncoder>(probes, block_records);
+}
+
+std::vector<ConnectionLogEntry> decode_connection_log_binary(
+    std::string_view data, bool lenient, BinaryDecodeStats* stats) {
+    return decode_dataset<ConnectionLogEntry>(
+        data, DatasetKind::ConnectionLog, lenient, stats,
+        [](const ParsedContainer& parsed, const ParsedContainer::Block& block,
+           auto&& emit) { decode_connection_block(parsed, block, emit); });
+}
+
+std::vector<KRootPingRecord> decode_kroot_binary(std::string_view data,
+                                                 bool lenient,
+                                                 BinaryDecodeStats* stats) {
+    return decode_dataset<KRootPingRecord>(
+        data, DatasetKind::KRoot, lenient, stats,
+        [](const ParsedContainer& parsed, const ParsedContainer::Block& block,
+           auto&& emit) { decode_kroot_block(parsed, block, emit); });
+}
+
+std::vector<UptimeRecord> decode_uptime_binary(std::string_view data,
+                                               bool lenient,
+                                               BinaryDecodeStats* stats) {
+    return decode_dataset<UptimeRecord>(
+        data, DatasetKind::Uptime, lenient, stats,
+        [](const ParsedContainer& parsed, const ParsedContainer::Block& block,
+           auto&& emit) { decode_uptime_block(parsed, block, emit); });
+}
+
+std::vector<ProbeMetadata> decode_probes_binary(std::string_view data,
+                                                bool lenient,
+                                                BinaryDecodeStats* stats) {
+    return decode_dataset<ProbeMetadata>(
+        data, DatasetKind::Probes, lenient, stats,
+        [](const ParsedContainer& parsed, const ParsedContainer::Block& block,
+           auto&& emit) { decode_probes_block(parsed, block, emit); });
+}
+
+// -- streaming writer --------------------------------------------------------
+
+struct BinaryBundleWriter::Impl {
+    std::filesystem::path directory;
+    std::size_t block_records;
+    DatasetEncoder<ConnectionLogEntry, ConnectionEncoder> connections;
+    DatasetEncoder<KRootPingRecord, KRootEncoder> kroot;
+    DatasetEncoder<UptimeRecord, UptimeEncoder> uptime;
+    DatasetEncoder<ProbeMetadata, ProbesEncoder> probes;
+    bool closed = false;
+
+    Impl(std::string dir, std::size_t block_records_)
+        : directory(std::move(dir)),
+          block_records(block_records_),
+          connections(block_records_),
+          kroot(block_records_),
+          uptime(block_records_),
+          probes(block_records_) {
+        std::filesystem::create_directories(directory);
+    }
+};
+
+BinaryBundleWriter::BinaryBundleWriter(const std::string& directory,
+                                       std::size_t block_records)
+    : impl_(std::make_unique<Impl>(directory, block_records)) {}
+
+BinaryBundleWriter::~BinaryBundleWriter() {
+    try {
+        close();
+    } catch (const Error&) {
+        // Destructor path: the files stay tail-less and readers reject
+        // them loudly; callers wanting the error call close() themselves.
+    }
+}
+
+void BinaryBundleWriter::add_connection(const ConnectionLogEntry& entry) {
+    impl_->connections.add(entry);
+}
+
+void BinaryBundleWriter::add_kroot(const KRootPingRecord& record) {
+    impl_->kroot.add(record);
+}
+
+void BinaryBundleWriter::add_uptime(const UptimeRecord& record) {
+    impl_->uptime.add(record);
+}
+
+void BinaryBundleWriter::add_probe(const ProbeMetadata& meta) {
+    impl_->probes.add(meta);
+}
+
+void BinaryBundleWriter::close() {
+    if (impl_->closed) return;
+    impl_->closed = true;
+    write_file(impl_->directory / dataset_file(DatasetKind::ConnectionLog),
+               DatasetKind::ConnectionLog, impl_->connections.finish());
+    write_file(impl_->directory / dataset_file(DatasetKind::KRoot),
+               DatasetKind::KRoot, impl_->kroot.finish());
+    write_file(impl_->directory / dataset_file(DatasetKind::Uptime),
+               DatasetKind::Uptime, impl_->uptime.finish());
+    write_file(impl_->directory / dataset_file(DatasetKind::Probes),
+               DatasetKind::Probes, impl_->probes.finish());
+}
+
+// -- whole-bundle I/O --------------------------------------------------------
+
+void write_binary_bundle(const std::string& directory,
+                         const DatasetBundle& bundle,
+                         std::size_t block_records) {
+    obs::ObsSpan span("datasets.write_binary_bundle", "io",
+                      &obs::latency_histogram("datasets.write_binary_bundle"));
+    const std::filesystem::path dir(directory);
+    std::filesystem::create_directories(dir);
+    write_file(dir / dataset_file(DatasetKind::ConnectionLog),
+               DatasetKind::ConnectionLog,
+               encode_connection_log_binary(bundle.connection_log,
+                                            block_records));
+    write_file(dir / dataset_file(DatasetKind::KRoot), DatasetKind::KRoot,
+               encode_kroot_binary(bundle.kroot_pings, block_records));
+    write_file(dir / dataset_file(DatasetKind::Uptime), DatasetKind::Uptime,
+               encode_uptime_binary(bundle.uptime_records, block_records));
+    write_file(dir / dataset_file(DatasetKind::Probes), DatasetKind::Probes,
+               encode_probes_binary(bundle.probes, block_records));
+}
+
+DatasetBundle read_binary_bundle(const std::string& directory, bool lenient) {
+    obs::ObsSpan span("datasets.read_binary_bundle", "io",
+                      &obs::latency_histogram("datasets.read_binary_bundle"));
+    const std::filesystem::path dir(directory);
+    DatasetBundle bundle;
+    {
+        obs::ObsSpan part("datasets.read_connection_log", "io");
+        bundle.connection_log = read_dataset_file<ConnectionLogEntry>(
+            dir / dataset_file(DatasetKind::ConnectionLog),
+            DatasetKind::ConnectionLog, lenient,
+            [](const ParsedContainer& parsed,
+               const ParsedContainer::Block& block,
+               auto&& emit) { decode_connection_block(parsed, block, emit); });
+    }
+    {
+        obs::ObsSpan part("datasets.read_kroot", "io");
+        bundle.kroot_pings = read_dataset_file<KRootPingRecord>(
+            dir / dataset_file(DatasetKind::KRoot), DatasetKind::KRoot,
+            lenient,
+            [](const ParsedContainer& parsed,
+               const ParsedContainer::Block& block,
+               auto&& emit) { decode_kroot_block(parsed, block, emit); });
+    }
+    {
+        obs::ObsSpan part("datasets.read_uptime", "io");
+        bundle.uptime_records = read_dataset_file<UptimeRecord>(
+            dir / dataset_file(DatasetKind::Uptime), DatasetKind::Uptime,
+            lenient,
+            [](const ParsedContainer& parsed,
+               const ParsedContainer::Block& block,
+               auto&& emit) { decode_uptime_block(parsed, block, emit); });
+    }
+    {
+        obs::ObsSpan part("datasets.read_probes", "io");
+        bundle.probes = read_dataset_file<ProbeMetadata>(
+            dir / dataset_file(DatasetKind::Probes), DatasetKind::Probes,
+            lenient,
+            [](const ParsedContainer& parsed,
+               const ParsedContainer::Block& block,
+               auto&& emit) { decode_probes_block(parsed, block, emit); });
+    }
+    obs::counter("datasets.rows_read")
+        .inc(bundle.connection_log.size() + bundle.kroot_pings.size() +
+             bundle.uptime_records.size() + bundle.probes.size());
+    DYNADDR_LOG(Info, binary_bundle, "read binary bundle from ", directory,
+                ": ", bundle.connection_log.size(), " connections, ",
+                bundle.kroot_pings.size(), " kroot pings, ",
+                bundle.uptime_records.size(), " uptime records, ",
+                bundle.probes.size(), " probes");
+    return bundle;
+}
+
+bool binary_bundle_present(const std::string& directory) {
+    return std::filesystem::exists(
+        std::filesystem::path(directory) /
+        dataset_file(DatasetKind::ConnectionLog));
+}
+
+DatasetBundle read_bundle_auto(const std::string& directory) {
+    return binary_bundle_present(directory) ? read_binary_bundle(directory)
+                                            : read_bundle(directory);
+}
+
+// -- streaming read path -----------------------------------------------------
+
+void stream_binary_bundle(const std::string& directory,
+                          BundleStreamHandler& handler, bool lenient) {
+    obs::ObsSpan span("datasets.stream_binary_bundle", "io",
+                      &obs::latency_histogram("datasets.stream_binary_bundle"));
+    const std::filesystem::path dir(directory);
+
+    struct Dataset {
+        DatasetKind kind;
+        LoadedDataset loaded;
+        ParsedContainer parsed;
+        std::vector<ParsedContainer::Block> by_probe;  ///< stable by probe
+        bool effective_lenient = false;
+    };
+    auto load = [&](DatasetKind kind) {
+        Dataset dataset;
+        dataset.kind = kind;
+        dataset.loaded = load_dataset(dir / dataset_file(kind), kind);
+        dataset.effective_lenient = lenient || dataset.loaded.faulted;
+        try {
+            dataset.parsed = parse_container(dataset.loaded.view(), kind);
+        } catch (const ParseError& e) {
+            if (!dataset.effective_lenient)
+                throw Error("reading dataset " +
+                            std::string(dataset_name(kind)) + " (" +
+                            (dir / dataset_file(kind)).string() +
+                            "): " + e.what());
+            obs::counter("faults.binary.blocks_rejected").inc();
+        }
+        dataset.by_probe = dataset.parsed.blocks;
+        std::stable_sort(dataset.by_probe.begin(), dataset.by_probe.end(),
+                         [](const ParsedContainer::Block& a,
+                            const ParsedContainer::Block& b) {
+                             return a.probe < b.probe;
+                         });
+        return dataset;
+    };
+
+    Dataset connections = load(DatasetKind::ConnectionLog);
+    Dataset kroot = load(DatasetKind::KRoot);
+    Dataset uptime = load(DatasetKind::Uptime);
+    Dataset probes = load(DatasetKind::Probes);
+
+    BinaryDecodeStats stats;
+    // Metadata first, in file order — the version map is last-wins and
+    // geography follows archive order, matching the batch reader.
+    for_each_block(
+        probes.parsed, probes.parsed.blocks, probes.effective_lenient, &stats,
+        [&](const ParsedContainer::Block& block) {
+            decode_block_staged<ProbeMetadata>(
+                probes.parsed, block,
+                [](const ParsedContainer& parsed,
+                   const ParsedContainer::Block& inner,
+                   auto&& emit) { decode_probes_block(parsed, inner, emit); },
+                [&](const ProbeMetadata& meta) { handler.on_metadata(meta); });
+        });
+
+    // Ascending-probe merge over the three record channels.
+    std::size_t ci = 0, ki = 0, ui = 0;
+    while (ci < connections.by_probe.size() || ki < kroot.by_probe.size() ||
+           ui < uptime.by_probe.size()) {
+        ProbeId next = std::numeric_limits<ProbeId>::max();
+        if (ci < connections.by_probe.size())
+            next = std::min(next, connections.by_probe[ci].probe);
+        if (ki < kroot.by_probe.size())
+            next = std::min(next, kroot.by_probe[ki].probe);
+        if (ui < uptime.by_probe.size())
+            next = std::min(next, uptime.by_probe[ui].probe);
+
+        while (ci < connections.by_probe.size() &&
+               connections.by_probe[ci].probe == next) {
+            for_each_block(
+                connections.parsed, {&connections.by_probe[ci], 1},
+                connections.effective_lenient, &stats,
+                [&](const ParsedContainer::Block& block) {
+                    decode_block_staged<ConnectionLogEntry>(
+                        connections.parsed, block,
+                        [](const ParsedContainer& parsed,
+                           const ParsedContainer::Block& inner, auto&& emit) {
+                            decode_connection_block(parsed, inner, emit);
+                        },
+                        [&](const ConnectionLogEntry& entry) {
+                            handler.on_connection(entry);
+                        });
+                });
+            ++ci;
+        }
+        while (ki < kroot.by_probe.size() &&
+               kroot.by_probe[ki].probe == next) {
+            for_each_block(
+                kroot.parsed, {&kroot.by_probe[ki], 1},
+                kroot.effective_lenient, &stats,
+                [&](const ParsedContainer::Block& block) {
+                    decode_block_staged<KRootPingRecord>(
+                        kroot.parsed, block,
+                        [](const ParsedContainer& parsed,
+                           const ParsedContainer::Block& inner, auto&& emit) {
+                            decode_kroot_block(parsed, inner, emit);
+                        },
+                        [&](const KRootPingRecord& record) {
+                            handler.on_kroot(record);
+                        });
+                });
+            ++ki;
+        }
+        while (ui < uptime.by_probe.size() &&
+               uptime.by_probe[ui].probe == next) {
+            for_each_block(
+                uptime.parsed, {&uptime.by_probe[ui], 1},
+                uptime.effective_lenient, &stats,
+                [&](const ParsedContainer::Block& block) {
+                    decode_block_staged<UptimeRecord>(
+                        uptime.parsed, block,
+                        [](const ParsedContainer& parsed,
+                           const ParsedContainer::Block& inner, auto&& emit) {
+                            decode_uptime_block(parsed, inner, emit);
+                        },
+                        [&](const UptimeRecord& record) {
+                            handler.on_uptime(record);
+                        });
+                });
+            ++ui;
+        }
+        handler.on_probe_complete(next);
+    }
+    if (stats.rows_rejected > 0)
+        obs::counter("faults.binary.rows_rejected").inc(stats.rows_rejected);
+    if (stats.blocks_rejected > 0)
+        obs::counter("faults.binary.blocks_rejected")
+            .inc(stats.blocks_rejected);
+}
+
+}  // namespace dynaddr::atlas

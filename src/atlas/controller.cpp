@@ -25,10 +25,12 @@ void Controller::set_force_window(net::Duration min, net::Duration max) {
 
 void Controller::record_connection(const ConnectionLogEntry& entry) {
     connection_log_.push_back(entry);
+    if (sink_ != nullptr) sink_->add_connection(entry);
 }
 
 void Controller::record_uptime(const UptimeRecord& record) {
     uptime_records_.push_back(record);
+    if (sink_ != nullptr) sink_->add_uptime(record);
 }
 
 void Controller::drain_into(DatasetBundle& bundle) {

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "atlas/binary_bundle.hpp"
 #include "atlas/datasets.hpp"
 #include "netcore/rng.hpp"
 #include "sim/simulation.hpp"
@@ -36,6 +37,13 @@ public:
     void record_connection(const ConnectionLogEntry& entry);
     void record_uptime(const UptimeRecord& record);
 
+    /// Tees every recorded connection/uptime record into `sink` as it
+    /// happens (nullptr clears). A streaming BinaryBundleWriter installed
+    /// here flushes columnar blocks to disk while the simulation runs,
+    /// instead of waiting for the post-run drain. The sink must outlive
+    /// the controller's recording.
+    void set_sink(BundleSink* sink) { sink_ = sink; }
+
     [[nodiscard]] const std::vector<ConnectionLogEntry>& connection_log() const {
         return connection_log_;
     }
@@ -60,6 +68,7 @@ private:
     std::vector<net::TimePoint> releases_;
     net::Duration force_min_ = net::Duration::hours(12);
     net::Duration force_max_ = net::Duration::hours(60);
+    BundleSink* sink_ = nullptr;
 };
 
 }  // namespace dynaddr::atlas

@@ -36,15 +36,20 @@ net::TimePoint parse_time(std::string_view text) {
     return *t;
 }
 
-std::ofstream open_out(const std::filesystem::path& path) {
+std::ofstream open_out(const std::filesystem::path& path,
+                       const char* dataset) {
     std::ofstream out(path);
-    if (!out) throw Error("cannot open " + path.string() + " for writing");
+    if (!out)
+        throw Error("cannot open " + path.string() +
+                    " for writing (dataset " + dataset + ")");
     return out;
 }
 
-std::ifstream open_in(const std::filesystem::path& path) {
+std::ifstream open_in(const std::filesystem::path& path, const char* dataset) {
     std::ifstream in(path);
-    if (!in) throw Error("cannot open " + path.string() + " for reading");
+    if (!in)
+        throw Error("cannot open " + path.string() +
+                    " for reading (dataset " + dataset + ")");
     return in;
 }
 
@@ -245,19 +250,19 @@ void write_bundle(const std::string& directory, const DatasetBundle& bundle) {
     const std::filesystem::path dir(directory);
     std::filesystem::create_directories(dir);
     {
-        auto out = open_out(dir / "connection_log.csv");
+        auto out = open_out(dir / "connection_log.csv", "connection_log");
         write_connection_log_csv(out, bundle.connection_log);
     }
     {
-        auto out = open_out(dir / "kroot.csv");
+        auto out = open_out(dir / "kroot.csv", "kroot");
         write_kroot_csv(out, bundle.kroot_pings);
     }
     {
-        auto out = open_out(dir / "uptime.csv");
+        auto out = open_out(dir / "uptime.csv", "uptime");
         write_uptime_csv(out, bundle.uptime_records);
     }
     {
-        auto out = open_out(dir / "probes.csv");
+        auto out = open_out(dir / "probes.csv", "probes");
         write_probes_csv(out, bundle.probes);
     }
 }
@@ -269,22 +274,22 @@ DatasetBundle read_bundle(const std::string& directory) {
     DatasetBundle bundle;
     {
         obs::ObsSpan part("datasets.read_connection_log", "io");
-        auto in = open_in(dir / "connection_log.csv");
+        auto in = open_in(dir / "connection_log.csv", "connection_log");
         bundle.connection_log = read_connection_log_csv(in);
     }
     {
         obs::ObsSpan part("datasets.read_kroot", "io");
-        auto in = open_in(dir / "kroot.csv");
+        auto in = open_in(dir / "kroot.csv", "kroot");
         bundle.kroot_pings = read_kroot_csv(in);
     }
     {
         obs::ObsSpan part("datasets.read_uptime", "io");
-        auto in = open_in(dir / "uptime.csv");
+        auto in = open_in(dir / "uptime.csv", "uptime");
         bundle.uptime_records = read_uptime_csv(in);
     }
     {
         obs::ObsSpan part("datasets.read_probes", "io");
-        auto in = open_in(dir / "probes.csv");
+        auto in = open_in(dir / "probes.csv", "probes");
         bundle.probes = read_probes_csv(in);
     }
     obs::counter("datasets.rows_read")

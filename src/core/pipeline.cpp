@@ -4,6 +4,8 @@
 #include <span>
 #include <unordered_map>
 
+#include "core/pipeline_internal.hpp"
+#include "core/streaming_pipeline.hpp"
 #include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
@@ -14,40 +16,17 @@ DYNADDR_LOG_MODULE(pipeline);
 
 namespace dynaddr::core {
 
-namespace {
-
-/// Pipeline metrics, registered once at static init so run() pays only
-/// relaxed atomic ops. Stage latency histograms feed both the metrics
-/// export and (via ObsSpan) the trace.
-struct PipelineMetrics {
-    obs::Counter& runs = obs::counter("pipeline.runs");
-    obs::Counter& probes_in = obs::counter("pipeline.probes_in");
-    obs::Counter& probes_analyzable = obs::counter("pipeline.probes_analyzable");
-    obs::Counter& changes_extracted = obs::counter("pipeline.changes_extracted");
-    obs::Counter& outage_probes = obs::counter("pipeline.outage_probes");
-    obs::Counter& reboots_detected = obs::counter("pipeline.reboots_detected");
-    obs::Histogram& filter_latency =
-        obs::latency_histogram("pipeline.stage.filter_probes");
-    obs::Histogram& changes_latency =
-        obs::latency_histogram("pipeline.stage.extract_changes");
-    obs::Histogram& periodicity_latency =
-        obs::latency_histogram("pipeline.stage.periodicity");
-    obs::Histogram& prefix_latency =
-        obs::latency_histogram("pipeline.stage.prefix_changes");
-    obs::Histogram& reboot_latency =
-        obs::latency_histogram("pipeline.stage.detect_reboots");
-    obs::Histogram& outage_latency =
-        obs::latency_histogram("pipeline.stage.outages");
-    obs::Histogram& run_latency = obs::latency_histogram("pipeline.run");
-};
+namespace detail {
 
 PipelineMetrics& pipeline_metrics() {
     static PipelineMetrics metrics;
     return metrics;
 }
 
-/// table2_funnel counter suffix per filter category — the machine-readable
-/// Table 2. Registered as a metrics block so the JSON export groups them.
+namespace {
+
+/// table2_funnel counter suffix per filter category. Registered as a
+/// metrics block so the JSON export groups them.
 const char* funnel_name(ProbeCategory category) {
     switch (category) {
         case ProbeCategory::Analyzable: return "table2_funnel.analyzable";
@@ -64,6 +43,8 @@ const char* funnel_name(ProbeCategory category) {
     return "table2_funnel.unknown";
 }
 
+}  // namespace
+
 void record_funnel(const FilterReport& report) {
     static const bool block_registered = [] {
         obs::metrics_block("table2_funnel");
@@ -75,7 +56,7 @@ void record_funnel(const FilterReport& report) {
         obs::counter(funnel_name(category)).inc(std::uint64_t(count));
 }
 
-}  // namespace
+}  // namespace detail
 
 const ProbeChanges* AnalysisResults::changes_of(atlas::ProbeId probe) const {
     auto it = std::lower_bound(changes.begin(), changes.end(), probe,
@@ -167,7 +148,27 @@ AnalysisResults AnalysisPipeline::run(
     const atlas::DatasetBundle& bundle, const bgp::PrefixTable& table,
     const bgp::AsRegistry& registry,
     std::optional<net::TimeInterval> window) const {
-    PipelineMetrics& metrics = pipeline_metrics();
+    // The batch entry point is a thin adapter over the streaming pipeline;
+    // run_reference() below keeps the historical one-stage-at-a-time
+    // implementation as the differential oracle. The emptiness check runs
+    // up front so the error surfaces before any feeding, exactly like the
+    // reference.
+    if (!window && bundle.connection_log.empty())
+        throw Error("empty connection log");
+    StreamingPipeline::Options options;
+    options.config = config_;
+    options.keep_analyzable_logs = true;
+    StreamingPipeline streaming(table, registry, options);
+    streaming.open(window);
+    streaming.feed_bundle(bundle);
+    return streaming.finish();
+}
+
+AnalysisResults AnalysisPipeline::run_reference(
+    const atlas::DatasetBundle& bundle, const bgp::PrefixTable& table,
+    const bgp::AsRegistry& registry,
+    std::optional<net::TimeInterval> window) const {
+    detail::PipelineMetrics& metrics = detail::pipeline_metrics();
     metrics.runs.inc();
     obs::ObsSpan run_span("pipeline.run", "pipeline", &metrics.run_latency);
     AnalysisResults results;
@@ -206,7 +207,7 @@ AnalysisResults AnalysisPipeline::run(
     metrics.probes_in.inc(std::uint64_t(results.filter.total()));
     metrics.probes_analyzable.inc(
         std::uint64_t(results.filter.analyzable.size()));
-    record_funnel(results.filter);
+    detail::record_funnel(results.filter);
     DYNADDR_LOG(Info, pipeline, "filtered ", results.filter.total(),
                 " probes, ", results.filter.analyzable.size(), " analyzable");
 

@@ -1,0 +1,45 @@
+#pragma once
+
+// Metrics plumbing shared by the batch (reference) and streaming
+// pipelines. Both must bump the *same* counter objects — the obs smoke
+// test and the Table2Funnel correctness test assert on the exported
+// deltas, and those must not depend on which implementation ran.
+
+#include "core/filtering.hpp"
+#include "netcore/obs/metrics.hpp"
+
+namespace dynaddr::core::detail {
+
+/// Registered once at first use so run() pays only relaxed atomic ops.
+/// Stage latency histograms feed both the metrics export and (via
+/// ObsSpan) the trace.
+struct PipelineMetrics {
+    obs::Counter& runs = obs::counter("pipeline.runs");
+    obs::Counter& probes_in = obs::counter("pipeline.probes_in");
+    obs::Counter& probes_analyzable = obs::counter("pipeline.probes_analyzable");
+    obs::Counter& changes_extracted = obs::counter("pipeline.changes_extracted");
+    obs::Counter& outage_probes = obs::counter("pipeline.outage_probes");
+    obs::Counter& reboots_detected = obs::counter("pipeline.reboots_detected");
+    obs::Histogram& filter_latency =
+        obs::latency_histogram("pipeline.stage.filter_probes");
+    obs::Histogram& changes_latency =
+        obs::latency_histogram("pipeline.stage.extract_changes");
+    obs::Histogram& periodicity_latency =
+        obs::latency_histogram("pipeline.stage.periodicity");
+    obs::Histogram& prefix_latency =
+        obs::latency_histogram("pipeline.stage.prefix_changes");
+    obs::Histogram& reboot_latency =
+        obs::latency_histogram("pipeline.stage.detect_reboots");
+    obs::Histogram& outage_latency =
+        obs::latency_histogram("pipeline.stage.outages");
+    obs::Histogram& finalize_latency =
+        obs::latency_histogram("pipeline.stage.finalize");
+    obs::Histogram& run_latency = obs::latency_histogram("pipeline.run");
+};
+
+PipelineMetrics& pipeline_metrics();
+
+/// Bumps the table2_funnel.* counters — the machine-readable Table 2.
+void record_funnel(const FilterReport& report);
+
+}  // namespace dynaddr::core::detail

@@ -102,6 +102,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
     rng::Stream root(config.seed);
     World world(config.window.begin, root.child("controller"));
+    world.controller.set_sink(config.bundle_sink);
     ScenarioResult result;
     // Phase boundaries recorded manually: the build/run/emit phases are
     // sequential regions of this one function, not nested scopes.
@@ -420,6 +421,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
             auto records = atlas::emit_kroot_records(
                 timeline, config.window, *config.kroot,
                 root.child("kroot").child(timeline.probe()));
+            if (config.bundle_sink != nullptr)
+                for (const auto& record : records)
+                    config.bundle_sink->add_kroot(record);
             result.bundle.kroot_pings.insert(result.bundle.kroot_pings.end(),
                                              records.begin(), records.end());
         }
@@ -448,6 +452,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                 spec.mean_session = net::Duration::hours(8);
             auto log = atlas::generate_special_probe_log(spec, config.window,
                                                          sp_rng.child("log"));
+            if (config.bundle_sink != nullptr)
+                for (const auto& entry : log)
+                    config.bundle_sink->add_connection(entry);
             result.bundle.connection_log.insert(result.bundle.connection_log.end(),
                                                 log.begin(), log.end());
             atlas::ProbeMetadata meta;
@@ -493,6 +500,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
     // -- ground-truth timelines ----------------------------------------------
     result.timelines.assign(world.timelines.begin(), world.timelines.end());
+
+    // Metadata goes to the sink in one pass at the end (pushes above keep
+    // ascending probe-id order), so the writer emits one block run per probe.
+    if (config.bundle_sink != nullptr)
+        for (const auto& meta : result.bundle.probes)
+            config.bundle_sink->add_probe(meta);
 
     result.bundle.sort();
     if (obs::trace_enabled())

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "atlas/binary_bundle.hpp"
 #include "atlas/cpe.hpp"
 #include "atlas/datasets.hpp"
 #include "atlas/kroot.hpp"
@@ -121,6 +122,12 @@ struct ScenarioConfig {
     /// has already installed a process-global injector, that one wins and
     /// this field is ignored.
     std::optional<sim::FaultPlan> faults;
+    /// Optional streaming dataset sink (e.g. atlas::BinaryBundleWriter).
+    /// Connection/uptime records tee into it live as the simulation emits
+    /// them; k-root pings, special-probe logs and probe metadata follow at
+    /// scrape time. The caller owns the sink (and closes it) after
+    /// run_scenario returns; the in-memory bundle is still produced.
+    atlas::BundleSink* bundle_sink = nullptr;
 };
 
 /// Ground truth about one probe, for validation; never fed to analysis.

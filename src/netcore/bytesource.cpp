@@ -1,0 +1,88 @@
+#include "netcore/bytesource.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "netcore/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DYNADDR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace dynaddr::net {
+
+ByteSource ByteSource::map_file(const std::string& path) {
+#if DYNADDR_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        struct stat st{};
+        if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+            const auto size = static_cast<std::size_t>(st.st_size);
+            if (size == 0) {
+                ::close(fd);
+                return ByteSource{};
+            }
+            void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+            ::close(fd);  // the mapping keeps the file alive
+            if (addr != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+                ::madvise(addr, size, MADV_SEQUENTIAL);
+#endif
+                ByteSource source;
+                source.data_ = static_cast<const char*>(addr);
+                source.size_ = size;
+                source.mapped_ = true;
+                return source;
+            }
+        } else {
+            ::close(fd);
+        }
+    }
+    // Fall through to the slurp path: pipes, /proc files and exotic
+    // filesystems are readable but not mappable.
+#endif
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("cannot open " + path + " for reading");
+    return from_string(std::string(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()));
+}
+
+ByteSource ByteSource::from_string(std::string data) {
+    ByteSource source;
+    source.owned_ = std::move(data);
+    source.data_ = source.owned_.data();
+    source.size_ = source.owned_.size();
+    return source;
+}
+
+ByteSource::ByteSource(ByteSource&& other) noexcept { *this = std::move(other); }
+
+ByteSource& ByteSource::operator=(ByteSource&& other) noexcept {
+    if (this == &other) return *this;
+#if DYNADDR_HAVE_MMAP
+    if (mapped_) ::munmap(const_cast<char*>(data_), size_);
+#endif
+    owned_ = std::move(other.owned_);
+    mapped_ = other.mapped_;
+    size_ = other.size_;
+    // owned_'s move may reallocate on SSO; re-anchor rather than copying
+    // the stale pointer.
+    data_ = mapped_ ? other.data_ : owned_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    return *this;
+}
+
+ByteSource::~ByteSource() {
+#if DYNADDR_HAVE_MMAP
+    if (mapped_) ::munmap(const_cast<char*>(data_), size_);
+#endif
+}
+
+}  // namespace dynaddr::net

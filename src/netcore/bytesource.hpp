@@ -1,0 +1,46 @@
+#pragma once
+
+// Read-only byte buffers for the ingestion paths. ByteSource::map_file
+// mmaps the file when the platform allows it (zero-copy, the kernel pages
+// data in as the SIMD scanner walks it) and silently falls back to a
+// slurp elsewhere, so callers never branch on platform. The view stays
+// valid for the lifetime of the ByteSource.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace dynaddr::net {
+
+class ByteSource {
+public:
+    /// Maps (or, on failure to map, reads) the whole file. Throws Error
+    /// naming the path when the file cannot be opened or read.
+    static ByteSource map_file(const std::string& path);
+
+    /// Wraps an in-memory buffer; used by tests and the fuzz harness.
+    static ByteSource from_string(std::string data);
+
+    ByteSource() = default;
+    ByteSource(ByteSource&& other) noexcept;
+    ByteSource& operator=(ByteSource&& other) noexcept;
+    ByteSource(const ByteSource&) = delete;
+    ByteSource& operator=(const ByteSource&) = delete;
+    ~ByteSource();
+
+    [[nodiscard]] std::string_view view() const {
+        return {data_, size_};
+    }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    /// True when the bytes come straight from the page cache (mmap)
+    /// rather than a heap copy. Informational: benches report it.
+    [[nodiscard]] bool mapped() const { return mapped_; }
+
+private:
+    const char* data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_ = false;
+    std::string owned_;  ///< backing store for the fallback/string paths
+};
+
+}  // namespace dynaddr::net

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "netcore/error.hpp"
+#include "netcore/simd_scan.hpp"
 
 namespace dynaddr::csv {
 
@@ -82,13 +83,22 @@ void Writer::write_row(const std::vector<std::string>& fields) {
 ScanReader::ScanReader(std::istream& in)
     : buffer_(std::istreambuf_iterator<char>(in),
               std::istreambuf_iterator<char>()) {
-    const std::size_t eol = buffer_.find('\n');
-    std::string_view line(buffer_.data(),
-                          eol == std::string::npos ? buffer_.size() : eol);
+    data_ = buffer_;
+    parse_header();
+}
+
+ScanReader::ScanReader(std::string_view buffer) : data_(buffer) {
+    parse_header();
+}
+
+void ScanReader::parse_header() {
+    const std::size_t eol = net::simd::find_byte(data_, '\n');
+    std::string_view line =
+        data_.substr(0, eol == net::simd::npos ? data_.size() : eol);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) throw ParseError("empty CSV stream");
     header_ = split_line(line);
-    pos_ = eol == std::string::npos ? buffer_.size() : eol + 1;
+    pos_ = eol == net::simd::npos ? data_.size() : eol + 1;
 }
 
 std::size_t ScanReader::column(std::string_view name) const {
@@ -97,28 +107,44 @@ std::size_t ScanReader::column(std::string_view name) const {
     throw Error("CSV column '" + std::string(name) + "' not found");
 }
 
+void ScanReader::project(const std::vector<std::string_view>& names) {
+    wanted_.assign(header_.size(), false);
+    for (const auto& name : names) wanted_[column(name)] = true;
+}
+
 const std::vector<std::string_view>* ScanReader::next_row() {
-    while (pos_ < buffer_.size()) {
-        const std::size_t eol = buffer_.find('\n', pos_);
-        std::string_view line(
-            buffer_.data() + pos_,
-            (eol == std::string::npos ? buffer_.size() : eol) - pos_);
-        pos_ = eol == std::string::npos ? buffer_.size() : eol + 1;
+    while (pos_ < data_.size()) {
+        const std::size_t eol = net::simd::find_byte(data_, '\n', pos_);
+        std::string_view line = data_.substr(
+            pos_, (eol == net::simd::npos ? data_.size() : eol) - pos_);
+        pos_ = eol == net::simd::npos ? data_.size() : eol + 1;
         if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
         if (line.empty()) continue;
         fields_.clear();
-        if (line.find('"') != std::string_view::npos) {
+        if (net::simd::contains_byte(line, '"')) {
             // Rare quoted row: reuse the full parser and point the views
             // at its (owned) output.
             fallback_ = split_line(line);
             for (const auto& field : fallback_) fields_.emplace_back(field);
+        } else if (wanted_.empty()) {
+            net::simd::split_unquoted(line, ',',
+                                      [&](std::size_t begin, std::size_t end) {
+                                          fields_.push_back(
+                                              line.substr(begin, end - begin));
+                                      });
         } else {
-            std::size_t start = 0;
-            for (std::size_t i = 0; i <= line.size(); ++i) {
-                if (i == line.size() || line[i] == ',') {
-                    fields_.emplace_back(line.substr(start, i - start));
-                    start = i + 1;
-                }
+            // Projected scan: count every delimiter (width must still be
+            // enforced) but only publish the requested columns.
+            fields_.resize(header_.size());
+            std::size_t index = 0;
+            net::simd::split_unquoted(
+                line, ',', [&](std::size_t begin, std::size_t end) {
+                    if (index < fields_.size() && wanted_[index])
+                        fields_[index] = line.substr(begin, end - begin);
+                    ++index;
+                });
+            if (index != header_.size()) {
+                fields_.resize(index);  // make the error below truthful
             }
         }
         if (fields_.size() != header_.size())

@@ -1,0 +1,97 @@
+#pragma once
+
+// Branch-light delimiter scanning for the hot ingestion paths. The CSV
+// splitter and the binary cursor both reduce to "find the next occurrence
+// of byte X in a big buffer"; doing that one byte at a time caps
+// ScanReader around 200 MB/s. On x86 we compare 16 bytes per instruction
+// with SSE2; everywhere else a SWAR word-trick handles 8 bytes per
+// iteration. Both paths fall back to a scalar tail and agree bit-for-bit
+// with std::string_view::find.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace dynaddr::net::simd {
+
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+namespace detail {
+
+// SWAR "has zero byte" trick (Mycroft): a word XORed with a broadcast of
+// the needle has a zero byte exactly where the needle was.
+inline constexpr std::uint64_t broadcast(char c) {
+    return 0x0101010101010101ull * static_cast<std::uint8_t>(c);
+}
+
+inline constexpr std::uint64_t zero_byte_mask(std::uint64_t word) {
+    return (word - 0x0101010101010101ull) & ~word & 0x8080808080808080ull;
+}
+
+}  // namespace detail
+
+/// Index of the first `needle` in [data, data+size), or npos. Safe for
+/// size 0 and unaligned data.
+inline std::size_t find_byte(const char* data, std::size_t size, char needle) {
+    std::size_t i = 0;
+#if defined(__SSE2__)
+    const __m128i pattern = _mm_set1_epi8(needle);
+    for (; i + 16 <= size; i += 16) {
+        const __m128i chunk =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+        const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(chunk, pattern));
+        if (mask != 0)
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+#else
+    for (; i + 8 <= size; i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, data + i, 8);
+        const std::uint64_t hit =
+            detail::zero_byte_mask(word ^ detail::broadcast(needle));
+        if (hit != 0)
+            return i + static_cast<std::size_t>(__builtin_ctzll(hit)) / 8;
+    }
+#endif
+    for (; i < size; ++i)
+        if (data[i] == needle) return i;
+    return npos;
+}
+
+inline std::size_t find_byte(std::string_view text, char needle,
+                             std::size_t from = 0) {
+    if (from >= text.size()) return npos;
+    const std::size_t at = find_byte(text.data() + from, text.size() - from, needle);
+    return at == npos ? npos : from + at;
+}
+
+/// True when `needle` occurs anywhere in `text`. Used for the rare-path
+/// quote check on every CSV row, so it must be as cheap as the scan above.
+inline bool contains_byte(std::string_view text, char needle) {
+    return find_byte(text.data(), text.size(), needle) != npos;
+}
+
+/// Calls `emit(begin, end)` for every `delim`-separated field of `line`
+/// (no quote handling — the caller routes quoted rows elsewhere). Always
+/// emits at least one field; the separators themselves are excluded.
+template <typename Emit>
+inline void split_unquoted(std::string_view line, char delim, Emit&& emit) {
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t at = find_byte(line, delim, start);
+        if (at == npos) {
+            emit(start, line.size());
+            return;
+        }
+        emit(start, at);
+        start = at + 1;
+    }
+}
+
+}  // namespace dynaddr::net::simd

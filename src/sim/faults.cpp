@@ -28,6 +28,7 @@ struct FaultMetrics {
     obs::Counter& ppp_corrupted = obs::counter("faults.ppp.corrupted");
     obs::Counter& ppp_duplicated = obs::counter("faults.ppp.duplicated");
     obs::Counter& csv_garbled = obs::counter("faults.csv.rows_garbled");
+    obs::Counter& binary_garbled = obs::counter("faults.binary.cells_garbled");
 };
 
 FaultMetrics& fault_metrics() {
@@ -460,6 +461,31 @@ void FaultInjector::corrupt_csv(std::string& text) {
     if (garbled > 0)
         DYNADDR_LOG(Debug, faults, "garbled ", garbled, " CSV rows");
     text = std::move(out);
+}
+
+void FaultInjector::corrupt_binary(std::string& data, std::size_t begin,
+                                   std::size_t end) {
+    if (!plan_.csv.any()) return;
+    end = std::min(end, data.size());
+    if (begin >= end) return;
+    rng::Stream stream = root_.child("binary").child(
+        std::uint64_t(data.size()) ^ (std::uint64_t(end - begin) << 17));
+    std::uint64_t garbled = 0;
+    // One decision per 64-byte cell, the binary stand-in for a data row.
+    for (std::size_t cell = begin; cell < end; cell += 64) {
+        if (!stream.bernoulli(plan_.csv.row_rate)) continue;
+        ++garbled;
+        const std::size_t cell_end = std::min(cell + 64, end);
+        const auto hits = stream.uniform_int(1, 6);
+        for (std::int64_t i = 0; i < hits; ++i) {
+            const auto at = cell + std::size_t(stream.uniform_int(
+                                      0, std::int64_t(cell_end - cell) - 1));
+            data[at] = char(stream.uniform_int(0, 255));
+        }
+    }
+    fault_metrics().binary_garbled.inc(garbled);
+    if (garbled > 0)
+        DYNADDR_LOG(Debug, faults, "garbled ", garbled, " binary cells");
 }
 
 std::vector<FaultInjector::CrashEvent> FaultInjector::crash_schedule(

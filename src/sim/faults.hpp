@@ -180,6 +180,13 @@ public:
     /// truncation, byte garbling, delimiter loss, row splicing.
     void corrupt_csv(std::string& text);
 
+    /// Binary analogue of corrupt_csv: garbles bytes of `data` inside
+    /// [begin, end) — the caller passes the block region so headers and
+    /// footers survive, mirroring the CSV header-preserving contract.
+    /// Intensity follows the same csv.row_rate knob, applied per 64-byte
+    /// cell (roughly one encoded row).
+    void corrupt_binary(std::string& data, std::size_t begin, std::size_t end);
+
     // -- component schedules (generated once per index; deterministic) ----
     struct CrashEvent {
         net::TimePoint at;

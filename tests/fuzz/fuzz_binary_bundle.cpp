@@ -1,0 +1,107 @@
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "atlas/binary_bundle.hpp"
+#include "netcore/error.hpp"
+#include "fuzz_targets.hpp"
+
+namespace dynaddr::fuzz {
+namespace {
+
+using atlas::ConnectionLogEntry;
+using atlas::KRootPingRecord;
+using atlas::ProbeMetadata;
+using atlas::UptimeRecord;
+
+bool same(const ConnectionLogEntry& a, const ConnectionLogEntry& b) {
+    return a.probe == b.probe && a.start == b.start && a.end == b.end &&
+           a.address == b.address;
+}
+bool same(const KRootPingRecord& a, const KRootPingRecord& b) {
+    return a.probe == b.probe && a.timestamp == b.timestamp &&
+           a.sent == b.sent && a.success == b.success &&
+           a.lts_seconds == b.lts_seconds;
+}
+bool same(const UptimeRecord& a, const UptimeRecord& b) {
+    return a.probe == b.probe && a.timestamp == b.timestamp &&
+           a.uptime_seconds == b.uptime_seconds;
+}
+bool same(const ProbeMetadata& a, const ProbeMetadata& b) {
+    return a.probe == b.probe && a.version == b.version &&
+           a.country_code == b.country_code && a.tags == b.tags;
+}
+
+/// Strict decode; whatever it accepts must survive encode → decode
+/// unchanged (the round-trip oracle — a violation is a logic_error, a
+/// crash-equivalent for the fuzzer). Lenient decode of the same bytes
+/// must never throw: every malformed container or block degrades to
+/// dropped-and-counted, because that is what the fault-injected dataset
+/// readers rely on.
+template <typename Record, typename Decode, typename Encode>
+void check_kind(std::string_view bytes, Decode decode, Encode encode) {
+    try {
+        const std::vector<Record> records = decode(bytes, false, nullptr);
+        const std::string again = encode(records);
+        const std::vector<Record> reparsed = decode(again, false, nullptr);
+        if (reparsed.size() != records.size())
+            throw std::logic_error("binary round trip changed record count");
+        for (std::size_t i = 0; i < records.size(); ++i)
+            if (!same(records[i], reparsed[i]))
+                throw std::logic_error("binary round trip changed a record");
+    } catch (const ParseError&) {
+        // Malformed input is the expected rejection path.
+    }
+    atlas::BinaryDecodeStats stats;
+    (void)decode(bytes, true, &stats);
+}
+
+}  // namespace
+
+int binary_bundle_one(const std::uint8_t* data, std::size_t size) {
+    const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+    check_kind<ConnectionLogEntry>(
+        bytes,
+        [](std::string_view b, bool l, atlas::BinaryDecodeStats* s) {
+            return atlas::decode_connection_log_binary(b, l, s);
+        },
+        [](const std::vector<ConnectionLogEntry>& r) {
+            return atlas::encode_connection_log_binary(r);
+        });
+    check_kind<KRootPingRecord>(
+        bytes,
+        [](std::string_view b, bool l, atlas::BinaryDecodeStats* s) {
+            return atlas::decode_kroot_binary(b, l, s);
+        },
+        [](const std::vector<KRootPingRecord>& r) {
+            return atlas::encode_kroot_binary(r);
+        });
+    check_kind<UptimeRecord>(
+        bytes,
+        [](std::string_view b, bool l, atlas::BinaryDecodeStats* s) {
+            return atlas::decode_uptime_binary(b, l, s);
+        },
+        [](const std::vector<UptimeRecord>& r) {
+            return atlas::encode_uptime_binary(r);
+        });
+    check_kind<ProbeMetadata>(
+        bytes,
+        [](std::string_view b, bool l, atlas::BinaryDecodeStats* s) {
+            return atlas::decode_probes_binary(b, l, s);
+        },
+        [](const std::vector<ProbeMetadata>& r) {
+            return atlas::encode_probes_binary(r);
+        });
+    return 0;
+}
+
+}  // namespace dynaddr::fuzz
+
+#ifdef DYNADDR_FUZZ_TARGET
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    return dynaddr::fuzz::binary_bundle_one(data, size);
+}
+#endif

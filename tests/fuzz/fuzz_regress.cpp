@@ -126,6 +126,9 @@ TEST(FuzzRegress, PppoeWireCorpus) {
     replay_corpus("pppoe_wire", pppoe_wire_one);
 }
 TEST(FuzzRegress, CsvCorpus) { replay_corpus("csv", csv_one); }
+TEST(FuzzRegress, BinaryBundleCorpus) {
+    replay_corpus("binary_bundle", binary_bundle_one);
+}
 
 TEST(FuzzRegress, DhcpWireMutations) {
     mutation_campaign("dhcp_wire", dhcp_wire_one);
@@ -134,6 +137,9 @@ TEST(FuzzRegress, PppoeWireMutations) {
     mutation_campaign("pppoe_wire", pppoe_wire_one);
 }
 TEST(FuzzRegress, CsvMutations) { mutation_campaign("csv", csv_one); }
+TEST(FuzzRegress, BinaryBundleMutations) {
+    mutation_campaign("binary_bundle", binary_bundle_one);
+}
 
 }  // namespace
 }  // namespace dynaddr::fuzz

@@ -20,5 +20,6 @@ namespace dynaddr::fuzz {
 int dhcp_wire_one(const std::uint8_t* data, std::size_t size);
 int pppoe_wire_one(const std::uint8_t* data, std::size_t size);
 int csv_one(const std::uint8_t* data, std::size_t size);
+int binary_bundle_one(const std::uint8_t* data, std::size_t size);
 
 }  // namespace dynaddr::fuzz

@@ -1,14 +1,25 @@
 // dynaddr — command-line front end.
 //
 //   dynaddr simulate --preset paper|outage|quick --out DIR [--seed N]
+//                    [--format csv|binary|both]
 //       Runs a scenario and writes the dataset bundle plus the supporting
-//       context (pfx2as_YYYY-MM.txt per month, registry.csv) to DIR.
+//       context (pfx2as_YYYY-MM.txt per month, registry.csv) to DIR. With
+//       --format binary the columnar DAB2 bundle is flushed incrementally
+//       while the simulation runs (atlas::BinaryBundleWriter tee).
 //
-//   dynaddr analyze --data DIR [--report LIST]
-//       Loads a bundle (simulated or real). IP-to-AS context comes from
-//       pfx2as_YYYY-MM.txt files and registry.csv in DIR when present.
-//       LIST is comma-separated from: summary,table2,table5,table6,table7,
-//       admin,all (default all).
+//   dynaddr analyze --data DIR [--report LIST] [--streaming]
+//       Loads a bundle (simulated or real; CSV or DAB2, auto-detected).
+//       IP-to-AS context comes from pfx2as_YYYY-MM.txt files and
+//       registry.csv in DIR when present. LIST is comma-separated from:
+//       summary,table2,table5,table6,table7,admin,all (default all).
+//       --streaming feeds a DAB2 bundle probe by probe through
+//       core::StreamingPipeline (O(probes) memory) — results are
+//       byte-identical to the batch path.
+//
+//   dynaddr convert --in DIR --out DIR [--to csv|binary]
+//       Translates a bundle between the CSV and DAB2 representations
+//       (default: the opposite of what --in holds) and copies the
+//       IP-to-AS context files along.
 //
 //   dynaddr demo
 //       simulate quick + analyze, in memory.
@@ -23,9 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "atlas/binary_bundle.hpp"
 #include "core/change_attribution.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/streaming_pipeline.hpp"
 #include "isp/presets.hpp"
 #include "netcore/csv.hpp"
 #include "netcore/error.hpp"
@@ -48,8 +61,10 @@ int usage() {
     std::cerr <<
         "usage:\n"
         "  dynaddr simulate --preset paper|outage|quick --out DIR [--seed N]\n"
+        "                   [--format csv|binary|both]\n"
         "  dynaddr analyze  --data DIR [--report summary,table2,table5,"
-        "table6,table7,admin,causes,all] [--threads N]\n"
+        "table6,table7,admin,causes,all] [--threads N] [--streaming]\n"
+        "  dynaddr convert  --in DIR --out DIR [--to csv|binary]\n"
         "  dynaddr demo [--preset paper|outage|quick] [--threads N]\n"
         "  dynaddr [--preset ...] (flags only: shorthand for demo)\n"
         "observability (any command):\n"
@@ -77,7 +92,7 @@ int usage() {
 
 /// Flags whose value is optional (`--flag` alone means "on, defaults").
 bool valueless_ok(const std::string& name) {
-    return name == "flight-recorder";
+    return name == "flight-recorder" || name == "streaming";
 }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
@@ -340,19 +355,33 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
     auto config = preset_by_name(preset_it->second);
     if (auto seed = flags.find("seed"); seed != flags.end())
         config.seed = std::stoull(seed->second);
+    const std::string format =
+        flags.contains("format") ? flags.at("format") : std::string("csv");
+    if (format != "csv" && format != "binary" && format != "both")
+        throw Error("unknown --format '" + format + "'");
+
+    const fs::path dir(out_it->second);
+    fs::create_directories(dir);
+    // The binary writer rides along as a sink: connection/uptime blocks
+    // hit disk while the simulation runs instead of after the drain.
+    std::unique_ptr<atlas::BinaryBundleWriter> writer;
+    if (format != "csv") {
+        writer = std::make_unique<atlas::BinaryBundleWriter>(dir.string());
+        config.bundle_sink = writer.get();
+    }
 
     std::cout << "simulating preset '" << preset_it->second << "' (seed "
               << config.seed << ")...\n";
     const auto scenario = isp::run_scenario(config);
-    const fs::path dir(out_it->second);
-    fs::create_directories(dir);
-    atlas::write_bundle(dir.string(), scenario.bundle);
+    if (writer) writer->close();
+    if (format != "binary") atlas::write_bundle(dir.string(), scenario.bundle);
     write_context(dir, scenario);
     std::cout << "wrote " << scenario.bundle.connection_log.size()
               << " connection-log rows, " << scenario.bundle.kroot_pings.size()
               << " k-root records, " << scenario.bundle.uptime_records.size()
               << " uptime records, " << scenario.bundle.probes.size()
-              << " probes + IP-to-AS context to " << dir.string() << "\n";
+              << " probes (" << format << ") + IP-to-AS context to "
+              << dir.string() << "\n";
     return 0;
 }
 
@@ -363,16 +392,79 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
     const std::string report_list =
         flags.contains("report") ? flags.at("report") : std::string("all");
 
-    const auto bundle = atlas::read_bundle(dir.string());
     const auto table = load_context_table(dir);
     const auto registry = load_context_registry(dir);
     if (table.snapshot_count() == 0)
         DYNADDR_LOG(Warn, cli, "no pfx2as_YYYY-MM.txt files in ", dir.string(),
                     "; AS-level analyses will be empty");
 
+    if (flags.contains("streaming") &&
+        atlas::binary_bundle_present(dir.string())) {
+        // Probe-by-probe ingestion: O(probes) memory, byte-identical
+        // results to the batch path below.
+        core::StreamingPipeline::Options options;
+        options.config = pipeline_config(flags);
+        core::StreamingPipeline pipeline(table, registry, options);
+        pipeline.open();
+        core::feed_binary_bundle(pipeline, dir.string());
+        const auto results = pipeline.finish();
+        DYNADDR_LOG(Info, cli, "streamed binary bundle: ",
+                    pipeline.probes_seen(), " probes, peak ",
+                    pipeline.peak_buffered_records(), " buffered records");
+        print_reports(results, table, registry, report_list);
+        return 0;
+    }
+    if (flags.contains("streaming"))
+        DYNADDR_LOG(Warn, cli, "--streaming needs a binary bundle in ",
+                    dir.string(), "; falling back to the batch reader");
+
+    const auto bundle = atlas::read_bundle_auto(dir.string());
     core::AnalysisPipeline pipeline(pipeline_config(flags));
     const auto results = pipeline.run(bundle, table, registry);
     print_reports(results, table, registry, report_list);
+    return 0;
+}
+
+int cmd_convert(const std::map<std::string, std::string>& flags) {
+    const auto in_it = flags.find("in");
+    const auto out_it = flags.find("out");
+    if (in_it == flags.end() || out_it == flags.end()) return usage();
+    const fs::path in_dir(in_it->second);
+    const fs::path out_dir(out_it->second);
+    const bool source_binary = atlas::binary_bundle_present(in_dir.string());
+    std::string to = flags.contains("to")
+                         ? flags.at("to")
+                         : std::string(source_binary ? "csv" : "binary");
+    if (to != "csv" && to != "binary")
+        throw Error("unknown --to '" + to + "'");
+
+    auto bundle = atlas::read_bundle_auto(in_dir.string());
+    // Probe-grouped, time-sorted order is what the streaming reader's
+    // ordering contract wants; CSV bundles from old simulate runs already
+    // have it, but normalizing here keeps convert idempotent either way.
+    bundle.sort();
+    fs::create_directories(out_dir);
+    if (to == "binary")
+        atlas::write_binary_bundle(out_dir.string(), bundle);
+    else
+        atlas::write_bundle(out_dir.string(), bundle);
+
+    // Carry the IP-to-AS context along so the output stays analyzable.
+    if (fs::exists(in_dir) && !fs::equivalent(in_dir, out_dir)) {
+        for (const auto& entry : fs::directory_iterator(in_dir)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind("pfx2as_", 0) == 0 || name == "registry.csv")
+                fs::copy_file(entry.path(), out_dir / name,
+                              fs::copy_options::overwrite_existing);
+        }
+    }
+    std::cout << "converted " << (source_binary ? "binary" : "csv")
+              << " bundle in " << in_dir.string() << " -> " << to << " in "
+              << out_dir.string() << " ("
+              << bundle.connection_log.size() << " connection-log rows, "
+              << bundle.kroot_pings.size() << " k-root, "
+              << bundle.uptime_records.size() << " uptime, "
+              << bundle.probes.size() << " probes)\n";
     return 0;
 }
 
@@ -426,6 +518,7 @@ int main(int argc, char** argv) {
         int status;
         if (command == "simulate") status = cmd_simulate(flags);
         else if (command == "analyze") status = cmd_analyze(flags);
+        else if (command == "convert") status = cmd_convert(flags);
         else if (command == "demo") status = cmd_demo(flags);
         else if (command == "crash-test") status = cmd_crash_test(flags);
         else return usage();
