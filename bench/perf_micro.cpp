@@ -26,6 +26,7 @@
 #include "netcore/obs/flight_recorder.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
+#include "netcore/obs/profiler.hpp"
 #include "netcore/obs/timeseries.hpp"
 #include "netcore/parallel.hpp"
 #include "isp/presets.hpp"
@@ -449,6 +450,33 @@ void BM_FlightCaptureDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_FlightCaptureDisabled);
 
+// -- sampling self-profiler ---------------------------------------------------
+
+void BM_ProfilerSampleCost(benchmark::State& state) {
+    // One synchronous sweep over the registered threads — exactly what
+    // the sampler thread does per tick, so ticks-per-second × this is
+    // the profiler's whole active cost. The calling thread is registered,
+    // so each iteration walks one real backtrace and folds it.
+    obs::clear_profile();
+    obs::profiler_register_current_thread("bench-profiled");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(obs::profiler_sample_once());
+    obs::profiler_unregister_current_thread();
+    obs::clear_profile();
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_ProfilerSampleCost);
+
+void BM_ProfilerDisabledCheck(benchmark::State& state) {
+    // The residual cost when profiling is off: one relaxed load — the
+    // "disabled cost ≈ 0" guarantee, same bar as BM_FlightCaptureDisabled.
+    obs::stop_profiler();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(obs::profiler_enabled());
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_ProfilerDisabledCheck);
+
 // -- pool allocation -------------------------------------------------------------
 
 // Steady-state allocate/release over a rotating subscriber population —
@@ -569,6 +597,28 @@ void BM_QuickScenarioEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_QuickScenarioEndToEnd)->Unit(benchmark::kMillisecond);
 
+void BM_QuickScenarioProfiled(benchmark::State& state) {
+    // BM_QuickScenarioEndToEnd with the 97 Hz sampler live: this pair's
+    // delta in BENCH_*.json is the profiler's measured end-to-end cost
+    // (acceptance bar: <= 5 %).
+    const auto config = isp::presets::quick_scenario();
+    obs::clear_profile();
+    obs::profiler_register_current_thread("bench-e2e");
+    obs::start_profiler(97.0);
+    for (auto _ : state) {
+        auto scenario = isp::run_scenario(config);
+        core::AnalysisPipeline pipeline;
+        auto results = pipeline.run(scenario.bundle, scenario.prefix_table,
+                                    scenario.registry, config.window);
+        benchmark::DoNotOptimize(results.changes.size());
+    }
+    obs::stop_profiler();
+    obs::profiler_unregister_current_thread();
+    state.counters["profiler_samples"] = double(obs::profiler_samples_taken());
+    obs::clear_profile();
+}
+BENCHMARK(BM_QuickScenarioProfiled)->Unit(benchmark::kMillisecond);
+
 // -- sharded pipeline: thread-count comparison --------------------------------
 //
 // The per-probe stages (change extraction, reboot detection, the §5 outage
@@ -587,11 +637,24 @@ void BM_PipelineThreads(benchmark::State& state) {
     core::PipelineConfig config;
     config.threads = std::size_t(state.range(0));
     core::AnalysisPipeline pipeline(config);
+    const auto before = obs::metrics_snapshot();
     for (auto _ : state) {
         auto results = pipeline.run(scenario->bundle, scenario->prefix_table,
                                     scenario->registry, window);
         benchmark::DoNotOptimize(results.changes.size());
     }
+    // Work counters, the speedup argument on a box whose wall clock can't
+    // make it (one core): how much of the sharded work pool workers
+    // claimed vs the calling thread, and how much work an iteration is.
+    const auto work = obs::metrics_diff(obs::metrics_snapshot(), before);
+    const double iterations = double(state.iterations());
+    const auto per_iter = [&](const char* name) {
+        const auto it = work.counters.find(name);
+        return it == work.counters.end() ? 0.0 : double(it->second) / iterations;
+    };
+    state.counters["probes_in"] = per_iter("pipeline.probes_in");
+    state.counters["shards"] = per_iter("par.shards_executed");
+    state.counters["shards_offloaded"] = per_iter("par.shards_offloaded");
     state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
 BENCHMARK(BM_PipelineThreads)
@@ -606,12 +669,25 @@ void BM_ParallelForShards(benchmark::State& state) {
     par::ThreadPool pool(par::resolve_threads(std::size_t(state.range(0))));
     constexpr std::size_t kShards = 256;
     std::vector<std::size_t> slots(kShards);
+    const auto before = obs::metrics_snapshot();
     for (auto _ : state) {
         pool.parallel_for_shards(kShards, [&](std::size_t i) {
             slots[i] = core::extract_changes(log).changes.size();
         });
         benchmark::DoNotOptimize(slots.data());
     }
+    const auto work = obs::metrics_diff(obs::metrics_snapshot(), before);
+    const double iterations = double(state.iterations());
+    const auto shards_it = work.counters.find("par.shards_executed");
+    const auto offloaded_it = work.counters.find("par.shards_offloaded");
+    state.counters["shards"] =
+        shards_it == work.counters.end() ? 0.0
+                                         : double(shards_it->second) / iterations;
+    state.counters["shards_offloaded"] =
+        offloaded_it == work.counters.end()
+            ? 0.0
+            : double(offloaded_it->second) / iterations;
+    state.counters["threads"] = double(pool.thread_count());
     state.SetItemsProcessed(std::int64_t(state.iterations()) * kShards);
 }
 BENCHMARK(BM_ParallelForShards)
@@ -664,7 +740,20 @@ public:
                   << "\", \"items_per_second\": "
                   << std::int64_t(rate("items_per_second"))
                   << ", \"bytes_per_second\": "
-                  << std::int64_t(rate("bytes_per_second")) << "}";
+                  << std::int64_t(rate("bytes_per_second"));
+            // Custom work counters (shards claimed, probes per iteration,
+            // ...) ride along so the report can argue work-split where
+            // wall-clock speedup can't (single-core CI hosts).
+            bool any_custom = false;
+            for (const auto& [name, value] : run.counters) {
+                if (name == "items_per_second" || name == "bytes_per_second")
+                    continue;
+                entry << (any_custom ? ", " : ", \"counters\": {") << '"'
+                      << name << "\": " << double(value);
+                any_custom = true;
+            }
+            if (any_custom) entry << "}";
+            entry << "}";
             const std::string name = run.benchmark_name();
             auto it = std::find_if(entries.begin(), entries.end(),
                                    [&](const auto& e) { return e.first == name; });

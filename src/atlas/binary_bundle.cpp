@@ -10,6 +10,7 @@
 #include "netcore/bytesource.hpp"
 #include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/obs/metrics.hpp"
 #include "netcore/obs/trace.hpp"
 #include "netcore/varint.hpp"
@@ -280,6 +281,14 @@ struct DatasetEncoder {
             stream.finish(nullptr);
         }
         return std::move(stream.body);
+    }
+
+    /// Heap held by this encoder: accumulated body, block index, and the
+    /// per-probe record buffer. For memory accounting.
+    [[nodiscard]] std::size_t memory_bytes() const {
+        return stream.body.capacity() +
+               stream.index.capacity() * sizeof(BlockStream::IndexEntry) +
+               buffer.capacity() * sizeof(Record);
     }
 };
 
@@ -706,6 +715,21 @@ struct BinaryBundleWriter::Impl {
     DatasetEncoder<UptimeRecord, UptimeEncoder> uptime;
     DatasetEncoder<ProbeMetadata, ProbesEncoder> probes;
     bool closed = false;
+    /// Capacity accounting (mem.atlas.dab2_writer): the four encoders'
+    /// bodies + buffers, published every 1024 records and at close.
+    obs::MemRegistration mem{"atlas.dab2_writer"};
+    std::size_t mem_ops = 0;
+    std::uint64_t records_added = 0;
+
+    void note_record() {
+        ++records_added;
+        if ((++mem_ops & 1023) == 0) publish_mem();
+    }
+    void publish_mem() {
+        mem.report(connections.memory_bytes() + kroot.memory_bytes() +
+                       uptime.memory_bytes() + probes.memory_bytes(),
+                   records_added);
+    }
 
     Impl(std::string dir, std::size_t block_records_)
         : directory(std::move(dir)),
@@ -733,23 +757,28 @@ BinaryBundleWriter::~BinaryBundleWriter() {
 
 void BinaryBundleWriter::add_connection(const ConnectionLogEntry& entry) {
     impl_->connections.add(entry);
+    impl_->note_record();
 }
 
 void BinaryBundleWriter::add_kroot(const KRootPingRecord& record) {
     impl_->kroot.add(record);
+    impl_->note_record();
 }
 
 void BinaryBundleWriter::add_uptime(const UptimeRecord& record) {
     impl_->uptime.add(record);
+    impl_->note_record();
 }
 
 void BinaryBundleWriter::add_probe(const ProbeMetadata& meta) {
     impl_->probes.add(meta);
+    impl_->note_record();
 }
 
 void BinaryBundleWriter::close() {
     if (impl_->closed) return;
     impl_->closed = true;
+    impl_->publish_mem();
     write_file(impl_->directory / dataset_file(DatasetKind::ConnectionLog),
                DatasetKind::ConnectionLog, impl_->connections.finish());
     write_file(impl_->directory / dataset_file(DatasetKind::KRoot),

@@ -26,11 +26,13 @@ void Controller::set_force_window(net::Duration min, net::Duration max) {
 void Controller::record_connection(const ConnectionLogEntry& entry) {
     connection_log_.push_back(entry);
     if (sink_ != nullptr) sink_->add_connection(entry);
+    note_mem_op();
 }
 
 void Controller::record_uptime(const UptimeRecord& record) {
     uptime_records_.push_back(record);
     if (sink_ != nullptr) sink_->add_uptime(record);
+    note_mem_op();
 }
 
 void Controller::drain_into(DatasetBundle& bundle) {
@@ -40,6 +42,7 @@ void Controller::drain_into(DatasetBundle& bundle) {
                                  uptime_records_.begin(), uptime_records_.end());
     connection_log_.clear();
     uptime_records_.clear();
+    publish_mem();
 }
 
 void Controller::release_firmware(net::TimePoint) {

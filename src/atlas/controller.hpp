@@ -4,6 +4,7 @@
 
 #include "atlas/binary_bundle.hpp"
 #include "atlas/datasets.hpp"
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/rng.hpp"
 #include "sim/simulation.hpp"
 
@@ -69,6 +70,19 @@ private:
     net::Duration force_min_ = net::Duration::hours(12);
     net::Duration force_max_ = net::Duration::hours(60);
     BundleSink* sink_ = nullptr;
+    /// Capacity accounting (mem.atlas.dataset_buffers): the centrally
+    /// buffered connection/uptime records — the dominant growth of a
+    /// non-streaming run — published amortized from the record sinks.
+    void note_mem_op() {
+        if ((++mem_ops_ & 1023) == 0) publish_mem();
+    }
+    void publish_mem() {
+        mem_.report(connection_log_.capacity() * sizeof(ConnectionLogEntry) +
+                        uptime_records_.capacity() * sizeof(UptimeRecord),
+                    connection_log_.size() + uptime_records_.size());
+    }
+    std::size_t mem_ops_ = 0;
+    obs::MemRegistration mem_{"atlas.dataset_buffers"};
 };
 
 }  // namespace dynaddr::atlas

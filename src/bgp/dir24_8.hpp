@@ -62,6 +62,13 @@ public:
     /// Number of 256-entry second-level tables in use.
     [[nodiscard]] std::size_t subtable_count() const { return tbl8_.size() >> 8; }
 
+    /// Heap footprint of the compiled tables, for memory accounting.
+    [[nodiscard]] std::size_t memory_bytes() const {
+        return tbl24_.capacity() * sizeof(std::uint32_t) +
+               tbl8_.capacity() * sizeof(std::uint32_t) +
+               results_.capacity() * sizeof(Result);
+    }
+
 private:
     static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
     static constexpr std::uint32_t kSubtableFlag = 0x80000000u;

@@ -63,7 +63,20 @@ const Dir24_8* PrefixTable::fast_for(const Snapshot& snapshot) const {
     snapshot.fast_storage = std::make_unique<Dir24_8>(snapshot.trie);
     fast = snapshot.fast_storage.get();
     snapshot.fast.store(fast, std::memory_order_release);
+    publish_mem();
     return fast;
+}
+
+void PrefixTable::publish_mem() const {
+    std::uint64_t bytes = 0;
+    std::uint64_t compiled = 0;
+    for (const auto& [month, snapshot] : snapshots_) {
+        const Dir24_8* fast = snapshot.fast.load(std::memory_order_acquire);
+        if (fast == nullptr) continue;
+        bytes += fast->memory_bytes();
+        ++compiled;
+    }
+    mem_.report(bytes, compiled);
 }
 
 bool PrefixTable::fast_lookup_compiled(MonthKey month) const {

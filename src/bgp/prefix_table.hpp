@@ -11,6 +11,7 @@
 
 #include "bgp/dir24_8.hpp"
 #include "bgp/radix_trie.hpp"
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/time.hpp"
 
 namespace dynaddr::bgp {
@@ -108,8 +109,15 @@ private:
     /// snapshot stays trie-only.
     [[nodiscard]] const Dir24_8* fast_for(const Snapshot& snapshot) const;
 
+    /// Re-sums compiled Dir24_8 bytes across snapshots into mem_. Called
+    /// after each lazy compile; reads only atomics and immutable tables.
+    void publish_mem() const;
+
     std::map<MonthKey, Snapshot> snapshots_;
     std::size_t fast_lookup_threshold_ = 4096;
+    /// Capacity accounting (mem.bgp.dir24_8): the compiled fast tables
+    /// only — the tries are loaded once and stay a small, fixed cost.
+    mutable obs::MemRegistration mem_{"bgp.dir24_8"};
 };
 
 }  // namespace dynaddr::bgp

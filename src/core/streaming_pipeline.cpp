@@ -9,6 +9,8 @@
 #include "core/pipeline_internal.hpp"
 #include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
+#include "netcore/obs/memaccount.hpp"
+#include "netcore/obs/progress.hpp"
 #include "netcore/obs/trace.hpp"
 #include "netcore/parallel.hpp"
 
@@ -102,6 +104,19 @@ struct StreamingPipeline::Impl {
     std::size_t buffered = 0;
     std::size_t peak_buffered = 0;
 
+    /// Capacity accounting (mem.core.streaming): buffered records at
+    /// per-record struct size — an estimate of the dominant cost, the
+    /// not-yet-sealed raw input — published amortized from channel_feed
+    /// and exactly at seal/flush boundaries.
+    obs::MemRegistration mem{"core.streaming"};
+    std::size_t mem_ops = 0;
+    static constexpr std::size_t kRecordBytesEstimate =
+        std::max({sizeof(atlas::ConnectionLogEntry),
+                  sizeof(atlas::KRootPingRecord),
+                  sizeof(atlas::UptimeRecord)});
+
+    void publish_mem() { mem.report(buffered * kRecordBytesEstimate, buffered); }
+
     void require_open() const {
         if (!is_open)
             throw Error("StreamingPipeline: feed outside open()..finish()");
@@ -132,6 +147,7 @@ struct StreamingPipeline::Impl {
         last = probe;
         ++buffered;
         peak_buffered = std::max(peak_buffered, buffered);
+        if ((++mem_ops & 255) == 0) publish_mem();
         return raw_for(probe);
     }
 
@@ -262,6 +278,7 @@ struct StreamingPipeline::Impl {
         for (auto& slot : slots) integrate(std::move(slot));
         pending.clear();
         buffered -= flushed_records;
+        publish_mem();
     }
 
     void seal_up_to(atlas::ProbeId probe) {
@@ -352,6 +369,9 @@ void StreamingPipeline::seal_through(atlas::ProbeId probe) {
         throw Error("StreamingPipeline: seal_through must be non-decreasing");
     impl_->sealed_through = probe;
     impl_->seal_up_to(probe);
+    // Progress watermark for /top: how far the streaming run has sealed.
+    obs::progress_note_sealed_probe(std::int64_t(probe));
+    impl_->publish_mem();
 }
 
 void StreamingPipeline::feed_bundle(const atlas::DatasetBundle& bundle) {

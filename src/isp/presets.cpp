@@ -618,4 +618,36 @@ ScenarioConfig quick_scenario() {
     return config;
 }
 
+ScenarioConfig scaled_scenario(ScenarioConfig base, int factor) {
+    if (factor < 1) throw Error("scale factor must be >= 1");
+    if (factor == 1) return base;
+    // k-root off: at the quick preset's 240 s cadence a 100k-CPE
+    // population would emit billions of ping records — the capacity run
+    // measures the lease/event/log planes, not the k-root emitter.
+    base.kroot.reset();
+    for (std::size_t i = 0; i < base.isps.size(); ++i) {
+        IspSpec& isp = base.isps[i];
+        std::int64_t probes = 0;
+        for (auto& cohort : isp.cohorts) {
+            cohort.probe_count *= factor;
+            probes += cohort.probe_count;
+        }
+        // Replace the preset's small address blocks with one synthetic
+        // wide block per ISP, sized to ~4x the scaled population so
+        // allocation behaves like a normally-provisioned pool rather than
+        // an exhaustion run. Blocks are disjoint across ISPs by
+        // construction (one /8 each, from 20.0.0.0 up).
+        int host_bits = 8;
+        while ((std::int64_t(1) << host_bits) < probes * 4 && host_bits < 24)
+            ++host_bits;
+        const net::IPv4Address block_base{std::uint32_t(20 + i) << 24};
+        isp.pool_prefixes = {net::IPv4Prefix(block_base, 32 - host_bits)};
+        isp.announced_prefixes = {net::IPv4Prefix(block_base, 8)};
+        // Admin renumbering events index the preset's pool list, which no
+        // longer exists; a single-block pool has nothing to retire into.
+        isp.admin_events.clear();
+    }
+    return base;
+}
+
 }  // namespace dynaddr::isp::presets

@@ -34,4 +34,12 @@ ScenarioConfig outage_scenario();
 /// and smoke runs; k-root on at full 240 s cadence.
 ScenarioConfig quick_scenario();
 
+/// Capacity-run derivation: multiplies every cohort's probe count by
+/// `factor`, replaces each ISP's address blocks with one synthetic wide
+/// block sized to the scaled population (disjoint /8s, admin events
+/// dropped), and turns k-root emission off. `scaled_scenario(
+/// quick_scenario(), 3334)` is the ~100k-CPE scenario the --mem-report
+/// acceptance run uses; factor 1 returns `base` unchanged.
+ScenarioConfig scaled_scenario(ScenarioConfig base, int factor);
+
 }  // namespace dynaddr::isp::presets

@@ -7,7 +7,9 @@
 #include "isp/world.hpp"
 #include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/obs/metrics.hpp"
+#include "netcore/obs/progress.hpp"
 #include "netcore/obs/trace.hpp"
 #include "sim/simulation.hpp"
 
@@ -87,6 +89,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
     obs::ObsSpan scenario_span("scenario.run", "scenario",
                                &obs::latency_histogram("scenario.run"));
+    // Plan horizon for the progress telemetry (/top, `dynaddr top`).
+    obs::progress_begin_plan(config.window.begin, config.window.end);
     DYNADDR_LOG(Info, scenario, "scenario start: ", config.isps.size(),
                 " ISPs, window ", config.window.begin.to_string(), " .. ",
                 config.window.end.to_string());
@@ -513,6 +517,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                                    obs::trace_now_us() - emit_start_us);
     obs::counter("scenario.runs").inc();
     obs::counter("scenario.sim_events").inc(result.sim_events);
+    // Freeze the capacity figures while every subsystem is still alive —
+    // this is the snapshot --mem-report writes after teardown.
+    obs::mem_capture_final();
+    obs::progress_end_plan();
     return result;
 }
 

@@ -10,6 +10,8 @@
 #include <mutex>
 #include <vector>
 
+#include "netcore/obs/memaccount.hpp"
+
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -91,6 +93,17 @@ ThreadRing* this_thread_ring() {
         ring = new ThreadRing(capacity, std::uint32_t(index));
         s.rings[index] = ring;
         s.ring_count.store(index + 1, std::memory_order_release);
+        // Capacity accounting: rings are allocated here and never freed,
+        // so creation is the only point ring memory can change. The
+        // registration leaks with the rings — by design, the figure stays
+        // visible for the life of the process.
+        static MemRegistration* mem =
+            new MemRegistration("obs.flight_recorder");
+        std::uint64_t bytes = 0;
+        for (std::size_t i = 0; i <= index; ++i)
+            bytes += sizeof(ThreadRing) +
+                     s.rings[i]->records.capacity() * sizeof(FlightRecord);
+        mem->report(bytes, index + 1);
     }
     return ring;
 }

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstddef>
+#include <cstdlib>
 
 namespace dynaddr::obs {
 
@@ -142,6 +143,163 @@ struct JsonCursor {
     }
 };
 
+/// DOM-building sibling of JsonCursor. Kept separate so the validator
+/// stays allocation-free; the DOM path is only used on small /top
+/// payloads by `dynaddr top`.
+struct JsonBuilder {
+    std::string_view text;
+    std::size_t pos = 0;
+    int depth = 0;
+
+    static constexpr int kMaxDepth = 256;
+
+    bool at_end() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    void skip_ws() {
+        while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                             text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c) {
+        if (at_end() || text[pos] != c) return false;
+        ++pos;
+        return true;
+    }
+
+    static void append_utf8(std::string& out, unsigned code) {
+        if (code < 0x80) {
+            out.push_back(char(code));
+        } else if (code < 0x800) {
+            out.push_back(char(0xC0 | (code >> 6)));
+            out.push_back(char(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(char(0xE0 | (code >> 12)));
+            out.push_back(char(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (code & 0x3F)));
+        }
+    }
+
+    bool parse_string(std::string& out) {
+        if (!consume('"')) return false;
+        while (!at_end()) {
+            const char c = text[pos++];
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20) return false;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (at_end()) return false;
+            const char esc = text[pos++];
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        if (at_end()) return false;
+                        const char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+                        else return false;
+                    }
+                    append_utf8(out, code);
+                    break;
+                }
+                default: return false;
+            }
+        }
+        return false;  // unterminated
+    }
+
+    bool parse_number(double& out) {
+        const std::size_t start = pos;
+        JsonCursor cursor{text, pos};
+        if (!cursor.parse_number()) return false;
+        pos = cursor.pos;
+        out = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                          nullptr);
+        return true;
+    }
+
+    bool parse_value(JsonValue& out) {
+        if (++depth > kMaxDepth) return false;
+        skip_ws();
+        if (at_end()) return false;
+        bool ok;
+        switch (peek()) {
+            case '{': out.type = JsonValue::Type::Object; ok = parse_object(out); break;
+            case '[': out.type = JsonValue::Type::Array; ok = parse_array(out); break;
+            case '"': out.type = JsonValue::Type::String; ok = parse_string(out.string); break;
+            case 't':
+                out.type = JsonValue::Type::Bool;
+                out.boolean = true;
+                ok = consume_literal("true");
+                break;
+            case 'f':
+                out.type = JsonValue::Type::Bool;
+                ok = consume_literal("false");
+                break;
+            case 'n': ok = consume_literal("null"); break;
+            default:
+                out.type = JsonValue::Type::Number;
+                ok = parse_number(out.number);
+                break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool consume_literal(std::string_view word) {
+        if (text.substr(pos, word.size()) != word) return false;
+        pos += word.size();
+        return true;
+    }
+
+    bool parse_object(JsonValue& out) {
+        if (!consume('{')) return false;
+        skip_ws();
+        if (consume('}')) return true;
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (!parse_string(key)) return false;
+            skip_ws();
+            if (!consume(':')) return false;
+            JsonValue value;
+            if (!parse_value(value)) return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skip_ws();
+            if (consume('}')) return true;
+            if (!consume(',')) return false;
+        }
+    }
+
+    bool parse_array(JsonValue& out) {
+        if (!consume('[')) return false;
+        skip_ws();
+        if (consume(']')) return true;
+        while (true) {
+            JsonValue value;
+            if (!parse_value(value)) return false;
+            out.array.push_back(std::move(value));
+            skip_ws();
+            if (consume(']')) return true;
+            if (!consume(',')) return false;
+        }
+    }
+};
+
 }  // namespace
 
 bool json_valid(std::string_view text) {
@@ -149,6 +307,15 @@ bool json_valid(std::string_view text) {
     if (!cursor.parse_value()) return false;
     cursor.skip_ws();
     return cursor.at_end();
+}
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+    JsonBuilder builder{text};
+    JsonValue value;
+    if (!builder.parse_value(value)) return std::nullopt;
+    builder.skip_ws();
+    if (!builder.at_end()) return std::nullopt;
+    return value;
 }
 
 }  // namespace dynaddr::obs

@@ -1,0 +1,180 @@
+#include "netcore/obs/memaccount.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "netcore/error.hpp"
+#include "netcore/obs/metrics.hpp"
+
+namespace dynaddr::obs {
+
+namespace {
+
+/// Leaked, like the other obs singletons: subsystems may unregister from
+/// static destructors after a non-leaked registry would already be gone.
+class MemRegistry {
+public:
+    static MemRegistry& instance() {
+        static MemRegistry* registry = new MemRegistry();
+        return *registry;
+    }
+
+    MemSource* add(std::string_view name) {
+        std::scoped_lock lock(mutex_);
+        sources_.push_back(
+            std::unique_ptr<MemSource>(new MemSource(std::string(name))));
+        return sources_.back().get();
+    }
+
+    void remove(MemSource* source) {
+        std::scoped_lock lock(mutex_);
+        std::erase_if(sources_,
+                      [source](const auto& owned) { return owned.get() == source; });
+    }
+
+    std::vector<MemSubsystem> aggregate() const {
+        std::map<std::string, MemSubsystem> by_name;
+        {
+            std::scoped_lock lock(mutex_);
+            for (const auto& source : sources_) {
+                MemSubsystem& row = by_name[source->name()];
+                row.name = source->name();
+                row.bytes += source->bytes();
+                row.items += source->items();
+                ++row.sources;
+            }
+        }
+        std::vector<MemSubsystem> rows;
+        rows.reserve(by_name.size());
+        for (auto& [name, row] : by_name) rows.push_back(std::move(row));
+        std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+            return a.bytes != b.bytes ? a.bytes > b.bytes : a.name < b.name;
+        });
+        return rows;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<MemSource>> sources_;
+};
+
+/// End-of-plan snapshot (see mem_capture_final): guarded by its own mutex,
+/// leaked for the same static-destructor reason as the registry.
+struct FinalCapture {
+    std::mutex mutex;
+    bool present = false;
+    MemReport report;
+};
+
+FinalCapture& final_capture() {
+    static FinalCapture* capture = new FinalCapture();
+    return *capture;
+}
+
+}  // namespace
+
+MemRegistration::MemRegistration(std::string_view name)
+    : source_(MemRegistry::instance().add(name)) {}
+
+MemRegistration::~MemRegistration() {
+    if (source_ != nullptr) MemRegistry::instance().remove(source_);
+}
+
+MemRegistration& MemRegistration::operator=(MemRegistration&& other) noexcept {
+    if (this != &other) {
+        if (source_ != nullptr) MemRegistry::instance().remove(source_);
+        source_ = other.source_;
+        other.source_ = nullptr;
+    }
+    return *this;
+}
+
+std::uint64_t process_rss_bytes() {
+    // /proc/self/statm: size resident shared text lib data dt, in pages.
+    std::FILE* statm = std::fopen("/proc/self/statm", "r");
+    if (statm == nullptr) return 0;
+    unsigned long long size = 0, resident = 0;
+    const int got = std::fscanf(statm, "%llu %llu", &size, &resident);
+    std::fclose(statm);
+    if (got != 2) return 0;
+    static const long page = ::sysconf(_SC_PAGESIZE);
+    return std::uint64_t(resident) * std::uint64_t(page > 0 ? page : 4096);
+}
+
+std::uint64_t process_peak_rss_bytes() {
+    rusage usage{};
+    if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+    return std::uint64_t(usage.ru_maxrss) * 1024;  // Linux: KiB
+}
+
+MemReport mem_report() {
+    MemReport report;
+    report.subsystems = MemRegistry::instance().aggregate();
+    for (const auto& row : report.subsystems) report.accounted_bytes += row.bytes;
+    report.process_rss_bytes = process_rss_bytes();
+    report.process_peak_rss_bytes = process_peak_rss_bytes();
+    return report;
+}
+
+void publish_mem_gauges() {
+    const MemReport report = mem_report();
+    for (const auto& row : report.subsystems) {
+        gauge("mem." + row.name + ".bytes").set(std::int64_t(row.bytes));
+        gauge("mem." + row.name + ".items").set(std::int64_t(row.items));
+    }
+    gauge("mem.process.rss_bytes").set(std::int64_t(report.process_rss_bytes));
+    gauge("mem.process.peak_rss_bytes")
+        .set(std::int64_t(report.process_peak_rss_bytes));
+    gauge("mem.accounted_bytes").set(std::int64_t(report.accounted_bytes));
+    gauge("mem.residual_bytes").set(report.residual_bytes());
+}
+
+void write_mem_report_json(std::ostream& out, const MemReport& report) {
+    out << "{\n  \"accounted_bytes\": " << report.accounted_bytes
+        << ",\n  \"process_rss_bytes\": " << report.process_rss_bytes
+        << ",\n  \"process_peak_rss_bytes\": " << report.process_peak_rss_bytes
+        << ",\n  \"residual_bytes\": " << report.residual_bytes()
+        << ",\n  \"subsystems\": [";
+    for (std::size_t i = 0; i < report.subsystems.size(); ++i) {
+        const MemSubsystem& row = report.subsystems[i];
+        out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << row.name
+            << "\", \"bytes\": " << row.bytes << ", \"items\": " << row.items
+            << ", \"sources\": " << row.sources << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+void mem_capture_final() {
+    MemReport report = mem_report();
+    auto& capture = final_capture();
+    std::scoped_lock lock(capture.mutex);
+    capture.present = true;
+    capture.report = std::move(report);
+}
+
+std::optional<MemReport> mem_final_report() {
+    auto& capture = final_capture();
+    std::scoped_lock lock(capture.mutex);
+    if (!capture.present) return std::nullopt;
+    return capture.report;
+}
+
+void write_mem_report_file(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open " + path + " for writing");
+    // Prefer the end-of-plan capture: by the time a CLI run writes its
+    // outputs the scenario's subsystems (and their registrations) are
+    // already destroyed, so the live report would be empty.
+    const auto captured = mem_final_report();
+    write_mem_report_json(out, captured ? *captured : mem_report());
+}
+
+}  // namespace dynaddr::obs

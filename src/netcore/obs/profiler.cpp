@@ -1,0 +1,300 @@
+#include "netcore/obs/profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "netcore/error.hpp"
+
+namespace dynaddr::obs {
+
+namespace {
+
+constexpr int kMaxFrames = 64;
+
+/// Per-registered-thread capture slot. The signal handler writes frames_
+/// and then release-stores captured_; the sampler acquire-loads captured_
+/// before reading frames_. pending_ keeps a late-delivered signal (the
+/// sampler timed out waiting) from scribbling over a slot the sampler
+/// has already folded into the aggregate on a later round.
+struct ThreadSlot {
+    std::string name;
+    pthread_t handle{};
+    std::atomic<bool> pending{false};   ///< signal sent, capture not consumed
+    std::atomic<bool> captured{false};  ///< handler finished writing frames
+    void* frames[kMaxFrames] = {};
+    std::atomic<int> depth{0};
+};
+
+/// Leaked (flight-recorder pattern): worker threads unregister from static
+/// destructors after a non-leaked state object would be gone.
+struct ProfilerState {
+    std::mutex mutex;  ///< guards slots, aggregate, sampler lifecycle
+    std::vector<std::unique_ptr<ThreadSlot>> slots;
+    /// folded stack key ("thread;addr;addr;...") → sample count; keys use
+    /// raw addresses, symbolized only at export.
+    std::map<std::string, std::uint64_t> aggregate;
+    std::atomic<bool> enabled{false};
+    std::atomic<std::uint64_t> taken{0};
+    std::atomic<std::uint64_t> missed{0};
+    std::thread sampler;
+    std::condition_variable stop_cv;
+    bool stop_requested = false;
+    bool handler_installed = false;
+};
+
+ProfilerState& state() {
+    static ProfilerState* s = new ProfilerState();
+    return *s;
+}
+
+thread_local ThreadSlot* this_thread_slot = nullptr;
+
+/// Async-signal-safe by construction: backtrace() into a preallocated
+/// buffer plus one release store. No allocation, no locking, no I/O.
+void sigprof_handler(int, siginfo_t*, void*) {
+    ThreadSlot* slot = this_thread_slot;
+    if (slot == nullptr || !slot->pending.load(std::memory_order_acquire)) return;
+    const int depth = ::backtrace(slot->frames, kMaxFrames);
+    slot->depth.store(depth, std::memory_order_relaxed);
+    slot->captured.store(true, std::memory_order_release);
+}
+
+void install_handler_locked() {
+    if (state().handler_installed) return;
+    // Warm up backtrace(): its first call may dlopen/malloc, which must
+    // never happen inside the signal handler.
+    void* warmup[kMaxFrames];
+    ::backtrace(warmup, kMaxFrames);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = sigprof_handler;
+    sa.sa_flags = SA_RESTART | SA_SIGINFO;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGPROF, &sa, nullptr);
+    state().handler_installed = true;
+}
+
+/// Folds one captured stack into the aggregate under the state mutex.
+/// Key format: thread-name;outer-addr;...;inner-addr (root first, so the
+/// folded output is directly flame-graph shaped).
+void fold_capture_locked(const ThreadSlot& slot, void* const* frames, int depth) {
+    std::ostringstream key;
+    key << slot.name;
+    for (int i = depth - 1; i >= 0; --i) key << ';' << frames[i];
+    ++state().aggregate[key.str()];
+}
+
+/// Samples every registered thread. Called with the state mutex held.
+/// The calling thread (if registered) is sampled inline — signalling
+/// ourselves and then spin-waiting for our own handler would deadlock.
+std::uint64_t sample_all_locked() {
+    std::uint64_t captured_count = 0;
+    const pthread_t self = ::pthread_self();
+    for (const auto& slot : state().slots) {
+        if (::pthread_equal(slot->handle, self)) {
+            void* frames[kMaxFrames];
+            const int depth = ::backtrace(frames, kMaxFrames);
+            fold_capture_locked(*slot, frames, depth);
+            ++captured_count;
+            state().taken.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        slot->captured.store(false, std::memory_order_relaxed);
+        slot->pending.store(true, std::memory_order_release);
+        if (::pthread_kill(slot->handle, SIGPROF) != 0) {
+            slot->pending.store(false, std::memory_order_relaxed);
+            state().missed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        // Bounded wait: a thread parked in an uninterruptible state just
+        // misses this round; the sampler never blocks on it.
+        bool got = false;
+        for (int spin = 0; spin < 2000; ++spin) {
+            if (slot->captured.load(std::memory_order_acquire)) {
+                got = true;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(5));
+        }
+        slot->pending.store(false, std::memory_order_release);
+        if (got) {
+            fold_capture_locked(*slot, slot->frames,
+                                slot->depth.load(std::memory_order_relaxed));
+            ++captured_count;
+            state().taken.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            state().missed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return captured_count;
+}
+
+void sampler_loop(double hz) {
+    const auto period =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(1.0 / hz));
+    std::unique_lock lock(state().mutex);
+    while (!state().stop_requested) {
+        sample_all_locked();
+        state().stop_cv.wait_for(lock, period,
+                                 [] { return state().stop_requested; });
+    }
+}
+
+/// Best-effort frame name: dladdr symbol + offset when visible (link with
+/// -rdynamic), hex address otherwise. Cached per address — symbolization
+/// runs only at export time, never on the sampling path.
+std::string symbolize(void* addr,
+                      std::map<void*, std::string>& cache) {
+    auto it = cache.find(addr);
+    if (it != cache.end()) return it->second;
+    std::string name;
+    Dl_info info{};
+    if (::dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+        int status = 0;
+        char* pretty =
+            abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+        name = (status == 0 && pretty != nullptr) ? pretty : info.dli_sname;
+        std::free(pretty);
+        // Folded-stack separators are ';' — scrub any from symbols.
+        std::replace(name.begin(), name.end(), ';', ':');
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%p", addr);
+        name = buf;
+    }
+    cache.emplace(addr, name);
+    return name;
+}
+
+}  // namespace
+
+bool profiler_enabled() {
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void start_profiler(double hz) {
+    hz = std::clamp(hz, 1.0, 10000.0);
+    std::scoped_lock lock(state().mutex);
+    if (state().enabled.load(std::memory_order_relaxed)) return;
+    install_handler_locked();
+    state().stop_requested = false;
+    state().enabled.store(true, std::memory_order_relaxed);
+    state().sampler = std::thread(sampler_loop, hz);
+}
+
+void stop_profiler() {
+    std::thread sampler;
+    {
+        std::scoped_lock lock(state().mutex);
+        if (!state().enabled.load(std::memory_order_relaxed)) return;
+        state().stop_requested = true;
+        state().enabled.store(false, std::memory_order_relaxed);
+        state().stop_cv.notify_all();
+        sampler = std::move(state().sampler);
+    }
+    if (sampler.joinable()) sampler.join();
+}
+
+void clear_profile() {
+    std::scoped_lock lock(state().mutex);
+    state().aggregate.clear();
+    state().taken.store(0, std::memory_order_relaxed);
+    state().missed.store(0, std::memory_order_relaxed);
+}
+
+void profiler_register_current_thread(std::string_view name) {
+    std::scoped_lock lock(state().mutex);
+    auto slot = std::make_unique<ThreadSlot>();
+    slot->name = std::string(name);
+    slot->handle = ::pthread_self();
+    this_thread_slot = slot.get();
+    state().slots.push_back(std::move(slot));
+}
+
+void profiler_unregister_current_thread() {
+    std::scoped_lock lock(state().mutex);
+    ThreadSlot* slot = this_thread_slot;
+    this_thread_slot = nullptr;
+    std::erase_if(state().slots,
+                  [slot](const auto& owned) { return owned.get() == slot; });
+}
+
+std::uint64_t profiler_samples_taken() {
+    return state().taken.load(std::memory_order_relaxed);
+}
+
+std::uint64_t profiler_samples_missed() {
+    return state().missed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t profiler_sample_once() {
+    std::scoped_lock lock(state().mutex);
+    install_handler_locked();
+    return sample_all_locked();
+}
+
+void write_profile_folded(std::ostream& out) {
+    // Copy the aggregate out, then symbolize without the lock held.
+    std::map<std::string, std::uint64_t> aggregate;
+    {
+        std::scoped_lock lock(state().mutex);
+        aggregate = state().aggregate;
+    }
+    std::map<void*, std::string> cache;
+    std::vector<std::string> lines;
+    lines.reserve(aggregate.size());
+    for (const auto& [key, count] : aggregate) {
+        std::string line;
+        std::size_t pos = 0;
+        bool first = true;
+        while (pos <= key.size()) {
+            const std::size_t next = key.find(';', pos);
+            const std::string tok =
+                key.substr(pos, next == std::string::npos ? next : next - pos);
+            if (first) {
+                line = tok;  // thread name
+                first = false;
+            } else {
+                void* addr = nullptr;
+                std::sscanf(tok.c_str(), "%p", &addr);
+                line += ';';
+                line += symbolize(addr, cache);
+            }
+            if (next == std::string::npos) break;
+            pos = next + 1;
+        }
+        line += ' ';
+        line += std::to_string(count);
+        lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const auto& line : lines) out << line << '\n';
+}
+
+void write_profile_file(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open " + path + " for writing");
+    write_profile_folded(out);
+}
+
+}  // namespace dynaddr::obs

@@ -1,0 +1,89 @@
+#pragma once
+
+// Sampling self-profiler: answers "where does a long run spend its time"
+// from inside the process, with nothing attached. Worker threads register
+// themselves (the sim loop, pipeline-pool executors, the stats thread); a
+// dedicated sampler thread wakes at `hz` and interrupts each registered
+// thread with SIGPROF, whose handler captures a backtrace into that
+// thread's preallocated slot. The sampler folds the captured stacks into
+// (stack → count) aggregates, flame-graph-ready: write_profile_folded
+// emits `thread;outermost;...;innermost count` lines that
+// flamegraph.pl / speedscope consume directly.
+//
+// Signal-safety rules (DESIGN.md §10): the handler does exactly two
+// things — backtrace() into a buffer owned by the interrupted thread, and
+// one release store of the "captured" flag. No malloc, no locks, no
+// formatting; backtrace() is warmed up once at start_profiler so its
+// lazy-loading first call never happens in signal context. Symbolization
+// (dladdr, with raw addresses as fallback) runs only at export time on
+// the exporting thread. Handlers install with SA_RESTART so interrupted
+// syscalls in the profiled threads resume instead of surfacing EINTR —
+// that, plus touching no simulation state, is the observer-purity
+// argument (LiveObsDeterminism runs fingerprints under 97 Hz sampling).
+//
+// Disabled cost ≈ 0 by construction: with the profiler off there is no
+// sampler thread and no signals; the only residue is one registration
+// (mutex + push) per thread lifetime. profiler_enabled() is a single
+// relaxed load (BM_ProfilerDisabledCheck).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace dynaddr::obs {
+
+/// True while the sampler thread is running. One relaxed load.
+[[nodiscard]] bool profiler_enabled();
+
+/// Starts sampling every registered thread at `hz` (clamped to
+/// [1, 10000]). Idempotent while running; keeps any prior aggregate so
+/// repeated start/stop cycles accumulate.
+void start_profiler(double hz);
+
+/// Stops the sampler thread (joins it). The aggregate survives for
+/// export. Idempotent.
+void stop_profiler();
+
+/// Drops the aggregated stacks and sample counters.
+void clear_profile();
+
+/// Adds the calling thread to the sampled set under `name`. Threads that
+/// outlive their interest must unregister before exiting (a signal to a
+/// dead thread is undefined); prefer ScopedProfiledThread.
+void profiler_register_current_thread(std::string_view name);
+void profiler_unregister_current_thread();
+
+/// RAII thread registration for worker loops.
+class ScopedProfiledThread {
+public:
+    explicit ScopedProfiledThread(std::string_view name) {
+        profiler_register_current_thread(name);
+    }
+    ~ScopedProfiledThread() { profiler_unregister_current_thread(); }
+    ScopedProfiledThread(const ScopedProfiledThread&) = delete;
+    ScopedProfiledThread& operator=(const ScopedProfiledThread&) = delete;
+};
+
+/// Stacks successfully captured / sample attempts that found the target
+/// uninterruptible in time (skipped, never blocked on).
+[[nodiscard]] std::uint64_t profiler_samples_taken();
+[[nodiscard]] std::uint64_t profiler_samples_missed();
+
+/// One synchronous sweep over the registered threads from the calling
+/// thread (the calling thread itself is sampled inline, without a
+/// signal). Returns stacks captured. Installs the handler if needed —
+/// the test/bench hook behind BM_ProfilerSampleCost; the sampler thread
+/// runs exactly this per tick.
+std::uint64_t profiler_sample_once();
+
+/// Folded-stack export: one `thread;frame;...;frame count` line per
+/// distinct stack, outermost frame first, sorted by line for determinism.
+/// Frames symbolize via dladdr when the symbol is visible (link the
+/// binary with -rdynamic for full names) and print as hex otherwise.
+void write_profile_folded(std::ostream& out);
+
+/// As --profile-out: writes the folded aggregate to `path`. Throws Error
+/// when the file cannot be opened.
+void write_profile_file(const std::string& path);
+
+}  // namespace dynaddr::obs

@@ -1,0 +1,141 @@
+#include "netcore/obs/progress.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <ostream>
+
+#include "netcore/obs/metrics.hpp"
+
+namespace dynaddr::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// All watermarks a publisher can touch are individual atomics; begin/end
+/// plan also only store. Readers derive everything else. A torn multi-field
+/// view across publishers is acceptable (each field is itself consistent,
+/// and progress is advisory), which is why no lock is needed.
+struct ProgressState {
+    std::atomic<bool> active{false};
+    std::atomic<std::int64_t> plan_begin_unix{0};
+    std::atomic<std::int64_t> plan_end_unix{0};
+    std::atomic<std::int64_t> sim_now_unix{0};
+    std::atomic<std::uint64_t> events{0};
+    std::atomic<std::int64_t> sealed_probe{-1};
+    /// Clock::now() at begin_plan, as nanoseconds-since-clock-epoch.
+    std::atomic<std::int64_t> wall_begin_ns{0};
+    /// Wall duration frozen at end_plan (ns); -1 while the plan runs.
+    std::atomic<std::int64_t> wall_final_ns{-1};
+};
+
+ProgressState& state() {
+    static ProgressState s;
+    return s;
+}
+
+std::int64_t wall_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+void progress_begin_plan(net::TimePoint begin, net::TimePoint end) {
+    auto& s = state();
+    s.plan_begin_unix.store(begin.unix_seconds(), std::memory_order_relaxed);
+    s.plan_end_unix.store(end.unix_seconds(), std::memory_order_relaxed);
+    s.sim_now_unix.store(begin.unix_seconds(), std::memory_order_relaxed);
+    s.events.store(0, std::memory_order_relaxed);
+    s.sealed_probe.store(-1, std::memory_order_relaxed);
+    s.wall_final_ns.store(-1, std::memory_order_relaxed);
+    s.wall_begin_ns.store(wall_now_ns(), std::memory_order_relaxed);
+    s.active.store(true, std::memory_order_release);
+}
+
+void progress_end_plan() {
+    auto& s = state();
+    const std::int64_t elapsed =
+        wall_now_ns() - s.wall_begin_ns.load(std::memory_order_relaxed);
+    s.wall_final_ns.store(elapsed, std::memory_order_relaxed);
+    s.active.store(false, std::memory_order_release);
+}
+
+void progress_note_sim_time(net::TimePoint now) {
+    state().sim_now_unix.store(now.unix_seconds(), std::memory_order_relaxed);
+}
+
+void progress_note_events(std::uint64_t executed_total) {
+    state().events.store(executed_total, std::memory_order_relaxed);
+}
+
+void progress_note_sealed_probe(std::int64_t probe) {
+    state().sealed_probe.store(probe, std::memory_order_relaxed);
+}
+
+ProgressSnapshot progress_snapshot() {
+    auto& s = state();
+    ProgressSnapshot snap;
+    snap.plan_active = s.active.load(std::memory_order_acquire);
+    snap.plan_begin =
+        net::TimePoint(s.plan_begin_unix.load(std::memory_order_relaxed));
+    snap.plan_end =
+        net::TimePoint(s.plan_end_unix.load(std::memory_order_relaxed));
+    snap.sim_now = net::TimePoint(s.sim_now_unix.load(std::memory_order_relaxed));
+    snap.events_executed = s.events.load(std::memory_order_relaxed);
+    snap.sealed_probe = s.sealed_probe.load(std::memory_order_relaxed);
+
+    const std::int64_t final_ns = s.wall_final_ns.load(std::memory_order_relaxed);
+    const std::int64_t begin_ns = s.wall_begin_ns.load(std::memory_order_relaxed);
+    const std::int64_t elapsed_ns =
+        final_ns >= 0 ? final_ns : (begin_ns > 0 ? wall_now_ns() - begin_ns : 0);
+    snap.wall_elapsed_s = double(elapsed_ns) / 1e9;
+
+    if (snap.wall_elapsed_s > 0) {
+        snap.events_per_s = double(snap.events_executed) / snap.wall_elapsed_s;
+        snap.sim_rate =
+            double((snap.sim_now - snap.plan_begin).count()) / snap.wall_elapsed_s;
+    }
+    const std::int64_t horizon = (snap.plan_end - snap.plan_begin).count();
+    if (horizon > 0) {
+        snap.fraction_done = std::clamp(
+            double((snap.sim_now - snap.plan_begin).count()) / double(horizon),
+            0.0, 1.0);
+        if (snap.sim_rate > 0)
+            snap.eta_s =
+                double((snap.plan_end - snap.sim_now).count()) / snap.sim_rate;
+    }
+    return snap;
+}
+
+void publish_progress_gauges() {
+    const ProgressSnapshot snap = progress_snapshot();
+    gauge("progress.plan_active").set(snap.plan_active ? 1 : 0);
+    gauge("progress.sim_now_unix").set(snap.sim_now.unix_seconds());
+    gauge("progress.plan_end_unix").set(snap.plan_end.unix_seconds());
+    gauge("progress.events_executed").set(std::int64_t(snap.events_executed));
+    gauge("progress.events_per_s").set(std::int64_t(snap.events_per_s));
+    gauge("progress.sim_rate").set(std::int64_t(snap.sim_rate));
+    gauge("progress.fraction_done_pct")
+        .set(std::int64_t(snap.fraction_done * 100.0));
+    gauge("progress.eta_s").set(std::int64_t(snap.eta_s));
+    gauge("progress.sealed_probe").set(snap.sealed_probe);
+}
+
+void write_progress_json(std::ostream& out, const ProgressSnapshot& snap) {
+    out << "{\"plan_active\": " << (snap.plan_active ? "true" : "false")
+        << ", \"sim_now\": \"" << snap.sim_now.to_string()
+        << "\", \"plan_begin\": \"" << snap.plan_begin.to_string()
+        << "\", \"plan_end\": \"" << snap.plan_end.to_string()
+        << "\", \"events_executed\": " << snap.events_executed
+        << ", \"wall_elapsed_s\": " << snap.wall_elapsed_s
+        << ", \"events_per_s\": " << snap.events_per_s
+        << ", \"sim_rate\": " << snap.sim_rate
+        << ", \"fraction_done\": " << snap.fraction_done
+        << ", \"eta_s\": " << snap.eta_s
+        << ", \"sealed_probe\": " << snap.sealed_probe << "}";
+}
+
+}  // namespace dynaddr::obs

@@ -1,0 +1,62 @@
+#pragma once
+
+// Run-progress telemetry: where a long run *is* and when it will finish.
+// run_scenario publishes the plan horizon (begin_plan/end_plan); the sim
+// loop publishes its sim-time watermark and executed-event count with one
+// relaxed store each per event; the streaming pipeline publishes its
+// sealed-probe watermark. snapshot() derives the rates — events/s,
+// sim-seconds-per-wall-second, ETA against the horizon — at read time, so
+// the hot path pays only the stores. Same purity contract as the rest of
+// obs: publishers never read, readers (the /top endpoint, progress.*
+// gauges, `dynaddr top`) never touch simulation state.
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "netcore/time.hpp"
+
+namespace dynaddr::obs {
+
+/// Point-in-time derived view of a run's progress.
+struct ProgressSnapshot {
+    bool plan_active = false;           ///< between begin_plan and end_plan
+    net::TimePoint plan_begin;          ///< scenario window begin
+    net::TimePoint plan_end;            ///< scenario window end (the horizon)
+    net::TimePoint sim_now;             ///< sim-time watermark
+    std::uint64_t events_executed = 0;
+    double wall_elapsed_s = 0;          ///< since begin_plan
+    double events_per_s = 0;            ///< executed / wall_elapsed
+    double sim_rate = 0;                ///< sim-seconds per wall-second
+    double fraction_done = 0;           ///< (sim_now-begin)/(end-begin), clamped
+    double eta_s = -1;                  ///< wall seconds to horizon; -1 unknown
+    std::int64_t sealed_probe = -1;     ///< streaming watermark; -1 none sealed
+};
+
+/// Marks the start of a planned run with horizon [begin, end). Resets the
+/// event counter and wall clock. Called by run_scenario.
+void progress_begin_plan(net::TimePoint begin, net::TimePoint end);
+
+/// Marks the plan finished; the final snapshot stays readable.
+void progress_end_plan();
+
+/// Hot-path publishers: one relaxed store each.
+void progress_note_sim_time(net::TimePoint now);
+void progress_note_events(std::uint64_t executed_total);
+void progress_note_sealed_probe(std::int64_t probe);
+
+/// Derives rates/ETA from the published watermarks and a monotonic wall
+/// clock. Safe from any thread at any time.
+[[nodiscard]] ProgressSnapshot progress_snapshot();
+
+/// Pushes the snapshot into the metrics registry: `progress.sim_now_unix`,
+/// `progress.events_executed`, `progress.events_per_s`,
+/// `progress.sim_rate`, `progress.fraction_done_pct`, `progress.eta_s`,
+/// `progress.sealed_probe`. The stats server calls this before /metrics
+/// and /top.
+void publish_progress_gauges();
+
+/// The "progress" object of /top:
+/// `{"plan_active": ..., "sim_now": "...", "plan_end": "...", ...}`.
+void write_progress_json(std::ostream& out, const ProgressSnapshot& snapshot);
+
+}  // namespace dynaddr::obs

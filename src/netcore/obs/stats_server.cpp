@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ostream>
@@ -13,7 +14,20 @@
 
 #include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
+#include "netcore/obs/memaccount.hpp"
+#include "netcore/obs/profiler.hpp"
+#include "netcore/obs/progress.hpp"
 #include "netcore/obs/timeseries.hpp"
+
+// Build identity, injected by CMake onto this translation unit only (see
+// src/netcore/CMakeLists.txt). Falls back to "unknown" for builds driven
+// without git or outside the repo.
+#ifndef DYNADDR_GIT_SHA
+#define DYNADDR_GIT_SHA "unknown"
+#endif
+#ifndef DYNADDR_BUILD_TYPE
+#define DYNADDR_BUILD_TYPE "unknown"
+#endif
 
 DYNADDR_LOG_MODULE(stats_server);
 
@@ -39,6 +53,44 @@ void write_prometheus_double(std::ostream& out, double value) {
     char buffer[40];
     std::snprintf(buffer, sizeof buffer, "%.9g", value);
     out << buffer;
+}
+
+/// Process start, for /healthz uptime. Static init runs early enough that
+/// "uptime of this object" and "uptime of the process" agree for our use.
+const std::chrono::steady_clock::time_point process_start =
+    std::chrono::steady_clock::now();
+
+double process_uptime_seconds() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         process_start)
+        .count();
+}
+
+/// /healthz: still "ok" on the first line (existing probes key on it),
+/// now followed by build identity and uptime.
+std::string healthz_body() {
+    std::ostringstream out;
+    out << "ok\n"
+        << "git_sha: " << DYNADDR_GIT_SHA << '\n'
+        << "build_type: " << DYNADDR_BUILD_TYPE << '\n'
+        << "compiler: " << __VERSION__ << '\n';
+    char uptime[48];
+    std::snprintf(uptime, sizeof uptime, "uptime_s: %.1f\n",
+                  process_uptime_seconds());
+    out << uptime;
+    return std::move(out).str();
+}
+
+/// /top: the capacity-and-progress view `dynaddr top` renders — one JSON
+/// object combining the progress snapshot and the memory report.
+std::string top_body() {
+    std::ostringstream out;
+    out << "{\n\"progress\": ";
+    write_progress_json(out, progress_snapshot());
+    out << ",\n\"memory\": ";
+    write_mem_report_json(out, mem_report());
+    out << "}\n";
+    return std::move(out).str();
 }
 
 }  // namespace
@@ -95,8 +147,8 @@ StatsServer::StatsServer(std::uint16_t port) {
     port_ = ntohs(address.sin_port);
 
     thread_ = std::thread([this] { serve(); });
-    DYNADDR_LOG(Info, stats_server, "serving /metrics /series /healthz on "
-                "127.0.0.1:", port_);
+    DYNADDR_LOG(Info, stats_server, "serving /metrics /series /top /healthz "
+                "on 127.0.0.1:", port_);
 }
 
 StatsServer::~StatsServer() { stop(); }
@@ -111,6 +163,8 @@ void StatsServer::stop() {
 }
 
 void StatsServer::serve() {
+    // Visible to the sampling self-profiler, like the pipeline workers.
+    ScopedProfiledThread profiled("stats-server");
     while (!stop_.load(std::memory_order_relaxed)) {
         pollfd poll_entry{listen_fd_, POLLIN, 0};
         const int ready = ::poll(&poll_entry, 1, 100 /* ms */);
@@ -156,7 +210,14 @@ void StatsServer::handle(int connection) {
             path = request.substr(path_start, path_end - path_start);
     }
 
-    if (path == "/metrics") {
+    if (!is_get) {
+        status = "405 Method Not Allowed";
+        body = "method not allowed\n";
+    } else if (path == "/metrics") {
+        // Refresh the derived gauges so every scrape sees live capacity
+        // and progress figures, not the last publisher's cadence.
+        publish_mem_gauges();
+        publish_progress_gauges();
         std::ostringstream out;
         write_metrics_prometheus(out, metrics_snapshot());
         body = std::move(out).str();
@@ -166,10 +227,15 @@ void StatsServer::handle(int connection) {
         SeriesRecorder::instance().write_json(out);
         body = std::move(out).str();
         content_type = "application/json";
+    } else if (path == "/top") {
+        publish_mem_gauges();
+        publish_progress_gauges();
+        body = top_body();
+        content_type = "application/json";
     } else if (path == "/healthz") {
-        body = "ok\n";
+        body = healthz_body();
     } else {
-        status = is_get ? "404 Not Found" : "400 Bad Request";
+        status = "404 Not Found";
         body = "not found\n";
     }
 

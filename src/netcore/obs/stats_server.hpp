@@ -6,14 +6,19 @@
 //
 //   GET /metrics  — Prometheus text exposition format (version 0.0.4)
 //   GET /series   — the time-series recorder's ring buffer as JSON
-//   GET /healthz  — "ok"
+//   GET /top      — capacity + progress JSON (memory report, sim-time
+//                   watermark, events/s, ETA) for `dynaddr top`
+//   GET /healthz  — "ok" plus build identity (git SHA, build type,
+//                   compiler) and process uptime
 //
-// The server runs on its own thread and is a pure observer: request
-// handling reads only the metrics registry (relaxed atomics under the
-// registry mutex) and the series recorder's ring (its own mutex); it
-// never touches simulation state, so polling cannot perturb determinism
-// (LiveObsDeterminism proves byte-identical analysis output while being
-// polled). Off unless constructed — the CLI gates it on --stats-port.
+// Non-GET requests get 405. The server runs on its own thread and is a
+// pure observer: request handling reads only the metrics registry
+// (relaxed atomics under the registry mutex), the series recorder's ring
+// (its own mutex), and the mem/progress watermarks (owner-published
+// atomics); it never touches simulation state, so polling cannot perturb
+// determinism (LiveObsDeterminism proves byte-identical analysis output
+// while being polled). Off unless constructed — the CLI gates it on
+// --stats-port.
 
 #include <atomic>
 #include <cstdint>

@@ -8,7 +8,32 @@
 #include <thread>
 #include <vector>
 
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/profiler.hpp"
+
 namespace dynaddr::par {
+
+namespace {
+
+// Work-split accounting. On a single-core CI box the wall-clock speedup
+// of a threaded bench is meaningless; these counters record how the work
+// actually divided — `par.shards_offloaded` is the share claimed by pool
+// workers rather than the calling thread, the figure BM_PipelineThreads /
+// BM_ParallelForShards put in the bench report as their speedup argument.
+obs::Counter& shards_executed_counter() {
+    static obs::Counter& counter = obs::counter("par.shards_executed");
+    return counter;
+}
+obs::Counter& shards_offloaded_counter() {
+    static obs::Counter& counter = obs::counter("par.shards_offloaded");
+    return counter;
+}
+obs::Counter& fanout_calls_counter() {
+    static obs::Counter& counter = obs::counter("par.fanout_calls");
+    return counter;
+}
+
+}  // namespace
 
 std::size_t resolve_threads(std::size_t requested) {
     if (requested != 0) return requested;
@@ -34,11 +59,13 @@ struct ThreadPool::Impl {
     /// Claims shards off the shared counter until none remain. The
     /// counter, not the scheduler, defines the work split — results land
     /// in caller-owned slots, so scheduling order never shows in output.
-    void drain() noexcept {
+    void drain(bool offloaded) noexcept {
+        std::size_t executed = 0;
         for (;;) {
             const std::size_t shard =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (shard >= shards) return;
+            if (shard >= shards) break;
+            ++executed;
             try {
                 (*job)(shard);
             } catch (...) {
@@ -46,9 +73,16 @@ struct ThreadPool::Impl {
                 if (!error) error = std::current_exception();
             }
         }
+        // One amortized add per drain, not one per shard.
+        if (executed > 0) {
+            shards_executed_counter().inc(executed);
+            if (offloaded) shards_offloaded_counter().inc(executed);
+        }
     }
 
     void worker_loop() {
+        // Visible to the sampling self-profiler for the thread's lifetime.
+        obs::ScopedProfiledThread profiled("pipeline-worker");
         std::uint64_t seen = 0;
         std::unique_lock lock(mutex);
         for (;;) {
@@ -56,7 +90,7 @@ struct ThreadPool::Impl {
             if (stop) return;
             seen = generation;
             lock.unlock();
-            drain();
+            drain(/*offloaded=*/true);
             lock.lock();
             if (--active == 0) work_done.notify_all();
         }
@@ -86,8 +120,10 @@ std::size_t ThreadPool::thread_count() const {
 void ThreadPool::parallel_for_shards(
     std::size_t shards, const std::function<void(std::size_t)>& fn) {
     if (shards == 0) return;
+    fanout_calls_counter().inc();
     if (impl_->workers.empty() || shards == 1) {
         for (std::size_t shard = 0; shard < shards; ++shard) fn(shard);
+        shards_executed_counter().inc(shards);
         return;
     }
     {
@@ -100,7 +136,7 @@ void ThreadPool::parallel_for_shards(
         ++impl_->generation;
     }
     impl_->work_ready.notify_all();
-    impl_->drain();  // the calling thread is one of the executors
+    impl_->drain(/*offloaded=*/false);  // the caller is one of the executors
     std::unique_lock lock(impl_->mutex);
     impl_->work_done.wait(lock, [&] { return impl_->active == 0; });
     impl_->job = nullptr;

@@ -135,6 +135,24 @@ void AddressPool::flush_metrics() {
                                    std::int64_t(reported_free_));
         reported_free_ = total_free_;
     }
+    publish_mem();
+}
+
+void AddressPool::publish_mem() {
+    std::uint64_t bytes =
+        free_words_.capacity() * sizeof(std::uint64_t) +
+        alloc_words_.capacity() * sizeof(std::uint64_t) +
+        free_pos_.capacity() * sizeof(std::uint32_t) +
+        slot_base_.capacity() * sizeof(std::uint32_t) +
+        free_by_prefix_.capacity() * sizeof(std::vector<std::uint32_t>) +
+        clients_dense_.capacity() * sizeof(ClientEntry) +
+        clients_sparse_.size() * (sizeof(ClientEntry) + sizeof(ClientId) +
+                                  2 * sizeof(void*)) +
+        weights_scratch_.capacity() * sizeof(double) +
+        prefix_enabled_.capacity() / 8;
+    for (const auto& bucket : free_by_prefix_)
+        bytes += bucket.capacity() * sizeof(std::uint32_t);
+    mem_.report(bytes, slot_count_);
 }
 
 void AddressPool::retire_prefix(std::size_t index) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "netcore/ipv4.hpp"
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/rng.hpp"
 #include "netcore/time.hpp"
 
@@ -251,6 +252,11 @@ private:
     // Last values pushed into the shared gauges (unwound by ~AddressPool).
     std::size_t reported_occupancy_ = 0;
     std::size_t reported_free_ = 0;
+    // Capacity accounting (mem.pool.address_pool, one source per pool);
+    // published from flush_metrics, so it shares the same amortization
+    // and staleness bound as the occupancy gauges.
+    void publish_mem();
+    obs::MemRegistration mem_{"pool.address_pool"};
 };
 
 }  // namespace dynaddr::pool

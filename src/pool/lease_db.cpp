@@ -43,6 +43,10 @@ void LeaseDb::sync_gauge() {
     lease_metrics().active.add(std::int64_t(size()) -
                                std::int64_t(reported_active_));
     reported_active_ = size();
+    mem_.report(clients_.capacity() * sizeof(ClientSlot) +
+                    addrs_.capacity() * sizeof(AddrSlot) +
+                    heap_.capacity() * sizeof(HeapEntry),
+                live_);
 }
 
 const LeaseDb::ClientSlot* LeaseDb::client_slot(ClientId client) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "netcore/ipv4.hpp"
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/time.hpp"
 #include "pool/address_pool.hpp"
 
@@ -114,6 +115,10 @@ private:
     mutable std::vector<HeapEntry> heap_;
     // Last value pushed into the shared gauge (unwound by ~LeaseDb).
     std::size_t reported_active_ = 0;
+    // Capacity accounting (mem.pool.lease_db), published from sync_gauge
+    // — every grant/revoke/expire batch, i.e. exactly when the tables can
+    // have changed shape.
+    obs::MemRegistration mem_{"pool.lease_db"};
 };
 
 }  // namespace dynaddr::pool

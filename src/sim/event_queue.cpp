@@ -74,7 +74,17 @@ EventId EventQueue::schedule_impl(std::int64_t when, std::int64_t period,
     place(slot);
     ++size_;
     wheel_metrics().scheduled.inc();
+    note_mem_op();
     return EventId{encode_id(e.gen, slot)};
+}
+
+void EventQueue::publish_mem() {
+    const std::uint64_t bytes =
+        std::uint64_t(slab_.capacity()) * sizeof(Event) +
+        std::uint64_t(heap_.capacity()) * sizeof(HeapEntry) +
+        std::uint64_t(ready_.capacity()) * sizeof(std::uint32_t) +
+        sizeof(bucket_head_) + sizeof(bucket_tail_) + sizeof(occupied_);
+    mem_.report(bytes, size_);
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -102,6 +112,7 @@ std::optional<net::TimePoint> EventQueue::next_time() {
 bool EventQueue::run_next() {
     if (!find_next()) return false;
     wheel_metrics().fired.inc();
+    note_mem_op();
     const std::uint32_t slot = ready_[ready_head_++];
     Event& e = slab_[slot];
     const std::int64_t when = e.when;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/time.hpp"
 #include "sim/inline_callback.hpp"
 
@@ -142,6 +143,18 @@ private:
 
     std::uint64_t next_seq_ = 0;
     std::size_t size_ = 0;
+
+    /// Capacity accounting (mem.sim.event_queue): slab + overflow heap +
+    /// ready list, published through owner-side atomics. Amortized like
+    /// the pool's metrics flush so the schedule/fire hot path pays a
+    /// counter increment, not a publish, most of the time.
+    void note_mem_op() {
+        if ((++mem_ops_ & (kMemFlushOps - 1)) == 0) publish_mem();
+    }
+    void publish_mem();
+    static constexpr std::uint64_t kMemFlushOps = 64;
+    std::uint64_t mem_ops_ = 0;
+    obs::MemRegistration mem_{"sim.event_queue"};
 };
 
 }  // namespace dynaddr::sim

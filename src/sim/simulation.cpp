@@ -6,6 +6,7 @@
 #include "netcore/error.hpp"
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
+#include "netcore/obs/progress.hpp"
 #include "netcore/obs/timeseries.hpp"
 
 namespace dynaddr::sim {
@@ -77,6 +78,9 @@ std::uint64_t Simulation::run_until(net::TimePoint end) {
         // Per-event (not bulk at return) so recorder ticks that fire
         // mid-run see a moving count — the series is a real rate.
         sim_metrics().executed.inc();
+        // Progress watermarks for /top: two relaxed stores per event.
+        obs::progress_note_sim_time(now_);
+        obs::progress_note_events(executed_);
     }
     if (end > now_) now_ = end;
     return ran;
@@ -90,6 +94,8 @@ std::uint64_t Simulation::run_all() {
         ++ran;
         ++executed_;
         sim_metrics().executed.inc();
+        obs::progress_note_sim_time(now_);
+        obs::progress_note_events(executed_);
     }
     return ran;
 }

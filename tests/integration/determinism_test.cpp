@@ -25,6 +25,9 @@
 #include "isp/world.hpp"
 #include "netcore/obs/flight_recorder.hpp"
 #include "netcore/obs/log.hpp"
+#include "netcore/obs/memaccount.hpp"
+#include "netcore/obs/profiler.hpp"
+#include "netcore/obs/progress.hpp"
 #include "netcore/obs/stats_server.hpp"
 #include "netcore/obs/timeseries.hpp"
 #include "netcore/obs/trace.hpp"
@@ -176,8 +179,11 @@ std::size_t poll_metrics(std::uint16_t port) {
 }
 
 /// The live layer — time-series recorder ticking in simulated time, the
-/// stats endpoint being polled from another thread, and the flight
-/// recorder capturing every record — must also be a pure observer.
+/// stats endpoint being polled from another thread, the flight recorder
+/// capturing every record, the memory accountants publishing, the
+/// progress watermarks, and the 97 Hz sampling profiler interrupting the
+/// run with SIGPROF — must all be pure observers: fingerprints with
+/// everything on match a bare run byte for byte.
 void expect_live_obs_invariant(const isp::ScenarioConfig& config) {
     const auto baseline = analysis_fingerprint(config);
     ASSERT_FALSE(baseline.empty());
@@ -187,6 +193,9 @@ void expect_live_obs_invariant(const isp::ScenarioConfig& config) {
     recorder.configure({3600.0, 512});
     recorder.enable();
     obs::enable_flight_recorder(128, /*install_handlers=*/false);
+    obs::clear_profile();
+    obs::profiler_register_current_thread("determinism-main");
+    obs::start_profiler(97.0);
     obs::StatsServer server(0);
 
     std::atomic<bool> stop{false};
@@ -203,15 +212,27 @@ void expect_live_obs_invariant(const isp::ScenarioConfig& config) {
     stop.store(true);
     poller.join();
     server.stop();
+    obs::stop_profiler();
+    obs::profiler_unregister_current_thread();
     obs::disable_flight_recorder();
     recorder.disable();
 
     EXPECT_EQ(baseline, observed);
-    // The run really was watched: samples were taken in simulated time
-    // and the endpoint answered while the analysis ran.
+    // The run really was watched: samples were taken in simulated time,
+    // the endpoint answered while the analysis ran, the accountants
+    // published, the progress watermarks moved, and the profiler
+    // actually interrupted the run.
     EXPECT_GT(recorder.samples_taken(), 0u);
     EXPECT_GT(polled.load(), 0u);
     EXPECT_FALSE(obs::flight_records().empty());
+    EXPECT_GT(obs::profiler_samples_taken(), 0u);
+    const auto mem = obs::mem_final_report();
+    ASSERT_TRUE(mem.has_value());
+    EXPECT_GT(mem->accounted_bytes, 0u);
+    const auto progress = obs::progress_snapshot();
+    EXPECT_EQ(progress.sim_now, config.window.end);
+    EXPECT_GT(progress.events_executed, 0u);
+    obs::clear_profile();
 }
 
 TEST(LiveObsDeterminism, QuickPresetUnaffectedByLiveObservers) {

@@ -1,0 +1,151 @@
+// Memory accounting: registration lifecycle, aggregation, the process-RSS
+// reconciliation view, and the end-of-plan capture --mem-report relies on.
+// The registry is process-global, so tests use unique source names and
+// look rows up by name instead of asserting exact registry contents.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "netcore/obs/json.hpp"
+#include "netcore/obs/memaccount.hpp"
+#include "netcore/obs/metrics.hpp"
+
+namespace dynaddr::obs {
+namespace {
+
+const MemSubsystem* find_row(const MemReport& report, std::string_view name) {
+    for (const auto& row : report.subsystems)
+        if (row.name == name) return &row;
+    return nullptr;
+}
+
+TEST(MemAccount, RegistrationPublishesAndSameNameSourcesAggregate) {
+    MemRegistration a("memtest.alpha");
+    MemRegistration b("memtest.alpha");
+    MemRegistration c("memtest.beta");
+    a.report(1000, 10);
+    b.report(234, 2);
+    c.report(50, 1);
+
+    const MemReport report = mem_report();
+    const MemSubsystem* alpha = find_row(report, "memtest.alpha");
+    ASSERT_NE(alpha, nullptr);
+    EXPECT_EQ(alpha->bytes, 1234u);
+    EXPECT_EQ(alpha->items, 12u);
+    EXPECT_EQ(alpha->sources, 2u);
+    const MemSubsystem* beta = find_row(report, "memtest.beta");
+    ASSERT_NE(beta, nullptr);
+    EXPECT_EQ(beta->bytes, 50u);
+    EXPECT_GE(report.accounted_bytes, 1284u);
+
+    // Rows come sorted by bytes, descending.
+    EXPECT_TRUE(std::is_sorted(
+        report.subsystems.begin(), report.subsystems.end(),
+        [](const auto& x, const auto& y) { return x.bytes >= y.bytes; }));
+}
+
+TEST(MemAccount, DestructionRemovesTheSource) {
+    {
+        MemRegistration gone("memtest.transient");
+        gone.report(77);
+        EXPECT_NE(find_row(mem_report(), "memtest.transient"), nullptr);
+    }
+    EXPECT_EQ(find_row(mem_report(), "memtest.transient"), nullptr);
+}
+
+TEST(MemAccount, DefaultRegistrationIsEmptyAndReportIsNoop) {
+    MemRegistration none;
+    EXPECT_TRUE(none.empty());
+    none.report(123, 4);  // must not crash, must not register anything
+    EXPECT_EQ(find_row(mem_report(), ""), nullptr);
+}
+
+TEST(MemAccount, MoveTransfersTheSource) {
+    MemRegistration from("memtest.moved");
+    from.report(10);
+    MemRegistration to(std::move(from));
+    EXPECT_TRUE(from.empty());
+    EXPECT_FALSE(to.empty());
+    to.report(20);
+    const MemReport report = mem_report();
+    const MemSubsystem* row = find_row(report, "memtest.moved");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->bytes, 20u);
+    EXPECT_EQ(row->sources, 1u);
+}
+
+TEST(MemAccount, ProcessFiguresAreLiveAndPeakCoversCurrent) {
+    const std::uint64_t rss = process_rss_bytes();
+    const std::uint64_t peak = process_peak_rss_bytes();
+    EXPECT_GT(rss, 1u << 20);   // a test binary is at least a MiB resident
+    EXPECT_GT(peak, 1u << 20);
+    // ru_maxrss is a lifetime high-water mark; allow page-granularity slack
+    // between the two different kernel accounting sources.
+    EXPECT_GE(peak + (1u << 20), rss);
+}
+
+TEST(MemAccount, ResidualIsRssMinusAccounted) {
+    MemReport report;
+    report.accounted_bytes = 300;
+    report.process_rss_bytes = 1000;
+    EXPECT_EQ(report.residual_bytes(), 700);
+    report.accounted_bytes = 1500;  // over-accounting shows up negative
+    EXPECT_EQ(report.residual_bytes(), -500);
+}
+
+TEST(MemAccount, JsonExportIsWellFormedAndCarriesTheRows) {
+    MemRegistration source("memtest.json");
+    source.report(4096, 8);
+    std::ostringstream out;
+    write_mem_report_json(out, mem_report());
+    const std::string text = std::move(out).str();
+    ASSERT_TRUE(json_valid(text)) << text;
+
+    const auto parsed = json_parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_GT(parsed->number_or("process_rss_bytes", 0), 0);
+    EXPECT_GE(parsed->number_or("accounted_bytes", -1), 4096);
+    const JsonValue* subsystems = parsed->find("subsystems");
+    ASSERT_NE(subsystems, nullptr);
+    const auto row = std::find_if(
+        subsystems->array.begin(), subsystems->array.end(),
+        [](const JsonValue& v) { return v.string_or("name", "") == "memtest.json"; });
+    ASSERT_NE(row, subsystems->array.end());
+    EXPECT_EQ(row->number_or("bytes", 0), 4096);
+    EXPECT_EQ(row->number_or("items", 0), 8);
+}
+
+TEST(MemAccount, FinalCaptureSurvivesSourceTeardown) {
+    {
+        MemRegistration source("memtest.capture");
+        source.report(9999, 1);
+        mem_capture_final();
+    }
+    // Live report no longer has the row; the capture still does.
+    EXPECT_EQ(find_row(mem_report(), "memtest.capture"), nullptr);
+    const auto captured = mem_final_report();
+    ASSERT_TRUE(captured.has_value());
+    const MemSubsystem* row = find_row(*captured, "memtest.capture");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->bytes, 9999u);
+}
+
+TEST(MemAccount, GaugesPublishPerSubsystemAndProcessFigures) {
+    MemRegistration source("memtest.gauges");
+    source.report(2048, 4);
+    publish_mem_gauges();
+    const MetricsSnapshot snapshot = metrics_snapshot();
+    ASSERT_TRUE(snapshot.gauges.contains("mem.memtest.gauges.bytes"));
+    EXPECT_EQ(snapshot.gauges.at("mem.memtest.gauges.bytes"), 2048);
+    EXPECT_EQ(snapshot.gauges.at("mem.memtest.gauges.items"), 4);
+    EXPECT_GT(snapshot.gauges.at("mem.process.rss_bytes"), 0);
+    EXPECT_GT(snapshot.gauges.at("mem.process.peak_rss_bytes"), 0);
+    ASSERT_TRUE(snapshot.gauges.contains("mem.accounted_bytes"));
+    ASSERT_TRUE(snapshot.gauges.contains("mem.residual_bytes"));
+}
+
+}  // namespace
+}  // namespace dynaddr::obs

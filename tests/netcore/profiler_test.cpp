@@ -1,0 +1,133 @@
+// Sampling self-profiler: registration lifecycle, the synchronous
+// sample_once hook, sampler-thread operation, and folded-stack export.
+// Tests prefer profiler_sample_once() (deterministic, no timing) over the
+// free-running sampler wherever possible; the one sampler-thread test
+// asserts only "collected something", never a rate, so it stays stable on
+// a loaded single-core CI box.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "netcore/obs/profiler.hpp"
+
+namespace dynaddr::obs {
+namespace {
+
+std::string folded_text() {
+    std::ostringstream out;
+    write_profile_folded(out);
+    return std::move(out).str();
+}
+
+TEST(Profiler, DisabledByDefaultAndStopIsIdempotent) {
+    EXPECT_FALSE(profiler_enabled());
+    stop_profiler();  // no-op when not running
+    stop_profiler();
+    EXPECT_FALSE(profiler_enabled());
+}
+
+TEST(Profiler, SampleOnceCapturesTheCallingThreadInline) {
+    clear_profile();
+    profiler_register_current_thread("prof-test-main");
+    const std::uint64_t captured = profiler_sample_once();
+    profiler_unregister_current_thread();
+    EXPECT_GE(captured, 1u);
+    EXPECT_GE(profiler_samples_taken(), 1u);
+
+    const std::string folded = folded_text();
+    EXPECT_NE(folded.find("prof-test-main;"), std::string::npos) << folded;
+    // Folded lines end in a count.
+    std::istringstream lines(folded);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    }
+    clear_profile();
+}
+
+TEST(Profiler, SampleOnceReachesOtherRegisteredThreadsViaSignal) {
+    clear_profile();
+    std::atomic<bool> ready{false};
+    std::atomic<bool> quit{false};
+    std::thread worker([&] {
+        ScopedProfiledThread profiled("prof-test-worker");
+        ready.store(true);
+        while (!quit.load(std::memory_order_relaxed)) {
+        }
+    });
+    while (!ready.load()) std::this_thread::yield();
+
+    // A few sweeps; each interrupts the spinning worker with SIGPROF.
+    std::uint64_t captured = 0;
+    for (int i = 0; i < 5; ++i) captured += profiler_sample_once();
+    quit.store(true);
+    worker.join();
+
+    EXPECT_GE(captured, 1u);
+    EXPECT_NE(folded_text().find("prof-test-worker;"), std::string::npos);
+    clear_profile();
+}
+
+TEST(Profiler, UnregisteredThreadIsNotSampled) {
+    clear_profile();
+    std::atomic<bool> quit{false};
+    std::thread bystander([&] {
+        while (!quit.load(std::memory_order_relaxed)) {
+        }
+    });
+    profiler_register_current_thread("prof-test-only");
+    profiler_sample_once();
+    profiler_unregister_current_thread();
+    quit.store(true);
+    bystander.join();
+
+    const std::string folded = folded_text();
+    // Exactly the registered thread shows up.
+    EXPECT_NE(folded.find("prof-test-only;"), std::string::npos);
+    std::istringstream lines(folded);
+    std::string line;
+    while (std::getline(lines, line))
+        EXPECT_EQ(line.rfind("prof-test-only;", 0), 0u) << line;
+    clear_profile();
+}
+
+TEST(Profiler, SamplerThreadCollectsWhileEnabled) {
+    clear_profile();
+    profiler_register_current_thread("prof-test-timed");
+    start_profiler(500.0);
+    EXPECT_TRUE(profiler_enabled());
+    start_profiler(500.0);  // idempotent while running
+
+    // Burn wall time so several ticks elapse; the loop is the sampled work.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    volatile std::uint64_t sink = 0;
+    while (std::chrono::steady_clock::now() < deadline) sink = sink + 1;
+
+    stop_profiler();
+    profiler_unregister_current_thread();
+    EXPECT_FALSE(profiler_enabled());
+    EXPECT_GE(profiler_samples_taken() + profiler_samples_missed(), 1u);
+    EXPECT_FALSE(folded_text().empty());
+    clear_profile();
+}
+
+TEST(Profiler, ClearProfileDropsAggregateAndCounters) {
+    profiler_register_current_thread("prof-test-clear");
+    profiler_sample_once();
+    profiler_unregister_current_thread();
+    EXPECT_FALSE(folded_text().empty());
+    clear_profile();
+    EXPECT_TRUE(folded_text().empty());
+    EXPECT_EQ(profiler_samples_taken(), 0u);
+    EXPECT_EQ(profiler_samples_missed(), 0u);
+}
+
+}  // namespace
+}  // namespace dynaddr::obs

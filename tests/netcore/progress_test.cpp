@@ -1,0 +1,110 @@
+// Run-progress telemetry: plan lifecycle, watermark publishing, derived
+// rates, the frozen final snapshot, and the /top JSON shape. Progress
+// state is process-global and begin_plan resets it, so each test opens
+// with its own begin_plan.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "netcore/obs/json.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "netcore/obs/progress.hpp"
+
+namespace dynaddr::obs {
+namespace {
+
+using net::Duration;
+using net::TimePoint;
+
+const TimePoint kBegin = TimePoint::from_date(2015, 1, 1);
+const TimePoint kEnd = kBegin + Duration::days(100);
+
+TEST(Progress, BeginPlanResetsAndSnapshotTracksWatermarks) {
+    progress_begin_plan(kBegin, kEnd);
+    ProgressSnapshot snap = progress_snapshot();
+    EXPECT_TRUE(snap.plan_active);
+    EXPECT_EQ(snap.sim_now, kBegin);
+    EXPECT_EQ(snap.events_executed, 0u);
+    EXPECT_DOUBLE_EQ(snap.fraction_done, 0.0);
+    EXPECT_EQ(snap.sealed_probe, -1);
+
+    progress_note_sim_time(kBegin + Duration::days(25));
+    progress_note_events(5000);
+    progress_note_sealed_probe(42);
+    snap = progress_snapshot();
+    EXPECT_EQ(snap.sim_now, kBegin + Duration::days(25));
+    EXPECT_EQ(snap.events_executed, 5000u);
+    EXPECT_EQ(snap.sealed_probe, 42);
+    EXPECT_NEAR(snap.fraction_done, 0.25, 1e-9);
+    EXPECT_GT(snap.wall_elapsed_s, 0.0);
+    EXPECT_GT(snap.events_per_s, 0.0);
+    EXPECT_GT(snap.sim_rate, 0.0);
+    // 75 sim-days left at a finite sim rate: the ETA is known and finite.
+    EXPECT_GE(snap.eta_s, 0.0);
+    progress_end_plan();
+}
+
+TEST(Progress, FractionClampsAtTheHorizon) {
+    progress_begin_plan(kBegin, kEnd);
+    progress_note_sim_time(kEnd + Duration::days(5));  // overshoot
+    EXPECT_DOUBLE_EQ(progress_snapshot().fraction_done, 1.0);
+    progress_end_plan();
+}
+
+TEST(Progress, EndPlanFreezesTheWallClock) {
+    progress_begin_plan(kBegin, kEnd);
+    progress_note_events(100);
+    progress_end_plan();
+    const ProgressSnapshot first = progress_snapshot();
+    EXPECT_FALSE(first.plan_active);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const ProgressSnapshot second = progress_snapshot();
+    // Frozen: wall time (and thus the rates) stop advancing at end_plan.
+    EXPECT_DOUBLE_EQ(first.wall_elapsed_s, second.wall_elapsed_s);
+    EXPECT_DOUBLE_EQ(first.events_per_s, second.events_per_s);
+}
+
+TEST(Progress, JsonExportIsWellFormedAndRoundTrips) {
+    progress_begin_plan(kBegin, kEnd);
+    progress_note_sim_time(kBegin + Duration::days(50));
+    progress_note_events(1234);
+    std::ostringstream out;
+    write_progress_json(out, progress_snapshot());
+    progress_end_plan();
+
+    const std::string text = std::move(out).str();
+    ASSERT_TRUE(json_valid(text)) << text;
+    const auto parsed = json_parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->string_or("sim_now", ""), "2015-02-20 00:00:00");
+    EXPECT_EQ(parsed->string_or("plan_end", ""), "2015-04-11 00:00:00");
+    EXPECT_EQ(parsed->number_or("events_executed", 0), 1234);
+    EXPECT_NEAR(parsed->number_or("fraction_done", 0), 0.5, 1e-9);
+    const JsonValue* active = parsed->find("plan_active");
+    ASSERT_NE(active, nullptr);
+    EXPECT_EQ(active->type, JsonValue::Type::Bool);
+    EXPECT_TRUE(active->boolean);
+}
+
+TEST(Progress, GaugesPublishTheSnapshot) {
+    progress_begin_plan(kBegin, kEnd);
+    progress_note_sim_time(kBegin + Duration::days(10));
+    progress_note_events(777);
+    publish_progress_gauges();
+    progress_end_plan();
+
+    const MetricsSnapshot snapshot = metrics_snapshot();
+    EXPECT_EQ(snapshot.gauges.at("progress.plan_active"), 1);
+    EXPECT_EQ(snapshot.gauges.at("progress.events_executed"), 777);
+    EXPECT_EQ(snapshot.gauges.at("progress.fraction_done_pct"), 10);
+    EXPECT_EQ(snapshot.gauges.at("progress.sim_now_unix"),
+              (kBegin + Duration::days(10)).unix_seconds());
+    ASSERT_TRUE(snapshot.gauges.contains("progress.eta_s"));
+    ASSERT_TRUE(snapshot.gauges.contains("progress.sealed_probe"));
+}
+
+}  // namespace
+}  // namespace dynaddr::obs

@@ -1,0 +1,107 @@
+// Stats endpoints under concurrent polling while a chaos-plan scenario
+// runs live on another thread — the situation `dynaddr top` creates when
+// pointed at a real run. Three poller threads hammer /metrics, /series,
+// /top and /healthz while run_scenario executes with fault injection on;
+// every response must be well-formed, and the whole dance must be
+// TSan-clean (sanitize_smoke replays the StatsServer* tests under
+// ThreadSanitizer). This is the end-to-end race check for the
+// push-atomic memory accounting and the lock-free progress watermarks.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "isp/presets.hpp"
+#include "isp/world.hpp"
+#include "netcore/obs/json.hpp"
+#include "netcore/obs/stats_server.hpp"
+#include "sim/faults.hpp"
+
+namespace dynaddr::obs {
+namespace {
+
+std::string http_get_raw(std::uint16_t port, const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof address) !=
+        0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+    std::string raw;
+    char buffer[4096];
+    for (;;) {
+        const auto got = ::recv(fd, buffer, sizeof buffer, 0);
+        if (got <= 0) break;
+        raw.append(buffer, std::size_t(got));
+    }
+    ::close(fd);
+    return raw;
+}
+
+std::string body_of(const std::string& raw) {
+    const auto split = raw.find("\r\n\r\n");
+    return split == std::string::npos ? std::string() : raw.substr(split + 4);
+}
+
+TEST(StatsServerConcurrency, EndpointsStayCoherentDuringLiveChaosRun) {
+    // A small chaos-plan run: the quick world cut down to ten simulated
+    // days, no k-root (this test is about the server, not dataset bulk),
+    // with the mixed-fault profile active so the run keeps mutating pools,
+    // lease tables and the event queue while we scrape.
+    isp::ScenarioConfig config = isp::presets::quick_scenario();
+    config.window.end = config.window.begin + net::Duration::days(10);
+    config.kroot.reset();
+    config.faults = sim::FaultPlan::parse("lossy,crashy,seed=11");
+
+    StatsServer server(0);
+    const std::uint16_t port = server.port();
+
+    std::atomic<bool> run_done{false};
+    std::atomic<int> bad_responses{0};
+    const auto poll_loop = [&](const std::string& path, bool expect_json) {
+        // Poll for as long as the scenario runs, then a last time after it
+        // finished, so scrapes overlap both the live run and teardown.
+        do {
+            const std::string raw = http_get_raw(port, path);
+            if (raw.rfind("HTTP/1.0 200", 0) != 0) {
+                bad_responses.fetch_add(1);
+                continue;
+            }
+            if (expect_json && !json_valid(body_of(raw)))
+                bad_responses.fetch_add(1);
+        } while (!run_done.load(std::memory_order_acquire));
+        if (http_get_raw(port, path).rfind("HTTP/1.0 200", 0) != 0)
+            bad_responses.fetch_add(1);
+    };
+
+    std::vector<std::thread> pollers;
+    pollers.emplace_back(poll_loop, "/top", true);
+    pollers.emplace_back(poll_loop, "/series", true);
+    pollers.emplace_back(poll_loop, "/metrics", false);
+    pollers.emplace_back(poll_loop, "/healthz", false);
+
+    const auto result = isp::run_scenario(config);
+    run_done.store(true, std::memory_order_release);
+    for (auto& poller : pollers) poller.join();
+
+    EXPECT_EQ(bad_responses.load(), 0);
+    EXPECT_GT(result.sim_events, 0u);
+    EXPECT_GT(server.requests_served(), 4u);
+}
+
+}  // namespace
+}  // namespace dynaddr::obs

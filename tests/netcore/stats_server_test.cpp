@@ -10,7 +10,9 @@
 #include <string>
 
 #include "netcore/obs/json.hpp"
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/obs/metrics.hpp"
+#include "netcore/obs/progress.hpp"
 #include "netcore/obs/stats_server.hpp"
 #include "netcore/obs/timeseries.hpp"
 
@@ -57,12 +59,66 @@ TEST(StatsServer, BindsEphemeralPortWhenAskedForZero) {
     EXPECT_GT(server.port(), 0);
 }
 
-TEST(StatsServer, HealthzAnswersOk) {
+TEST(StatsServer, HealthzAnswersOkWithBuildInfoAndUptime) {
     StatsServer server(0);
     const auto response = http_get(server.port(), "/healthz");
     EXPECT_EQ(response.status_line, "HTTP/1.0 200 OK");
-    EXPECT_EQ(response.body, "ok\n");
+    // First line stays "ok" — existing probes key on it — followed by the
+    // build-identity lines.
+    EXPECT_EQ(response.body.rfind("ok\n", 0), 0u) << response.body;
+    EXPECT_NE(response.body.find("git_sha: "), std::string::npos);
+    EXPECT_NE(response.body.find("build_type: "), std::string::npos);
+    EXPECT_NE(response.body.find("compiler: "), std::string::npos);
+    EXPECT_NE(response.body.find("uptime_s: "), std::string::npos);
     EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(StatsServer, NonGetMethodsAre405) {
+    StatsServer server(0);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                        sizeof address),
+              0);
+    const std::string request = "POST /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+              ssize_t(request.size()));
+    std::string raw;
+    char buffer[1024];
+    for (;;) {
+        const auto got = ::recv(fd, buffer, sizeof buffer, 0);
+        if (got <= 0) break;
+        raw.append(buffer, std::size_t(got));
+    }
+    ::close(fd);
+    EXPECT_EQ(raw.rfind("HTTP/1.0 405 Method Not Allowed", 0), 0u) << raw;
+}
+
+TEST(StatsServer, TopServesProgressAndMemoryJson) {
+    MemRegistration source("statstest.top");
+    source.report(512, 2);
+    progress_begin_plan(net::TimePoint::from_date(2015, 1, 1),
+                        net::TimePoint::from_date(2015, 3, 1));
+    progress_note_events(99);
+
+    StatsServer server(0);
+    const auto response = http_get(server.port(), "/top");
+    progress_end_plan();
+    EXPECT_EQ(response.status_line, "HTTP/1.0 200 OK");
+    ASSERT_TRUE(json_valid(response.body)) << response.body;
+    const auto parsed = json_parse(response.body);
+    ASSERT_TRUE(parsed.has_value());
+    const JsonValue* progress = parsed->find("progress");
+    ASSERT_NE(progress, nullptr);
+    EXPECT_EQ(progress->number_or("events_executed", 0), 99);
+    const JsonValue* memory = parsed->find("memory");
+    ASSERT_NE(memory, nullptr);
+    EXPECT_GT(memory->number_or("process_rss_bytes", 0), 0);
+    EXPECT_GE(memory->number_or("accounted_bytes", -1), 512);
 }
 
 TEST(StatsServer, UnknownPathIs404) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -91,6 +92,100 @@ TEST_F(ObsSmoke, SeriesOutRecordsSimulatedTimeSeries) {
     EXPECT_NE(text.find("\"t\": 1420156800"), std::string::npos);
     EXPECT_NE(text.find("\"cumulative\""), std::string::npos)
         << text.substr(0, 200);
+}
+
+TEST_F(ObsSmoke, MemReportWritesReconciliationJson) {
+    const fs::path report = dir_ / "mem.json";
+    const std::string command = std::string(DYNADDR_CLI_PATH) +
+                                " --preset quick --mem-report " +
+                                report.string() + " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(command.c_str()), 0) << command;
+    const std::string text = read_file(report);
+    ASSERT_FALSE(text.empty());
+    ASSERT_TRUE(dynaddr::obs::json_valid(text)) << text.substr(0, 400);
+    const auto parsed = dynaddr::obs::json_parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    // The end-of-plan capture: accounted bytes from live subsystems next
+    // to the process figures, residual reported explicitly.
+    EXPECT_GT(parsed->number_or("accounted_bytes", 0), 0);
+    EXPECT_GT(parsed->number_or("process_rss_bytes", 0), 0);
+    EXPECT_GT(parsed->number_or("process_peak_rss_bytes", 0), 0);
+    ASSERT_NE(parsed->find("residual_bytes"), nullptr);
+    const auto* subsystems = parsed->find("subsystems");
+    ASSERT_NE(subsystems, nullptr);
+    EXPECT_FALSE(subsystems->array.empty());
+    EXPECT_NE(text.find("sim.event_queue"), std::string::npos);
+    EXPECT_NE(text.find("pool.address_pool"), std::string::npos);
+}
+
+TEST_F(ObsSmoke, ProfileOutWritesFoldedStacks) {
+    const fs::path folded = dir_ / "profile.folded";
+    const std::string command = std::string(DYNADDR_CLI_PATH) +
+                                " --preset quick --profile-hz 97"
+                                " --profile-out " + folded.string() +
+                                " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(command.c_str()), 0) << command;
+    const std::string text = read_file(folded);
+    ASSERT_FALSE(text.empty());
+    // Folded-stack shape: `thread;frame;...;frame count` per line; the CLI
+    // registers its own thread as "main".
+    EXPECT_EQ(text.rfind("main;", 0), 0u) << text.substr(0, 120);
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+        EXPECT_NE(line.find(';'), std::string::npos) << line;
+    }
+}
+
+/// End-to-end `dynaddr top`: a scaled background run serves --stats-port
+/// on an ephemeral port (scraped from its own log line); `top --count 1`
+/// polls it and must render the progress/memory table.
+TEST_F(ObsSmoke, TopSubcommandRendersLiveRun) {
+    const fs::path run_stderr = dir_ / "run-stderr.txt";
+    const fs::path done = dir_ / "run-done";
+    // --scale 800 stretches the quick preset to tens of seconds of wall
+    // time, so the stats endpoint is comfortably alive for the poll.
+    const std::string run_command =
+        "( " + std::string(DYNADDR_CLI_PATH) +
+        " simulate --preset quick --scale 800 --out " +
+        (dir_ / "scaled").string() + " --stats-port 0 --log-level info > " +
+        (dir_ / "run-stdout.txt").string() + " 2> " + run_stderr.string() +
+        "; echo done > " + done.string() + " ) &";
+    ASSERT_EQ(std::system(run_command.c_str()), 0) << run_command;
+
+    // Scrape the ephemeral port from the run's own stats-server log line.
+    std::string port;
+    for (int attempt = 0; attempt < 300 && port.empty(); ++attempt) {
+        const std::string log = read_file(run_stderr);
+        const auto at = log.find("on 127.0.0.1:");
+        if (at != std::string::npos) {
+            for (std::size_t i = at + 13; i < log.size() && isdigit(log[i]); ++i)
+                port.push_back(log[i]);
+        }
+        if (port.empty())
+            std::system("sleep 0.1");
+    }
+    ASSERT_FALSE(port.empty()) << read_file(run_stderr);
+
+    const fs::path top_out = dir_ / "top.txt";
+    const std::string top_command = std::string(DYNADDR_CLI_PATH) +
+                                    " top --port " + port + " --count 1 > " +
+                                    top_out.string() + " 2>&1";
+    EXPECT_EQ(std::system(top_command.c_str()), 0) << read_file(top_out);
+    const std::string rendered = read_file(top_out);
+    EXPECT_NE(rendered.find("progress"), std::string::npos) << rendered;
+    EXPECT_NE(rendered.find("sim time"), std::string::npos) << rendered;
+    EXPECT_NE(rendered.find("memory"), std::string::npos) << rendered;
+    EXPECT_NE(rendered.find("rss"), std::string::npos) << rendered;
+
+    // Let the background run finish before TearDown removes its dirs.
+    for (int attempt = 0; attempt < 1200 && !fs::exists(done); ++attempt)
+        std::system("sleep 0.1");
+    ASSERT_TRUE(fs::exists(done)) << "background run did not finish";
 }
 
 /// Forks the CLI's hidden crash-test command and validates the flight

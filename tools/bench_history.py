@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Plot per-benchmark trajectories across all committed BENCH_*.json files.
+
+Each committed report is one point in time; for every benchmark name this
+prints the real_time trend oldest -> newest as a unicode sparkline plus
+the first/last values and the overall delta. Purely informational — the
+gate against regressions is bench_compare.py; this answers the slower
+question "has this bench been drifting across PRs?".
+
+Usage:
+  bench_history.py [REPO_DIR] [--filter SUBSTRING] [--max-names N]
+
+REPO_DIR defaults to the repository root containing the BENCH files
+(the parent of this script's directory).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values):
+    """Unicode sparkline over the value range; '·' marks missing points."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    low, high = min(present), max(present)
+    span = high - low
+    line = []
+    for value in values:
+        if value is None:
+            line.append("·")
+        elif span <= 0:
+            line.append(SPARK_LEVELS[0])
+        else:
+            index = int((value - low) / span * (len(SPARK_LEVELS) - 1))
+            line.append(SPARK_LEVELS[index])
+    return "".join(line)
+
+
+def load_reports(repo_dir):
+    """[(basename, {bench name -> entry})] sorted by filename (dated)."""
+    reports = []
+    for path in sorted(glob.glob(os.path.join(repo_dir, "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                entries = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping {path}: {error}", file=sys.stderr)
+            continue
+        by_name = {e["name"]: e for e in entries if "name" in e}
+        reports.append((os.path.basename(path), by_name))
+    return reports
+
+
+def format_time(value, unit):
+    return f"{value:.4g} {unit}" if value is not None else "-"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="sparkline real_time trajectories over BENCH_*.json")
+    parser.add_argument("repo_dir", nargs="?",
+                        default=os.path.dirname(
+                            os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--filter", default="",
+                        help="only benchmarks whose name contains this")
+    parser.add_argument("--max-names", type=int, default=0,
+                        help="limit rows (0 = all)")
+    args = parser.parse_args()
+
+    reports = load_reports(args.repo_dir)
+    if len(reports) < 2:
+        print(f"need at least two BENCH_*.json in {args.repo_dir} "
+              f"(found {len(reports)}) — nothing to trend")
+        return 0
+
+    print("history: " + " -> ".join(name for name, _ in reports))
+    names = sorted({name for _, by_name in reports for name in by_name
+                    if args.filter in name})
+    if args.max_names > 0:
+        names = names[:args.max_names]
+
+    width = max((len(name) for name in names), default=0)
+    for name in names:
+        series = []
+        unit = "?"
+        for _, by_name in reports:
+            entry = by_name.get(name)
+            series.append(entry["real_time"] if entry else None)
+            if entry:
+                unit = entry.get("time_unit", "?")
+        present = [v for v in series if v is not None]
+        first, last = present[0], present[-1]
+        delta = ((last - first) / first * 100.0) if first > 0 else 0.0
+        print(f"  {name:<{width}}  {sparkline(series)}  "
+              f"{format_time(first, unit)} -> {format_time(last, unit)}  "
+              f"({delta:+.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,15 +23,28 @@
 //
 //   dynaddr demo
 //       simulate quick + analyze, in memory.
+//
+//   dynaddr top --port N [--interval S] [--count N]
+//       Polls a running dynaddr's stats endpoint (simulate/analyze with
+//       --stats-port N) and renders its /top capacity-and-progress view
+//       as a self-updating terminal table.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "atlas/binary_bundle.hpp"
@@ -43,11 +56,15 @@
 #include "netcore/csv.hpp"
 #include "netcore/error.hpp"
 #include "netcore/obs/flight_recorder.hpp"
+#include "netcore/obs/json.hpp"
 #include "netcore/obs/log.hpp"
+#include "netcore/obs/memaccount.hpp"
 #include "netcore/obs/metrics.hpp"
+#include "netcore/obs/profiler.hpp"
 #include "netcore/obs/stats_server.hpp"
 #include "netcore/obs/timeseries.hpp"
 #include "netcore/obs/trace.hpp"
+#include "netcore/time.hpp"
 #include "sim/faults.hpp"
 
 DYNADDR_LOG_MODULE(cli);
@@ -66,7 +83,11 @@ int usage() {
         "table6,table7,admin,causes,all] [--threads N] [--streaming]\n"
         "  dynaddr convert  --in DIR --out DIR [--to csv|binary]\n"
         "  dynaddr demo [--preset paper|outage|quick] [--threads N]\n"
+        "  dynaddr top --port N [--interval S] [--count N]\n"
+        "       live progress/memory table from a --stats-port run\n"
         "  dynaddr [--preset ...] (flags only: shorthand for demo)\n"
+        "(simulate/demo: --scale N multiplies the preset's CPE population\n"
+        " N-fold for capacity runs — synthetic wide pools, k-root off)\n"
         "observability (any command):\n"
         "  --log-level off|error|warn|info|debug|trace   global log level\n"
         "  --log-module mod:level[,mod:level...]         per-module override\n"
@@ -76,7 +97,13 @@ int usage() {
         "  --series-interval S  series cadence in seconds (default 60;\n"
         "                       simulated seconds inside a simulation)\n"
         "  --series-capacity N  series ring capacity in samples (default 8192)\n"
-        "  --stats-port N       serve /metrics /series /healthz on 127.0.0.1:N\n"
+        "  --stats-port N       serve /metrics /series /top /healthz on"
+        " 127.0.0.1:N\n"
+        "  --mem-report FILE    write the memory-accounting report (JSON:\n"
+        "                       accounted vs process RSS, residual explicit)\n"
+        "  --profile-hz N       sample registered threads' stacks N times/s\n"
+        "  --profile-out FILE   write folded stacks (flame-graph input;\n"
+        "                       default profile.folded with --profile-hz)\n"
         "  --flight-recorder[=N]  keep last N log records/thread for crash dumps\n"
         "  --crash-dump-dir DIR   where dynaddr-crash-<pid>.json goes (default .)\n"
         "fault injection (any command; off unless given):\n"
@@ -187,6 +214,13 @@ void apply_obs_flags(const std::map<std::string, std::string>& flags) {
         if (!it->second.empty()) ring = std::stoull(it->second);
         obs::enable_flight_recorder(ring);
     }
+    if (auto it = flags.find("profile-hz"); it != flags.end()) {
+        const double hz = std::stod(it->second);
+        if (hz <= 0) throw Error("--profile-hz must be positive");
+        // Main runs the simulation loop — the most interesting thread.
+        obs::profiler_register_current_thread("main");
+        obs::start_profiler(hz);
+    }
 }
 
 /// Writes --metrics-out / --trace-out / --series-out files after a
@@ -214,11 +248,26 @@ void write_obs_outputs(const std::map<std::string, std::string>& flags) {
         DYNADDR_LOG(Info, cli, "wrote ", recorder.samples_taken(),
                     " series samples to ", it->second);
     }
+    if (auto it = flags.find("mem-report"); it != flags.end()) {
+        obs::write_mem_report_file(it->second);
+        DYNADDR_LOG(Info, cli, "wrote memory report to ", it->second);
+    }
+    if (flags.contains("profile-hz") || flags.contains("profile-out")) {
+        obs::stop_profiler();
+        const auto it = flags.find("profile-out");
+        const std::string path =
+            it != flags.end() ? it->second : std::string("profile.folded");
+        obs::write_profile_file(path);
+        DYNADDR_LOG(Info, cli, "wrote ", obs::profiler_samples_taken(),
+                    " profile samples (", obs::profiler_samples_missed(),
+                    " missed) to ", path);
+    }
 }
 
 /// Tears down the live observers on every exit path: a still-serving
 /// stats thread or a joinable sampler thread must not outlive main.
 void shutdown_live_obs() {
+    obs::stop_profiler();
     obs::SeriesRecorder::instance().stop_wall_sampler();
     stats_server.reset();
 }
@@ -228,6 +277,15 @@ isp::ScenarioConfig preset_by_name(const std::string& name) {
     if (name == "outage") return isp::presets::outage_scenario();
     if (name == "quick") return isp::presets::quick_scenario();
     throw Error("unknown preset '" + name + "'");
+}
+
+/// Resolves --preset plus the optional --scale capacity multiplier.
+isp::ScenarioConfig scenario_from_flags(
+    const std::string& preset, const std::map<std::string, std::string>& flags) {
+    auto config = preset_by_name(preset);
+    if (auto it = flags.find("scale"); it != flags.end())
+        config = isp::presets::scaled_scenario(config, std::stoi(it->second));
+    return config;
 }
 
 std::string month_name(bgp::MonthKey month) {
@@ -352,7 +410,7 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
     const auto preset_it = flags.find("preset");
     const auto out_it = flags.find("out");
     if (preset_it == flags.end() || out_it == flags.end()) return usage();
-    auto config = preset_by_name(preset_it->second);
+    auto config = scenario_from_flags(preset_it->second, flags);
     if (auto seed = flags.find("seed"); seed != flags.end())
         config.seed = std::stoull(seed->second);
     const std::string format =
@@ -486,10 +544,151 @@ int cmd_crash_test(const std::map<std::string, std::string>& flags) {
     return 0;  // unreachable
 }
 
+/// Minimal loopback HTTP/1.0 GET for `dynaddr top`: returns the response
+/// body, or nullopt when the server is unreachable / the reply is not 200.
+std::optional<std::string> http_get_body(std::uint16_t port,
+                                         const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return std::nullopt;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof address) !=
+        0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const auto wrote = ::send(fd, request.data() + sent,
+                                  request.size() - sent, MSG_NOSIGNAL);
+        if (wrote <= 0) break;
+        sent += std::size_t(wrote);
+    }
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+        const auto got = ::recv(fd, buffer, sizeof buffer, 0);
+        if (got <= 0) break;
+        response.append(buffer, std::size_t(got));
+    }
+    ::close(fd);
+    if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+        response.rfind("HTTP/1.1 200", 0) != 0)
+        return std::nullopt;
+    const auto split = response.find("\r\n\r\n");
+    if (split == std::string::npos) return std::nullopt;
+    return response.substr(split + 4);
+}
+
+std::string human_bytes(double bytes) {
+    static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int unit = 0;
+    while (bytes >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    char out[32];
+    std::snprintf(out, sizeof out, unit == 0 ? "%.0f %s" : "%.1f %s", bytes,
+                  units[unit]);
+    return out;
+}
+
+std::string human_duration(double seconds) {
+    if (seconds < 0) return "-";
+    return net::Duration::seconds(std::int64_t(seconds)).to_string();
+}
+
+/// Renders one /top payload as the `dynaddr top` table.
+void render_top(std::ostream& out, const obs::JsonValue& top,
+                std::uint16_t port) {
+    out << "dynaddr top — 127.0.0.1:" << port << "\n\n";
+    if (const obs::JsonValue* p = top.find("progress")) {
+        const bool active = p->find("plan_active") != nullptr &&
+                            p->find("plan_active")->boolean;
+        out << "progress   " << (active ? "running" : "idle/finished") << "\n"
+            << "  sim time   " << p->string_or("sim_now", "-") << "  ("
+            << int(p->number_or("fraction_done", 0) * 100 + 0.5)
+            << "% of plan, horizon " << p->string_or("plan_end", "-") << ")\n"
+            << "  events     "
+            << std::uint64_t(p->number_or("events_executed", 0)) << "  ("
+            << std::uint64_t(p->number_or("events_per_s", 0)) << "/s, "
+            << "sim rate " << std::uint64_t(p->number_or("sim_rate", 0))
+            << "x)\n"
+            << "  eta        " << human_duration(p->number_or("eta_s", -1))
+            << "\n";
+        if (p->number_or("sealed_probe", -1) >= 0)
+            out << "  sealed     probe "
+                << std::int64_t(p->number_or("sealed_probe", -1)) << "\n";
+    }
+    if (const obs::JsonValue* m = top.find("memory")) {
+        out << "memory     rss "
+            << human_bytes(m->number_or("process_rss_bytes", 0)) << ", peak "
+            << human_bytes(m->number_or("process_peak_rss_bytes", 0))
+            << ", accounted " << human_bytes(m->number_or("accounted_bytes", 0))
+            << ", residual " << human_bytes(m->number_or("residual_bytes", 0))
+            << "\n";
+        if (const obs::JsonValue* subsystems = m->find("subsystems")) {
+            std::size_t shown = 0;
+            for (const auto& row : subsystems->array) {
+                if (++shown > 8) break;  // already sorted by bytes, desc
+                char line[128];
+                std::snprintf(line, sizeof line, "  %-24s %12s %12.0f items\n",
+                              row.string_or("name", "?").c_str(),
+                              human_bytes(row.number_or("bytes", 0)).c_str(),
+                              row.number_or("items", 0));
+                out << line;
+            }
+        }
+    }
+}
+
+int cmd_top(const std::map<std::string, std::string>& flags) {
+    const auto port_it = flags.find("port");
+    if (port_it == flags.end()) return usage();
+    const auto port = std::uint16_t(std::stoul(port_it->second));
+    const double interval =
+        flags.contains("interval") ? std::stod(flags.at("interval")) : 2.0;
+    const long count =
+        flags.contains("count") ? std::stol(flags.at("count")) : 0;  // 0 = on
+
+    bool ever_polled = false;
+    for (long i = 0; count == 0 || i < count; ++i) {
+        if (i > 0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(interval));
+        const auto body = http_get_body(port, "/top");
+        if (!body) {
+            if (ever_polled) {
+                std::cout << "run ended (stats endpoint gone)\n";
+                return 0;
+            }
+            std::cerr << "error: no stats endpoint on 127.0.0.1:" << port
+                      << " (start the run with --stats-port " << port
+                      << ")\n";
+            return 1;
+        }
+        const auto top = obs::json_parse(*body);
+        if (!top) {
+            std::cerr << "error: malformed /top payload\n";
+            return 1;
+        }
+        // Self-updating display only when looping: clear + home between
+        // frames; a single shot (--count 1) stays pipe-friendly.
+        if (count != 1) std::cout << "\x1b[H\x1b[2J";
+        render_top(std::cout, *top, port);
+        std::cout.flush();
+        ever_polled = true;
+    }
+    return 0;
+}
+
 int cmd_demo(const std::map<std::string, std::string>& flags) {
     const std::string preset =
         flags.contains("preset") ? flags.at("preset") : std::string("quick");
-    const auto config = preset_by_name(preset);
+    const auto config = scenario_from_flags(preset, flags);
     std::cout << "simulating " << preset << " preset...\n";
     const auto scenario = isp::run_scenario(config);
     core::AnalysisPipeline pipeline(pipeline_config(flags));
@@ -521,6 +720,7 @@ int main(int argc, char** argv) {
         else if (command == "convert") status = cmd_convert(flags);
         else if (command == "demo") status = cmd_demo(flags);
         else if (command == "crash-test") status = cmd_crash_test(flags);
+        else if (command == "top") status = cmd_top(flags);
         else return usage();
         if (status == 0) write_obs_outputs(flags);
         shutdown_live_obs();
