@@ -30,6 +30,7 @@
 #include "netcore/obs/timeseries.hpp"
 #include "netcore/parallel.hpp"
 #include "isp/presets.hpp"
+#include "sim/cause_ledger.hpp"
 #include "sim/reference_queue.hpp"
 
 DYNADDR_LOG_MODULE(bench);
@@ -449,6 +450,41 @@ void BM_FlightCaptureDisabled(benchmark::State& state) {
     state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
 BENCHMARK(BM_FlightCaptureDisabled);
+
+// -- cause ledger --------------------------------------------------------------
+
+void BM_CauseLedgerAppend(benchmark::State& state) {
+    // One full ledger transition: address lost, cause resolved, record
+    // emitted (keep_records off, no sink — the resolution ladder and
+    // emit bookkeeping, not the serialization, is what's measured).
+    sim::CauseLedgerConfig config;
+    config.keep_records = false;
+    sim::ScopedCauseLedger scope(config);
+    sim::cause_register_client(1, 1001);
+    std::uint32_t raw = 0x5A030101;
+    net::TimePoint now(1420070400);
+    sim::cause_acquired(1, now, net::IPv4Address{raw});
+    for (auto _ : state) {
+        now += net::Duration::seconds(600);
+        sim::cause_lost(1, now, sim::CauseKind::LeaseExpiry,
+                        sim::CauseSite::DhcpLeaseTimer);
+        sim::cause_acquired(1, now + net::Duration::seconds(30),
+                            net::IPv4Address{++raw});
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_CauseLedgerAppend);
+
+void BM_CauseLedgerDisabled(benchmark::State& state) {
+    // The hook cost with no ledger installed (the default on every
+    // simulation): one pointer load + branch. Must match BM_LogDisabled —
+    // the pure-observer "zero cost when off" guarantee.
+    const net::TimePoint now(1420070400);
+    for (auto _ : state)
+        sim::cause_acquired(1, now, net::IPv4Address{0x5A030101});
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_CauseLedgerDisabled);
 
 // -- sampling self-profiler ---------------------------------------------------
 

@@ -34,10 +34,13 @@ void Cpe::start() {
     if (config_.daily_reconnect_hour) schedule_daily_reconnect();
 }
 
-void Cpe::power_fail() {
+void Cpe::power_fail(sim::CauseSite site) {
     if (!powered_) return;
     powered_ = false;
     booted_ = false;
+    // Episode opens before the WAN client reports the loss, so the ledger
+    // sees the outage as active at the loss instant.
+    sim::cause_power_down(subscriber_, sim_->now(), site);
     if (boot_event_) {
         sim_->cancel(*boot_event_);
         boot_event_.reset();
@@ -54,6 +57,7 @@ void Cpe::power_fail() {
 void Cpe::power_restore() {
     if (powered_) return;
     powered_ = true;
+    sim::cause_power_up(subscriber_, sim_->now());
     if (config_.probe_usb_powered) probe_->power_on(RebootCause::PowerCycle);
     const net::Duration boot{
         rng_.uniform_int(config_.boot_min.count(), config_.boot_max.count())};
@@ -67,9 +71,10 @@ void Cpe::power_restore() {
     });
 }
 
-void Cpe::net_fail() {
+void Cpe::net_fail(sim::CauseSite site) {
     if (!net_up_) return;
     net_up_ = false;
+    sim::cause_net_down(subscriber_, sim_->now(), site);
     timeline_->net_down_begin(sim_->now());
     probe_->wan_update(std::nullopt);
     if (config_.wan == CpeConfig::Wan::Dhcp)
@@ -81,6 +86,7 @@ void Cpe::net_fail() {
 void Cpe::net_restore() {
     if (net_up_) return;
     net_up_ = true;
+    sim::cause_net_up(subscriber_, sim_->now());
     timeline_->net_down_end(sim_->now());
     if (config_.wan == CpeConfig::Wan::Dhcp) {
         dhcp_client_->link_restored();
@@ -94,6 +100,8 @@ void Cpe::net_restore() {
 
 void Cpe::switch_backend(dhcp::Server* dhcp_server, ppp::RadiusServer* radius,
                          CpeConfig::Wan wan) {
+    sim::cause_note(subscriber_, sim::CauseKind::CrossAsMove,
+                    sim::CauseSite::ScenarioMover, sim_->now());
     // Orderly teardown of the old WAN attachment.
     if (config_.wan == CpeConfig::Wan::Dhcp)
         dhcp_client_->power_off(/*graceful=*/true);
@@ -129,18 +137,45 @@ void Cpe::build_client() {
             config_.dhcp, subscriber_, *dhcp_server_, *sim_, reachable);
         dhcp_client_->set_on_acquired(
             [this](net::IPv4Address a) { on_acquired(a); });
-        dhcp_client_->set_on_lost([this](dhcp::LossReason) { on_lost(); });
+        dhcp_client_->set_on_lost([this](dhcp::LossReason reason) {
+            // Only natural lease expiry is itself a root cause; NAKs,
+            // releases and reboots are symptoms of whatever provoked them.
+            if (reason == dhcp::LossReason::LeaseExpired)
+                ledger_lost(sim::CauseKind::LeaseExpiry,
+                            sim::CauseSite::DhcpLeaseTimer);
+            else
+                ledger_lost(sim::CauseKind::Unknown,
+                            sim::CauseSite::Unspecified);
+            on_lost();
+        });
     } else {
         ppp_session_ = std::make_unique<ppp::Session>(
             config_.ppp, subscriber_, *radius_, *sim_, rng_.child("ppp"),
             reachable);
         ppp_session_->set_on_acquired(
             [this](net::IPv4Address a) { on_acquired(a); });
-        ppp_session_->set_on_lost([this](ppp::StopReason) { on_lost(); });
+        ppp_session_->set_on_lost([this](ppp::StopReason reason) {
+            switch (reason) {
+                case ppp::StopReason::SessionTimeout:
+                    ledger_lost(sim::CauseKind::SessionExpiry,
+                                sim::CauseSite::PppSessionTimeout);
+                    break;
+                case ppp::StopReason::UserRequest:
+                    ledger_lost(sim::CauseKind::NightlyReconnect,
+                                sim::CauseSite::CpeNightlyReconnect);
+                    break;
+                default:
+                    ledger_lost(sim::CauseKind::Unknown,
+                                sim::CauseSite::Unspecified);
+                    break;
+            }
+            on_lost();
+        });
     }
 }
 
 void Cpe::on_acquired(net::IPv4Address address) {
+    sim::cause_acquired(subscriber_, sim_->now(), address);
     address_ = address;
     timeline_->set_address(sim_->now(), PeerAddress::ipv4(address));
     if (net_up_) probe_->wan_update(PeerAddress::ipv4(address));
@@ -150,6 +185,10 @@ void Cpe::on_lost() {
     address_.reset();
     timeline_->clear_address(sim_->now());
     probe_->wan_update(std::nullopt);
+}
+
+void Cpe::ledger_lost(sim::CauseKind kind, sim::CauseSite site) {
+    sim::cause_lost(subscriber_, sim_->now(), kind, site);
 }
 
 void Cpe::schedule_daily_reconnect() {

@@ -7,6 +7,7 @@
 #include "atlas/timeline.hpp"
 #include "dhcp/client.hpp"
 #include "ppp/session.hpp"
+#include "sim/cause_ledger.hpp"
 
 namespace dynaddr::atlas {
 
@@ -51,9 +52,11 @@ public:
     void start();
 
     // -- injected outages ---------------------------------------------------
-    void power_fail();
+    // `site` labels the outage's origin in the cause ledger (which
+    // schedule or fault produced it); it changes nothing behaviourally.
+    void power_fail(sim::CauseSite site = sim::CauseSite::Unspecified);
     void power_restore();
-    void net_fail();
+    void net_fail(sim::CauseSite site = sim::CauseSite::Unspecified);
     void net_restore();
 
     /// Moves the subscriber to a different ISP backend (cross-AS movers in
@@ -70,6 +73,9 @@ private:
     void build_client();
     void on_acquired(net::IPv4Address address);
     void on_lost();
+    /// Reports the WAN loss to the cause ledger, mapping protocol loss
+    /// reasons that are themselves definitive root causes.
+    void ledger_lost(sim::CauseKind kind, sim::CauseSite site);
     void schedule_daily_reconnect();
     [[nodiscard]] bool reachable() const { return powered_ && booted_ && net_up_; }
 

@@ -1,0 +1,363 @@
+#include "core/attribution_audit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "core/report.hpp"
+#include "netcore/ascii_chart.hpp"
+#include "netcore/obs/metrics.hpp"
+
+namespace dynaddr::core {
+
+namespace {
+
+/// Is `kind` one of the classes the audit gates recall on?
+bool gated(sim::CauseKind kind) {
+    switch (expected_cause(kind)) {
+        case ChangeCause::Periodic:
+        case ChangeCause::NetworkOutage:
+        case ChangeCause::PowerOutage:
+        case ChangeCause::Administrative:
+            return true;
+        case ChangeCause::Unknown:
+            return false;
+    }
+    return false;
+}
+
+}  // namespace
+
+ChangeCause expected_cause(sim::CauseKind kind) {
+    switch (kind) {
+        case sim::CauseKind::SessionExpiry:
+        case sim::CauseKind::LeaseExpiry:
+        case sim::CauseKind::NightlyReconnect:
+            return ChangeCause::Periodic;
+        case sim::CauseKind::PowerOutage:
+            return ChangeCause::PowerOutage;
+        case sim::CauseKind::NetworkOutage:
+            return ChangeCause::NetworkOutage;
+        case sim::CauseKind::AdminRenumbering:
+            return ChangeCause::Administrative;
+        // The rest leave no signature in the emitted datasets: the
+        // max-age cap is jittered (deliberately aperiodic), server
+        // amnesia / exhaustion / message faults look like ordinary
+        // reconnects, and a cross-AS move is a subscription change.
+        case sim::CauseKind::MaxAgeEviction:
+        case sim::CauseKind::CrossAsMove:
+        case sim::CauseKind::ServerAmnesia:
+        case sim::CauseKind::ServerDown:
+        case sim::CauseKind::PoolExhausted:
+        case sim::CauseKind::MessageFault:
+        case sim::CauseKind::Unknown:
+            return ChangeCause::Unknown;
+    }
+    return ChangeCause::Unknown;
+}
+
+double AttributionAudit::recall(ChangeCause expected) const {
+    int detectable = 0;
+    int correct = 0;
+    for (const auto& row : kinds) {
+        if (expected_cause(row.kind) != expected) continue;
+        detectable += row.detectable;
+        correct += row.correct;
+    }
+    return detectable == 0 ? 0.0 : double(correct) / detectable;
+}
+
+double AttributionAudit::precision(ChangeCause inferred) const {
+    const int total = inferred_totals[std::size_t(inferred)];
+    return total == 0 ? 0.0
+                      : double(inferred_correct[std::size_t(inferred)]) / total;
+}
+
+double AttributionAudit::unknown_residual() const {
+    return scored == 0
+               ? 0.0
+               : double(inferred_totals[std::size_t(ChangeCause::Unknown)]) /
+                     scored;
+}
+
+AttributionAudit audit_attribution(const AnalysisResults& results,
+                                   const bgp::PrefixTable& table,
+                                   const bgp::AsRegistry& registry,
+                                   const std::vector<sim::CauseRecord>& ledger,
+                                   const AuditConfig& config) {
+    AttributionAudit audit;
+    audit.ledger_records = ledger.size();
+
+    // Detector capability: with no k-root data in the bundle neither
+    // outage detector can fire, so no outage record is detectable.
+    for (const auto& [probe, outages] : results.network_outages)
+        if (!outages.empty()) {
+            audit.network_detector_active = true;
+            break;
+        }
+    for (const auto& [probe, outages] : results.power_outages)
+        if (!outages.empty()) {
+            audit.power_detector_active = true;
+            break;
+        }
+
+    // Inferred causes, grouped per probe (detailed output is probe-major
+    // and in-probe change order already).
+    const auto detailed =
+        attribute_changes_detailed(results, table, config.attribution);
+    std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+        change_range;  // probe -> [begin, end) into `detailed`
+    for (std::size_t i = 0; i < detailed.size();) {
+        std::size_t j = i;
+        while (j < detailed.size() && detailed[j].probe == detailed[i].probe)
+            ++j;
+        change_range.emplace(detailed[i].probe, std::make_pair(i, j));
+        i = j;
+    }
+
+    // Ledger records grouped per probe, in time order (ledger emission
+    // order is simulation time, which is monotonic per client).
+    std::unordered_map<std::uint64_t, std::vector<const sim::CauseRecord*>>
+        records_by_probe;
+    for (const auto& record : ledger)
+        records_by_probe[record.probe].push_back(&record);
+    for (auto& [probe, records] : records_by_probe)
+        std::stable_sort(records.begin(), records.end(),
+                         [](const sim::CauseRecord* a,
+                            const sim::CauseRecord* b) { return a->at < b->at; });
+
+    std::array<AuditKindRow, sim::kCauseKindCount> kind_rows;
+    for (std::size_t k = 0; k < sim::kCauseKindCount; ++k)
+        kind_rows[k].kind = sim::CauseKind(k);
+    std::map<std::uint32_t, AuditAsRow> as_rows;
+
+    // The §5 power detector only runs on v3 probes (v1/v2 reboot on new
+    // TCP connections and would fake power cuts), so a power outage behind
+    // a non-v3 probe is invisible to it by design and must not count
+    // against recall. When the results carry no version metadata at all,
+    // no probe passes the pipeline's own v3 gate either.
+    auto power_capable = [&](atlas::ProbeId probe) {
+        auto it = results.probe_versions.find(probe);
+        return it != results.probe_versions.end() &&
+               it->second == atlas::ProbeVersion::V3;
+    };
+
+    auto detectable = [&](const sim::CauseRecord& record) {
+        switch (record.kind) {
+            case sim::CauseKind::PowerOutage:
+                return audit.power_detector_active &&
+                       power_capable(record.probe) &&
+                       record.root_duration >= config.min_power_outage;
+            case sim::CauseKind::NetworkOutage:
+                return audit.network_detector_active &&
+                       record.root_duration >= config.min_network_outage;
+            default:
+                return true;
+        }
+    };
+
+    auto mark_unobserved = [&](const sim::CauseRecord& record) {
+        ++audit.unobserved;
+        ++kind_rows[std::size_t(record.kind)].unobserved;
+    };
+    auto score = [&](const sim::CauseRecord& record,
+                     const AttributedChange& change) {
+        AuditKindRow& row = kind_rows[std::size_t(record.kind)];
+        ++audit.scored;
+        ++row.scored;
+        ++row.inferred[std::size_t(change.cause)];
+        ++audit.inferred_totals[std::size_t(change.cause)];
+        const ChangeCause expected = expected_cause(record.kind);
+        if (change.cause == expected)
+            ++audit.inferred_correct[std::size_t(change.cause)];
+        if (!detectable(record)) return;
+        ++row.detectable;
+        const bool correct = change.cause == expected;
+        if (correct) ++row.correct;
+        if (change.asn != 0) {
+            auto [it, inserted] = as_rows.try_emplace(change.asn);
+            if (inserted) {
+                it->second.asn = change.asn;
+                if (auto info = registry.find(change.asn))
+                    it->second.as_name = info->name;
+                else
+                    it->second.as_name = "AS" + std::to_string(change.asn);
+            }
+            ++it->second.scored;
+            ++it->second.detectable;
+            if (correct) ++it->second.correct;
+        }
+    };
+
+    for (auto& [probe, records] : records_by_probe) {
+        const auto range_it = change_range.find(probe);
+        if (range_it == change_range.end()) {
+            // Probe filtered out (or never analyzable): nothing to join.
+            for (const sim::CauseRecord* record : records)
+                mark_unobserved(*record);
+            continue;
+        }
+        std::size_t r = 0;
+        for (std::size_t i = range_it->second.first;
+             i < range_it->second.second; ++i) {
+            const AttributedChange& change = detailed[i];
+            const net::TimePoint begin =
+                change.change.last_seen - config.match_slack;
+            const net::TimePoint end =
+                change.change.first_seen + config.match_slack;
+            while (r < records.size() && records[r]->at < begin) {
+                mark_unobserved(*records[r]);
+                ++r;
+            }
+            const std::size_t first_in = r;
+            while (r < records.size() && records[r]->at <= end) ++r;
+            if (r == first_in) {
+                ++audit.unmatched_changes;
+                continue;
+            }
+            // The last record produced the address the probe woke up to;
+            // earlier ones happened while it slept.
+            for (std::size_t c = first_in; c + 1 < r; ++c) {
+                ++audit.coalesced;
+                ++kind_rows[std::size_t(records[c]->kind)].coalesced;
+            }
+            score(*records[r - 1], change);
+        }
+        for (; r < records.size(); ++r) mark_unobserved(*records[r]);
+    }
+    // Changes of probes the ledger never heard of (special probes have no
+    // CPE behind them).
+    for (const auto& entry : detailed)
+        if (!records_by_probe.contains(entry.probe)) ++audit.unmatched_changes;
+
+    for (const auto& row : kind_rows)
+        if (row.total() > 0) audit.kinds.push_back(row);
+    for (auto& [asn, row] : as_rows) audit.by_as.push_back(std::move(row));
+    std::sort(audit.by_as.begin(), audit.by_as.end(),
+              [](const AuditAsRow& a, const AuditAsRow& b) {
+                  if (a.scored != b.scored) return a.scored > b.scored;
+                  return a.asn < b.asn;
+              });
+    return audit;
+}
+
+void record_attribution_audit(const AttributionAudit& audit) {
+    static const bool block_registered = [] {
+        obs::metrics_block("attribution_audit");
+        return true;
+    }();
+    (void)block_registered;
+    auto add = [](const char* name, std::uint64_t value) {
+        obs::counter(name).inc(value);
+    };
+    add("attribution_audit.records", audit.ledger_records);
+    add("attribution_audit.scored", std::uint64_t(audit.scored));
+    add("attribution_audit.coalesced", std::uint64_t(audit.coalesced));
+    add("attribution_audit.unobserved", std::uint64_t(audit.unobserved));
+    add("attribution_audit.unmatched_changes",
+        std::uint64_t(audit.unmatched_changes));
+    int detectable_total = 0;
+    int correct_total = 0;
+    struct ClassCounter {
+        ChangeCause cause;
+        const char* detectable;
+        const char* correct;
+    };
+    static constexpr ClassCounter kClasses[] = {
+        {ChangeCause::Periodic, "attribution_audit.periodic_detectable",
+         "attribution_audit.periodic_correct"},
+        {ChangeCause::NetworkOutage, "attribution_audit.network_detectable",
+         "attribution_audit.network_correct"},
+        {ChangeCause::PowerOutage, "attribution_audit.power_detectable",
+         "attribution_audit.power_correct"},
+        {ChangeCause::Administrative, "attribution_audit.admin_detectable",
+         "attribution_audit.admin_correct"},
+    };
+    for (const auto& entry : kClasses) {
+        int detectable = 0;
+        int correct = 0;
+        for (const auto& row : audit.kinds) {
+            if (expected_cause(row.kind) != entry.cause) continue;
+            detectable += row.detectable;
+            correct += row.correct;
+        }
+        add(entry.detectable, std::uint64_t(detectable));
+        add(entry.correct, std::uint64_t(correct));
+        detectable_total += detectable;
+        correct_total += correct;
+    }
+    add("attribution_audit.detectable", std::uint64_t(detectable_total));
+    add("attribution_audit.correct", std::uint64_t(correct_total));
+    add("attribution_audit.unknown_inferred",
+        std::uint64_t(
+            audit.inferred_totals[std::size_t(ChangeCause::Unknown)]));
+}
+
+std::string render_attribution_audit(const AttributionAudit& audit) {
+    std::string out;
+    out += "Attribution audit: " + std::to_string(audit.ledger_records) +
+           " ledger records, " + std::to_string(audit.scored) + " scored (" +
+           std::to_string(audit.coalesced) + " coalesced, " +
+           std::to_string(audit.unobserved) + " unobserved, " +
+           std::to_string(audit.unmatched_changes) +
+           " changes without ground truth)\n";
+    out += std::string("Detectors: network ") +
+           (audit.network_detector_active ? "active" : "no data") + ", power " +
+           (audit.power_detector_active ? "active" : "no data") + "\n";
+
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& row : audit.kinds) {
+        auto inferred = [&](ChangeCause cause) {
+            return std::to_string(row.inferred[std::size_t(cause)]);
+        };
+        rows.push_back({sim::cause_kind_name(row.kind),
+                        std::to_string(row.total()),
+                        std::to_string(row.scored),
+                        std::to_string(row.unobserved),
+                        std::to_string(row.detectable),
+                        inferred(ChangeCause::Periodic),
+                        inferred(ChangeCause::NetworkOutage),
+                        inferred(ChangeCause::PowerOutage),
+                        inferred(ChangeCause::Administrative),
+                        inferred(ChangeCause::Unknown),
+                        gated(row.kind) && row.detectable > 0
+                            ? fmt(100.0 * row.recall(), 1) + "%"
+                            : std::string("-")});
+    }
+    out += chart::render_table({"True cause", "Records", "Scored", "Unobs",
+                                "Detect", "Periodic", "Network", "Power",
+                                "Admin", "Unknown", "Recall"},
+                               rows);
+
+    auto class_line = [&](const char* label, ChangeCause cause) {
+        int detectable = 0;
+        for (const auto& row : audit.kinds)
+            if (expected_cause(row.kind) == cause) detectable += row.detectable;
+        if (detectable == 0 &&
+            audit.inferred_totals[std::size_t(cause)] == 0)
+            return std::string(label) + ": no data\n";
+        return std::string(label) + ": recall " +
+               fmt(100.0 * audit.recall(cause), 1) + "%, precision " +
+               fmt(100.0 * audit.precision(cause), 1) + "%\n";
+    };
+    out += class_line("periodic", ChangeCause::Periodic);
+    out += class_line("network outage", ChangeCause::NetworkOutage);
+    out += class_line("power outage", ChangeCause::PowerOutage);
+    out += class_line("administrative", ChangeCause::Administrative);
+    out += "unknown residual: " + fmt(100.0 * audit.unknown_residual(), 1) +
+           "% of scored changes\n";
+
+    if (!audit.by_as.empty()) {
+        std::vector<std::vector<std::string>> as_rows;
+        for (const auto& row : audit.by_as)
+            as_rows.push_back({row.as_name, std::to_string(row.asn),
+                               std::to_string(row.scored),
+                               std::to_string(row.correct),
+                               fmt(100.0 * row.accuracy(), 1) + "%"});
+        out += chart::render_table({"AS", "ASN", "Scored", "Correct", "Accuracy"},
+                                   as_rows);
+    }
+    return out;
+}
+
+}  // namespace dynaddr::core

@@ -1,0 +1,122 @@
+#pragma once
+
+// Attribution audit: scores the pipeline's inferred change causes against
+// the simulator's cause-ledger ground truth (sim/cause_ledger.hpp).
+//
+// The join works per probe: each ledger record carries the acquisition
+// instant of the new address, which must fall inside exactly one pipeline
+// change gap (last_seen, first_seen). Multiple truth records inside one
+// gap mean the probe slept through intermediate changes — the last record
+// (the one that produced the address the probe woke up to) is scored
+// against the inferred cause and the earlier ones are counted as
+// coalesced. Records with no gap to join (filtered probe, censored
+// tenure) are unobserved; gaps with no record (special probes have no
+// CPE) are unmatched changes.
+//
+// Recall is gated over *detectable* records only: a root cause the
+// measurement side cannot see — an outage kind whose detector had no
+// k-root data in this bundle, or an outage shorter than the sampling
+// cadence resolves — is reported as undetectable, not failed.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/change_attribution.hpp"
+#include "sim/cause_ledger.hpp"
+
+namespace dynaddr::core {
+
+inline constexpr std::size_t kChangeCauseCount = 5;
+
+/// The pipeline cause a ledger root cause should be inferred as. Kinds
+/// with no measurement-visible signature (server amnesia, exhaustion,
+/// message faults, the jittered max-age cap, cross-AS moves) map to
+/// Unknown: they are expected residual, reported but never gated.
+[[nodiscard]] ChangeCause expected_cause(sim::CauseKind kind);
+
+struct AuditConfig {
+    ChangeAttributionConfig attribution;
+    /// Slack when placing a ledger record inside a change gap. The
+    /// acquisition instant lies strictly inside (last_seen, first_seen)
+    /// by construction; the slack only absorbs log rounding.
+    net::Duration match_slack = net::Duration::minutes(5);
+    /// A power outage must outlast the k-root gap rule (min_power_gap
+    /// plus CPE boot) for the reboot to register as one.
+    net::Duration min_power_outage = net::Duration::minutes(10);
+    /// A network outage must span k-root samples to show as an all-lost
+    /// run; anything shorter than a couple of base cadences is invisible.
+    net::Duration min_network_outage = net::Duration::hours(9);
+};
+
+/// One truth-kind row of the confusion matrix.
+struct AuditKindRow {
+    sim::CauseKind kind = sim::CauseKind::Unknown;
+    int scored = 0;      ///< joined a gap and judged against its inference
+    int coalesced = 0;   ///< joined a gap another record scored
+    int unobserved = 0;  ///< no pipeline change gap to join
+    int detectable = 0;  ///< scored records counted in the gated recall
+    int correct = 0;     ///< detectable and inferred == expected
+    /// Inferred-cause tallies over the scored records, indexed by
+    /// int(ChangeCause).
+    std::array<int, kChangeCauseCount> inferred{};
+
+    [[nodiscard]] int total() const { return scored + coalesced + unobserved; }
+    [[nodiscard]] double recall() const {
+        return detectable == 0 ? 0.0 : double(correct) / detectable;
+    }
+};
+
+/// Per-AS accuracy row (ASes the scored changes mapped to).
+struct AuditAsRow {
+    std::uint32_t asn = 0;
+    std::string as_name;
+    int scored = 0;
+    int detectable = 0;
+    int correct = 0;
+
+    [[nodiscard]] double accuracy() const {
+        return detectable == 0 ? 0.0 : double(correct) / detectable;
+    }
+};
+
+struct AttributionAudit {
+    std::uint64_t ledger_records = 0;  ///< records fed into the audit
+    int scored = 0;
+    int coalesced = 0;
+    int unobserved = 0;
+    int unmatched_changes = 0;  ///< pipeline changes with no truth record
+    /// Did this bundle carry the data the outage detectors need? False
+    /// means every record of that class is undetectable by construction.
+    bool network_detector_active = false;
+    bool power_detector_active = false;
+    std::vector<AuditKindRow> kinds;  ///< kinds present, enum order
+    std::vector<AuditAsRow> by_as;    ///< descending by scored
+    /// Precision inputs over all scored records, indexed by
+    /// int(ChangeCause): how many changes were inferred as each cause,
+    /// and how many of those had matching ground truth.
+    std::array<int, kChangeCauseCount> inferred_totals{};
+    std::array<int, kChangeCauseCount> inferred_correct{};
+
+    /// Recall of one expected class over its detectable records.
+    [[nodiscard]] double recall(ChangeCause expected) const;
+    /// Precision of one inferred cause over all scored records.
+    [[nodiscard]] double precision(ChangeCause inferred) const;
+    /// Fraction of scored changes the pipeline left Unknown.
+    [[nodiscard]] double unknown_residual() const;
+};
+
+/// Joins ledger ground truth against the pipeline's inferred causes.
+[[nodiscard]] AttributionAudit audit_attribution(
+    const AnalysisResults& results, const bgp::PrefixTable& table,
+    const bgp::AsRegistry& registry,
+    const std::vector<sim::CauseRecord>& ledger, const AuditConfig& config = {});
+
+/// Bumps the attribution_audit.* counters (machine-readable confusion
+/// matrix, pattern of table2_funnel). Call once per audit.
+void record_attribution_audit(const AttributionAudit& audit);
+
+/// Text rendering in the house table style.
+std::string render_attribution_audit(const AttributionAudit& audit);
+
+}  // namespace dynaddr::core

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "netcore/ascii_chart.hpp"
+#include "netcore/obs/metrics.hpp"
 #include "core/report.hpp"
 
 namespace dynaddr::core {
@@ -51,10 +52,9 @@ const char* change_cause_name(ChangeCause cause) {
     return "?";
 }
 
-ChangeAttribution attribute_changes(const AnalysisResults& results,
-                                    const bgp::PrefixTable& table,
-                                    const bgp::AsRegistry& registry,
-                                    const ChangeAttributionConfig& config) {
+std::vector<AttributedChange> attribute_changes_detailed(
+    const AnalysisResults& results, const bgp::PrefixTable& table,
+    const ChangeAttributionConfig& config) {
     // Per-probe period lookup.
     std::unordered_map<atlas::ProbeId, double> period_of;
     for (const auto& probe : results.periodicity.probes)
@@ -72,25 +72,10 @@ ChangeAttribution attribute_changes(const AnalysisResults& results,
         return it == outage_map.end() ? kNoOutages : it->second;
     };
 
-    ChangeAttribution attribution;
-    attribution.all.as_name = "All";
-    std::map<std::uint32_t, ChangeAttributionRow> rows;
+    std::vector<AttributedChange> attributed;
 
     for (const auto& probe : results.changes) {
         const auto asn = results.mapping.as_of(probe.probe);
-        ChangeAttributionRow* row = nullptr;
-        if (asn) {
-            auto [it, inserted] = rows.try_emplace(*asn);
-            row = &it->second;
-            if (inserted) {
-                row->asn = *asn;
-                if (auto info = registry.find(*asn))
-                    row->as_name = info->name;
-                else
-                    row->as_name = "AS" + std::to_string(*asn);
-            }
-        }
-
         const auto& network = outages_of(results.network_outages, probe.probe);
         const auto& power = outages_of(results.power_outages, probe.probe);
         const auto period_it = period_of.find(probe.probe);
@@ -140,9 +125,34 @@ ChangeAttribution attribute_changes(const AnalysisResults& results,
                     cause = ChangeCause::Periodic;
             }
 
-            count(attribution.all, cause);
-            if (row != nullptr) count(*row, cause);
+            attributed.push_back(
+                {probe.probe, asn.value_or(0), change, cause});
         }
+    }
+    return attributed;
+}
+
+ChangeAttribution attribute_changes(const AnalysisResults& results,
+                                    const bgp::PrefixTable& table,
+                                    const bgp::AsRegistry& registry,
+                                    const ChangeAttributionConfig& config) {
+    ChangeAttribution attribution;
+    attribution.all.as_name = "All";
+    std::map<std::uint32_t, ChangeAttributionRow> rows;
+
+    for (const auto& entry :
+         attribute_changes_detailed(results, table, config)) {
+        count(attribution.all, entry.cause);
+        if (entry.asn == 0) continue;
+        auto [it, inserted] = rows.try_emplace(entry.asn);
+        if (inserted) {
+            it->second.asn = entry.asn;
+            if (auto info = registry.find(entry.asn))
+                it->second.as_name = info->name;
+            else
+                it->second.as_name = "AS" + std::to_string(entry.asn);
+        }
+        count(it->second, entry.cause);
     }
 
     for (auto& [asn, row] : rows) attribution.by_as.push_back(std::move(row));
@@ -152,6 +162,22 @@ ChangeAttribution attribute_changes(const AnalysisResults& results,
                   return a.asn < b.asn;
               });
     return attribution;
+}
+
+void record_change_attribution(const ChangeAttribution& attribution) {
+    static const bool block_registered = [] {
+        obs::metrics_block("change_attribution");
+        return true;
+    }();
+    (void)block_registered;
+    const ChangeAttributionRow& all = attribution.all;
+    obs::counter("change_attribution.total").inc(std::uint64_t(all.total));
+    obs::counter("change_attribution.periodic").inc(std::uint64_t(all.periodic));
+    obs::counter("change_attribution.network").inc(std::uint64_t(all.network));
+    obs::counter("change_attribution.power").inc(std::uint64_t(all.power));
+    obs::counter("change_attribution.administrative")
+        .inc(std::uint64_t(all.administrative));
+    obs::counter("change_attribution.unknown").inc(std::uint64_t(all.unknown));
 }
 
 std::string render_change_attribution(const ChangeAttribution& attribution) {

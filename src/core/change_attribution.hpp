@@ -47,6 +47,15 @@ struct ChangeAttributionConfig {
     double period_tolerance = 0.05;
 };
 
+/// One address change with its inferred cause — the per-change form the
+/// attribution audit joins against ledger ground truth.
+struct AttributedChange {
+    atlas::ProbeId probe = 0;
+    std::uint32_t asn = 0;  ///< 0 when the probe maps to no AS
+    AddressChangeEvent change;
+    ChangeCause cause = ChangeCause::Unknown;
+};
+
 /// Classifies every address change of every analyzable probe, using the
 /// already-computed pipeline results. Priority: administrative, then
 /// network outage, then power outage, then periodic (the tenure ending at
@@ -58,6 +67,16 @@ ChangeAttribution attribute_changes(const AnalysisResults& results,
                                     const bgp::PrefixTable& table,
                                     const bgp::AsRegistry& registry,
                                     const ChangeAttributionConfig& config = {});
+
+/// Same classification, returned per change (probe order, change order)
+/// instead of tallied. attribute_changes is the tally of this list.
+std::vector<AttributedChange> attribute_changes_detailed(
+    const AnalysisResults& results, const bgp::PrefixTable& table,
+    const ChangeAttributionConfig& config = {});
+
+/// Bumps the change_attribution.* counters — the machine-readable form of
+/// the attribution table (pattern of table2_funnel). Call once per run.
+void record_change_attribution(const ChangeAttribution& attribution);
 
 /// Text rendering in the house table style.
 std::string render_change_attribution(const ChangeAttribution& attribution);

@@ -207,6 +207,13 @@ AnalysisResults AnalysisPipeline::run_reference(
     metrics.probes_in.inc(std::uint64_t(results.filter.total()));
     metrics.probes_analyzable.inc(
         std::uint64_t(results.filter.analyzable.size()));
+    {
+        std::unordered_map<atlas::ProbeId, atlas::ProbeVersion> version;
+        for (const auto& meta : bundle.probes) version[meta.probe] = meta.version;
+        for (const auto& log : results.filter.analyzable)
+            if (auto it = version.find(log.probe); it != version.end())
+                results.probe_versions.emplace(log.probe, it->second);
+    }
     detail::record_funnel(results.filter);
     DYNADDR_LOG(Info, pipeline, "filtered ", results.filter.total(),
                 " probes, ", results.filter.analyzable.size(), " analyzable");
@@ -256,9 +263,6 @@ AnalysisResults AnalysisPipeline::run_reference(
     if (bundle.kroot_pings.empty() && bundle.uptime_records.empty())
         return results;
 
-    std::unordered_map<atlas::ProbeId, atlas::ProbeVersion> version;
-    for (const auto& meta : bundle.probes) version[meta.probe] = meta.version;
-
     const auto kroot = split_kroot_by_probe(bundle.kroot_pings);
     const auto uptime = split_uptime_by_probe(bundle.uptime_records);
 
@@ -305,7 +309,8 @@ AnalysisResults AnalysisPipeline::run_reference(
             if (kroot_it == kroot.end()) return;  // slot stays absent
             obs::ObsSpan shard("pipeline.outages.shard", "shard");
             std::optional<atlas::ProbeVersion> probe_version;
-            if (auto it = version.find(log.probe); it != version.end())
+            if (auto it = results.probe_versions.find(log.probe);
+                it != results.probe_versions.end())
                 probe_version = it->second;
             const std::vector<RebootInference>* reboots = nullptr;
             if (auto it = reboots_by_probe.find(log.probe);

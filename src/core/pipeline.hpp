@@ -40,6 +40,13 @@ struct AnalysisResults {
     FilterReport filter;
     AsMapping mapping;  ///< over analyzable probes
 
+    /// Hardware versions of the analyzable probes that appear in the probe
+    /// archive (empty when the bundle ships no probe metadata). The §5
+    /// power detector only trusts v3 uptime semantics, so downstream
+    /// consumers — notably the attribution audit — use this to scope
+    /// power-outage expectations to probes the detector is allowed to see.
+    std::map<atlas::ProbeId, atlas::ProbeVersion> probe_versions;
+
     // §3.1 — changes & durations, one entry per analyzable probe
     std::vector<ProbeChanges> changes;
 

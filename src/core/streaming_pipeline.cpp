@@ -258,7 +258,10 @@ struct StreamingPipeline::Impl {
             results.mapping.unmapped.insert(probe);
         d.mapping = {};
 
-        if (d.analyzable) results.changes.push_back(std::move(d.changes));
+        if (d.analyzable) {
+            if (d.version) results.probe_versions.emplace(d.probe, *d.version);
+            results.changes.push_back(std::move(d.changes));
+        }
         derived.push_back(std::move(d));
     }
 

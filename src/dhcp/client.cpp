@@ -4,6 +4,7 @@
 
 #include "dhcp/wire.hpp"
 #include "netcore/error.hpp"
+#include "sim/cause_ledger.hpp"
 #include "sim/faults.hpp"
 
 namespace dynaddr::dhcp {
@@ -124,6 +125,8 @@ void Client::try_acquire() {
     const net::TimePoint now = sim_->now();
     if (!server_->online()) {
         // Server down reads as silence: retransmit with backoff.
+        sim::cause_note(id_, sim::CauseKind::ServerDown,
+                        sim::CauseSite::DhcpServerOffline, now);
         schedule_timer(now + next_backoff());
         return;
     }
@@ -143,6 +146,8 @@ void Client::try_acquire() {
              corrupted_exchange_lost(sim::FaultSite::DhcpRequest, id_, now,
                                      MessageType::Request, addr,
                                      std::nullopt))) {
+            sim::cause_note(id_, sim::CauseKind::MessageFault,
+                            sim::CauseSite::FaultMessage, now);
             begin_requesting(addr);
             return;
         }
@@ -168,6 +173,8 @@ void Client::try_acquire() {
                                  MessageType::Discover, std::nullopt,
                                  std::nullopt))) {
         // DISCOVER (or its OFFER) lost: retransmit with backoff.
+        sim::cause_note(id_, sim::CauseKind::MessageFault,
+                        sim::CauseSite::FaultMessage, now);
         schedule_timer(now + next_backoff());
         return;
     }
@@ -189,6 +196,8 @@ void Client::try_acquire() {
              corrupted_exchange_lost(sim::FaultSite::DhcpRequest, id_, now,
                                      MessageType::Request, offer->address,
                                      std::nullopt))) {
+            sim::cause_note(id_, sim::CauseKind::MessageFault,
+                            sim::CauseSite::FaultMessage, now);
             begin_requesting(offer->address);
             return;
         }
@@ -199,6 +208,9 @@ void Client::try_acquire() {
             become_bound(result);
             return;
         }
+    } else {
+        sim::cause_note(id_, sim::CauseKind::PoolExhausted,
+                        sim::CauseSite::DhcpPoolExhausted, now);
     }
     // Pool exhausted or raced away; retry later.
     schedule_timer(now + config_.init_retry);
@@ -220,6 +232,8 @@ void Client::resend_request() {
     }
     const net::TimePoint now = sim_->now();
     if (!server_->online()) {
+        sim::cause_note(id_, sim::CauseKind::ServerDown,
+                        sim::CauseSite::DhcpServerOffline, now);
         if (++request_attempts_ > config_.request_retries) {
             abandon_request();
             return;
@@ -238,6 +252,8 @@ void Client::resend_request() {
          corrupted_exchange_lost(sim::FaultSite::DhcpRequest, id_, now,
                                  MessageType::Request, *pending_request_,
                                  std::nullopt))) {
+        sim::cause_note(id_, sim::CauseKind::MessageFault,
+                        sim::CauseSite::FaultMessage, now);
         if (++request_attempts_ > config_.request_retries) {
             abandon_request();
             return;
@@ -285,7 +301,13 @@ void Client::become_bound(const RequestResult& result) {
     request_attempts_ = 0;
     backoff_ = net::Duration{0};
     schedule_timer(t1_);
-    if (changed && on_acquired_) on_acquired_(result.address);
+    if (changed) {
+        if (on_acquired_) on_acquired_(result.address);
+    } else {
+        // The tenure survived: stale trouble notes no longer explain the
+        // next change.
+        sim::cause_renew_ok(id_);
+    }
 }
 
 void Client::lose_address(LossReason reason) {
@@ -298,6 +320,9 @@ void Client::lose_address(LossReason reason) {
 
 void Client::attempt_renew() {
     if (!address_) return;
+    if (reachable_() && !server_->online())
+        sim::cause_note(id_, sim::CauseKind::ServerDown,
+                        sim::CauseSite::DhcpServerOffline, sim_->now());
     if (reachable_() && server_->online()) {
         const net::TimePoint now = sim_->now();
         const auto decision =
@@ -324,6 +349,8 @@ void Client::attempt_renew() {
             return;
         }
         // Exchange swallowed by a fault: same as unreachable, back off.
+        sim::cause_note(id_, sim::CauseKind::MessageFault,
+                        sim::CauseSite::FaultMessage, now);
     }
     backoff_renew();
 }

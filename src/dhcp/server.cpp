@@ -6,6 +6,7 @@
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
 #include "netcore/rng.hpp"
+#include "sim/cause_ledger.hpp"
 
 DYNADDR_LOG_MODULE(dhcp);
 
@@ -59,6 +60,8 @@ void Server::crash(bool amnesia) {
     if (amnesia) {
         const net::TimePoint now = sim_->now();
         for (const auto& lease : leases_.all()) {
+            sim::cause_note(lease.client, sim::CauseKind::ServerAmnesia,
+                            sim::CauseSite::DhcpAmnesiaCrash, now);
             leases_.revoke(lease.client);
             pool_->release(lease.client);
             hold_started_.erase(lease.client);
@@ -90,6 +93,8 @@ std::optional<Offer> Server::handle_discover(pool::ClientId client) {
             dhcp_metrics().offer.inc();
             return Offer{lease->address, config_.lease_duration};
         }
+        sim::cause_note(client, sim::CauseKind::AdminRenumbering,
+                        sim::CauseSite::DhcpRetiredPrefix, sim_->now());
         evict(client);
     }
     std::optional<net::TimePoint> absent;
@@ -117,8 +122,11 @@ RequestResult Server::handle_request(pool::ClientId client,
     expire_leases();
     if (pool_->is_retired(requested)) {
         // Administrative renumbering: never re-grant a retired block.
-        if (auto held = pool_->address_of(client); held && *held == requested)
+        if (auto held = pool_->address_of(client); held && *held == requested) {
+            sim::cause_note(client, sim::CauseKind::AdminRenumbering,
+                            sim::CauseSite::DhcpRetiredPrefix, sim_->now());
             evict(client);
+        }
         return RequestResult{};
     }
     // Existing lease on the same address: treat as re-request, refresh.
@@ -154,13 +162,19 @@ RequestResult Server::handle_renew(pool::ClientId client, net::IPv4Address addr)
     auto lease = leases_.find(client);
     if (!lease || lease->address != addr) return RequestResult{};
     // Administrative renumbering: the whole block was retired; evict.
-    if (pool_->is_retired(addr)) return evict(client);
+    if (pool_->is_retired(addr)) {
+        sim::cause_note(client, sim::CauseKind::AdminRenumbering,
+                        sim::CauseSite::DhcpRetiredPrefix, sim_->now());
+        return evict(client);
+    }
     if (config_.max_address_age) {
         const auto started_it = hold_started_.find(client);
         if (started_it != hold_started_.end() &&
             sim_->now() + config_.lease_duration - started_it->second >
                 jittered_max_age(client, started_it->second)) {
             // Administrative age cap: refuse to extend past it.
+            sim::cause_note(client, sim::CauseKind::MaxAgeEviction,
+                            sim::CauseSite::DhcpMaxAge, sim_->now());
             return evict(client);
         }
     }

@@ -54,13 +54,17 @@ std::vector<PlannedOutage> schedule_outages(sim::Simulation& sim, atlas::Cpe& cp
     auto power_rng = rng.child("power");
     for (const auto& ivl : draw_schedule(rates.power_per_year, rates, window, power_rng)) {
         planned.push_back({PlannedOutage::Kind::Power, ivl});
-        sim.at(ivl.begin, [&cpe](net::TimePoint) { cpe.power_fail(); });
+        sim.at(ivl.begin, [&cpe](net::TimePoint) {
+            cpe.power_fail(sim::CauseSite::OutagePower);
+        });
         sim.at(ivl.end, [&cpe](net::TimePoint) { cpe.power_restore(); });
     }
     auto net_rng = rng.child("net");
     for (const auto& ivl : draw_schedule(rates.net_per_year, rates, window, net_rng)) {
         planned.push_back({PlannedOutage::Kind::Network, ivl});
-        sim.at(ivl.begin, [&cpe](net::TimePoint) { cpe.net_fail(); });
+        sim.at(ivl.begin, [&cpe](net::TimePoint) {
+            cpe.net_fail(sim::CauseSite::OutageNetwork);
+        });
         sim.at(ivl.end, [&cpe](net::TimePoint) { cpe.net_restore(); });
     }
     std::sort(planned.begin(), planned.end(),

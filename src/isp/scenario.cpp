@@ -11,6 +11,7 @@
 #include "netcore/obs/metrics.hpp"
 #include "netcore/obs/progress.hpp"
 #include "netcore/obs/trace.hpp"
+#include "sim/cause_ledger.hpp"
 #include "sim/simulation.hpp"
 
 DYNADDR_LOG_MODULE(scenario);
@@ -161,10 +162,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
         for (const auto& event : isp.admin_events) {
             const auto retire = event.retire_pool_index;
             const auto enable = event.enable_pool_index;
-            world.sim.at(event.when, [&pool, retire, enable](net::TimePoint) {
-                pool.enable_prefix(enable);
-                pool.retire_prefix(retire);
-            });
+            const net::IPv4Prefix retired_pfx = isp.pool_prefixes[retire];
+            world.sim.at(event.when,
+                         [&pool, retire, enable, retired_pfx](net::TimePoint now) {
+                             // PPP subscribers get no per-client evict signal;
+                             // the ledger resolves their next change against
+                             // this retired-prefix record instead.
+                             sim::cause_admin_retire(retired_pfx, now);
+                             pool.enable_prefix(enable);
+                             pool.retire_prefix(retire);
+                         });
         }
 
         for (std::size_t c = 0; c < isp.cohorts.size(); ++c) {
@@ -189,6 +196,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                     std::uint64_t(c) << 32 | std::uint64_t(k));
                 const atlas::ProbeId probe_id = next_probe++;
                 const pool::ClientId client_id = next_client++;
+                sim::cause_register_client(client_id, probe_id);
 
                 world.timelines.emplace_back(probe_id);
                 atlas::Timeline& timeline = world.timelines.back();
@@ -256,6 +264,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
             const atlas::ProbeId probe_id = next_probe++;
             const pool::ClientId client_id = next_client++;
+            sim::cause_register_client(client_id, probe_id);
             world.timelines.emplace_back(probe_id);
             atlas::Timeline& timeline = world.timelines.back();
 
@@ -353,7 +362,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                                  radius_crashes.inc();
                                  server.crash(amnesia);
                                  for (atlas::Cpe* cpe : attached)
-                                     cpe->net_fail();
+                                     cpe->net_fail(
+                                         sim::CauseSite::FaultRadiusCrash);
                              });
                 world.sim.at(event.at + event.downtime,
                              [&server, attached](net::TimePoint) {
@@ -386,7 +396,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                     world.sim.at(storms[s] + hit->offset,
                                  [&cpe, &power_cycles](net::TimePoint) {
                                      power_cycles.inc();
-                                     cpe.power_fail();
+                                     cpe.power_fail(sim::CauseSite::FaultStorm);
                                  });
                     world.sim.at(storms[s] + hit->offset + hit->downtime,
                                  [&cpe](net::TimePoint) { cpe.power_restore(); });

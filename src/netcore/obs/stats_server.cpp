@@ -93,6 +93,22 @@ std::string top_body() {
     return std::move(out).str();
 }
 
+/// /causes: the live cause-ledger counters (causes.*) as one flat JSON
+/// object, keyed without the prefix. Empty object when no ledger ran.
+std::string causes_body() {
+    std::ostringstream out;
+    out << '{';
+    bool first = true;
+    for (const auto& [name, value] : metrics_snapshot().counters) {
+        if (name.rfind("causes.", 0) != 0) continue;
+        out << (first ? "\n" : ",\n") << "\"" << name.substr(7)
+            << "\": " << value;
+        first = false;
+    }
+    out << (first ? "}\n" : "\n}\n");
+    return std::move(out).str();
+}
+
 }  // namespace
 
 void write_metrics_prometheus(std::ostream& out,
@@ -147,8 +163,8 @@ StatsServer::StatsServer(std::uint16_t port) {
     port_ = ntohs(address.sin_port);
 
     thread_ = std::thread([this] { serve(); });
-    DYNADDR_LOG(Info, stats_server, "serving /metrics /series /top /healthz "
-                "on 127.0.0.1:", port_);
+    DYNADDR_LOG(Info, stats_server, "serving /metrics /series /top /causes "
+                "/healthz on 127.0.0.1:", port_);
 }
 
 StatsServer::~StatsServer() { stop(); }
@@ -231,6 +247,9 @@ void StatsServer::handle(int connection) {
         publish_mem_gauges();
         publish_progress_gauges();
         body = top_body();
+        content_type = "application/json";
+    } else if (path == "/causes") {
+        body = causes_body();
         content_type = "application/json";
     } else if (path == "/healthz") {
         body = healthz_body();

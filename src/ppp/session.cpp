@@ -6,6 +6,7 @@
 #include "netcore/obs/log.hpp"
 #include "netcore/obs/metrics.hpp"
 #include "ppp/pppoe_wire.hpp"
+#include "sim/cause_ledger.hpp"
 #include "sim/faults.hpp"
 
 DYNADDR_LOG_MODULE(ppp);
@@ -111,6 +112,8 @@ void Session::dial() {
     const net::TimePoint now = sim_->now();
     if (!server_->online()) {
         // BRAS down: silence. Redial with exponential backoff, capped.
+        sim::cause_note(id_, sim::CauseKind::ServerDown,
+                        sim::CauseSite::RadiusServerOffline, now);
         phase_ = Phase::Dead;
         schedule_redial(next_redial_backoff());
         return;
@@ -126,6 +129,8 @@ void Session::dial() {
     }
     if (decision.kind == Kind::Drop ||
         (decision.kind == Kind::Corrupt && corrupted_dial_lost(id_, now))) {
+        sim::cause_note(id_, sim::CauseKind::MessageFault,
+                        sim::CauseSite::FaultMessage, now);
         phase_ = Phase::Dead;
         schedule_redial(next_redial_backoff());
         return;
@@ -140,6 +145,8 @@ void Session::dial() {
     redial_backoff_ = net::Duration{0};  // a definitive reply either way
     if (!accept) {
         // Access-Reject / pool exhausted: retry after the redial delay.
+        sim::cause_note(id_, sim::CauseKind::PoolExhausted,
+                        sim::CauseSite::RadiusPoolExhausted, now);
         phase_ = Phase::Dead;
         schedule_redial(config_.redial_delay);
         return;

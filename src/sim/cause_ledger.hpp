@@ -1,0 +1,337 @@
+#pragma once
+
+// Causal change-attribution ledger.
+//
+// A pure-observer subsystem that records, for every address change the
+// simulator produces, the root cause that ended the old tenure: periodic
+// session/lease expiry, DHCP server crash-restart amnesia, pool
+// exhaustion, a CPE power cycle, a network outage window, administrative
+// renumbering, a cross-AS move, or an injected fault site. Protocol and
+// scenario code report what they see through the cause_* hooks below; the
+// ledger folds those observations into exactly one CauseRecord per
+// address change, emitted the instant the new address is acquired.
+//
+// Observer rules (mirroring sim/faults.hpp):
+//   * With no ledger installed (the default) every hook is an inlined
+//     null check: zero allocations, zero draws, zero behaviour change —
+//     scenario fingerprints are byte-identical to a ledger-free build.
+//   * The ledger never draws randomness, never schedules events and never
+//     mutates protocol state; it only listens.
+//   * One record per change, one root cause per record. The resolution
+//     priority when several candidate causes coincide is documented in
+//     DESIGN.md §11 and implemented in CauseLedger::acquired().
+//
+// The record stream is O(1) memory when a CauseSink is attached and
+// keep_records is off: records flow to CSV or to the DCL1 columnar block
+// format (a DAB2-style layout: delta/zigzag varint columns per block,
+// footer block index, tail magic) and are never retained.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/time.hpp"
+
+namespace dynaddr::sim {
+
+/// Root-cause taxonomy. Every simulated address change gets exactly one.
+enum class CauseKind : std::uint8_t {
+    Unknown = 0,
+    SessionExpiry,     ///< PPP session timeout enforced by the BRAS
+    LeaseExpiry,       ///< DHCP lease ran out without a successful renew
+    NightlyReconnect,  ///< CPE privacy feature: scheduled nightly redial
+    MaxAgeEviction,    ///< DHCP server refused to extend past max address age
+    AdminRenumbering,  ///< block retired by an administrative event
+    CrossAsMove,       ///< subscriber moved to a different ISP backend
+    ServerAmnesia,     ///< server crash-restart lost the lease/session state
+    ServerDown,        ///< server unreachable long enough to end the tenure
+    PoolExhausted,     ///< allocation failed: no free address
+    PowerOutage,       ///< CPE lost power
+    NetworkOutage,     ///< access network down at the CPE
+    MessageFault,      ///< injected message fault broke the exchange
+};
+inline constexpr std::size_t kCauseKindCount = 13;
+
+/// Exact origin of the root event — which code path or schedule fired.
+enum class CauseSite : std::uint8_t {
+    Unspecified = 0,
+    PppSessionTimeout,    ///< ppp::Session::on_session_timeout
+    DhcpLeaseTimer,       ///< dhcp::Client timer past lease_expiry
+    CpeNightlyReconnect,  ///< atlas::Cpe daily reconnect schedule
+    DhcpMaxAge,           ///< dhcp::Server::handle_renew age cap evict
+    DhcpRetiredPrefix,    ///< dhcp::Server evict on a retired block
+    DhcpAmnesiaCrash,     ///< dhcp::Server::crash(amnesia) dropped the lease
+    DhcpServerOffline,    ///< dhcp::Client met a dead server (silence)
+    DhcpPoolExhausted,    ///< DHCPDISCOVER went unanswered: pool empty
+    RadiusServerOffline,  ///< ppp::Session dialed a dead BRAS
+    RadiusPoolExhausted,  ///< Access-Reject: pool empty
+    OutagePower,          ///< isp::schedule_outages planned power interval
+    OutageNetwork,        ///< isp::schedule_outages planned network interval
+    FaultStorm,           ///< sim::FaultInjector power-cycle storm
+    FaultRadiusCrash,     ///< injected BRAS/RADIUS crash (network outage)
+    FaultExhaustion,      ///< injected pool exhaustion window
+    FaultMessage,         ///< injected message drop/corruption
+    AdminEvent,           ///< scenario-level administrative renumbering
+    ScenarioMover,        ///< cross-AS mover switch_backend
+};
+inline constexpr std::size_t kCauseSiteCount = 19;
+
+[[nodiscard]] const char* cause_kind_name(CauseKind kind);
+[[nodiscard]] const char* cause_site_name(CauseSite site);
+/// Inverse of the name functions; nullopt for unrecognized tokens.
+[[nodiscard]] std::optional<CauseKind> cause_kind_from_name(std::string_view name);
+[[nodiscard]] std::optional<CauseSite> cause_site_from_name(std::string_view name);
+
+/// One address change with its causal chain.
+struct CauseRecord {
+    std::uint64_t probe = 0;   ///< Atlas probe id behind the CPE (0: none)
+    std::uint64_t client = 0;  ///< subscriber / pool client id
+    net::TimePoint at;         ///< when the new address took effect
+    net::TimePoint lost_at;    ///< when the old address was lost
+    net::TimePoint root_at;    ///< when the root event happened
+    CauseKind kind = CauseKind::Unknown;
+    CauseSite site = CauseSite::Unspecified;
+    net::IPv4Address old_addr;
+    net::IPv4Address new_addr;
+    /// Root-event extent: outage/episode length, 0 for instant events.
+    net::Duration root_duration{0};
+
+    friend bool operator==(const CauseRecord&, const CauseRecord&) = default;
+};
+
+/// Streaming consumer of ledger records (CSV writer, DCL1 writer, tests).
+class CauseSink {
+public:
+    virtual ~CauseSink() = default;
+    virtual void append(const CauseRecord& record) = 0;
+    /// Flushes buffered state; called once when the run finishes.
+    virtual void close() {}
+};
+
+struct CauseLedgerConfig {
+    /// Retain records in memory (tests, `explain` without a file). Long
+    /// runs stream to a sink instead and keep this off for O(1) memory.
+    bool keep_records = true;
+};
+
+/// The ledger proper: per-client cause state machines plus the record
+/// stream. Single-threaded, driven from simulation callbacks only.
+class CauseLedger {
+public:
+    explicit CauseLedger(CauseLedgerConfig config = {});
+
+    void set_sink(CauseSink* sink) { sink_ = sink; }
+
+    // -- hooks (called through the cause_* free functions below) ----------
+    /// Associates a subscriber with its Atlas probe id for the records.
+    void register_client(std::uint64_t client, std::uint64_t probe);
+    /// The WAN client bound `addr`. Emits a CauseRecord when it differs
+    /// from the previous address, resolving the pending cause state.
+    void acquired(std::uint64_t client, net::TimePoint t, net::IPv4Address addr);
+    /// The WAN client lost its address. `kind`/`site` carry the protocol
+    /// loss reason when it is itself definitive (expiry, nightly redial),
+    /// CauseKind::Unknown otherwise.
+    void lost(std::uint64_t client, net::TimePoint t, CauseKind kind,
+              CauseSite site);
+    /// A successful in-place renewal: the tenure continues, so pending
+    /// blocking observations did not cause a change — forget them.
+    void renew_ok(std::uint64_t client);
+    /// Edge-triggered observation (server down, pool exhausted, amnesia,
+    /// message fault, eviction). Latest note per kind wins.
+    void note(std::uint64_t client, CauseKind kind, CauseSite site,
+              net::TimePoint t);
+    // Level-triggered environment episodes.
+    void power_down(std::uint64_t client, net::TimePoint t, CauseSite site);
+    void power_up(std::uint64_t client, net::TimePoint t);
+    void net_down(std::uint64_t client, net::TimePoint t, CauseSite site);
+    void net_up(std::uint64_t client, net::TimePoint t);
+    /// Administrative renumbering: `prefix` retired at `when`. Changes
+    /// leaving the block afterwards resolve as AdminRenumbering.
+    void admin_retire(net::IPv4Prefix prefix, net::TimePoint when);
+
+    // -- results ----------------------------------------------------------
+    [[nodiscard]] const std::vector<CauseRecord>& records() const {
+        return records_;
+    }
+    [[nodiscard]] std::uint64_t total_records() const { return total_; }
+
+private:
+    struct Note {
+        net::TimePoint at;
+        CauseSite site = CauseSite::Unspecified;
+        bool set = false;
+    };
+    struct Episode {
+        net::TimePoint begin;
+        std::optional<net::TimePoint> end;
+        CauseSite site = CauseSite::Unspecified;
+        bool active() const { return !end.has_value(); }
+    };
+    struct ClientState {
+        std::uint64_t probe = 0;
+        bool has_addr = false;
+        net::IPv4Address addr;
+        net::TimePoint acquired_at;
+        bool lost = false;
+        net::TimePoint lost_at;
+        CauseKind loss_kind = CauseKind::Unknown;
+        CauseSite loss_site = CauseSite::Unspecified;
+        // Strong notes: definitive server-side verdicts about this tenure.
+        Note amnesia, max_age, admin, mover;
+        // Blocking observations: why exchanges were failing.
+        Note server_down, pool_exhausted, message_fault;
+        // Environment: current-or-last power/network episode.
+        std::optional<Episode> power, net;
+    };
+
+    ClientState& state(std::uint64_t client);
+    void emit(const ClientState& s, std::uint64_t client, net::TimePoint t,
+              net::IPv4Address addr, CauseKind kind, CauseSite site,
+              net::TimePoint root_at, net::Duration root_duration);
+    static void clear_tenure_state(ClientState& s);
+
+    CauseLedgerConfig config_;
+    CauseSink* sink_ = nullptr;
+    std::uint64_t total_ = 0;
+    std::vector<CauseRecord> records_;
+    std::unordered_map<std::uint64_t, ClientState> clients_;
+    std::vector<std::pair<net::IPv4Prefix, net::TimePoint>> retired_;
+};
+
+// -- global install (faults.hpp pattern) ---------------------------------
+
+namespace detail {
+extern CauseLedger* g_cause_ledger;
+}
+
+/// The installed ledger, or nullptr (the default: ledger off).
+[[nodiscard]] inline CauseLedger* cause_ledger() {
+    return detail::g_cause_ledger;
+}
+
+/// Installs/uninstalls the process-global ledger (nullptr clears).
+void install_cause_ledger(CauseLedger* ledger);
+
+/// RAII install of a fresh ledger.
+class ScopedCauseLedger {
+public:
+    explicit ScopedCauseLedger(CauseLedgerConfig config = {})
+        : ledger_(config) {
+        install_cause_ledger(&ledger_);
+    }
+    ~ScopedCauseLedger() { install_cause_ledger(nullptr); }
+    ScopedCauseLedger(const ScopedCauseLedger&) = delete;
+    ScopedCauseLedger& operator=(const ScopedCauseLedger&) = delete;
+
+    [[nodiscard]] CauseLedger& ledger() { return ledger_; }
+
+private:
+    CauseLedger ledger_;
+};
+
+// -- inline hook gates: a null check each when no ledger is installed ----
+
+inline void cause_register_client(std::uint64_t client, std::uint64_t probe) {
+    if (CauseLedger* l = cause_ledger()) l->register_client(client, probe);
+}
+inline void cause_acquired(std::uint64_t client, net::TimePoint t,
+                           net::IPv4Address addr) {
+    if (CauseLedger* l = cause_ledger()) l->acquired(client, t, addr);
+}
+inline void cause_lost(std::uint64_t client, net::TimePoint t,
+                       CauseKind kind = CauseKind::Unknown,
+                       CauseSite site = CauseSite::Unspecified) {
+    if (CauseLedger* l = cause_ledger()) l->lost(client, t, kind, site);
+}
+inline void cause_renew_ok(std::uint64_t client) {
+    if (CauseLedger* l = cause_ledger()) l->renew_ok(client);
+}
+inline void cause_note(std::uint64_t client, CauseKind kind, CauseSite site,
+                       net::TimePoint t) {
+    if (CauseLedger* l = cause_ledger()) l->note(client, kind, site, t);
+}
+inline void cause_power_down(std::uint64_t client, net::TimePoint t,
+                             CauseSite site) {
+    if (CauseLedger* l = cause_ledger()) l->power_down(client, t, site);
+}
+inline void cause_power_up(std::uint64_t client, net::TimePoint t) {
+    if (CauseLedger* l = cause_ledger()) l->power_up(client, t);
+}
+inline void cause_net_down(std::uint64_t client, net::TimePoint t,
+                           CauseSite site) {
+    if (CauseLedger* l = cause_ledger()) l->net_down(client, t, site);
+}
+inline void cause_net_up(std::uint64_t client, net::TimePoint t) {
+    if (CauseLedger* l = cause_ledger()) l->net_up(client, t);
+}
+inline void cause_admin_retire(net::IPv4Prefix prefix, net::TimePoint when) {
+    if (CauseLedger* l = cause_ledger()) l->admin_retire(prefix, when);
+}
+
+// -- serialization --------------------------------------------------------
+
+/// Decode accounting for the lenient paths.
+struct CauseDecodeStats {
+    std::size_t rows_rejected = 0;
+    std::size_t blocks_rejected = 0;
+};
+
+/// CSV: header + one row per record, timestamps as unix seconds.
+[[nodiscard]] std::string cause_ledger_to_csv(
+    const std::vector<CauseRecord>& records);
+/// Parses ledger CSV. Strict mode throws ParseError on any bad row;
+/// lenient mode drops bad rows into `stats` and never throws.
+[[nodiscard]] std::vector<CauseRecord> cause_ledger_from_csv(
+    std::string_view text, bool strict, CauseDecodeStats* stats = nullptr);
+
+/// DCL1 columnar block format (see the file header).
+[[nodiscard]] std::string encode_cause_ledger(
+    const std::vector<CauseRecord>& records);
+/// Strict decode throws ParseError on any malformation; lenient decode
+/// salvages intact blocks and counts the damage in `stats`.
+[[nodiscard]] std::vector<CauseRecord> decode_cause_ledger(
+    std::string_view bytes, bool strict, CauseDecodeStats* stats = nullptr);
+
+/// True when `bytes` starts with the DCL1 magic.
+[[nodiscard]] bool is_cause_ledger_binary(std::string_view bytes);
+
+/// Reads a ledger file, sniffing CSV vs DCL1 (lenient: damaged blocks or
+/// rows are dropped, not fatal). Throws Error when the file is unreadable.
+[[nodiscard]] std::vector<CauseRecord> read_cause_ledger_file(
+    const std::string& path, CauseDecodeStats* stats = nullptr);
+
+/// Streaming CSV sink: one row appended per record, O(1) memory.
+class CsvCauseWriter : public CauseSink {
+public:
+    explicit CsvCauseWriter(const std::string& path);
+    ~CsvCauseWriter() override;
+    void append(const CauseRecord& record) override;
+    void close() override;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Streaming DCL1 sink: buffers `block_records` rows, flushes columnar
+/// blocks, writes the footer index on close().
+class BinaryCauseWriter : public CauseSink {
+public:
+    explicit BinaryCauseWriter(const std::string& path,
+                               std::size_t block_records = 512);
+    ~BinaryCauseWriter() override;
+    void append(const CauseRecord& record) override;
+    void close() override;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dynaddr::sim

@@ -1,0 +1,248 @@
+// Gates for the ground-truth attribution audit: the §3.6 classifier is
+// scored against the simulator's cause ledger on the shipped presets, and
+// these bounds keep the confusion matrix honest. EXPERIMENTS.md documents
+// the residuals (why power recall sits below the periodic/network gates);
+// if a pipeline change moves these numbers materially, re-derive the
+// bounds there before loosening anything here.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/attribution_audit.hpp"
+#include "core/pipeline.hpp"
+#include "isp/presets.hpp"
+#include "netcore/obs/metrics.hpp"
+#include "sim/cause_ledger.hpp"
+
+namespace dynaddr {
+namespace {
+
+using core::ChangeCause;
+
+/// One preset simulated under an installed cause ledger, analyzed, and
+/// audited — shared across the suite's assertions (the year-long runs cost
+/// ~1 s each).
+struct AuditedRun {
+    isp::ScenarioConfig config;
+    isp::ScenarioResult scenario;
+    std::vector<sim::CauseRecord> ledger;
+    core::AnalysisResults results;
+    core::AttributionAudit audit;
+};
+
+AuditedRun audited_run(isp::ScenarioConfig config) {
+    AuditedRun run;
+    run.config = config;
+    {
+        sim::ScopedCauseLedger scope;  // keep_records on by default
+        run.scenario = isp::run_scenario(config);
+        run.ledger = scope.ledger().records();
+    }
+    core::AnalysisPipeline pipeline;
+    run.results = pipeline.run(run.scenario.bundle, run.scenario.prefix_table,
+                               run.scenario.registry, config.window);
+    run.audit = core::audit_attribution(run.results, run.scenario.prefix_table,
+                                        run.scenario.registry, run.ledger);
+    return run;
+}
+
+class QuickAudit : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        run_ = new AuditedRun(audited_run(isp::presets::quick_scenario()));
+    }
+    static void TearDownTestSuite() {
+        delete run_;
+        run_ = nullptr;
+    }
+    static AuditedRun* run_;
+};
+AuditedRun* QuickAudit::run_ = nullptr;
+
+class PaperAudit : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        run_ = new AuditedRun(audited_run(isp::presets::paper_scenario()));
+    }
+    static void TearDownTestSuite() {
+        delete run_;
+        run_ = nullptr;
+    }
+    static AuditedRun* run_;
+};
+AuditedRun* PaperAudit::run_ = nullptr;
+
+class OutageAudit : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        run_ = new AuditedRun(audited_run(isp::presets::outage_scenario()));
+    }
+    static void TearDownTestSuite() {
+        delete run_;
+        run_ = nullptr;
+    }
+    static AuditedRun* run_;
+};
+AuditedRun* OutageAudit::run_ = nullptr;
+
+TEST(ExpectedCause, MapsLedgerKindsOntoClassifierClasses) {
+    using sim::CauseKind;
+    EXPECT_EQ(core::expected_cause(CauseKind::SessionExpiry),
+              ChangeCause::Periodic);
+    EXPECT_EQ(core::expected_cause(CauseKind::LeaseExpiry),
+              ChangeCause::Periodic);
+    EXPECT_EQ(core::expected_cause(CauseKind::NightlyReconnect),
+              ChangeCause::Periodic);
+    EXPECT_EQ(core::expected_cause(CauseKind::PowerOutage),
+              ChangeCause::PowerOutage);
+    EXPECT_EQ(core::expected_cause(CauseKind::NetworkOutage),
+              ChangeCause::NetworkOutage);
+    EXPECT_EQ(core::expected_cause(CauseKind::AdminRenumbering),
+              ChangeCause::Administrative);
+    // Signature-free kinds: the classifier has no rule that could name
+    // them, so the audit expects Unknown rather than penalizing it.
+    EXPECT_EQ(core::expected_cause(CauseKind::MaxAgeEviction),
+              ChangeCause::Unknown);
+    EXPECT_EQ(core::expected_cause(CauseKind::ServerAmnesia),
+              ChangeCause::Unknown);
+    EXPECT_EQ(core::expected_cause(CauseKind::PoolExhausted),
+              ChangeCause::Unknown);
+    EXPECT_EQ(core::expected_cause(CauseKind::MessageFault),
+              ChangeCause::Unknown);
+    EXPECT_EQ(core::expected_cause(CauseKind::Unknown), ChangeCause::Unknown);
+}
+
+TEST(AttributionAuditEmpty, NoLedgerNoCounts) {
+    // Degenerate call: auditing an empty ledger must not invent records.
+    core::AnalysisResults results;
+    bgp::PrefixTable table;
+    bgp::AsRegistry registry;
+    const auto audit = core::audit_attribution(results, table, registry, {});
+    EXPECT_EQ(audit.ledger_records, 0);
+    EXPECT_EQ(audit.scored, 0);
+    EXPECT_TRUE(audit.kinds.empty());
+    EXPECT_TRUE(audit.by_as.empty());
+}
+
+TEST_F(QuickAudit, EveryLedgerRecordIsAccountedForExactlyOnce) {
+    const auto& a = run_->audit;
+    ASSERT_GT(a.ledger_records, 0);
+    EXPECT_EQ(a.ledger_records, int(run_->ledger.size()));
+    // scored + coalesced + unobserved is a partition of the ledger.
+    EXPECT_EQ(a.ledger_records, a.scored + a.coalesced + a.unobserved);
+    int kinds_total = 0, kinds_scored = 0;
+    for (const auto& row : a.kinds) {
+        kinds_total += row.total();
+        kinds_scored += row.scored;
+        int inferred = 0;
+        for (int n : row.inferred) inferred += n;
+        EXPECT_EQ(inferred, row.scored) << sim::cause_kind_name(row.kind);
+        EXPECT_LE(row.detectable, row.scored) << sim::cause_kind_name(row.kind);
+        EXPECT_LE(row.correct, row.detectable) << sim::cause_kind_name(row.kind);
+    }
+    EXPECT_EQ(kinds_total, a.ledger_records - a.coalesced);
+    EXPECT_EQ(kinds_scored, a.scored);
+}
+
+TEST_F(QuickAudit, PeriodicCausesRecallAboveGate) {
+    EXPECT_GE(run_->audit.recall(ChangeCause::Periodic), 0.90);
+    EXPECT_GE(run_->audit.precision(ChangeCause::Periodic), 0.90);
+}
+
+TEST_F(QuickAudit, MetricsBlockMatchesAuditCounts) {
+    const auto before = obs::metrics_snapshot();
+    core::record_attribution_audit(run_->audit);
+    const auto diff = obs::metrics_diff(obs::metrics_snapshot(), before);
+    auto counter = [&](const char* name) -> std::uint64_t {
+        auto it = diff.counters.find(std::string("attribution_audit.") + name);
+        return it == diff.counters.end() ? 0 : it->second;
+    };
+    EXPECT_EQ(counter("records"), std::uint64_t(run_->audit.ledger_records));
+    EXPECT_EQ(counter("scored"), std::uint64_t(run_->audit.scored));
+    EXPECT_EQ(counter("coalesced"), std::uint64_t(run_->audit.coalesced));
+    EXPECT_EQ(counter("unobserved"), std::uint64_t(run_->audit.unobserved));
+}
+
+TEST_F(PaperAudit, OutageDetectorsAreStructurallyInactive) {
+    // The paper preset ships without k-root sampling, so both §5 outage
+    // detectors see no data: every outage-caused record is unobservable to
+    // the classifier by construction (detectable stays 0), and the audit
+    // must report that rather than a fake 0% recall.
+    EXPECT_FALSE(run_->audit.network_detector_active);
+    EXPECT_FALSE(run_->audit.power_detector_active);
+    for (const auto& row : run_->audit.kinds) {
+        if (row.kind != sim::CauseKind::PowerOutage &&
+            row.kind != sim::CauseKind::NetworkOutage)
+            continue;
+        EXPECT_EQ(row.detectable, 0) << sim::cause_kind_name(row.kind);
+    }
+}
+
+TEST_F(PaperAudit, PeriodicRecallMeetsIssueGate) {
+    // ISSUE gate: >= 90% recall for periodic causes on the paper preset
+    // (outage causes have zero detectable records here — see above).
+    EXPECT_GE(run_->audit.recall(ChangeCause::Periodic), 0.90);
+    EXPECT_GE(run_->audit.precision(ChangeCause::Periodic), 0.90);
+}
+
+TEST_F(PaperAudit, UnknownResidualIsBounded) {
+    // The residual is real (max-age evictions are jittered, amnesia and
+    // exhaustion are signature-free) but must stay bounded; EXPERIMENTS.md
+    // documents its composition (~19% when this gate was derived).
+    EXPECT_GT(run_->audit.unknown_residual(), 0.0);
+    EXPECT_LE(run_->audit.unknown_residual(), 0.25);
+}
+
+TEST_F(PaperAudit, PerAsRowsCoverTheMajorsAccurately) {
+    ASSERT_FALSE(run_->audit.by_as.empty());
+    int scored = 0;
+    for (const auto& row : run_->audit.by_as) {
+        scored += row.scored;
+        EXPECT_GE(row.accuracy(), 0.5) << row.as_name;
+    }
+    // The AS table must cover most scored changes (probes outside the
+    // registry's named ASes — asn 0 — stay out of the table by design).
+    EXPECT_GE(scored, run_->audit.scored * 2 / 3);
+}
+
+TEST_F(OutageAudit, NetworkOutageRecallMeetsIssueGate) {
+    ASSERT_TRUE(run_->audit.network_detector_active);
+    EXPECT_GE(run_->audit.recall(ChangeCause::NetworkOutage), 0.90);
+    EXPECT_GE(run_->audit.precision(ChangeCause::NetworkOutage), 0.90);
+}
+
+TEST_F(OutageAudit, PowerOutageRecallMeetsDocumentedGate) {
+    // Power recall is gated at 0.85, not 0.90: of the ground-truth power
+    // outages a v3 probe could expose, ~9% are still missed because (a)
+    // the uptime-decrease reboot rule is blind to back-to-back reboots
+    // where the second uptime sample exceeds the first, and (b) the
+    // Figure 6 firmware filter eats each probe's first reboot within 7
+    // days of an inferred release day. Both are costs of the paper's own
+    // method; EXPERIMENTS.md quantifies them.
+    ASSERT_TRUE(run_->audit.power_detector_active);
+    EXPECT_GE(run_->audit.recall(ChangeCause::PowerOutage), 0.85);
+    EXPECT_GE(run_->audit.precision(ChangeCause::PowerOutage), 0.90);
+}
+
+TEST_F(OutageAudit, PowerDetectabilityIsScopedToV3Probes) {
+    // The §5 power detector only trusts v3 uptime semantics, so the audit
+    // must not count outages behind v1/v2 probes against recall. The
+    // outage preset mixes versions: some power records are scored but not
+    // detectable.
+    ASSERT_FALSE(run_->results.probe_versions.empty());
+    const core::AuditKindRow* power = nullptr;
+    for (const auto& row : run_->audit.kinds)
+        if (row.kind == sim::CauseKind::PowerOutage) power = &row;
+    ASSERT_NE(power, nullptr);
+    EXPECT_GT(power->detectable, 0);
+    EXPECT_LT(power->detectable, power->scored);
+}
+
+TEST_F(OutageAudit, PeriodicStaysAccurateUnderOutageLoad) {
+    EXPECT_GE(run_->audit.recall(ChangeCause::Periodic), 0.90);
+    EXPECT_LE(run_->audit.unknown_residual(), 0.20);
+}
+
+}  // namespace
+}  // namespace dynaddr

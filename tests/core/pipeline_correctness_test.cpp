@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/change_attribution.hpp"
 #include "core/pipeline.hpp"
 #include "netcore/error.hpp"
 #include "netcore/obs/metrics.hpp"
@@ -167,6 +168,42 @@ TEST(Table2Funnel, MetricsMatchFilterReport) {
     // The funnel covers the whole population: both probes were counted.
     EXPECT_EQ(funnel("total"), 2u);
     EXPECT_GE(funnel("analyzable"), 1u);
+}
+
+TEST(ChangeAttributionMetrics, CountersMatchTheAllRow) {
+    // The change_attribution.* counters record_change_attribution exports
+    // must agree with the ChangeAttribution "All" row rendered as the
+    // causes report — the same contract table2_funnel keeps above.
+    auto bundle = power_outage_bundle();
+    bundle.probes = {{1, atlas::ProbeVersion::V3, "DE", {}}};
+    bgp::PrefixTable table;
+    table.announce_range(bgp::month_key(2015, 1), bgp::month_key(2015, 12),
+                         net::IPv4Prefix::parse_or_throw("10.0.0.0/8"), 100);
+    bgp::AsRegistry registry;
+    AnalysisPipeline pipeline;
+    const auto results = pipeline.run(bundle, table, registry);
+    const auto attribution = attribute_changes(results, table, registry);
+    ASSERT_GT(attribution.all.total, 0);
+
+    const auto before = obs::metrics_snapshot();
+    record_change_attribution(attribution);
+    const auto diff = obs::metrics_diff(obs::metrics_snapshot(), before);
+    auto counter = [&](const char* name) -> std::uint64_t {
+        auto it = diff.counters.find(std::string("change_attribution.") + name);
+        return it == diff.counters.end() ? 0 : it->second;
+    };
+    EXPECT_EQ(counter("total"), std::uint64_t(attribution.all.total));
+    EXPECT_EQ(counter("periodic"), std::uint64_t(attribution.all.periodic));
+    EXPECT_EQ(counter("network"), std::uint64_t(attribution.all.network));
+    EXPECT_EQ(counter("power"), std::uint64_t(attribution.all.power));
+    EXPECT_EQ(counter("administrative"),
+              std::uint64_t(attribution.all.administrative));
+    EXPECT_EQ(counter("unknown"), std::uint64_t(attribution.all.unknown));
+    // The tallies themselves partition the total.
+    EXPECT_EQ(attribution.all.total,
+              attribution.all.periodic + attribution.all.network +
+                  attribution.all.power + attribution.all.administrative +
+                  attribution.all.unknown);
 }
 
 TEST(FirmwareMedian, EvenDayCountAveragesMiddlePair) {

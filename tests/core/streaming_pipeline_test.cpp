@@ -59,6 +59,8 @@ std::string fingerprint(const AnalysisResults& r) {
     for (const auto& [probe, category] : r.filter.category)
         out << "cat " << probe << ' ' << category_name(category) << '\n';
     out << "analyzable-logs " << r.filter.analyzable.size() << '\n';
+    for (const auto& [probe, version] : r.probe_versions)
+        out << "ver " << probe << ' ' << int(version) << '\n';
     for (const auto& pc : r.changes) {
         out << "probe " << pc.probe << " total "
             << pc.total_address_time.count() << '\n';

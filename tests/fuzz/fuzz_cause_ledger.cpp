@@ -1,0 +1,65 @@
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netcore/error.hpp"
+#include "sim/cause_ledger.hpp"
+#include "fuzz_targets.hpp"
+
+namespace dynaddr::fuzz {
+namespace {
+
+/// Strict decode; whatever it accepts must survive encode → decode
+/// unchanged (round-trip oracle; a violation is a logic_error, a
+/// crash-equivalent). Lenient decode of the same bytes must never throw:
+/// damaged rows/blocks degrade to dropped-and-counted, which is what
+/// `dynaddr explain` and `analyze --audit` rely on for arbitrary files.
+template <typename Decode, typename Encode>
+void check_codec(std::string_view bytes, Decode decode, Encode encode) {
+    try {
+        const std::vector<sim::CauseRecord> records =
+            decode(bytes, true, nullptr);
+        const std::string again = encode(records);
+        const std::vector<sim::CauseRecord> reparsed =
+            decode(again, true, nullptr);
+        if (reparsed != records)
+            throw std::logic_error("cause ledger round trip changed records");
+    } catch (const ParseError&) {
+        // Malformed input is the expected rejection path.
+    }
+    sim::CauseDecodeStats stats;
+    (void)decode(bytes, false, &stats);
+}
+
+}  // namespace
+
+int cause_ledger_one(const std::uint8_t* data, std::size_t size) {
+    const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+    check_codec(
+        bytes,
+        [](std::string_view b, bool strict, sim::CauseDecodeStats* s) {
+            return sim::cause_ledger_from_csv(b, strict, s);
+        },
+        [](const std::vector<sim::CauseRecord>& r) {
+            return sim::cause_ledger_to_csv(r);
+        });
+    check_codec(
+        bytes,
+        [](std::string_view b, bool strict, sim::CauseDecodeStats* s) {
+            return sim::decode_cause_ledger(b, strict, s);
+        },
+        [](const std::vector<sim::CauseRecord>& r) {
+            return sim::encode_cause_ledger(r);
+        });
+    return 0;
+}
+
+}  // namespace dynaddr::fuzz
+
+#ifdef DYNADDR_FUZZ_TARGET
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    return dynaddr::fuzz::cause_ledger_one(data, size);
+}
+#endif

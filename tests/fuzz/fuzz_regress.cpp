@@ -129,6 +129,9 @@ TEST(FuzzRegress, CsvCorpus) { replay_corpus("csv", csv_one); }
 TEST(FuzzRegress, BinaryBundleCorpus) {
     replay_corpus("binary_bundle", binary_bundle_one);
 }
+TEST(FuzzRegress, CauseLedgerCorpus) {
+    replay_corpus("cause_ledger", cause_ledger_one);
+}
 
 TEST(FuzzRegress, DhcpWireMutations) {
     mutation_campaign("dhcp_wire", dhcp_wire_one);
@@ -139,6 +142,9 @@ TEST(FuzzRegress, PppoeWireMutations) {
 TEST(FuzzRegress, CsvMutations) { mutation_campaign("csv", csv_one); }
 TEST(FuzzRegress, BinaryBundleMutations) {
     mutation_campaign("binary_bundle", binary_bundle_one);
+}
+TEST(FuzzRegress, CauseLedgerMutations) {
+    mutation_campaign("cause_ledger", cause_ledger_one);
 }
 
 }  // namespace

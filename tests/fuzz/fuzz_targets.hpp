@@ -1,6 +1,6 @@
 #pragma once
 
-// Fuzz entry points for the three external-input parsers. Each takes an
+// Fuzz entry points for the external-input parsers. Each takes an
 // arbitrary byte buffer and must neither crash nor hang: malformed input
 // raises ParseError (swallowed by the harness), and anything decode
 // accepts must survive an encode/decode round trip unchanged — a
@@ -21,5 +21,6 @@ int dhcp_wire_one(const std::uint8_t* data, std::size_t size);
 int pppoe_wire_one(const std::uint8_t* data, std::size_t size);
 int csv_one(const std::uint8_t* data, std::size_t size);
 int binary_bundle_one(const std::uint8_t* data, std::size_t size);
+int cause_ledger_one(const std::uint8_t* data, std::size_t size);
 
 }  // namespace dynaddr::fuzz

@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <tuple>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -31,6 +33,7 @@
 #include "netcore/obs/stats_server.hpp"
 #include "netcore/obs/timeseries.hpp"
 #include "netcore/obs/trace.hpp"
+#include "sim/cause_ledger.hpp"
 #include "sim/faults.hpp"
 
 namespace dynaddr {
@@ -151,6 +154,81 @@ TEST(ObsDeterminism, OutagePresetAnalysisUnaffectedByObservability) {
 
 TEST(ObsDeterminism, PaperPresetAnalysisUnaffectedByObservability) {
     expect_obs_invariant(isp::presets::paper_scenario());
+}
+
+// -- cause-ledger determinism --------------------------------------------
+// The cause ledger is a pure observer with the same contract as the obs
+// stack: installing it (production config, no record retention) must not
+// perturb a byte of simulator output or analysis rendering, and with
+// retention on, the ledger must mirror the ground-truth address changes
+// exactly once each.
+
+void expect_ledger_invariant(const isp::ScenarioConfig& config) {
+    const auto baseline = analysis_fingerprint(config);
+    ASSERT_FALSE(baseline.empty());
+    std::string observed;
+    std::uint64_t recorded = 0;
+    {
+        sim::CauseLedgerConfig ledger_config;
+        ledger_config.keep_records = false;  // production shape: O(1) memory
+        sim::ScopedCauseLedger ledger(ledger_config);
+        observed = analysis_fingerprint(config);
+        recorded = ledger.ledger().total_records();
+    }
+    EXPECT_EQ(baseline, observed);
+    EXPECT_GT(recorded, 0u) << "the run really was observed";
+}
+
+TEST(ObsDeterminism, QuickPresetAnalysisUnaffectedByCauseLedger) {
+    expect_ledger_invariant(isp::presets::quick_scenario());
+}
+
+TEST(ObsDeterminism, OutagePresetAnalysisUnaffectedByCauseLedger) {
+    expect_ledger_invariant(isp::presets::outage_scenario());
+}
+
+TEST(ObsDeterminism, PaperPresetAnalysisUnaffectedByCauseLedger) {
+    expect_ledger_invariant(isp::presets::paper_scenario());
+}
+
+TEST(CauseLedgerExactlyOnce, EveryGroundTruthChangeHasOneRecord) {
+    // Every IPv4 address change in the simulator's ground-truth timelines
+    // appears in the ledger exactly once, keyed by (probe, instant,
+    // old address, new address) — no drops, no duplicates.
+    sim::ScopedCauseLedger ledger;  // retention on
+    const auto scenario = isp::run_scenario(isp::presets::quick_scenario());
+    const auto& records = ledger.ledger().records();
+
+    std::map<std::tuple<atlas::ProbeId, std::int64_t, std::uint32_t,
+                        std::uint32_t>,
+             int>
+        seen;
+    for (const auto& record : records)
+        ++seen[{record.probe, record.at.unix_seconds(), record.old_addr.value(),
+                record.new_addr.value()}];
+
+    std::size_t truth_changes = 0;
+    for (const auto& timeline : scenario.timelines) {
+        for (const auto& change : timeline.address_changes()) {
+            if (change.from.family != atlas::PeerAddress::Family::IPv4 ||
+                change.to.family != atlas::PeerAddress::Family::IPv4)
+                continue;
+            ++truth_changes;
+            const auto it = seen.find({timeline.probe(),
+                                       change.at.unix_seconds(),
+                                       change.from.v4.value(),
+                                       change.to.v4.value()});
+            ASSERT_NE(it, seen.end())
+                << "probe " << timeline.probe() << " change at "
+                << change.at.unix_seconds() << " missing from the ledger";
+            EXPECT_EQ(it->second, 1)
+                << "probe " << timeline.probe() << " change at "
+                << change.at.unix_seconds() << " recorded more than once";
+        }
+    }
+    ASSERT_GT(truth_changes, 0u);
+    EXPECT_EQ(records.size(), truth_changes)
+        << "ledger must not invent records beyond the ground truth";
 }
 
 /// One GET against the live stats endpoint; returns the bytes received.

@@ -22,6 +22,7 @@
 #include "isp/world.hpp"
 #include "netcore/obs/json.hpp"
 #include "netcore/obs/stats_server.hpp"
+#include "sim/cause_ledger.hpp"
 #include "sim/faults.hpp"
 
 namespace dynaddr::obs {
@@ -91,8 +92,16 @@ TEST(StatsServerConcurrency, EndpointsStayCoherentDuringLiveChaosRun) {
     std::vector<std::thread> pollers;
     pollers.emplace_back(poll_loop, "/top", true);
     pollers.emplace_back(poll_loop, "/series", true);
+    pollers.emplace_back(poll_loop, "/causes", true);
     pollers.emplace_back(poll_loop, "/metrics", false);
     pollers.emplace_back(poll_loop, "/healthz", false);
+
+    // Cause ledger installed for the whole run: the /causes poller reads
+    // the causes.* counters the ledger bumps from the simulation thread,
+    // so this is the ledger's TSan coverage too.
+    sim::CauseLedgerConfig ledger_config;
+    ledger_config.keep_records = false;
+    sim::ScopedCauseLedger ledger(ledger_config);
 
     const auto result = isp::run_scenario(config);
     run_done.store(true, std::memory_order_release);
@@ -100,7 +109,8 @@ TEST(StatsServerConcurrency, EndpointsStayCoherentDuringLiveChaosRun) {
 
     EXPECT_EQ(bad_responses.load(), 0);
     EXPECT_GT(result.sim_events, 0u);
-    EXPECT_GT(server.requests_served(), 4u);
+    EXPECT_GT(ledger.ledger().total_records(), 0u);
+    EXPECT_GT(server.requests_served(), 5u);
 }
 
 }  // namespace

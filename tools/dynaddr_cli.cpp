@@ -27,7 +27,12 @@
 //   dynaddr top --port N [--interval S] [--count N]
 //       Polls a running dynaddr's stats endpoint (simulate/analyze with
 //       --stats-port N) and renders its /top capacity-and-progress view
+//       (plus the live /causes ledger counters when a ledger is running)
 //       as a self-updating terminal table.
+//
+//   dynaddr explain --ledger FILE (--client ID | --address A.B.C.D)
+//       Answers "why did this address change?" from a cause-ledger file
+//       written by simulate --cause-ledger (CSV or DCL1, auto-detected).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -48,6 +53,7 @@
 #include <vector>
 
 #include "atlas/binary_bundle.hpp"
+#include "core/attribution_audit.hpp"
 #include "core/change_attribution.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -65,6 +71,7 @@
 #include "netcore/obs/timeseries.hpp"
 #include "netcore/obs/trace.hpp"
 #include "netcore/time.hpp"
+#include "sim/cause_ledger.hpp"
 #include "sim/faults.hpp"
 
 DYNADDR_LOG_MODULE(cli);
@@ -78,11 +85,18 @@ int usage() {
     std::cerr <<
         "usage:\n"
         "  dynaddr simulate --preset paper|outage|quick --out DIR [--seed N]\n"
-        "                   [--format csv|binary|both]\n"
+        "                   [--format csv|binary|both] [--cause-ledger FILE]\n"
+        "       (--cause-ledger streams ground-truth cause records to FILE;\n"
+        "        .csv extension -> CSV, anything else -> DCL1 columnar)\n"
         "  dynaddr analyze  --data DIR [--report summary,table2,table5,"
         "table6,table7,admin,causes,all] [--threads N] [--streaming]\n"
+        "                   [--audit LEDGER]\n"
+        "       (--audit joins inferred causes against the ledger's ground\n"
+        "        truth and prints the per-cause confusion matrix)\n"
         "  dynaddr convert  --in DIR --out DIR [--to csv|binary]\n"
         "  dynaddr demo [--preset paper|outage|quick] [--threads N]\n"
+        "  dynaddr explain --ledger FILE (--client ID | --address A.B.C.D)\n"
+        "       why did this client/address change? (from a cause ledger)\n"
         "  dynaddr top --port N [--interval S] [--count N]\n"
         "       live progress/memory table from a --stats-port run\n"
         "  dynaddr [--preset ...] (flags only: shorthand for demo)\n"
@@ -390,6 +404,7 @@ void print_reports(const core::AnalysisResults& results,
     if (wants(report_list, "causes")) {
         const auto attribution =
             core::attribute_changes(results, table, registry);
+        core::record_change_attribution(attribution);
         std::cout << "Change-cause attribution:\n"
                   << core::render_change_attribution(attribution) << "\n";
     }
@@ -428,10 +443,30 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
         config.bundle_sink = writer.get();
     }
 
+    // The cause ledger streams ground-truth records to its own file while
+    // the simulation runs; keep_records off keeps it O(1) memory.
+    std::unique_ptr<sim::ScopedCauseLedger> ledger_scope;
+    std::unique_ptr<sim::CauseSink> ledger_sink;
+    if (auto it = flags.find("cause-ledger"); it != flags.end()) {
+        sim::CauseLedgerConfig ledger_config;
+        ledger_config.keep_records = false;
+        ledger_scope = std::make_unique<sim::ScopedCauseLedger>(ledger_config);
+        if (fs::path(it->second).extension() == ".csv")
+            ledger_sink = std::make_unique<sim::CsvCauseWriter>(it->second);
+        else
+            ledger_sink = std::make_unique<sim::BinaryCauseWriter>(it->second);
+        ledger_scope->ledger().set_sink(ledger_sink.get());
+    }
+
     std::cout << "simulating preset '" << preset_it->second << "' (seed "
               << config.seed << ")...\n";
     const auto scenario = isp::run_scenario(config);
     if (writer) writer->close();
+    if (ledger_sink) {
+        ledger_sink->close();
+        std::cout << "wrote " << ledger_scope->ledger().total_records()
+                  << " cause records to " << flags.at("cause-ledger") << "\n";
+    }
     if (format != "binary") atlas::write_bundle(dir.string(), scenario.bundle);
     write_context(dir, scenario);
     std::cout << "wrote " << scenario.bundle.connection_log.size()
@@ -441,6 +476,24 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
               << " probes (" << format << ") + IP-to-AS context to "
               << dir.string() << "\n";
     return 0;
+}
+
+/// --audit: joins the pipeline's inferred causes against the ledger's
+/// ground truth and prints the confusion matrix.
+void print_audit(const core::AnalysisResults& results,
+                 const bgp::PrefixTable& table, const bgp::AsRegistry& registry,
+                 const std::string& ledger_path) {
+    sim::CauseDecodeStats stats;
+    const auto ledger = sim::read_cause_ledger_file(ledger_path, &stats);
+    if (stats.rows_rejected > 0 || stats.blocks_rejected > 0)
+        DYNADDR_LOG(Warn, cli, "ledger ", ledger_path, ": dropped ",
+                    stats.rows_rejected, " rows, ", stats.blocks_rejected,
+                    " blocks");
+    const auto audit =
+        core::audit_attribution(results, table, registry, ledger);
+    core::record_attribution_audit(audit);
+    std::cout << "Attribution audit (vs " << ledger_path << "):\n"
+              << core::render_attribution_audit(audit) << "\n";
 }
 
 int cmd_analyze(const std::map<std::string, std::string>& flags) {
@@ -470,6 +523,8 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
                     pipeline.probes_seen(), " probes, peak ",
                     pipeline.peak_buffered_records(), " buffered records");
         print_reports(results, table, registry, report_list);
+        if (auto it = flags.find("audit"); it != flags.end())
+            print_audit(results, table, registry, it->second);
         return 0;
     }
     if (flags.contains("streaming"))
@@ -480,6 +535,8 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
     core::AnalysisPipeline pipeline(pipeline_config(flags));
     const auto results = pipeline.run(bundle, table, registry);
     print_reports(results, table, registry, report_list);
+    if (auto it = flags.find("audit"); it != flags.end())
+        print_audit(results, table, registry, it->second);
     return 0;
 }
 
@@ -523,6 +580,58 @@ int cmd_convert(const std::map<std::string, std::string>& flags) {
               << bundle.kroot_pings.size() << " k-root, "
               << bundle.uptime_records.size() << " uptime, "
               << bundle.probes.size() << " probes)\n";
+    return 0;
+}
+
+/// `dynaddr explain`: why did this client (or address) change? Prints the
+/// causal chain of every matching ledger record, newest last.
+int cmd_explain(const std::map<std::string, std::string>& flags) {
+    const auto ledger_it = flags.find("ledger");
+    const auto client_it = flags.find("client");
+    const auto address_it = flags.find("address");
+    if (ledger_it == flags.end() ||
+        (client_it == flags.end()) == (address_it == flags.end()))
+        return usage();
+
+    std::optional<std::uint64_t> client;
+    std::optional<net::IPv4Address> address;
+    if (client_it != flags.end()) {
+        client = std::stoull(client_it->second);
+    } else {
+        address = net::IPv4Address::parse(address_it->second);
+        if (!address)
+            throw Error("bad --address '" + address_it->second + "'");
+    }
+
+    sim::CauseDecodeStats stats;
+    const auto records = sim::read_cause_ledger_file(ledger_it->second, &stats);
+    if (stats.rows_rejected > 0 || stats.blocks_rejected > 0)
+        std::cerr << "warning: dropped " << stats.rows_rejected << " rows, "
+                  << stats.blocks_rejected << " damaged blocks\n";
+
+    std::size_t matched = 0;
+    for (const auto& record : records) {
+        if (client && record.client != *client) continue;
+        if (address && record.old_addr != *address &&
+            record.new_addr != *address)
+            continue;
+        ++matched;
+        std::cout << record.at.to_string() << "  client " << record.client
+                  << " (probe " << record.probe << "): "
+                  << record.old_addr.to_string() << " -> "
+                  << record.new_addr.to_string() << "\n"
+                  << "    because: " << sim::cause_kind_name(record.kind)
+                  << " via " << sim::cause_site_name(record.site)
+                  << "\n    root event " << record.root_at.to_string();
+        if (record.root_duration > net::Duration::seconds(0))
+            std::cout << " (lasting " << record.root_duration.to_string()
+                      << ")";
+        std::cout << ", address lost " << record.lost_at.to_string() << "\n";
+    }
+    std::cout << matched << " change(s) of "
+              << (client ? "client " + std::to_string(*client)
+                         : "address " + address->to_string())
+              << " in " << records.size() << " ledger records\n";
     return 0;
 }
 
@@ -645,6 +754,23 @@ void render_top(std::ostream& out, const obs::JsonValue& top,
     }
 }
 
+/// Renders one /causes payload (live cause-ledger counters) under the
+/// /top view. Quiet when no ledger is running (empty object).
+void render_causes(std::ostream& out, const obs::JsonValue& causes) {
+    if (causes.object.empty()) return;
+    out << "causes     " << std::uint64_t(causes.number_or("records", 0))
+        << " records\n";
+    for (const auto& [name, value] : causes.object) {
+        if (name == "records" || value.type != obs::JsonValue::Type::Number ||
+            value.number == 0)
+            continue;
+        char line[96];
+        std::snprintf(line, sizeof line, "  %-24s %12.0f\n", name.c_str(),
+                      value.number);
+        out << line;
+    }
+}
+
 int cmd_top(const std::map<std::string, std::string>& flags) {
     const auto port_it = flags.find("port");
     if (port_it == flags.end()) return usage();
@@ -679,6 +805,9 @@ int cmd_top(const std::map<std::string, std::string>& flags) {
         // frames; a single shot (--count 1) stays pipe-friendly.
         if (count != 1) std::cout << "\x1b[H\x1b[2J";
         render_top(std::cout, *top, port);
+        if (const auto causes_json = http_get_body(port, "/causes"))
+            if (const auto causes = obs::json_parse(*causes_json))
+                render_causes(std::cout, *causes);
         std::cout.flush();
         ever_polled = true;
     }
@@ -719,6 +848,7 @@ int main(int argc, char** argv) {
         else if (command == "analyze") status = cmd_analyze(flags);
         else if (command == "convert") status = cmd_convert(flags);
         else if (command == "demo") status = cmd_demo(flags);
+        else if (command == "explain") status = cmd_explain(flags);
         else if (command == "crash-test") status = cmd_crash_test(flags);
         else if (command == "top") status = cmd_top(flags);
         else return usage();
